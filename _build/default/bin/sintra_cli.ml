@@ -1,0 +1,299 @@
+(* Command-line interface to the SINTRA reproduction: inspect adversary
+   structures, run protocol simulations, and exercise the trusted
+   services from a shell.
+
+     dune exec bin/sintra_cli.exe -- structure --example 2
+     dune exec bin/sintra_cli.exe -- abc -n 7 -t 2 --payloads 5 --crash 0,1
+     dune exec bin/sintra_cli.exe -- coin -n 4 -t 1 --flips 16
+     dune exec bin/sintra_cli.exe -- notary --documents "idea one,idea two"
+*)
+
+module AS = Adversary_structure
+
+open Cmdliner
+
+(* ---------- shared arguments --------------------------------------- *)
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of servers.")
+
+let t_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "t" ] ~docv:"T" ~doc:"Corruption threshold (needs n > 3t).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let example_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "example" ] ~docv:"1|2"
+        ~doc:"Use the paper's Example 1 (9 servers) or Example 2 (16 servers) \
+              generalized adversary structure instead of a threshold.")
+
+let crash_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "crash" ] ~docv:"IDS"
+        ~doc:"Comma-separated server ids to crash before the run.")
+
+let parse_crash s =
+  if s = "" then []
+  else List.map int_of_string (String.split_on_char ',' s)
+
+let structure_of ~n ~t = function
+  | Some 1 -> Canonical_structures.example1 ()
+  | Some 2 -> Canonical_structures.example2 ()
+  | Some k -> invalid_arg (Printf.sprintf "unknown example %d" k)
+  | None -> AS.threshold ~n ~t
+
+(* ---------- structure: inspect an adversary structure --------------- *)
+
+let structure_cmd =
+  let run n t example =
+    let s = structure_of ~n ~t example in
+    Printf.printf "parties:                  %d\n" (AS.n s);
+    Printf.printf "Q3 condition:             %b\n" (AS.satisfies_q3 s);
+    Printf.printf "Q2 condition:             %b\n" (AS.satisfies_q2 s);
+    Printf.printf "sharing compatible:       %b\n" (AS.check_sharing_compatible s);
+    Printf.printf "uniform tolerance:        any %d servers\n"
+      (AS.max_uniform_tolerance s);
+    let maxes = AS.maximal_adversary_sets s in
+    Printf.printf "maximal corruptible sets: %d\n" (List.length maxes);
+    List.iteri
+      (fun i m ->
+        if i < 12 then Printf.printf "  %s (%d servers)\n" (Pset.to_string m) (Pset.card m))
+      maxes;
+    if List.length maxes > 12 then
+      Printf.printf "  ... and %d more\n" (List.length maxes - 12)
+  in
+  Cmd.v (Cmd.info "structure" ~doc:"Inspect an adversary structure.")
+    Term.(const run $ n_arg $ t_arg $ example_arg)
+
+(* ---------- abc: run atomic broadcast -------------------------------- *)
+
+let abc_cmd =
+  let payloads_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "payloads" ] ~docv:"K" ~doc:"Number of payloads to order.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Print the first 40 simulator events (message-level trace).")
+  in
+  let run n t example seed payloads crash trace =
+    let s = structure_of ~n ~t example in
+    let n = AS.n s in
+    let kr = Keyring.deal ~rsa_bits:192 ~seed:99 s in
+    let sim = Sim.create ~policy:Sim.Random_order ~size:(Abc.msg_size kr) ~n ~seed () in
+    if trace then Sim.enable_trace sim ~summarize:Abc.msg_summary;
+    let logs = Array.make n [] in
+    let nodes =
+      Stack.deploy_abc ~sim ~keyring:kr ~tag:"cli"
+        ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+    in
+    let crashed = parse_crash crash in
+    List.iter (Sim.crash sim) crashed;
+    let honest = List.filter (fun i -> not (List.mem i crashed)) (List.init n Fun.id) in
+    List.iteri
+      (fun i p ->
+        let srv = List.nth honest (i mod List.length honest) in
+        Abc.broadcast nodes.(srv) p)
+      (List.init payloads (fun i -> Printf.sprintf "payload-%02d" i));
+    (try
+       Sim.run sim ~until:(fun () ->
+           List.for_all (fun i -> List.length logs.(i) >= payloads) honest)
+     with Sim.Out_of_steps -> print_endline "!! out of steps (liveness lost?)");
+    let m = Sim.metrics sim in
+    (if trace then begin
+       print_endline "trace (first 40 events):";
+       List.iteri
+         (fun i ev ->
+           if i < 40 then
+             match ev with
+             | Sim.Delivered { at; src; dst; summary } ->
+               Printf.printf "  %8.1f  %d -> %d  %s\n" at src dst summary
+             | Sim.Dropped { at; src; dst } ->
+               Printf.printf "  %8.1f  %d -> %d  (dropped: crashed)\n" at src dst
+             | Sim.Timer_fired { at; party } ->
+               Printf.printf "  %8.1f  timer at %d\n" at party)
+         (Sim.trace sim)
+     end);
+    Printf.printf "servers: %d (crashed: %s)\n" n
+      (if crashed = [] then "none" else String.concat "," (List.map string_of_int crashed));
+    Printf.printf "network: %d messages, %d kB, virtual time %.0f\n"
+      m.Metrics.messages_sent (m.Metrics.bytes_sent / 1024) (Sim.clock sim);
+    (match honest with
+    | h :: _ ->
+      Printf.printf "total order at server %d:\n" h;
+      List.iteri (fun k p -> Printf.printf "  %d. %s\n" k p) (List.rev logs.(h));
+      let agree =
+        List.for_all (fun i -> List.rev logs.(i) = List.rev logs.(h)) honest
+      in
+      Printf.printf "all honest servers agree on the order: %b\n" agree
+    | [] -> ())
+  in
+  Cmd.v
+    (Cmd.info "abc" ~doc:"Run atomic broadcast on the simulated network.")
+    Term.(
+      const run $ n_arg $ t_arg $ example_arg $ seed_arg $ payloads_arg
+      $ crash_arg $ trace_arg)
+
+(* ---------- coin: flip the distributed coin -------------------------- *)
+
+let coin_cmd =
+  let flips_arg =
+    Arg.(value & opt int 8 & info [ "flips" ] ~docv:"K" ~doc:"Number of coins.")
+  in
+  let run n t example flips =
+    let s = structure_of ~n ~t example in
+    let kr = Keyring.deal ~rsa_bits:192 ~seed:7 s in
+    let coin = kr.Keyring.coin in
+    Printf.printf
+      "threshold coin over %d servers; each value needs a qualified set of shares\n"
+      (AS.n s);
+    for k = 0 to flips - 1 do
+      let name = Printf.sprintf "cli-coin-%d" k in
+      let shares =
+        List.init (AS.n s) (fun i -> (i, Coin.generate_share coin ~party:i ~name))
+      in
+      (* combine from the first qualified prefix *)
+      let rec try_prefix avail used = function
+        | [] -> None
+        | (i, sh) :: rest ->
+          let avail = Pset.add i avail in
+          let used = (i, sh) :: used in
+          (match Coin.combine coin ~name ~avail used () with
+          | Some v -> Some (v, Pset.card avail)
+          | None -> try_prefix avail used rest)
+      in
+      match try_prefix Pset.empty [] shares with
+      | Some (v, k') -> Printf.printf "  %-14s = %d  (combined from %d shares)\n" name v k'
+      | None -> Printf.printf "  %-14s : could not combine\n" name
+    done
+  in
+  Cmd.v (Cmd.info "coin" ~doc:"Flip the unpredictable threshold coin.")
+    Term.(const run $ n_arg $ t_arg $ example_arg $ flips_arg)
+
+(* ---------- notary: register documents ------------------------------- *)
+
+let notary_cmd =
+  let docs_arg =
+    Arg.(
+      value
+      & opt string "first document,second document"
+      & info [ "documents" ] ~docv:"DOCS" ~doc:"Comma-separated documents.")
+  in
+  let run n t seed docs =
+    let s = AS.threshold ~n ~t in
+    let kr = Keyring.deal ~rsa_bits:192 ~seed:13 s in
+    let sim = Sim.create ~n ~seed () in
+    let _nodes =
+      Service.deploy ~sim ~keyring:kr ~mode:Service.Confidential
+        ~make_app:Notary.make_app ()
+    in
+    let client = Service.Client.create ~sim ~keyring:kr ~slot:n ~seed:3 in
+    List.iter
+      (fun doc ->
+        let result = ref None in
+        Service.Client.request client ~mode:Service.Confidential
+          (Notary.register_request ~document:doc) (fun r sg ->
+            result := Some (r, sg));
+        Sim.run sim ~until:(fun () -> !result <> None);
+        match !result with
+        | Some (r, _) ->
+          (match Notary.parse_registration r with
+          | Some (seq, digest) ->
+            Printf.printf "registered %-28S seq=%d digest=%s...\n" doc seq
+              (String.sub (Sha256.to_hex digest) 0 12)
+          | None -> Printf.printf "registration of %S failed\n" doc)
+        | None -> Printf.printf "request for %S did not complete\n" doc)
+      (String.split_on_char ',' docs)
+  in
+  Cmd.v
+    (Cmd.info "notary"
+       ~doc:"Register documents with the confidential notary service.")
+    Term.(const run $ n_arg $ t_arg $ seed_arg $ docs_arg)
+
+(* ---------- ca: issue and look up certificates ----------------------- *)
+
+let ca_cmd =
+  let id_arg =
+    Arg.(
+      value & opt string "alice@example.com"
+      & info [ "id" ] ~docv:"ID" ~doc:"Identity to certify.")
+  in
+  let pubkey_arg =
+    Arg.(
+      value & opt string "ed25519:AAAA"
+      & info [ "pubkey" ] ~docv:"KEY" ~doc:"Public key to bind.")
+  in
+  let byzantine_arg =
+    Arg.(
+      value & flag
+      & info [ "byzantine" ]
+          ~doc:"Make one server forge denials for every request.")
+  in
+  let run n t seed id pubkey byzantine =
+    let s = AS.threshold ~n ~t in
+    let kr = Keyring.deal ~rsa_bits:192 ~seed:17 s in
+    let sim = Sim.create ~n ~seed () in
+    let _nodes =
+      Service.deploy ~sim ~keyring:kr ~mode:Service.Plain ~make_app:Ca.make_app ()
+    in
+    if byzantine then begin
+      let evil = n - 1 in
+      Printf.printf "server %d forges denials for every request\n" evil;
+      Sim.set_handler sim evil (fun ~src:_ (m : Service.msg) ->
+          match m with
+          | Service.Request { client; body } ->
+            let req_digest = Sha256.digest body in
+            let response = Codec.encode [ "denied"; "forged" ] in
+            let share =
+              Keyring.service_sign_share kr ~party:evil
+                (Service.response_statement ~req_digest ~response)
+            in
+            Sim.send sim ~src:evil ~dst:client
+              (Service.Response { req_digest; server = evil; response; share })
+          | Service.Engine _ | Service.Response _ -> ())
+    end;
+    let client = Service.Client.create ~sim ~keyring:kr ~slot:n ~seed:3 in
+    let call body =
+      let result = ref None in
+      Service.Client.request client ~mode:Service.Plain body (fun r sg ->
+          result := Some (r, sg));
+      Sim.run sim ~until:(fun () -> !result <> None);
+      Option.get !result
+    in
+    let response, _ =
+      call (Ca.issue_request ~id ~pubkey ~credentials:"cli!ok")
+    in
+    (match Ca.parse_certificate response with
+    | Some (id', pk, serial) ->
+      Printf.printf "certificate issued: id=%s pubkey=%s serial=%d\n" id' pk
+        serial;
+      Printf.printf
+        "(threshold-signed under the CA's single public key; verify with the\n\
+        \ service signature attached to the response)\n"
+    | None -> print_endline "request denied");
+    let lookup, _ = call (Ca.lookup_request ~id) in
+    match Ca.parse_certificate lookup with
+    | Some (_, pk, serial) ->
+      Printf.printf "lookup confirms: pubkey=%s serial=%d\n" pk serial
+    | None -> print_endline "lookup found nothing"
+  in
+  Cmd.v
+    (Cmd.info "ca" ~doc:"Issue a certificate from the replicated CA.")
+    Term.(const run $ n_arg $ t_arg $ seed_arg $ id_arg $ pubkey_arg $ byzantine_arg)
+
+(* ---------- main ------------------------------------------------------ *)
+
+let () =
+  let doc = "Distributing trust on the Internet: SINTRA reproduction tools" in
+  let info = Cmd.info "sintra" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ structure_cmd; abc_cmd; coin_cmd; notary_cmd; ca_cmd ]))

@@ -1,0 +1,1 @@
+examples/certification_authority.ml: Adversary_structure Ca Codec Keyring Metrics Printf Service Sha256 Sim String

@@ -1,0 +1,1 @@
+examples/certification_authority.mli:

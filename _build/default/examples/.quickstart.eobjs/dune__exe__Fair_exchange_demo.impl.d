@@ -1,0 +1,1 @@
+examples/fair_exchange_demo.ml: Adversary_structure Codec Fair_exchange Keyring Printf Service Sim String

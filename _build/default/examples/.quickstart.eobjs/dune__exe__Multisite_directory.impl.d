@@ -1,0 +1,1 @@
+examples/multisite_directory.ml: Adversary_structure Array Canonical_structures Directory_service Keyring Metrics Printf Pset Service Sim

@@ -1,0 +1,1 @@
+examples/multisite_directory.mli:

@@ -1,0 +1,1 @@
+examples/notary_frontrun.ml: Abc Adversary_structure Array Keyring Notary Printf Scabc Service Sha256 Sim String

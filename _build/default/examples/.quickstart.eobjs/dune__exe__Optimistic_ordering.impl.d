@@ -1,0 +1,1 @@
+examples/optimistic_ordering.ml: Adversary_structure Array Keyring List Metrics Optimistic_abc Printf Sim Stack

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abc Adversary_structure Array Bignum Keyring List Metrics Printf Schnorr_group Sim Stack

@@ -1,0 +1,73 @@
+(* The notary service and the front-running attack (paper, Section 5.2).
+
+   A patent office assigns sequence numbers to filings; earlier numbers
+   win.  A corrupted server wants to read pending filings and register a
+   competitor's copy first.  With *secure causal* atomic broadcast the
+   filing travels as a TDH2 ciphertext and is decrypted only after its
+   position in the order is fixed, so the spy sees nothing useful; the
+   example also shows the contrast run with plain atomic broadcast where
+   the plaintext is visible to the spy before ordering.
+
+     dune exec examples/notary_frontrun.exe *)
+
+let contains ~needle haystack =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+(* Run one filing through the notary and report what server 3 (the spy)
+   could observe before the first decryption. *)
+let run ~mode ~seed ~document =
+  let structure = Adversary_structure.threshold ~n:4 ~t:1 in
+  let keyring = Keyring.deal ~rsa_bits:192 ~seed:21 structure in
+  let sim = Sim.create ~policy:Sim.Random_order ~n:4 ~seed () in
+  let nodes = Service.deploy ~sim ~keyring ~mode ~make_app:Notary.make_app () in
+  let observed = ref false in
+  let honest = fun ~src m -> Service.handle nodes.(3) ~src m in
+  Sim.set_handler sim 3 (fun ~src m ->
+      let pre_ordering =
+        match (mode, nodes.(3).Service.engine) with
+        | Service.Confidential, Some (Service.Scabc_e sc) ->
+          Scabc.delivered_count sc = 0
+        | (Service.Plain | Service.Confidential), _ ->
+          nodes.(3).Service.executed = 0
+      in
+      (if pre_ordering then
+         match m with
+         | Service.Request { body; _ } when contains ~needle:document body ->
+           observed := true
+         | Service.Engine (Service.Abc_m (Abc.Request p))
+           when contains ~needle:document p ->
+           observed := true
+         | Service.Request _ | Service.Engine _ | Service.Response _ -> ());
+      honest ~src m);
+  let client = Service.Client.create ~sim ~keyring ~slot:4 ~seed:5 in
+  let result = ref None in
+  Service.Client.request client ~mode (Notary.register_request ~document)
+    (fun r s -> result := Some (r, s));
+  Sim.run sim ~until:(fun () -> !result <> None);
+  match !result with
+  | None -> failwith "filing did not complete"
+  | Some (response, _) ->
+    (match Notary.parse_registration response with
+    | Some (seq, digest) -> (seq, String.sub (Sha256.to_hex digest) 0 16, !observed)
+    | None -> failwith "registration failed")
+
+let () =
+  print_endline "== distributed notary: sealed filings vs. a spying server ==";
+  let document = "claim: cold fusion at room temperature" in
+
+  print_endline "\n-- run 1: secure causal atomic broadcast (TDH2-sealed) --";
+  let seq, digest, leaked = run ~mode:Service.Confidential ~seed:31 ~document in
+  Printf.printf "filing registered: seq=%d digest=%s...\n" seq digest;
+  Printf.printf "spy saw the claim text before ordering: %b\n" leaked;
+  if leaked then exit 1;
+
+  print_endline "\n-- run 2 (control): plain atomic broadcast --";
+  let seq2, _, leaked2 = run ~mode:Service.Plain ~seed:32 ~document in
+  Printf.printf "filing registered: seq=%d\n" seq2;
+  Printf.printf "spy saw the claim text before ordering: %b\n" leaked2;
+  print_endline
+    "\nwith plain broadcast a corrupted server reads pending filings and\n\
+     could front-run them; secure causal broadcast (atomic broadcast +\n\
+     CCA-secure threshold encryption) closes exactly this channel."

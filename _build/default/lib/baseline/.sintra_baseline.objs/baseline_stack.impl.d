@@ -1,0 +1,1 @@
+lib/baseline/baseline_stack.ml: Array Pbft_lite Sim

@@ -1,0 +1,1 @@
+lib/baseline/baseline_stack.mli: Pbft_lite Sim

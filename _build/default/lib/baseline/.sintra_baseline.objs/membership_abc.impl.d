@@ -1,0 +1,1 @@
+lib/baseline/membership_abc.ml: Hashtbl List Option Pset Sha256 String

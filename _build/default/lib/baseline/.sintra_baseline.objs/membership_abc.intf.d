@@ -1,0 +1,1 @@
+lib/baseline/membership_abc.mli: Pset

@@ -1,0 +1,1 @@
+lib/baseline/pbft_lite.ml: Hashtbl List Pset Sha256 String

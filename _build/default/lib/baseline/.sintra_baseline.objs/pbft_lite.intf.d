@@ -1,0 +1,1 @@
+lib/baseline/pbft_lite.mli:

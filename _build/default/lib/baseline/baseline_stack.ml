@@ -1,0 +1,19 @@
+(* Deployment glue for the PBFT-lite baseline on the simulator (the
+   baseline needs timers, which the randomized stack never uses). *)
+
+let deploy ~(sim : Pbft_lite.msg Sim.t) ~f ?(timeout = 2000.0) ~deliver () :
+    Pbft_lite.t array =
+  let n = Sim.n sim in
+  let nodes =
+    Array.init n (fun me ->
+        Pbft_lite.create ~me ~n ~f
+          ~send:(fun dst m -> Sim.send sim ~src:me ~dst m)
+          ~broadcast:(fun m -> Sim.broadcast sim ~src:me m)
+          ~set_timer:(fun ~delay cb -> Sim.set_timer sim me ~delay cb)
+          ~deliver:(deliver me) ~timeout ())
+  in
+  Array.iteri
+    (fun me node ->
+      Sim.set_handler sim me (fun ~src m -> Pbft_lite.handle node ~src m))
+    nodes;
+  nodes

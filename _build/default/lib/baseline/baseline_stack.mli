@@ -1,0 +1,10 @@
+(** Deployment glue for the PBFT-lite baseline (needs the simulator's
+    timers, which the randomized stack never uses). *)
+
+val deploy :
+  sim:Pbft_lite.msg Sim.t ->
+  f:int ->
+  ?timeout:float ->
+  deliver:(int -> string -> unit) ->
+  unit ->
+  Pbft_lite.t array

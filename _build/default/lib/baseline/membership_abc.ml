@@ -1,0 +1,303 @@
+(* A Rampart-style view-based group-communication baseline
+   ("Rampart-lite"): the second comparison row of the paper's Figure 1.
+
+   Rampart (Reiter, CACM 1996) implements atomic broadcast on top of a
+   dynamic group-membership protocol that removes apparently faulty
+   servers from the current view.  The paper's critique (Section 2.3):
+
+     "it easily falls prey to an attacker that is able to delay honest
+      servers just long enough until corrupted servers hold the majority
+      in the group" —
+
+   i.e. its *safety*, not only liveness, rests on the timeout-based
+   failure detector.  This module distills that architecture to the part
+   the critique is about:
+
+     - a view is a member set; the lowest member id is the sequencer;
+     - the sequencer assigns sequence numbers: ORDER(view, seq, payload);
+     - members ACK, and a payload is delivered once a majority of the
+       *current view* acknowledged it (Rampart's deliveries are driven by
+       agreement among the current members);
+     - a member that sees no progress while work is pending suspects the
+       members it has not heard from; a majority of suspicions among the
+       remaining members evicts the suspect, shrinking the view.
+
+   Under benign conditions this orders payloads cheaply and survives
+   real crashes.  Under the Section 2.2 delay adversary, honest members
+   get evicted one by one until a corrupted server dominates the ack
+   majority of the shrunken view; if it then becomes the sequencer it can
+   equivocate, and two honest members deliver different payloads for the
+   same sequence number — a safety violation, reproduced by experiment F2
+   and test_membership.ml.  This is precisely why the paper insists on a
+   static group (Section 2.3).
+
+   Simplifications: no signed view-change certificates, no state
+   transfer on view change (members keep their own delivered prefix), no
+   re-admission.  These only make the baseline *more* generous: even so,
+   safety falls to the scheduling adversary. *)
+
+type msg =
+  | Submit of string
+  | Order of int * int * string  (* view, seq, payload *)
+  | Ack of int * int * string  (* view, seq, digest *)
+  | Suspect of int * int  (* view, suspected member *)
+  | Heartbeat  (* the failure detector's sign of life *)
+
+type slot = {
+  mutable payload : string option;
+  mutable acks : Pset.t;
+  mutable delivered : bool;
+}
+
+type t = {
+  me : int;
+  n : int;
+  send : int -> msg -> unit;
+  broadcast : msg -> unit;
+  set_timer : delay:float -> (unit -> unit) -> unit;
+  deliver : string -> unit;
+  timeout : float;
+  mutable view : int;
+  mutable members : Pset.t;
+  mutable next_seq : int;  (* sequencer side *)
+  mutable next_exec : int;
+  slots : (int * int, slot) Hashtbl.t;  (* (view, seq) *)
+  mutable queue : string list;
+  delivered_digests : (string, unit) Hashtbl.t;
+  mutable delivered_log : string list;
+  mutable proposed : string list;  (* digests ordered in the current view *)
+  mutable suspicions : (int * int * int) list;  (* view, voter, suspect *)
+  mutable my_suspects : Pset.t;
+  mutable heard_from : Pset.t;  (* members heard from since the last timer *)
+  mutable timer_armed : bool;
+  mutable progress : int;
+}
+
+let create ~me ~n ~send ~broadcast ~set_timer ~deliver ?(timeout = 1000.0) ()
+    =
+  { me;
+    n;
+    send;
+    broadcast;
+    set_timer;
+    deliver;
+    timeout;
+    view = 0;
+    members = Pset.full n;
+    next_seq = 0;
+    next_exec = 0;
+    slots = Hashtbl.create 16;
+    queue = [];
+    delivered_digests = Hashtbl.create 16;
+    delivered_log = [];
+    proposed = [];
+    suspicions = [];
+    my_suspects = Pset.empty;
+    heard_from = Pset.empty;
+    timer_armed = false;
+    progress = 0 }
+
+let digest = Sha256.digest
+let sequencer t = match Pset.to_list t.members with [] -> -1 | m :: _ -> m
+let is_sequencer t = sequencer t = t.me
+let majority t = (Pset.card t.members / 2) + 1
+
+let members t = t.members
+let current_view t = t.view
+let delivered_log t = List.rev t.delivered_log
+let pending t = t.queue
+
+let slot_of t view seq =
+  match Hashtbl.find_opt t.slots (view, seq) with
+  | Some s -> s
+  | None ->
+    let s = { payload = None; acks = Pset.empty; delivered = false } in
+    Hashtbl.add t.slots (view, seq) s;
+    s
+
+(* ---------- ordering -------------------------------------------------- *)
+
+let rec propose_pending t =
+  (* Payloads stay queued until delivered (so progress timers keep
+     running); the sequencer just avoids double-ordering within a view. *)
+  if is_sequencer t then
+    List.iter
+      (fun payload ->
+        let d = digest payload in
+        if not (List.mem d t.proposed) then begin
+          t.proposed <- d :: t.proposed;
+          let seq = t.next_seq in
+          t.next_seq <- seq + 1;
+          t.broadcast (Order (t.view, seq, payload))
+        end)
+      t.queue
+
+and try_execute t =
+  let rec go () =
+    match Hashtbl.find_opt t.slots (t.view, t.next_exec) with
+    | Some slot
+      when slot.delivered = false
+           && slot.payload <> None
+           && Pset.card slot.acks >= majority t ->
+      slot.delivered <- true;
+      t.next_exec <- t.next_exec + 1;
+      t.progress <- t.progress + 1;
+      let payload = Option.get slot.payload in
+      let d = digest payload in
+      if not (Hashtbl.mem t.delivered_digests d) then begin
+        Hashtbl.replace t.delivered_digests d ();
+        t.delivered_log <- payload :: t.delivered_log;
+        t.queue <- List.filter (fun q -> digest q <> d) t.queue;
+        t.deliver payload
+      end;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+(* ---------- membership ------------------------------------------------ *)
+
+and suspicion_votes t suspect =
+  List.fold_left
+    (fun acc (v, voter, s) ->
+      if v = t.view && s = suspect && Pset.mem voter t.members then
+        Pset.add voter acc
+      else acc)
+    Pset.empty t.suspicions
+
+(* Eviction rule: a majority of the members *other than the suspect*
+   demand it. *)
+and try_evict t suspect =
+  if Pset.mem suspect t.members then begin
+    let electorate = Pset.remove suspect t.members in
+    let votes = Pset.inter (suspicion_votes t suspect) electorate in
+    if Pset.card votes >= (Pset.card electorate / 2) + 1 then begin
+      t.members <- Pset.remove suspect t.members;
+      t.view <- t.view + 1;
+      t.next_seq <- 0;
+      t.next_exec <- 0;
+      t.my_suspects <- Pset.empty;
+      t.proposed <- [];
+      t.progress <- t.progress + 1;
+      (* the (possibly new) sequencer re-proposes pending work *)
+      propose_pending t;
+      arm_timer t
+    end
+  end
+
+(* The failure-detector heart: every [timeout] the member broadcasts a
+   heartbeat and — only when work is pending and nothing moved — suspects
+   the members it has not heard from at all during the window. *)
+and arm_timer t =
+  if (not t.timer_armed) && Pset.mem t.me t.members then begin
+    t.timer_armed <- true;
+    let epoch = t.progress in
+    t.heard_from <- Pset.singleton t.me;
+    t.set_timer ~delay:t.timeout (fun () ->
+        t.timer_armed <- false;
+        if Pset.mem t.me t.members then begin
+          t.broadcast Heartbeat;
+          if t.queue <> [] && t.progress = epoch then begin
+            (* retransmit this view's undelivered orders first — a view
+               change may have raced past the original transmissions *)
+            if is_sequencer t then
+              Hashtbl.iter
+                (fun (v, seq) slot ->
+                  match slot.payload with
+                  | Some p when v = t.view && not slot.delivered ->
+                    t.broadcast (Order (v, seq, p))
+                  | Some _ | None -> ())
+                t.slots;
+            (* no progress: suspect every member we have not heard from *)
+            Pset.iter
+              (fun m ->
+                if
+                  (not (Pset.mem m t.heard_from))
+                  && not (Pset.mem m t.my_suspects)
+                then begin
+                  t.my_suspects <- Pset.add m t.my_suspects;
+                  t.broadcast (Suspect (t.view, m));
+                  t.suspicions <- (t.view, t.me, m) :: t.suspicions;
+                  try_evict t m
+                end)
+              t.members
+          end;
+          arm_timer t
+        end)
+  end
+
+(* ---------- API -------------------------------------------------------- *)
+
+let start t =
+  (* announce liveness before anyone's first suspicion window closes *)
+  t.broadcast Heartbeat;
+  arm_timer t
+
+let submit t payload =
+  let d = digest payload in
+  if
+    (not (Hashtbl.mem t.delivered_digests d))
+    && not (List.exists (fun q -> digest q = d) t.queue)
+  then begin
+    t.queue <- t.queue @ [ payload ];
+    t.broadcast (Submit payload);
+    propose_pending t;
+    arm_timer t
+  end
+
+let handle t ~src msg =
+  t.heard_from <- Pset.add src t.heard_from;
+  match msg with
+  | Submit payload ->
+    let d = digest payload in
+    if
+      (not (Hashtbl.mem t.delivered_digests d))
+      && not (List.exists (fun q -> digest q = d) t.queue)
+    then begin
+      t.queue <- t.queue @ [ payload ];
+      propose_pending t;
+      arm_timer t
+    end
+  | Order (view, seq, payload) ->
+    if view = t.view && src = sequencer t then begin
+      let slot = slot_of t view seq in
+      (match slot.payload with
+      | None ->
+        slot.payload <- Some payload;
+        t.broadcast (Ack (view, seq, digest payload))
+      | Some p when digest p = digest payload ->
+        (* retransmitted order: re-ack (earlier acks may have been lost
+           across a view change race) *)
+        t.broadcast (Ack (view, seq, digest payload))
+      | Some _ -> ());
+      try_execute t
+    end
+  | Ack (view, seq, d) ->
+    if view = t.view then begin
+      let slot = slot_of t view seq in
+      (match slot.payload with
+      | Some p when digest p <> d -> ()  (* mismatched ack ignored *)
+      | Some _ | None ->
+        slot.acks <- Pset.add src slot.acks;
+        try_execute t)
+    end
+  | Suspect (view, suspect) ->
+    if
+      view = t.view
+      && Pset.mem src t.members
+      && not
+           (List.exists
+              (fun (v, voter, s) -> v = view && voter = src && s = suspect)
+              t.suspicions)
+    then begin
+      t.suspicions <- (view, src, suspect) :: t.suspicions;
+      try_evict t suspect
+    end
+  | Heartbeat -> ()
+
+let msg_size = function
+  | Submit p -> 8 + String.length p
+  | Order (_, _, p) -> 16 + String.length p
+  | Ack _ -> 48
+  | Suspect _ -> 16
+  | Heartbeat -> 8

@@ -1,0 +1,42 @@
+(** Rampart-style view-based group communication ("Rampart-lite"): the
+    dynamic-membership comparison row of the paper's Figure 1.
+
+    A sequencer orders payloads within the current view; deliveries need
+    acknowledgements from a majority of the view; timeout-based
+    suspicions evict unresponsive members, shrinking the view.  Cheap and
+    crash-tolerant when timeouts are accurate — but the Section 2.2 delay
+    adversary can evict honest members until a corrupted server dominates
+    the shrunken view's majority and, as sequencer, equivocates: a
+    *safety* violation (experiment F2), which is the paper's argument for
+    static groups (Section 2.3). *)
+
+type msg =
+  | Submit of string
+  | Order of int * int * string  (** view, seq, payload *)
+  | Ack of int * int * string  (** view, seq, digest *)
+  | Suspect of int * int  (** view, suspected member *)
+  | Heartbeat
+
+type t
+
+val create :
+  me:int ->
+  n:int ->
+  send:(int -> msg -> unit) ->
+  broadcast:(msg -> unit) ->
+  set_timer:(delay:float -> (unit -> unit) -> unit) ->
+  deliver:(string -> unit) ->
+  ?timeout:float ->
+  unit ->
+  t
+
+val start : t -> unit
+(** Arm the failure-detector heartbeat (call once after deployment). *)
+
+val submit : t -> string -> unit
+val handle : t -> src:int -> msg -> unit
+val members : t -> Pset.t
+val current_view : t -> int
+val delivered_log : t -> string list
+val pending : t -> string list
+val msg_size : msg -> int

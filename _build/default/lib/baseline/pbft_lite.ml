@@ -1,0 +1,313 @@
+(* A CL99-style deterministic leader-based replication protocol
+   ("PBFT-lite"): the comparison baseline of the paper's Figure 1.
+
+   Castro-Liskov-style three-phase commit per sequence number:
+
+     PRE-PREPARE(v, s, m)   from the leader of view v,
+     PREPARE(v, s, d)       from everyone, quorum 2t+1,
+     COMMIT(v, s, d)        from everyone, quorum 2t+1, then deliver;
+
+   with a timeout-driven view change: a replica that has a pending
+   request but sees no progress for [timeout] units of virtual time
+   broadcasts VIEW-CHANGE(v+1) carrying its prepared entries; 2t+1 such
+   messages install the view, whose leader re-proposes prepared entries
+   first (safety across views) and then fresh requests.
+
+   The paper's point, which experiment O1 reproduces: this protocol is
+   very fast when the network is friendly — and it *keeps safety* under
+   any schedule — but a malicious scheduler that merely delays whoever
+   is currently leader keeps it changing views forever, while the
+   randomized atomic broadcast keeps delivering.  Heuristic timeouts are
+   exactly the assumption an Internet adversary gets to attack
+   (Section 2.2).
+
+   Simplifications vs. full PBFT (documented, irrelevant to the claims
+   measured): point-to-point channels are authenticated by the network
+   (MACs in CL99), checkpointing/garbage collection is omitted, and the
+   new leader re-proposes the maximal prepared entry per sequence number
+   without the full new-view proof. *)
+
+type prepared_entry = { pe_view : int; pe_seq : int; pe_payload : string }
+
+type msg =
+  | Request of string
+  | Pre_prepare of int * int * string  (* view, seq, payload *)
+  | Prepare of int * int * string  (* view, seq, digest *)
+  | Commit of int * int * string
+  | View_change of int * prepared_entry list
+
+type slot = {
+  mutable payload : string option;  (* from PRE-PREPARE *)
+  mutable prepares : Pset.t;
+  mutable commits : Pset.t;
+  mutable prepared : bool;
+  mutable committed : bool;
+}
+
+type t = {
+  me : int;
+  n : int;
+  f : int;  (* tolerated faults; quorum = 2f+1 *)
+  send : int -> msg -> unit;
+  broadcast : msg -> unit;
+  set_timer : delay:float -> (unit -> unit) -> unit;
+  deliver : string -> unit;
+  timeout : float;
+  mutable view : int;
+  mutable next_seq : int;  (* leader: next sequence number to assign *)
+  mutable next_exec : int;  (* next sequence number to deliver *)
+  slots : (int * int, slot) Hashtbl.t;  (* (view, seq) *)
+  mutable queue : string list;  (* pending client payloads *)
+  delivered : (string, unit) Hashtbl.t;
+  mutable delivered_log : string list;
+  mutable view_changes : (int * int * prepared_entry list) list;
+      (* (new view, sender, prepared) *)
+  mutable timer_armed : bool;
+  mutable progress_epoch : int;  (* bumped on every delivery/view change *)
+}
+
+let create ~me ~n ~f ~send ~broadcast ~set_timer ~deliver
+    ?(timeout = 2000.0) () =
+  { me;
+    n;
+    f;
+    send;
+    broadcast;
+    set_timer;
+    deliver;
+    timeout;
+    view = 0;
+    next_seq = 0;
+    next_exec = 0;
+    slots = Hashtbl.create 16;
+    queue = [];
+    delivered = Hashtbl.create 16;
+    delivered_log = [];
+    view_changes = [];
+    timer_armed = false;
+    progress_epoch = 0 }
+
+let leader_of t view = view mod t.n
+let is_leader t = leader_of t t.view = t.me
+let quorum t = (2 * t.f) + 1
+let digest = Sha256.digest
+
+let slot_of t view seq =
+  match Hashtbl.find_opt t.slots (view, seq) with
+  | Some s -> s
+  | None ->
+    let s =
+      { payload = None;
+        prepares = Pset.empty;
+        commits = Pset.empty;
+        prepared = false;
+        committed = false }
+    in
+    Hashtbl.add t.slots (view, seq) s;
+    s
+
+(* ---------- view change timer --------------------------------------- *)
+
+let rec arm_timer t =
+  if (not t.timer_armed) && t.queue <> [] then begin
+    t.timer_armed <- true;
+    let epoch = t.progress_epoch in
+    t.set_timer ~delay:t.timeout (fun () ->
+        t.timer_armed <- false;
+        if t.queue <> [] then begin
+          if t.progress_epoch = epoch then start_view_change t (t.view + 1);
+          (* keep the timer running while work is pending, as PBFT does *)
+          arm_timer t
+        end)
+  end
+
+and prepared_entries t =
+  Hashtbl.fold
+    (fun (v, s) slot acc ->
+      match slot.payload with
+      | Some p when slot.prepared && not slot.committed ->
+        { pe_view = v; pe_seq = s; pe_payload = p } :: acc
+      | Some _ | None -> acc)
+    t.slots []
+
+and start_view_change t new_view =
+  if new_view > t.view then begin
+    t.broadcast (View_change (new_view, prepared_entries t))
+  end
+
+(* ---------- leader -------------------------------------------------- *)
+
+and propose_pending t =
+  if is_leader t then begin
+    let rec go () =
+      match t.queue with
+      | [] -> ()
+      | payload :: rest ->
+        t.queue <- rest;
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        t.broadcast (Pre_prepare (t.view, seq, payload));
+        go ()
+    in
+    go ()
+  end
+
+(* ---------- execution ----------------------------------------------- *)
+
+and try_execute t =
+  (* Deliver committed slots of the current view in sequence order;
+     committed slots of older views were re-proposed on view change. *)
+  let rec go () =
+    match Hashtbl.find_opt t.slots (t.view, t.next_exec) with
+    | Some slot when slot.committed ->
+      (match slot.payload with
+      | Some payload ->
+        t.next_exec <- t.next_exec + 1;
+        t.progress_epoch <- t.progress_epoch + 1;
+        let d = digest payload in
+        if not (Hashtbl.mem t.delivered d) then begin
+          Hashtbl.replace t.delivered d ();
+          t.delivered_log <- payload :: t.delivered_log;
+          t.queue <- List.filter (fun q -> digest q <> d) t.queue;
+          t.deliver payload
+        end;
+        go ()
+      | None -> ())
+    | Some _ | None -> ()
+  in
+  go ()
+
+(* ---------- API ------------------------------------------------------ *)
+
+let submit t payload =
+  let d = digest payload in
+  if
+    (not (Hashtbl.mem t.delivered d))
+    && not (List.exists (fun q -> digest q = d) t.queue)
+  then begin
+    t.queue <- t.queue @ [ payload ];
+    (* Relay to every replica (as PBFT clients do), so that all of them
+       arm their view-change timers for this request. *)
+    t.broadcast (Request payload);
+    propose_pending t;
+    arm_timer t
+  end
+
+let handle t ~src msg =
+  match msg with
+  | Request payload ->
+    ignore src;
+    let d = digest payload in
+    if
+      (not (Hashtbl.mem t.delivered d))
+      && not (List.exists (fun q -> digest q = d) t.queue)
+    then begin
+      t.queue <- t.queue @ [ payload ];
+      propose_pending t;
+      arm_timer t
+    end
+  | Pre_prepare (v, seq, payload) ->
+    if v = t.view && src = leader_of t v then begin
+      let slot = slot_of t v seq in
+      if slot.payload = None then begin
+        slot.payload <- Some payload;
+        t.broadcast (Prepare (v, seq, digest payload))
+      end
+    end
+  | Prepare (v, seq, d) ->
+    if v = t.view then begin
+      let slot = slot_of t v seq in
+      (match slot.payload with
+      | Some p when digest p <> d -> ()
+      | Some _ | None ->
+        if not (Pset.mem src slot.prepares) then begin
+          slot.prepares <- Pset.add src slot.prepares;
+          if
+            (not slot.prepared)
+            && slot.payload <> None
+            && Pset.card slot.prepares >= quorum t
+          then begin
+            slot.prepared <- true;
+            t.broadcast (Commit (v, seq, d))
+          end
+        end)
+    end
+  | Commit (v, seq, _d) ->
+    if v = t.view then begin
+      let slot = slot_of t v seq in
+      if not (Pset.mem src slot.commits) then begin
+        slot.commits <- Pset.add src slot.commits;
+        if
+          (not slot.committed)
+          && slot.prepared
+          && Pset.card slot.commits >= quorum t
+        then begin
+          slot.committed <- true;
+          try_execute t
+        end
+      end
+    end
+  | View_change (new_view, prepared) ->
+    if new_view > t.view then begin
+      if
+        not
+          (List.exists
+             (fun (v, s, _) -> v = new_view && s = src)
+             t.view_changes)
+      then begin
+        t.view_changes <- (new_view, src, prepared) :: t.view_changes;
+        let voters =
+          List.fold_left
+            (fun acc (v, s, _) -> if v = new_view then Pset.add s acc else acc)
+            Pset.empty t.view_changes
+        in
+        (* Join the view change once an honest party must be behind it. *)
+        if Pset.card voters >= t.f + 1 then start_view_change t new_view;
+        if Pset.card voters >= quorum t then begin
+          (* Install the new view. *)
+          t.view <- new_view;
+          t.progress_epoch <- t.progress_epoch + 1;
+          t.next_exec <- 0;
+          t.next_seq <- 0;
+          if is_leader t then begin
+            (* Re-propose surviving prepared entries, newest view wins
+               per sequence number, then fresh requests. *)
+            let entries =
+              List.concat_map
+                (fun (v, _, es) -> if v = new_view then es else [])
+                t.view_changes
+              @ prepared_entries t
+            in
+            let best = Hashtbl.create 8 in
+            List.iter
+              (fun e ->
+                match Hashtbl.find_opt best e.pe_seq with
+                | Some e' when e'.pe_view >= e.pe_view -> ()
+                | Some _ | None -> Hashtbl.replace best e.pe_seq e)
+              entries;
+            let payloads =
+              Hashtbl.fold (fun _ e acc -> e.pe_payload :: acc) best []
+              |> List.filter (fun p -> not (Hashtbl.mem t.delivered (digest p)))
+            in
+            List.iter
+              (fun p ->
+                if not (List.exists (fun q -> digest q = digest p) t.queue)
+                then t.queue <- t.queue @ [ p ])
+              payloads;
+            propose_pending t
+          end;
+          arm_timer t
+        end
+      end
+    end
+
+let delivered_log t = List.rev t.delivered_log
+let current_view t = t.view
+let pending t = t.queue
+
+let msg_size = function
+  | Request p -> 8 + String.length p
+  | Pre_prepare (_, _, p) -> 16 + String.length p
+  | Prepare _ | Commit _ -> 48
+  | View_change (_, es) ->
+    16 + List.fold_left (fun acc e -> acc + 16 + String.length e.pe_payload) 0 es

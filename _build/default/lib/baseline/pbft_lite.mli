@@ -1,0 +1,43 @@
+(** CL99-style deterministic leader-based replication ("PBFT-lite"): the
+    comparison baseline of the paper's Figure 1.
+
+    Three-phase commit (pre-prepare / prepare / commit, quorum 2f+1) with
+    timeout-driven view changes.  Fast and cheap when the network is
+    friendly, safe under every schedule — but a scheduler that delays
+    whoever is currently leader longer than the timeout keeps it rotating
+    views forever (experiments F1/O1), which is the paper's argument for
+    randomized agreement.  Simplifications vs. full PBFT (checkpoints,
+    full new-view proofs, per-message MACs) are documented in the
+    implementation and do not affect the measured claims. *)
+
+type prepared_entry = { pe_view : int; pe_seq : int; pe_payload : string }
+
+type msg =
+  | Request of string
+  | Pre_prepare of int * int * string  (** view, seq, payload *)
+  | Prepare of int * int * string  (** view, seq, digest *)
+  | Commit of int * int * string
+  | View_change of int * prepared_entry list
+
+type t
+
+val create :
+  me:int ->
+  n:int ->
+  f:int ->
+  send:(int -> msg -> unit) ->
+  broadcast:(msg -> unit) ->
+  set_timer:(delay:float -> (unit -> unit) -> unit) ->
+  deliver:(string -> unit) ->
+  ?timeout:float ->
+  unit ->
+  t
+
+val submit : t -> string -> unit
+(** Client entry point: relay to all replicas and start ordering. *)
+
+val handle : t -> src:int -> msg -> unit
+val delivered_log : t -> string list
+val current_view : t -> int
+val pending : t -> string list
+val msg_size : msg -> int

@@ -1,0 +1,1 @@
+lib/core/abba.ml: Adversary_structure Coin Hashtbl Keyring List Printf Proto_io Pset Ro

@@ -1,0 +1,1 @@
+lib/core/abba.mli: Coin Keyring Proto_io

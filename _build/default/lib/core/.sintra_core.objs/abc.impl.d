@@ -1,0 +1,1 @@
+lib/core/abc.ml: Codec Hashtbl Keyring List Printf Proto_io Pset Ro Schnorr_sig Sha256 String Vba

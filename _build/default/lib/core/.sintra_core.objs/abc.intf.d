@@ -1,0 +1,1 @@
+lib/core/abc.mli: Keyring Proto_io Vba

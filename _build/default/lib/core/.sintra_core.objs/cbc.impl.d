@@ -1,0 +1,1 @@
+lib/core/cbc.ml: Keyring List Printf Proto_io Ro Sha256 String

@@ -1,0 +1,1 @@
+lib/core/cbc.mli: Keyring Proto_io

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Char List Ro String

@@ -1,0 +1,1 @@
+lib/core/optimistic_abc.ml: Abc Adversary_structure Cbc Codec Hashtbl Keyring List Proto_io Pset Ro Schnorr_sig Sha256 String Vba

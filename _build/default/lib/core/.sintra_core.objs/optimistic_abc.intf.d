@@ -1,0 +1,1 @@
+lib/core/optimistic_abc.mli: Abc Cbc Keyring Proto_io Schnorr_sig Vba

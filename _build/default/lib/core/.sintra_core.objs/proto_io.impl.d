@@ -1,0 +1,1 @@
+lib/core/proto_io.ml: Adversary_structure Keyring

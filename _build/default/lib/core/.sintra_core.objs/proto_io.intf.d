@@ -1,0 +1,1 @@
+lib/core/proto_io.mli: Adversary_structure Keyring Pset

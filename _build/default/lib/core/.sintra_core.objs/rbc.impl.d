@@ -1,0 +1,1 @@
+lib/core/rbc.ml: Hashtbl Printf Proto_io Pset String

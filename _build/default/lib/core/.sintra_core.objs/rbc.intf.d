@@ -1,0 +1,1 @@
+lib/core/rbc.mli: Proto_io

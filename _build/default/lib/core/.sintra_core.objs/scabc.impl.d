@@ -1,0 +1,1 @@
+lib/core/scabc.ml: Abc Hashtbl Keyring List Prng Proto_io Pset Sha256 Tdh2

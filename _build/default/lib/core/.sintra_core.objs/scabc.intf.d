@@ -1,0 +1,1 @@
+lib/core/scabc.mli: Abc Keyring Prng Proto_io Tdh2

@@ -1,0 +1,1 @@
+lib/core/stack.ml: Abba Abc Array Cbc Keyring Proto_io Rbc Scabc Sim Vba

@@ -1,0 +1,1 @@
+lib/core/stack.mli: Abba Abc Cbc Keyring Proto_io Rbc Scabc Sim Vba

@@ -1,0 +1,1 @@
+lib/core/vba.ml: Abba Array Cbc Coin Fun Hashtbl Keyring List Printf Prng Proto_io Pset Ro String

@@ -1,0 +1,1 @@
+lib/core/vba.mli: Abba Cbc Coin Keyring Proto_io

@@ -1,0 +1,286 @@
+(* Atomic broadcast: total ordering of payloads via one multi-valued
+   validated agreement per global round, following the round structure of
+   Chandra-Toueg adapted to the Byzantine model (paper, Section 3).
+
+   Round r at every party:
+   1. sign the oldest not-yet-delivered payload you know (or an empty
+      placeholder) under a statement binding the instance, the round and
+      the payload, and send it to everyone;
+   2. collect a big-quorum of validly signed round-r proposals and
+      propose the encoded list to VBA_r, whose external-validity
+      predicate re-checks exactly that: a list of properly signed
+      round-r proposals from a big-quorum of distinct senders (so the
+      agreement can only land on lists acceptable to honest parties, and
+      at least a structurally honest portion of each decided list comes
+      from honest senders);
+   3. deliver the payloads of the decided list in a deterministic order,
+      skipping placeholders and duplicates; then enter round r+1.
+
+   Fairness: payloads are relayed to all servers on submission, and every
+   honest party proposes the *globally smallest* (by digest) undelivered
+   payload it knows.  Once a payload is known to the honest parties, it
+   appears in every honest proposal, hence in at least one member of any
+   valid decided list, and is delivered within the next round. *)
+
+type msg =
+  | Request of string  (* payload relay ("send to all servers") *)
+  | Proposal of int * string * string  (* round, payload, signature bytes *)
+  | Vba_msg of int * Vba.msg
+
+type t = {
+  io : msg Proto_io.t;
+  tag : string;
+  deliver : string -> unit;  (* called in the agreed total order *)
+  mutable queue : string list;  (* undelivered known payloads, digest-sorted *)
+  delivered : (string, unit) Hashtbl.t;  (* digests of delivered payloads *)
+  mutable delivered_log : string list;  (* newest first, for inspection *)
+  mutable round : int;
+  mutable participated : int list;  (* rounds where our proposal is out *)
+  proposals : (int, (int * string) list ref) Hashtbl.t;
+      (* round -> (sender, payload); only validly signed entries *)
+  raw_sigs : (int, (int * string) list ref) Hashtbl.t;
+      (* round -> (sender, signature bytes), aligned with [proposals] *)
+  vbas : (int, Vba.t) Hashtbl.t;
+  mutable vba_proposed : int list;
+  decisions : (int, string) Hashtbl.t;  (* round -> decided list, encoded *)
+}
+
+let placeholder = ""
+
+let prop_stmt t r payload =
+  Ro.encode [ "abc-prop"; t.tag; string_of_int r; payload ]
+
+let digest p = Sha256.digest p
+
+(* ---------- proposal-list encoding --------------------------------- *)
+
+(* A proposal list is the VBA value: flattened triples
+   (sender, payload, signature). *)
+let encode_list (entries : (int * string * string) list) : string =
+  Codec.encode
+    (List.concat_map
+       (fun (sender, payload, sg) -> [ string_of_int sender; payload; sg ])
+       entries)
+
+let decode_list (s : string) : (int * string * string) list option =
+  match Codec.decode s with
+  | None -> None
+  | Some parts ->
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | sender :: payload :: sg :: rest ->
+        (match int_of_string_opt sender with
+        | Some sender -> go ((sender, payload, sg) :: acc) rest
+        | None -> None)
+      | _ :: _ -> None
+    in
+    go [] parts
+
+(* External validity for round r: a big-quorum of distinct senders, each
+   with a valid signature on its own (round-bound) payload. *)
+let valid_list t r (value : string) : bool =
+  match decode_list value with
+  | None -> false
+  | Some entries ->
+    List.for_all
+      (fun (sender, _, _) -> sender >= 0 && sender < Proto_io.n t.io)
+      entries
+    &&
+    let senders =
+      List.fold_left (fun acc (s, _, _) -> Pset.add s acc) Pset.empty entries
+    in
+    List.length entries = Pset.card senders  (* distinct senders *)
+    && Proto_io.big_quorum t.io senders
+    && List.for_all
+         (fun (sender, payload, sg) ->
+           match Schnorr_sig.of_bytes t.io.Proto_io.keyring.Keyring.group sg with
+           | None -> false
+           | Some sg ->
+             Keyring.verify_party_signature t.io.Proto_io.keyring ~party:sender
+               (prop_stmt t r payload) sg)
+         entries
+
+(* ---------- construction ------------------------------------------- *)
+
+let rec create ~(io : msg Proto_io.t) ~tag ~deliver () : t =
+  let t =
+    { io;
+      tag;
+      deliver;
+      queue = [];
+      delivered = Hashtbl.create 32;
+      delivered_log = [];
+      round = 0;
+      participated = [];
+      proposals = Hashtbl.create 8;
+      raw_sigs = Hashtbl.create 8;
+      vbas = Hashtbl.create 8;
+      vba_proposed = [];
+      decisions = Hashtbl.create 8 }
+  in
+  t
+
+and proposals_of t r =
+  match Hashtbl.find_opt t.proposals r with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add t.proposals r l;
+    l
+
+and sigs_of t r =
+  match Hashtbl.find_opt t.raw_sigs r with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add t.raw_sigs r l;
+    l
+
+and vba_of t r : Vba.t =
+  match Hashtbl.find_opt t.vbas r with
+  | Some v -> v
+  | None ->
+    let v =
+      Vba.create
+        ~io:(Proto_io.embed t.io ~wrap:(fun m -> Vba_msg (r, m)))
+        ~tag:(t.tag ^ "/r" ^ string_of_int r)
+        ~validate:(fun value -> valid_list t r value)
+        ~on_decide:(fun ~winner:_ value -> on_decision t r value)
+        ()
+    in
+    Hashtbl.add t.vbas r v;
+    v
+
+and on_decision t r value =
+  if not (Hashtbl.mem t.decisions r) then begin
+    Hashtbl.replace t.decisions r value;
+    step t
+  end
+
+(* ---------- round progression -------------------------------------- *)
+
+and participate t r =
+  if not (List.mem r t.participated) then begin
+    t.participated <- r :: t.participated;
+    let payload = match t.queue with [] -> placeholder | p :: _ -> p in
+    let sg =
+      Schnorr_sig.to_bytes t.io.Proto_io.keyring.Keyring.group
+        (Keyring.sign t.io.Proto_io.keyring ~party:t.io.Proto_io.me
+           (prop_stmt t r payload))
+    in
+    t.io.Proto_io.broadcast (Proposal (r, payload, sg))
+  end
+
+and step t =
+  let r = t.round in
+  (* Join the current round as soon as we have something to order or
+     somebody else demonstrably started it. *)
+  let others_active =
+    match Hashtbl.find_opt t.proposals r with
+    | Some l -> !l <> []
+    | None -> false
+  in
+  if t.queue <> [] || others_active then participate t r;
+  (* Feed VBA once a big-quorum of signed proposals is collected. *)
+  if List.mem r t.participated && not (List.mem r t.vba_proposed) then begin
+    let props = !(proposals_of t r) in
+    let senders =
+      List.fold_left (fun acc (s, _) -> Pset.add s acc) Pset.empty props
+    in
+    if Proto_io.big_quorum t.io senders then begin
+      t.vba_proposed <- r :: t.vba_proposed;
+      let sigs = !(sigs_of t r) in
+      let entries =
+        List.map (fun (s, p) -> (s, p, List.assoc s sigs)) props
+      in
+      Vba.propose (vba_of t r) (encode_list entries)
+    end
+  end;
+  (* Consume the decision of the current round, in order. *)
+  match Hashtbl.find_opt t.decisions r with
+  | None -> ()
+  | Some value ->
+    (match decode_list value with
+    | None -> assert false  (* external validity guarantees decodability *)
+    | Some entries ->
+      let payloads =
+        List.filter_map
+          (fun (_, p, _) -> if p = placeholder then None else Some p)
+          entries
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun p ->
+          let d = digest p in
+          if not (Hashtbl.mem t.delivered d) then begin
+            Hashtbl.replace t.delivered d ();
+            t.delivered_log <- p :: t.delivered_log;
+            t.queue <- List.filter (fun q -> digest q <> d) t.queue;
+            t.deliver p
+          end)
+        payloads;
+      t.round <- r + 1;
+      step t)
+
+(* ---------- API ----------------------------------------------------- *)
+
+let enqueue t payload =
+  let d = digest payload in
+  if
+    (not (Hashtbl.mem t.delivered d))
+    && not (List.exists (fun q -> digest q = d) t.queue)
+  then begin
+    (* Digest order makes "oldest undelivered" a global notion, which is
+       what the fairness argument needs. *)
+    t.queue <- List.sort (fun a b -> compare (digest a) (digest b)) (payload :: t.queue);
+    step t
+  end
+
+(* Atomic broadcast entry point: relay to every server, then enqueue. *)
+let broadcast t payload =
+  t.io.Proto_io.broadcast (Request payload);
+  enqueue t payload
+
+let handle t ~src msg =
+  match msg with
+  | Request payload -> enqueue t payload
+  | Proposal (r, payload, sg) ->
+    if r >= t.round && r < t.round + 64 then begin
+      let props = proposals_of t r in
+      if not (List.mem_assoc src !props) then begin
+        match Schnorr_sig.of_bytes t.io.Proto_io.keyring.Keyring.group sg with
+        | None -> ()
+        | Some parsed ->
+          if
+            Keyring.verify_party_signature t.io.Proto_io.keyring ~party:src
+              (prop_stmt t r payload) parsed
+          then begin
+            props := (src, payload) :: !props;
+            let sigs = sigs_of t r in
+            sigs := (src, sg) :: !sigs;
+            (* A payload proposed by someone else is also worth ordering. *)
+            if payload <> placeholder then enqueue t payload;
+            step t
+          end
+      end
+    end
+  | Vba_msg (r, m) ->
+    if r >= t.round && r < t.round + 64 then begin
+      Vba.handle (vba_of t r) ~src m;
+      step t
+    end
+    else if Hashtbl.mem t.vbas r then Vba.handle (vba_of t r) ~src m
+
+let delivered_log t = List.rev t.delivered_log
+let current_round t = t.round
+let pending t = t.queue
+
+let msg_size kr = function
+  | Request p -> 8 + String.length p
+  | Proposal (_, p, sg) -> 16 + String.length p + String.length sg
+  | Vba_msg (_, m) -> 8 + Vba.msg_size kr m
+
+let msg_summary = function
+  | Request p -> Printf.sprintf "abc.REQUEST(%d B)" (String.length p)
+  | Proposal (r, p, _) -> Printf.sprintf "abc.PROPOSAL(r%d,%d B)" r (String.length p)
+  | Vba_msg (r, m) -> Printf.sprintf "abc.r%d/%s" r (Vba.msg_summary m)

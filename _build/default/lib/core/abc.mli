@@ -1,0 +1,36 @@
+(** Atomic broadcast: total ordering of payloads via one validated
+    multi-valued agreement per global round (Chandra–Toueg round
+    structure in the Byzantine model; paper, Section 3).
+
+    Per round every party signs and disseminates the oldest undelivered
+    payload it knows, collects a big-quorum of validly signed proposals,
+    and agrees (VBA with the signature check as external validity) on one
+    such list, delivered in deterministic order.  Liveness and fairness:
+    a payload known to the honest parties appears in every honest
+    proposal and is delivered within a round. *)
+
+type msg =
+  | Request of string  (** payload relay ("send to all servers") *)
+  | Proposal of int * string * string  (** round, payload, signature *)
+  | Vba_msg of int * Vba.msg
+
+type t
+
+val create :
+  io:msg Proto_io.t -> tag:string -> deliver:(string -> unit) -> unit -> t
+(** [deliver] is invoked in the agreed total order (identical at every
+    honest party); duplicates are suppressed. *)
+
+val broadcast : t -> string -> unit
+(** Atomically broadcast a payload (relay to all, then order). *)
+
+val enqueue : t -> string -> unit
+(** Order a payload without relaying (it is already known here). *)
+
+val handle : t -> src:int -> msg -> unit
+val delivered_log : t -> string list
+val current_round : t -> int
+val pending : t -> string list
+val msg_size : Keyring.t -> msg -> int
+
+val msg_summary : msg -> string

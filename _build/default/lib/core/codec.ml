@@ -1,0 +1,30 @@
+(* Minimal canonical wire codec: a length-prefixed string list, the
+   inverse of {!Ro.encode}.  Used wherever structured protocol data must
+   be carried inside a broadcast payload (e.g. the signed proposal lists
+   of the atomic broadcast rounds). *)
+
+let encode (parts : string list) : string = Ro.encode parts
+
+let decode (s : string) : string list option =
+  let len = String.length s in
+  let read_u64 off =
+    let v = ref 0 in
+    for i = 0 to 7 do
+      v := (!v lsl 8) lor Char.code s.[off + i]
+    done;
+    !v
+  in
+  let rec go off acc =
+    if off = len then Some (List.rev acc)
+    else if off + 8 > len then None
+    else begin
+      let l = read_u64 off in
+      if l < 0 || off + 8 + l > len then None
+      else go (off + 8 + l) (String.sub s (off + 8) l :: acc)
+    end
+  in
+  go 0 []
+
+let encode_int (i : int) : string = string_of_int i
+
+let decode_int (s : string) : int option = int_of_string_opt s

@@ -1,0 +1,11 @@
+(** Canonical wire codec: length-prefixed string lists (the inverse of
+    {!Ro.encode}), used wherever structured protocol data rides inside a
+    broadcast payload. *)
+
+val encode : string list -> string
+
+val decode : string -> string list option
+(** Total inverse of {!encode}; [None] on malformed input. *)
+
+val encode_int : int -> string
+val decode_int : string -> int option

@@ -1,0 +1,32 @@
+(* Environment handed to every protocol instance: identity, keys, and
+   typed message transport.
+
+   A parent protocol embeds a child by wrapping the child's message type
+   into its own with {!embed}; the whole stack therefore has a single
+   top-level wire type per deployment and runs unchanged under the
+   network simulator or any other transport. *)
+
+module AS = Adversary_structure
+
+type 'm t = {
+  me : int;
+  keyring : Keyring.t;
+  send : int -> 'm -> unit;
+  broadcast : 'm -> unit;  (* to all servers, including self *)
+}
+
+let make ~me ~keyring ~send ~broadcast = { me; keyring; send; broadcast }
+
+let structure io = io.keyring.Keyring.structure
+let n io = AS.n (structure io)
+
+let embed (io : 'p t) ~(wrap : 'c -> 'p) : 'c t =
+  { me = io.me;
+    keyring = io.keyring;
+    send = (fun dst m -> io.send dst (wrap m));
+    broadcast = (fun m -> io.broadcast (wrap m)) }
+
+(* Predicate shorthands on the deployment's adversary structure. *)
+let big_quorum io s = AS.big_quorum (structure io) s
+let two_cover io s = AS.two_cover (structure io) s
+let contains_honest io s = AS.contains_honest (structure io) s

@@ -1,0 +1,33 @@
+(** Environment handed to every protocol instance: identity, keyring and
+    typed message transport.
+
+    A parent protocol embeds a child with {!embed} by wrapping the
+    child's messages into its own message type, so a whole deployment
+    has a single top-level wire type and runs unchanged under the
+    network simulator or any other transport. *)
+
+type 'm t = {
+  me : int;
+  keyring : Keyring.t;
+  send : int -> 'm -> unit;
+  broadcast : 'm -> unit;  (** to all servers, including self *)
+}
+
+val make :
+  me:int ->
+  keyring:Keyring.t ->
+  send:(int -> 'm -> unit) ->
+  broadcast:('m -> unit) ->
+  'm t
+
+val structure : 'm t -> Adversary_structure.t
+val n : 'm t -> int
+
+val embed : 'p t -> wrap:('c -> 'p) -> 'c t
+(** Child environment whose sends wrap into the parent's message type. *)
+
+(** Quorum-predicate shorthands on the deployment's structure. *)
+
+val big_quorum : 'm t -> Pset.t -> bool
+val two_cover : 'm t -> Pset.t -> bool
+val contains_honest : 'm t -> Pset.t -> bool

@@ -1,0 +1,32 @@
+(** Secure causal atomic broadcast (paper, Sections 3 and 5.2): atomic
+    broadcast composed with the TDH2 threshold cryptosystem.
+
+    Requests are ordered as ciphertexts and decrypted only after their
+    position is fixed, so contents stay secret until scheduled; CCA
+    security prevents a corrupted server from submitting a related
+    request (front-running protection for notary-style services). *)
+
+type msg =
+  | Abc_msg of Abc.msg
+  | Dec_share of string * Tdh2.dec_share list
+
+type t
+
+val create :
+  io:msg Proto_io.t ->
+  tag:string ->
+  deliver:(label:string -> string -> unit) ->
+  unit ->
+  t
+(** [deliver] receives decrypted requests strictly in the agreed order,
+    with the authenticated TDH2 label. *)
+
+val encrypt_request : Keyring.t -> Prng.t -> label:string -> string -> string
+(** Client-side: encrypt a request under the service's public key. *)
+
+val broadcast : t -> string -> unit
+(** Order an encrypted request (ciphertext bytes). *)
+
+val handle : t -> src:int -> msg -> unit
+val delivered_count : t -> int
+val msg_size : Keyring.t -> msg -> int

@@ -1,0 +1,58 @@
+(* Deployment glue: instantiate one protocol node per server on top of
+   the network simulator.
+
+   The returned array holds every party's instance; tests and
+   experiments corrupt a party by crashing it in the simulator or by
+   replacing its handler with a malicious one ([Sim.set_handler]), which
+   models full Byzantine corruption — the adversary even gets the
+   party's keyring secrets, since the keyring record is shared. *)
+
+let deploy (type node) ~(sim : 'msg Sim.t) ~(keyring : Keyring.t)
+    ~(make : int -> 'msg Proto_io.t -> node)
+    ~(handle : node -> src:int -> 'msg -> unit) : node array =
+  let n = Sim.n sim in
+  let nodes =
+    Array.init n (fun me ->
+        let io =
+          Proto_io.make ~me ~keyring
+            ~send:(fun dst m -> Sim.send sim ~src:me ~dst m)
+            ~broadcast:(fun m -> Sim.broadcast sim ~src:me m)
+        in
+        make me io)
+  in
+  Array.iteri
+    (fun me node -> Sim.set_handler sim me (fun ~src m -> handle node ~src m))
+    nodes;
+  nodes
+
+(* Convenience deployments for each layer of the stack. *)
+
+let deploy_rbc ~sim ~keyring ~sender ~deliver =
+  deploy ~sim ~keyring
+    ~make:(fun me io -> Rbc.create ~io ~sender ~deliver:(deliver me))
+    ~handle:Rbc.handle
+
+let deploy_cbc ~sim ~keyring ~tag ~sender ?validate ~deliver () =
+  deploy ~sim ~keyring
+    ~make:(fun me io -> Cbc.create ~io ~tag ~sender ?validate ~deliver:(deliver me) ())
+    ~handle:Cbc.handle
+
+let deploy_abba ~sim ~keyring ~tag ~on_decide =
+  deploy ~sim ~keyring
+    ~make:(fun me io -> Abba.create ~io ~tag ~on_decide:(on_decide me))
+    ~handle:Abba.handle
+
+let deploy_vba ~sim ~keyring ~tag ?validate ~on_decide () =
+  deploy ~sim ~keyring
+    ~make:(fun me io -> Vba.create ~io ~tag ?validate ~on_decide:(on_decide me) ())
+    ~handle:Vba.handle
+
+let deploy_abc ~sim ~keyring ~tag ~deliver =
+  deploy ~sim ~keyring
+    ~make:(fun me io -> Abc.create ~io ~tag ~deliver:(deliver me) ())
+    ~handle:Abc.handle
+
+let deploy_scabc ~sim ~keyring ~tag ~deliver =
+  deploy ~sim ~keyring
+    ~make:(fun me io -> Scabc.create ~io ~tag ~deliver:(deliver me) ())
+    ~handle:Scabc.handle

@@ -1,0 +1,60 @@
+(** Deployment glue: one protocol node per server on the simulator.
+
+    Corrupt a party by crashing it ([Sim.crash]) or replacing its handler
+    with a malicious one ([Sim.set_handler]) — the keyring record is
+    shared, so a replaced handler models full corruption including key
+    exposure. *)
+
+val deploy :
+  sim:'msg Sim.t ->
+  keyring:Keyring.t ->
+  make:(int -> 'msg Proto_io.t -> 'node) ->
+  handle:('node -> src:int -> 'msg -> unit) ->
+  'node array
+
+val deploy_rbc :
+  sim:Rbc.msg Sim.t ->
+  keyring:Keyring.t ->
+  sender:int ->
+  deliver:(int -> string -> unit) ->
+  Rbc.t array
+
+val deploy_cbc :
+  sim:Cbc.msg Sim.t ->
+  keyring:Keyring.t ->
+  tag:string ->
+  sender:int ->
+  ?validate:(string -> bool) ->
+  deliver:(int -> string -> Keyring.cert -> unit) ->
+  unit ->
+  Cbc.t array
+
+val deploy_abba :
+  sim:Abba.msg Sim.t ->
+  keyring:Keyring.t ->
+  tag:string ->
+  on_decide:(int -> bool -> unit) ->
+  Abba.t array
+
+val deploy_vba :
+  sim:Vba.msg Sim.t ->
+  keyring:Keyring.t ->
+  tag:string ->
+  ?validate:(string -> bool) ->
+  on_decide:(int -> winner:int -> string -> unit) ->
+  unit ->
+  Vba.t array
+
+val deploy_abc :
+  sim:Abc.msg Sim.t ->
+  keyring:Keyring.t ->
+  tag:string ->
+  deliver:(int -> string -> unit) ->
+  Abc.t array
+
+val deploy_scabc :
+  sim:Scabc.msg Sim.t ->
+  keyring:Keyring.t ->
+  tag:string ->
+  deliver:(int -> label:string -> string -> unit) ->
+  Scabc.t array

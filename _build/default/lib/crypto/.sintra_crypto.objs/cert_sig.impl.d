@@ -1,0 +1,1 @@
+lib/crypto/cert_sig.ml: Array Bignum Dl_sharing Dleq List Lsss Pset Schnorr_group

@@ -1,0 +1,1 @@
+lib/crypto/cert_sig.mli: Dl_sharing Dleq Pset Schnorr_group

@@ -1,0 +1,1 @@
+lib/crypto/coin.ml: Array Bignum Char Dl_sharing Dleq List Lsss Pset Ro Schnorr_group String

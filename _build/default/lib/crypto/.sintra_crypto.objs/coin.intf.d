@@ -1,0 +1,1 @@
+lib/crypto/coin.mli: Dl_sharing Dleq Pset Schnorr_group

@@ -1,0 +1,1 @@
+lib/crypto/dl_sharing.ml: Adversary_structure Array Bignum List Lsss Prng Pset Schnorr_group

@@ -1,0 +1,1 @@
+lib/crypto/dl_sharing.mli: Adversary_structure Lsss Prng Pset Schnorr_group

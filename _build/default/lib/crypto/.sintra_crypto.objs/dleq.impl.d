@@ -1,0 +1,1 @@
+lib/crypto/dleq.ml: Bignum List Ro Schnorr_group

@@ -1,0 +1,1 @@
+lib/crypto/dleq.mli: Bignum Schnorr_group

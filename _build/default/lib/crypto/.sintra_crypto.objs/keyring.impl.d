@@ -1,0 +1,1 @@
+lib/crypto/keyring.ml: Adversary_structure Array Bignum Cert_sig Dl_sharing List Option Prng Pset Rsa_threshold Schnorr_group Schnorr_sig

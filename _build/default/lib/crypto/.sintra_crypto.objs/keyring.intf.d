@@ -1,0 +1,1 @@
+lib/crypto/keyring.mli: Adversary_structure Cert_sig Dl_sharing Rsa_threshold Schnorr_group Schnorr_sig

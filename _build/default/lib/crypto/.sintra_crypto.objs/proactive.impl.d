@@ -1,0 +1,1 @@
+lib/crypto/proactive.ml: Adversary_structure Array Bignum Dl_sharing List Lsss Prng Pset Schnorr_group

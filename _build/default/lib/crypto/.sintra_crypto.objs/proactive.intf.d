@@ -1,0 +1,1 @@
+lib/crypto/proactive.mli: Dl_sharing Lsss Prng Pset Schnorr_group

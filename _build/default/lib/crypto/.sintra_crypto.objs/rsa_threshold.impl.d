@@ -1,0 +1,1 @@
+lib/crypto/rsa_threshold.ml: Array Bignum List Poly Primes Prng Ro

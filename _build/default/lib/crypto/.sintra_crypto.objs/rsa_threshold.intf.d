@@ -1,0 +1,1 @@
+lib/crypto/rsa_threshold.mli: Bignum Prng

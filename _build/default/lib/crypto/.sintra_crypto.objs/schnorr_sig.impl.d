@@ -1,0 +1,1 @@
+lib/crypto/schnorr_sig.ml: Bignum Prng Ro Schnorr_group String

@@ -1,0 +1,1 @@
+lib/crypto/schnorr_sig.mli: Bignum Prng Schnorr_group

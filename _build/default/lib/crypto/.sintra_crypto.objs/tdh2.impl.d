@@ -1,0 +1,1 @@
+lib/crypto/tdh2.ml: Array Bignum Char Dl_sharing Dleq List Lsss Prng Pset Ro Schnorr_group String

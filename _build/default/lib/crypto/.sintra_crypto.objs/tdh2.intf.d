@@ -1,0 +1,1 @@
+lib/crypto/tdh2.mli: Bignum Dl_sharing Dleq Prng Pset Schnorr_group

@@ -1,0 +1,92 @@
+(* Certificate-style threshold signatures for generalized adversary
+   structures.
+
+   Section 4.2 of the paper asserts that all threshold-cryptographic
+   protocols extend to any Q^3 structure with a linear secret sharing
+   scheme.  For signatures, no *compact* such scheme was known in 2001;
+   we implement the natural LSSS extension of the unique-signature
+   approach: party i's share on message M is sigma_l = H'(M)^{x_l} per
+   owned leaf with a DLEQ proof against the leaf verification key, and a
+   "signature" is a sharing-qualified set of verified shares together
+   with the recombined value H'(M)^x.  Verification re-checks the proofs
+   and the recombination, so the certificate is publicly verifiable
+   against the dealer's public keys — same interface as a threshold
+   signature, with size proportional to the qualified set (the
+   substitution is recorded in DESIGN.md). *)
+
+module B = Bignum
+module G = Schnorr_group
+
+type share = { leaf : int; value : G.elt; proof : Dleq.t }
+
+type certificate = {
+  signers : Pset.t;
+  shares : (int * share list) list;  (* party -> leaf shares *)
+  combined : G.elt;  (* H'(M)^x : the unique signature value *)
+}
+
+let domain = "sintra/certsig"
+
+let base (t : Dl_sharing.t) (msg : string) : G.elt =
+  G.hash_to_elt t.Dl_sharing.group ~domain:(domain ^ "/base") [ msg ]
+
+let sign_share (t : Dl_sharing.t) ~(party : int) (msg : string) : share list =
+  let ps = t.Dl_sharing.group in
+  let h = base t msg in
+  List.map
+    (fun (s : Lsss.subshare) ->
+      let value = G.exp ps h s.value in
+      let proof =
+        Dleq.prove ps ~domain:(domain ^ "/share") ~x:s.value ~g1:ps.G.g
+          ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:h ~h2:value
+      in
+      { leaf = s.leaf; value; proof })
+    (Dl_sharing.shares_of t party)
+
+let verify_share (t : Dl_sharing.t) ~(party : int) (msg : string)
+    (shares : share list) : bool =
+  let ps = t.Dl_sharing.group in
+  let h = base t msg in
+  let expected = Dl_sharing.shares_of t party in
+  List.length shares = List.length expected
+  && List.for_all
+       (fun (s : share) ->
+         s.leaf >= 0
+         && s.leaf < Array.length t.Dl_sharing.leaf_keys
+         && Lsss.leaf_owner t.Dl_sharing.scheme s.leaf = party
+         && Dleq.verify ps ~domain:(domain ^ "/share") ~g1:ps.G.g
+              ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:h ~h2:s.value s.proof)
+       shares
+
+let combine (t : Dl_sharing.t) (_msg : string)
+    (shares : (int * share list) list) : certificate option =
+  let signers =
+    List.fold_left (fun acc (p, _) -> Pset.add p acc) Pset.empty shares
+  in
+  let leaf_values =
+    List.concat_map
+      (fun (_, ss) -> List.map (fun (s : share) -> (s.leaf, s.value)) ss)
+      shares
+  in
+  match Dl_sharing.combine_in_exponent t ~avail:signers ~leaf_values with
+  | None -> None
+  | Some combined -> Some { signers; shares; combined }
+
+let verify (t : Dl_sharing.t) (msg : string) (cert : certificate) : bool =
+  List.for_all
+    (fun (party, ss) -> verify_share t ~party msg ss)
+    cert.shares
+  &&
+  let signers =
+    List.fold_left (fun acc (p, _) -> Pset.add p acc) Pset.empty cert.shares
+  in
+  Pset.equal signers cert.signers
+  &&
+  let leaf_values =
+    List.concat_map
+      (fun (_, ss) -> List.map (fun (s : share) -> (s.leaf, s.value)) ss)
+      cert.shares
+  in
+  match Dl_sharing.combine_in_exponent t ~avail:signers ~leaf_values with
+  | None -> false
+  | Some c -> G.elt_equal c cert.combined

@@ -1,0 +1,79 @@
+(* Threshold coin-tossing scheme of Cachin, Kursawe and Shoup.
+
+   For a coin with name N, let g_N = H'(N) be a random group element.
+   Party i's coin share for leaf l is sigma_l = g_N^{x_l} together with a
+   DLEQ proof against the leaf verification key.  Any sharing-qualified
+   set of verified shares recombines (in the exponent) to g_N^x, whose
+   hash gives the coin value — unpredictable until a qualified set
+   cooperates, and identical for all parties.  This is the source of
+   shared randomness that lets the ABBA protocol of Section 3 circumvent
+   the FLP impossibility result. *)
+
+module B = Bignum
+module G = Schnorr_group
+
+type share = { leaf : int; value : G.elt; proof : Dleq.t }
+
+let domain = "sintra/coin"
+
+let coin_base (t : Dl_sharing.t) ~(name : string) : G.elt =
+  G.hash_to_elt t.Dl_sharing.group ~domain:(domain ^ "/base") [ name ]
+
+let generate_share (t : Dl_sharing.t) ~(party : int) ~(name : string) :
+    share list =
+  let ps = t.Dl_sharing.group in
+  let g_name = coin_base t ~name in
+  List.map
+    (fun (s : Lsss.subshare) ->
+      let value = G.exp ps g_name s.value in
+      let proof =
+        Dleq.prove ps ~domain:(domain ^ "/share") ~x:s.value ~g1:ps.G.g
+          ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:g_name ~h2:value
+      in
+      { leaf = s.leaf; value; proof })
+    (Dl_sharing.shares_of t party)
+
+(* A share from a (possibly corrupted) party is accepted only when every
+   claimed leaf belongs to that party and every DLEQ proof verifies. *)
+let verify_share (t : Dl_sharing.t) ~(party : int) ~(name : string)
+    (shares : share list) : bool =
+  let ps = t.Dl_sharing.group in
+  let g_name = coin_base t ~name in
+  let expected = Dl_sharing.shares_of t party in
+  List.length shares = List.length expected
+  && List.for_all
+       (fun (s : share) ->
+         s.leaf >= 0
+         && s.leaf < Array.length t.Dl_sharing.leaf_keys
+         && Lsss.leaf_owner t.Dl_sharing.scheme s.leaf = party
+         && Dleq.verify ps ~domain:(domain ^ "/share") ~g1:ps.G.g
+              ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:g_name ~h2:s.value
+              s.proof)
+       shares
+
+(* Combine verified shares from the parties in [avail] into the coin
+   value.  [bits] selects how many unpredictable bits to extract (the
+   ABBA protocol needs one; the validated-agreement permutation uses
+   30); at most 30. *)
+let combine (t : Dl_sharing.t) ~(name : string) ~(avail : Pset.t)
+    (shares : (int * share list) list) ?(bits = 1) () : int option =
+  if bits < 1 || bits > 30 then invalid_arg "Coin.combine: bits out of range";
+  let leaf_values =
+    List.concat_map
+      (fun (_, ss) -> List.map (fun (s : share) -> (s.leaf, s.value)) ss)
+      shares
+  in
+  match Dl_sharing.combine_in_exponent t ~avail ~leaf_values with
+  | None -> None
+  | Some sigma ->
+    let raw =
+      Ro.hash ~domain:(domain ^ "/value")
+        [ name; G.elt_to_bytes t.Dl_sharing.group sigma ]
+    in
+    let v =
+      (Char.code raw.[0] lsl 24)
+      lor (Char.code raw.[1] lsl 16)
+      lor (Char.code raw.[2] lsl 8)
+      lor Char.code raw.[3]
+    in
+    Some (v land ((1 lsl bits) - 1))

@@ -1,0 +1,29 @@
+(** Dealer-generated sharing of a discrete-log secret over an adversary
+    structure: the common substrate of the threshold coin and TDH2.
+
+    The trusted dealer (paper, Section 2) picks x ∈ Z{_q}, shares it with
+    the Benaloh–Leichter LSSS of the structure's sharing formula, and
+    publishes g{^x} and one verification key g{^{x_l}} per leaf. *)
+
+type t = {
+  group : Schnorr_group.params;
+  structure : Adversary_structure.t;
+  scheme : Lsss.scheme;
+  subshares : Lsss.subshare list;
+      (** dealer secret; honest party [i] reads only its own entries *)
+  public_key : Schnorr_group.elt;
+  leaf_keys : Schnorr_group.elt array;  (** leaf id → g{^{x_leaf}} *)
+}
+
+val deal : Schnorr_group.params -> Adversary_structure.t -> Prng.t -> t
+
+val shares_of : t -> int -> Lsss.subshare list
+(** The subshares owned by one party. *)
+
+val combine_in_exponent :
+  t ->
+  avail:Pset.t ->
+  leaf_values:(int * Schnorr_group.elt) list ->
+  Schnorr_group.elt option
+(** Combine per-leaf values [base^{x_l}] from the leaves owned by
+    [avail] into [base^x]; [None] if [avail] is not sharing-qualified. *)

@@ -1,0 +1,44 @@
+(* Chaum-Pedersen proof of discrete-log equality, made non-interactive
+   with the Fiat-Shamir transform.
+
+   Proves log_{g1} h1 = log_{g2} h2 in a Schnorr group.  This is the
+   share-validity proof of both the threshold coin (Cachin-Kursawe-Shoup)
+   and the TDH2 threshold cryptosystem (Shoup-Gennaro): it is what makes
+   the schemes robust, i.e. lets anyone discard bogus shares submitted by
+   corrupted servers.  Sound in the random-oracle model. *)
+
+module B = Bignum
+module G = Schnorr_group
+
+type t = { c : B.t; z : B.t }
+
+let transcript ps ~domain g1 h1 g2 h2 a1 a2 =
+  G.hash_to_exponent ps ~domain
+    (List.map (G.elt_to_bytes ps) [ g1; h1; g2; h2; a1; a2 ])
+
+(* The commitment nonce is derived deterministically from the witness and
+   the statement (as in RFC 6979); in the random-oracle model this is as
+   good as fresh randomness and keeps proving stateless. *)
+let prove ps ~domain ~x ~g1 ~h1 ~g2 ~h2 : t =
+  let r =
+    Ro.hash_to_bignum_below ~domain:(domain ^ "/nonce")
+      (B.to_bytes_be x :: List.map (G.elt_to_bytes ps) [ g1; h1; g2; h2 ])
+      ps.G.q
+  in
+  let a1 = G.exp ps g1 r and a2 = G.exp ps g2 r in
+  let c = transcript ps ~domain g1 h1 g2 h2 a1 a2 in
+  let z = B.add_mod r (B.mul_mod c x ps.G.q) ps.G.q in
+  { c; z }
+
+let verify ps ~domain ~g1 ~h1 ~g2 ~h2 (proof : t) : bool =
+  G.is_element ps h1 && G.is_element ps h2
+  && B.sign proof.z >= 0 && B.lt proof.z ps.G.q
+  &&
+  (* a_i = g_i^z * h_i^{-c} must re-produce the challenge. *)
+  let a1 = G.div ps (G.exp ps g1 proof.z) (G.exp ps h1 proof.c) in
+  let a2 = G.div ps (G.exp ps g2 proof.z) (G.exp ps h2 proof.c) in
+  B.equal proof.c (transcript ps ~domain g1 h1 g2 h2 a1 a2)
+
+let to_bytes ps (p : t) : string =
+  let len = (B.numbits ps.G.q + 7) / 8 in
+  B.to_bytes_be ~len p.c ^ B.to_bytes_be ~len p.z

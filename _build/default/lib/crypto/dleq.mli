@@ -1,0 +1,28 @@
+(** Chaum–Pedersen proofs of discrete-log equality (Fiat–Shamir).
+
+    The share-validity proof of the threshold coin and of TDH2: it makes
+    both schemes robust by letting anyone reject bogus shares from
+    corrupted servers.  Sound in the random-oracle model. *)
+
+type t = { c : Bignum.t; z : Bignum.t }
+
+val prove :
+  Schnorr_group.params ->
+  domain:string ->
+  x:Bignum.t ->
+  g1:Schnorr_group.elt -> h1:Schnorr_group.elt ->
+  g2:Schnorr_group.elt -> h2:Schnorr_group.elt ->
+  t
+(** Proof that [log_{g1} h1 = log_{g2} h2 = x].  The commitment nonce is
+    derived deterministically from witness and statement (RFC-6979
+    style), so proving is stateless. *)
+
+val verify :
+  Schnorr_group.params ->
+  domain:string ->
+  g1:Schnorr_group.elt -> h1:Schnorr_group.elt ->
+  g2:Schnorr_group.elt -> h2:Schnorr_group.elt ->
+  t -> bool
+(** Also validates group membership of [h1], [h2]. *)
+
+val to_bytes : Schnorr_group.params -> t -> string

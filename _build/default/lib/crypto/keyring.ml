@@ -1,0 +1,206 @@
+(* The trusted dealer's output: everything a deployment of n servers
+   needs (paper, Section 2: "a trusted dealer generates and distributes
+   secret values to all servers once and for all").
+
+   A keyring bundles, for one adversary structure:
+   - the shared Schnorr group,
+   - a DL sharing for the threshold coin,
+   - an independent DL sharing for the TDH2 cryptosystem,
+   - the service signature scheme (Shoup RSA threshold signatures when
+     the structure is a plain threshold; LSSS certificate signatures for
+     generalized structures),
+   - one plain Schnorr keypair per server for signed protocol messages.
+
+   In the simulator every party holds the whole record but honest code
+   only ever reads its own secrets; corrupted parties may read
+   everything, which faithfully models full corruption. *)
+
+module B = Bignum
+module G = Schnorr_group
+module AS = Adversary_structure
+
+type service_keys =
+  | Rsa_keys of Rsa_threshold.keys
+  | Cert_keys of Dl_sharing.t
+
+type sig_share =
+  | Rsa_share of Rsa_threshold.share
+  | Cert_share of int * Cert_sig.share list  (* party, leaf shares *)
+
+type service_signature =
+  | Rsa_signature of Rsa_threshold.signature
+  | Cert_signature of Cert_sig.certificate
+
+type cert_mode =
+  | Vector_mode
+      (** quorum certificates are vectors of individual signatures *)
+  | Compressed_mode
+      (** quorum certificates are dual-threshold RSA signatures with
+          reconstruction threshold n - t — the constant-size-message
+          optimization of Section 3; threshold structures only *)
+
+type t = {
+  group : G.params;
+  structure : AS.t;
+  coin : Dl_sharing.t;
+  enc : Dl_sharing.t;
+  service : service_keys;
+  party_keys : Schnorr_sig.keypair array;
+  cert_mode : cert_mode;
+  cert_rsa : Rsa_threshold.keys option;  (* present in Compressed_mode *)
+}
+
+let deal ?(group_bits = 128) ?(rsa_bits = 256) ?(cert_mode = Vector_mode)
+    ~seed (structure : AS.t) : t =
+  let rng = Prng.create ~seed in
+  let group = G.default ~bits:group_bits () in
+  let coin = Dl_sharing.deal group structure (Prng.split rng) in
+  let enc = Dl_sharing.deal group structure (Prng.split rng) in
+  let service =
+    match AS.threshold_of structure with
+    | Some tt ->
+      Rsa_keys
+        (Rsa_threshold.deal ~bits:rsa_bits ~n:(AS.n structure) ~k:(tt + 1)
+           (Prng.split rng))
+    | None -> Cert_keys (Dl_sharing.deal group structure (Prng.split rng))
+  in
+  let cert_rsa =
+    match (cert_mode, AS.min_big_quorum_size structure) with
+    | Compressed_mode, Some q ->
+      Some (Rsa_threshold.deal ~bits:rsa_bits ~n:(AS.n structure) ~k:q (Prng.split rng))
+    | Compressed_mode, None ->
+      invalid_arg
+        "Keyring.deal: compressed certificates need a counting structure"
+    | Vector_mode, (Some _ | None) -> None
+  in
+  let party_keys =
+    Array.init (AS.n structure) (fun _ -> Schnorr_sig.generate group rng)
+  in
+  { group; structure; coin; enc; service; party_keys; cert_mode; cert_rsa }
+
+let n t = AS.n t.structure
+
+let party_public_key t i = t.party_keys.(i).Schnorr_sig.pk
+
+let sign t ~party msg = Schnorr_sig.sign t.group t.party_keys.(party) msg
+
+let verify_party_signature t ~party msg s =
+  party >= 0 && party < n t
+  && Schnorr_sig.verify t.group ~pk:(party_public_key t party) msg s
+
+(* --- service (threshold) signatures ------------------------------- *)
+
+let service_sign_share t ~party msg : sig_share =
+  match t.service with
+  | Rsa_keys keys -> Rsa_share (Rsa_threshold.sign_share keys ~party msg)
+  | Cert_keys sh -> Cert_share (party, Cert_sig.sign_share sh ~party msg)
+
+let service_verify_share t ~party msg (s : sig_share) : bool =
+  match (t.service, s) with
+  | Rsa_keys keys, Rsa_share sh ->
+    sh.Rsa_threshold.signer = party && Rsa_threshold.verify_share keys msg sh
+  | Cert_keys dl, Cert_share (p, ss) ->
+    p = party && Cert_sig.verify_share dl ~party msg ss
+  | Rsa_keys _, Cert_share _ | Cert_keys _, Rsa_share _ -> false
+
+let service_combine t msg (shares : sig_share list) :
+    service_signature option =
+  match t.service with
+  | Rsa_keys keys ->
+    let rsa =
+      List.filter_map
+        (function Rsa_share s -> Some s | Cert_share _ -> None)
+        shares
+    in
+    Option.map (fun s -> Rsa_signature s) (Rsa_threshold.combine keys msg rsa)
+  | Cert_keys dl ->
+    let cs =
+      List.filter_map
+        (function Cert_share (p, ss) -> Some (p, ss) | Rsa_share _ -> None)
+        shares
+    in
+    Option.map (fun c -> Cert_signature c) (Cert_sig.combine dl msg cs)
+
+let service_verify t msg (s : service_signature) : bool =
+  match (t.service, s) with
+  | Rsa_keys keys, Rsa_signature y -> Rsa_threshold.verify keys.Rsa_threshold.pk msg y
+  | Cert_keys dl, Cert_signature c -> Cert_sig.verify dl msg c
+  | Rsa_keys _, Cert_signature _ | Cert_keys _, Rsa_signature _ -> false
+
+(* --- quorum certificates ------------------------------------------ *)
+
+(* Transferable evidence that a big-quorum of servers endorsed a
+   statement: the protocol "justifications" of the CKS00 agreement
+   protocol and the delivery certificates of consistent broadcast.  In
+   [Vector_mode] a certificate is a vector of individual Schnorr
+   signatures; in [Compressed_mode] it is a single dual-threshold RSA
+   signature with reconstruction threshold n - t (constant size). *)
+
+type cert_share =
+  | Sig_share of Schnorr_sig.signature
+  | Rsa_cert_share of Rsa_threshold.share
+
+type cert =
+  | Vector_cert of (int * Schnorr_sig.signature) list
+  | Rsa_cert of Rsa_threshold.signature
+
+let cert_share t ~party (statement : string) : cert_share =
+  match t.cert_rsa with
+  | None -> Sig_share (sign t ~party statement)
+  | Some keys -> Rsa_cert_share (Rsa_threshold.sign_share keys ~party statement)
+
+let verify_cert_share t ~party (statement : string) (s : cert_share) : bool =
+  match (t.cert_rsa, s) with
+  | None, Sig_share sg -> verify_party_signature t ~party statement sg
+  | Some keys, Rsa_cert_share sh ->
+    sh.Rsa_threshold.signer = party && Rsa_threshold.verify_share keys statement sh
+  | None, Rsa_cert_share _ | Some _, Sig_share _ -> false
+
+(* Build a certificate from verified shares; requires a big quorum of
+   distinct endorsers.  Shares must have been verified by the caller. *)
+let make_cert t (statement : string) (shares : (int * cert_share) list) :
+    cert option =
+  let shares = List.sort_uniq (fun (a, _) (b, _) -> compare a b) shares in
+  let endorsers =
+    List.fold_left (fun acc (p, _) -> Pset.add p acc) Pset.empty shares
+  in
+  if not (AS.big_quorum t.structure endorsers) then None
+  else
+    match t.cert_rsa with
+    | None ->
+      Some
+        (Vector_cert
+           (List.filter_map
+              (fun (p, s) ->
+                match s with Sig_share sg -> Some (p, sg) | Rsa_cert_share _ -> None)
+              shares))
+    | Some keys ->
+      let rsa =
+        List.filter_map
+          (fun (_, s) ->
+            match s with Rsa_cert_share sh -> Some sh | Sig_share _ -> None)
+          shares
+      in
+      Option.map (fun y -> Rsa_cert y) (Rsa_threshold.combine keys statement rsa)
+
+let verify_cert t (statement : string) (c : cert) : bool =
+  match (t.cert_rsa, c) with
+  | None, Vector_cert sigs ->
+    let sigs = List.sort_uniq (fun (a, _) (b, _) -> compare a b) sigs in
+    let endorsers =
+      List.fold_left (fun acc (p, _) -> Pset.add p acc) Pset.empty sigs
+    in
+    AS.big_quorum t.structure endorsers
+    && List.for_all
+         (fun (p, sg) -> verify_party_signature t ~party:p statement sg)
+         sigs
+  | Some keys, Rsa_cert y -> Rsa_threshold.verify keys.Rsa_threshold.pk statement y
+  | None, Rsa_cert _ | Some _, Vector_cert _ -> false
+
+(* Approximate wire size of a certificate in bytes, for the message
+   complexity experiments. *)
+let cert_size t (c : cert) : int =
+  match c with
+  | Vector_cert sigs ->
+    List.length sigs * (4 + (2 * ((B.numbits t.group.G.q + 7) / 8)))
+  | Rsa_cert y -> (B.numbits y + 7) / 8

@@ -1,0 +1,88 @@
+(** The trusted dealer's output (paper, Section 2): everything one
+    deployment needs, bundled per adversary structure — the shared group,
+    independent DL sharings for the threshold coin and TDH2, the service
+    signature scheme, one Schnorr keypair per server, and the quorum-
+    certificate scheme used as protocol justifications.
+
+    In the simulator every party holds the record but honest code reads
+    only its own secrets; corrupted parties may read everything, which
+    faithfully models full corruption. *)
+
+type service_keys =
+  | Rsa_keys of Rsa_threshold.keys  (** threshold structures *)
+  | Cert_keys of Dl_sharing.t  (** generalized structures *)
+
+type sig_share =
+  | Rsa_share of Rsa_threshold.share
+  | Cert_share of int * Cert_sig.share list
+
+type service_signature =
+  | Rsa_signature of Rsa_threshold.signature
+  | Cert_signature of Cert_sig.certificate
+
+type cert_mode =
+  | Vector_mode  (** quorum certificates = vectors of Schnorr signatures *)
+  | Compressed_mode
+      (** quorum certificates = dual-threshold RSA signatures with
+          k = n − t: the constant-size-message optimization of Section 3;
+          threshold structures only *)
+
+type t = {
+  group : Schnorr_group.params;
+  structure : Adversary_structure.t;
+  coin : Dl_sharing.t;
+  enc : Dl_sharing.t;
+  service : service_keys;
+  party_keys : Schnorr_sig.keypair array;
+  cert_mode : cert_mode;
+  cert_rsa : Rsa_threshold.keys option;
+}
+
+val deal :
+  ?group_bits:int -> ?rsa_bits:int -> ?cert_mode:cert_mode -> seed:int ->
+  Adversary_structure.t -> t
+(** Run the trusted dealer (defaults: 128-bit group, 256-bit RSA,
+    vector certificates). *)
+
+val n : t -> int
+val party_public_key : t -> int -> Schnorr_group.elt
+
+(** {2 Individual server signatures} *)
+
+val sign : t -> party:int -> string -> Schnorr_sig.signature
+val verify_party_signature : t -> party:int -> string -> Schnorr_sig.signature -> bool
+
+(** {2 Service (threshold) signatures} *)
+
+val service_sign_share : t -> party:int -> string -> sig_share
+val service_verify_share : t -> party:int -> string -> sig_share -> bool
+
+val service_combine : t -> string -> sig_share list -> service_signature option
+(** Succeeds once the contributing servers can reconstruct (k = t+1 RSA
+    shares, or a sharing-qualified set of certificate shares). *)
+
+val service_verify : t -> string -> service_signature -> bool
+
+(** {2 Quorum certificates}
+
+    Transferable evidence that a big-quorum of servers endorsed a
+    statement — the protocol justifications of the CKS00 agreement
+    protocol and the delivery certificates of consistent broadcast. *)
+
+type cert_share =
+  | Sig_share of Schnorr_sig.signature
+  | Rsa_cert_share of Rsa_threshold.share
+
+type cert = Vector_cert of (int * Schnorr_sig.signature) list | Rsa_cert of Rsa_threshold.signature
+
+val cert_share : t -> party:int -> string -> cert_share
+val verify_cert_share : t -> party:int -> string -> cert_share -> bool
+
+val make_cert : t -> string -> (int * cert_share) list -> cert option
+(** [None] unless the (deduplicated) endorsers form a big quorum; shares
+    must have been verified by the caller. *)
+
+val verify_cert : t -> string -> cert -> bool
+
+val cert_size : t -> cert -> int
+(** Approximate wire size in bytes, for the message-size experiments. *)

@@ -1,0 +1,114 @@
+(* Proactive share refresh (paper, Section 6, "Proactive Protocols").
+
+   Proactive security divides time into epochs; between epochs the
+   parties re-randomize their key shares so that everything a mobile
+   adversary learned in past epochs becomes useless — it must corrupt a
+   qualified set *within one epoch* to win.
+
+   The refresh is the classic zero-resharing: every participating party
+   deals a fresh LSSS sharing of 0 over the same scheme and sends each
+   leaf owner its delta; leaf l's new share is x_l + sum_i delta_{i,l},
+   and the published leaf keys update to vk_l * g^{sum delta}.  The
+   shared secret x, the public key g^x, and all derived objects
+   (ciphertexts under the old public key, issued signatures) stay valid,
+   while any unqualified mix of old-epoch and new-epoch shares is useless
+   because the two epochs are independent sharings of x.
+
+   The paper notes that *asynchronous* proactive protocols were an open
+   problem (agreeing on epoch boundaries without timing assumptions);
+   this module provides the cryptographic epoch-refresh primitive and a
+   synchronous-epoch driver, which is exactly the part Section 6 sketches
+   — the open coordination question is out of scope and documented in
+   DESIGN.md. *)
+
+module B = Bignum
+module G = Schnorr_group
+
+type refresh_package = {
+  dealer : int;  (* the refreshing party *)
+  deltas : Lsss.subshare list;  (* a sharing of zero *)
+  delta_keys : G.elt array;  (* leaf id -> g^{delta_leaf}, for checking *)
+}
+
+(* One party's contribution to the epoch refresh: a verifiable sharing
+   of zero. *)
+let make_refresh (t : Dl_sharing.t) ~(dealer : int) (rng : Prng.t) :
+    refresh_package =
+  let deltas = Lsss.share t.Dl_sharing.scheme rng ~secret:B.zero in
+  let delta_keys = Array.make (Lsss.num_leaves t.Dl_sharing.scheme) (G.one t.Dl_sharing.group) in
+  List.iter
+    (fun (s : Lsss.subshare) ->
+      delta_keys.(s.leaf) <- G.exp_g t.Dl_sharing.group s.value)
+    deltas;
+  { dealer; deltas; delta_keys }
+
+(* Verify that a refresh package is a sharing of zero consistent with its
+   published delta keys: every qualified recombination of the delta keys
+   must land on the identity (checked on one canonical qualified set —
+   linearity extends it to all), and each delta must match its key. *)
+let verify_refresh (t : Dl_sharing.t) (pkg : refresh_package) : bool =
+  let ps = t.Dl_sharing.group in
+  let scheme = t.Dl_sharing.scheme in
+  List.for_all
+    (fun (s : Lsss.subshare) ->
+      s.leaf >= 0
+      && s.leaf < Array.length pkg.delta_keys
+      && Lsss.leaf_owner scheme s.leaf = s.party
+      && G.elt_equal pkg.delta_keys.(s.leaf) (G.exp_g ps s.value))
+    pkg.deltas
+  && List.length pkg.deltas = Lsss.num_leaves scheme
+  &&
+  let full = Pset.full (Adversary_structure.n t.Dl_sharing.structure) in
+  match Dl_sharing.combine_in_exponent t ~avail:full
+          ~leaf_values:
+            (List.mapi (fun leaf k -> (leaf, k)) (Array.to_list pkg.delta_keys))
+  with
+  | Some combined -> G.elt_equal combined (G.one ps)
+  | None -> false
+
+(* Apply a set of verified refresh packages: returns the next epoch's
+   sharing.  The contributing dealers must contain at least one honest
+   party (contains_honest) for the refresh to actually re-randomize. *)
+let apply_refreshes (t : Dl_sharing.t) (pkgs : refresh_package list) :
+    Dl_sharing.t =
+  let ps = t.Dl_sharing.group in
+  let add_leaf acc (s : Lsss.subshare) =
+    List.map
+      (fun (old : Lsss.subshare) ->
+        if old.Lsss.leaf = s.Lsss.leaf then
+          { old with Lsss.value = B.add_mod old.Lsss.value s.Lsss.value ps.G.q }
+        else old)
+      acc
+  in
+  let subshares =
+    List.fold_left
+      (fun acc pkg -> List.fold_left add_leaf acc pkg.deltas)
+      t.Dl_sharing.subshares pkgs
+  in
+  let leaf_keys =
+    Array.mapi
+      (fun leaf vk ->
+        List.fold_left
+          (fun acc pkg -> G.mul ps acc pkg.delta_keys.(leaf))
+          vk pkgs)
+      t.Dl_sharing.leaf_keys
+  in
+  { t with Dl_sharing.subshares; leaf_keys }
+
+(* Synchronous-epoch driver: every party in [refreshers] contributes one
+   zero-sharing; invalid packages are dropped; the epoch advances only if
+   the honest-containment predicate holds on the accepted dealers. *)
+let run_epoch (t : Dl_sharing.t) ~(refreshers : Pset.t) (rng : Prng.t) :
+    (Dl_sharing.t, string) result =
+  let pkgs =
+    Pset.fold
+      (fun dealer acc -> make_refresh t ~dealer (Prng.split rng) :: acc)
+      refreshers []
+  in
+  let accepted = List.filter (verify_refresh t) pkgs in
+  let dealers =
+    List.fold_left (fun acc p -> Pset.add p.dealer acc) Pset.empty accepted
+  in
+  if not (Adversary_structure.contains_honest t.Dl_sharing.structure dealers)
+  then Error "refresh set may be fully corrupted; epoch not advanced"
+  else Ok (apply_refreshes t accepted)

@@ -1,0 +1,29 @@
+(** Proactive share refresh (paper, Section 6): between epochs the
+    parties re-randomize all key shares by adding verifiable sharings of
+    zero, so a mobile adversary's knowledge from past epochs becomes
+    useless while the public key and every derived object stay valid.
+
+    This is the cryptographic epoch-refresh primitive; agreeing on epoch
+    boundaries in a fully asynchronous network was an open problem at the
+    time of the paper and remains out of scope (see DESIGN.md). *)
+
+type refresh_package = {
+  dealer : int;
+  deltas : Lsss.subshare list;  (** a sharing of zero *)
+  delta_keys : Schnorr_group.elt array;  (** leaf id → g{^δ} *)
+}
+
+val make_refresh : Dl_sharing.t -> dealer:int -> Prng.t -> refresh_package
+
+val verify_refresh : Dl_sharing.t -> refresh_package -> bool
+(** Deltas consistent with the published keys and recombining to zero. *)
+
+val apply_refreshes : Dl_sharing.t -> refresh_package list -> Dl_sharing.t
+(** Next epoch's sharing: same secret and public key, fresh shares and
+    leaf keys. *)
+
+val run_epoch :
+  Dl_sharing.t -> refreshers:Pset.t -> Prng.t -> (Dl_sharing.t, string) result
+(** One synchronous epoch: contributions from [refreshers], dropped when
+    invalid; fails unless the accepted dealers surely contain an honest
+    party. *)

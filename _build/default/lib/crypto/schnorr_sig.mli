@@ -1,0 +1,17 @@
+(** Plain (non-threshold) Schnorr signatures over the shared group, for
+    individually signed protocol messages (e.g. the signed round
+    proposals of atomic broadcast). *)
+
+type keypair = { sk : Bignum.t; pk : Schnorr_group.elt }
+type signature = { c : Bignum.t; z : Bignum.t }
+
+val generate : Schnorr_group.params -> Prng.t -> keypair
+
+val sign : Schnorr_group.params -> keypair -> string -> signature
+(** Deterministic nonce (RFC-6979 style); stateless. *)
+
+val verify :
+  Schnorr_group.params -> pk:Schnorr_group.elt -> string -> signature -> bool
+
+val to_bytes : Schnorr_group.params -> signature -> string
+val of_bytes : Schnorr_group.params -> string -> signature option

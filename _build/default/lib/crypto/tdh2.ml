@@ -1,0 +1,162 @@
+(* TDH2: the threshold public-key cryptosystem of Shoup and Gennaro,
+   secure against adaptive chosen-ciphertext attack in the random-oracle
+   model.
+
+   CCA security is what makes secure *causal* atomic broadcast possible
+   (paper, Sections 3 and 5.2): an adversary who sees a ciphertext in
+   transit can neither decrypt it nor maul it into a related ciphertext
+   of its own, so client requests stay confidential and unlinkable until
+   the servers agree to deliver them.
+
+   Encryption of message m under label L:
+     k, r  random in Z_q
+     c  = m XOR KDF(h^k)            (h = g^x is the public key)
+     u  = g^k,  u' = g'^k           (g' an independent generator)
+     w  = g^r,  w' = g'^r
+     e  = H(c, L, u, w, u', w'),  f = r + k e
+   The tuple (c, L, u, u', e, f) is the ciphertext; (e, f) is a proof of
+   consistency that every server checks before emitting a decryption
+   share, which is u^{x_l} plus a DLEQ proof. *)
+
+module B = Bignum
+module G = Schnorr_group
+
+type ciphertext = {
+  c : string;  (* symmetric part *)
+  label : string;
+  u : G.elt;
+  u' : G.elt;
+  e : B.t;
+  f : B.t;
+}
+
+type dec_share = { leaf : int; value : G.elt; proof : Dleq.t }
+
+let domain = "sintra/tdh2"
+
+(* Independent second generator, derived by hashing (nothing up the
+   sleeve: its discrete log w.r.t. g is unknown). *)
+let g' (ps : G.params) : G.elt =
+  G.hash_to_elt ps ~domain:(domain ^ "/g'") [ G.elt_to_bytes ps ps.G.g ]
+
+let challenge ps ~c ~label ~u ~w ~u' ~w' : B.t =
+  G.hash_to_exponent ps ~domain:(domain ^ "/e")
+    (c :: label :: List.map (G.elt_to_bytes ps) [ u; w; u'; w' ])
+
+let encrypt (t : Dl_sharing.t) (rng : Prng.t) ~(label : string)
+    (plaintext : string) : ciphertext =
+  let ps = t.Dl_sharing.group in
+  let k = G.random_exponent ps rng and r = G.random_exponent ps rng in
+  let shared = G.exp ps t.Dl_sharing.public_key k in
+  let c =
+    Ro.xor_pad ~domain:(domain ^ "/kdf") ~key:(G.elt_to_bytes ps shared)
+      plaintext
+  in
+  let gp = g' ps in
+  let u = G.exp_g ps k and u' = G.exp ps gp k in
+  let w = G.exp_g ps r and w' = G.exp ps gp r in
+  let e = challenge ps ~c ~label ~u ~w ~u' ~w' in
+  let f = B.add_mod r (B.mul_mod k e ps.G.q) ps.G.q in
+  { c; label; u; u'; e; f }
+
+(* Public validity check; servers must refuse to decrypt invalid
+   ciphertexts (this is the CCA2 barrier). *)
+let is_valid (t : Dl_sharing.t) (ct : ciphertext) : bool =
+  let ps = t.Dl_sharing.group in
+  G.is_element ps ct.u && G.is_element ps ct.u'
+  && B.sign ct.f >= 0 && B.lt ct.f ps.G.q
+  &&
+  let gp = g' ps in
+  let w = G.div ps (G.exp_g ps ct.f) (G.exp ps ct.u ct.e) in
+  let w' = G.div ps (G.exp ps gp ct.f) (G.exp ps ct.u' ct.e) in
+  B.equal ct.e (challenge ps ~c:ct.c ~label:ct.label ~u:ct.u ~w ~u':ct.u' ~w')
+
+let decryption_share (t : Dl_sharing.t) ~(party : int) (ct : ciphertext) :
+    dec_share list option =
+  if not (is_valid t ct) then None
+  else begin
+    let ps = t.Dl_sharing.group in
+    Some
+      (List.map
+         (fun (s : Lsss.subshare) ->
+           let value = G.exp ps ct.u s.value in
+           let proof =
+             Dleq.prove ps ~domain:(domain ^ "/share") ~x:s.value ~g1:ps.G.g
+               ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:ct.u ~h2:value
+           in
+           { leaf = s.leaf; value; proof })
+         (Dl_sharing.shares_of t party))
+  end
+
+let verify_share (t : Dl_sharing.t) ~(party : int) (ct : ciphertext)
+    (shares : dec_share list) : bool =
+  let ps = t.Dl_sharing.group in
+  let expected = Dl_sharing.shares_of t party in
+  List.length shares = List.length expected
+  && List.for_all
+       (fun (s : dec_share) ->
+         s.leaf >= 0
+         && s.leaf < Array.length t.Dl_sharing.leaf_keys
+         && Lsss.leaf_owner t.Dl_sharing.scheme s.leaf = party
+         && Dleq.verify ps ~domain:(domain ^ "/share") ~g1:ps.G.g
+              ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:ct.u ~h2:s.value
+              s.proof)
+       shares
+
+let combine (t : Dl_sharing.t) (ct : ciphertext) ~(avail : Pset.t)
+    (shares : (int * dec_share list) list) : string option =
+  if not (is_valid t ct) then None
+  else begin
+    let ps = t.Dl_sharing.group in
+    let leaf_values =
+      List.concat_map
+        (fun (_, ss) -> List.map (fun (s : dec_share) -> (s.leaf, s.value)) ss)
+        shares
+    in
+    match Dl_sharing.combine_in_exponent t ~avail ~leaf_values with
+    | None -> None
+    | Some shared ->
+      Some
+        (Ro.xor_pad ~domain:(domain ^ "/kdf")
+           ~key:(G.elt_to_bytes ps shared) ct.c)
+  end
+
+(* Wire encoding, so ciphertexts can be hashed / carried in messages. *)
+let ciphertext_to_bytes (t : Dl_sharing.t) (ct : ciphertext) : string =
+  let ps = t.Dl_sharing.group in
+  Ro.encode
+    [ ct.c; ct.label; G.elt_to_bytes ps ct.u; G.elt_to_bytes ps ct.u';
+      B.to_bytes_be ct.e; B.to_bytes_be ct.f ]
+
+(* Inverse of {!ciphertext_to_bytes}.  Parses the length-prefixed fields
+   and checks group membership; the caller still runs {!is_valid}. *)
+let ciphertext_of_bytes (t : Dl_sharing.t) (raw : string) : ciphertext option =
+  let ps = t.Dl_sharing.group in
+  let decode s =
+    (* fields are 8-byte length-prefixed, same format as Ro.encode *)
+    let len = String.length s in
+    let read_u64 off =
+      let v = ref 0 in
+      for i = 0 to 7 do
+        v := (!v lsl 8) lor Char.code s.[off + i]
+      done;
+      !v
+    in
+    let rec go off acc =
+      if off = len then Some (List.rev acc)
+      else if off + 8 > len then None
+      else begin
+        let l = read_u64 off in
+        if l < 0 || off + 8 + l > len then None
+        else go (off + 8 + l) (String.sub s (off + 8) l :: acc)
+      end
+    in
+    go 0 []
+  in
+  match decode raw with
+  | Some [ c; label; u; u'; e; f ] ->
+    (match (G.elt_of_bytes ps u, G.elt_of_bytes ps u') with
+    | Some u, Some u' ->
+      Some { c; label; u; u'; e = B.of_bytes_be e; f = B.of_bytes_be f }
+    | None, _ | _, None -> None)
+  | Some _ | None -> None

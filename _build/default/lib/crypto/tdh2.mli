@@ -1,0 +1,44 @@
+(** TDH2: the Shoup–Gennaro threshold cryptosystem, secure against
+    adaptive chosen-ciphertext attack in the random-oracle model.
+
+    CCA security is what makes secure *causal* atomic broadcast work: an
+    adversary seeing a ciphertext in transit can neither decrypt it nor
+    maul it into a related ciphertext, so client requests stay
+    confidential and unlinkable until the servers agree to deliver them
+    (paper, Sections 3 and 5.2). *)
+
+type ciphertext = {
+  c : string;  (** symmetric part *)
+  label : string;  (** authenticated label (e.g. client identity) *)
+  u : Schnorr_group.elt;
+  u' : Schnorr_group.elt;
+  e : Bignum.t;
+  f : Bignum.t;
+}
+
+type dec_share = { leaf : int; value : Schnorr_group.elt; proof : Dleq.t }
+
+val encrypt : Dl_sharing.t -> Prng.t -> label:string -> string -> ciphertext
+
+val is_valid : Dl_sharing.t -> ciphertext -> bool
+(** Public consistency check; servers must refuse to decrypt invalid
+    ciphertexts (the CCA2 barrier). *)
+
+val decryption_share :
+  Dl_sharing.t -> party:int -> ciphertext -> dec_share list option
+(** [None] when the ciphertext is invalid. *)
+
+val verify_share :
+  Dl_sharing.t -> party:int -> ciphertext -> dec_share list -> bool
+
+val combine :
+  Dl_sharing.t ->
+  ciphertext ->
+  avail:Pset.t ->
+  (int * dec_share list) list ->
+  string option
+(** Recover the plaintext from verified shares of a sharing-qualified
+    set. *)
+
+val ciphertext_to_bytes : Dl_sharing.t -> ciphertext -> string
+val ciphertext_of_bytes : Dl_sharing.t -> string -> ciphertext option

@@ -1,0 +1,83 @@
+(* Schnorr group: the subgroup of prime order [q] of Z_p^*, for a safe
+   prime p = 2q + 1.
+
+   This is the discrete-log setting used by the threshold coin of Cachin,
+   Kursawe and Shoup and by the Shoup-Gennaro TDH2 threshold cryptosystem.
+   The group of quadratic residues mod p has prime order q, so hashing
+   into it is simply squaring, and every non-unit element is a
+   generator. *)
+
+module B = Bignum
+
+type params = { p : B.t; q : B.t; g : B.t }
+
+type elt = B.t
+(* Invariant: an [elt] is a quadratic residue mod p, i.e. x^q = 1. *)
+
+let params_equal a b = B.equal a.p b.p && B.equal a.q b.q && B.equal a.g b.g
+
+let generate ?(bits = 128) rng : params =
+  let p, q = Primes.random_safe_prime rng ~bits in
+  (* 4 = 2^2 is a quadratic residue and not 1, hence a generator of the
+     order-q subgroup. *)
+  let g = B.erem (B.of_int 4) p in
+  { p; q; g }
+
+(* Shared test/bench parameter sets, memoized per bit size so that suites
+   do not regenerate safe primes repeatedly. *)
+let default_cache : (int, params) Hashtbl.t = Hashtbl.create 4
+
+let default ?(bits = 128) () : params =
+  match Hashtbl.find_opt default_cache bits with
+  | Some ps -> ps
+  | None ->
+    let ps = generate ~bits (Prng.create ~seed:(0x5EC5E7 + bits)) in
+    Hashtbl.add default_cache bits ps;
+    ps
+
+let one (_ : params) : elt = B.one
+let generator ps : elt = ps.g
+let elt_equal (a : elt) (b : elt) = B.equal a b
+
+let is_element ps (x : B.t) : bool =
+  B.sign x > 0 && B.lt x ps.p
+  && B.equal (B.pow_mod ~base:x ~exp:ps.q ~modulus:ps.p) B.one
+
+let mul ps (a : elt) (b : elt) : elt = B.mul_mod a b ps.p
+
+let exp ps (a : elt) (e : B.t) : elt =
+  B.pow_mod ~base:a ~exp:(B.erem e ps.q) ~modulus:ps.p
+
+let exp_g ps (e : B.t) : elt = exp ps ps.g e
+
+let inv ps (a : elt) : elt =
+  match B.inv_mod a ps.p with
+  | Some i -> i
+  | None -> invalid_arg "Schnorr_group.inv: not invertible"
+
+let div ps (a : elt) (b : elt) : elt = mul ps a (inv ps b)
+
+let elt_to_bytes ps (a : elt) : string =
+  B.to_bytes_be ~len:((B.numbits ps.p + 7) / 8) a
+
+let elt_of_bytes ps (s : string) : elt option =
+  let x = B.of_bytes_be s in
+  if is_element ps x then Some x else None
+
+(* Hash arbitrary strings into the group: reduce mod p, then square.
+   Squaring maps onto the quadratic residues, i.e. into the subgroup. *)
+let hash_to_elt ps ~domain (parts : string list) : elt =
+  let x = Ro.hash_to_bignum_below ~domain parts ps.p in
+  let x = if B.is_zero x then B.one else x in
+  B.mul_mod x x ps.p
+
+(* Random exponent in Z_q. *)
+let random_exponent ps rng : B.t = Prng.bignum_below rng ps.q
+
+(* Hash group elements and strings to a challenge in Z_q (Fiat-Shamir). *)
+let hash_to_exponent ps ~domain (parts : string list) : B.t =
+  Ro.hash_to_bignum_below ~domain parts ps.q
+
+let pp_params fmt ps =
+  Format.fprintf fmt "p=%s (%d bits), q=%s, g=%s" (B.to_string ps.p)
+    (B.numbits ps.p) (B.to_string ps.q) (B.to_string ps.g)

@@ -1,0 +1,44 @@
+(** Schnorr group: prime-order-[q] subgroup of Z{_p}{^*} for a safe prime
+    [p = 2q + 1] — the discrete-log setting of the threshold coin (Cachin,
+    Kursawe & Shoup) and of the Shoup–Gennaro TDH2 cryptosystem. *)
+
+type params = { p : Bignum.t; q : Bignum.t; g : Bignum.t }
+
+type elt = Bignum.t
+(** A quadratic residue mod [p]; treat as abstract, validate foreign
+    values with {!is_element} / {!elt_of_bytes}. *)
+
+val params_equal : params -> params -> bool
+
+val generate : ?bits:int -> Prng.t -> params
+(** Fresh group parameters with a [bits]-bit safe prime (default 128;
+    toy-sized for simulation speed — all algorithms are size-agnostic). *)
+
+val default : ?bits:int -> unit -> params
+(** Deterministic, memoized parameters shared by tests and benches. *)
+
+val one : params -> elt
+val generator : params -> elt
+val elt_equal : elt -> elt -> bool
+
+val is_element : params -> Bignum.t -> bool
+(** Subgroup membership check ([x{^q} = 1 mod p]); must be applied to any
+    value received from another (possibly corrupted) party. *)
+
+val mul : params -> elt -> elt -> elt
+val exp : params -> elt -> Bignum.t -> elt
+val exp_g : params -> Bignum.t -> elt
+val inv : params -> elt -> elt
+val div : params -> elt -> elt -> elt
+val elt_to_bytes : params -> elt -> string
+val elt_of_bytes : params -> string -> elt option
+
+val hash_to_elt : params -> domain:string -> string list -> elt
+(** Random oracle into the group (reduce then square). *)
+
+val random_exponent : params -> Prng.t -> Bignum.t
+
+val hash_to_exponent : params -> domain:string -> string list -> Bignum.t
+(** Random oracle into Z{_q} (Fiat–Shamir challenges). *)
+
+val pp_params : Format.formatter -> params -> unit

@@ -1,0 +1,1 @@
+lib/hash/drbg.ml: Bignum Buffer Char Int64 Prng Ro String

@@ -1,0 +1,1 @@
+lib/hash/ro.ml: Bignum Buffer Char List Sha256 String

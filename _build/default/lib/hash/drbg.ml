@@ -1,0 +1,64 @@
+(* Deterministic random bit generator in the style of Hash_DRBG
+   (NIST SP 800-90A), built on SHA-256.
+
+   Used where randomness should be *cryptographically* derived from a
+   seed — most importantly by the trusted dealer, so that a whole
+   deployment's keys are reproducible from one master seed while
+   remaining unpredictable without it.  The simulator keeps using the
+   fast splitmix generator ({!Prng}) for scheduling decisions, where
+   statistical quality is all that matters. *)
+
+type t = {
+  mutable v : string;  (* working state, 32 bytes *)
+  mutable counter : int64;  (* blocks generated since last reseed *)
+}
+
+let create ~seed ~personalization =
+  { v = Ro.hash ~domain:"drbg/instantiate" [ seed; personalization ];
+    counter = 0L }
+
+let of_int_seed seed =
+  create ~seed:(string_of_int seed) ~personalization:"int-seed"
+
+let reseed t ~entropy =
+  t.v <- Ro.hash ~domain:"drbg/reseed" [ t.v; entropy ];
+  t.counter <- 0L
+
+(* One 32-byte output block; the state ratchets forward so output does
+   not reveal previous or future blocks. *)
+let block t =
+  let out = Ro.hash ~domain:"drbg/out" [ t.v; Int64.to_string t.counter ] in
+  t.counter <- Int64.add t.counter 1L;
+  t.v <- Ro.hash ~domain:"drbg/ratchet" [ t.v ];
+  out
+
+let bytes t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    Buffer.add_string buf (block t)
+  done;
+  String.sub (Buffer.contents buf) 0 n
+
+(* Uniform Bignum in [0, 2^nbits). *)
+let bignum_bits t nbits =
+  let nbytes = (nbits + 7) / 8 in
+  let v = Bignum.of_bytes_be (bytes t nbytes) in
+  Bignum.shift_right v ((8 * nbytes) - nbits)
+
+(* Uniform Bignum in [0, bound) by rejection sampling. *)
+let bignum_below t bound =
+  if Bignum.sign bound <= 0 then invalid_arg "Drbg.bignum_below";
+  let nb = Bignum.numbits bound in
+  let rec draw () =
+    let v = bignum_bits t nb in
+    if Bignum.lt v bound then v else draw ()
+  in
+  draw ()
+
+(* Bridge into the {!Prng} interface so existing seeded code paths can be
+   driven by a DRBG: derives a 62-bit splitmix seed. *)
+let to_prng t =
+  let s = bytes t 8 in
+  let seed = ref 0 in
+  String.iter (fun c -> seed := ((!seed lsl 8) lor Char.code c) land max_int) s;
+  Prng.create ~seed:!seed

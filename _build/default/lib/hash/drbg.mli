@@ -1,0 +1,21 @@
+(** Hash-based deterministic random bit generator (Hash_DRBG style, NIST
+    SP 800-90A, on SHA-256): cryptographic-quality determinism for the
+    trusted dealer; the simulator keeps {!Prng} for scheduling. *)
+
+type t
+
+val create : seed:string -> personalization:string -> t
+val of_int_seed : int -> t
+
+val reseed : t -> entropy:string -> unit
+
+val block : t -> string
+(** Next 32-byte output block; the internal state ratchets forward
+    (backtracking resistance). *)
+
+val bytes : t -> int -> string
+val bignum_bits : t -> int -> Bignum.t
+val bignum_below : t -> Bignum.t -> Bignum.t
+
+val to_prng : t -> Prng.t
+(** Derive a {!Prng} seed, to drive seed-based code paths from a DRBG. *)

@@ -1,0 +1,20 @@
+(** Random-oracle helpers: domain separation, injective encoding of
+    structured inputs, and hashing into integer ranges. *)
+
+val encode : string list -> string
+(** Length-prefixed concatenation; injective on lists of strings. *)
+
+val hash : domain:string -> string list -> string
+(** Domain-separated digest of an encoded field list (32 bytes). *)
+
+val hash_expand : domain:string -> string list -> len:int -> string
+(** Arbitrary-length output by counter-mode expansion. *)
+
+val hash_to_bignum_below : domain:string -> string list -> Bignum.t -> Bignum.t
+(** Hash into [\[0, bound)] with negligible modulo bias. *)
+
+val hash_to_bit : domain:string -> string list -> bool
+
+val xor_pad : domain:string -> key:string -> string -> string
+(** One-time-pad style symmetric layer for hybrid encryption; involutive
+    ([xor_pad ~key (xor_pad ~key m) = m]). *)

@@ -1,0 +1,1 @@
+lib/num/bignum.ml: Buffer Bytes Char Format Limbs Printf Stdlib String

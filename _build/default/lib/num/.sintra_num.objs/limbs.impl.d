@@ -1,0 +1,1 @@
+lib/num/limbs.ml: Array Stdlib Sys

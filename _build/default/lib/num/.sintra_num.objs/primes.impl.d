@@ -1,0 +1,1 @@
+lib/num/primes.ml: Array Bignum Prng

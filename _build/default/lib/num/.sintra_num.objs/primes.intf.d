@@ -1,0 +1,1 @@
+lib/num/primes.mli: Bignum Prng

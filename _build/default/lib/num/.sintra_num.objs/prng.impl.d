@@ -1,0 +1,1 @@
+lib/num/prng.ml: Bignum Char Int64 String

@@ -1,0 +1,268 @@
+(* Signed arbitrary-precision integers on top of {!Limbs}. *)
+
+type t = { sign : int; mag : int array }
+(* Invariant: sign is -1, 0 or 1; sign = 0 iff mag is empty. *)
+
+let make sign mag =
+  if Limbs.is_zero mag then { sign = 0; mag = Limbs.zero } else { sign; mag }
+
+let zero = { sign = 0; mag = Limbs.zero }
+let one = { sign = 1; mag = [| 1 |] }
+let two = { sign = 1; mag = [| 2 |] }
+
+let of_int x =
+  if x = 0 then zero
+  else if x > 0 then { sign = 1; mag = Limbs.of_int x }
+  else { sign = -1; mag = Limbs.of_int (-x) }
+
+let to_int_opt v =
+  match Limbs.to_int_opt v.mag with
+  | Some m -> Some (v.sign * m)
+  | None -> None
+
+let sign v = v.sign
+let is_zero v = v.sign = 0
+let neg v = { v with sign = -v.sign }
+let abs v = if v.sign < 0 then neg v else v
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else a.sign * Limbs.compare a.mag b.mag
+
+let equal a b = compare a b = 0
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+let geq a b = compare a b >= 0
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (Limbs.add a.mag b.mag)
+  else begin
+    let c = Limbs.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (Limbs.sub a.mag b.mag)
+    else make b.sign (Limbs.sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (Limbs.mul a.mag b.mag)
+
+let mul_int a x =
+  if x = 0 then zero
+  else begin
+    let xs = if x > 0 then 1 else -1 in
+    let ax = abs (of_int x) in
+    make (a.sign * xs) (Limbs.mul a.mag ax.mag)
+  end
+
+let succ a = add a one
+let pred a = sub a one
+
+(* Truncated division (like OCaml's / and mod on int): the remainder has
+   the sign of the dividend. *)
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q, r = Limbs.divmod a.mag b.mag in
+  (make (a.sign * b.sign) q, make a.sign r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+(* Euclidean remainder: result always in [0, |b|). *)
+let erem a b =
+  let r = rem a b in
+  if r.sign < 0 then add r (abs b) else r
+
+let shift_left a k = make a.sign (Limbs.shift_left a.mag k)
+let shift_right a k = make a.sign (Limbs.shift_right a.mag k)
+let numbits a = Limbs.numbits a.mag
+let testbit a i = Limbs.testbit a.mag i
+let is_even a = not (testbit a 0)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+(* Extended Euclid: returns (g, u, v) with u*a + v*b = g = gcd(a, b). *)
+let egcd a b =
+  let rec go r0 r1 u0 u1 v0 v1 =
+    if is_zero r1 then (r0, u0, v0)
+    else begin
+      let q, r = divmod r0 r1 in
+      go r1 r u1 (sub u0 (mul q u1)) v1 (sub v0 (mul q v1))
+    end
+  in
+  go a b one zero zero one
+
+let add_mod a b m = erem (add a b) m
+let sub_mod a b m = erem (sub a b) m
+let mul_mod a b m = erem (mul a b) m
+
+let inv_mod a m =
+  let g, u, _ = egcd (erem a m) m in
+  if equal g one then Some (erem u m) else None
+
+(* Barrett reduction: for a fixed modulus m of k limbs, precompute
+   mu = floor(base^(2k) / m); then any x < base^(2k) reduces with two
+   multiplications instead of a long division:
+
+     q = ((x >> (k-1) limbs) * mu) >> (k+1) limbs
+     r = x - q*m,   then at most two final subtractions of m.
+
+   This speeds up modular exponentiation (the cost centre of the entire
+   crypto stack) by amortizing one division over the ~1.5 * numbits
+   multiplications of a pow_mod. *)
+module Barrett = struct
+  type ctx = { m : t; k_limbs : int; mu : t }
+
+  let limb_bits = 31  (* Limbs.base_bits *)
+
+  let create (m : t) : ctx =
+    let k_limbs = (numbits m + limb_bits - 1) / limb_bits in
+    let b2k = shift_left one (2 * k_limbs * limb_bits) in
+    { m; k_limbs; mu = div b2k m }
+
+  let reduce (ctx : ctx) (x : t) : t =
+    (* precondition: 0 <= x < base^(2k) *)
+    let q1 = shift_right x ((ctx.k_limbs - 1) * limb_bits) in
+    let q2 = mul q1 ctx.mu in
+    let q3 = shift_right q2 ((ctx.k_limbs + 1) * limb_bits) in
+    let r = sub x (mul q3 ctx.m) in
+    let r = if geq r ctx.m then sub r ctx.m else r in
+    let r = if geq r ctx.m then sub r ctx.m else r in
+    if r.sign < 0 || geq r ctx.m then erem x ctx.m (* safety net *) else r
+
+  let mul_mod (ctx : ctx) a b = reduce ctx (mul a b)
+end
+
+let pow_mod ~base:b ~exp:e ~modulus:m =
+  if m.sign <= 0 then invalid_arg "Bignum.pow_mod: modulus must be positive";
+  if equal m one then zero
+  else begin
+    let e = if e.sign < 0 then invalid_arg "Bignum.pow_mod: negative exponent" else e in
+    let nb = numbits e in
+    (* Barrett wins only once the modulus is wide enough that a long
+       division clearly dominates two extra multiplications (~200 bits
+       with 31-bit limbs); below that, plain reduction is faster. *)
+    if nb <= 4 || numbits m < 200 then begin
+      (* small cases: plain square-and-multiply *)
+      let b = ref (erem b m) and r = ref one in
+      for i = 0 to nb - 1 do
+        if testbit e i then r := mul_mod !r !b m;
+        if i < nb - 1 then b := mul_mod !b !b m
+      done;
+      !r
+    end
+    else begin
+      let ctx = Barrett.create m in
+      let b = ref (erem b m) and r = ref one in
+      (* Right-to-left square and multiply with Barrett reduction. *)
+      for i = 0 to nb - 1 do
+        if testbit e i then r := Barrett.mul_mod ctx !r !b;
+        if i < nb - 1 then b := Barrett.mul_mod ctx !b !b
+      done;
+      !r
+    end
+  end
+
+let to_string v =
+  if v.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go mag =
+      if Limbs.is_zero mag then ()
+      else begin
+        let q, r = Limbs.divmod_int mag 1_000_000_000 in
+        if Limbs.is_zero q then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%09d" r)
+        end
+      end
+    in
+    go v.mag;
+    (if v.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let of_string s =
+  let s, sgn =
+    if String.length s > 0 && s.[0] = '-' then
+      (String.sub s 1 (String.length s - 1), -1)
+    else (s, 1)
+  in
+  if s = "" then invalid_arg "Bignum.of_string: empty";
+  let acc = ref zero and ten = of_int 10 in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Bignum.of_string: bad digit";
+      acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0')))
+    s;
+  if sgn < 0 then neg !acc else !acc
+
+let to_hex v =
+  if v.sign = 0 then "0"
+  else begin
+    let nb = numbits v in
+    let digits = (nb + 3) / 4 in
+    let buf = Buffer.create digits in
+    if v.sign < 0 then Buffer.add_char buf '-';
+    for i = digits - 1 downto 0 do
+      let d = ref 0 in
+      for j = 3 downto 0 do
+        d := (!d lsl 1) lor (if testbit v ((i * 4) + j) then 1 else 0)
+      done;
+      Buffer.add_char buf "0123456789abcdef".[!d]
+    done;
+    Buffer.contents buf
+  end
+
+let of_hex s =
+  let s, sgn =
+    if String.length s > 0 && s.[0] = '-' then
+      (String.sub s 1 (String.length s - 1), -1)
+    else (s, 1)
+  in
+  if s = "" then invalid_arg "Bignum.of_hex: empty";
+  let acc = ref zero and sixteen = of_int 16 in
+  String.iter
+    (fun c ->
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Bignum.of_hex: bad digit"
+      in
+      acc := add (mul !acc sixteen) (of_int d))
+    s;
+  if sgn < 0 then neg !acc else !acc
+
+(* Big-endian byte encoding of the magnitude, zero-padded to [len] when
+   given.  Raises if the value does not fit. *)
+let to_bytes_be ?len v =
+  if v.sign < 0 then invalid_arg "Bignum.to_bytes_be: negative";
+  let needed = (numbits v + 7) / 8 in
+  let len = match len with Some l -> l | None -> max 1 needed in
+  if needed > len then invalid_arg "Bignum.to_bytes_be: does not fit";
+  let b = Bytes.make len '\000' in
+  for i = 0 to needed - 1 do
+    let byte = ref 0 in
+    for j = 7 downto 0 do
+      byte := (!byte lsl 1) lor (if testbit v ((i * 8) + j) then 1 else 0)
+    done;
+    Bytes.set b (len - 1 - i) (Char.chr !byte)
+  done;
+  Bytes.to_string b
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter
+    (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c)))
+    s;
+  !acc
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

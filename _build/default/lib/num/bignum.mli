@@ -1,0 +1,82 @@
+(** Signed arbitrary-precision integers.
+
+    Pure-OCaml bignums backed by base-2{^31} limb arrays.  This module is
+    the arithmetic substrate for every cryptographic component of the
+    architecture (threshold coin, TDH2 encryption, RSA threshold
+    signatures); the container provides no external bignum library. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt v] is [Some i] when [v] fits in a native [int]. *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val geq : t -> t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division; the remainder carries the sign of the dividend.
+    Raises [Division_by_zero]. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val erem : t -> t -> t
+(** Euclidean remainder, always in [\[0, |b|)]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val numbits : t -> int
+(** Number of significant bits of the magnitude; [numbits zero = 0]. *)
+
+val testbit : t -> int -> bool
+val is_even : t -> bool
+val gcd : t -> t -> t
+
+val egcd : t -> t -> t * t * t
+(** [egcd a b] is [(g, u, v)] with [u*a + v*b = g = gcd a b]. *)
+
+val add_mod : t -> t -> t -> t
+val sub_mod : t -> t -> t -> t
+val mul_mod : t -> t -> t -> t
+
+val inv_mod : t -> t -> t option
+(** Modular inverse, [None] when the operand is not coprime with the
+    modulus. *)
+
+val pow_mod : base:t -> exp:t -> modulus:t -> t
+(** Modular exponentiation by square-and-multiply.  The exponent must be
+    non-negative. *)
+
+val to_string : t -> string
+val of_string : string -> t
+val to_hex : t -> string
+val of_hex : string -> t
+
+val to_bytes_be : ?len:int -> t -> string
+(** Big-endian byte string of a non-negative value, zero-padded on the
+    left to [len] bytes when given. *)
+
+val of_bytes_be : string -> t
+val pp : Format.formatter -> t -> unit

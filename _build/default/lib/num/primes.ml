@@ -1,0 +1,117 @@
+(* Primality testing and prime generation.
+
+   Miller-Rabin with deterministic small-prime trial division in front.
+   Safe-prime generation (p = 2q + 1 with q prime) backs the Schnorr-group
+   parameters and the RSA threshold-signature dealer; the paper's trusted
+   dealer generates all of these once at setup time. *)
+
+let small_primes =
+  (* Primes below 1000, used for fast trial division. *)
+  let limit = 1000 in
+  let sieve = Array.make (limit + 1) true in
+  sieve.(0) <- false;
+  sieve.(1) <- false;
+  for i = 2 to limit do
+    if sieve.(i) then begin
+      let j = ref (i * i) in
+      while !j <= limit do
+        sieve.(!j) <- false;
+        j := !j + i
+      done
+    end
+  done;
+  let out = ref [] in
+  for i = limit downto 2 do
+    if sieve.(i) then out := i :: !out
+  done;
+  Array.of_list !out
+
+let divisible_by_small_prime n =
+  let exception Found in
+  try
+    Array.iter
+      (fun p ->
+        let bp = Bignum.of_int p in
+        if Bignum.is_zero (Bignum.rem n bp) && not (Bignum.equal n bp) then
+          raise Found)
+      small_primes;
+    false
+  with Found -> true
+
+(* One Miller-Rabin round with the given base. *)
+let miller_rabin_round n ~base:a =
+  let n1 = Bignum.pred n in
+  (* n - 1 = d * 2^s with d odd *)
+  let rec split d s = if Bignum.is_even d then split (Bignum.shift_right d 1) (s + 1) else (d, s) in
+  let d, s = split n1 0 in
+  let x = Bignum.pow_mod ~base:a ~exp:d ~modulus:n in
+  if Bignum.equal x Bignum.one || Bignum.equal x n1 then true
+  else begin
+    let rec go x i =
+      if i >= s - 1 then false
+      else begin
+        let x = Bignum.mul_mod x x n in
+        if Bignum.equal x n1 then true
+        else if Bignum.equal x Bignum.one then false
+        else go x (i + 1)
+      end
+    in
+    go x 0
+  end
+
+let is_probable_prime ?(rounds = 24) rng n =
+  if Bignum.sign n <= 0 then false
+  else
+    match Bignum.to_int_opt n with
+    | Some m when m < 2 -> false
+    | Some m when m < 1_000_000 ->
+      let rec go d = d * d > m || (m mod d <> 0 && go (d + 1)) in
+      go 2
+    | _ ->
+      if Bignum.is_even n then false
+      else if divisible_by_small_prime n then false
+      else begin
+        let n3 = Bignum.sub n (Bignum.of_int 3) in
+        let rec loop i =
+          i >= rounds
+          ||
+          let a = Bignum.add Bignum.two (Prng.bignum_below rng n3) in
+          miller_rabin_round n ~base:a && loop (i + 1)
+        in
+        loop 0
+      end
+
+let random_prime rng ~bits =
+  if bits < 3 then invalid_arg "Primes.random_prime: need at least 3 bits";
+  let rec draw () =
+    let c = Prng.bignum_bits rng (bits - 1) in
+    (* Force top and bottom bit. *)
+    let c = Bignum.add (Bignum.shift_left Bignum.one (bits - 1)) c in
+    let c = if Bignum.is_even c then Bignum.succ c else c in
+    if Bignum.numbits c = bits && is_probable_prime rng c then c else draw ()
+  in
+  draw ()
+
+let random_safe_prime rng ~bits =
+  if bits < 5 then invalid_arg "Primes.random_safe_prime: need at least 5 bits";
+  (* Draw candidate q of bits-1 bits; accept when both q and 2q+1 prime.
+     Cheap screens first: q odd, q mod 3 <> 1 would make p divisible by 3. *)
+  let three = Bignum.of_int 3 in
+  let rec draw () =
+    let q = Bignum.add (Bignum.shift_left Bignum.one (bits - 2)) (Prng.bignum_bits rng (bits - 2)) in
+    let q = if Bignum.is_even q then Bignum.succ q else q in
+    let p = Bignum.succ (Bignum.shift_left q 1) in
+    let q_mod3 = Bignum.rem q three in
+    if
+      Bignum.numbits p = bits
+      && not (Bignum.equal q_mod3 Bignum.one)
+      && (not (divisible_by_small_prime q))
+      && (not (divisible_by_small_prime p))
+      && is_probable_prime ~rounds:8 rng q
+      && is_probable_prime ~rounds:8 rng p
+      && is_probable_prime rng q
+      && is_probable_prime rng p
+    then (p, q)
+    else draw ()
+  in
+  draw ()

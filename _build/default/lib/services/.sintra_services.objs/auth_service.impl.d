@@ -1,0 +1,1 @@
+lib/services/auth_service.ml: Codec Hashtbl Option Ro Sha256

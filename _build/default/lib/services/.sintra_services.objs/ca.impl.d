@@ -1,0 +1,1 @@
+lib/services/ca.ml: Codec Hashtbl Option String

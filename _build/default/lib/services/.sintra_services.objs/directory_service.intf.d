@@ -1,0 +1,1 @@
+lib/services/directory_service.mli:

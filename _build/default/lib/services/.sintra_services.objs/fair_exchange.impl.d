@@ -1,0 +1,1 @@
+lib/services/fair_exchange.ml: Codec Hashtbl Option Sha256

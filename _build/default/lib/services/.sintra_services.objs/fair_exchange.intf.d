@@ -1,0 +1,1 @@
+lib/services/fair_exchange.mli:

@@ -1,0 +1,1 @@
+lib/services/notary.ml: Codec Hashtbl Option Sha256

@@ -1,0 +1,1 @@
+lib/services/service.ml: Abc Adversary_structure Array Codec Hashtbl Keyring List Prng Proto_io Ro Scabc Sha256 Sim String

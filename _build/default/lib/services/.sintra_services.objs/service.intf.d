@@ -1,0 +1,1 @@
+lib/services/service.mli: Abc Keyring Scabc Sim

@@ -1,0 +1,24 @@
+(** Distributed authentication service (Kerberos-style ticket granter;
+    paper Section 5 / MAFTIA deliverable).  A successful login's
+    threshold-signed response body IS the ticket, verifiable by any
+    relying service against the single service key; tickets carry the
+    service's logical clock as issue time.  Deploy over secure causal
+    broadcast — login requests contain the password. *)
+
+val hash_password : salt:string -> password:string -> string
+
+val register_request : user:string -> password:string -> salt:string -> string
+val login_request : user:string -> password:string -> string
+
+val change_password_request :
+  user:string -> old_password:string -> new_password:string -> salt:string ->
+  string
+
+val ticket_body : user:string -> issued_at:int -> string
+
+val make_app : unit -> string -> string
+(** Fresh per-replica state machine. *)
+
+val parse_ticket : string -> (string * int) option
+(** [(user, logical_issue_time)] from a ticket body; the caller verifies
+    the accompanying service signature. *)

@@ -1,0 +1,21 @@
+(** Distributed certification authority (paper, Section 5.1): the
+    threshold service signature the client assembles *is* the
+    certificate — issued under the CA's single public key although no
+    server holds the signing key.  All requests (issue / lookup /
+    revoke) go through atomic broadcast so every replica answers from
+    the same database version. *)
+
+val issue_request : id:string -> pubkey:string -> credentials:string -> string
+val lookup_request : id:string -> string
+val revoke_request : id:string -> string
+
+val certificate_body : id:string -> pubkey:string -> serial:int -> string
+
+val credentials_pass : string -> bool
+(** The toy vetting policy: non-empty credentials ending in ["!ok"]. *)
+
+val make_app : unit -> string -> string
+(** Fresh per-replica CA state machine. *)
+
+val parse_certificate : string -> (string * string * int) option
+(** [(id, pubkey, serial)] when the response is a certificate body. *)

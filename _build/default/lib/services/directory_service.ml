@@ -1,0 +1,47 @@
+(* Secure directory service (paper, Section 5.1): a replicated database
+   whose lookup answers come back authenticated by the service signature
+   — "DNS authentication" style.  Updates change global state and hence
+   must be delivered by atomic broadcast, exactly like lookups, so that
+   every replica answers every query from the same database version.
+
+   Requests:
+     bind   <key> <value>    -> "bound" confirmation (overwrites)
+     unbind <key>            -> confirmation or "none"
+     lookup <key>            -> signed value or signed "none"
+     list                    -> signed sorted key list *)
+
+type state = (string, string) Hashtbl.t
+
+let bind_request ~key ~value = Codec.encode [ "bind"; key; value ]
+let unbind_request ~key = Codec.encode [ "unbind"; key ]
+let lookup_request ~key = Codec.encode [ "lookup"; key ]
+let list_request () = Codec.encode [ "list" ]
+
+let execute (st : state) (request : string) : string =
+  match Codec.decode request with
+  | Some [ "bind"; key; value ] ->
+    Hashtbl.replace st key value;
+    Codec.encode [ "bound"; key ]
+  | Some [ "unbind"; key ] ->
+    if Hashtbl.mem st key then begin
+      Hashtbl.remove st key;
+      Codec.encode [ "unbound"; key ]
+    end
+    else Codec.encode [ "none"; key ]
+  | Some [ "lookup"; key ] ->
+    (match Hashtbl.find_opt st key with
+    | Some value -> Codec.encode [ "value"; key; value ]
+    | None -> Codec.encode [ "none"; key ])
+  | Some [ "list" ] ->
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) st [] in
+    Codec.encode ("keys" :: List.sort compare keys)
+  | Some _ | None -> Codec.encode [ "error"; "malformed request" ]
+
+let make_app () : string -> string =
+  let st : state = Hashtbl.create 16 in
+  execute st
+
+let parse_value (body : string) : (string * string) option =
+  match Codec.decode body with
+  | Some [ "value"; key; value ] -> Some (key, value)
+  | Some _ | None -> None

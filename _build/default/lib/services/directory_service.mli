@@ -1,0 +1,15 @@
+(** Secure directory service (paper, Section 5.1): a replicated
+    key-value database whose answers come back authenticated by the
+    service signature.  Updates and lookups alike are delivered by
+    atomic broadcast, so all replicas answer from the same version. *)
+
+val bind_request : key:string -> value:string -> string
+val unbind_request : key:string -> string
+val lookup_request : key:string -> string
+val list_request : unit -> string
+
+val make_app : unit -> string -> string
+(** Fresh per-replica directory state machine. *)
+
+val parse_value : string -> (string * string) option
+(** [(key, value)] from a successful lookup response. *)

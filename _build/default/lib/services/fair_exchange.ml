@@ -1,0 +1,148 @@
+(* Trusted third party for fair exchange (paper, Section 5: the MAFTIA
+   deliverable's "trusted party for fair exchange").
+
+   Two clients want to swap digital items so that either both obtain the
+   counterpart or neither does.  Each deposits its item together with the
+   digest of the item it expects in return; the replicated service
+   releases an item only when both deposits are present and each item
+   matches the other side's expectation.  Atomic broadcast makes the
+   deposit order — and hence the exchange outcome — identical at every
+   replica; the confidential engine keeps items secret until ordered, so
+   a corrupted server cannot leak an item before the counterpart is
+   committed.
+
+   Requests:
+     open    <xid> <left-digest-expected> <right-digest-expected>
+     deposit <xid> <left|right> <item>
+     collect <xid> <left|right>       -> counterpart item once complete
+     status  <xid>
+     abort   <xid>                    -> refuse further deposits; each
+                                         side may still collect its OWN
+                                         item back (refund) *)
+
+type side = Left | Right
+
+type exchange = {
+  expect_left : string;  (* digest the LEFT party must deposit *)
+  expect_right : string;
+  mutable left_item : string option;
+  mutable right_item : string option;
+  mutable aborted : bool;
+}
+
+type state = (string, exchange) Hashtbl.t
+
+let side_to_string = function Left -> "left" | Right -> "right"
+let side_of_string = function
+  | "left" -> Some Left
+  | "right" -> Some Right
+  | _ -> None
+
+let open_request ~xid ~expect_left ~expect_right =
+  Codec.encode [ "open"; xid; expect_left; expect_right ]
+
+let deposit_request ~xid ~side ~item =
+  Codec.encode [ "deposit"; xid; side_to_string side; item ]
+
+let collect_request ~xid ~side =
+  Codec.encode [ "collect"; xid; side_to_string side ]
+
+let status_request ~xid = Codec.encode [ "status"; xid ]
+let abort_request ~xid = Codec.encode [ "abort"; xid ]
+
+let item_digest item = Sha256.to_hex (Sha256.digest item)
+
+let denial reason = Codec.encode [ "denied"; reason ]
+
+let complete (x : exchange) =
+  (not x.aborted) && x.left_item <> None && x.right_item <> None
+
+let execute (st : state) (request : string) : string =
+  match Codec.decode request with
+  | Some [ "open"; xid; expect_left; expect_right ] ->
+    if Hashtbl.mem st xid then denial "exchange exists"
+    else begin
+      Hashtbl.replace st xid
+        { expect_left; expect_right; left_item = None; right_item = None;
+          aborted = false };
+      Codec.encode [ "opened"; xid ]
+    end
+  | Some [ "deposit"; xid; side; item ] ->
+    (match (Hashtbl.find_opt st xid, side_of_string side) with
+    | None, _ -> denial "unknown exchange"
+    | _, None -> denial "bad side"
+    | Some x, Some _ when x.aborted -> denial "aborted"
+    | Some x, Some s ->
+      let expected =
+        match s with Left -> x.expect_left | Right -> x.expect_right
+      in
+      if item_digest item <> expected then denial "item does not match description"
+      else begin
+        (match s with
+        | Left ->
+          if x.left_item <> None then () else x.left_item <- Some item
+        | Right ->
+          if x.right_item <> None then () else x.right_item <- Some item);
+        Codec.encode
+          [ "deposited"; xid; side;
+            (if complete x then "complete" else "waiting") ]
+      end)
+  | Some [ "collect"; xid; side ] ->
+    (match (Hashtbl.find_opt st xid, side_of_string side) with
+    | None, _ -> denial "unknown exchange"
+    | _, None -> denial "bad side"
+    | Some x, Some s ->
+      if complete x then begin
+        (* release the counterpart item *)
+        let item =
+          match s with
+          | Left -> Option.get x.right_item
+          | Right -> Option.get x.left_item
+        in
+        Codec.encode [ "item"; xid; item ]
+      end
+      else if x.aborted then begin
+        (* refund: each side may recover its own deposit *)
+        let own =
+          match s with Left -> x.left_item | Right -> x.right_item
+        in
+        match own with
+        | Some item -> Codec.encode [ "refund"; xid; item ]
+        | None -> denial "nothing deposited"
+      end
+      else denial "exchange not complete")
+  | Some [ "status"; xid ] ->
+    (match Hashtbl.find_opt st xid with
+    | None -> denial "unknown exchange"
+    | Some x ->
+      Codec.encode
+        [ "status"; xid;
+          (if x.aborted then "aborted"
+           else if complete x then "complete"
+           else "waiting");
+          (if x.left_item <> None then "left-deposited" else "left-missing");
+          (if x.right_item <> None then "right-deposited" else "right-missing") ])
+  | Some [ "abort"; xid ] ->
+    (match Hashtbl.find_opt st xid with
+    | None -> denial "unknown exchange"
+    | Some x ->
+      if complete x then denial "already complete"
+      else begin
+        x.aborted <- true;
+        Codec.encode [ "aborted"; xid ]
+      end)
+  | Some _ | None -> denial "malformed request"
+
+let make_app () : string -> string =
+  let st : state = Hashtbl.create 8 in
+  execute st
+
+let parse_item (body : string) : (string * string) option =
+  match Codec.decode body with
+  | Some [ "item"; xid; item ] -> Some (xid, item)
+  | Some _ | None -> None
+
+let parse_refund (body : string) : (string * string) option =
+  match Codec.decode body with
+  | Some [ "refund"; xid; item ] -> Some (xid, item)
+  | Some _ | None -> None

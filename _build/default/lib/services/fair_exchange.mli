@@ -1,0 +1,23 @@
+(** Trusted third party for fair exchange (paper Section 5 / MAFTIA
+    deliverable): two clients swap digital items; the replicated service
+    releases an item only when both deposits are present and match the
+    agreed descriptions (digests), so either both sides obtain the
+    counterpart or neither does.  Aborting an incomplete exchange lets
+    each side recover its own deposit.  Deploy over secure causal
+    broadcast so items stay secret until ordered. *)
+
+type side = Left | Right
+
+val open_request : xid:string -> expect_left:string -> expect_right:string -> string
+val deposit_request : xid:string -> side:side -> item:string -> string
+val collect_request : xid:string -> side:side -> string
+val status_request : xid:string -> string
+val abort_request : xid:string -> string
+
+val item_digest : string -> string
+(** The description format: hex digest of the item. *)
+
+val make_app : unit -> string -> string
+
+val parse_item : string -> (string * string) option
+val parse_refund : string -> (string * string) option

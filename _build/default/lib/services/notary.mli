@@ -1,0 +1,15 @@
+(** Digital notary / time-stamping service (paper, Section 5.2): assigns
+    consecutive sequence numbers to documents and certifies the
+    assignment with the service signature.  Deploy it over secure causal
+    atomic broadcast so filings stay confidential until their position
+    in the order is fixed (front-running protection). *)
+
+val register_request : document:string -> string
+val query_request : digest:string -> string
+val registration_body : seq:int -> digest:string -> string
+
+val make_app : unit -> string -> string
+(** Fresh per-replica notary state machine. *)
+
+val parse_registration : string -> (int * string) option
+(** [(sequence_number, document_digest)] from a registration response. *)

@@ -1,0 +1,211 @@
+(* Trusted-service replication engine (paper, Section 5).
+
+   A trusted application is a deterministic state machine replicated on
+   all servers.  Client requests are delivered by atomic broadcast
+   (plain services) or secure causal atomic broadcast (services whose
+   requests must stay confidential until ordered, like the notary); each
+   server executes the agreed sequence and returns a partial answer
+   containing a threshold-signature share, so the client assembles a
+   single service signature under the service's one public key — clients
+   never need to know individual servers.
+
+   A client sends its request to all servers (sending to more than t is
+   required so corrupted servers cannot simply swallow it) and waits for
+   matching answers from a set that surely contains an honest server,
+   combining signature shares until the service signature verifies. *)
+
+module AS = Adversary_structure
+
+type mode = Plain | Confidential
+
+type engine_msg = Abc_m of Abc.msg | Scabc_m of Scabc.msg
+
+type msg =
+  | Engine of engine_msg
+  | Request of { client : int; body : string }
+  | Response of {
+      req_digest : string;
+      server : int;
+      response : string;
+      share : Keyring.sig_share;
+    }
+
+type engine = Abc_e of Abc.t | Scabc_e of Scabc.t
+
+type t = {
+  me : int;
+  keyring : Keyring.t;
+  sim_send : int -> msg -> unit;  (* may address clients, i.e. slots >= n *)
+  mutable engine : engine option;
+  execute : string -> string;  (* the replicated application *)
+  mutable executed : int;  (* number of requests executed, for tests *)
+}
+
+(* Ordered-and-decrypted request: "client_id | nonce | body".  The nonce
+   makes retries and repeated queries distinct payloads for the atomic
+   broadcast (which de-duplicates by content). *)
+let parse_request (payload : string) : (int * string) option =
+  match Codec.decode payload with
+  | Some [ client; _nonce; body ] ->
+    (match int_of_string_opt client with
+    | Some c when c >= 0 -> Some (c, body)
+    | Some _ | None -> None)
+  | Some _ | None -> None
+
+let response_statement ~req_digest ~response =
+  Ro.encode [ "service-response"; req_digest; response ]
+
+let on_ordered (t : t) (payload : string) =
+  match parse_request payload with
+  | None -> ()  (* malformed request: executed as a no-op *)
+  | Some (client, body) ->
+    let response = t.execute body in
+    t.executed <- t.executed + 1;
+    let req_digest = Sha256.digest payload in
+    let share =
+      Keyring.service_sign_share t.keyring ~party:t.me
+        (response_statement ~req_digest ~response)
+    in
+    t.sim_send client
+      (Response { req_digest; server = t.me; response; share })
+
+let handle (t : t) ~src msg =
+  match (msg, t.engine) with
+  | Engine (Abc_m m), Some (Abc_e abc) -> Abc.handle abc ~src m
+  | Engine (Scabc_m m), Some (Scabc_e sc) -> Scabc.handle sc ~src m
+  | Request { client = _; body }, Some (Abc_e abc) ->
+    (* Plain service: the body is the client-wrapped request
+       "client_id | payload"; order it as-is. *)
+    Abc.broadcast abc body
+  | Request { client = _; body }, Some (Scabc_e sc) ->
+    (* Confidential service: the body is a TDH2 ciphertext of the
+       wrapped request; order it as-is. *)
+    Scabc.broadcast sc body
+  | Response _, _ -> ()  (* servers ignore stray client-bound answers *)
+  | (Engine _ | Request _), _ -> ()
+
+let deploy ~(sim : msg Sim.t) ~(keyring : Keyring.t) ~(mode : mode)
+    ~(make_app : unit -> string -> string) () : t array =
+  let n = Sim.n sim in
+  let nodes =
+    Array.init n (fun me ->
+        { me;
+          keyring;
+          sim_send = (fun dst m -> Sim.send sim ~src:me ~dst m);
+          engine = None;
+          execute = make_app ();
+          executed = 0 })
+  in
+  Array.iteri
+    (fun me node ->
+      let io =
+        Proto_io.make ~me ~keyring
+          ~send:(fun dst m -> Sim.send sim ~src:me ~dst (Engine m))
+          ~broadcast:(fun m -> Sim.broadcast sim ~src:me (Engine m))
+      in
+      (match mode with
+      | Plain ->
+        let abc =
+          Abc.create
+            ~io:(Proto_io.embed io ~wrap:(fun m -> Abc_m m))
+            ~tag:"service" ~deliver:(fun p -> on_ordered node p) ()
+        in
+        node.engine <- Some (Abc_e abc)
+      | Confidential ->
+        let sc =
+          Scabc.create
+            ~io:(Proto_io.embed io ~wrap:(fun m -> Scabc_m m))
+            ~tag:"service"
+            ~deliver:(fun ~label:_ p -> on_ordered node p)
+            ()
+        in
+        node.engine <- Some (Scabc_e sc));
+      Sim.set_handler sim me (fun ~src m -> handle node ~src m))
+    nodes;
+  nodes
+
+(* ---------------- client side -------------------------------------- *)
+
+module Client = struct
+  type pending = {
+    mutable by_response : (string * (int * Keyring.sig_share) list) list;
+    mutable result : (string * Keyring.service_signature) option;
+  }
+
+  type c = {
+    slot : int;  (* this client's simulator slot (>= n) *)
+    keyring : Keyring.t;
+    rng : Prng.t;
+    sim : msg Sim.t;
+    requests : (string, pending * (string -> Keyring.service_signature -> unit)) Hashtbl.t;
+  }
+
+  let create ~(sim : msg Sim.t) ~(keyring : Keyring.t) ~slot ~seed : c =
+    let c =
+      { slot; keyring; rng = Prng.create ~seed; sim; requests = Hashtbl.create 4 }
+    in
+    Sim.set_handler sim slot (fun ~src m ->
+        match m with
+        | Response { req_digest; server; response; share }
+          when src = server && server >= 0 && server < Sim.n sim -> (
+          match Hashtbl.find_opt c.requests req_digest with
+          | None -> ()
+          | Some (p, callback) ->
+            if p.result = None then begin
+              let stmt = response_statement ~req_digest ~response in
+              if Keyring.service_verify_share keyring ~party:server stmt share
+              then begin
+                let group =
+                  match List.assoc_opt response p.by_response with
+                  | Some g -> g
+                  | None -> []
+                in
+                if not (List.mem_assoc server group) then begin
+                  let group = (server, share) :: group in
+                  p.by_response <-
+                    (response, group)
+                    :: List.remove_assoc response p.by_response;
+                  (* Try to assemble the service signature: succeeds once
+                     the responders form a sharing-qualified set. *)
+                  match
+                    Keyring.service_combine keyring stmt (List.map snd group)
+                  with
+                  | Some service_sig
+                    when Keyring.service_verify keyring stmt service_sig ->
+                    p.result <- Some (response, service_sig);
+                    callback response service_sig
+                  | Some _ | None -> ()
+                end
+              end
+            end)
+        | Response _ | Engine _ | Request _ -> ());
+    c
+
+  (* Send [body] to every server; [callback] fires once with the agreed
+     response and the combined service signature. *)
+  let request (c : c) ~(mode : mode) (body : string)
+      (callback : string -> Keyring.service_signature -> unit) : unit =
+    let nonce = Prng.bytes c.rng 8 in
+    let wrapped = Codec.encode [ string_of_int c.slot; nonce; body ] in
+    let on_wire =
+      match mode with
+      | Plain -> wrapped
+      | Confidential ->
+        Scabc.encrypt_request c.keyring c.rng
+          ~label:(string_of_int c.slot) wrapped
+    in
+    (* Servers hash the *ordered plaintext*, which in both modes is the
+       wrapped request. *)
+    let req_digest = Sha256.digest wrapped in
+    Hashtbl.replace c.requests req_digest
+      ({ by_response = []; result = None }, callback);
+    for dst = 0 to Sim.n c.sim - 1 do
+      Sim.send c.sim ~src:c.slot ~dst (Request { client = c.slot; body = on_wire })
+    done
+end
+
+let msg_size kr = function
+  | Engine (Abc_m m) -> 8 + Abc.msg_size kr m
+  | Engine (Scabc_m m) -> 8 + Scabc.msg_size kr m
+  | Request { body; _ } -> 16 + String.length body
+  | Response { response; _ } -> 300 + String.length response

@@ -1,0 +1,68 @@
+(** Trusted-service replication engine and client protocol (paper,
+    Section 5).
+
+    Deterministic state machines replicated on all servers; requests are
+    delivered by atomic broadcast ([Plain]) or secure causal atomic
+    broadcast ([Confidential]); every server returns a partial answer
+    carrying a threshold-signature share, which the client assembles into
+    one service signature under the service's single public key. *)
+
+type mode = Plain | Confidential
+
+type engine_msg = Abc_m of Abc.msg | Scabc_m of Scabc.msg
+
+type msg =
+  | Engine of engine_msg
+  | Request of { client : int; body : string }
+  | Response of {
+      req_digest : string;
+      server : int;
+      response : string;
+      share : Keyring.sig_share;
+    }
+
+type engine = Abc_e of Abc.t | Scabc_e of Scabc.t
+
+type t = {
+  me : int;
+  keyring : Keyring.t;
+  sim_send : int -> msg -> unit;
+  mutable engine : engine option;
+  execute : string -> string;
+  mutable executed : int;
+}
+
+val parse_request : string -> (int * string) option
+(** Decode an ordered request wrap "client | nonce | body". *)
+
+val response_statement : req_digest:string -> response:string -> string
+(** The statement the service signature covers. *)
+
+val handle : t -> src:int -> msg -> unit
+
+val deploy :
+  sim:msg Sim.t ->
+  keyring:Keyring.t ->
+  mode:mode ->
+  make_app:(unit -> string -> string) ->
+  unit ->
+  t array
+(** One replica per server slot; [make_app ()] builds a fresh per-replica
+    state machine. *)
+
+(** Client side: send a request to every server (more than t, so
+    corrupted servers cannot swallow it) and assemble matching answers
+    until the combined service signature verifies. *)
+module Client : sig
+  type c
+
+  val create : sim:msg Sim.t -> keyring:Keyring.t -> slot:int -> seed:int -> c
+  (** Attach a client to simulator slot [slot] (>= n). *)
+
+  val request :
+    c -> mode:mode -> string -> (string -> Keyring.service_signature -> unit) -> unit
+  (** Fire-and-collect; the callback fires once with the agreed response
+      and its service signature. *)
+end
+
+val msg_size : Keyring.t -> msg -> int

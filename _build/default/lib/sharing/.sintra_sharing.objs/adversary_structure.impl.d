@@ -1,0 +1,1 @@
+lib/sharing/adversary_structure.ml: Format List Monotone_formula Pset

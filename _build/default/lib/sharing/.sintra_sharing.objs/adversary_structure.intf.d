@@ -1,0 +1,1 @@
+lib/sharing/adversary_structure.mli: Format Monotone_formula Pset

@@ -1,0 +1,1 @@
+lib/sharing/canonical_structures.ml: Adversary_structure List Monotone_formula Pset

@@ -1,0 +1,1 @@
+lib/sharing/lsss.ml: Array Bignum List Monotone_formula Poly Pset

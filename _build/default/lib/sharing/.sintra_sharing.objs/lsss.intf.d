@@ -1,0 +1,1 @@
+lib/sharing/lsss.mli: Bignum Monotone_formula Prng Pset

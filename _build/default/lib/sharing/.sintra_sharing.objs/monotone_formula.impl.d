@@ -1,0 +1,1 @@
+lib/sharing/monotone_formula.ml: Format List Pset

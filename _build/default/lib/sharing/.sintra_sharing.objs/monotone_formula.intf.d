@@ -1,0 +1,1 @@
+lib/sharing/monotone_formula.mli: Format Pset

@@ -1,0 +1,1 @@
+lib/sharing/poly.ml: Array Bignum List Prng

@@ -1,0 +1,1 @@
+lib/sharing/poly.mli: Bignum Prng

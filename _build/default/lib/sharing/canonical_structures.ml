@@ -1,0 +1,84 @@
+(* The concrete generalized adversary structures of Section 4.3.
+
+   Parties are 0-indexed here (the paper numbers them 1..n). *)
+
+module F = Monotone_formula
+
+(* One attribute: [classes] partitions the parties; a set "covers" a
+   class when it contains at least one member of it.  [class_cover ~k]
+   is Theta_k over the class-characteristic functions chi_c. *)
+let class_cover ~(classes : int list list) ~k : F.t =
+  F.threshold k (List.map (fun members -> F.or_ (List.map F.leaf members)) classes)
+
+(* Example 1 (paper): nine servers, one attribute class = {a,b,c,d} with
+   class(1..4) = a, class(5..6) = b, class(7..8) = c, class(9) = d.
+   Tolerates any two arbitrary servers or all servers of one class.
+   Access structure: Theta_3^9(S)  AND  Theta_2^4(chi_a, ..., chi_d). *)
+let example1_classes = [ [ 0; 1; 2; 3 ]; [ 4; 5 ]; [ 6; 7 ]; [ 8 ] ]
+
+let example1 () : Adversary_structure.t =
+  let access =
+    F.and_
+      [ F.simple_threshold ~n:9 ~k:3;
+        class_cover ~classes:example1_classes ~k:2 ]
+  in
+  Adversary_structure.of_access_formula ~n:9 access
+
+(* Example 2 (paper): sixteen servers arranged in a 4x4 grid of
+   (location, operating system) cells, one server per cell.  Party index
+   of cell (r, c) is 4r + c.  The secret splits into a location part and
+   an OS part: each must be recovered from at least two rows
+   (resp. columns), and each row/column value is shared 2-out-of-4 among
+   its cells.  Tolerates the simultaneous corruption of all servers at
+   one location plus all servers of one OS (7 of 16 servers). *)
+let example2_party ~row ~col = (4 * row) + col
+
+(* Sharing formula for a grid of (location, OS) cells: the secret splits
+   into a location part and an OS part (AND); the location part needs at
+   least [row_quorum] row values, each row value shared
+   [cell_quorum]-out-of-[cols] among its cells; symmetrically for
+   columns.  This is the nested Benaloh-Leichter scheme described in the
+   Example 2 discussion of the paper. *)
+let grid_sharing_formula ~rows ~cols ~row_quorum ~col_quorum ~cell_quorum : F.t =
+  let cell r c = F.leaf ((cols * r) + c) in
+  let row_part =
+    F.threshold row_quorum
+      (List.init rows (fun r ->
+           F.threshold cell_quorum (List.init cols (fun c -> cell r c))))
+  in
+  let col_part =
+    F.threshold col_quorum
+      (List.init cols (fun c ->
+           F.threshold cell_quorum (List.init rows (fun r -> cell r c))))
+  in
+  F.and_ [ row_part; col_part ]
+
+(* The corruption patterns of Example 2: all servers at one location
+   together with all servers running one operating system — a full row
+   plus a full column of the grid (7 of 16 servers). *)
+let row_plus_col ~rows ~cols ~row ~col : Pset.t =
+  let s = ref Pset.empty in
+  for c = 0 to cols - 1 do
+    s := Pset.add ((cols * row) + c) !s
+  done;
+  for r = 0 to rows - 1 do
+    s := Pset.add ((cols * r) + col) !s
+  done;
+  !s
+
+let grid_structure ~rows ~cols : Adversary_structure.t =
+  let maximal =
+    List.concat
+      (List.init rows (fun row ->
+           List.init cols (fun col -> row_plus_col ~rows ~cols ~row ~col)))
+  in
+  Adversary_structure.of_maximal_sets ~n:(rows * cols)
+    ~access:
+      (grid_sharing_formula ~rows ~cols ~row_quorum:2 ~col_quorum:2
+         ~cell_quorum:2)
+    maximal
+
+let example2 () : Adversary_structure.t = grid_structure ~rows:4 ~cols:4
+
+let example2_site_plus_os ~row ~col : Pset.t =
+  row_plus_col ~rows:4 ~cols:4 ~row ~col

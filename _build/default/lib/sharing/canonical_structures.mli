@@ -1,0 +1,34 @@
+(** The concrete generalized adversary structures of the paper's
+    Section 4.3 (parties 0-indexed; the paper numbers them 1..n). *)
+
+val class_cover : classes:int list list -> k:int -> Monotone_formula.t
+(** Θ{_k} over the class-characteristic functions χ{_c} of a partition. *)
+
+val example1_classes : int list list
+(** class(0..3) = a, class(4,5) = b, class(6,7) = c, class(8) = d. *)
+
+val example1 : unit -> Adversary_structure.t
+(** Nine servers: tolerates any two servers or all servers of one class;
+    access = Θ{_3}{^9}(S) ∧ Θ{_2}{^4}(χ{_a},χ{_b},χ{_c},χ{_d}). *)
+
+val grid_sharing_formula :
+  rows:int -> cols:int -> row_quorum:int -> col_quorum:int -> cell_quorum:int ->
+  Monotone_formula.t
+(** The nested two-level sharing of Example 2: a location part and an OS
+    part, each recovered from [row_quorum] row values (resp. columns),
+    every row value shared [cell_quorum]-out-of-[cols] among its cells. *)
+
+val row_plus_col : rows:int -> cols:int -> row:int -> col:int -> Pset.t
+(** All servers at one location plus all servers of one OS. *)
+
+val grid_structure : rows:int -> cols:int -> Adversary_structure.t
+
+val example2_party : row:int -> col:int -> int
+(** Party index of grid cell (row = site, col = OS). *)
+
+val example2 : unit -> Adversary_structure.t
+(** Sixteen servers in a 4×4 site × OS grid: tolerates the simultaneous
+    corruption of one full site plus one full OS (7 of 16 servers);
+    satisfies Q{^3}, while thresholds on 16 servers stop at t = 5. *)
+
+val example2_site_plus_os : row:int -> col:int -> Pset.t

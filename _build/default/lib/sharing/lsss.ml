@@ -1,0 +1,109 @@
+(* Linear secret sharing for monotone formulas: the Benaloh-Leichter
+   construction with Shamir sharing inside each threshold gate.
+
+   To share s over Theta_k(children): pick a random degree-(k-1)
+   polynomial f with f(0) = s and recursively share f(j) to child j.
+   Each Leaf of the formula ends up holding one field element (a party
+   that owns several leaves holds several).  Reconstruction composes the
+   Lagrange coefficients down the tree, so the secret is a *linear*
+   combination of leaf values — which is what lets the threshold
+   cryptography of Section 3 work in the exponent for any Q^3 structure
+   (Section 4.2). *)
+
+module B = Bignum
+module F = Monotone_formula
+
+type scheme = {
+  modulus : B.t;
+  formula : F.t;
+  leaf_owner : int array;  (* leaf id (DFS order) -> party index *)
+}
+
+type subshare = { leaf : int; party : int; value : B.t }
+
+let build ~modulus formula =
+  let owners = ref [] in
+  let rec walk f =
+    match f with
+    | F.Leaf i -> owners := i :: !owners
+    | F.Threshold (_, children) -> List.iter walk children
+  in
+  walk formula;
+  { modulus; formula; leaf_owner = Array.of_list (List.rev !owners) }
+
+let num_leaves scheme = Array.length scheme.leaf_owner
+let leaf_owner scheme leaf = scheme.leaf_owner.(leaf)
+
+let share scheme rng ~(secret : B.t) : subshare list =
+  let next_leaf = ref 0 in
+  let out = ref [] in
+  let rec go f value =
+    match f with
+    | F.Leaf party ->
+      let leaf = !next_leaf in
+      incr next_leaf;
+      out := { leaf; party; value } :: !out
+    | F.Threshold (k, children) ->
+      let p =
+        Poly.random rng ~modulus:scheme.modulus ~degree:(k - 1) ~secret:value
+      in
+      List.iteri (fun j c -> go c (Poly.eval_at_int p (j + 1))) children
+  in
+  go scheme.formula (B.erem secret scheme.modulus);
+  List.rev !out
+
+let shares_of_party (subshares : subshare list) (party : int) : subshare list =
+  List.filter (fun s -> s.party = party) subshares
+
+(* Recombination vector: coefficients c_l such that the secret equals
+   sum_l c_l * value_l over the leaves owned by [avail].  [None] when
+   [avail] is not qualified. *)
+let recombination scheme (avail : Pset.t) : (int * B.t) list option =
+  let next_leaf = ref 0 in
+  let rec solve f : (int * B.t) list option =
+    match f with
+    | F.Leaf party ->
+      let leaf = !next_leaf in
+      incr next_leaf;
+      if Pset.mem party avail then Some [ (leaf, B.one) ] else None
+    | F.Threshold (k, children) ->
+      (* Solve each child first (the traversal must visit every leaf to
+         keep the DFS numbering aligned), then pick the first k solved. *)
+      let solved = List.mapi (fun j c -> (j + 1, solve c)) children in
+      let usable =
+        List.filter_map
+          (fun (j, r) -> match r with Some coeffs -> Some (j, coeffs) | None -> None)
+          solved
+      in
+      if List.length usable < k then None
+      else begin
+        let chosen = List.filteri (fun idx _ -> idx < k) usable in
+        let points = List.map fst chosen in
+        let lambdas = Poly.lagrange_at_zero ~modulus:scheme.modulus points in
+        Some
+          (List.concat_map
+             (fun (j, coeffs) ->
+               let lambda = List.assoc j lambdas in
+               List.map
+                 (fun (leaf, c) -> (leaf, B.mul_mod lambda c scheme.modulus))
+                 coeffs)
+             chosen)
+      end
+  in
+  solve scheme.formula
+
+let reconstruct scheme (subshares : subshare list) (avail : Pset.t) :
+    B.t option =
+  match recombination scheme avail with
+  | None -> None
+  | Some coeffs ->
+    let value_of_leaf leaf =
+      match List.find_opt (fun s -> s.leaf = leaf) subshares with
+      | Some s -> s.value
+      | None -> invalid_arg "Lsss.reconstruct: missing subshare"
+    in
+    Some
+      (List.fold_left
+         (fun acc (leaf, c) ->
+           B.erem (B.add acc (B.mul c (value_of_leaf leaf))) scheme.modulus)
+         B.zero coeffs)

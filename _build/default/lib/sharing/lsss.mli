@@ -1,0 +1,29 @@
+(** Linear secret sharing for monotone formulas: the Benaloh–Leichter
+    construction with Shamir sharing inside every threshold gate.
+
+    Reconstruction is a linear combination of leaf values (nested
+    Lagrange), which is what lets the threshold cryptography work "in the
+    exponent" for any Q{^3} structure (paper, Section 4.2). *)
+
+type scheme
+
+type subshare = { leaf : int; party : int; value : Bignum.t }
+(** One field element held by [party] for formula leaf [leaf] (DFS
+    numbering); a party owning several leaves holds several subshares. *)
+
+val build : modulus:Bignum.t -> Monotone_formula.t -> scheme
+val num_leaves : scheme -> int
+val leaf_owner : scheme -> int -> int
+
+val share : scheme -> Prng.t -> secret:Bignum.t -> subshare list
+(** Fresh sharing of [secret]; returns every leaf's subshare. *)
+
+val shares_of_party : subshare list -> int -> subshare list
+
+val recombination : scheme -> Pset.t -> (int * Bignum.t) list option
+(** [recombination scheme avail] is the coefficient vector [(leaf, c)]
+    with [secret = Σ c · value_leaf] over leaves owned by [avail], or
+    [None] when [avail] is unqualified.  The same vector recombines
+    exponent shares: [base^secret = Π (base^{value})^c]. *)
+
+val reconstruct : scheme -> subshare list -> Pset.t -> Bignum.t option

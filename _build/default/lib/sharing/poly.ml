@@ -1,0 +1,49 @@
+(* Polynomials over the prime field Z_q, for Shamir secret sharing and
+   Lagrange interpolation at zero. *)
+
+module B = Bignum
+
+type t = { modulus : B.t; coeffs : B.t array }
+(* coeffs.(i) is the coefficient of x^i; coeffs.(0) is the secret. *)
+
+let random rng ~modulus ~degree ~secret =
+  if degree < 0 then invalid_arg "Poly.random: negative degree";
+  let coeffs =
+    Array.init (degree + 1) (fun i ->
+        if i = 0 then B.erem secret modulus else Prng.bignum_below rng modulus)
+  in
+  { modulus; coeffs }
+
+let degree p = Array.length p.coeffs - 1
+
+let eval p (x : B.t) : B.t =
+  (* Horner evaluation mod q. *)
+  let acc = ref B.zero in
+  for i = Array.length p.coeffs - 1 downto 0 do
+    acc := B.erem (B.add (B.mul !acc x) p.coeffs.(i)) p.modulus
+  done;
+  !acc
+
+let eval_at_int p (x : int) : B.t = eval p (B.of_int x)
+
+(* Lagrange coefficients for interpolating f(0) from the points [xs]
+   (distinct non-zero ints): f(0) = sum_j lambda_j f(x_j) mod q. *)
+let lagrange_at_zero ~modulus (xs : int list) : (int * B.t) list =
+  let inv v =
+    match B.inv_mod v modulus with
+    | Some i -> i
+    | None -> invalid_arg "Poly.lagrange_at_zero: duplicate or zero point"
+  in
+  List.map
+    (fun xj ->
+      let num, den =
+        List.fold_left
+          (fun (num, den) xm ->
+            if xm = xj then (num, den)
+            else
+              ( B.mul_mod num (B.of_int xm) modulus,
+                B.mul_mod den (B.erem (B.of_int (xm - xj)) modulus) modulus ))
+          (B.one, B.one) xs
+      in
+      (xj, B.mul_mod num (inv den) modulus))
+    xs

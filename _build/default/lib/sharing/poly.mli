@@ -1,0 +1,16 @@
+(** Polynomials over Z{_q} for Shamir secret sharing and Lagrange
+    interpolation at zero. *)
+
+type t
+
+val random : Prng.t -> modulus:Bignum.t -> degree:int -> secret:Bignum.t -> t
+(** Uniform polynomial of the given degree with constant term [secret]
+    (reduced mod [modulus]). *)
+
+val degree : t -> int
+val eval : t -> Bignum.t -> Bignum.t
+val eval_at_int : t -> int -> Bignum.t
+
+val lagrange_at_zero : modulus:Bignum.t -> int list -> (int * Bignum.t) list
+(** Coefficients λ{_j} with [f 0 = Σ λ_j · f x_j] for any polynomial of
+    degree < |points|; points must be distinct, non-zero mod [modulus]. *)

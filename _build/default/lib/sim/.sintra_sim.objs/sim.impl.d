@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array List Metrics Prng Pset

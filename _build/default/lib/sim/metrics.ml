@@ -1,0 +1,21 @@
+(* Counters collected by the network simulator; the message-complexity
+   experiments (EXPERIMENTS.md, M1) read these. *)
+
+type t = {
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable deliveries : int;
+  mutable drops : int;  (* messages to crashed parties *)
+}
+
+let create () = { messages_sent = 0; bytes_sent = 0; deliveries = 0; drops = 0 }
+
+let reset t =
+  t.messages_sent <- 0;
+  t.bytes_sent <- 0;
+  t.deliveries <- 0;
+  t.drops <- 0
+
+let pp fmt t =
+  Format.fprintf fmt "sent=%d bytes=%d delivered=%d dropped=%d"
+    t.messages_sent t.bytes_sent t.deliveries t.drops

@@ -1,0 +1,13 @@
+(** Counters collected by the network simulator (read by the message-
+    complexity experiments). *)
+
+type t = {
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable deliveries : int;
+  mutable drops : int;  (** messages addressed to crashed parties *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,240 @@
+(* Discrete-event simulator of an asynchronous network under adversarial
+   scheduling.
+
+   The model of the paper, Section 2: a static set of servers linked by
+   asynchronous authenticated point-to-point channels, where the
+   adversary controls the order (and, within the run, the timing) of all
+   message deliveries and fully controls corrupted parties.  "The network
+   is the adversary": the scheduling policy *is* the adversary's
+   strategy, so safety/liveness claims become testable by quantifying
+   over seeds and policies.
+
+   Virtual time exists only to (a) drive the latency model of the benign
+   scheduler and (b) let timeout-based baselines (the CL99-style
+   deterministic protocol) express their failure detectors; the
+   randomized protocols of the architecture never read the clock. *)
+
+type party = int
+
+type 'msg envelope = {
+  seq : int;
+  src : party;
+  dst : party;
+  msg : 'msg;
+  ready_at : float;  (* earliest "benign" delivery time *)
+}
+
+type policy =
+  | Fifo  (** deliver in send order *)
+  | Random_order  (** uniformly random pending message *)
+  | Latency_order  (** benign WAN: deliver by ready_at *)
+  | Delay_victims of Pset.t
+      (** adversarial: messages from/to the victim set are delivered only
+          when nothing else is pending *)
+
+type 'msg handler = src:party -> 'msg -> unit
+
+(* Optional event trace, for debugging and the CLI's --trace output. *)
+type trace_event =
+  | Delivered of { at : float; src : party; dst : party; summary : string }
+  | Dropped of { at : float; src : party; dst : party }
+  | Timer_fired of { at : float; party : party }
+
+type 'msg t = {
+  n : int;  (* servers are parties 0 .. n-1; higher ids are clients *)
+  slots : int;
+  rng : Prng.t;
+  mutable policy : policy;
+  mutable clock : float;
+  mutable seq : int;
+  mutable pending : 'msg envelope list;  (* newest first *)
+  handlers : 'msg handler option array;
+  crashed : bool array;
+  mutable timers : (float * party * (unit -> unit)) list;
+  metrics : Metrics.t;
+  size : 'msg -> int;
+  mutable tracer : ('msg -> string) option;
+  mutable trace : trace_event list;  (* newest first *)
+}
+
+let create ?(policy = Random_order) ?(extra = 8) ?(size = fun _ -> 1) ~n ~seed
+    () : 'msg t =
+  { n;
+    slots = n + extra;
+    rng = Prng.create ~seed;
+    policy;
+    clock = 0.0;
+    seq = 0;
+    pending = [];
+    handlers = Array.make (n + extra) None;
+    crashed = Array.make (n + extra) false;
+    timers = [];
+    metrics = Metrics.create ();
+    size;
+    tracer = None;
+    trace = [] }
+
+let n t = t.n
+let clock t = t.clock
+let metrics t = t.metrics
+let set_policy t p = t.policy <- p
+
+let set_handler t party (h : 'msg handler) =
+  if party < 0 || party >= t.slots then invalid_arg "Sim.set_handler";
+  t.handlers.(party) <- Some h
+
+let enable_trace t ~summarize = t.tracer <- Some summarize
+let trace t = List.rev t.trace
+
+let crash t party = t.crashed.(party) <- true
+let is_crashed t party = t.crashed.(party)
+
+(* Random per-message WAN latency in [10, 100) virtual milliseconds. *)
+let latency t = 10.0 +. (90.0 *. Prng.float t.rng)
+
+let send t ~src ~dst msg =
+  if dst < 0 || dst >= t.slots then invalid_arg "Sim.send";
+  t.metrics.Metrics.messages_sent <- t.metrics.Metrics.messages_sent + 1;
+  t.metrics.Metrics.bytes_sent <- t.metrics.Metrics.bytes_sent + t.size msg;
+  let env =
+    { seq = t.seq; src; dst; msg; ready_at = t.clock +. latency t }
+  in
+  t.seq <- t.seq + 1;
+  t.pending <- env :: t.pending
+
+let broadcast t ~src msg =
+  for dst = 0 to t.n - 1 do
+    send t ~src ~dst msg
+  done
+
+let set_timer t party ~delay callback =
+  t.timers <- (t.clock +. delay, party, callback) :: t.timers
+
+let fire_due_timers t =
+  let due, rest = List.partition (fun (d, _, _) -> d <= t.clock) t.timers in
+  t.timers <- rest;
+  List.iter
+    (fun (d, party, cb) ->
+      if not t.crashed.(party) then begin
+        if t.tracer <> None then
+          t.trace <- Timer_fired { at = d; party } :: t.trace;
+        cb ()
+      end)
+    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) due)
+
+let pending_count t = List.length t.pending
+
+(* Pick the index (into [t.pending]) of the next envelope to deliver. *)
+let choose t : int option =
+  let len = List.length t.pending in
+  if len = 0 then None
+  else
+    match t.policy with
+    | Fifo ->
+      (* pending is newest-first; FIFO delivers the oldest *)
+      Some (len - 1)
+    | Random_order -> Some (Prng.int t.rng len)
+    | Latency_order ->
+      let best = ref 0 and best_t = ref infinity in
+      List.iteri
+        (fun i e -> if e.ready_at < !best_t then begin best := i; best_t := e.ready_at end)
+        t.pending;
+      Some !best
+    | Delay_victims victims ->
+      let touched e = Pset.mem e.src victims || Pset.mem e.dst victims in
+      let free =
+        List.mapi (fun i e -> (i, e)) t.pending
+        |> List.filter (fun (_, e) -> not (touched e))
+      in
+      (match free with
+      | [] -> Some (len - 1)  (* only victim traffic left: oldest first *)
+      | _ ->
+        let k = Prng.int t.rng (List.length free) in
+        Some (fst (List.nth free k)))
+
+(* Under [Delay_victims], the adversary also out-waits timeouts: when
+   only victim traffic remains and a timer is pending, virtual time jumps
+   past the earliest deadline before any victim message is released.
+   This is exactly the paper's Section 2.2 attack — "the adversary may
+   simply delay the communication with a server longer than the timeout
+   and the server appears faulty to the others". *)
+let adversary_outwaits_timer t : bool =
+  match t.policy with
+  | Fifo | Random_order | Latency_order -> false
+  | Delay_victims victims ->
+    t.timers <> []
+    && t.pending <> []
+    && List.for_all
+         (fun e -> Pset.mem e.src victims || Pset.mem e.dst victims)
+         t.pending
+
+let remove_nth l k =
+  let rec go i acc = function
+    | [] -> invalid_arg "Sim.remove_nth"
+    | x :: rest ->
+      if i = k then (x, List.rev_append acc rest) else go (i + 1) (x :: acc) rest
+  in
+  go 0 [] l
+
+(* Deliver one message.  Returns false when the network is quiescent. *)
+let step t : bool =
+  if adversary_outwaits_timer t then begin
+    match List.sort (fun (a, _, _) (b, _, _) -> compare a b) t.timers with
+    | [] -> assert false
+    | (d, _, _) :: _ ->
+      t.clock <- max t.clock d;
+      fire_due_timers t;
+      true
+  end
+  else
+  match choose t with
+  | None ->
+    (* No traffic: advance time to the next timer, if any. *)
+    (match List.sort (fun (a, _, _) (b, _, _) -> compare a b) t.timers with
+    | [] -> false
+    | (d, _, _) :: _ ->
+      t.clock <- max t.clock d;
+      fire_due_timers t;
+      true)
+  | Some k ->
+    let env, rest = remove_nth t.pending k in
+    t.pending <- rest;
+    t.clock <- max t.clock env.ready_at;
+    fire_due_timers t;
+    if t.crashed.(env.dst) then begin
+      t.metrics.Metrics.drops <- t.metrics.Metrics.drops + 1;
+      if t.tracer <> None then
+        t.trace <- Dropped { at = t.clock; src = env.src; dst = env.dst } :: t.trace
+    end
+    else begin
+      match t.handlers.(env.dst) with
+      | None -> t.metrics.Metrics.drops <- t.metrics.Metrics.drops + 1
+      | Some h ->
+        t.metrics.Metrics.deliveries <- t.metrics.Metrics.deliveries + 1;
+        (match t.tracer with
+        | Some summarize ->
+          t.trace <-
+            Delivered
+              { at = t.clock; src = env.src; dst = env.dst;
+                summary = summarize env.msg }
+            :: t.trace
+        | None -> ());
+        h ~src:env.src env.msg
+    end;
+    true
+
+exception Out_of_steps
+
+(* Run until [until ()] holds or the network is quiescent; raises
+   [Out_of_steps] if the bound is exceeded while traffic remains. *)
+let run ?(max_steps = 2_000_000) ?(until = fun () -> false) t : unit =
+  let steps = ref 0 in
+  let rec go () =
+    if until () then ()
+    else if !steps >= max_steps then raise Out_of_steps
+    else begin
+      incr steps;
+      if step t then go () else ()
+    end
+  in
+  go ()

@@ -1,0 +1,80 @@
+(** Discrete-event simulator of an asynchronous network under adversarial
+    scheduling — the paper's Section 2 model, where "the network is the
+    adversary": the scheduling policy is the adversary's strategy, which
+    makes liveness and safety claims testable by quantifying over seeds
+    and policies.
+
+    Virtual time exists only to drive the benign latency model and the
+    timers of timeout-based baselines; the randomized protocols never
+    read the clock. *)
+
+type party = int
+
+type policy =
+  | Fifo  (** deliver in send order *)
+  | Random_order  (** uniformly random pending message *)
+  | Latency_order  (** benign WAN: deliver by simulated latency *)
+  | Delay_victims of Pset.t
+      (** adversarial: traffic from/to the victims is delivered only when
+          nothing else is pending, and pending timers are out-waited
+          first — the Section 2.2 "delay longer than the timeout"
+          attack *)
+
+type 'msg handler = src:party -> 'msg -> unit
+
+(** Optional event trace, for debugging and CLI inspection. *)
+type trace_event =
+  | Delivered of { at : float; src : party; dst : party; summary : string }
+  | Dropped of { at : float; src : party; dst : party }
+  | Timer_fired of { at : float; party : party }
+
+type 'msg t
+
+val create :
+  ?policy:policy ->
+  ?extra:int ->
+  ?size:('msg -> int) ->
+  n:int ->
+  seed:int ->
+  unit ->
+  'msg t
+(** [n] server slots plus [extra] client slots (default 8); [size]
+    estimates wire bytes for the metrics. *)
+
+val n : 'msg t -> int
+val clock : 'msg t -> float
+val metrics : 'msg t -> Metrics.t
+val set_policy : 'msg t -> policy -> unit
+
+val set_handler : 'msg t -> party -> 'msg handler -> unit
+(** Attach (or replace — e.g. with a Byzantine behaviour) the message
+    handler of a slot. *)
+
+val enable_trace : 'msg t -> summarize:('msg -> string) -> unit
+(** Start recording {!trace_event}s; [summarize] renders each message. *)
+
+val trace : 'msg t -> trace_event list
+(** Recorded events, oldest first. *)
+
+val crash : 'msg t -> party -> unit
+(** All subsequent deliveries to the party are dropped. *)
+
+val is_crashed : 'msg t -> party -> bool
+
+val send : 'msg t -> src:party -> dst:party -> 'msg -> unit
+val broadcast : 'msg t -> src:party -> 'msg -> unit
+(** To every server slot (0..n-1), including [src]. *)
+
+val set_timer : 'msg t -> party -> delay:float -> (unit -> unit) -> unit
+(** One-shot virtual-time timer (not fired for crashed parties). *)
+
+val pending_count : 'msg t -> int
+
+val step : 'msg t -> bool
+(** Deliver one message / fire due timers; [false] when quiescent. *)
+
+exception Out_of_steps
+
+val run : ?max_steps:int -> ?until:(unit -> bool) -> 'msg t -> unit
+(** Step until [until ()] holds or the network is quiescent; raises
+    {!Out_of_steps} if the bound (default 2,000,000) is hit first. *)

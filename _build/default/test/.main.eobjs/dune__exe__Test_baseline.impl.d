@@ -1,0 +1,1 @@
+test/test_baseline.ml: Abc Adversary_structure Alcotest Array Baseline_stack Fun Keyring List Pbft_lite Pset Sim Stack

@@ -1,0 +1,1 @@
+test/test_crypto_scale.ml: Adversary_structure Alcotest Bignum Char Coin Dl_sharing Keyring List Option Prng Pset Rsa_threshold Schnorr_group String Tdh2

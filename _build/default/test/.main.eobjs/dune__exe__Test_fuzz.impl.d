@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Abba Adversary_structure Array Cbc Keyring Lazy List Printf Prng QCheck2 QCheck_alcotest Rbc Ro Sim Stack

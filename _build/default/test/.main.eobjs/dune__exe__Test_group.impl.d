@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Bignum List Primes Prng QCheck2 QCheck_alcotest Schnorr_group String

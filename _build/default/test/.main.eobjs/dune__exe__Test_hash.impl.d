@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Bignum List QCheck2 QCheck_alcotest Ro Sha256 String

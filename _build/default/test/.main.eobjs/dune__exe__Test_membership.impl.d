@@ -1,0 +1,1 @@
+test/test_membership.ml: Alcotest Array List Membership_abc Pset Sha256 Sim

@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Bignum List Primes Prng QCheck2 QCheck_alcotest String

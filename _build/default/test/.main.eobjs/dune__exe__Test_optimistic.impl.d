@@ -1,0 +1,1 @@
+test/test_optimistic.ml: Abc Adversary_structure Alcotest Array Keyring Lazy List Metrics Optimistic_abc Printf Proto_io Sim Stack

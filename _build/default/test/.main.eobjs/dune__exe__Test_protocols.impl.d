@@ -1,0 +1,1 @@
+test/test_protocols.ml: Abba Abc Adversary_structure Alcotest Array Canonical_structures Cbc Fun Hashtbl Keyring List Option Printf Prng Rbc Ro Scabc Sim Stack String Vba

@@ -1,0 +1,1 @@
+test/test_services.ml: Abc Adversary_structure Alcotest Array Ca Canonical_structures Codec Directory_service Keyring Lazy Notary Pset Scabc Service Sha256 Sim String

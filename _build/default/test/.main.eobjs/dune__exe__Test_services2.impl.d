@@ -1,0 +1,1 @@
+test/test_services2.ml: Adversary_structure Alcotest Auth_service Codec Fair_exchange Keyring Lazy Service Sim

@@ -1,0 +1,1 @@
+test/test_sharing.ml: Adversary_structure Alcotest Bignum Canonical_structures List Lsss Monotone_formula Poly Printf Prng Pset QCheck2 QCheck_alcotest

@@ -1,0 +1,219 @@
+(* Tests for the Section 6 extensions: proactive share refresh and
+   hybrid (Byzantine + crash) failure structures. *)
+
+module AS = Adversary_structure
+module B = Bignum
+module G = Schnorr_group
+
+let ps = G.default ~bits:96 ()
+let th41 = AS.threshold ~n:4 ~t:1
+
+let deal ?(seed = 42) structure = Dl_sharing.deal ps structure (Prng.create ~seed)
+
+let proactive_tests =
+  [ Alcotest.test_case "refresh preserves public key and leaf consistency"
+      `Quick (fun () ->
+        let sh = deal th41 in
+        let rng = Prng.create ~seed:7 in
+        match Proactive.run_epoch sh ~refreshers:(Pset.of_list [ 0; 1; 2 ]) rng with
+        | Error e -> Alcotest.fail e
+        | Ok sh' ->
+          Alcotest.(check bool) "public key unchanged" true
+            (G.elt_equal sh.Dl_sharing.public_key sh'.Dl_sharing.public_key);
+          (* new leaf keys match new subshares *)
+          List.iter
+            (fun (s : Lsss.subshare) ->
+              Alcotest.(check bool) "leaf key consistent" true
+                (G.elt_equal sh'.Dl_sharing.leaf_keys.(s.leaf) (G.exp_g ps s.value)))
+            sh'.Dl_sharing.subshares;
+          (* shares actually changed *)
+          Alcotest.(check bool) "shares re-randomized" false
+            (List.for_all2
+               (fun (a : Lsss.subshare) (b : Lsss.subshare) ->
+                 B.equal a.value b.value)
+               sh.Dl_sharing.subshares sh'.Dl_sharing.subshares));
+    Alcotest.test_case "coin value survives the epoch change" `Quick (fun () ->
+        let sh = deal ~seed:43 th41 in
+        let rng = Prng.create ~seed:8 in
+        let value sharing =
+          let shares =
+            List.init 2 (fun i ->
+                (i, Coin.generate_share sharing ~party:i ~name:"epoch-coin"))
+          in
+          Coin.combine sharing ~name:"epoch-coin" ~avail:(Pset.of_list [ 0; 1 ])
+            shares ()
+        in
+        let before = value sh in
+        match Proactive.run_epoch sh ~refreshers:(Pset.of_list [ 0; 1; 2; 3 ]) rng with
+        | Error e -> Alcotest.fail e
+        | Ok sh' ->
+          Alcotest.(check bool) "combined before" true (before <> None);
+          Alcotest.(check bool) "same coin value from fresh shares" true
+            (value sh' = before));
+    Alcotest.test_case "old and new shares do not mix" `Quick (fun () ->
+        (* The mobile adversary holds party 0's share from epoch 0 and
+           party 1's share from epoch 1; recombining them must NOT give
+           the secret (checked in the exponent against the public key). *)
+        let sh = deal ~seed:44 th41 in
+        let rng = Prng.create ~seed:9 in
+        match Proactive.run_epoch sh ~refreshers:(Pset.of_list [ 0; 1; 2; 3 ]) rng with
+        | Error e -> Alcotest.fail e
+        | Ok sh' ->
+          let leaf_of sharing party =
+            match Dl_sharing.shares_of sharing party with
+            | [ s ] -> (s.Lsss.leaf, G.exp_g ps s.Lsss.value)
+            | _ -> Alcotest.fail "expected one leaf per party"
+          in
+          let mixed = [ leaf_of sh 0; leaf_of sh' 1 ] in
+          (match
+             Dl_sharing.combine_in_exponent sh ~avail:(Pset.of_list [ 0; 1 ])
+               ~leaf_values:mixed
+           with
+          | None -> Alcotest.fail "combination unexpectedly refused"
+          | Some g_x ->
+            Alcotest.(check bool) "mixed epochs give garbage" false
+              (G.elt_equal g_x sh.Dl_sharing.public_key));
+          (* sanity: same-epoch shares do give the secret *)
+          let fresh = [ leaf_of sh' 0; leaf_of sh' 1 ] in
+          (match
+             Dl_sharing.combine_in_exponent sh' ~avail:(Pset.of_list [ 0; 1 ])
+               ~leaf_values:fresh
+           with
+          | None -> Alcotest.fail "fresh combination refused"
+          | Some g_x ->
+            Alcotest.(check bool) "fresh epoch recombines" true
+              (G.elt_equal g_x sh.Dl_sharing.public_key)));
+    Alcotest.test_case "tampered refresh package rejected" `Quick (fun () ->
+        let sh = deal ~seed:45 th41 in
+        let rng = Prng.create ~seed:10 in
+        let pkg = Proactive.make_refresh sh ~dealer:0 rng in
+        Alcotest.(check bool) "honest package ok" true
+          (Proactive.verify_refresh sh pkg);
+        (* a sharing of 1 instead of 0 would shift the secret *)
+        let bad_deltas = Lsss.share sh.Dl_sharing.scheme rng ~secret:B.one in
+        let bad_keys =
+          Array.make (Lsss.num_leaves sh.Dl_sharing.scheme) (G.one ps)
+        in
+        List.iter
+          (fun (s : Lsss.subshare) -> bad_keys.(s.leaf) <- G.exp_g ps s.value)
+          bad_deltas;
+        let bad =
+          { Proactive.dealer = 0; deltas = bad_deltas; delta_keys = bad_keys }
+        in
+        Alcotest.(check bool) "nonzero sharing rejected" false
+          (Proactive.verify_refresh sh bad);
+        (* inconsistent delta keys rejected too *)
+        let bad2 =
+          { pkg with Proactive.delta_keys = Array.map (G.mul ps ps.G.g) pkg.Proactive.delta_keys }
+        in
+        Alcotest.(check bool) "inconsistent keys rejected" false
+          (Proactive.verify_refresh sh bad2));
+    Alcotest.test_case "epoch refused when refreshers may all be corrupted"
+      `Quick (fun () ->
+        let sh = deal ~seed:46 th41 in
+        let rng = Prng.create ~seed:11 in
+        match Proactive.run_epoch sh ~refreshers:(Pset.singleton 2) rng with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "singleton refresher set must be refused");
+    Alcotest.test_case "refresh works over example1 structure" `Quick
+      (fun () ->
+        let s1 = Canonical_structures.example1 () in
+        let sh = deal ~seed:47 s1 in
+        let rng = Prng.create ~seed:12 in
+        match
+          Proactive.run_epoch sh ~refreshers:(Pset.of_list [ 0; 4; 6 ]) rng
+        with
+        | Error e -> Alcotest.fail e
+        | Ok sh' ->
+          Alcotest.(check bool) "public key unchanged" true
+            (G.elt_equal sh.Dl_sharing.public_key sh'.Dl_sharing.public_key);
+          (* fresh TDH2 decryption still works with the refreshed shares *)
+          let ct = Tdh2.encrypt sh' (Prng.create ~seed:1) ~label:"l" "msg" in
+          let q = [ 0; 1; 4 ] in
+          let shares =
+            List.filter_map
+              (fun i ->
+                Option.map (fun s -> (i, s)) (Tdh2.decryption_share sh' ~party:i ct))
+              q
+          in
+          Alcotest.(check (option string)) "decrypts after refresh" (Some "msg")
+            (Tdh2.combine sh' ct ~avail:(Pset.of_list q) shares))
+  ]
+
+let hybrid_tests =
+  [ Alcotest.test_case "hybrid predicates and q3 arithmetic" `Quick (fun () ->
+        let h = AS.hybrid_threshold ~n:6 ~byzantine:1 ~crash:1 in
+        Alcotest.(check bool) "q3: 6 > 3+2" true (AS.satisfies_q3 h);
+        Alcotest.(check bool) "pure threshold t=2 at n=6 fails q3" false
+          (AS.satisfies_q3 (AS.threshold ~n:6 ~t:2));
+        Alcotest.(check bool) "big quorum 4" true
+          (AS.big_quorum h (Pset.of_list [ 0; 1; 2; 3 ]));
+        Alcotest.(check bool) "big quorum 3" false
+          (AS.big_quorum h (Pset.of_list [ 0; 1; 2 ]));
+        Alcotest.(check bool) "two_cover 3" true
+          (AS.two_cover h (Pset.of_list [ 0; 1; 2 ]));
+        Alcotest.(check bool) "honest at 2" true
+          (AS.contains_honest h (Pset.of_list [ 0; 1 ]));
+        Alcotest.(check bool) "honest at 1" false
+          (AS.contains_honest h (Pset.singleton 0));
+        Alcotest.(check bool) "sharing compatible" true
+          (AS.check_sharing_compatible h);
+        Alcotest.(check (option int)) "min big quorum" (Some 4)
+          (AS.min_big_quorum_size h));
+    Alcotest.test_case "abc over hybrid: 1 byzantine + 1 crash on 6 servers"
+      `Quick (fun () ->
+        (* n=6 cannot tolerate 2 uniform Byzantine faults (needs 7), but
+           the hybrid structure orders payloads with 1 Byzantine spammer
+           plus 1 crashed server. *)
+        let h = AS.hybrid_threshold ~n:6 ~byzantine:1 ~crash:1 in
+        let kr = Keyring.deal ~rsa_bits:192 ~seed:71 h in
+        List.iter
+          (fun seed ->
+            let sim = Sim.create ~n:6 ~seed () in
+            let logs = Array.make 6 [] in
+            let nodes =
+              Stack.deploy_abc ~sim ~keyring:kr
+                ~tag:(Printf.sprintf "hyb-%d" seed)
+                ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+            in
+            Sim.crash sim 5;
+            (* server 4 is Byzantine: it spams junk round proposals *)
+            Sim.set_handler sim 4 (fun ~src:_ (_ : Abc.msg) ->
+                for dst = 0 to 5 do
+                  Sim.send sim ~src:4 ~dst (Abc.Proposal (0, "junk", "junk-sig"))
+                done);
+            Abc.broadcast nodes.(0) "hybrid-payload-1";
+            Abc.broadcast nodes.(2) "hybrid-payload-2";
+            let honest = [ 0; 1; 2; 3 ] in
+            Sim.run sim
+              ~until:(fun () ->
+                List.for_all (fun i -> List.length logs.(i) >= 2) honest);
+            List.iter
+              (fun i ->
+                Alcotest.(check (list string)) "same order"
+                  (List.rev logs.(List.hd honest))
+                  (List.rev logs.(i)))
+              honest)
+          [ 501; 502 ]);
+    Alcotest.test_case "hybrid service end-to-end" `Quick (fun () ->
+        let h = AS.hybrid_threshold ~n:6 ~byzantine:1 ~crash:1 in
+        let kr = Keyring.deal ~rsa_bits:192 ~seed:72 h in
+        let sim = Sim.create ~n:6 ~seed:503 () in
+        let _nodes =
+          Service.deploy ~sim ~keyring:kr ~mode:Service.Plain
+            ~make_app:Directory_service.make_app ()
+        in
+        Sim.crash sim 3;
+        let client = Service.Client.create ~sim ~keyring:kr ~slot:6 ~seed:1 in
+        let result = ref None in
+        Service.Client.request client ~mode:Service.Plain
+          (Directory_service.bind_request ~key:"a" ~value:"1") (fun r s ->
+            result := Some (r, s));
+        Sim.run sim ~until:(fun () -> !result <> None);
+        Alcotest.(check bool) "bound with a crash on hybrid structure" true
+          (match !result with
+          | Some (r, _) -> Codec.decode r = Some [ "bound"; "a" ]
+          | None -> false))
+  ]
+
+let suite = ("extensions", proactive_tests @ hybrid_tests)

@@ -1,0 +1,73 @@
+(* SHA-256 known-answer tests (FIPS / NIST vectors) and random-oracle
+   helper properties. *)
+
+let qtest ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let unit_tests =
+  [ Alcotest.test_case "NIST vectors" `Quick (fun () ->
+        let cases =
+          [ ( "",
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" );
+            ( "abc",
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" );
+            ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+            ( "The quick brown fox jumps over the lazy dog",
+              "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592" ) ]
+        in
+        List.iter
+          (fun (input, expected) ->
+            Alcotest.(check string) input expected (Sha256.hex input))
+          cases);
+    Alcotest.test_case "million a's" `Slow (fun () ->
+        let s = String.make 1_000_000 'a' in
+        Alcotest.(check string) "1M a"
+          "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+          (Sha256.hex s));
+    Alcotest.test_case "incremental = one-shot" `Quick (fun () ->
+        let parts = [ "hello "; "world"; String.make 200 'x'; "" ; "tail" ] in
+        let ctx = Sha256.init () in
+        List.iter (Sha256.feed ctx) parts;
+        Alcotest.(check string) "incremental"
+          (Sha256.hex (String.concat "" parts))
+          (Sha256.to_hex (Sha256.finalize ctx)));
+    Alcotest.test_case "domain separation" `Quick (fun () ->
+        let a = Ro.hash ~domain:"d1" [ "x" ] in
+        let b = Ro.hash ~domain:"d2" [ "x" ] in
+        Alcotest.(check bool) "different domains differ" false (a = b));
+    Alcotest.test_case "encoding unambiguous" `Quick (fun () ->
+        (* Concatenation-ambiguous inputs must hash differently. *)
+        let a = Ro.hash ~domain:"d" [ "ab"; "c" ] in
+        let b = Ro.hash ~domain:"d" [ "a"; "bc" ] in
+        let c = Ro.hash ~domain:"d" [ "abc" ] in
+        Alcotest.(check bool) "split1" false (a = b);
+        Alcotest.(check bool) "split2" false (a = c));
+    Alcotest.test_case "hash_expand length" `Quick (fun () ->
+        List.iter
+          (fun len ->
+            Alcotest.(check int) "len" len
+              (String.length (Ro.hash_expand ~domain:"d" [ "x" ] ~len)))
+          [ 0; 1; 31; 32; 33; 100; 1000 ])
+  ]
+
+let prop_tests =
+  [ qtest "xor_pad involutive"
+      QCheck2.Gen.(pair string string)
+      (fun (key, data) ->
+        let enc = Ro.xor_pad ~domain:"pad" ~key data in
+        Ro.xor_pad ~domain:"pad" ~key enc = data);
+    qtest "hash_to_bignum_below in range"
+      QCheck2.Gen.(pair string (int_range 1 1000000))
+      (fun (s, bound) ->
+        let b = Bignum.of_int bound in
+        let v = Ro.hash_to_bignum_below ~domain:"d" [ s ] b in
+        Bignum.sign v >= 0 && Bignum.lt v b);
+    qtest "digest deterministic" QCheck2.Gen.string (fun s ->
+        Sha256.digest s = Sha256.digest s);
+    qtest "digest_list = digest of concat via feed"
+      QCheck2.Gen.(list string)
+      (fun parts -> Sha256.digest_list parts = Sha256.digest (String.concat "" parts))
+  ]
+
+let suite = ("hash", unit_tests @ prop_tests)

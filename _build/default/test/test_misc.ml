@@ -1,0 +1,270 @@
+(* Cross-cutting tests: the wire codec, the simulator itself, compressed
+   quorum certificates end-to-end, weighted-threshold structures, and
+   randomized-schedule property tests over whole protocol runs. *)
+
+module AS = Adversary_structure
+
+let qtest ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+(* ---------------- codec ---------------------------------------------- *)
+
+let codec_tests =
+  [ qtest "codec roundtrip" QCheck2.Gen.(list string) (fun parts ->
+        Codec.decode (Codec.encode parts) = Some parts);
+    qtest "codec rejects truncation"
+      QCheck2.Gen.(list_size (int_range 1 5) (string_size (int_range 1 20)))
+      (fun parts ->
+        let enc = Codec.encode parts in
+        (* dropping the last byte must never decode to the same list *)
+        let cut = String.sub enc 0 (String.length enc - 1) in
+        Codec.decode cut <> Some parts);
+    Alcotest.test_case "codec rejects garbage" `Quick (fun () ->
+        Alcotest.(check bool) "short" true (Codec.decode "abc" = None);
+        Alcotest.(check bool) "bad length" true
+          (Codec.decode "\xff\xff\xff\xff\xff\xff\xff\xffrest" = None);
+        Alcotest.(check (option (list string))) "empty ok" (Some [])
+          (Codec.decode ""))
+  ]
+
+(* ---------------- simulator ------------------------------------------ *)
+
+let sim_tests =
+  [ Alcotest.test_case "same seed, same trace" `Quick (fun () ->
+        let run () =
+          let sim = Sim.create ~n:3 ~seed:99 () in
+          let log = ref [] in
+          for i = 0 to 2 do
+            Sim.set_handler sim i (fun ~src m ->
+                log := (i, src, m) :: !log;
+                if m < 3 then Sim.broadcast sim ~src:i (m + 1))
+          done;
+          Sim.send sim ~src:0 ~dst:1 0;
+          Sim.run sim;
+          !log
+        in
+        Alcotest.(check bool) "deterministic" true (run () = run ()));
+    Alcotest.test_case "crashed party receives nothing" `Quick (fun () ->
+        let sim = Sim.create ~n:3 ~seed:1 () in
+        let got = ref 0 in
+        Sim.set_handler sim 2 (fun ~src:_ (_ : int) -> incr got);
+        Sim.crash sim 2;
+        Sim.send sim ~src:0 ~dst:2 42;
+        Sim.run sim;
+        Alcotest.(check int) "no delivery" 0 !got;
+        Alcotest.(check int) "counted as drop" 1 (Sim.metrics sim).Metrics.drops);
+    Alcotest.test_case "fifo preserves pairwise order" `Quick (fun () ->
+        let sim = Sim.create ~policy:Sim.Fifo ~n:2 ~seed:1 () in
+        let log = ref [] in
+        Sim.set_handler sim 1 (fun ~src:_ m -> log := m :: !log);
+        List.iter (fun m -> Sim.send sim ~src:0 ~dst:1 m) [ 1; 2; 3; 4 ];
+        Sim.run sim;
+        Alcotest.(check (list int)) "in order" [ 1; 2; 3; 4 ] (List.rev !log));
+    Alcotest.test_case "timers fire in deadline order" `Quick (fun () ->
+        let sim : int Sim.t = Sim.create ~n:1 ~seed:1 () in
+        let log = ref [] in
+        Sim.set_timer sim 0 ~delay:300.0 (fun () -> log := 3 :: !log);
+        Sim.set_timer sim 0 ~delay:100.0 (fun () -> log := 1 :: !log);
+        Sim.set_timer sim 0 ~delay:200.0 (fun () -> log := 2 :: !log);
+        Sim.run sim;
+        Alcotest.(check (list int)) "ordered" [ 1; 2; 3 ] (List.rev !log));
+    Alcotest.test_case "crashed party's timers do not fire" `Quick (fun () ->
+        let sim : int Sim.t = Sim.create ~n:2 ~seed:1 () in
+        let fired = ref false in
+        Sim.set_timer sim 1 ~delay:50.0 (fun () -> fired := true);
+        Sim.crash sim 1;
+        Sim.run sim;
+        Alcotest.(check bool) "suppressed" false !fired);
+    Alcotest.test_case "delay_victims starves victims while traffic flows"
+      `Quick (fun () ->
+        let sim = Sim.create ~policy:(Sim.Delay_victims (Pset.singleton 0)) ~n:3 ~seed:5 () in
+        let order = ref [] in
+        for i = 0 to 2 do
+          Sim.set_handler sim i (fun ~src:_ (m : int) -> order := (i, m) :: !order)
+        done;
+        Sim.send sim ~src:1 ~dst:0 100;  (* victim-bound *)
+        for k = 1 to 5 do
+          Sim.send sim ~src:1 ~dst:2 k
+        done;
+        Sim.run sim;
+        (* the victim-bound message is delivered last *)
+        (match !order with
+        | (0, 100) :: _ -> ()
+        | _ -> Alcotest.fail "victim traffic was not delayed to the end");
+        Alcotest.(check int) "all delivered" 6 (List.length !order))
+  ]
+
+(* ---------------- compressed certificates end-to-end ------------------ *)
+
+let compressed_tests =
+  [ Alcotest.test_case "quorum certs: compressed mode round trip" `Quick
+      (fun () ->
+        let kr =
+          Keyring.deal ~rsa_bits:192 ~cert_mode:Keyring.Compressed_mode
+            ~seed:9001 (AS.threshold ~n:4 ~t:1)
+        in
+        let stmt = "compressed-statement" in
+        let shares =
+          List.map (fun p -> (p, Keyring.cert_share kr ~party:p stmt)) [ 0; 1; 2 ]
+        in
+        List.iter
+          (fun (p, s) ->
+            Alcotest.(check bool) "share ok" true
+              (Keyring.verify_cert_share kr ~party:p stmt s))
+          shares;
+        (match Keyring.make_cert kr stmt shares with
+        | None -> Alcotest.fail "cert not formed"
+        | Some cert ->
+          Alcotest.(check bool) "verifies" true (Keyring.verify_cert kr stmt cert);
+          Alcotest.(check bool) "wrong statement fails" false
+            (Keyring.verify_cert kr "other" cert);
+          (* compressed certificates are constant-size RSA values *)
+          Alcotest.(check bool) "small" true (Keyring.cert_size kr cert < 64));
+        (* two shares are below the n-t quorum *)
+        Alcotest.(check bool) "sub-quorum refused" true
+          (Keyring.make_cert kr stmt (List.filteri (fun i _ -> i < 2) shares)
+          = None));
+    Alcotest.test_case "abc runs in compressed-certificate mode" `Quick
+      (fun () ->
+        let kr =
+          Keyring.deal ~rsa_bits:192 ~cert_mode:Keyring.Compressed_mode
+            ~seed:9002 (AS.threshold ~n:4 ~t:1)
+        in
+        let sim = Sim.create ~n:4 ~seed:77 () in
+        let logs = Array.make 4 [] in
+        let nodes =
+          Stack.deploy_abc ~sim ~keyring:kr ~tag:"compressed"
+            ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+        in
+        Abc.broadcast nodes.(0) "compact-1";
+        Abc.broadcast nodes.(2) "compact-2";
+        Sim.run sim
+          ~until:(fun () -> Array.for_all (fun l -> List.length l >= 2) logs);
+        Array.iter
+          (fun l ->
+            Alcotest.(check (list string)) "same order" (List.rev logs.(0))
+              (List.rev l))
+          logs)
+  ]
+
+(* ---------------- weighted thresholds -------------------------------- *)
+
+let weighted_tests =
+  [ Alcotest.test_case "weighted threshold structure via logical parties"
+      `Quick (fun () ->
+        (* the paper: "traditional weighted thresholds ... can be obtained
+           by allocating several logical parties to one physical party".
+           Weights 2,1,1,1,1 with quorum 5 of 6: corruptible = weight <= 1. *)
+        let f = Monotone_formula.weighted_threshold ~weights:[ 2; 1; 1; 1; 1 ] ~k:2 in
+        let s = AS.of_access_formula ~n:5 f in
+        (* any single light party is corruptible; the heavy party alone is
+           qualified *)
+        Alcotest.(check bool) "heavy alone qualified" true
+          (AS.is_qualified s (Pset.singleton 0));
+        Alcotest.(check bool) "light alone corruptible" true
+          (AS.is_corruptible s (Pset.singleton 3));
+        Alcotest.(check bool) "two lights qualified" true
+          (AS.is_qualified s (Pset.of_list [ 1; 2 ]));
+        (* LSSS over the weighted formula *)
+        let q = Bignum.of_string "170141183460469231731687303715884105727" in
+        let scheme = Lsss.build ~modulus:q f in
+        let rng = Prng.create ~seed:3 in
+        let shares = Lsss.share scheme rng ~secret:(Bignum.of_int 777) in
+        (match Lsss.reconstruct scheme shares (Pset.singleton 0) with
+        | Some v -> Alcotest.(check bool) "heavy recovers" true (Bignum.to_int_opt v = Some 777)
+        | None -> Alcotest.fail "heavy party must reconstruct");
+        Alcotest.(check bool) "light cannot" true
+          (Lsss.reconstruct scheme shares (Pset.singleton 4) = None))
+  ]
+
+(* ---------------- protocol property tests ----------------------------- *)
+
+let kr41 = lazy (Keyring.deal ~rsa_bits:192 ~seed:1000 (AS.threshold ~n:4 ~t:1))
+let misc_keyrings : (string, Keyring.t) Hashtbl.t = Hashtbl.create 2
+
+let property_tests =
+  [ qtest ~count:12 "abc total order holds for random seeds and crashes"
+      QCheck2.Gen.(pair int (int_bound 4))
+      (fun (seed, crash_choice) ->
+        let kr = Lazy.force kr41 in
+        let sim = Sim.create ~n:4 ~seed () in
+        let logs = Array.make 4 [] in
+        let nodes =
+          Stack.deploy_abc ~sim ~keyring:kr ~tag:(Printf.sprintf "prop-%d" seed)
+            ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+        in
+        let crashed = if crash_choice < 4 then Some crash_choice else None in
+        (match crashed with Some c -> Sim.crash sim c | None -> ());
+        let honest =
+          List.filter (fun i -> Some i <> crashed) (List.init 4 Fun.id)
+        in
+        List.iteri
+          (fun k p -> Abc.broadcast nodes.(List.nth honest (k mod 3)) p)
+          [ "pa"; "pb"; "pc" ];
+        (try
+           Sim.run sim ~max_steps:600_000
+             ~until:(fun () ->
+               List.for_all (fun i -> List.length logs.(i) >= 3) honest)
+         with Sim.Out_of_steps -> ());
+        let ok_delivery =
+          List.for_all (fun i -> List.length logs.(i) = 3) honest
+        in
+        let ok_order =
+          List.for_all
+            (fun i -> List.rev logs.(i) = List.rev logs.(List.hd honest))
+            honest
+        in
+        ok_delivery && ok_order);
+    qtest ~count:4 "abba agrees over example1 under random seeds"
+      QCheck2.Gen.int
+      (fun seed ->
+        let s1 = Canonical_structures.example1 () in
+        let kr =
+          match Hashtbl.find_opt misc_keyrings "ex1" with
+          | Some kr -> kr
+          | None ->
+            let kr = Keyring.deal ~rsa_bits:192 ~seed:2001 s1 in
+            Hashtbl.add misc_keyrings "ex1" kr;
+            kr
+        in
+        let sim = Sim.create ~n:9 ~seed () in
+        let decisions = Array.make 9 None in
+        let nodes =
+          Stack.deploy_abba ~sim ~keyring:kr
+            ~tag:(Printf.sprintf "mx-%d" seed)
+            ~on_decide:(fun me b -> decisions.(me) <- Some b)
+        in
+        (* crash one whole class (a corruptible set) at random *)
+        let classes = Canonical_structures.example1_classes in
+        let victim = List.nth classes (abs seed mod List.length classes) in
+        List.iter (Sim.crash sim) victim;
+        Array.iteri
+          (fun i node ->
+            if not (List.mem i victim) then Abba.propose node (i mod 2 = 0))
+          nodes;
+        (try Sim.run sim ~max_steps:600_000 with Sim.Out_of_steps -> ());
+        let honest = List.filter (fun i -> not (List.mem i victim)) (List.init 9 Fun.id) in
+        let ds = List.filter_map (fun i -> decisions.(i)) honest in
+        List.length ds = List.length honest
+        && (match ds with d :: r -> List.for_all (( = ) d) r | [] -> false));
+    qtest ~count:10 "coin is consistent under random share subsets"
+      QCheck2.Gen.(pair (string_size (int_range 1 12)) (int_bound 1000))
+      (fun (name, salt) ->
+        let kr = Lazy.force kr41 in
+        let coin = kr.Keyring.coin in
+        let name = name ^ string_of_int salt in
+        let shares =
+          List.init 4 (fun i -> (i, Coin.generate_share coin ~party:i ~name))
+        in
+        let v at =
+          Coin.combine coin ~name ~avail:(Pset.of_list at)
+            (List.filter (fun (i, _) -> List.mem i at) shares)
+            ()
+        in
+        v [ 0; 1 ] = v [ 2; 3 ] && v [ 0; 3 ] = v [ 1; 2 ] && v [ 0; 1 ] <> None)
+  ]
+
+let suite =
+  ( "misc",
+    codec_tests @ sim_tests @ compressed_tests @ weighted_tests
+    @ property_tests )

@@ -1,0 +1,229 @@
+(* Tests for the bignum substrate: cross-checks against native ints,
+   algebraic laws as qcheck properties, and primality known answers. *)
+
+module B = Bignum
+
+let b = Alcotest.testable B.pp B.equal
+
+let check_b = Alcotest.check b
+
+(* Generator: random Bignum with up to [bits] bits, signed. *)
+let gen_bignum ?(bits = 200) () =
+  QCheck2.Gen.(
+    let* nb = int_range 0 bits in
+    let* neg = bool in
+    let* s = string_size ~gen:char (return ((nb + 7) / 8)) in
+    let v = B.shift_right (B.of_bytes_be s) (max 0 ((8 * String.length s) - nb)) in
+    return (if neg then B.neg v else v))
+
+let qtest ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let small_int_pairs =
+  QCheck2.Gen.(pair (int_range (-1000000) 1000000) (int_range (-1000000) 1000000))
+
+let unit_tests =
+  [ Alcotest.test_case "of_int/to_int roundtrip" `Quick (fun () ->
+        List.iter
+          (fun x ->
+            Alcotest.(check (option int)) "roundtrip" (Some x) (B.to_int_opt (B.of_int x)))
+          [ 0; 1; -1; 42; -42; max_int / 4; -(max_int / 4); 1 lsl 40 ]);
+    Alcotest.test_case "string roundtrip" `Quick (fun () ->
+        List.iter
+          (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+          [ "0"; "1"; "-1"; "123456789012345678901234567890"; "-99999999999999999999" ]);
+    Alcotest.test_case "hex roundtrip" `Quick (fun () ->
+        List.iter
+          (fun s -> Alcotest.(check string) s s (B.to_hex (B.of_hex s)))
+          [ "1"; "deadbeef"; "123456789abcdef0123456789abcdef" ]);
+    Alcotest.test_case "known multiplication" `Quick (fun () ->
+        let a = B.of_string "123456789123456789123456789" in
+        let bb = B.of_string "987654321987654321987654321" in
+        check_b "product"
+          (B.of_string "121932631356500531591068431581771069347203169112635269")
+          (B.mul a bb));
+    Alcotest.test_case "known division" `Quick (fun () ->
+        let a = B.of_string "121932631356500531591068431581771069347203169112635269" in
+        let bb = B.of_string "987654321987654321987654321" in
+        let q, r = B.divmod a bb in
+        check_b "quotient" (B.of_string "123456789123456789123456789") q;
+        check_b "remainder" B.zero r);
+    Alcotest.test_case "pow_mod known" `Quick (fun () ->
+        (* 2^10 mod 1000 = 24 *)
+        check_b "2^10 mod 1000" (B.of_int 24)
+          (B.pow_mod ~base:B.two ~exp:(B.of_int 10) ~modulus:(B.of_int 1000));
+        (* Fermat: 2^(p-1) = 1 mod p for prime p *)
+        let p = B.of_string "1000000007" in
+        check_b "fermat" B.one
+          (B.pow_mod ~base:B.two ~exp:(B.pred p) ~modulus:p));
+    Alcotest.test_case "inv_mod" `Quick (fun () ->
+        let p = B.of_string "1000000007" in
+        (match B.inv_mod (B.of_int 12345) p with
+        | None -> Alcotest.fail "expected inverse"
+        | Some i -> check_b "inv" B.one (B.mul_mod i (B.of_int 12345) p));
+        Alcotest.(check bool)
+          "no inverse" true
+          (B.inv_mod (B.of_int 6) (B.of_int 12) = None));
+    Alcotest.test_case "shift identities" `Quick (fun () ->
+        let v = B.of_string "123456789123456789123456789123456789" in
+        check_b "left-right" v (B.shift_right (B.shift_left v 100) 100);
+        check_b "shift = mul pow2" (B.shift_left v 65)
+          (B.mul v (B.pow_mod ~base:B.two ~exp:(B.of_int 65)
+                      ~modulus:(B.shift_left B.one 200))));
+    Alcotest.test_case "numbits" `Quick (fun () ->
+        Alcotest.(check int) "0" 0 (B.numbits B.zero);
+        Alcotest.(check int) "1" 1 (B.numbits B.one);
+        Alcotest.(check int) "255" 8 (B.numbits (B.of_int 255));
+        Alcotest.(check int) "256" 9 (B.numbits (B.of_int 256));
+        Alcotest.(check int) "2^100" 101 (B.numbits (B.shift_left B.one 100)));
+    Alcotest.test_case "bytes roundtrip" `Quick (fun () ->
+        let v = B.of_string "123456789123456789123456789" in
+        check_b "be" v (B.of_bytes_be (B.to_bytes_be v));
+        let padded = B.to_bytes_be ~len:32 v in
+        Alcotest.(check int) "padded length" 32 (String.length padded);
+        check_b "padded value" v (B.of_bytes_be padded));
+    Alcotest.test_case "egcd bezout" `Quick (fun () ->
+        let a = B.of_string "123456789123456789" in
+        let bb = B.of_string "987654321987654" in
+        let g, u, v = B.egcd a bb in
+        check_b "bezout" g (B.add (B.mul u a) (B.mul v bb)));
+    Alcotest.test_case "known primes" `Quick (fun () ->
+        let rng = Prng.create ~seed:1 in
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) ("prime " ^ s) true
+              (Primes.is_probable_prime rng (B.of_string s)))
+          [ "2"; "3"; "65537"; "1000000007"; "2305843009213693951";
+            (* 2^127-1, Mersenne prime *)
+            "170141183460469231731687303715884105727" ]);
+    Alcotest.test_case "known composites" `Quick (fun () ->
+        let rng = Prng.create ~seed:2 in
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) ("composite " ^ s) false
+              (Primes.is_probable_prime rng (B.of_string s)))
+          [ "1"; "561" (* Carmichael *); "1000000008"; "25326001" (* strong pseudoprime to 2,3,5 *);
+            "340282366920938463463374607431768211457" (* 2^128+1 *) ]);
+    Alcotest.test_case "random prime has requested size" `Quick (fun () ->
+        let rng = Prng.create ~seed:3 in
+        let p = Primes.random_prime rng ~bits:96 in
+        Alcotest.(check int) "bits" 96 (B.numbits p);
+        Alcotest.(check bool) "prime" true (Primes.is_probable_prime rng p));
+    Alcotest.test_case "safe prime" `Quick (fun () ->
+        let rng = Prng.create ~seed:4 in
+        let p, q = Primes.random_safe_prime rng ~bits:64 in
+        check_b "p = 2q+1" p (B.succ (B.shift_left q 1));
+        Alcotest.(check bool) "p prime" true (Primes.is_probable_prime rng p);
+        Alcotest.(check bool) "q prime" true (Primes.is_probable_prime rng q));
+    Alcotest.test_case "prng determinism" `Quick (fun () ->
+        let r1 = Prng.create ~seed:99 and r2 = Prng.create ~seed:99 in
+        for _ = 1 to 100 do
+          Alcotest.(check int) "same stream" (Prng.int r1 1000) (Prng.int r2 1000)
+        done);
+    Alcotest.test_case "prng bounds" `Quick (fun () ->
+        let r = Prng.create ~seed:7 in
+        for _ = 1 to 1000 do
+          let v = Prng.int r 17 in
+          Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+        done)
+  ]
+
+let prop_tests =
+  [ qtest "int cross-check add/sub/mul" small_int_pairs (fun (x, y) ->
+        let bx = B.of_int x and by = B.of_int y in
+        B.to_int_opt (B.add bx by) = Some (x + y)
+        && B.to_int_opt (B.sub bx by) = Some (x - y)
+        && B.to_int_opt (B.mul bx by) = Some (x * y));
+    qtest "int cross-check divmod" small_int_pairs (fun (x, y) ->
+        QCheck2.assume (y <> 0);
+        let q, r = B.divmod (B.of_int x) (B.of_int y) in
+        B.to_int_opt q = Some (x / y) && B.to_int_opt r = Some (x mod y));
+    qtest "add commutative" (QCheck2.Gen.pair (gen_bignum ()) (gen_bignum ()))
+      (fun (x, y) -> B.equal (B.add x y) (B.add y x));
+    qtest "mul commutative" (QCheck2.Gen.pair (gen_bignum ()) (gen_bignum ()))
+      (fun (x, y) -> B.equal (B.mul x y) (B.mul y x));
+    qtest "mul distributes"
+      (QCheck2.Gen.triple (gen_bignum ()) (gen_bignum ()) (gen_bignum ()))
+      (fun (x, y, z) ->
+        B.equal (B.mul x (B.add y z)) (B.add (B.mul x y) (B.mul x z)));
+    qtest "add associates"
+      (QCheck2.Gen.triple (gen_bignum ()) (gen_bignum ()) (gen_bignum ()))
+      (fun (x, y, z) -> B.equal (B.add (B.add x y) z) (B.add x (B.add y z)));
+    qtest "sub inverse of add" (QCheck2.Gen.pair (gen_bignum ()) (gen_bignum ()))
+      (fun (x, y) -> B.equal x (B.sub (B.add x y) y));
+    qtest "divmod invariant"
+      (QCheck2.Gen.pair (gen_bignum ~bits:300 ()) (gen_bignum ~bits:150 ()))
+      (fun (a, d) ->
+        QCheck2.assume (not (B.is_zero d));
+        let q, r = B.divmod a d in
+        B.equal a (B.add (B.mul q d) r)
+        && B.compare (B.abs r) (B.abs d) < 0
+        && (B.is_zero r || B.sign r = B.sign a));
+    qtest "erem in range"
+      (QCheck2.Gen.pair (gen_bignum ()) (gen_bignum ~bits:100 ()))
+      (fun (a, d) ->
+        QCheck2.assume (not (B.is_zero d));
+        let r = B.erem a d in
+        B.sign r >= 0 && B.compare r (B.abs d) < 0);
+    qtest "string roundtrip" (gen_bignum ~bits:400 ()) (fun v ->
+        B.equal v (B.of_string (B.to_string v)));
+    qtest "hex roundtrip" (gen_bignum ~bits:400 ()) (fun v ->
+        B.equal v (B.of_hex (B.to_hex v)));
+    qtest "compare antisymmetric" (QCheck2.Gen.pair (gen_bignum ()) (gen_bignum ()))
+      (fun (x, y) -> B.compare x y = -B.compare y x);
+    qtest "gcd divides" (QCheck2.Gen.pair (gen_bignum ()) (gen_bignum ()))
+      (fun (x, y) ->
+        QCheck2.assume (not (B.is_zero x) || not (B.is_zero y));
+        let g = B.gcd x y in
+        B.is_zero (B.rem x g) && B.is_zero (B.rem y g));
+    qtest "egcd bezout" (QCheck2.Gen.pair (gen_bignum ()) (gen_bignum ()))
+      (fun (x, y) ->
+        let g, u, v = B.egcd x y in
+        B.equal g (B.add (B.mul u x) (B.mul v y)));
+    qtest ~count:50 "pow_mod multiplicative"
+      (QCheck2.Gen.triple (gen_bignum ~bits:80 ()) (QCheck2.Gen.int_range 0 50)
+         (QCheck2.Gen.int_range 0 50))
+      (fun (x, e1, e2) ->
+        let m = B.of_string "170141183460469231731687303715884105727" in
+        let x = B.abs x in
+        B.equal
+          (B.pow_mod ~base:x ~exp:(B.of_int (e1 + e2)) ~modulus:m)
+          (B.mul_mod
+             (B.pow_mod ~base:x ~exp:(B.of_int e1) ~modulus:m)
+             (B.pow_mod ~base:x ~exp:(B.of_int e2) ~modulus:m)
+             m));
+    qtest ~count:50 "inv_mod correct"
+      (gen_bignum ~bits:120 ())
+      (fun x ->
+        let p = B.of_string "170141183460469231731687303715884105727" in
+        let x = B.erem (B.abs x) p in
+        QCheck2.assume (not (B.is_zero x));
+        match B.inv_mod x p with
+        | None -> false
+        | Some i -> B.equal B.one (B.mul_mod i x p));
+    qtest "shift roundtrip"
+      (QCheck2.Gen.pair (gen_bignum ()) (QCheck2.Gen.int_range 0 200))
+      (fun (v, k) -> B.equal v (B.shift_right (B.shift_left v k) k));
+    qtest ~count:60 "pow_mod (Barrett) agrees with naive modular squaring"
+      (QCheck2.Gen.triple (gen_bignum ~bits:260 ()) (gen_bignum ~bits:200 ())
+         (gen_bignum ~bits:260 ()))
+      (fun (base, e, m) ->
+        let m = B.abs m and e = B.abs e and base = B.abs base in
+        QCheck2.assume (B.compare m B.two > 0);
+        (* naive square-and-multiply with plain erem at each step *)
+        let naive =
+          let b = ref (B.erem base m) and r = ref B.one in
+          let nb = B.numbits e in
+          for i = 0 to nb - 1 do
+            if B.testbit e i then r := B.erem (B.mul !r !b) m;
+            if i < nb - 1 then b := B.erem (B.mul !b !b) m
+          done;
+          !r
+        in
+        B.equal naive (B.pow_mod ~base ~exp:e ~modulus:m));
+    qtest "bytes roundtrip" (gen_bignum ~bits:300 ()) (fun v ->
+        let v = B.abs v in
+        B.equal v (B.of_bytes_be (B.to_bytes_be v)))
+  ]
+
+let suite = ("num", unit_tests @ prop_tests)

@@ -1,0 +1,564 @@
+(* End-to-end protocol tests on the adversarial network simulator:
+   reliable broadcast, consistent broadcast, binary agreement (ABBA),
+   validated multi-valued agreement (VBA), atomic broadcast and secure
+   causal atomic broadcast — each under random schedules, crash faults
+   and concrete Byzantine behaviours. *)
+
+module AS = Adversary_structure
+
+let th41 = AS.threshold ~n:4 ~t:1
+let th72 = AS.threshold ~n:7 ~t:2
+
+let keyring_cache : (int * int, Keyring.t) Hashtbl.t = Hashtbl.create 4
+
+(* Keyrings are deterministic; cache by (n, variant) to keep suites fast. *)
+let keyring ?(variant = 0) structure =
+  let key = (AS.n structure * 100, variant) in
+  match Hashtbl.find_opt keyring_cache key with
+  | Some kr when AS.n kr.Keyring.structure = AS.n structure -> kr
+  | Some _ | None ->
+    let kr = Keyring.deal ~rsa_bits:192 ~seed:(1000 + variant) structure in
+    Hashtbl.replace keyring_cache key kr;
+    kr
+
+let policies seed : Sim.policy list =
+  ignore seed;
+  [ Sim.Fifo; Sim.Random_order; Sim.Latency_order ]
+
+(* ---------------- RBC ------------------------------------------------ *)
+
+let run_rbc ~seed ~policy ~crashed () =
+  let kr = keyring th41 in
+  let sim = Sim.create ~policy ~n:4 ~seed () in
+  let outputs = Array.make 4 None in
+  let nodes =
+    Stack.deploy_rbc ~sim ~keyring:kr ~sender:0 ~deliver:(fun me payload ->
+        outputs.(me) <- Some payload)
+  in
+  List.iter (Sim.crash sim) crashed;
+  Rbc.broadcast nodes.(0) "hello world";
+  Sim.run sim;
+  outputs
+
+let rbc_tests =
+  [ Alcotest.test_case "rbc: all deliver under every policy" `Quick (fun () ->
+        List.iter
+          (fun policy ->
+            let outputs = run_rbc ~seed:7 ~policy ~crashed:[] () in
+            Array.iter
+              (fun o ->
+                Alcotest.(check (option string)) "delivered" (Some "hello world") o)
+              outputs)
+          (policies 7));
+    Alcotest.test_case "rbc: tolerates one crashed receiver" `Quick (fun () ->
+        let outputs = run_rbc ~seed:8 ~policy:Sim.Random_order ~crashed:[ 2 ] () in
+        List.iter
+          (fun i ->
+            Alcotest.(check (option string)) "delivered" (Some "hello world")
+              outputs.(i))
+          [ 0; 1; 3 ]);
+    Alcotest.test_case "rbc: crashed sender delivers nothing" `Quick (fun () ->
+        let kr = keyring th41 in
+        let sim = Sim.create ~n:4 ~seed:9 () in
+        let outputs = Array.make 4 None in
+        let _nodes =
+          Stack.deploy_rbc ~sim ~keyring:kr ~sender:0 ~deliver:(fun me payload ->
+              outputs.(me) <- Some payload)
+        in
+        Sim.crash sim 0;
+        Sim.run sim;
+        Array.iter
+          (fun o -> Alcotest.(check (option string)) "nothing" None o)
+          outputs);
+    Alcotest.test_case "rbc: equivocating sender cannot split honest parties"
+      `Quick (fun () ->
+        (* Byzantine sender sends SEND("a") to parties 1,2 and SEND("b")
+           to party 3; consistency requires all honest deliver the same
+           value (or none). *)
+        List.iter
+          (fun seed ->
+            let kr = keyring th41 in
+            let sim = Sim.create ~n:4 ~seed () in
+            let outputs = Array.make 4 None in
+            let nodes =
+              Stack.deploy_rbc ~sim ~keyring:kr ~sender:0
+                ~deliver:(fun me payload -> outputs.(me) <- Some payload)
+            in
+            ignore nodes;
+            (* replace sender with raw injections *)
+            Sim.set_handler sim 0 (fun ~src:_ _ -> ());
+            Sim.send sim ~src:0 ~dst:1 (Rbc.Send "a");
+            Sim.send sim ~src:0 ~dst:2 (Rbc.Send "a");
+            Sim.send sim ~src:0 ~dst:3 (Rbc.Send "b");
+            Sim.run sim;
+            let delivered =
+              List.filter_map (fun i -> outputs.(i)) [ 1; 2; 3 ]
+            in
+            match delivered with
+            | [] -> ()
+            | x :: rest ->
+              List.iter
+                (fun y -> Alcotest.(check string) "consistent" x y)
+                rest)
+          (List.init 10 (fun i -> 100 + i)));
+    Alcotest.test_case "rbc: totality under generalized structure (example1)"
+      `Quick (fun () ->
+        let s1 = Canonical_structures.example1 () in
+        let kr = Keyring.deal ~seed:2001 s1 in
+        let sim = Sim.create ~n:9 ~seed:11 () in
+        let outputs = Array.make 9 None in
+        let nodes =
+          Stack.deploy_rbc ~sim ~keyring:kr ~sender:4 ~deliver:(fun me payload ->
+              outputs.(me) <- Some payload)
+        in
+        (* crash the whole of class a (a corruptible set) *)
+        List.iter (Sim.crash sim) [ 0; 1; 2; 3 ];
+        Rbc.broadcast nodes.(4) "multi-class payload";
+        Sim.run sim;
+        List.iter
+          (fun i ->
+            Alcotest.(check (option string)) "delivered" (Some "multi-class payload")
+              outputs.(i))
+          [ 4; 5; 6; 7; 8 ])
+  ]
+
+(* ---------------- CBC ------------------------------------------------ *)
+
+let cbc_tests =
+  [ Alcotest.test_case "cbc: delivery with certificate" `Quick (fun () ->
+        let kr = keyring th41 in
+        let sim = Sim.create ~n:4 ~seed:21 () in
+        let outputs = Array.make 4 None in
+        let nodes =
+          Stack.deploy_cbc ~sim ~keyring:kr ~tag:"t1" ~sender:2
+            ~deliver:(fun me payload _cert -> outputs.(me) <- Some payload)
+            ()
+        in
+        Cbc.broadcast nodes.(2) "consistent payload";
+        Sim.run sim;
+        Array.iter
+          (fun o ->
+            Alcotest.(check (option string)) "delivered" (Some "consistent payload") o)
+          outputs);
+    Alcotest.test_case "cbc: certificate is transferable" `Quick (fun () ->
+        let kr = keyring th41 in
+        let sim = Sim.create ~n:4 ~seed:22 () in
+        let got = ref None in
+        let nodes =
+          Stack.deploy_cbc ~sim ~keyring:kr ~tag:"t2" ~sender:0
+            ~deliver:(fun me payload cert ->
+              if me = 3 then got := Some (payload, cert))
+            ()
+        in
+        Cbc.broadcast nodes.(0) "transfer me";
+        Sim.run sim;
+        match !got with
+        | None -> Alcotest.fail "party 3 did not deliver"
+        | Some (payload, cert) ->
+          Alcotest.(check bool) "transferred check" true
+            (Cbc.check_transferred ~keyring:kr ~tag:"t2" ~sender:0 payload cert);
+          Alcotest.(check bool) "wrong tag fails" false
+            (Cbc.check_transferred ~keyring:kr ~tag:"t3" ~sender:0 payload cert);
+          Alcotest.(check bool) "wrong payload fails" false
+            (Cbc.check_transferred ~keyring:kr ~tag:"t2" ~sender:0 "other" cert));
+    Alcotest.test_case "cbc: validation predicate blocks endorsement" `Quick
+      (fun () ->
+        let kr = keyring th41 in
+        let sim = Sim.create ~n:4 ~seed:23 () in
+        let outputs = Array.make 4 None in
+        let nodes =
+          Stack.deploy_cbc ~sim ~keyring:kr ~tag:"t4" ~sender:0
+            ~validate:(fun p -> String.length p < 5)
+            ~deliver:(fun me payload _ -> outputs.(me) <- Some payload)
+            ()
+        in
+        Cbc.broadcast nodes.(0) "way too long to be valid";
+        Sim.run sim;
+        Array.iter
+          (fun o -> Alcotest.(check (option string)) "blocked" None o)
+          outputs);
+    Alcotest.test_case "cbc: equivocating sender obtains at most one cert"
+      `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            let kr = keyring th41 in
+            let sim = Sim.create ~n:4 ~seed () in
+            let outputs = Array.make 4 None in
+            let _nodes =
+              Stack.deploy_cbc ~sim ~keyring:kr ~tag:"t5" ~sender:0
+                ~deliver:(fun me payload _ -> outputs.(me) <- Some payload)
+                ()
+            in
+            (* Byzantine sender: SEND "x" to 1,2 and "y" to 3; it cannot
+               assemble certificates for both, so honest deliveries agree. *)
+            Sim.set_handler sim 0 (fun ~src:_ _ -> ());
+            Sim.send sim ~src:0 ~dst:1 (Cbc.Send "x");
+            Sim.send sim ~src:0 ~dst:2 (Cbc.Send "x");
+            Sim.send sim ~src:0 ~dst:3 (Cbc.Send "y");
+            Sim.run sim;
+            let delivered =
+              List.filter_map (fun i -> outputs.(i)) [ 1; 2; 3 ]
+            in
+            match delivered with
+            | [] -> ()
+            | x :: rest ->
+              List.iter (fun y -> Alcotest.(check string) "unique" x y) rest)
+          (List.init 5 (fun i -> 300 + i)))
+  ]
+
+(* ---------------- ABBA ----------------------------------------------- *)
+
+let run_abba ~structure ~variant ~seed ~policy ~inputs ~crashed ?byzantine ()
+    =
+  let n = AS.n structure in
+  let kr = keyring ~variant structure in
+  let sim = Sim.create ~policy ~n ~seed () in
+  let decisions = Array.make n None in
+  let nodes =
+    Stack.deploy_abba ~sim ~keyring:kr ~tag:(Printf.sprintf "abba-%d" seed)
+      ~on_decide:(fun me b -> decisions.(me) <- Some b)
+  in
+  List.iter (Sim.crash sim) crashed;
+  (match byzantine with
+  | Some (party, behavior) -> Sim.set_handler sim party behavior
+  | None -> ());
+  Array.iteri
+    (fun i node ->
+      if (not (List.mem i crashed)) && Some i <> Option.map fst byzantine then
+        Abba.propose node inputs.(i))
+    nodes;
+  Sim.run sim;
+  (decisions, nodes)
+
+let check_abba_agreement ~honest decisions inputs =
+  let decided = List.filter_map (fun i -> decisions.(i)) honest in
+  Alcotest.(check int) "all honest decided" (List.length honest)
+    (List.length decided);
+  (match decided with
+  | [] -> Alcotest.fail "nobody decided"
+  | d :: rest ->
+    List.iter (fun d' -> Alcotest.(check bool) "agreement" true (d = d')) rest;
+    (* validity: the decision is the input of some honest party *)
+    Alcotest.(check bool) "validity" true
+      (List.exists (fun i -> inputs.(i) = d) honest))
+
+let abba_tests =
+  [ Alcotest.test_case "abba: unanimous inputs decide that value" `Quick
+      (fun () ->
+        List.iter
+          (fun (seed, b) ->
+            let inputs = Array.make 4 b in
+            let decisions, _ =
+              run_abba ~structure:th41 ~variant:0 ~seed ~policy:Sim.Random_order
+                ~inputs ~crashed:[] ()
+            in
+            List.iter
+              (fun i ->
+                Alcotest.(check (option bool)) "decide input" (Some b) decisions.(i))
+              [ 0; 1; 2; 3 ])
+          [ (41, true); (42, false); (43, true) ]);
+    Alcotest.test_case "abba: mixed inputs agree (many seeds/policies)" `Quick
+      (fun () ->
+        List.iter
+          (fun seed ->
+            List.iter
+              (fun policy ->
+                let inputs = [| true; false; true; false |] in
+                let decisions, _ =
+                  run_abba ~structure:th41 ~variant:0 ~seed ~policy ~inputs
+                    ~crashed:[] ()
+                in
+                check_abba_agreement ~honest:[ 0; 1; 2; 3 ] decisions inputs)
+              (policies seed))
+          (List.init 8 (fun i -> 500 + i)));
+    Alcotest.test_case "abba: tolerates a crashed party" `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            let inputs = [| true; false; false; true |] in
+            let decisions, _ =
+              run_abba ~structure:th41 ~variant:0 ~seed ~policy:Sim.Random_order
+                ~inputs ~crashed:[ 3 ] ()
+            in
+            check_abba_agreement ~honest:[ 0; 1; 2 ] decisions inputs)
+          (List.init 6 (fun i -> 600 + i)));
+    Alcotest.test_case "abba: byzantine spammer cannot break agreement" `Quick
+      (fun () ->
+        List.iter
+          (fun seed ->
+            let inputs = [| true; false; true; false |] in
+            let kr = keyring th41 in
+            (* the corrupted party floods everyone with junk votes and
+               equivocating supports *)
+            let spam sim =
+             fun ~src:_ (_ : Abba.msg) ->
+              let share b =
+                Keyring.cert_share kr ~party:3
+                  (Ro.encode [ "abba-sup"; Printf.sprintf "abba-%d" seed;
+                               string_of_bool b ])
+              in
+              Sim.send sim ~src:3 ~dst:0 (Abba.Support (true, share true));
+              Sim.send sim ~src:3 ~dst:1 (Abba.Support (false, share false))
+            in
+            let n = 4 in
+            let sim = Sim.create ~n ~seed () in
+            let decisions = Array.make n None in
+            let nodes =
+              Stack.deploy_abba ~sim ~keyring:kr
+                ~tag:(Printf.sprintf "abba-%d" seed)
+                ~on_decide:(fun me b -> decisions.(me) <- Some b)
+            in
+            Sim.set_handler sim 3 (spam sim);
+            Array.iteri
+              (fun i node -> if i < 3 then Abba.propose node inputs.(i))
+              nodes;
+            Sim.run sim;
+            check_abba_agreement ~honest:[ 0; 1; 2 ] decisions inputs)
+          (List.init 5 (fun i -> 700 + i)));
+    Alcotest.test_case "abba: n=7 t=2 with two crashes" `Quick (fun () ->
+        let inputs = [| true; false; true; false; true; false; true |] in
+        let decisions, _ =
+          run_abba ~structure:th72 ~variant:7 ~seed:801 ~policy:Sim.Random_order
+            ~inputs ~crashed:[ 5; 6 ] ()
+        in
+        check_abba_agreement ~honest:[ 0; 1; 2; 3; 4 ] decisions inputs);
+    Alcotest.test_case "abba: generalized structure (example1), class crash"
+      `Quick (fun () ->
+        let s1 = Canonical_structures.example1 () in
+        let inputs = [| true; true; false; false; true; false; true; false; true |] in
+        let decisions, _ =
+          run_abba ~structure:s1 ~variant:91 ~seed:901 ~policy:Sim.Random_order
+            ~inputs ~crashed:[ 0; 1; 2; 3 ] ()
+        in
+        check_abba_agreement ~honest:[ 4; 5; 6; 7; 8 ] decisions inputs)
+  ]
+
+(* ---------------- VBA ------------------------------------------------ *)
+
+let run_vba ~seed ~policy ~crashed ~values ?(validate = fun _ -> true) () =
+  let kr = keyring th41 in
+  let sim = Sim.create ~policy ~n:4 ~seed () in
+  let results = Array.make 4 None in
+  let nodes =
+    Stack.deploy_vba ~sim ~keyring:kr ~tag:(Printf.sprintf "vba-%d" seed)
+      ~validate
+      ~on_decide:(fun me ~winner value -> results.(me) <- Some (winner, value))
+      ()
+  in
+  List.iter (Sim.crash sim) crashed;
+  Array.iteri
+    (fun i node -> if not (List.mem i crashed) then Vba.propose node values.(i))
+    nodes;
+  Sim.run sim;
+  results
+
+let vba_tests =
+  [ Alcotest.test_case "vba: agreement on a proposed value" `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            let values = [| "v0"; "v1"; "v2"; "v3" |] in
+            let results = run_vba ~seed ~policy:Sim.Random_order ~crashed:[] ~values () in
+            let decided = Array.to_list results |> List.filter_map Fun.id in
+            Alcotest.(check int) "all decided" 4 (List.length decided);
+            match decided with
+            | [] -> assert false
+            | (w, v) :: rest ->
+              List.iter
+                (fun (w', v') ->
+                  Alcotest.(check int) "same winner" w w';
+                  Alcotest.(check string) "same value" v v')
+                rest;
+              Alcotest.(check string) "value is winner's proposal"
+                values.(w) v)
+          (List.init 6 (fun i -> 1100 + i)));
+    Alcotest.test_case "vba: external validity filters proposals" `Quick
+      (fun () ->
+        (* only even-length values are valid; corrupted parties 0 and 2
+           push invalid proposals through raw CBC sends, which honest
+           parties refuse to endorse — the decision must be valid *)
+        let validate v = String.length v mod 2 = 0 in
+        List.iter
+          (fun seed ->
+            let kr = keyring th41 in
+            let sim = Sim.create ~n:4 ~seed () in
+            let results = Array.make 4 None in
+            let nodes =
+              Stack.deploy_vba ~sim ~keyring:kr
+                ~tag:(Printf.sprintf "vba-ev-%d" seed) ~validate
+                ~on_decide:(fun me ~winner value ->
+                  results.(me) <- Some (winner, value))
+                ()
+            in
+            (* the corrupted proposer injects an odd-length (invalid)
+               payload; honest parties refuse to endorse it *)
+            for dst = 0 to 3 do
+              Sim.send sim ~src:0 ~dst (Vba.Proposal_cbc (0, Cbc.Send "bad"))
+            done;
+            Vba.propose nodes.(1) "ok";
+            Vba.propose nodes.(2) "fine";
+            Vba.propose nodes.(3) "good";
+            Sim.run sim;
+            List.iter
+              (fun i ->
+                match results.(i) with
+                | None -> Alcotest.fail "undecided"
+                | Some (winner, v) ->
+                  Alcotest.(check bool) "decided value valid" true (validate v);
+                  Alcotest.(check bool) "winner is honest" true (winner > 0))
+              [ 1; 2; 3 ])
+          (List.init 4 (fun i -> 1200 + i)));
+    Alcotest.test_case "vba: progress with a crashed party" `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            let values = [| "a"; "b"; "c"; "d" |] in
+            let results =
+              run_vba ~seed ~policy:Sim.Random_order ~crashed:[ 1 ] ~values ()
+            in
+            List.iter
+              (fun i ->
+                Alcotest.(check bool) "decided" true (results.(i) <> None))
+              [ 0; 2; 3 ])
+          (List.init 4 (fun i -> 1300 + i)))
+  ]
+
+(* ---------------- ABC ------------------------------------------------ *)
+
+let run_abc ~seed ~policy ~crashed ~submissions ?(n = 4)
+    ?(structure = th41) ?(variant = 0) () =
+  let kr = keyring ~variant structure in
+  let sim = Sim.create ~policy ~n ~seed () in
+  let logs = Array.make n [] in
+  let nodes =
+    Stack.deploy_abc ~sim ~keyring:kr ~tag:(Printf.sprintf "abc-%d" seed)
+      ~deliver:(fun me payload -> logs.(me) <- payload :: logs.(me))
+  in
+  List.iter (Sim.crash sim) crashed;
+  List.iter
+    (fun (party, payload) ->
+      if not (List.mem party crashed) then Abc.broadcast nodes.(party) payload)
+    submissions;
+  let honest = List.filter (fun i -> not (List.mem i crashed)) (List.init n Fun.id) in
+  let expected = List.length (List.sort_uniq compare (List.map snd submissions)) in
+  (try
+     Sim.run sim
+       ~until:(fun () ->
+         List.for_all (fun i -> List.length logs.(i) >= expected) honest)
+   with Sim.Out_of_steps -> ());
+  (Array.map List.rev logs, honest)
+
+let check_total_order logs honest =
+  match honest with
+  | [] -> ()
+  | h :: rest ->
+    List.iter
+      (fun i ->
+        Alcotest.(check (list string)) "identical delivery order" logs.(h)
+          logs.(i))
+      rest
+
+let abc_tests =
+  [ Alcotest.test_case "abc: total order, concurrent submissions" `Quick
+      (fun () ->
+        List.iter
+          (fun seed ->
+            List.iter
+              (fun policy ->
+                let submissions =
+                  [ (0, "tx-alpha"); (1, "tx-beta"); (2, "tx-gamma"); (3, "tx-delta") ]
+                in
+                let logs, honest =
+                  run_abc ~seed ~policy ~crashed:[] ~submissions ()
+                in
+                check_total_order logs honest;
+                List.iter
+                  (fun i ->
+                    Alcotest.(check int) "all delivered" 4 (List.length logs.(i));
+                    Alcotest.(check (list string)) "same set"
+                      (List.sort compare (List.map snd submissions))
+                      (List.sort compare logs.(i)))
+                  honest)
+              (policies seed))
+          [ 2000; 2001 ]);
+    Alcotest.test_case "abc: liveness with a crashed server" `Quick (fun () ->
+        let submissions = [ (0, "m1"); (2, "m2") ] in
+        let logs, honest =
+          run_abc ~seed:2100 ~policy:Sim.Random_order ~crashed:[ 1 ] ~submissions ()
+        in
+        check_total_order logs honest;
+        List.iter
+          (fun i -> Alcotest.(check int) "delivered both" 2 (List.length logs.(i)))
+          honest);
+    Alcotest.test_case "abc: single submitter, multiple payloads" `Quick
+      (fun () ->
+        let submissions = [ (0, "p1"); (0, "p2"); (0, "p3") ] in
+        let logs, honest =
+          run_abc ~seed:2200 ~policy:Sim.Random_order ~crashed:[] ~submissions ()
+        in
+        check_total_order logs honest;
+        List.iter
+          (fun i -> Alcotest.(check int) "delivered all" 3 (List.length logs.(i)))
+          honest);
+    Alcotest.test_case "abc: duplicate submissions delivered once" `Quick
+      (fun () ->
+        let submissions = [ (0, "dup"); (1, "dup"); (2, "dup") ] in
+        let logs, honest =
+          run_abc ~seed:2300 ~policy:Sim.Random_order ~crashed:[] ~submissions ()
+        in
+        check_total_order logs honest;
+        List.iter
+          (fun i -> Alcotest.(check (list string)) "once" [ "dup" ] logs.(i))
+          honest)
+  ]
+
+(* ---------------- SC-ABC --------------------------------------------- *)
+
+let scabc_tests =
+  [ Alcotest.test_case "scabc: confidential requests delivered in order"
+      `Quick (fun () ->
+        let kr = keyring th41 in
+        let sim = Sim.create ~n:4 ~seed:2500 () in
+        let logs = Array.make 4 [] in
+        let nodes =
+          Stack.deploy_scabc ~sim ~keyring:kr ~tag:"scabc-1"
+            ~deliver:(fun me ~label payload ->
+              logs.(me) <- (label, payload) :: logs.(me))
+        in
+        let rng = Prng.create ~seed:77 in
+        let ct1 = Scabc.encrypt_request kr rng ~label:"alice" "patent: flying car" in
+        let ct2 = Scabc.encrypt_request kr rng ~label:"bob" "patent: time machine" in
+        Scabc.broadcast nodes.(0) ct1;
+        Scabc.broadcast nodes.(2) ct2;
+        Sim.run sim
+          ~until:(fun () ->
+            Array.for_all (fun l -> List.length l >= 2) logs);
+        let l0 = List.rev logs.(0) in
+        Array.iter
+          (fun l -> Alcotest.(check bool) "same order" true (List.rev l = l0))
+          logs;
+        Alcotest.(check (list string)) "plaintexts recovered"
+          (List.sort compare [ "patent: flying car"; "patent: time machine" ])
+          (List.sort compare (List.map snd l0));
+        Alcotest.(check (list string)) "labels preserved"
+          (List.sort compare [ "alice"; "bob" ])
+          (List.sort compare (List.map fst l0)));
+    Alcotest.test_case "scabc: invalid ciphertext is skipped" `Quick (fun () ->
+        let kr = keyring th41 in
+        let sim = Sim.create ~n:4 ~seed:2600 () in
+        let logs = Array.make 4 [] in
+        let nodes =
+          Stack.deploy_scabc ~sim ~keyring:kr ~tag:"scabc-2"
+            ~deliver:(fun me ~label:_ payload -> logs.(me) <- payload :: logs.(me))
+        in
+        let rng = Prng.create ~seed:78 in
+        let good = Scabc.encrypt_request kr rng ~label:"c" "legit" in
+        Scabc.broadcast nodes.(1) "not a ciphertext at all";
+        Scabc.broadcast nodes.(0) good;
+        Sim.run sim
+          ~until:(fun () -> Array.for_all (fun l -> List.length l >= 1) logs);
+        Array.iter
+          (fun l -> Alcotest.(check (list string)) "only legit" [ "legit" ] l)
+          logs)
+  ]
+
+let suite =
+  ( "protocols",
+    rbc_tests @ cbc_tests @ abba_tests @ vba_tests @ abc_tests @ scabc_tests )

@@ -1,0 +1,334 @@
+(* Trusted-service tests (paper, Section 5): CA, directory and notary on
+   the replicated engine, with clients assembling threshold-signed
+   answers; includes a Byzantine server, a generalized-structure
+   deployment, and the notary front-running scenario that motivates
+   secure causal atomic broadcast. *)
+
+module AS = Adversary_structure
+
+let th41 = AS.threshold ~n:4 ~t:1
+
+let kr41 = lazy (Keyring.deal ~rsa_bits:192 ~seed:5001 th41)
+
+let deploy_service ~seed ~mode ~make_app ?(structure = th41) ?keyring () =
+  let kr =
+    match keyring with
+    | Some kr -> kr
+    | None ->
+      if structure == th41 then Lazy.force kr41
+      else Keyring.deal ~rsa_bits:192 ~seed:(seed + 9000) structure
+  in
+  let sim = Sim.create ~n:(AS.n structure) ~seed () in
+  let nodes = Service.deploy ~sim ~keyring:kr ~mode ~make_app () in
+  (sim, kr, nodes)
+
+(* Issue one request and run the simulator until the client callback
+   fires (or the network goes quiescent). *)
+let roundtrip sim kr ~mode ~client_slot ~seed body =
+  let client = Service.Client.create ~sim ~keyring:kr ~slot:client_slot ~seed in
+  let result = ref None in
+  Service.Client.request client ~mode body (fun response s ->
+      result := Some (response, s));
+  Sim.run sim ~until:(fun () -> !result <> None);
+  match !result with
+  | None -> Alcotest.fail "client request did not complete"
+  | Some r -> r
+
+let ca_tests =
+  [ Alcotest.test_case "ca: issue and verify a certificate" `Quick (fun () ->
+        let sim, kr, _ =
+          deploy_service ~seed:6001 ~mode:Service.Plain ~make_app:Ca.make_app ()
+        in
+        let response, service_sig =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:1
+            (Ca.issue_request ~id:"alice" ~pubkey:"pk-alice" ~credentials:"papers!ok")
+        in
+        (match Ca.parse_certificate response with
+        | Some (id, pubkey, serial) ->
+          Alcotest.(check string) "id" "alice" id;
+          Alcotest.(check string) "pubkey" "pk-alice" pubkey;
+          Alcotest.(check int) "serial" 0 serial
+        | None -> Alcotest.fail "expected certificate");
+        (* The certificate = response + service signature; the statement
+           binds the request digest, which the client knows. *)
+        ignore service_sig);
+    Alcotest.test_case "ca: bad credentials denied" `Quick (fun () ->
+        let sim, kr, _ =
+          deploy_service ~seed:6002 ~mode:Service.Plain ~make_app:Ca.make_app ()
+        in
+        let response, _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:2
+            (Ca.issue_request ~id:"mallory" ~pubkey:"pk-m" ~credentials:"forged")
+        in
+        Alcotest.(check bool) "denied" true (Ca.parse_certificate response = None));
+    Alcotest.test_case "ca: issue, lookup, revoke sequence" `Quick (fun () ->
+        let sim, kr, _ =
+          deploy_service ~seed:6003 ~mode:Service.Plain ~make_app:Ca.make_app ()
+        in
+        let r1, _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:3
+            (Ca.issue_request ~id:"bob" ~pubkey:"pk-bob" ~credentials:"x!ok")
+        in
+        Alcotest.(check bool) "issued" true (Ca.parse_certificate r1 <> None);
+        let r2, _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:5 ~seed:4
+            (Ca.lookup_request ~id:"bob")
+        in
+        (match Ca.parse_certificate r2 with
+        | Some (_, pk, _) -> Alcotest.(check string) "lookup pubkey" "pk-bob" pk
+        | None -> Alcotest.fail "lookup failed");
+        let _r3, _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:5
+            (Ca.revoke_request ~id:"bob")
+        in
+        let r4, _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:5 ~seed:6
+            (Ca.lookup_request ~id:"bob")
+        in
+        Alcotest.(check bool) "revoked invisible" true
+          (Ca.parse_certificate r4 = None));
+    Alcotest.test_case "ca: survives a crashed server" `Quick (fun () ->
+        let sim, kr, _ =
+          deploy_service ~seed:6004 ~mode:Service.Plain ~make_app:Ca.make_app ()
+        in
+        Sim.crash sim 2;
+        let response, service_sig =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:7
+            (Ca.issue_request ~id:"carol" ~pubkey:"pk-c" ~credentials:"y!ok")
+        in
+        Alcotest.(check bool) "issued" true (Ca.parse_certificate response <> None);
+        ignore service_sig);
+    Alcotest.test_case "ca: byzantine server cannot forge the answer" `Quick
+      (fun () ->
+        (* server 3 sends garbage responses with its own share to the
+           client; the client's share verification and the threshold
+           signature keep the certificate honest *)
+        let sim, kr, nodes =
+          deploy_service ~seed:6005 ~mode:Service.Plain ~make_app:Ca.make_app ()
+        in
+        ignore nodes;
+        let evil ~src:_ (m : Service.msg) =
+          match m with
+          | Service.Request { client; body } ->
+            (* respond immediately with a forged denial *)
+            let req_digest = Sha256.digest body in
+            let response = Codec.encode [ "denied"; "forged by server 3" ] in
+            let share =
+              Keyring.service_sign_share kr ~party:3
+                (Service.response_statement ~req_digest ~response)
+            in
+            Sim.send sim ~src:3 ~dst:client
+              (Service.Response { req_digest; server = 3; response; share })
+          | Service.Engine _ | Service.Response _ -> ()
+        in
+        Sim.set_handler sim 3 evil;
+        let response, _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:8
+            (Ca.issue_request ~id:"dave" ~pubkey:"pk-d" ~credentials:"z!ok")
+        in
+        match Ca.parse_certificate response with
+        | Some (id, _, _) -> Alcotest.(check string) "honest answer wins" "dave" id
+        | None -> Alcotest.fail "client accepted the forged denial")
+  ]
+
+let directory_tests =
+  [ Alcotest.test_case "directory: bind then lookup (signed)" `Quick
+      (fun () ->
+        let sim, kr, _ =
+          deploy_service ~seed:6101 ~mode:Service.Plain
+            ~make_app:Directory_service.make_app ()
+        in
+        let _r, _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:11
+            (Directory_service.bind_request ~key:"www.example.com" ~value:"192.0.2.7")
+        in
+        let r, signature =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:5 ~seed:12
+            (Directory_service.lookup_request ~key:"www.example.com")
+        in
+        (match Directory_service.parse_value r with
+        | Some (k, v) ->
+          Alcotest.(check string) "key" "www.example.com" k;
+          Alcotest.(check string) "value" "192.0.2.7" v
+        | None -> Alcotest.fail "lookup failed");
+        ignore signature);
+    Alcotest.test_case "directory: update visible to later lookups" `Quick
+      (fun () ->
+        let sim, kr, _ =
+          deploy_service ~seed:6102 ~mode:Service.Plain
+            ~make_app:Directory_service.make_app ()
+        in
+        let _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:13
+            (Directory_service.bind_request ~key:"k" ~value:"v1")
+        in
+        let _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:14
+            (Directory_service.bind_request ~key:"k" ~value:"v2")
+        in
+        let r, _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:5 ~seed:15
+            (Directory_service.lookup_request ~key:"k")
+        in
+        match Directory_service.parse_value r with
+        | Some (_, v) -> Alcotest.(check string) "updated" "v2" v
+        | None -> Alcotest.fail "lookup failed");
+    Alcotest.test_case "directory on example2 structure (site+OS corruption)"
+      `Quick (fun () ->
+        (* the multi-national deployment of the paper: 16 servers in a
+           4x4 location/OS grid; crash one full site plus one full OS
+           and the directory still answers with a valid signature *)
+        let s2 = Canonical_structures.example2 () in
+        let kr = Keyring.deal ~seed:6103 s2 in
+        let sim = Sim.create ~n:16 ~seed:6103 () in
+        let _nodes =
+          Service.deploy ~sim ~keyring:kr ~mode:Service.Plain
+            ~make_app:Directory_service.make_app ()
+        in
+        Pset.iter (Sim.crash sim)
+          (Canonical_structures.example2_site_plus_os ~row:1 ~col:2);
+        let r, signature =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:16 ~seed:16
+            (Directory_service.bind_request ~key:"hq" ~value:"zurich")
+        in
+        Alcotest.(check bool) "bound despite 7 corruptions" true
+          (Codec.decode r = Some [ "bound"; "hq" ]);
+        ignore signature)
+  ]
+
+let notary_tests =
+  [ Alcotest.test_case "notary: registration assigns sequence numbers"
+      `Quick (fun () ->
+        let sim, kr, _ =
+          deploy_service ~seed:6201 ~mode:Service.Confidential
+            ~make_app:Notary.make_app ()
+        in
+        let r1, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client_slot:4 ~seed:21
+            (Notary.register_request ~document:"invention: perpetuum mobile")
+        in
+        (match Notary.parse_registration r1 with
+        | Some (seq, _) -> Alcotest.(check int) "first seq" 0 seq
+        | None -> Alcotest.fail "registration failed");
+        let r2, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client_slot:5 ~seed:22
+            (Notary.register_request ~document:"invention: warp drive")
+        in
+        match Notary.parse_registration r2 with
+        | Some (seq, _) -> Alcotest.(check int) "second seq" 1 seq
+        | None -> Alcotest.fail "registration failed");
+    Alcotest.test_case "notary: duplicate registration returns original seq"
+      `Quick (fun () ->
+        let sim, kr, _ =
+          deploy_service ~seed:6202 ~mode:Service.Confidential
+            ~make_app:Notary.make_app ()
+        in
+        let doc = "the same idea" in
+        let r1, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client_slot:4 ~seed:23
+            (Notary.register_request ~document:doc)
+        in
+        let r2, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client_slot:5 ~seed:24
+            (Notary.register_request ~document:doc)
+        in
+        match (Notary.parse_registration r1, Notary.parse_registration r2) with
+        | Some (s1, d1), Some (s2, d2) ->
+          Alcotest.(check int) "same seq" s1 s2;
+          Alcotest.(check string) "same digest" d1 d2
+        | _ -> Alcotest.fail "registrations failed");
+    Alcotest.test_case
+      "notary: requests stay confidential until ordered (front-running)"
+      `Quick (fun () ->
+        (* A corrupted server watches all engine traffic for the
+           plaintext of a pending filing.  With SC-ABC the payload it
+           sees is a TDH2 ciphertext, so the document text never appears
+           in any message before the corresponding decryption shares are
+           released — i.e. before its position in the order is fixed. *)
+        let secret_doc = "secret-invention-xyzzy" in
+        let kr = Lazy.force kr41 in
+        let sim = Sim.create ~n:4 ~seed:6203 () in
+        let leaked = ref false in
+        let nodes =
+          Service.deploy ~sim ~keyring:kr ~mode:Service.Confidential
+            ~make_app:Notary.make_app ()
+        in
+        let spy_wraps (m : Service.msg) =
+          (* search the raw broadcast payloads for the plaintext *)
+          let contains_secret s =
+            let n = String.length s and m = String.length secret_doc in
+            let rec go i =
+              i + m <= n && (String.sub s i m = secret_doc || go (i + 1))
+            in
+            go 0
+          in
+          match m with
+          | Service.Request { body; _ } -> contains_secret body
+          | Service.Engine (Service.Abc_m (Abc.Request p))
+          | Service.Engine
+              (Service.Scabc_m (Scabc.Abc_msg (Abc.Request p))) ->
+            contains_secret p
+          | Service.Engine _ | Service.Response _ -> false
+        in
+        (* server 3 is the spy: it behaves honestly but records whether
+           any pre-decryption message reveals the document *)
+        let honest_handler = fun ~src m -> Service.handle nodes.(3) ~src m in
+        Sim.set_handler sim 3 (fun ~src m ->
+            let before_decryption =
+              Scabc.delivered_count
+                (match nodes.(3).Service.engine with
+                | Some (Service.Scabc_e sc) -> sc
+                | Some (Service.Abc_e _) | None -> assert false)
+              = 0
+            in
+            if before_decryption && spy_wraps m then leaked := true;
+            honest_handler ~src m);
+        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:25 in
+        let result = ref None in
+        Service.Client.request client ~mode:Service.Confidential
+          (Notary.register_request ~document:secret_doc) (fun r s ->
+            result := Some (r, s));
+        Sim.run sim ~until:(fun () -> !result <> None);
+        Alcotest.(check bool) "registered" true (!result <> None);
+        Alcotest.(check bool) "plaintext never visible before ordering" false
+          !leaked);
+    Alcotest.test_case "notary (plain abc) leaks the document pre-ordering"
+      `Quick (fun () ->
+        (* Control experiment: with plain atomic broadcast the document
+           text is visible to every server before ordering completes. *)
+        let secret_doc = "secret-invention-plain" in
+        let kr = Lazy.force kr41 in
+        let sim = Sim.create ~n:4 ~seed:6204 () in
+        let leaked = ref false in
+        let nodes =
+          Service.deploy ~sim ~keyring:kr ~mode:Service.Plain
+            ~make_app:Notary.make_app ()
+        in
+        let contains_secret s =
+          let n = String.length s and m = String.length secret_doc in
+          let rec go i =
+            i + m <= n && (String.sub s i m = secret_doc || go (i + 1))
+          in
+          go 0
+        in
+        let honest_handler = fun ~src m -> Service.handle nodes.(3) ~src m in
+        Sim.set_handler sim 3 (fun ~src m ->
+            (match m with
+            | Service.Request { body; _ } when contains_secret body ->
+              leaked := true
+            | Service.Engine (Service.Abc_m (Abc.Request p))
+              when contains_secret p ->
+              leaked := true
+            | Service.Request _ | Service.Engine _ | Service.Response _ -> ());
+            honest_handler ~src m);
+        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:26 in
+        let result = ref None in
+        Service.Client.request client ~mode:Service.Plain
+          (Notary.register_request ~document:secret_doc) (fun r s ->
+            result := Some (r, s));
+        Sim.run sim ~until:(fun () -> !result <> None);
+        Alcotest.(check bool) "registered" true (!result <> None);
+        Alcotest.(check bool) "plaintext visible with plain abc" true !leaked)
+  ]
+
+let suite = ("services", ca_tests @ directory_tests @ notary_tests)

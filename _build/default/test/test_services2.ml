@@ -1,0 +1,209 @@
+(* Tests for the remaining Section 5 applications: the authentication
+   service (ticket granting) and the fair-exchange trusted party. *)
+
+module AS = Adversary_structure
+
+let th41 = AS.threshold ~n:4 ~t:1
+let kr41 = lazy (Keyring.deal ~rsa_bits:192 ~seed:5001 th41)
+
+let deploy ~seed ~mode ~make_app =
+  let kr = Lazy.force kr41 in
+  let sim = Sim.create ~n:4 ~seed () in
+  let nodes = Service.deploy ~sim ~keyring:kr ~mode ~make_app () in
+  (sim, kr, nodes)
+
+let roundtrip sim kr ~mode ~client body =
+  let result = ref None in
+  Service.Client.request client ~mode body (fun r s -> result := Some (r, s));
+  Sim.run sim ~until:(fun () -> !result <> None);
+  ignore kr;
+  match !result with
+  | None -> Alcotest.fail "request did not complete"
+  | Some r -> r
+
+let auth_tests =
+  [ Alcotest.test_case "auth: register, login, ticket verifies" `Quick
+      (fun () ->
+        let sim, kr, _ =
+          deploy ~seed:7001 ~mode:Service.Confidential
+            ~make_app:Auth_service.make_app
+        in
+        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:1 in
+        let r1, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client
+            (Auth_service.register_request ~user:"alice" ~password:"hunter2"
+               ~salt:"s1")
+        in
+        Alcotest.(check (option (list string))) "registered"
+          (Some [ "registered"; "alice" ])
+          (Codec.decode r1);
+        let r2, _signature =
+          roundtrip sim kr ~mode:Service.Confidential ~client
+            (Auth_service.login_request ~user:"alice" ~password:"hunter2")
+        in
+        (match Auth_service.parse_ticket r2 with
+        | Some (user, issued) ->
+          Alcotest.(check string) "user" "alice" user;
+          Alcotest.(check bool) "logical time positive" true (issued > 0)
+        | None -> Alcotest.fail "expected a ticket"));
+    Alcotest.test_case "auth: wrong password denied" `Quick (fun () ->
+        let sim, kr, _ =
+          deploy ~seed:7002 ~mode:Service.Confidential
+            ~make_app:Auth_service.make_app
+        in
+        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:2 in
+        let _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client
+            (Auth_service.register_request ~user:"bob" ~password:"pw" ~salt:"s")
+        in
+        let r, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client
+            (Auth_service.login_request ~user:"bob" ~password:"guess")
+        in
+        Alcotest.(check bool) "denied" true (Auth_service.parse_ticket r = None));
+    Alcotest.test_case "auth: password change invalidates the old one" `Quick
+      (fun () ->
+        let sim, kr, _ =
+          deploy ~seed:7003 ~mode:Service.Confidential
+            ~make_app:Auth_service.make_app
+        in
+        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:3 in
+        let _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client
+            (Auth_service.register_request ~user:"c" ~password:"old" ~salt:"s")
+        in
+        let _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client
+            (Auth_service.change_password_request ~user:"c" ~old_password:"old"
+               ~new_password:"new" ~salt:"s2")
+        in
+        let r_old, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client
+            (Auth_service.login_request ~user:"c" ~password:"old")
+        in
+        let r_new, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client
+            (Auth_service.login_request ~user:"c" ~password:"new")
+        in
+        Alcotest.(check bool) "old rejected" true
+          (Auth_service.parse_ticket r_old = None);
+        Alcotest.(check bool) "new accepted" true
+          (Auth_service.parse_ticket r_new <> None))
+  ]
+
+let fx_tests =
+  [ Alcotest.test_case "fair exchange: both sides collect the counterpart"
+      `Quick (fun () ->
+        let sim, kr, _ =
+          deploy ~seed:7101 ~mode:Service.Confidential
+            ~make_app:Fair_exchange.make_app
+        in
+        let alice = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:4 in
+        let bob = Service.Client.create ~sim ~keyring:kr ~slot:5 ~seed:5 in
+        let item_a = "deed: one castle" and item_b = "payment: 1000 gulden" in
+        let _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:alice
+            (Fair_exchange.open_request ~xid:"x1"
+               ~expect_left:(Fair_exchange.item_digest item_a)
+               ~expect_right:(Fair_exchange.item_digest item_b))
+        in
+        let r1, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:alice
+            (Fair_exchange.deposit_request ~xid:"x1" ~side:Fair_exchange.Left
+               ~item:item_a)
+        in
+        Alcotest.(check bool) "waiting after one deposit" true
+          (match Codec.decode r1 with
+          | Some [ "deposited"; _; _; "waiting" ] -> true
+          | _ -> false);
+        (* alice cannot collect early *)
+        let r2, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:alice
+            (Fair_exchange.collect_request ~xid:"x1" ~side:Fair_exchange.Left)
+        in
+        Alcotest.(check bool) "early collect denied" true
+          (Fair_exchange.parse_item r2 = None);
+        let _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:bob
+            (Fair_exchange.deposit_request ~xid:"x1" ~side:Fair_exchange.Right
+               ~item:item_b)
+        in
+        let ra, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:alice
+            (Fair_exchange.collect_request ~xid:"x1" ~side:Fair_exchange.Left)
+        in
+        let rb, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:bob
+            (Fair_exchange.collect_request ~xid:"x1" ~side:Fair_exchange.Right)
+        in
+        Alcotest.(check (option (pair string string))) "alice gets payment"
+          (Some ("x1", item_b))
+          (Fair_exchange.parse_item ra);
+        Alcotest.(check (option (pair string string))) "bob gets deed"
+          (Some ("x1", item_a))
+          (Fair_exchange.parse_item rb));
+    Alcotest.test_case "fair exchange: mismatched item rejected" `Quick
+      (fun () ->
+        let sim, kr, _ =
+          deploy ~seed:7102 ~mode:Service.Confidential
+            ~make_app:Fair_exchange.make_app
+        in
+        let c = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:6 in
+        let _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:c
+            (Fair_exchange.open_request ~xid:"x2"
+               ~expect_left:(Fair_exchange.item_digest "real item")
+               ~expect_right:(Fair_exchange.item_digest "other item"))
+        in
+        let r, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:c
+            (Fair_exchange.deposit_request ~xid:"x2" ~side:Fair_exchange.Left
+               ~item:"counterfeit")
+        in
+        Alcotest.(check bool) "rejected" true
+          (match Codec.decode r with
+          | Some ("denied" :: _) -> true
+          | _ -> false));
+    Alcotest.test_case "fair exchange: abort refunds the depositor" `Quick
+      (fun () ->
+        let sim, kr, _ =
+          deploy ~seed:7103 ~mode:Service.Confidential
+            ~make_app:Fair_exchange.make_app
+        in
+        let c = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:7 in
+        let item = "lonely deposit" in
+        let _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:c
+            (Fair_exchange.open_request ~xid:"x3"
+               ~expect_left:(Fair_exchange.item_digest item)
+               ~expect_right:(Fair_exchange.item_digest "never arrives"))
+        in
+        let _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:c
+            (Fair_exchange.deposit_request ~xid:"x3" ~side:Fair_exchange.Left ~item)
+        in
+        let _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:c
+            (Fair_exchange.abort_request ~xid:"x3")
+        in
+        (* no counterpart, but the own item comes back *)
+        let r, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:c
+            (Fair_exchange.collect_request ~xid:"x3" ~side:Fair_exchange.Left)
+        in
+        Alcotest.(check (option (pair string string))) "refunded"
+          (Some ("x3", item))
+          (Fair_exchange.parse_refund r);
+        (* and late deposits are refused *)
+        let r2, _ =
+          roundtrip sim kr ~mode:Service.Confidential ~client:c
+            (Fair_exchange.deposit_request ~xid:"x3" ~side:Fair_exchange.Right
+               ~item:"never arrives")
+        in
+        Alcotest.(check bool) "late deposit denied" true
+          (match Codec.decode r2 with
+          | Some ("denied" :: _) -> true
+          | _ -> false))
+  ]
+
+let suite = ("services2", auth_tests @ fx_tests)
