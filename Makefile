@@ -1,0 +1,32 @@
+DUNE ?= dune
+
+.PHONY: all build test fmt fmt-check bench bench-smoke clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+fmt:
+	$(DUNE) fmt
+
+fmt-check:
+	$(DUNE) build @fmt
+
+# Full experiment sweep; writes one BENCH_<id>.json per experiment.
+bench:
+	$(DUNE) exec bench/main.exe
+
+# End-to-end smoke of the machine-readable bench output: two cheap
+# experiments at reduced scale, then a schema check of the emitted
+# BENCH_<id>.json files.
+bench-smoke:
+	$(DUNE) exec bench/main.exe -- --small R1 M1
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_R1.json BENCH_M1.json
+
+clean:
+	$(DUNE) clean
+	rm -f BENCH_*.json

@@ -1,0 +1,75 @@
+(* Machine-readable experiment output.
+
+   Every experiment in bench/main.ml runs inside [with_experiment]: it
+   gets a fresh, active observability instance (handed to every
+   [Sim.create] via [obs ()]) and process-global crypto counters reset
+   and enabled for its duration.  On completion the harness writes
+   BENCH_<id>.json next to the working directory:
+
+     { "experiment":      "<id>",
+       "schema":          "sintra-bench/1",
+       "wall_time_s":     <float>,
+       "virtual_time_total": <float>,   (* summed over all sims *)
+       "metrics":         { "counters": [...], "gauges": [...],
+                            "histograms": [...] },
+       "crypto_ops":      { "modexp": n, ... },
+       ... any extra fields the experiment [put] }
+
+   The per-layer message/byte counters appear under "metrics" with
+   labels [("layer", "rbc" | "cbc" | "abba" | "vba" | "abc" | ...)];
+   virtual time per sim run is the "virtual_time" histogram (observed
+   once at the end of every [Sim.run]). *)
+
+let current : Obs.t ref = ref Obs.noop
+let extras : (string * Obs_json.t) list ref = ref []
+
+let obs () = !current
+
+(* Attach an extra top-level field to the current experiment's JSON.
+   Later [put]s of the same key win. *)
+let put key v = extras := (key, v) :: List.remove_assoc key !extras
+
+let out_path id = Printf.sprintf "BENCH_%s.json" id
+
+let virtual_time_total (snap : Obs_registry.snapshot) : float =
+  match
+    Obs_registry.find snap ~labels:[ ("layer", "sim") ] "virtual_time"
+  with
+  | Some (Obs_registry.Vhistogram h) -> Obs_histogram.sum h
+  | Some (Obs_registry.Vcounter _ | Obs_registry.Vgauge _) | None -> 0.0
+
+let write ~id ~wall (o : Obs.t) : unit =
+  let snap = Obs.snapshot o in
+  let doc =
+    Obs_json.Obj
+      ([ ("experiment", Obs_json.Str id);
+         ("schema", Obs_json.Str "sintra-bench/1");
+         ("wall_time_s", Obs_json.Float wall);
+         ("virtual_time_total", Obs_json.Float (virtual_time_total snap));
+         ("metrics", Obs_registry.snapshot_to_json snap);
+         ("crypto_ops", Obs_crypto.to_json ())
+       ]
+      @ List.rev !extras)
+  in
+  let path = out_path id in
+  let oc = open_out path in
+  output_string oc (Obs_json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[bench] wrote %s\n%!" path
+
+let with_experiment ~id (f : unit -> unit) : unit =
+  let o = Obs.create () in
+  current := o;
+  extras := [];
+  Obs_crypto.reset ();
+  Obs_crypto.enable ();
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let wall = Unix.gettimeofday () -. t0 in
+      Obs_crypto.disable ();
+      current := Obs.noop;
+      write ~id ~wall o;
+      Obs_crypto.reset ())
+    f

@@ -30,6 +30,10 @@
 
 module AS = Adversary_structure
 
+(* --small: shrink the heavy sweeps (R1, M1) so `make bench-smoke` runs
+   in seconds.  Every experiment still writes its BENCH_<id>.json. *)
+let small = ref false
+
 let line = String.make 78 '-'
 
 let header id title =
@@ -70,7 +74,10 @@ let run_abc_once ?(policy = Sim.Random_order) ?(crashed = Pset.empty)
     ?cert_mode () : abc_run =
   let kr = keyring ?cert_mode structure in
   let n = AS.n structure in
-  let sim = Sim.create ~policy ~size:(Abc.msg_size kr) ~n ~seed () in
+  let sim =
+    Sim.create ~policy ~size:(Abc.msg_size kr) ~obs:(Bench_out.obs ()) ~n
+      ~seed ()
+  in
   ignore adaptive;
   let logs = Array.make n [] in
   let nodes =
@@ -126,7 +133,10 @@ let run_abc_once ?(policy = Sim.Random_order) ?(crashed = Pset.empty)
 let run_pbft_once ?(policy = Sim.Latency_order) ?(crashed = Pset.empty)
     ?(adaptive_leader_delay = false) ~n ~f ~seed ~payloads
     ?(max_steps = 100_000) () =
-  let sim = Sim.create ~policy ~size:Pbft_lite.msg_size ~n ~seed () in
+  let sim =
+    Sim.create ~policy ~size:Pbft_lite.msg_size ~obs:(Bench_out.obs ()) ~n
+      ~seed ()
+  in
   let logs = Array.make n [] in
   let nodes =
     Baseline_stack.deploy ~sim ~f ~timeout:500.0
@@ -269,7 +279,10 @@ let f2 () =
     (nodes, logs)
   in
   (* benign: works *)
-  let sim = Sim.create ~policy:Sim.Latency_order ~size:Membership_abc.msg_size ~n:4 ~seed:41 () in
+  let sim =
+    Sim.create ~policy:Sim.Latency_order ~size:Membership_abc.msg_size
+      ~obs:(Bench_out.obs ()) ~n:4 ~seed:41 ()
+  in
   let nodes, logs = deploy sim 500.0 in
   Membership_abc.submit nodes.(1) "benign-payload";
   Sim.run sim ~until:(fun () -> Array.for_all (fun l -> l <> []) logs);
@@ -281,7 +294,7 @@ let f2 () =
      member 1 then dominates the shrunken view and equivocates *)
   let sim =
     Sim.create ~policy:(Sim.Delay_victims (Pset.of_list [ 0; 3 ]))
-      ~size:Membership_abc.msg_size ~n:4 ~seed:42 ()
+      ~size:Membership_abc.msg_size ~obs:(Bench_out.obs ()) ~n:4 ~seed:42 ()
   in
   let nodes, logs = deploy sim 300.0 in
   let honest_handler = fun ~src m -> Membership_abc.handle nodes.(1) ~src m in
@@ -447,17 +460,18 @@ let g1 () =
 
 let r1 () =
   header "R1" "ABBA: expected constant number of rounds";
-  Printf.printf "%-6s %-10s %-10s %-10s %-12s %s\n" "n" "mean rds" "max rds"
-    "agree" "mean msgs" "(20 seeds, mixed inputs, random scheduling)";
+  let n_seeds = if !small then 4 else 20 in
+  Printf.printf "%-6s %-10s %-10s %-10s %-12s (%d seeds, mixed inputs, random scheduling)\n"
+    "n" "mean rds" "max rds" "agree" "mean msgs" n_seeds;
   List.iter
     (fun (n, t) ->
       let structure = AS.threshold ~n ~t in
       let kr = keyring structure in
       let rounds = ref [] and msgs = ref [] and agree = ref true in
-      for seed = 1 to 20 do
+      for seed = 1 to n_seeds do
         let sim =
-          Sim.create ~policy:Sim.Random_order ~size:(Abba.msg_size kr) ~n
-            ~seed:(seed * 31) ()
+          Sim.create ~policy:Sim.Random_order ~size:(Abba.msg_size kr)
+            ~obs:(Bench_out.obs ()) ~n ~seed:(seed * 31) ()
         in
         let decisions = Array.make n None in
         let nodes =
@@ -484,7 +498,7 @@ let r1 () =
       Printf.printf "%-6d %-10.2f %-10d %-10b %-12.0f\n" n (mean !rounds)
         (List.fold_left max 0 !rounds)
         !agree (mean !msgs))
-    [ (4, 1); (7, 2); (10, 3); (13, 4) ]
+    (if !small then [ (4, 1) ] else [ (4, 1); (7, 2); (10, 3); (13, 4) ])
 
 (* ------------------------------------------------------------------ *)
 (* R2: atomic broadcast liveness / cost per delivery                   *)
@@ -520,7 +534,9 @@ let m1 () =
       let kr = keyring structure in
       (* RBC *)
       let rbc_m =
-        let sim = Sim.create ~size:Rbc.msg_size ~n ~seed:1 () in
+        let sim =
+          Sim.create ~size:Rbc.msg_size ~obs:(Bench_out.obs ()) ~n ~seed:1 ()
+        in
         let cnt = ref 0 in
         let nodes =
           Stack.deploy_rbc ~sim ~keyring:kr ~sender:0 ~deliver:(fun _ _ -> incr cnt)
@@ -530,7 +546,10 @@ let m1 () =
         ((Sim.metrics sim).Metrics.messages_sent, (Sim.metrics sim).Metrics.bytes_sent)
       in
       let cbc_m =
-        let sim = Sim.create ~size:(Cbc.msg_size kr) ~n ~seed:2 () in
+        let sim =
+          Sim.create ~size:(Cbc.msg_size kr) ~obs:(Bench_out.obs ()) ~n
+            ~seed:2 ()
+        in
         let nodes =
           Stack.deploy_cbc ~sim ~keyring:kr ~tag:"m1" ~sender:0
             ~deliver:(fun _ _ _ -> ()) ()
@@ -540,7 +559,10 @@ let m1 () =
         ((Sim.metrics sim).Metrics.messages_sent, (Sim.metrics sim).Metrics.bytes_sent)
       in
       let abba_m =
-        let sim = Sim.create ~size:(Abba.msg_size kr) ~n ~seed:3 () in
+        let sim =
+          Sim.create ~size:(Abba.msg_size kr) ~obs:(Bench_out.obs ()) ~n
+            ~seed:3 ()
+        in
         let nodes =
           Stack.deploy_abba ~sim ~keyring:kr ~tag:"m1a" ~on_decide:(fun _ _ -> ())
         in
@@ -549,7 +571,10 @@ let m1 () =
         ((Sim.metrics sim).Metrics.messages_sent, (Sim.metrics sim).Metrics.bytes_sent)
       in
       let vba_m =
-        let sim = Sim.create ~size:(Vba.msg_size kr) ~n ~seed:4 () in
+        let sim =
+          Sim.create ~size:(Vba.msg_size kr) ~obs:(Bench_out.obs ()) ~n
+            ~seed:4 ()
+        in
         let nodes =
           Stack.deploy_vba ~sim ~keyring:kr ~tag:"m1v" ~on_decide:(fun _ ~winner:_ _ -> ()) ()
         in
@@ -566,7 +591,7 @@ let m1 () =
       let pr (m, b) = Printf.sprintf "%d/%dk" m (b / 1024) in
       Printf.printf "%-6d %-12s %-12s %-12s %-12s %-12s\n" n (pr rbc_m)
         (pr cbc_m) (pr abba_m) (pr vba_m) (pr abc_m))
-    [ (4, 1); (7, 2); (10, 3); (13, 4) ];
+    (if !small then [ (4, 1) ] else [ (4, 1); (7, 2); (10, 3); (13, 4) ]);
   print_endline "(cells are messages / kilobytes until quiescence)"
 
 (* ------------------------------------------------------------------ *)
@@ -615,7 +640,8 @@ let o2 () =
       let kr = keyring structure in
       let run_opt ~crash_sequencer seed =
         let sim =
-          Sim.create ~size:(Optimistic_abc.msg_size kr) ~n ~seed ()
+          Sim.create ~size:(Optimistic_abc.msg_size kr)
+            ~obs:(Bench_out.obs ()) ~n ~seed ()
         in
         let logs = Array.make n [] in
         let nodes =
@@ -626,7 +652,8 @@ let o2 () =
                 ~timeout:800.0
                 ~deliver:(fun p -> logs.(me) <- p :: logs.(me))
                 ())
-            ~handle:Optimistic_abc.handle
+            ~handle:Optimistic_abc.handle ~layer:"opt-abc"
+            ~bytes:(Optimistic_abc.msg_size kr) ()
         in
         if crash_sequencer then Sim.crash sim 0;
         Optimistic_abc.broadcast nodes.(1) "o2-payload-a";
@@ -704,7 +731,10 @@ let s1 () =
   header "S1" "Certification authority with a Byzantine forger (n=7, t=2)";
   let structure = AS.threshold ~n:7 ~t:2 in
   let kr = keyring structure in
-  let sim = Sim.create ~size:(Service.msg_size kr) ~n:7 ~seed:81 () in
+  let sim =
+    Sim.create ~size:(Service.msg_size kr) ~obs:(Bench_out.obs ()) ~n:7
+      ~seed:81 ()
+  in
   let _nodes =
     Service.deploy ~sim ~keyring:kr ~mode:Service.Plain ~make_app:Ca.make_app ()
   in
@@ -750,7 +780,7 @@ let s2 () =
     let doc = "secret-patent-claim" in
     let structure = AS.threshold ~n:4 ~t:1 in
     let kr = keyring structure in
-    let sim = Sim.create ~n:4 ~seed () in
+    let sim = Sim.create ~obs:(Bench_out.obs ()) ~n:4 ~seed () in
     let nodes = Service.deploy ~sim ~keyring:kr ~mode ~make_app:Notary.make_app () in
     let leaked = ref false in
     let honest = fun ~src m -> Service.handle nodes.(3) ~src m in
@@ -929,15 +959,23 @@ let experiments =
     ("C2", c2) ]
 
 let () =
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--small" then begin
+          small := true;
+          false
+        end
+        else true)
+      (match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [])
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ :: [] | [] -> List.map fst experiments
+    match args with [] -> List.map fst experiments | names -> names
   in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f -> Bench_out.with_experiment ~id:name f
       | None -> Printf.printf "unknown experiment %S\n" name)
     requested;
   print_newline ()

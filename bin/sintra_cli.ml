@@ -4,13 +4,58 @@
 
      dune exec bin/sintra_cli.exe -- structure --example 2
      dune exec bin/sintra_cli.exe -- abc -n 7 -t 2 --payloads 5 --crash 0,1
+     dune exec bin/sintra_cli.exe -- trace -n 4 --payloads 2 --jsonl
      dune exec bin/sintra_cli.exe -- coin -n 4 -t 1 --flips 16
      dune exec bin/sintra_cli.exe -- notary --documents "idea one,idea two"
+     dune exec bin/sintra_cli.exe -- bench-check BENCH_M1.json
 *)
 
 module AS = Adversary_structure
 
 open Cmdliner
+
+(* ---------- span timeline ------------------------------------------- *)
+
+(* Build an active observability instance whose tracer reads the
+   simulator's virtual clock.  The sim must be created with [obs]
+   first; the tracer closes over it afterwards via [set_tracer]. *)
+let attach_tracer obs sim =
+  let tr = Obs_trace.create ~now:(fun () -> Sim.clock sim) () in
+  Obs.set_tracer obs tr;
+  tr
+
+let print_span_timeline ?(limit = 60) (tr : Obs_trace.t) =
+  let records = Obs_trace.records tr in
+  let st = Obs_trace.stats tr in
+  Printf.printf
+    "span timeline: %d spans begun, %d ended, %d points, %d dropped by the ring\n"
+    st.Obs_trace.spans_started st.Obs_trace.spans_ended
+    st.Obs_trace.points_recorded st.Obs_trace.records_dropped;
+  Printf.printf "  %9s %7s  %-4s %s\n" "start" "dur" "who" "layer/event";
+  List.iteri
+    (fun i (r : Obs_trace.record) ->
+      if i < limit then begin
+        let indent = String.make (min 16 (2 * r.Obs_trace.depth)) ' ' in
+        let who =
+          if r.Obs_trace.party >= 0 then Printf.sprintf "p%d" r.Obs_trace.party
+          else "--"
+        in
+        let dur =
+          if r.Obs_trace.id = 0 then "      ."
+          else if Float.is_nan r.Obs_trace.t_end then "   open"
+          else Printf.sprintf "%7.1f" (r.Obs_trace.t_end -. r.Obs_trace.t_start)
+        in
+        Printf.printf "  %9.1f %s  %-4s %s%s/%s%s%s\n" r.Obs_trace.t_start dur
+          who indent r.Obs_trace.layer r.Obs_trace.name
+          (if r.Obs_trace.tag = "" then ""
+           else " [" ^ r.Obs_trace.tag ^ "]")
+          (if r.Obs_trace.detail = "" then "" else "  " ^ r.Obs_trace.detail)
+      end)
+    records;
+  let total = List.length records in
+  if total > limit then
+    Printf.printf "  ... and %d more records (raise --limit or use --jsonl)\n"
+      (total - limit)
 
 (* ---------- shared arguments --------------------------------------- *)
 
@@ -84,13 +129,19 @@ let abc_cmd =
     Arg.(
       value & flag
       & info [ "trace" ]
-          ~doc:"Print the first 40 simulator events (message-level trace).")
+          ~doc:"Print the first 40 simulator events (message-level trace) \
+                and the protocol span timeline.")
   in
   let run n t example seed payloads crash trace =
     let s = structure_of ~n ~t example in
     let n = AS.n s in
     let kr = Keyring.deal ~rsa_bits:192 ~seed:99 s in
-    let sim = Sim.create ~policy:Sim.Random_order ~size:(Abc.msg_size kr) ~n ~seed () in
+    let obs = if trace then Obs.create () else Obs.noop in
+    let sim =
+      Sim.create ~policy:Sim.Random_order ~size:(Abc.msg_size kr) ~obs ~n
+        ~seed ()
+    in
+    let span_tracer = if trace then Some (attach_tracer obs sim) else None in
     if trace then Sim.enable_trace sim ~summarize:Abc.msg_summary;
     let logs = Array.make n [] in
     let nodes =
@@ -124,6 +175,7 @@ let abc_cmd =
                Printf.printf "  %8.1f  timer at %d\n" at party)
          (Sim.trace sim)
      end);
+    Option.iter (fun tr -> print_span_timeline tr) span_tracer;
     Printf.printf "servers: %d (crashed: %s)\n" n
       (if crashed = [] then "none" else String.concat "," (List.map string_of_int crashed));
     Printf.printf "network: %d messages, %d kB, virtual time %.0f\n"
@@ -143,6 +195,142 @@ let abc_cmd =
     Term.(
       const run $ n_arg $ t_arg $ example_arg $ seed_arg $ payloads_arg
       $ crash_arg $ trace_arg)
+
+(* ---------- trace: span-level protocol trace ------------------------- *)
+
+let trace_cmd =
+  let payloads_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "payloads" ] ~docv:"K" ~doc:"Number of payloads to order.")
+  in
+  let jsonl_arg =
+    Arg.(
+      value & flag
+      & info [ "jsonl" ]
+          ~doc:"Emit the span records as JSON lines instead of the pretty \
+                timeline.")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 80
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Maximum records shown by the pretty timeline.")
+  in
+  let run n t example seed payloads jsonl limit =
+    let s = structure_of ~n ~t example in
+    let n = AS.n s in
+    let kr = Keyring.deal ~rsa_bits:192 ~seed:99 s in
+    let obs = Obs.create () in
+    let sim =
+      Sim.create ~policy:Sim.Random_order ~size:(Abc.msg_size kr) ~obs ~n
+        ~seed ()
+    in
+    let tr = attach_tracer obs sim in
+    let logs = Array.make n [] in
+    let nodes =
+      Stack.deploy_abc ~sim ~keyring:kr ~tag:"trace"
+        ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+    in
+    List.iteri
+      (fun i p -> Abc.broadcast nodes.(i mod n) p)
+      (List.init payloads (fun i -> Printf.sprintf "payload-%02d" i));
+    (try
+       Sim.run sim ~until:(fun () ->
+           Array.for_all (fun l -> List.length l >= payloads) logs)
+     with Sim.Out_of_steps -> prerr_endline "!! out of steps (liveness lost?)");
+    if jsonl then print_string (Obs_trace.to_jsonl tr)
+    else print_span_timeline ~limit tr
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run atomic broadcast and print the span-level protocol trace.")
+    Term.(
+      const run $ n_arg $ t_arg $ example_arg $ seed_arg $ payloads_arg
+      $ jsonl_arg $ limit_arg)
+
+(* ---------- bench-check: validate BENCH_<id>.json files -------------- *)
+
+let bench_check_cmd =
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"BENCH_<id>.json files to validate (default: every \
+                BENCH_*.json in the current directory).")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let is_bench_file f =
+    String.length f > 11
+    && String.sub f 0 6 = "BENCH_"
+    && Filename.check_suffix f ".json"
+  in
+  let check path : (string, string) result =
+    match Obs_json.of_string (read_file path) with
+    | Error e -> Error (Printf.sprintf "parse error: %s" e)
+    | Ok doc ->
+      let str k = Option.bind (Obs_json.member k doc) Obs_json.to_str in
+      let num k = Option.bind (Obs_json.member k doc) Obs_json.to_float in
+      let counters =
+        Option.bind (Obs_json.member "metrics" doc) (Obs_json.member "counters")
+        |> fun o -> Option.bind o Obs_json.to_list
+      in
+      let counter_ok c =
+        Option.bind (Obs_json.member "name" c) Obs_json.to_str <> None
+        && Option.bind (Obs_json.member "value" c) Obs_json.to_int <> None
+      in
+      let crypto_ok =
+        match Obs_json.member "crypto_ops" doc with
+        | Some ops ->
+          List.for_all
+            (fun kind ->
+              Option.bind (Obs_json.member (Obs_crypto.name kind) ops)
+                Obs_json.to_int
+              <> None)
+            Obs_crypto.all_kinds
+        | None -> false
+      in
+      (match (str "experiment", str "schema", num "wall_time_s",
+              num "virtual_time_total", counters) with
+      | Some id, Some "sintra-bench/1", Some wall, Some vt, Some cs
+        when wall >= 0.0 && List.for_all counter_ok cs && crypto_ok ->
+        Ok
+          (Printf.sprintf "%s: OK (%s: %d counters, virtual time %.0f)" path
+             id (List.length cs) vt)
+      | _ -> Error "missing or ill-typed required fields")
+  in
+  let run files =
+    let files =
+      match files with
+      | [] ->
+        Sys.readdir "." |> Array.to_list |> List.filter is_bench_file
+        |> List.sort compare
+      | fs -> fs
+    in
+    if files = [] then begin
+      prerr_endline "bench-check: no BENCH_*.json files found";
+      exit 1
+    end;
+    let failed = ref false in
+    List.iter
+      (fun path ->
+        match check path with
+        | Ok msg -> print_endline msg
+        | Error e ->
+          failed := true;
+          Printf.eprintf "%s: FAILED (%s)\n" path e)
+      files;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-check"
+       ~doc:"Validate the schema of machine-readable benchmark output.")
+    Term.(const run $ files_arg)
 
 (* ---------- coin: flip the distributed coin -------------------------- *)
 
@@ -296,4 +484,8 @@ let ca_cmd =
 let () =
   let doc = "Distributing trust on the Internet: SINTRA reproduction tools" in
   let info = Cmd.info "sintra" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ structure_cmd; abc_cmd; coin_cmd; notary_cmd; ca_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ structure_cmd; abc_cmd; trace_cmd; bench_check_cmd; coin_cmd;
+            notary_cmd; ca_cmd ]))

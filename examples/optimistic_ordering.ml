@@ -22,7 +22,7 @@ let () =
           ~timeout:4000.0
           ~deliver:(fun p -> logs.(me) <- p :: logs.(me))
           ())
-      ~handle:Optimistic_abc.handle
+      ~handle:Optimistic_abc.handle ()
   in
 
   print_endline "\n-- phase 1: sequencer (server 0) healthy --";

@@ -96,6 +96,7 @@ type t = {
   rounds : (int, round_state) Hashtbl.t;
   mutable decided : bool option;
   mutable deferred : (int * msg) list;  (* waiting for a coin value *)
+  mutable sp_round : int;  (* open trace span of the current round *)
 }
 
 (* ---------- statements -------------------------------------------- *)
@@ -139,7 +140,10 @@ let create ~(io : msg Proto_io.t) ~tag ~on_decide =
     round = 1;
     rounds = Hashtbl.create 4;
     decided = None;
-    deferred = [] }
+    deferred = [];
+    sp_round = 0 }
+
+let obs t = t.io.Proto_io.obs
 
 let decision t = t.decided
 
@@ -261,6 +265,13 @@ let send_prevote t r b just =
   let rs = round_state t r in
   if not rs.sent_prevote then begin
     rs.sent_prevote <- true;
+    (* One span per round, pre-vote to pre-vote: closing the previous
+       round's span here makes round latencies directly readable. *)
+    Obs.span_end (obs t) t.sp_round;
+    t.sp_round <-
+      Obs.span_begin (obs t) ~party:t.io.Proto_io.me ~tag:t.tag ~layer:"abba"
+        ~detail:(Printf.sprintf "r%d vote=%b" r b)
+        "round";
     let share =
       Keyring.cert_share t.io.Proto_io.keyring ~party:t.io.Proto_io.me
         (pre_stmt t r b)
@@ -294,6 +305,10 @@ let send_main t r v just =
 let finish t b =
   if t.decided = None then begin
     t.decided <- Some b;
+    Obs.span_end (obs t) t.sp_round;
+    t.sp_round <- 0;
+    Obs.point (obs t) ~party:t.io.Proto_io.me ~tag:t.tag ~layer:"abba"
+      ~detail:(string_of_bool b) "decide";
     t.on_decide b
   end
 

@@ -43,6 +43,7 @@ type t = {
   vbas : (int, Vba.t) Hashtbl.t;
   mutable vba_proposed : int list;
   decisions : (int, string) Hashtbl.t;  (* round -> decided list, encoded *)
+  mutable sp_epoch : int;  (* open trace span of the current round *)
 }
 
 let placeholder = ""
@@ -116,7 +117,8 @@ let rec create ~(io : msg Proto_io.t) ~tag ~deliver () : t =
       raw_sigs = Hashtbl.create 8;
       vbas = Hashtbl.create 8;
       vba_proposed = [];
-      decisions = Hashtbl.create 8 }
+      decisions = Hashtbl.create 8;
+      sp_epoch = 0 }
   in
   t
 
@@ -142,7 +144,10 @@ and vba_of t r : Vba.t =
   | None ->
     let v =
       Vba.create
-        ~io:(Proto_io.embed t.io ~wrap:(fun m -> Vba_msg (r, m)))
+        ~io:
+          (Proto_io.embed ~layer:"vba"
+             ~bytes:(Vba.msg_size t.io.Proto_io.keyring) t.io
+             ~wrap:(fun m -> Vba_msg (r, m)))
         ~tag:(t.tag ^ "/r" ^ string_of_int r)
         ~validate:(fun value -> valid_list t r value)
         ~on_decide:(fun ~winner:_ value -> on_decision t r value)
@@ -162,6 +167,12 @@ and on_decision t r value =
 and participate t r =
   if not (List.mem r t.participated) then begin
     t.participated <- r :: t.participated;
+    if t.sp_epoch = 0 then
+      t.sp_epoch <-
+        Obs.span_begin t.io.Proto_io.obs ~party:t.io.Proto_io.me ~tag:t.tag
+          ~layer:"abc"
+          ~detail:(Printf.sprintf "r%d" r)
+          "epoch";
     let payload = match t.queue with [] -> placeholder | p :: _ -> p in
     let sg =
       Schnorr_sig.to_bytes t.io.Proto_io.keyring.Keyring.group
@@ -216,9 +227,15 @@ and step t =
             Hashtbl.replace t.delivered d ();
             t.delivered_log <- p :: t.delivered_log;
             t.queue <- List.filter (fun q -> digest q <> d) t.queue;
+            Obs.point t.io.Proto_io.obs ~party:t.io.Proto_io.me ~tag:t.tag
+              ~layer:"abc" "deliver";
             t.deliver p
           end)
         payloads;
+      Obs.span_end t.io.Proto_io.obs
+        ~detail:(Printf.sprintf "r%d done" r)
+        t.sp_epoch;
+      t.sp_epoch <- 0;
       t.round <- r + 1;
       step t)
 

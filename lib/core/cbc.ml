@@ -29,6 +29,7 @@ type t = {
   mutable shares : (int * Keyring.cert_share) list;  (* sender side *)
   mutable sent_final : bool;
   mutable delivered : (string * Keyring.cert) option;
+  mutable sp_inst : int;  (* open trace span; 0 = none *)
 }
 
 let statement t payload =
@@ -45,11 +46,17 @@ let create ~(io : msg Proto_io.t) ~tag ~sender ?(validate = fun _ -> true)
     payload = None;
     shares = [];
     sent_final = false;
-    delivered = None }
+    delivered = None;
+    sp_inst = 0 }
+
+let obs t = t.io.Proto_io.obs
 
 let broadcast t payload =
   assert (t.io.Proto_io.me = t.sender);
   t.payload <- Some payload;
+  t.sp_inst <-
+    Obs.span_begin (obs t) ~party:t.io.Proto_io.me ~tag:t.tag ~layer:"cbc"
+      "instance";
   t.io.Proto_io.broadcast (Send payload)
 
 let delivered t = t.delivered
@@ -73,6 +80,10 @@ let handle t ~src msg =
   | Send payload ->
     if src = t.sender && (not t.echoed) && t.validate payload then begin
       t.echoed <- true;
+      if t.io.Proto_io.me <> t.sender then
+        t.sp_inst <-
+          Obs.span_begin (obs t) ~party:t.io.Proto_io.me ~src ~tag:t.tag
+            ~layer:"cbc" "instance";
       let share =
         Keyring.cert_share kr ~party:t.io.Proto_io.me (statement t payload)
       in
@@ -95,6 +106,10 @@ let handle t ~src msg =
       && Keyring.verify_cert kr (statement t payload) cert
     then begin
       t.delivered <- Some (payload, cert);
+      Obs.span_end (obs t) t.sp_inst;
+      t.sp_inst <- 0;
+      Obs.point (obs t) ~party:t.io.Proto_io.me ~src:t.sender ~tag:t.tag
+        ~layer:"cbc" "deliver";
       t.deliver payload cert
     end
 

@@ -135,7 +135,10 @@ and cbc_of t seq : Cbc.t =
   | None ->
     let c =
       Cbc.create
-        ~io:(Proto_io.embed t.io ~wrap:(fun m -> Seq_cbc (seq, m)))
+        ~io:
+          (Proto_io.embed ~layer:"cbc"
+             ~bytes:(Cbc.msg_size t.io.Proto_io.keyring) t.io
+             ~wrap:(fun m -> Seq_cbc (seq, m)))
         ~tag:(cbc_tag t seq) ~sender:t.sequencer
         ~deliver:(fun payload cert -> on_cdeliver t seq payload cert)
         ()
@@ -309,7 +312,10 @@ and vba_of t : Vba.t =
   | None ->
     let v =
       Vba.create
-        ~io:(Proto_io.embed t.io ~wrap:(fun m -> Recovery_vba m))
+        ~io:
+          (Proto_io.embed ~layer:"vba"
+             ~bytes:(Vba.msg_size t.io.Proto_io.keyring) t.io
+             ~wrap:(fun m -> Recovery_vba m))
         ~tag:(t.tag ^ "/recovery")
         ~validate:(fun value -> proposal_valid t value)
         ~on_decide:(fun ~winner:_ value -> on_recovery_decision t value)
@@ -383,7 +389,10 @@ and fallback_abc t : Abc.t =
   | None ->
     let a =
       Abc.create
-        ~io:(Proto_io.embed t.io ~wrap:(fun m -> Fallback_abc m))
+        ~io:
+          (Proto_io.embed ~layer:"abc"
+             ~bytes:(Abc.msg_size t.io.Proto_io.keyring) t.io
+             ~wrap:(fun m -> Fallback_abc m))
         ~tag:(t.tag ^ "/fallback")
         ~deliver:(fun payload -> output t payload)
         ()

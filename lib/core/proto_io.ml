@@ -1,10 +1,19 @@
-(* Environment handed to every protocol instance: identity, keys, and
-   typed message transport.
+(* Environment handed to every protocol instance: identity, keys, typed
+   message transport, and the observability handle.
 
    A parent protocol embeds a child by wrapping the child's message type
    into its own with {!embed}; the whole stack therefore has a single
    top-level wire type per deployment and runs unchanged under the
-   network simulator or any other transport. *)
+   network simulator or any other transport.
+
+   Per-layer attribution: [send]/[broadcast] count messages and bytes
+   against the environment's layer label, while [raw_send] /
+   [raw_broadcast] reach the transport uncounted.  [embed ~layer] builds
+   the child's raw transport from the *parent's* raw transport, so each
+   wire message is counted exactly once — at the layer that originated
+   it, with that layer's size estimate — no matter how deep the wrapping
+   goes.  With the default [Obs.noop] the counting wrappers *are* the
+   raw functions, so the uninstrumented path costs nothing. *)
 
 module AS = Adversary_structure
 
@@ -13,18 +22,74 @@ type 'm t = {
   keyring : Keyring.t;
   send : int -> 'm -> unit;
   broadcast : 'm -> unit;  (* to all servers, including self *)
+  obs : Obs.t;
+  layer : string;
+  raw_send : int -> 'm -> unit;  (* transport, bypassing the counters *)
+  raw_broadcast : 'm -> unit;
 }
 
-let make ~me ~keyring ~send ~broadcast = { me; keyring; send; broadcast }
+(* Counting wrappers around a raw transport.  Counter handles are
+   resolved once, here; each send then costs two field increments. *)
+let counted ~obs ~layer ~bytes ~fanout ~raw_send ~raw_broadcast =
+  if not (Obs.active obs) then (raw_send, raw_broadcast)
+  else begin
+    let labels = [ ("layer", layer) ] in
+    let c_msgs = Obs.counter obs ~labels "messages" in
+    let c_bytes = Obs.counter obs ~labels "bytes" in
+    let send dst m =
+      Obs_registry.incr c_msgs;
+      Obs_registry.incr ~by:(bytes m) c_bytes;
+      raw_send dst m
+    and broadcast m =
+      Obs_registry.incr ~by:fanout c_msgs;
+      Obs_registry.incr ~by:(fanout * bytes m) c_bytes;
+      raw_broadcast m
+    in
+    (send, broadcast)
+  end
+
+let make ?(obs = Obs.noop) ?(layer = "app") ?(bytes = fun _ -> 0) ~me ~keyring
+    ~send ~broadcast () =
+  let fanout = AS.n keyring.Keyring.structure in
+  let counted_send, counted_broadcast =
+    counted ~obs ~layer ~bytes ~fanout ~raw_send:send ~raw_broadcast:broadcast
+  in
+  { me; keyring;
+    send = counted_send;
+    broadcast = counted_broadcast;
+    obs; layer;
+    raw_send = send;
+    raw_broadcast = broadcast }
 
 let structure io = io.keyring.Keyring.structure
 let n io = AS.n (structure io)
 
-let embed (io : 'p t) ~(wrap : 'c -> 'p) : 'c t =
-  { me = io.me;
-    keyring = io.keyring;
-    send = (fun dst m -> io.send dst (wrap m));
-    broadcast = (fun m -> io.broadcast (wrap m)) }
+let embed ?layer ?bytes (io : 'p t) ~(wrap : 'c -> 'p) : 'c t =
+  match layer with
+  | None ->
+    (* Same layer as the parent: route through the parent's counting
+       send, which also applies the parent's size estimate to the
+       wrapped message. *)
+    { me = io.me;
+      keyring = io.keyring;
+      send = (fun dst m -> io.send dst (wrap m));
+      broadcast = (fun m -> io.broadcast (wrap m));
+      obs = io.obs;
+      layer = io.layer;
+      raw_send = (fun dst m -> io.raw_send dst (wrap m));
+      raw_broadcast = (fun m -> io.raw_broadcast (wrap m)) }
+  | Some layer ->
+    (* Own layer: wrap into the parent's *raw* transport so the child's
+       traffic is attributed here and nowhere else. *)
+    let raw_send dst m = io.raw_send dst (wrap m)
+    and raw_broadcast m = io.raw_broadcast (wrap m) in
+    let bytes = match bytes with Some f -> f | None -> fun _ -> 0 in
+    let send, broadcast =
+      counted ~obs:io.obs ~layer ~bytes ~fanout:(n io) ~raw_send
+        ~raw_broadcast
+    in
+    { me = io.me; keyring = io.keyring; send; broadcast; obs = io.obs;
+      layer; raw_send; raw_broadcast }
 
 (* Predicate shorthands on the deployment's adversary structure. *)
 let big_quorum io s = AS.big_quorum (structure io) s

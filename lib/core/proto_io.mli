@@ -1,30 +1,54 @@
-(** Environment handed to every protocol instance: identity, keyring and
-    typed message transport.
+(** Environment handed to every protocol instance: identity, keyring,
+    typed message transport, and the observability handle.
 
     A parent protocol embeds a child with {!embed} by wrapping the
     child's messages into its own message type, so a whole deployment
     has a single top-level wire type and runs unchanged under the
-    network simulator or any other transport. *)
+    network simulator or any other transport.
+
+    Per-layer attribution: {!field-send} / {!field-broadcast} count
+    messages and bytes against the registry of [obs] under the
+    environment's [layer] label (counters ["messages"] and ["bytes"]
+    with label [layer=<name>]); [raw_send] / [raw_broadcast] reach the
+    transport uncounted.  [embed ~layer] builds the child's raw
+    transport from the parent's raw transport, so every wire message is
+    counted exactly once, at the layer that originated it.  With the
+    default [Obs.noop] the counting wrappers are the raw functions
+    themselves — the uninstrumented path costs nothing. *)
 
 type 'm t = {
   me : int;
   keyring : Keyring.t;
-  send : int -> 'm -> unit;
-  broadcast : 'm -> unit;  (** to all servers, including self *)
+  send : int -> 'm -> unit;  (** counting send *)
+  broadcast : 'm -> unit;  (** to all servers, including self; counting *)
+  obs : Obs.t;  (** observability handle; [Obs.noop] by default *)
+  layer : string;  (** label the counting wrappers attribute to *)
+  raw_send : int -> 'm -> unit;  (** transport, bypassing the counters *)
+  raw_broadcast : 'm -> unit;
 }
 
 val make :
+  ?obs:Obs.t ->
+  ?layer:string ->
+  ?bytes:('m -> int) ->
   me:int ->
   keyring:Keyring.t ->
   send:(int -> 'm -> unit) ->
   broadcast:('m -> unit) ->
+  unit ->
   'm t
+(** [layer] defaults to ["app"], [bytes] (the per-message wire-size
+    estimate used by the byte counters) to [fun _ -> 0]. *)
 
 val structure : 'm t -> Adversary_structure.t
 val n : 'm t -> int
 
-val embed : 'p t -> wrap:('c -> 'p) -> 'c t
-(** Child environment whose sends wrap into the parent's message type. *)
+val embed : ?layer:string -> ?bytes:('c -> int) -> 'p t -> wrap:('c -> 'p) -> 'c t
+(** Child environment whose sends wrap into the parent's message type.
+    Without [~layer] the child shares the parent's layer and counters
+    (its traffic routes through the parent's counting send); with
+    [~layer] the child gets its own counters and size estimate, and its
+    traffic bypasses the parent's. *)
 
 (** Quorum-predicate shorthands on the deployment's structure. *)
 

@@ -30,6 +30,8 @@ type t = {
   mutable delivered : bool;
   echoes : (string, Pset.t ref) Hashtbl.t;
   readies : (string, Pset.t ref) Hashtbl.t;
+  mutable sp_echo : int;  (* open trace spans; 0 = none *)
+  mutable sp_ready : int;
 }
 
 let create ~(io : msg Proto_io.t) ~sender ~deliver =
@@ -40,7 +42,12 @@ let create ~(io : msg Proto_io.t) ~sender ~deliver =
     sent_ready = false;
     delivered = false;
     echoes = Hashtbl.create 4;
-    readies = Hashtbl.create 4 }
+    readies = Hashtbl.create 4;
+    sp_echo = 0;
+    sp_ready = 0 }
+
+let obs t = t.io.Proto_io.obs
+let me t = t.io.Proto_io.me
 
 let broadcast t payload =
   assert (t.io.Proto_io.me = t.sender);
@@ -57,12 +64,18 @@ let votes table payload =
 let maybe_ready t payload =
   if not t.sent_ready then begin
     t.sent_ready <- true;
+    Obs.span_end (obs t) t.sp_echo;
+    t.sp_echo <- 0;
+    t.sp_ready <- Obs.span_begin (obs t) ~party:(me t) ~layer:"rbc" "ready";
     t.io.Proto_io.broadcast (Ready payload)
   end
 
 let maybe_deliver t payload =
   if not t.delivered then begin
     t.delivered <- true;
+    Obs.span_end (obs t) t.sp_ready;
+    t.sp_ready <- 0;
+    Obs.point (obs t) ~party:(me t) ~src:t.sender ~layer:"rbc" "deliver";
     t.deliver payload
   end
 
@@ -71,6 +84,7 @@ let handle t ~src msg =
   | Send payload ->
     if src = t.sender && not t.sent_echo then begin
       t.sent_echo <- true;
+      t.sp_echo <- Obs.span_begin (obs t) ~party:(me t) ~layer:"rbc" "echo";
       t.io.Proto_io.broadcast (Echo payload)
     end
   | Echo payload ->

@@ -20,6 +20,7 @@ type slot = {
   ct : Tdh2.ciphertext;
   mutable shares : (int * Tdh2.dec_share list) list;
   mutable plaintext : string option;
+  mutable sp_decrypt : int;  (* open trace span; 0 = none *)
 }
 
 type t = {
@@ -40,7 +41,10 @@ let rec create ~(io : msg Proto_io.t) ~tag ~deliver () : t =
   let t_ref = ref None in
   let abc =
     Abc.create
-      ~io:(Proto_io.embed io ~wrap:(fun m -> Abc_msg m))
+      ~io:
+        (Proto_io.embed ~layer:"abc"
+           ~bytes:(Abc.msg_size io.Proto_io.keyring) io
+           ~wrap:(fun m -> Abc_msg m))
       ~tag:(tag ^ "/abc")
       ~deliver:(fun payload ->
         match !t_ref with Some t -> on_ordered t payload | None -> ())
@@ -71,7 +75,15 @@ and on_ordered t (payload : string) =
       let d = Sha256.digest payload in
       if not (Hashtbl.mem t.slots d) then begin
         let slot =
-          { position = t.next_position; ct; shares = []; plaintext = None }
+          { position = t.next_position;
+            ct;
+            shares = [];
+            plaintext = None;
+            sp_decrypt =
+              Obs.span_begin t.io.Proto_io.obs ~party:t.io.Proto_io.me
+                ~layer:"scabc"
+                ~detail:(Printf.sprintf "pos=%d" t.next_position)
+                "decrypt" }
         in
         t.next_position <- t.next_position + 1;
         Hashtbl.add t.slots d slot;
@@ -111,6 +123,8 @@ and try_decrypt t slot =
     | None -> ()
     | Some plaintext ->
       slot.plaintext <- Some plaintext;
+      Obs.span_end t.io.Proto_io.obs slot.sp_decrypt;
+      slot.sp_decrypt <- 0;
       flush_deliveries t
   end
 
@@ -126,6 +140,9 @@ and flush_deliveries t =
       | None -> ()
       | Some plaintext ->
         t.next_delivery <- t.next_delivery + 1;
+        Obs.point t.io.Proto_io.obs ~party:t.io.Proto_io.me ~layer:"scabc"
+          ~detail:(Printf.sprintf "pos=%d" slot.position)
+          "deliver";
         t.deliver ~label:slot.ct.Tdh2.label plaintext;
         go ())
   in

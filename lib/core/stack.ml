@@ -7,16 +7,17 @@
    models full Byzantine corruption — the adversary even gets the
    party's keyring secrets, since the keyring record is shared. *)
 
-let deploy (type node) ~(sim : 'msg Sim.t) ~(keyring : Keyring.t)
-    ~(make : int -> 'msg Proto_io.t -> node)
-    ~(handle : node -> src:int -> 'msg -> unit) : node array =
+let deploy (type node) ?layer ?bytes ~(sim : 'msg Sim.t)
+    ~(keyring : Keyring.t) ~(make : int -> 'msg Proto_io.t -> node)
+    ~(handle : node -> src:int -> 'msg -> unit) () : node array =
   let n = Sim.n sim in
   let nodes =
     Array.init n (fun me ->
         let io =
-          Proto_io.make ~me ~keyring
+          Proto_io.make ~obs:(Sim.obs sim) ?layer ?bytes ~me ~keyring
             ~send:(fun dst m -> Sim.send sim ~src:me ~dst m)
             ~broadcast:(fun m -> Sim.broadcast sim ~src:me m)
+            ()
         in
         make me io)
   in
@@ -25,34 +26,36 @@ let deploy (type node) ~(sim : 'msg Sim.t) ~(keyring : Keyring.t)
     nodes;
   nodes
 
-(* Convenience deployments for each layer of the stack. *)
+(* Convenience deployments for each layer of the stack; each declares
+   its layer label and wire-size estimate so the simulator's obs handle
+   gets per-layer message/byte counters. *)
 
 let deploy_rbc ~sim ~keyring ~sender ~deliver =
-  deploy ~sim ~keyring
+  deploy ~sim ~keyring ~layer:"rbc" ~bytes:Rbc.msg_size
     ~make:(fun me io -> Rbc.create ~io ~sender ~deliver:(deliver me))
-    ~handle:Rbc.handle
+    ~handle:Rbc.handle ()
 
 let deploy_cbc ~sim ~keyring ~tag ~sender ?validate ~deliver () =
-  deploy ~sim ~keyring
+  deploy ~sim ~keyring ~layer:"cbc" ~bytes:(Cbc.msg_size keyring)
     ~make:(fun me io -> Cbc.create ~io ~tag ~sender ?validate ~deliver:(deliver me) ())
-    ~handle:Cbc.handle
+    ~handle:Cbc.handle ()
 
 let deploy_abba ~sim ~keyring ~tag ~on_decide =
-  deploy ~sim ~keyring
+  deploy ~sim ~keyring ~layer:"abba" ~bytes:(Abba.msg_size keyring)
     ~make:(fun me io -> Abba.create ~io ~tag ~on_decide:(on_decide me))
-    ~handle:Abba.handle
+    ~handle:Abba.handle ()
 
 let deploy_vba ~sim ~keyring ~tag ?validate ~on_decide () =
-  deploy ~sim ~keyring
+  deploy ~sim ~keyring ~layer:"vba" ~bytes:(Vba.msg_size keyring)
     ~make:(fun me io -> Vba.create ~io ~tag ?validate ~on_decide:(on_decide me) ())
-    ~handle:Vba.handle
+    ~handle:Vba.handle ()
 
 let deploy_abc ~sim ~keyring ~tag ~deliver =
-  deploy ~sim ~keyring
+  deploy ~sim ~keyring ~layer:"abc" ~bytes:(Abc.msg_size keyring)
     ~make:(fun me io -> Abc.create ~io ~tag ~deliver:(deliver me) ())
-    ~handle:Abc.handle
+    ~handle:Abc.handle ()
 
 let deploy_scabc ~sim ~keyring ~tag ~deliver =
-  deploy ~sim ~keyring
+  deploy ~sim ~keyring ~layer:"scabc" ~bytes:(Scabc.msg_size keyring)
     ~make:(fun me io -> Scabc.create ~io ~tag ~deliver:(deliver me) ())
-    ~handle:Scabc.handle
+    ~handle:Scabc.handle ()

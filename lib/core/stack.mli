@@ -6,11 +6,19 @@
     exposure. *)
 
 val deploy :
+  ?layer:string ->
+  ?bytes:('msg -> int) ->
   sim:'msg Sim.t ->
   keyring:Keyring.t ->
   make:(int -> 'msg Proto_io.t -> 'node) ->
   handle:('node -> src:int -> 'msg -> unit) ->
+  unit ->
   'node array
+(** Each node's [Proto_io.t] carries the simulator's observability
+    handle ([Sim.obs]); [layer]/[bytes] feed its per-layer counters.
+    The [deploy_*] conveniences below set both (layers ["rbc"], ["cbc"],
+    ["abba"], ["vba"], ["abc"], ["scabc"], with the matching
+    [msg_size]). *)
 
 val deploy_rbc :
   sim:Rbc.msg Sim.t ->

@@ -47,6 +47,7 @@ type t = {
   mutable position : int;  (* first position not yet decided *)
   mutable winner : int option;
   mutable decided : (int * string) option;
+  mutable sp_inst : int;  (* open trace span; 0 = none *)
 }
 
 let cbc_tag t proposer = t.tag ^ "/prop/" ^ string_of_int proposer
@@ -60,7 +61,10 @@ let rec create ~(io : msg Proto_io.t) ~tag ?(validate = fun _ -> true)
   let cbcs =
     Array.init (Proto_io.n io) (fun proposer ->
         Cbc.create
-          ~io:(Proto_io.embed io ~wrap:(fun m -> Proposal_cbc (proposer, m)))
+          ~io:
+            (Proto_io.embed ~layer:"cbc"
+               ~bytes:(Cbc.msg_size io.Proto_io.keyring) io
+               ~wrap:(fun m -> Proposal_cbc (proposer, m)))
           ~tag:(tag ^ "/prop/" ^ string_of_int proposer)
           ~sender:proposer ~validate
           ~deliver:(fun payload cert ->
@@ -85,7 +89,8 @@ let rec create ~(io : msg Proto_io.t) ~tag ?(validate = fun _ -> true)
       forwarded = Hashtbl.create 8;
       position = 0;
       winner = None;
-      decided = None }
+      decided = None;
+      sp_inst = 0 }
   in
   t_ref := Some t;
   t
@@ -102,7 +107,10 @@ and abba_at t position : Abba.t =
   | None ->
     let a =
       Abba.create
-        ~io:(Proto_io.embed t.io ~wrap:(fun m -> Abba_msg (position, m)))
+        ~io:
+          (Proto_io.embed ~layer:"abba"
+             ~bytes:(Abba.msg_size t.io.Proto_io.keyring) t.io
+             ~wrap:(fun m -> Abba_msg (position, m)))
         ~tag:(t.tag ^ "/abba/" ^ string_of_int position)
         ~on_decide:(fun b -> on_abba_decision t position b)
     in
@@ -148,6 +156,11 @@ and step t =
         (match List.assoc_opt c t.proposals with
         | Some (payload, _) ->
           t.decided <- Some (c, payload);
+          let obs = t.io.Proto_io.obs in
+          Obs.span_end obs t.sp_inst;
+          t.sp_inst <- 0;
+          Obs.point obs ~party:t.io.Proto_io.me ~src:c ~tag:t.tag
+            ~layer:"vba" "decide";
           t.on_decide ~winner:c payload
         | None -> ())
       | None ->
@@ -211,6 +224,10 @@ and try_combine_perm t =
 
 let propose t (value : string) =
   assert (t.validate value);
+  if t.sp_inst = 0 && t.decided = None then
+    t.sp_inst <-
+      Obs.span_begin t.io.Proto_io.obs ~party:t.io.Proto_io.me ~tag:t.tag
+        ~layer:"vba" "instance";
   Cbc.broadcast t.cbcs.(t.io.Proto_io.me) value
 
 let handle t ~src msg =

@@ -31,6 +31,7 @@ let base (t : Dl_sharing.t) (msg : string) : G.elt =
   G.hash_to_elt t.Dl_sharing.group ~domain:(domain ^ "/base") [ msg ]
 
 let sign_share (t : Dl_sharing.t) ~(party : int) (msg : string) : share list =
+  Obs_crypto.sign ();
   let ps = t.Dl_sharing.group in
   let h = base t msg in
   List.map
@@ -45,6 +46,7 @@ let sign_share (t : Dl_sharing.t) ~(party : int) (msg : string) : share list =
 
 let verify_share (t : Dl_sharing.t) ~(party : int) (msg : string)
     (shares : share list) : bool =
+  Obs_crypto.share_verify ();
   let ps = t.Dl_sharing.group in
   let h = base t msg in
   let expected = Dl_sharing.shares_of t party in
@@ -60,6 +62,7 @@ let verify_share (t : Dl_sharing.t) ~(party : int) (msg : string)
 
 let combine (t : Dl_sharing.t) (_msg : string)
     (shares : (int * share list) list) : certificate option =
+  Obs_crypto.combine ();
   let signers =
     List.fold_left (fun acc (p, _) -> Pset.add p acc) Pset.empty shares
   in
@@ -73,6 +76,7 @@ let combine (t : Dl_sharing.t) (_msg : string)
   | Some combined -> Some { signers; shares; combined }
 
 let verify (t : Dl_sharing.t) (msg : string) (cert : certificate) : bool =
+  Obs_crypto.verify ();
   List.for_all
     (fun (party, ss) -> verify_share t ~party msg ss)
     cert.shares

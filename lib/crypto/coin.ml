@@ -21,6 +21,7 @@ let coin_base (t : Dl_sharing.t) ~(name : string) : G.elt =
 
 let generate_share (t : Dl_sharing.t) ~(party : int) ~(name : string) :
     share list =
+  Obs_crypto.sign ();
   let ps = t.Dl_sharing.group in
   let g_name = coin_base t ~name in
   List.map
@@ -37,6 +38,7 @@ let generate_share (t : Dl_sharing.t) ~(party : int) ~(name : string) :
    claimed leaf belongs to that party and every DLEQ proof verifies. *)
 let verify_share (t : Dl_sharing.t) ~(party : int) ~(name : string)
     (shares : share list) : bool =
+  Obs_crypto.share_verify ();
   let ps = t.Dl_sharing.group in
   let g_name = coin_base t ~name in
   let expected = Dl_sharing.shares_of t party in
@@ -58,6 +60,7 @@ let verify_share (t : Dl_sharing.t) ~(party : int) ~(name : string)
 let combine (t : Dl_sharing.t) ~(name : string) ~(avail : Pset.t)
     (shares : (int * share list) list) ?(bits = 1) () : int option =
   if bits < 1 || bits > 30 then invalid_arg "Coin.combine: bits out of range";
+  Obs_crypto.combine ();
   let leaf_values =
     List.concat_map
       (fun (_, ss) -> List.map (fun (s : share) -> (s.leaf, s.value)) ss)

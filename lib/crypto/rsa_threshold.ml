@@ -95,6 +95,7 @@ let proof_challenge (pk : public_key) ~v ~xt ~vi ~xi2 ~v' ~x' : B.t =
   B.of_bytes_be h
 
 let sign_share (keys : keys) ~(party : int) (msg : string) : share =
+  Obs_crypto.sign ();
   let pk = keys.pk in
   let nn = pk.n_modulus in
   let dd = delta pk.n_parties in
@@ -117,6 +118,7 @@ let sign_share (keys : keys) ~(party : int) (msg : string) : share =
   { signer = party; x; c; z }
 
 let verify_share (keys : keys) (msg : string) (sh : share) : bool =
+  Obs_crypto.share_verify ();
   let pk = keys.pk in
   let nn = pk.n_modulus in
   sh.signer >= 0 && sh.signer < pk.n_parties
@@ -162,6 +164,7 @@ let integer_lagrange ~n_parties (points : int list) : (int * B.t) list =
 
 let combine (keys : keys) (msg : string) (shares : share list) :
     signature option =
+  Obs_crypto.combine ();
   let pk = keys.pk in
   let nn = pk.n_modulus in
   let shares =
@@ -197,6 +200,7 @@ let combine (keys : keys) (msg : string) (shares : share list) :
   end
 
 let verify (pk : public_key) (msg : string) (y : signature) : bool =
+  Obs_crypto.verify ();
   B.sign y > 0 && B.lt y pk.n_modulus
   && B.equal
        (B.pow_mod ~base:y ~exp:pk.e ~modulus:pk.n_modulus)

@@ -22,6 +22,7 @@ let challenge ps ~a ~pk ~msg =
     [ G.elt_to_bytes ps a; G.elt_to_bytes ps pk; msg ]
 
 let sign (ps : G.params) (kp : keypair) (msg : string) : signature =
+  Obs_crypto.sign ();
   (* Deterministic nonce (RFC 6979 style). *)
   let r =
     Ro.hash_to_bignum_below ~domain:(domain ^ "/nonce")
@@ -33,6 +34,7 @@ let sign (ps : G.params) (kp : keypair) (msg : string) : signature =
 
 let verify (ps : G.params) ~(pk : G.elt) (msg : string) (s : signature) : bool
     =
+  Obs_crypto.verify ();
   B.sign s.z >= 0 && B.lt s.z ps.G.q
   &&
   let a = G.div ps (G.exp_g ps s.z) (G.exp ps pk s.c) in

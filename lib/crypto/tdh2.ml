@@ -73,6 +73,7 @@ let is_valid (t : Dl_sharing.t) (ct : ciphertext) : bool =
 
 let decryption_share (t : Dl_sharing.t) ~(party : int) (ct : ciphertext) :
     dec_share list option =
+  Obs_crypto.sign ();
   if not (is_valid t ct) then None
   else begin
     let ps = t.Dl_sharing.group in
@@ -90,6 +91,7 @@ let decryption_share (t : Dl_sharing.t) ~(party : int) (ct : ciphertext) :
 
 let verify_share (t : Dl_sharing.t) ~(party : int) (ct : ciphertext)
     (shares : dec_share list) : bool =
+  Obs_crypto.share_verify ();
   let ps = t.Dl_sharing.group in
   let expected = Dl_sharing.shares_of t party in
   List.length shares = List.length expected
@@ -105,6 +107,7 @@ let verify_share (t : Dl_sharing.t) ~(party : int) (ct : ciphertext)
 
 let combine (t : Dl_sharing.t) (ct : ciphertext) ~(avail : Pset.t)
     (shares : (int * dec_share list) list) : string option =
+  Obs_crypto.combine ();
   if not (is_valid t ct) then None
   else begin
     let ps = t.Dl_sharing.group in

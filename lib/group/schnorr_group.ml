@@ -67,6 +67,7 @@ let elt_of_bytes ps (s : string) : elt option =
 (* Hash arbitrary strings into the group: reduce mod p, then square.
    Squaring maps onto the quadratic residues, i.e. into the subgroup. *)
 let hash_to_elt ps ~domain (parts : string list) : elt =
+  Obs_crypto.hash_to_group ();
   let x = Ro.hash_to_bignum_below ~domain parts ps.p in
   let x = if B.is_zero x then B.one else x in
   B.mul_mod x x ps.p

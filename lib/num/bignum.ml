@@ -140,6 +140,7 @@ module Barrett = struct
 end
 
 let pow_mod ~base:b ~exp:e ~modulus:m =
+  Obs_crypto.modexp ();
   if m.sign <= 0 then invalid_arg "Bignum.pow_mod: modulus must be positive";
   if equal m one then zero
   else begin

@@ -1,0 +1,71 @@
+(* Global crypto operation counters.
+
+   The number-theoretic layers (lib/num, lib/group, lib/crypto) sit
+   below any place a registry could be threaded through, and their hot
+   paths (modular exponentiation above all) must not pay for plumbing.
+   So the sink is a handful of global ints behind one [enabled] flag:
+   disabled — the default — each instrumentation site costs a single
+   branch on an immediate bool, which is as close to free as OCaml
+   gets without compiling the calls out. *)
+
+let enabled_flag = ref false
+
+type kind =
+  | Modexp  (* Bignum.pow_mod: the dominant cost in every protocol *)
+  | Hash_to_group  (* hashing onto the group, for coin/TDH2 bases *)
+  | Sign  (* ordinary and threshold signature share generation *)
+  | Verify  (* ordinary signature / assembled certificate checks *)
+  | Share_verify  (* per-share proof checks: coin, TDH2, RSA, certs *)
+  | Combine  (* Lagrange/threshold combination of shares *)
+
+let n_kinds = 6
+
+let index = function
+  | Modexp -> 0
+  | Hash_to_group -> 1
+  | Sign -> 2
+  | Verify -> 3
+  | Share_verify -> 4
+  | Combine -> 5
+
+let name = function
+  | Modexp -> "modexp"
+  | Hash_to_group -> "hash_to_group"
+  | Sign -> "sign"
+  | Verify -> "verify"
+  | Share_verify -> "share_verify"
+  | Combine -> "combine"
+
+let all_kinds = [ Modexp; Hash_to_group; Sign; Verify; Share_verify; Combine ]
+
+let counts_arr = Array.make n_kinds 0
+
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+let enabled () = !enabled_flag
+
+let reset () = Array.fill counts_arr 0 n_kinds 0
+
+let count kind = counts_arr.(index kind)
+let counts () = List.map (fun k -> (name k, count k)) all_kinds
+let total () = Array.fold_left ( + ) 0 counts_arr
+
+(* Instrumentation entry points, one per kind so call sites stay
+   grep-able.  The [if] on the deref'd flag is the whole disabled-path
+   cost. *)
+let modexp () =
+  if !enabled_flag then counts_arr.(0) <- counts_arr.(0) + 1
+
+let hash_to_group () =
+  if !enabled_flag then counts_arr.(1) <- counts_arr.(1) + 1
+
+let sign () = if !enabled_flag then counts_arr.(2) <- counts_arr.(2) + 1
+let verify () = if !enabled_flag then counts_arr.(3) <- counts_arr.(3) + 1
+
+let share_verify () =
+  if !enabled_flag then counts_arr.(4) <- counts_arr.(4) + 1
+
+let combine () = if !enabled_flag then counts_arr.(5) <- counts_arr.(5) + 1
+
+let to_json () : Obs_json.t =
+  Obs_json.Obj (List.map (fun (n, c) -> (n, Obs_json.Int c)) (counts ()))

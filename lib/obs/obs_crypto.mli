@@ -1,0 +1,42 @@
+(** Global crypto operation counters.
+
+    lib/num, lib/group and lib/crypto sit below anything a registry
+    handle could be threaded through, so their instrumentation is a set
+    of global counters behind one flag.  Disabled (the default), each
+    site costs a single branch on a bool ref — effectively free.  The
+    counters are process-global: callers that want per-run numbers
+    bracket the run with [reset]/[counts] (the bench harness does). *)
+
+type kind =
+  | Modexp  (** modular exponentiation ([Bignum.pow_mod]) *)
+  | Hash_to_group  (** hashing onto the group *)
+  | Sign  (** signature / signature-share generation *)
+  | Verify  (** full signature or assembled-certificate checks *)
+  | Share_verify  (** per-share proof checks (coin, TDH2, RSA, certs) *)
+  | Combine  (** threshold combination of shares *)
+
+val all_kinds : kind list
+val name : kind -> string
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+val reset : unit -> unit
+
+val count : kind -> int
+val counts : unit -> (string * int) list
+(** All kinds in declaration order, including zeros. *)
+
+val total : unit -> int
+
+(** {2 Instrumentation entry points} (no-ops unless enabled) *)
+
+val modexp : unit -> unit
+val hash_to_group : unit -> unit
+val sign : unit -> unit
+val verify : unit -> unit
+val share_verify : unit -> unit
+val combine : unit -> unit
+
+val to_json : unit -> Obs_json.t
+(** [{"modexp": n, ...}] — every kind, including zeros. *)

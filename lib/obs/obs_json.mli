@@ -1,0 +1,30 @@
+(** Minimal JSON values for the observability artifacts (bench records,
+    span JSONL) — emitter plus a strict parser, no external deps.
+
+    Floats are printed with the shortest representation that parses back
+    to the same bits, so [to_string] / [of_string] round-trips exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document; [Error] carries a message
+    with the failing offset. *)
+
+(** Accessors; [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -99,22 +99,28 @@ let deploy ~(sim : msg Sim.t) ~(keyring : Keyring.t) ~(mode : mode)
   Array.iteri
     (fun me node ->
       let io =
-        Proto_io.make ~me ~keyring
+        Proto_io.make ~obs:(Sim.obs sim) ~layer:"service" ~me ~keyring
           ~send:(fun dst m -> Sim.send sim ~src:me ~dst (Engine m))
           ~broadcast:(fun m -> Sim.broadcast sim ~src:me (Engine m))
+          ()
       in
       (match mode with
       | Plain ->
         let abc =
           Abc.create
-            ~io:(Proto_io.embed io ~wrap:(fun m -> Abc_m m))
+            ~io:
+              (Proto_io.embed ~layer:"abc" ~bytes:(Abc.msg_size keyring) io
+                 ~wrap:(fun m -> Abc_m m))
             ~tag:"service" ~deliver:(fun p -> on_ordered node p) ()
         in
         node.engine <- Some (Abc_e abc)
       | Confidential ->
         let sc =
           Scabc.create
-            ~io:(Proto_io.embed io ~wrap:(fun m -> Scabc_m m))
+            ~io:
+              (Proto_io.embed ~layer:"scabc" ~bytes:(Scabc.msg_size keyring)
+                 io
+                 ~wrap:(fun m -> Scabc_m m))
             ~tag:"service"
             ~deliver:(fun ~label:_ p -> on_ordered node p)
             ()

@@ -1,21 +1,93 @@
 (* Counters collected by the network simulator; the message-complexity
-   experiments (EXPERIMENTS.md, M1) read these. *)
+   experiments (EXPERIMENTS.md, M1) read these.
+
+   The four plain fields are the historical interface and every existing
+   caller reads them directly, so they stay.  When the simulator is
+   created with an active [Obs.t], the same events are mirrored into its
+   registry (layer "sim"), plus a message-size histogram — that is what
+   the bench harness snapshots.  [pp] and [reset] go through the
+   registry mirror when one is attached, so the two views cannot
+   drift. *)
+
+type sink = {
+  s_messages : Obs_registry.counter;
+  s_bytes : Obs_registry.counter;
+  s_deliveries : Obs_registry.counter;
+  s_drops : Obs_registry.counter;
+  s_size : Obs_histogram.t;
+}
 
 type t = {
   mutable messages_sent : int;
   mutable bytes_sent : int;
   mutable deliveries : int;
   mutable drops : int;  (* messages to crashed parties *)
+  sink : sink option;
 }
 
-let create () = { messages_sent = 0; bytes_sent = 0; deliveries = 0; drops = 0 }
+let make_sink obs =
+  let labels = [ ("layer", "sim") ] in
+  { s_messages = Obs.counter obs ~labels "messages_sent";
+    s_bytes = Obs.counter obs ~labels "bytes_sent";
+    s_deliveries = Obs.counter obs ~labels "deliveries";
+    s_drops = Obs.counter obs ~labels "drops";
+    s_size = Obs.histogram obs ~labels "msg_bytes" }
 
+let create ?(obs = Obs.noop) () =
+  { messages_sent = 0;
+    bytes_sent = 0;
+    deliveries = 0;
+    drops = 0;
+    sink = (if Obs.active obs then Some (make_sink obs) else None) }
+
+let incr_sent t ~bytes =
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + bytes;
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    Obs_registry.incr s.s_messages;
+    Obs_registry.incr ~by:bytes s.s_bytes;
+    Obs_histogram.observe s.s_size (float_of_int bytes)
+
+let incr_deliveries t =
+  t.deliveries <- t.deliveries + 1;
+  match t.sink with
+  | None -> ()
+  | Some s -> Obs_registry.incr s.s_deliveries
+
+let incr_drops t =
+  t.drops <- t.drops + 1;
+  match t.sink with
+  | None -> ()
+  | Some s -> Obs_registry.incr s.s_drops
+
+(* Registered counters are shared handles owned by the registry, so
+   "reset" means driving them back to zero, not replacing them. *)
 let reset t =
   t.messages_sent <- 0;
   t.bytes_sent <- 0;
   t.deliveries <- 0;
-  t.drops <- 0
+  t.drops <- 0;
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun c -> Obs_registry.incr ~by:(-Obs_registry.value c) c)
+      [ s.s_messages; s.s_bytes; s.s_deliveries; s.s_drops ];
+    Obs_histogram.reset s.s_size
 
 let pp fmt t =
-  Format.fprintf fmt "sent=%d bytes=%d delivered=%d dropped=%d"
-    t.messages_sent t.bytes_sent t.deliveries t.drops
+  (* Through the registry mirror when attached: pp then reports what a
+     snapshot would, guarding against the two views drifting. *)
+  let sent, bytes, delivered, dropped =
+    match t.sink with
+    | None -> (t.messages_sent, t.bytes_sent, t.deliveries, t.drops)
+    | Some s ->
+      ( Obs_registry.value s.s_messages,
+        Obs_registry.value s.s_bytes,
+        Obs_registry.value s.s_deliveries,
+        Obs_registry.value s.s_drops )
+  in
+  Format.fprintf fmt "sent=%d bytes=%d delivered=%d dropped=%d" sent bytes
+    delivered dropped

@@ -1,13 +1,40 @@
 (** Counters collected by the network simulator (read by the message-
-    complexity experiments). *)
+    complexity experiments).
 
-type t = {
-  mutable messages_sent : int;
-  mutable bytes_sent : int;
-  mutable deliveries : int;
+    The four mutable fields are the stable, historical interface:
+    existing callers read [messages_sent] / [bytes_sent] / [deliveries]
+    / [drops] directly and may keep doing so.  When created with an
+    active observability handle ({!create} [~obs]), every update is
+    mirrored into the handle's registry under layer ["sim"] — counters
+    with the same four names plus a ["msg_bytes"] size histogram — which
+    is the view the bench harness snapshots and diffs.  {!pp} and
+    {!reset} operate through the registry mirror when one is attached,
+    so the field view and the registry view cannot drift apart. *)
+
+type t = private {
+  mutable messages_sent : int;  (** point-to-point sends *)
+  mutable bytes_sent : int;  (** estimated wire bytes ([Sim]'s [size]) *)
+  mutable deliveries : int;  (** messages handed to a live handler *)
   mutable drops : int;  (** messages addressed to crashed parties *)
+  sink : sink option;
 }
 
-val create : unit -> t
+and sink
+(** Registry mirror; absent unless created with an active [~obs]. *)
+
+val create : ?obs:Obs.t -> unit -> t
+(** Defaults to [Obs.noop]: plain fields only, no registry mirror. *)
+
+val incr_sent : t -> bytes:int -> unit
+(** One send of [bytes] estimated wire bytes. *)
+
+val incr_deliveries : t -> unit
+val incr_drops : t -> unit
+
 val reset : t -> unit
+(** Zeros the fields and drives the registry mirror (when attached)
+    back to zero too. *)
+
 val pp : Format.formatter -> t -> unit
+(** [sent=... bytes=... delivered=... dropped=...]; values come from the
+    registry mirror when one is attached. *)

@@ -53,12 +53,13 @@ type 'msg t = {
   mutable timers : (float * party * (unit -> unit)) list;
   metrics : Metrics.t;
   size : 'msg -> int;
+  obs : Obs.t;
   mutable tracer : ('msg -> string) option;
   mutable trace : trace_event list;  (* newest first *)
 }
 
-let create ?(policy = Random_order) ?(extra = 8) ?(size = fun _ -> 1) ~n ~seed
-    () : 'msg t =
+let create ?(policy = Random_order) ?(extra = 8) ?(size = fun _ -> 1)
+    ?(obs = Obs.noop) ~n ~seed () : 'msg t =
   { n;
     slots = n + extra;
     rng = Prng.create ~seed;
@@ -69,14 +70,16 @@ let create ?(policy = Random_order) ?(extra = 8) ?(size = fun _ -> 1) ~n ~seed
     handlers = Array.make (n + extra) None;
     crashed = Array.make (n + extra) false;
     timers = [];
-    metrics = Metrics.create ();
+    metrics = Metrics.create ~obs ();
     size;
+    obs;
     tracer = None;
     trace = [] }
 
 let n t = t.n
 let clock t = t.clock
 let metrics t = t.metrics
+let obs t = t.obs
 let set_policy t p = t.policy <- p
 
 let set_handler t party (h : 'msg handler) =
@@ -94,8 +97,7 @@ let latency t = 10.0 +. (90.0 *. Prng.float t.rng)
 
 let send t ~src ~dst msg =
   if dst < 0 || dst >= t.slots then invalid_arg "Sim.send";
-  t.metrics.Metrics.messages_sent <- t.metrics.Metrics.messages_sent + 1;
-  t.metrics.Metrics.bytes_sent <- t.metrics.Metrics.bytes_sent + t.size msg;
+  Metrics.incr_sent t.metrics ~bytes:(t.size msg);
   let env =
     { seq = t.seq; src; dst; msg; ready_at = t.clock +. latency t }
   in
@@ -118,6 +120,7 @@ let fire_due_timers t =
       if not t.crashed.(party) then begin
         if t.tracer <> None then
           t.trace <- Timer_fired { at = d; party } :: t.trace;
+        Obs.point t.obs ~party ~layer:"sim" "timer";
         cb ()
       end)
     (List.sort (fun (a, _, _) (b, _, _) -> compare a b) due)
@@ -202,15 +205,16 @@ let step t : bool =
     t.clock <- max t.clock env.ready_at;
     fire_due_timers t;
     if t.crashed.(env.dst) then begin
-      t.metrics.Metrics.drops <- t.metrics.Metrics.drops + 1;
+      Metrics.incr_drops t.metrics;
       if t.tracer <> None then
-        t.trace <- Dropped { at = t.clock; src = env.src; dst = env.dst } :: t.trace
+        t.trace <- Dropped { at = t.clock; src = env.src; dst = env.dst } :: t.trace;
+      Obs.point t.obs ~party:env.dst ~src:env.src ~layer:"sim" "drop"
     end
     else begin
       match t.handlers.(env.dst) with
-      | None -> t.metrics.Metrics.drops <- t.metrics.Metrics.drops + 1
+      | None -> Metrics.incr_drops t.metrics
       | Some h ->
-        t.metrics.Metrics.deliveries <- t.metrics.Metrics.deliveries + 1;
+        Metrics.incr_deliveries t.metrics;
         (match t.tracer with
         | Some summarize ->
           t.trace <-
@@ -237,4 +241,8 @@ let run ?(max_steps = 2_000_000) ?(until = fun () -> false) t : unit =
       if step t then go () else ()
     end
   in
-  go ()
+  go ();
+  (* One observation per completed run: the histogram sum is the total
+     virtual time across every sim an experiment drives. *)
+  if Obs.active t.obs then
+    Obs.observe t.obs ~labels:[ ("layer", "sim") ] "virtual_time" t.clock

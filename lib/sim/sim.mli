@@ -34,16 +34,24 @@ val create :
   ?policy:policy ->
   ?extra:int ->
   ?size:('msg -> int) ->
+  ?obs:Obs.t ->
   n:int ->
   seed:int ->
   unit ->
   'msg t
 (** [n] server slots plus [extra] client slots (default 8); [size]
-    estimates wire bytes for the metrics. *)
+    estimates wire bytes for the metrics.  [obs] (default [Obs.noop])
+    receives a registry mirror of the metrics under layer ["sim"] plus
+    drop/timer points when a tracer is installed; protocol layers built
+    on this simulator pick it up through {!obs}. *)
 
 val n : 'msg t -> int
 val clock : 'msg t -> float
 val metrics : 'msg t -> Metrics.t
+
+val obs : 'msg t -> Obs.t
+(** The observability handle passed at creation ([Obs.noop] when none). *)
+
 val set_policy : 'msg t -> policy -> unit
 
 val set_handler : 'msg t -> party -> 'msg handler -> unit

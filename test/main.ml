@@ -5,7 +5,8 @@
 
 let () =
   Alcotest.run "sintra"
-    [ Test_num.suite;
+    [ Test_obs.suite;
+      Test_num.suite;
       Test_hash.suite;
       Test_group.suite;
       Test_sharing.suite;

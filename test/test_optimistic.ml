@@ -19,7 +19,7 @@ let deploy ~sim ?(patience = 120) () =
           ~deliver:(fun p ->
             logs.(io.Proto_io.me) <- p :: logs.(io.Proto_io.me))
           ())
-      ~handle:Optimistic_abc.handle
+      ~handle:Optimistic_abc.handle ()
   in
   (nodes, logs)
 
