@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test fmt fmt-check bench bench-smoke clean
+.PHONY: all build test fmt fmt-check bench bench-num bench-check bench-smoke perf-diff clean
 
 all: build
 
@@ -20,12 +20,28 @@ fmt-check:
 bench:
 	$(DUNE) exec bench/main.exe
 
+# Modular-arithmetic micro-benchmarks (naive vs Montgomery-window
+# pow_mod, fixed-base exp_g, exp2); writes BENCH_NUM.json.
+bench-num:
+	$(DUNE) exec bin/sintra_cli.exe -- bench-num
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_NUM.json
+
+# Schema check of every BENCH_*.json in the working directory.
+bench-check:
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check
+
 # End-to-end smoke of the machine-readable bench output: two cheap
-# experiments at reduced scale, then a schema check of the emitted
-# BENCH_<id>.json files.
+# experiments at reduced scale plus a quick kernel micro-bench, then a
+# schema check of the emitted BENCH_<id>.json files.
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- --small R1 M1
-	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_R1.json BENCH_M1.json
+	$(DUNE) exec bin/sintra_cli.exe -- bench-num --quick
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_R1.json BENCH_M1.json BENCH_NUM.json
+
+# Per-counter deltas between two bench JSON files:
+#   make perf-diff A=BENCH_R2.baseline.json B=BENCH_R2.json
+perf-diff:
+	$(DUNE) exec bin/sintra_cli.exe -- perf-diff $(A) $(B)
 
 clean:
 	$(DUNE) clean

@@ -1,0 +1,159 @@
+(* Micro-benchmarks for the modular-arithmetic fast paths.
+
+   Times the kernels that PR 2 introduced — Montgomery-window
+   [Bignum.pow_mod], the fixed-base [Schnorr_group.exp_g] table, and the
+   shared-squaring-chain [exp2] — against their naive counterparts at
+   128/512/1024-bit odd moduli, and writes BENCH_NUM.json in the same
+   sintra-bench/1 schema as the protocol experiments so [bench-check]
+   and [perf-diff] work on it unchanged.
+
+   The moduli are random odd numbers of exactly the requested size, not
+   primes: none of the kernels cares about primality, and safe-prime
+   generation at 1024 bits would dominate the benchmark run. *)
+
+module B = Bignum
+module G = Schnorr_group
+
+(* The pre-PR-2 ladder: plain square-and-multiply with a full division
+   at every step.  This is the baseline the tentpole replaces. *)
+let naive_pow_mod ~base ~exp ~modulus =
+  let b = ref (B.erem base modulus) and r = ref B.one in
+  let nb = B.numbits exp in
+  for i = 0 to nb - 1 do
+    if B.testbit exp i then r := B.erem (B.mul !r !b) modulus;
+    if i < nb - 1 then b := B.erem (B.mul !b !b) modulus
+  done;
+  !r
+
+(* Wall-clock ns/op: repeat [f] until [min_time] seconds have elapsed
+   (after one warm-up call, which also absorbs one-off precomputation
+   such as the Montgomery context). *)
+let time_ns ~min_time (f : unit -> unit) : float =
+  f ();
+  let t0 = Unix.gettimeofday () in
+  let n = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < min_time || !n = 0 do
+    f ();
+    incr n;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed /. float_of_int !n *. 1e9
+
+(* Random odd modulus with the top bit set, so it has exactly [bits]
+   bits and takes the Montgomery path. *)
+let random_odd_modulus rng ~bits =
+  let m = Prng.bignum_below rng (B.shift_left B.one (bits - 1)) in
+  let m = B.add m (B.shift_left B.one (bits - 1)) in
+  if B.is_even m then B.succ m else m
+
+type sample = { kernel : string; bits : int; ns_per_op : float }
+
+let run ?(out = "BENCH_NUM.json") ?(quick = false) () : unit =
+  let min_time = if quick then 0.02 else 0.2 in
+  let sizes = [ 128; 512; 1024 ] in
+  let rng = Prng.create ~seed:0xBE7C4 in
+  Obs_crypto.reset ();
+  Obs_crypto.enable ();
+  let t0 = Unix.gettimeofday () in
+  let samples = ref [] in
+  let speedups = ref [] in
+  let sample kernel bits f =
+    let ns = time_ns ~min_time f in
+    samples := { kernel; bits; ns_per_op = ns } :: !samples;
+    ns
+  in
+  List.iter
+    (fun bits ->
+      let m = random_odd_modulus rng ~bits in
+      let base = Prng.bignum_below rng m in
+      let exp = Prng.bignum_below rng m in
+      (* the bench guards itself: both ladders must agree *)
+      let expect = naive_pow_mod ~base ~exp ~modulus:m in
+      assert (B.equal expect (B.pow_mod ~base ~exp ~modulus:m));
+      let naive =
+        sample "naive_pow_mod" bits (fun () ->
+            ignore (naive_pow_mod ~base ~exp ~modulus:m))
+      in
+      let window =
+        sample "pow_mod_window" bits (fun () ->
+            ignore (B.pow_mod ~base ~exp ~modulus:m))
+      in
+      speedups :=
+        (Printf.sprintf "pow_mod_window_%d" bits, naive /. window)
+        :: !speedups;
+      (* Group-level kernels over the same modulus: primality does not
+         matter for cost, only the operand sizes do. *)
+      let q = B.shift_right (B.pred m) 1 in
+      let g = B.mul_mod base base m in
+      let ps = G.unsafe_params ~p:m ~q ~g in
+      let e1 = Prng.bignum_below rng q and e2 = Prng.bignum_below rng q in
+      let a = B.mul_mod exp exp m in
+      G.prepare_base ps g;
+      let fixed =
+        sample "fixed_base_exp_g" bits (fun () -> ignore (G.exp_g ps e1))
+      in
+      speedups :=
+        (Printf.sprintf "fixed_base_exp_g_%d" bits, window /. fixed)
+        :: !speedups;
+      let two_pow =
+        sample "two_pow_mod_mul" bits (fun () ->
+            ignore
+              (B.mul_mod
+                 (B.pow_mod ~base:a ~exp:e1 ~modulus:m)
+                 (B.pow_mod ~base ~exp:e2 ~modulus:m)
+                 m))
+      in
+      let exp2 =
+        sample "exp2" bits (fun () ->
+            ignore (B.pow2_mod ~b1:a ~e1 ~b2:base ~e2 ~modulus:m))
+      in
+      speedups :=
+        (Printf.sprintf "exp2_%d" bits, two_pow /. exp2) :: !speedups;
+      Printf.printf
+        "[bench-num] %4d-bit: naive %9.0f ns/op, window %9.0f ns/op \
+         (%.2fx), fixed-base %9.0f ns/op, exp2 %9.0f vs 2x pow_mod %9.0f \
+         ns/op (%.2fx)\n\
+         %!"
+        bits naive window (naive /. window) fixed exp2 two_pow
+        (two_pow /. exp2))
+    sizes;
+  let wall = Unix.gettimeofday () -. t0 in
+  Obs_crypto.disable ();
+  let counters =
+    List.rev_map
+      (fun s ->
+        Obs_json.Obj
+          [ ("name", Obs_json.Str "ns_per_op");
+            ( "labels",
+              Obs_json.Obj
+                [ ("kernel", Obs_json.Str s.kernel);
+                  ("bits", Obs_json.Str (string_of_int s.bits)) ] );
+            ("value", Obs_json.Int (int_of_float s.ns_per_op)) ])
+      !samples
+  in
+  let doc =
+    Obs_json.Obj
+      [ ("experiment", Obs_json.Str "NUM");
+        ("schema", Obs_json.Str "sintra-bench/1");
+        ("wall_time_s", Obs_json.Float wall);
+        ("virtual_time_total", Obs_json.Float 0.0);
+        ( "metrics",
+          Obs_json.Obj
+            [ ("counters", Obs_json.Arr counters);
+              ("gauges", Obs_json.Arr []);
+              ("histograms", Obs_json.Arr []) ] );
+        ("crypto_ops", Obs_crypto.to_json ());
+        ( "speedups",
+          Obs_json.Obj
+            (List.rev_map
+               (fun (k, v) -> (k, Obs_json.Float v))
+               !speedups) );
+        ("quick", Obs_json.Bool quick) ]
+  in
+  Obs_crypto.reset ();
+  let oc = open_out out in
+  output_string oc (Obs_json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[bench-num] wrote %s\n%!" out

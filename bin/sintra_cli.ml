@@ -332,6 +332,139 @@ let bench_check_cmd =
        ~doc:"Validate the schema of machine-readable benchmark output.")
     Term.(const run $ files_arg)
 
+(* ---------- bench-num: modular-arithmetic micro-benchmarks ----------- *)
+
+let bench_num_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_NUM.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the bench JSON.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Shorter timing loops (noisier numbers; for CI smoke runs).")
+  in
+  let run out quick = Bench_num.run ~out ~quick () in
+  Cmd.v
+    (Cmd.info "bench-num"
+       ~doc:
+         "Micro-benchmark the modular-arithmetic kernels (naive vs \
+          Montgomery-window pow_mod, fixed-base exp_g, exp2) at \
+          128/512/1024-bit moduli.")
+    Term.(const run $ out_arg $ quick_arg)
+
+(* ---------- perf-diff: compare two bench JSON files ------------------ *)
+
+let perf_diff_cmd =
+  let a_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"BEFORE" ~doc:"Baseline BENCH_<id>.json.")
+  in
+  let b_arg =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"AFTER" ~doc:"Comparison BENCH_<id>.json.")
+  in
+  let read_json path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Obs_json.of_string s with
+    | Ok doc -> doc
+    | Error e ->
+      Printf.eprintf "perf-diff: %s: parse error: %s\n" path e;
+      exit 1
+  in
+  let fields = function Obs_json.Obj kvs -> kvs | _ -> [] in
+  (* Key a metrics counter by name plus rendered labels, so per-layer
+     entries with the same name stay distinct. *)
+  let counter_entries doc =
+    Option.bind (Obs_json.member "metrics" doc) (Obs_json.member "counters")
+    |> fun o ->
+    Option.bind o Obs_json.to_list |> Option.value ~default:[]
+    |> List.filter_map (fun c ->
+           match
+             ( Option.bind (Obs_json.member "name" c) Obs_json.to_str,
+               Option.bind (Obs_json.member "value" c) Obs_json.to_int )
+           with
+           | Some name, Some v ->
+             let labels =
+               match Obs_json.member "labels" c with
+               | Some (Obs_json.Obj kvs) ->
+                 "{"
+                 ^ String.concat ","
+                     (List.map
+                        (fun (k, v) ->
+                          k ^ "="
+                          ^ Option.value (Obs_json.to_str v) ~default:"?")
+                        kvs)
+                 ^ "}"
+               | Some _ | None -> ""
+             in
+             Some (name ^ labels, v)
+           | _ -> None)
+  in
+  let crypto_entries doc =
+    match Obs_json.member "crypto_ops" doc with
+    | Some (Obs_json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun i -> (k, i)) (Obs_json.to_int v))
+        kvs
+    | Some _ | None -> []
+  in
+  let diff_section title xs ys =
+    let keys =
+      List.sort_uniq compare (List.map fst xs @ List.map fst ys)
+    in
+    let changed = ref 0 and same = ref 0 in
+    Printf.printf "%s:\n" title;
+    List.iter
+      (fun k ->
+        let a = Option.value (List.assoc_opt k xs) ~default:0 in
+        let b = Option.value (List.assoc_opt k ys) ~default:0 in
+        if a <> b then begin
+          incr changed;
+          let pct =
+            if a = 0 then ""
+            else
+              Printf.sprintf " (%+.1f%%)"
+                (100.0 *. float_of_int (b - a) /. float_of_int a)
+          in
+          Printf.printf "  %-40s %10d -> %10d  %+d%s\n" k a b (b - a) pct
+        end
+        else incr same)
+      keys;
+    if !changed = 0 then Printf.printf "  (no differences)\n";
+    if !same > 0 then Printf.printf "  (%d unchanged entries omitted)\n" !same
+  in
+  let run a_path b_path =
+    let a = read_json a_path and b = read_json b_path in
+    Printf.printf "perf-diff %s -> %s\n" a_path b_path;
+    (match
+       ( List.assoc_opt "wall_time_s" (fields a),
+         List.assoc_opt "wall_time_s" (fields b) )
+     with
+    | Some wa, Some wb ->
+      (match (Obs_json.to_float wa, Obs_json.to_float wb) with
+      | Some wa, Some wb when wa > 0.0 ->
+        Printf.printf "wall_time_s: %.3f -> %.3f (%+.1f%%)\n" wa wb
+          (100.0 *. (wb -. wa) /. wa)
+      | Some wa, Some wb -> Printf.printf "wall_time_s: %.3f -> %.3f\n" wa wb
+      | _ -> ())
+    | _ -> ());
+    diff_section "crypto_ops" (crypto_entries a) (crypto_entries b);
+    diff_section "counters" (counter_entries a) (counter_entries b)
+  in
+  Cmd.v
+    (Cmd.info "perf-diff"
+       ~doc:
+         "Diff two sintra-bench/1 JSON files: wall time, per-kind crypto \
+          operation counts and per-layer metric counters.")
+    Term.(const run $ a_arg $ b_arg)
+
 (* ---------- coin: flip the distributed coin -------------------------- *)
 
 let coin_cmd =
@@ -487,5 +620,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ structure_cmd; abc_cmd; trace_cmd; bench_check_cmd; coin_cmd;
-            notary_cmd; ca_cmd ]))
+          [ structure_cmd; abc_cmd; trace_cmd; bench_check_cmd; bench_num_cmd;
+            perf_diff_cmd; coin_cmd; notary_cmd; ca_cmd ]))

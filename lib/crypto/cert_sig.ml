@@ -34,6 +34,11 @@ let sign_share (t : Dl_sharing.t) ~(party : int) (msg : string) : share list =
   Obs_crypto.sign ();
   let ps = t.Dl_sharing.group in
   let h = base t msg in
+  let own = Dl_sharing.shares_of t party in
+  (* As for the coin base: H'(M) is exponentiated twice per owned leaf
+     here and once per leaf by every verifier, all through the shared
+     table cache. *)
+  if List.length own >= 3 then G.prepare_base ps h;
   List.map
     (fun (s : Lsss.subshare) ->
       let value = G.exp ps h s.value in
@@ -42,7 +47,7 @@ let sign_share (t : Dl_sharing.t) ~(party : int) (msg : string) : share list =
           ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:h ~h2:value
       in
       { leaf = s.leaf; value; proof })
-    (Dl_sharing.shares_of t party)
+    own
 
 let verify_share (t : Dl_sharing.t) ~(party : int) (msg : string)
     (shares : share list) : bool =
@@ -50,6 +55,7 @@ let verify_share (t : Dl_sharing.t) ~(party : int) (msg : string)
   let ps = t.Dl_sharing.group in
   let h = base t msg in
   let expected = Dl_sharing.shares_of t party in
+  if List.length expected >= 3 then G.prepare_base ps h;
   List.length shares = List.length expected
   && List.for_all
        (fun (s : share) ->
@@ -77,6 +83,12 @@ let combine (t : Dl_sharing.t) (_msg : string)
 
 let verify (t : Dl_sharing.t) (msg : string) (cert : certificate) : bool =
   Obs_crypto.verify ();
+  (* A full certificate re-checks one DLEQ proof per leaf share; when
+     there are enough of them, table the message base once up front. *)
+  let total_leaves =
+    List.fold_left (fun n (_, ss) -> n + List.length ss) 0 cert.shares
+  in
+  if total_leaves >= 3 then G.prepare_base t.Dl_sharing.group (base t msg);
   List.for_all
     (fun (party, ss) -> verify_share t ~party msg ss)
     cert.shares

@@ -24,6 +24,11 @@ let generate_share (t : Dl_sharing.t) ~(party : int) ~(name : string) :
   Obs_crypto.sign ();
   let ps = t.Dl_sharing.group in
   let g_name = coin_base t ~name in
+  let own = Dl_sharing.shares_of t party in
+  (* Each owned leaf costs two exponentiations on g_N (the share and the
+     DLEQ commitment); from a few leaves a fixed-base table pays off,
+     and verifiers of the same coin reuse it via the shared cache. *)
+  if List.length own >= 3 then G.prepare_base ps g_name;
   List.map
     (fun (s : Lsss.subshare) ->
       let value = G.exp ps g_name s.value in
@@ -32,7 +37,7 @@ let generate_share (t : Dl_sharing.t) ~(party : int) ~(name : string) :
           ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:g_name ~h2:value
       in
       { leaf = s.leaf; value; proof })
-    (Dl_sharing.shares_of t party)
+    own
 
 (* A share from a (possibly corrupted) party is accepted only when every
    claimed leaf belongs to that party and every DLEQ proof verifies. *)
@@ -42,6 +47,7 @@ let verify_share (t : Dl_sharing.t) ~(party : int) ~(name : string)
   let ps = t.Dl_sharing.group in
   let g_name = coin_base t ~name in
   let expected = Dl_sharing.shares_of t party in
+  if List.length expected >= 3 then G.prepare_base ps g_name;
   List.length shares = List.length expected
   && List.for_all
        (fun (s : share) ->

@@ -54,6 +54,5 @@ let combine_in_exponent (t : t) ~(avail : Pset.t)
       | None -> invalid_arg "Dl_sharing.combine_in_exponent: missing leaf"
     in
     Some
-      (List.fold_left
-         (fun acc (leaf, c) -> G.mul t.group acc (G.exp t.group (lookup leaf) c))
-         (G.one t.group) coeffs)
+      (G.multi_exp t.group
+         (List.map (fun (leaf, c) -> (lookup leaf, c)) coeffs))

@@ -35,6 +35,10 @@ type refresh_package = {
 let make_refresh (t : Dl_sharing.t) ~(dealer : int) (rng : Prng.t) :
     refresh_package =
   let deltas = Lsss.share t.Dl_sharing.scheme rng ~secret:B.zero in
+  (* A refresh exponentiates g once per leaf here and once per leaf at
+     every verifier; build the generator's fixed-base table up front so
+     the whole epoch refresh runs off it (the cache is shared). *)
+  G.prepare_base t.Dl_sharing.group t.Dl_sharing.group.G.g;
   let delta_keys = Array.make (Lsss.num_leaves t.Dl_sharing.scheme) (G.one t.Dl_sharing.group) in
   List.iter
     (fun (s : Lsss.subshare) ->

@@ -47,6 +47,19 @@ let pow_signed ~base ~exp ~modulus =
     | Some inv -> B.pow_mod ~base:inv ~exp:(B.neg exp) ~modulus
     | None -> invalid_arg "Rsa_threshold.pow_signed: not invertible"
 
+(* b1^e1 * b2^e2 mod N with a possibly-negative e2 (e1 is always a
+   non-negative proof response here): invert the base, then fuse the two
+   exponentiations into one shared squaring chain. *)
+let pow2_signed ~b1 ~e1 ~b2 ~e2 ~modulus =
+  let b2, e2 =
+    if B.sign e2 >= 0 then (b2, e2)
+    else
+      match B.inv_mod b2 modulus with
+      | Some inv -> (inv, B.neg e2)
+      | None -> invalid_arg "Rsa_threshold.pow2_signed: not invertible"
+  in
+  B.pow2_mod ~b1 ~e1 ~b2 ~e2 ~modulus
+
 let deal ?(bits = 256) ~n ~k (rng : Prng.t) : keys =
   if k < 1 || k > n then invalid_arg "Rsa_threshold.deal: bad k";
   if n >= 65537 then invalid_arg "Rsa_threshold.deal: n too large for e";
@@ -130,18 +143,8 @@ let verify_share (keys : keys) (msg : string) (sh : share) : bool =
   let xt = B.pow_mod ~base:xhat ~exp:(B.shift_left dd 2) ~modulus:nn in
   let xi2 = B.mul_mod sh.x sh.x nn in
   let vi = keys.vks.(sh.signer) in
-  let v' =
-    B.mul_mod
-      (B.pow_mod ~base:keys.v ~exp:sh.z ~modulus:nn)
-      (pow_signed ~base:vi ~exp:(B.neg sh.c) ~modulus:nn)
-      nn
-  in
-  let x' =
-    B.mul_mod
-      (B.pow_mod ~base:xt ~exp:sh.z ~modulus:nn)
-      (pow_signed ~base:xi2 ~exp:(B.neg sh.c) ~modulus:nn)
-      nn
-  in
+  let v' = pow2_signed ~b1:keys.v ~e1:sh.z ~b2:vi ~e2:(B.neg sh.c) ~modulus:nn in
+  let x' = pow2_signed ~b1:xt ~e1:sh.z ~b2:xi2 ~e2:(B.neg sh.c) ~modulus:nn in
   B.equal sh.c (proof_challenge pk ~v:keys.v ~xt ~vi ~xi2 ~v' ~x')
 
 (* Integer Lagrange coefficients lambda_j = Delta * prod_{j' != j} j'/(j'-j),

@@ -53,6 +53,7 @@ let encrypt (t : Dl_sharing.t) (rng : Prng.t) ~(label : string)
       plaintext
   in
   let gp = g' ps in
+  G.prepare_base ps gp;
   let u = G.exp_g ps k and u' = G.exp ps gp k in
   let w = G.exp_g ps r and w' = G.exp ps gp r in
   let e = challenge ps ~c ~label ~u ~w ~u' ~w' in
@@ -67,8 +68,12 @@ let is_valid (t : Dl_sharing.t) (ct : ciphertext) : bool =
   && B.sign ct.f >= 0 && B.lt ct.f ps.G.q
   &&
   let gp = g' ps in
-  let w = G.div ps (G.exp_g ps ct.f) (G.exp ps ct.u ct.e) in
-  let w' = G.div ps (G.exp ps gp ct.f) (G.exp ps ct.u' ct.e) in
+  (* w = g^f * u^-e (and likewise for g'), each pair fused into one
+     shared-squaring-chain exponentiation.  g' recurs across every
+     ciphertext of a key, so it earns a fixed-base table. *)
+  G.prepare_base ps gp;
+  let w = G.exp2 ps ps.G.g ct.f (G.inv ps ct.u) ct.e in
+  let w' = G.exp2 ps gp ct.f (G.inv ps ct.u') ct.e in
   B.equal ct.e (challenge ps ~c:ct.c ~label:ct.label ~u:ct.u ~w ~u':ct.u' ~w')
 
 let decryption_share (t : Dl_sharing.t) ~(party : int) (ct : ciphertext) :

@@ -5,26 +5,47 @@
    Kursawe and Shoup and by the Shoup-Gennaro TDH2 threshold cryptosystem.
    The group of quadratic residues mod p has prime order q, so hashing
    into it is simply squaring, and every non-unit element is a
-   generator. *)
+   generator.
+
+   Exponentiation fast paths: [params] carries a small cache of
+   fixed-base comb tables.  A table for base b stores b^(d * 16^i) for
+   every 4-bit window position i and digit d, so an exponentiation by a
+   prepared base costs at most numbits(q)/4 modular multiplications and
+   no squarings at all.  Unprepared bases go through
+   [Bignum.pow_mod] (Montgomery-windowed for the odd prime p), and the
+   double/multi-exponentiations fall back to the shared-squaring-chain
+   kernels in [Bignum]. *)
 
 module B = Bignum
 
-type params = { p : B.t; q : B.t; g : B.t }
+type table = B.t array array
+(* tbl.(i).(d-1) = base^(d * 16^i) mod p, for d in 1..15.  Row count is
+   ceil(numbits q / 4): exponents are always reduced mod q first. *)
+
+type cache = { mutable tables : (B.t * table) list }
+(* Move-to-front association list keyed by the base element.  Protocols
+   exponentiate a handful of bases (g, the coin/TDH2 hash bases, leaf
+   public keys), so a short list beats a hash table here. *)
+
+type params = { p : B.t; q : B.t; g : B.t; cache : cache }
 
 type elt = B.t
 (* Invariant: an [elt] is a quadratic residue mod p, i.e. x^q = 1. *)
 
 let params_equal a b = B.equal a.p b.p && B.equal a.q b.q && B.equal a.g b.g
 
+let unsafe_params ~p ~q ~g : params = { p; q; g; cache = { tables = [] } }
+
 let generate ?(bits = 128) rng : params =
   let p, q = Primes.random_safe_prime rng ~bits in
   (* 4 = 2^2 is a quadratic residue and not 1, hence a generator of the
      order-q subgroup. *)
   let g = B.erem (B.of_int 4) p in
-  { p; q; g }
+  unsafe_params ~p ~q ~g
 
 (* Shared test/bench parameter sets, memoized per bit size so that suites
-   do not regenerate safe primes repeatedly. *)
+   do not regenerate safe primes repeatedly.  Memoization also shares the
+   fixed-base table cache across every user of the same size. *)
 let default_cache : (int, params) Hashtbl.t = Hashtbl.create 4
 
 let default ?(bits = 128) () : params =
@@ -45,10 +66,115 @@ let is_element ps (x : B.t) : bool =
 
 let mul ps (a : elt) (b : elt) : elt = B.mul_mod a b ps.p
 
-let exp ps (a : elt) (e : B.t) : elt =
-  B.pow_mod ~base:a ~exp:(B.erem e ps.q) ~modulus:ps.p
+(* ------------------------------------------------------------------ *)
+(* Fixed-base comb tables                                              *)
+(* ------------------------------------------------------------------ *)
 
-let exp_g ps (e : B.t) : elt = exp ps ps.g e
+let window_bits = 4
+let max_tables = 16
+
+let find_table (c : cache) (base : elt) : table option =
+  let rec go acc = function
+    | [] -> None
+    | ((b, t) as hd) :: tl ->
+      if B.equal b base then begin
+        c.tables <- hd :: List.rev_append acc tl;
+        Some t
+      end
+      else go (hd :: acc) tl
+  in
+  go [] c.tables
+
+let build_table ps (base : elt) : table =
+  let rows = (B.numbits ps.q + window_bits - 1) / window_bits in
+  let tbl = Array.make (max rows 1) [||] in
+  let cur = ref (B.erem base ps.p) in
+  for i = 0 to Array.length tbl - 1 do
+    let row = Array.make 15 B.one in
+    row.(0) <- !cur;
+    for d = 1 to 14 do
+      row.(d) <- B.mul_mod row.(d - 1) !cur ps.p
+    done;
+    tbl.(i) <- row;
+    (* cur^16 = row.(14) * cur: the table builds itself with plain
+       multiplications, no squarings. *)
+    cur := B.mul_mod row.(14) !cur ps.p
+  done;
+  tbl
+
+let prepare_base ps (base : elt) : unit =
+  match find_table ps.cache base with
+  | Some _ -> ()
+  | None ->
+    let t = build_table ps base in
+    let ts = (base, t) :: ps.cache.tables in
+    ps.cache.tables <- List.filteri (fun i _ -> i < max_tables) ts
+
+(* Exponent digit i (4 bits), for an exponent already reduced mod q. *)
+let digit (e : B.t) (i : int) : int =
+  let lo = i * window_bits in
+  (if B.testbit e lo then 1 else 0)
+  lor (if B.testbit e (lo + 1) then 2 else 0)
+  lor (if B.testbit e (lo + 2) then 4 else 0)
+  lor (if B.testbit e (lo + 3) then 8 else 0)
+
+let table_exp ps (tbl : table) (e : B.t) : elt =
+  Obs_crypto.fixed_base_exp ();
+  let nwin = (B.numbits e + window_bits - 1) / window_bits in
+  let acc = ref B.one in
+  for i = 0 to nwin - 1 do
+    let d = digit e i in
+    if d <> 0 then acc := B.mul_mod !acc tbl.(i).(d - 1) ps.p
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Exponentiation entry points                                         *)
+(* ------------------------------------------------------------------ *)
+
+let exp ps (a : elt) (e : B.t) : elt =
+  let e = B.erem e ps.q in
+  match find_table ps.cache a with
+  | Some tbl -> table_exp ps tbl e
+  | None -> B.pow_mod ~base:a ~exp:e ~modulus:ps.p
+
+(* The group generator is exponentiated on every share, proof and
+   signature, so its table is built eagerly on first use. *)
+let exp_g ps (e : B.t) : elt =
+  prepare_base ps ps.g;
+  exp ps ps.g e
+
+let exp2 ps (a : elt) (x : B.t) (b : elt) (y : B.t) : elt =
+  let x = B.erem x ps.q and y = B.erem y ps.q in
+  match (find_table ps.cache a, find_table ps.cache b) with
+  | Some ta, Some tb -> mul ps (table_exp ps ta x) (table_exp ps tb y)
+  | Some ta, None ->
+    mul ps (table_exp ps ta x) (B.pow_mod ~base:b ~exp:y ~modulus:ps.p)
+  | None, Some tb ->
+    mul ps (B.pow_mod ~base:a ~exp:x ~modulus:ps.p) (table_exp ps tb y)
+  | None, None -> B.pow2_mod ~b1:a ~e1:x ~b2:b ~e2:y ~modulus:ps.p
+
+let multi_exp ps (pairs : (elt * B.t) list) : elt =
+  let pairs = List.map (fun (b, e) -> (b, B.erem e ps.q)) pairs in
+  (* Prepared bases go through their tables; the rest share one
+     interleaved squaring chain. *)
+  let tabled, rest =
+    List.fold_left
+      (fun (t, r) (b, e) ->
+        match find_table ps.cache b with
+        | Some tbl -> ((tbl, e) :: t, r)
+        | None -> (t, (b, e) :: r))
+      ([], []) pairs
+  in
+  let acc =
+    List.fold_left
+      (fun acc (tbl, e) -> mul ps acc (table_exp ps tbl e))
+      B.one tabled
+  in
+  match rest with
+  | [] -> B.erem acc ps.p
+  | [ (b, e) ] -> mul ps acc (B.pow_mod ~base:b ~exp:e ~modulus:ps.p)
+  | _ -> mul ps acc (B.pow_multi_mod rest ~modulus:ps.p)
 
 let inv ps (a : elt) : elt =
   match B.inv_mod a ps.p with

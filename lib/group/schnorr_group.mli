@@ -2,7 +2,11 @@
     [p = 2q + 1] — the discrete-log setting of the threshold coin (Cachin,
     Kursawe & Shoup) and of the Shoup–Gennaro TDH2 cryptosystem. *)
 
-type params = { p : Bignum.t; q : Bignum.t; g : Bignum.t }
+type cache
+(** Mutable per-params cache of fixed-base exponentiation tables; opaque
+    to callers, populated lazily by {!prepare_base} / {!exp_g}. *)
+
+type params = { p : Bignum.t; q : Bignum.t; g : Bignum.t; cache : cache }
 
 type elt = Bignum.t
 (** A quadratic residue mod [p]; treat as abstract, validate foreign
@@ -17,6 +21,12 @@ val generate : ?bits:int -> Prng.t -> params
 val default : ?bits:int -> unit -> params
 (** Deterministic, memoized parameters shared by tests and benches. *)
 
+val unsafe_params : p:Bignum.t -> q:Bignum.t -> g:Bignum.t -> params
+(** Wrap raw values as [params] with an empty table cache and {e no
+    validation whatsoever} — for benchmarks that need arbitrary-size
+    moduli without paying for safe-prime generation.  Never use with
+    values received from another party. *)
+
 val one : params -> elt
 val generator : params -> elt
 val elt_equal : elt -> elt -> bool
@@ -26,8 +36,35 @@ val is_element : params -> Bignum.t -> bool
     value received from another (possibly corrupted) party. *)
 
 val mul : params -> elt -> elt -> elt
+
 val exp : params -> elt -> Bignum.t -> elt
+(** [exp ps a e] is [a^e] with the exponent reduced mod [q].  Bases
+    registered with {!prepare_base} are served from their fixed-base
+    table (no squarings); others go through [Bignum.pow_mod]. *)
+
 val exp_g : params -> Bignum.t -> elt
+(** Like [exp ps ps.g], but builds the generator's fixed-base table on
+    first use. *)
+
+val prepare_base : params -> elt -> unit
+(** Build (idempotently) a fixed-base table for [base], so subsequent
+    {!exp} / {!exp2} / {!multi_exp} calls on it cost ~numbits(q)/4
+    multiplications and no squarings.  Worth it from roughly three
+    exponentiations on the same base; the cache keeps the most recently
+    used handful of bases. *)
+
+val exp2 : params -> elt -> Bignum.t -> elt -> Bignum.t -> elt
+(** [exp2 ps a x b y = mul ps (exp ps a x) (exp ps b y)], computed with
+    fixed-base tables where available and a shared squaring chain
+    (Shamir's trick) otherwise — the shape of every DLEQ/Schnorr
+    verification equation [g^z * h^-c]. *)
+
+val multi_exp : params -> (elt * Bignum.t) list -> elt
+(** Product of [base^exp] over the list (empty product is [one]), using
+    fixed-base tables where available and one interleaved squaring
+    chain (Straus) for the rest — the shape of Feldman share
+    verification. *)
+
 val inv : params -> elt -> elt
 val div : params -> elt -> elt -> elt
 val elt_to_bytes : params -> elt -> string

@@ -139,35 +139,112 @@ module Barrett = struct
   let mul_mod (ctx : ctx) a b = reduce ctx (mul a b)
 end
 
+(* An odd modulus of at least two limbs goes through Montgomery REDC;
+   below that the plain ladder's constant factor wins, and the context
+   setup would not amortize over the few squarings of a tiny exponent. *)
+let montgomery_eligible m nb_exp =
+  not (is_even m) && numbits m >= 2 * Limbs.base_bits && nb_exp > 4
+
 let pow_mod ~base:b ~exp:e ~modulus:m =
   Obs_crypto.modexp ();
   if m.sign <= 0 then invalid_arg "Bignum.pow_mod: modulus must be positive";
+  if e.sign < 0 then invalid_arg "Bignum.pow_mod: negative exponent";
   if equal m one then zero
   else begin
-    let e = if e.sign < 0 then invalid_arg "Bignum.pow_mod: negative exponent" else e in
     let nb = numbits e in
-    (* Barrett wins only once the modulus is wide enough that a long
-       division clearly dominates two extra multiplications (~200 bits
-       with 31-bit limbs); below that, plain reduction is faster. *)
-    if nb <= 4 || numbits m < 200 then begin
-      (* small cases: plain square-and-multiply *)
-      let b = ref (erem b m) and r = ref one in
-      for i = 0 to nb - 1 do
-        if testbit e i then r := mul_mod !r !b m;
-        if i < nb - 1 then b := mul_mod !b !b m
-      done;
-      !r
-    end
+    if nb = 0 then one (* 0^0 = 1 by convention, as in the old ladder *)
     else begin
-      let ctx = Barrett.create m in
-      let b = ref (erem b m) and r = ref one in
-      (* Right-to-left square and multiply with Barrett reduction. *)
-      for i = 0 to nb - 1 do
-        if testbit e i then r := Barrett.mul_mod ctx !r !b;
-        if i < nb - 1 then b := Barrett.mul_mod ctx !b !b
-      done;
-      !r
+      let b = erem b m in
+      if is_zero b then zero
+      else if montgomery_eligible m nb then begin
+        match Montgomery.create_cached m.mag with
+        | Some ctx ->
+          Obs_crypto.modexp_window ();
+          make 1 (Montgomery.pow ctx ~base:b.mag ~exp:e.mag)
+        | None -> assert false (* eligible implies odd, non-zero *)
+      end
+      else if nb <= 4 || numbits m < 200 then begin
+        (* small cases: plain square-and-multiply *)
+        let b = ref b and r = ref one in
+        for i = 0 to nb - 1 do
+          if testbit e i then r := mul_mod !r !b m;
+          if i < nb - 1 then b := mul_mod !b !b m
+        done;
+        !r
+      end
+      else begin
+        (* big even modulus: Barrett reduction amortizes the division.
+           Barrett wins only once the modulus is wide enough that a long
+           division clearly dominates two extra multiplications (~200
+           bits with 31-bit limbs). *)
+        let ctx = Barrett.create m in
+        let b = ref b and r = ref one in
+        for i = 0 to nb - 1 do
+          if testbit e i then r := Barrett.mul_mod ctx !r !b;
+          if i < nb - 1 then b := Barrett.mul_mod ctx !b !b
+        done;
+        !r
+      end
     end
+  end
+
+let pow2_mod ~b1 ~e1 ~b2 ~e2 ~modulus:m =
+  if m.sign <= 0 then invalid_arg "Bignum.pow2_mod: modulus must be positive";
+  if e1.sign < 0 || e2.sign < 0 then
+    invalid_arg "Bignum.pow2_mod: negative exponent";
+  if equal m one then zero
+  else if is_zero e1 then pow_mod ~base:b2 ~exp:e2 ~modulus:m
+  else if is_zero e2 then pow_mod ~base:b1 ~exp:e1 ~modulus:m
+  else begin
+    let nb = max (numbits e1) (numbits e2) in
+    if montgomery_eligible m nb then begin
+      match Montgomery.create_cached m.mag with
+      | Some ctx ->
+        Obs_crypto.multi_exp ();
+        let b1 = erem b1 m and b2 = erem b2 m in
+        make 1
+          (Montgomery.pow2 ctx ~b1:b1.mag ~e1:e1.mag ~b2:b2.mag ~e2:e2.mag)
+      | None -> assert false
+    end
+    else
+      mul_mod
+        (pow_mod ~base:b1 ~exp:e1 ~modulus:m)
+        (pow_mod ~base:b2 ~exp:e2 ~modulus:m)
+        m
+  end
+
+let pow_multi_mod pairs ~modulus:m =
+  if m.sign <= 0 then
+    invalid_arg "Bignum.pow_multi_mod: modulus must be positive";
+  List.iter
+    (fun (_, e) ->
+      if e.sign < 0 then invalid_arg "Bignum.pow_multi_mod: negative exponent")
+    pairs;
+  if equal m one then zero
+  else begin
+    (* Zero exponents contribute a factor of one; drop them up front. *)
+    let pairs = List.filter (fun (_, e) -> not (is_zero e)) pairs in
+    match pairs with
+    | [] -> one
+    | [ (b, e) ] -> pow_mod ~base:b ~exp:e ~modulus:m
+    | _ ->
+      let nb =
+        List.fold_left (fun acc (_, e) -> max acc (numbits e)) 0 pairs
+      in
+      if montgomery_eligible m nb then begin
+        match Montgomery.create_cached m.mag with
+        | Some ctx ->
+          Obs_crypto.multi_exp ();
+          make 1
+            (Montgomery.pow_multi ctx
+               (List.map (fun (b, e) -> ((erem b m).mag, e.mag)) pairs))
+        | None -> assert false
+      end
+      else
+        List.fold_left
+          (fun acc (b, e) ->
+            mul_mod acc (pow_mod ~base:b ~exp:e ~modulus:m) m)
+          one pairs
   end
 
 let to_string v =

@@ -66,8 +66,33 @@ val inv_mod : t -> t -> t option
     modulus. *)
 
 val pow_mod : base:t -> exp:t -> modulus:t -> t
-(** Modular exponentiation by square-and-multiply.  The exponent must be
-    non-negative. *)
+(** [pow_mod ~base ~exp ~modulus] is [base^exp mod modulus], reduced to
+    [\[0, modulus)].
+
+    Exponent-sign contract: [exp] must be non-negative — a negative
+    exponent raises [Invalid_argument] (callers that need [b^-e] invert
+    the base with {!inv_mod} first, since inversion only exists for
+    operands coprime with the modulus).  [modulus] must be positive or
+    [Invalid_argument] is raised.  Edge cases are short-circuited
+    consistently: [modulus = 1] yields [0]; [exp = 0] yields [1]
+    (including [0^0 = 1]); [base ≡ 0 (mod modulus)] with [exp > 0]
+    yields [0].
+
+    Odd moduli of at least two limbs are served by a 4-bit fixed-window
+    ladder over Montgomery (REDC) arithmetic; even moduli fall back to
+    square-and-multiply (Barrett-reduced above ~200 bits). *)
+
+val pow2_mod : b1:t -> e1:t -> b2:t -> e2:t -> modulus:t -> t
+(** [pow2_mod ~b1 ~e1 ~b2 ~e2 ~modulus] is [b1^e1 * b2^e2 mod modulus]
+    computed with one shared squaring chain (Shamir's trick) when the
+    modulus is odd, and as two {!pow_mod}s otherwise.  Same sign
+    contract as {!pow_mod}. *)
+
+val pow_multi_mod : (t * t) list -> modulus:t -> t
+(** [pow_multi_mod [(b1, e1); ...] ~modulus] is the product of all
+    [bi^ei mod modulus] by Straus interleaving (shared squarings) when
+    the modulus is odd.  The empty product is [1].  Same sign contract
+    as {!pow_mod}. *)
 
 val to_string : t -> string
 val of_string : string -> t

@@ -1,0 +1,260 @@
+(* Montgomery (REDC) arithmetic over the {!Limbs} representation.
+
+   For an odd k-limb modulus m, residues are kept in Montgomery form
+   x~ = x * R mod m with R = 2^(31k).  The word-level CIOS loop (Koc,
+   Acar & Kaliski) interleaves multiplication and reduction, so one
+   Montgomery multiplication costs 2k^2 + k single-limb multiplies and
+   never performs a long division — the division that dominates every
+   plain [erem]-based modular multiplication is replaced by shifts that
+   fall out of the loop structure for free.
+
+   Limb products fit the native int exactly: with 31-bit limbs the
+   worst-case accumulation (base-1)^2 + 2*(base-1) = 2^62 - 1 equals
+   OCaml's max_int on 64-bit platforms, the same headroom argument as
+   {!Limbs.mul}.
+
+   Montgomery residues are held in raw [int array]s of length exactly
+   [k] (zero-padded, not normalized) so the inner loops never bounds-
+   check against ragged lengths.  Conversions in and out normalize. *)
+
+let base_bits = Limbs.base_bits
+let mask = Limbs.mask
+
+type ctx = {
+  m : int array;  (* the odd modulus, normalized, k limbs *)
+  k : int;
+  m0' : int;  (* -m^{-1} mod 2^31 *)
+  r2 : int array;  (* R^2 mod m, k limbs: converts into Montgomery form *)
+  one : int array;  (* R mod m, k limbs: the Montgomery form of 1 *)
+}
+
+(* Zero-pad a normalized magnitude to exactly [k] limbs. *)
+let pad (k : int) (a : int array) : int array =
+  let r = Array.make k 0 in
+  Array.blit a 0 r 0 (Array.length a);
+  r
+
+let create (m : int array) : ctx option =
+  if Limbs.is_zero m || m.(0) land 1 = 0 then None
+  else begin
+    let k = Array.length m in
+    (* Hensel lifting: for odd m0, m0 is its own inverse mod 8; each
+       Newton step x <- x*(2 - m0*x) doubles the valid bits, so four
+       steps reach 48 >= 31 bits. *)
+    let m0 = m.(0) in
+    let inv = ref m0 in
+    for _ = 1 to 4 do
+      inv := (!inv * (2 - ((m0 * !inv) land mask))) land mask
+    done;
+    let r_mod_m =
+      snd (Limbs.divmod (Limbs.shift_left [| 1 |] (base_bits * k)) m)
+    in
+    let r2 =
+      snd (Limbs.divmod (Limbs.shift_left [| 1 |] (2 * base_bits * k)) m)
+    in
+    Some
+      { m;
+        k;
+        m0' = (Limbs.base - !inv) land mask;
+        r2 = pad k r2;
+        one = pad k r_mod_m }
+  end
+
+(* c = a * b * R^{-1} mod m for k-limb Montgomery residues a, b < m.
+   CIOS: one outer pass per limb of [a], each pass adding a_i * b and
+   then folding one limb of the Montgomery quotient u * m, shifting the
+   accumulator down a limb as it goes. *)
+let mul (ctx : ctx) (a : int array) (b : int array) : int array =
+  let k = ctx.k and m = ctx.m and m0' = ctx.m0' in
+  let t = Array.make (k + 2) 0 in
+  for i = 0 to k - 1 do
+    let ai = a.(i) in
+    let carry = ref 0 in
+    for j = 0 to k - 1 do
+      let x = t.(j) + (ai * b.(j)) + !carry in
+      t.(j) <- x land mask;
+      carry := x lsr base_bits
+    done;
+    let x = t.(k) + !carry in
+    t.(k) <- x land mask;
+    t.(k + 1) <- x lsr base_bits;
+    let u = (t.(0) * m0') land mask in
+    (* t.(0) + u*m.(0) is divisible by the base by construction. *)
+    let carry = ref ((t.(0) + (u * m.(0))) lsr base_bits) in
+    for j = 1 to k - 1 do
+      let x = t.(j) + (u * m.(j)) + !carry in
+      t.(j - 1) <- x land mask;
+      carry := x lsr base_bits
+    done;
+    let x = t.(k) + !carry in
+    t.(k - 1) <- x land mask;
+    t.(k) <- t.(k + 1) + (x lsr base_bits)
+  done;
+  (* The accumulator is < 2m; one conditional subtraction finishes. *)
+  let ge =
+    t.(k) > 0
+    ||
+    let rec cmp i =
+      if i < 0 then true
+      else if t.(i) <> m.(i) then t.(i) > m.(i)
+      else cmp (i - 1)
+    in
+    cmp (k - 1)
+  in
+  let r = Array.make k 0 in
+  if ge then begin
+    let borrow = ref 0 in
+    for j = 0 to k - 1 do
+      let d = t.(j) - m.(j) - !borrow in
+      if d < 0 then begin
+        r.(j) <- d + Limbs.base;
+        borrow := 1
+      end
+      else begin
+        r.(j) <- d;
+        borrow := 0
+      end
+    done
+  end
+  else Array.blit t 0 r 0 k;
+  r
+
+let to_mont (ctx : ctx) (x : int array) : int array =
+  let x = if Limbs.compare x ctx.m >= 0 then snd (Limbs.divmod x ctx.m) else x in
+  mul ctx (pad ctx.k x) ctx.r2
+
+(* REDC(a * 1) drops the R factor and leaves a normalized magnitude. *)
+let from_mont (ctx : ctx) (a : int array) : int array =
+  let one_raw = Array.make ctx.k 0 in
+  one_raw.(0) <- 1;
+  Limbs.normalize (mul ctx a one_raw)
+
+(* ------------------------------------------------------------------ *)
+(* Exponentiation kernels                                              *)
+(* ------------------------------------------------------------------ *)
+
+let window_bits = 4
+
+(* Exponent bits [lo, lo+4) as an integer in 0..15. *)
+let window (e : int array) (lo : int) : int =
+  (if Limbs.testbit e lo then 1 else 0)
+  lor (if Limbs.testbit e (lo + 1) then 2 else 0)
+  lor (if Limbs.testbit e (lo + 2) then 4 else 0)
+  lor (if Limbs.testbit e (lo + 3) then 8 else 0)
+
+(* base^exp mod m by left-to-right fixed 4-bit windows: 4 squarings plus
+   at most one table multiply per window, against one multiply per set
+   bit for the binary ladder. *)
+let pow (ctx : ctx) ~(base : int array) ~(exp : int array) : int array =
+  let nb = Limbs.numbits exp in
+  if nb = 0 then from_mont ctx ctx.one
+  else begin
+    let bm = to_mont ctx base in
+    let tbl = Array.make 16 ctx.one in
+    tbl.(1) <- bm;
+    for d = 2 to 15 do
+      tbl.(d) <- mul ctx tbl.(d - 1) bm
+    done;
+    let nwin = (nb + window_bits - 1) / window_bits in
+    (* The top window contains the most significant bit, so it is
+       non-zero and seeds the accumulator without leading squarings. *)
+    let acc = ref tbl.(window exp ((nwin - 1) * window_bits)) in
+    for wi = nwin - 2 downto 0 do
+      acc := mul ctx !acc !acc;
+      acc := mul ctx !acc !acc;
+      acc := mul ctx !acc !acc;
+      acc := mul ctx !acc !acc;
+      let d = window exp (wi * window_bits) in
+      if d <> 0 then acc := mul ctx !acc tbl.(d)
+    done;
+    from_mont ctx !acc
+  end
+
+(* b1^e1 * b2^e2 mod m, sharing one squaring chain (Shamir's trick):
+   max-bits squarings plus one multiply per joint non-zero bit pair,
+   against two full independent chains. *)
+let pow2 (ctx : ctx) ~(b1 : int array) ~(e1 : int array) ~(b2 : int array)
+    ~(e2 : int array) : int array =
+  let nb = max (Limbs.numbits e1) (Limbs.numbits e2) in
+  if nb = 0 then from_mont ctx ctx.one
+  else begin
+    let m1 = to_mont ctx b1 in
+    let m2 = to_mont ctx b2 in
+    let m12 = mul ctx m1 m2 in
+    let acc = ref ctx.one and started = ref false in
+    for i = nb - 1 downto 0 do
+      if !started then acc := mul ctx !acc !acc;
+      let d =
+        (if Limbs.testbit e1 i then 1 else 0)
+        lor (if Limbs.testbit e2 i then 2 else 0)
+      in
+      if d <> 0 then begin
+        let f = match d with 1 -> m1 | 2 -> m2 | _ -> m12 in
+        if !started then acc := mul ctx !acc f
+        else begin
+          acc := f;
+          started := true
+        end
+      end
+    done;
+    from_mont ctx !acc
+  end
+
+(* Interleaved (Straus) product of base^exp over any number of pairs:
+   one shared squaring chain for the whole product.  No subset-product
+   table, so memory stays O(pairs) and the win over separate
+   exponentiations is the (pairs - 1) * max_bits saved squarings. *)
+let pow_multi (ctx : ctx) (pairs : (int array * int array) list) : int array =
+  let ps =
+    List.map (fun (b, e) -> (to_mont ctx b, e, Limbs.numbits e)) pairs
+  in
+  let nb = List.fold_left (fun acc (_, _, n) -> max acc n) 0 ps in
+  if nb = 0 then from_mont ctx ctx.one
+  else begin
+    let acc = ref ctx.one and started = ref false in
+    for i = nb - 1 downto 0 do
+      if !started then acc := mul ctx !acc !acc;
+      List.iter
+        (fun (bm, e, n) ->
+          if i < n && Limbs.testbit e i then
+            if !started then acc := mul ctx !acc bm
+            else begin
+              acc := bm;
+              started := true
+            end)
+        ps
+    done;
+    from_mont ctx !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Context cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Protocols hammer a handful of moduli (the group prime p, the RSA
+   modulus N); a small move-to-front list amortizes the two long
+   divisions of [create] across every exponentiation with the same
+   modulus. *)
+let cache_capacity = 8
+let cache : (int array * ctx) list ref = ref []
+
+let create_cached (m : int array) : ctx option =
+  let rec take acc = function
+    | [] -> None
+    | ((m', ctx) as hd) :: tl ->
+      if Limbs.compare m m' = 0 then begin
+        cache := hd :: List.rev_append acc tl;
+        Some ctx
+      end
+      else take (hd :: acc) tl
+  in
+  match take [] !cache with
+  | Some ctx -> Some ctx
+  | None ->
+    (match create m with
+    | None -> None
+    | Some ctx ->
+      cache := (m, ctx) :: !cache;
+      (match List.filteri (fun i _ -> i < cache_capacity) !cache with
+      | trimmed -> cache := trimmed);
+      Some ctx)

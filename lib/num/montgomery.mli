@@ -1,0 +1,51 @@
+(** Montgomery (REDC) arithmetic over raw {!Limbs} magnitudes.
+
+    Internal fast-path layer: {!Bignum} chooses when to route an
+    exponentiation here (odd, sufficiently large moduli).  All arrays
+    are little-endian base-2{^31} limb magnitudes as in {!Limbs};
+    Montgomery residues are zero-padded to exactly [k] limbs and are
+    only meaningful with respect to the context that produced them. *)
+
+type ctx
+(** Precomputed data for one odd modulus: -m{^-1} mod 2{^31},
+    R mod m and R{^2} mod m with R = 2{^31k}. *)
+
+val create : int array -> ctx option
+(** [create m] builds a context for the normalized magnitude [m].
+    Returns [None] when [m] is zero or even (REDC requires odd moduli). *)
+
+val create_cached : int array -> ctx option
+(** Like {!create} but consults a small process-global move-to-front
+    cache first, so repeated exponentiations modulo the same prime or
+    RSA modulus pay for the context setup once. *)
+
+val to_mont : ctx -> int array -> int array
+(** Convert a magnitude (any length; reduced mod m if needed) into
+    Montgomery form. *)
+
+val from_mont : ctx -> int array -> int array
+(** Convert a Montgomery residue back to a normalized magnitude. *)
+
+val mul : ctx -> int array -> int array -> int array
+(** Montgomery product of two residues: [a * b * R^-1 mod m], via the
+    word-interleaved CIOS loop. *)
+
+val pow : ctx -> base:int array -> exp:int array -> int array
+(** [pow ctx ~base ~exp] = [base^exp mod m] as a normalized magnitude,
+    by 4-bit fixed-window exponentiation.  [base] and the result are
+    plain magnitudes; conversion happens inside.  [exp = 0] yields 1
+    reduced mod m. *)
+
+val pow2 :
+  ctx ->
+  b1:int array ->
+  e1:int array ->
+  b2:int array ->
+  e2:int array ->
+  int array
+(** [pow2 ctx ~b1 ~e1 ~b2 ~e2] = [b1^e1 * b2^e2 mod m] with one shared
+    squaring chain (Shamir's trick). *)
+
+val pow_multi : ctx -> (int array * int array) list -> int array
+(** [pow_multi ctx [(b1, e1); ...]] = product of [bi^ei mod m] by
+    Straus interleaving: one squaring chain for the whole product. *)

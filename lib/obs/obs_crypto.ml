@@ -17,8 +17,11 @@ type kind =
   | Verify  (* ordinary signature / assembled certificate checks *)
   | Share_verify  (* per-share proof checks: coin, TDH2, RSA, certs *)
   | Combine  (* Lagrange/threshold combination of shares *)
+  | Modexp_window  (* pow_mod calls served by the Montgomery window *)
+  | Multi_exp  (* simultaneous multi-exponentiations (Shamir/Straus) *)
+  | Fixed_base_exp  (* exponentiations served by a fixed-base table *)
 
-let n_kinds = 6
+let n_kinds = 9
 
 let index = function
   | Modexp -> 0
@@ -27,6 +30,9 @@ let index = function
   | Verify -> 3
   | Share_verify -> 4
   | Combine -> 5
+  | Modexp_window -> 6
+  | Multi_exp -> 7
+  | Fixed_base_exp -> 8
 
 let name = function
   | Modexp -> "modexp"
@@ -35,8 +41,13 @@ let name = function
   | Verify -> "verify"
   | Share_verify -> "share_verify"
   | Combine -> "combine"
+  | Modexp_window -> "modexp_window"
+  | Multi_exp -> "multi_exp"
+  | Fixed_base_exp -> "fixed_base_exp"
 
-let all_kinds = [ Modexp; Hash_to_group; Sign; Verify; Share_verify; Combine ]
+let all_kinds =
+  [ Modexp; Hash_to_group; Sign; Verify; Share_verify; Combine;
+    Modexp_window; Multi_exp; Fixed_base_exp ]
 
 let counts_arr = Array.make n_kinds 0
 
@@ -66,6 +77,14 @@ let share_verify () =
   if !enabled_flag then counts_arr.(4) <- counts_arr.(4) + 1
 
 let combine () = if !enabled_flag then counts_arr.(5) <- counts_arr.(5) + 1
+
+let modexp_window () =
+  if !enabled_flag then counts_arr.(6) <- counts_arr.(6) + 1
+
+let multi_exp () = if !enabled_flag then counts_arr.(7) <- counts_arr.(7) + 1
+
+let fixed_base_exp () =
+  if !enabled_flag then counts_arr.(8) <- counts_arr.(8) + 1
 
 let to_json () : Obs_json.t =
   Obs_json.Obj (List.map (fun (n, c) -> (n, Obs_json.Int c)) (counts ()))

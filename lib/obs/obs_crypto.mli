@@ -14,6 +14,9 @@ type kind =
   | Verify  (** full signature or assembled-certificate checks *)
   | Share_verify  (** per-share proof checks (coin, TDH2, RSA, certs) *)
   | Combine  (** threshold combination of shares *)
+  | Modexp_window  (** [pow_mod] calls served by the Montgomery window *)
+  | Multi_exp  (** simultaneous multi-exponentiations (Shamir/Straus) *)
+  | Fixed_base_exp  (** exponentiations served by a fixed-base table *)
 
 val all_kinds : kind list
 val name : kind -> string
@@ -37,6 +40,9 @@ val sign : unit -> unit
 val verify : unit -> unit
 val share_verify : unit -> unit
 val combine : unit -> unit
+val modexp_window : unit -> unit
+val multi_exp : unit -> unit
+val fixed_base_exp : unit -> unit
 
 val to_json : unit -> Obs_json.t
 (** [{"modexp": n, ...}] — every kind, including zeros. *)

@@ -60,7 +60,38 @@ let prop_tests =
           (G.exp ps a (B.of_int (e1 + e2)))
           (G.mul ps (G.exp ps a (B.of_int e1)) (G.exp ps a (B.of_int e2))));
     qtest "exp_g matches exp" QCheck2.Gen.(int_bound 100000) (fun e ->
-        G.elt_equal (G.exp_g ps (B.of_int e)) (G.exp ps ps.G.g (B.of_int e)))
+        G.elt_equal (G.exp_g ps (B.of_int e)) (G.exp ps ps.G.g (B.of_int e)));
+    qtest "exp2 = mul of exps"
+      QCheck2.Gen.(quad gen_elt (int_bound 1000000) gen_elt (int_bound 1000000))
+      (fun (a, x, b, y) ->
+        let x = B.of_int x and y = B.of_int y in
+        G.elt_equal (G.exp2 ps a x b y)
+          (G.mul ps (G.exp ps a x) (G.exp ps b y)));
+    qtest "exp2 with prepared bases = mul of exps"
+      QCheck2.Gen.(quad gen_elt (int_bound 1000000) gen_elt (int_bound 1000000))
+      (fun (a, x, b, y) ->
+        let x = B.of_int x and y = B.of_int y in
+        G.prepare_base ps a;
+        let reference = G.mul ps (G.exp ps a x) (G.exp ps b y) in
+        let one_table = G.exp2 ps a x b y in
+        G.prepare_base ps b;
+        G.elt_equal one_table reference
+        && G.elt_equal (G.exp2 ps a x b y) reference);
+    qtest "fixed-base exp matches pow_mod" QCheck2.Gen.(pair gen_elt int)
+      (fun (a, seed) ->
+        let e = G.random_exponent ps (Prng.create ~seed) in
+        G.prepare_base ps a;
+        G.elt_equal (G.exp ps a e)
+          (B.pow_mod ~base:a ~exp:(B.erem e ps.G.q) ~modulus:ps.G.p));
+    qtest "multi_exp = folded product"
+      QCheck2.Gen.(
+        list_size (int_range 0 5) (pair gen_elt (int_bound 1000000)))
+      (fun pairs ->
+        let pairs = List.map (fun (b, e) -> (b, B.of_int e)) pairs in
+        G.elt_equal (G.multi_exp ps pairs)
+          (List.fold_left
+             (fun acc (b, e) -> G.mul ps acc (G.exp ps b e))
+             (G.one ps) pairs))
   ]
 
 let suite = ("group", unit_tests @ prop_tests)

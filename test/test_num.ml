@@ -226,4 +226,93 @@ let prop_tests =
         B.equal v (B.of_bytes_be (B.to_bytes_be v)))
   ]
 
-let suite = ("num", unit_tests @ prop_tests)
+(* Reference ladder for the fast-path cross-checks below: plain
+   square-and-multiply with a full reduction at every step. *)
+let naive_pow_mod ~base ~exp ~modulus =
+  let b = ref (B.erem base modulus) and r = ref B.one in
+  let nb = B.numbits exp in
+  for i = 0 to nb - 1 do
+    if B.testbit exp i then r := B.erem (B.mul !r !b) modulus;
+    if i < nb - 1 then b := B.erem (B.mul !b !b) modulus
+  done;
+  if B.equal modulus B.one then B.zero else !r
+
+let fastpath_tests =
+  [ Alcotest.test_case "pow_mod edge cases" `Quick (fun () ->
+        let m = B.of_string "170141183460469231731687303715884105727" in
+        (* modulus 1 short-circuits to 0, whatever the base/exponent *)
+        check_b "mod 1" B.zero
+          (B.pow_mod ~base:(B.of_int 7) ~exp:(B.of_int 5) ~modulus:B.one);
+        (* 0^0 = 1 by convention; 0^e = 0 for e > 0 *)
+        check_b "0^0" B.one (B.pow_mod ~base:B.zero ~exp:B.zero ~modulus:m);
+        check_b "0^e" B.zero
+          (B.pow_mod ~base:B.zero ~exp:(B.of_int 3) ~modulus:m);
+        (* base >= modulus and negative bases reduce first *)
+        check_b "base >= m" (B.pow_mod ~base:B.two ~exp:(B.of_int 10) ~modulus:m)
+          (B.pow_mod ~base:(B.add m B.two) ~exp:(B.of_int 10) ~modulus:m);
+        check_b "negative base"
+          (B.pow_mod ~base:(B.sub m B.two) ~exp:(B.of_int 3) ~modulus:m)
+          (B.pow_mod ~base:(B.neg B.two) ~exp:(B.of_int 3) ~modulus:m);
+        (* negative exponents and non-positive moduli are rejected *)
+        Alcotest.check_raises "negative exponent"
+          (Invalid_argument "Bignum.pow_mod: negative exponent") (fun () ->
+            ignore (B.pow_mod ~base:B.two ~exp:(B.neg B.one) ~modulus:m));
+        Alcotest.check_raises "zero modulus"
+          (Invalid_argument "Bignum.pow_mod: modulus must be positive")
+          (fun () ->
+            ignore (B.pow_mod ~base:B.two ~exp:B.one ~modulus:B.zero)));
+    qtest ~count:40 "Montgomery-window pow_mod agrees with naive ladder (odd m)"
+      (QCheck2.Gen.triple (gen_bignum ~bits:560 ()) (gen_bignum ~bits:520 ())
+         (gen_bignum ~bits:520 ()))
+      (fun (base, e, m) ->
+        let base = B.abs base and e = B.abs e in
+        (* force the modulus odd and large: the Montgomery window path *)
+        let m = B.succ (B.shift_left (B.abs m) 1) in
+        QCheck2.assume (B.compare m B.two > 0);
+        B.equal (naive_pow_mod ~base ~exp:e ~modulus:m)
+          (B.pow_mod ~base ~exp:e ~modulus:m));
+    qtest ~count:40 "pow_mod even-modulus fallback agrees with naive ladder"
+      (QCheck2.Gen.triple (gen_bignum ~bits:300 ()) (gen_bignum ~bits:260 ())
+         (gen_bignum ~bits:260 ()))
+      (fun (base, e, m) ->
+        let base = B.abs base and e = B.abs e in
+        (* force the modulus even: the Barrett/plain fallback *)
+        let m = B.shift_left (B.abs m) 1 in
+        QCheck2.assume (B.compare m B.two > 0);
+        B.equal (naive_pow_mod ~base ~exp:e ~modulus:m)
+          (B.pow_mod ~base ~exp:e ~modulus:m));
+    qtest ~count:40 "pow2_mod = product of pow_mods"
+      (QCheck2.Gen.triple
+         (QCheck2.Gen.pair (gen_bignum ~bits:300 ()) (gen_bignum ~bits:260 ()))
+         (QCheck2.Gen.pair (gen_bignum ~bits:300 ()) (gen_bignum ~bits:260 ()))
+         (gen_bignum ~bits:260 ()))
+      (fun ((b1, e1), (b2, e2), m) ->
+        let b1 = B.abs b1 and e1 = B.abs e1 in
+        let b2 = B.abs b2 and e2 = B.abs e2 in
+        let m = B.abs m in
+        QCheck2.assume (B.compare m B.two > 0);
+        B.equal
+          (B.pow2_mod ~b1 ~e1 ~b2 ~e2 ~modulus:m)
+          (B.mul_mod
+             (B.pow_mod ~base:b1 ~exp:e1 ~modulus:m)
+             (B.pow_mod ~base:b2 ~exp:e2 ~modulus:m)
+             m));
+    qtest ~count:40 "pow_multi_mod = folded product of pow_mods"
+      (QCheck2.Gen.pair
+         (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 5)
+            (QCheck2.Gen.pair (gen_bignum ~bits:200 ())
+               (gen_bignum ~bits:160 ())))
+         (gen_bignum ~bits:200 ()))
+      (fun (pairs, m) ->
+        let pairs = List.map (fun (b, e) -> (B.abs b, B.abs e)) pairs in
+        let m = B.abs m in
+        QCheck2.assume (B.compare m B.two > 0);
+        B.equal
+          (B.pow_multi_mod pairs ~modulus:m)
+          (List.fold_left
+             (fun acc (b, e) ->
+               B.mul_mod acc (B.pow_mod ~base:b ~exp:e ~modulus:m) m)
+             B.one pairs))
+  ]
+
+let suite = ("num", unit_tests @ prop_tests @ fastpath_tests)
