@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test fmt fmt-check bench bench-num bench-check bench-smoke perf-diff clean
+.PHONY: all build test fmt fmt-check bench bench-num bench-check bench-smoke perf-diff faults faults-smoke clean
 
 all: build
 
@@ -43,6 +43,21 @@ bench-smoke:
 perf-diff:
 	$(DUNE) exec bin/sintra_cli.exe -- perf-diff $(A) $(B)
 
+# Full fault-injection campaign: 50 seeds x {drop, dup-reorder,
+# partition} x {silent, crash, byzantine} over ABBA and ABC, with a
+# maximal corrupted set per run.  Writes FAULTS_CAMPAIGN.json; exits
+# non-zero on any safety violation (or liveness loss under a reliable
+# policy).
+faults:
+	$(DUNE) exec bin/sintra_cli.exe -- faults --seeds 50
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check FAULTS_CAMPAIGN.json
+
+# CI-sized campaign (5 seeds per cell) plus a schema check of the
+# emitted sintra-faults/1 report; fails on any gating violation.
+faults-smoke:
+	$(DUNE) exec bin/sintra_cli.exe -- faults --quick --out SMOKE
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check FAULTS_SMOKE.json
+
 clean:
 	$(DUNE) clean
-	rm -f BENCH_*.json
+	rm -f BENCH_*.json FAULTS_*.json

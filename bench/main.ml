@@ -82,7 +82,7 @@ let run_abc_once ?(policy = Sim.Random_order) ?(crashed = Pset.empty)
   let logs = Array.make n [] in
   let nodes =
     Stack.deploy_abc ~sim ~keyring:kr ~tag:(Printf.sprintf "bench-%d" seed)
-      ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+      ~deliver:(fun me p -> logs.(me) <- p :: logs.(me)) ()
   in
   Pset.iter (Sim.crash sim) crashed;
   List.iteri
@@ -104,7 +104,7 @@ let run_abc_once ?(policy = Sim.Random_order) ?(crashed = Pset.empty)
         ~until:(fun () ->
           List.for_all (fun i -> List.length logs.(i) >= want) honest);
       List.for_all (fun i -> List.length logs.(i) >= want) honest
-    with Sim.Out_of_steps -> false
+    with Sim.Out_of_steps _ -> false
   in
   let safety_ok =
     (* prefix consistency over honest logs *)
@@ -166,7 +166,7 @@ let run_pbft_once ?(policy = Sim.Latency_order) ?(crashed = Pset.empty)
            end);
           List.for_all (fun i -> List.length logs.(i) >= want) honest);
       List.for_all (fun i -> List.length logs.(i) >= want) honest
-    with Sim.Out_of_steps -> false
+    with Sim.Out_of_steps _ -> false
   in
   let safety_ok =
     List.for_all
@@ -331,7 +331,7 @@ let f2 () =
         Sim.send sim ~src:1 ~dst:3 (Membership_abc.Order (v, 0, "evil-B"))
       end);
   Membership_abc.submit nodes.(2) "victim-payload";
-  (try Sim.run sim ~max_steps:8_000 with Sim.Out_of_steps -> ());
+  (try Sim.run sim ~max_steps:8_000 with Sim.Out_of_steps _ -> ());
   let shrunk = Pset.card (Membership_abc.members nodes.(2)) in
   let equiv_delivered = List.mem "evil-A" logs.(2) in
   Printf.printf
@@ -477,7 +477,7 @@ let r1 () =
         let nodes =
           Stack.deploy_abba ~sim ~keyring:kr
             ~tag:(Printf.sprintf "r1-%d-%d" n seed)
-            ~on_decide:(fun me b -> decisions.(me) <- Some b)
+            ~on_decide:(fun me b -> decisions.(me) <- Some b) ()
         in
         Array.iteri (fun i node -> Abba.propose node (i mod 2 = 0)) nodes;
         Sim.run sim
@@ -539,7 +539,7 @@ let m1 () =
         in
         let cnt = ref 0 in
         let nodes =
-          Stack.deploy_rbc ~sim ~keyring:kr ~sender:0 ~deliver:(fun _ _ -> incr cnt)
+          Stack.deploy_rbc ~sim ~keyring:kr ~sender:0 ~deliver:(fun _ _ -> incr cnt) ()
         in
         Rbc.broadcast nodes.(0) "m";
         Sim.run sim;
@@ -564,7 +564,7 @@ let m1 () =
             ~seed:3 ()
         in
         let nodes =
-          Stack.deploy_abba ~sim ~keyring:kr ~tag:"m1a" ~on_decide:(fun _ _ -> ())
+          Stack.deploy_abba ~sim ~keyring:kr ~tag:"m1a" ~on_decide:(fun _ _ -> ()) ()
         in
         Array.iteri (fun i node -> Abba.propose node (i mod 2 = 0)) nodes;
         Sim.run sim;
@@ -667,7 +667,7 @@ let o2 () =
               ~until:(fun () ->
                 List.for_all (fun i -> List.length logs.(i) >= 2) honest);
             true
-          with Sim.Out_of_steps -> false
+          with Sim.Out_of_steps _ -> false
         in
         let m = Sim.metrics sim in
         (ok, m.Metrics.messages_sent, m.Metrics.bytes_sent)

@@ -8,6 +8,7 @@
      dune exec bin/sintra_cli.exe -- coin -n 4 -t 1 --flips 16
      dune exec bin/sintra_cli.exe -- notary --documents "idea one,idea two"
      dune exec bin/sintra_cli.exe -- bench-check BENCH_M1.json
+     dune exec bin/sintra_cli.exe -- faults --seeds 50
 *)
 
 module AS = Adversary_structure
@@ -146,7 +147,7 @@ let abc_cmd =
     let logs = Array.make n [] in
     let nodes =
       Stack.deploy_abc ~sim ~keyring:kr ~tag:"cli"
-        ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+        ~deliver:(fun me p -> logs.(me) <- p :: logs.(me)) ()
     in
     let crashed = parse_crash crash in
     List.iter (Sim.crash sim) crashed;
@@ -159,7 +160,11 @@ let abc_cmd =
     (try
        Sim.run sim ~until:(fun () ->
            List.for_all (fun i -> List.length logs.(i) >= payloads) honest)
-     with Sim.Out_of_steps -> print_endline "!! out of steps (liveness lost?)");
+     with Sim.Out_of_steps { at_clock; pending; timers } ->
+       Printf.printf
+         "!! out of steps at clock %.0f (%d pending, %d timers) — liveness \
+          lost?\n"
+         at_clock pending timers);
     let m = Sim.metrics sim in
     (if trace then begin
        print_endline "trace (first 40 events):";
@@ -169,8 +174,9 @@ let abc_cmd =
              match ev with
              | Sim.Delivered { at; src; dst; summary } ->
                Printf.printf "  %8.1f  %d -> %d  %s\n" at src dst summary
-             | Sim.Dropped { at; src; dst } ->
-               Printf.printf "  %8.1f  %d -> %d  (dropped: crashed)\n" at src dst
+             | Sim.Dropped { at; src; dst; reason } ->
+               Printf.printf "  %8.1f  %d -> %d  (dropped: %s)\n" at src dst
+                 (Sim.drop_reason_label reason)
              | Sim.Timer_fired { at; party } ->
                Printf.printf "  %8.1f  timer at %d\n" at party)
          (Sim.trace sim)
@@ -230,7 +236,7 @@ let trace_cmd =
     let logs = Array.make n [] in
     let nodes =
       Stack.deploy_abc ~sim ~keyring:kr ~tag:"trace"
-        ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+        ~deliver:(fun me p -> logs.(me) <- p :: logs.(me)) ()
     in
     List.iteri
       (fun i p -> Abc.broadcast nodes.(i mod n) p)
@@ -238,7 +244,11 @@ let trace_cmd =
     (try
        Sim.run sim ~until:(fun () ->
            Array.for_all (fun l -> List.length l >= payloads) logs)
-     with Sim.Out_of_steps -> prerr_endline "!! out of steps (liveness lost?)");
+     with Sim.Out_of_steps { at_clock; pending; timers } ->
+       Printf.eprintf
+         "!! out of steps at clock %.0f (%d pending, %d timers) — liveness \
+          lost?\n"
+         at_clock pending timers);
     if jsonl then print_string (Obs_trace.to_jsonl tr)
     else print_span_timeline ~limit tr
   in
@@ -249,15 +259,19 @@ let trace_cmd =
       const run $ n_arg $ t_arg $ example_arg $ seed_arg $ payloads_arg
       $ jsonl_arg $ limit_arg)
 
-(* ---------- bench-check: validate BENCH_<id>.json files -------------- *)
+(* ---------- bench-check: validate machine-readable artifacts --------- *)
 
+(* Dispatches on the document's "schema" member: "sintra-bench/1"
+   (BENCH_<id>.json, written by bench/main.ml) and "sintra-faults/1"
+   (FAULTS_<id>.json, written by the fault-campaign runner). *)
 let bench_check_cmd =
   let files_arg =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"FILE"
-          ~doc:"BENCH_<id>.json files to validate (default: every \
-                BENCH_*.json in the current directory).")
+          ~doc:"BENCH_<id>.json / FAULTS_<id>.json files to validate \
+                (default: every BENCH_*.json and FAULTS_*.json in the \
+                current directory).")
   in
   let read_file path =
     let ic = open_in_bin path in
@@ -265,55 +279,84 @@ let bench_check_cmd =
     close_in ic;
     s
   in
-  let is_bench_file f =
-    String.length f > 11
-    && String.sub f 0 6 = "BENCH_"
+  let has_prefix p f =
+    String.length f > String.length p + 5
+    && String.sub f 0 (String.length p) = p
     && Filename.check_suffix f ".json"
+  in
+  let is_artifact f = has_prefix "BENCH_" f || has_prefix "FAULTS_" f in
+  let check_bench path doc : (string, string) result =
+    let str k = Option.bind (Obs_json.member k doc) Obs_json.to_str in
+    let num k = Option.bind (Obs_json.member k doc) Obs_json.to_float in
+    let counters =
+      Option.bind (Obs_json.member "metrics" doc) (Obs_json.member "counters")
+      |> fun o -> Option.bind o Obs_json.to_list
+    in
+    let counter_ok c =
+      Option.bind (Obs_json.member "name" c) Obs_json.to_str <> None
+      && Option.bind (Obs_json.member "value" c) Obs_json.to_int <> None
+    in
+    let crypto_ok =
+      match Obs_json.member "crypto_ops" doc with
+      | Some ops ->
+        List.for_all
+          (fun kind ->
+            Option.bind (Obs_json.member (Obs_crypto.name kind) ops)
+              Obs_json.to_int
+            <> None)
+          Obs_crypto.all_kinds
+      | None -> false
+    in
+    match (str "experiment", num "wall_time_s", num "virtual_time_total",
+           counters) with
+    | Some id, Some wall, Some vt, Some cs
+      when wall >= 0.0 && List.for_all counter_ok cs && crypto_ok ->
+      Ok
+        (Printf.sprintf "%s: OK (%s: %d counters, virtual time %.0f)" path
+           id (List.length cs) vt)
+    | _ -> Error "missing or ill-typed required fields"
+  in
+  let check_faults path doc : (string, string) result =
+    match Campaign.validate_json doc with
+    | Error e -> Error e
+    | Ok () ->
+      let str k = Option.bind (Obs_json.member k doc) Obs_json.to_str in
+      let obj_int parent name =
+        Option.bind (Obs_json.member parent doc) (fun o ->
+            Option.bind (Obs_json.member name o) Obs_json.to_int)
+      in
+      let runs =
+        Option.value ~default:0
+          (Option.bind (Obs_json.member "runs" doc) Obs_json.to_int)
+      in
+      Ok
+        (Printf.sprintf "%s: OK (%s: %d runs, %d safety / %d liveness violations)"
+           path
+           (Option.value (str "experiment") ~default:"?")
+           runs
+           (Option.value (obj_int "violations" "safety") ~default:0)
+           (Option.value (obj_int "violations" "liveness") ~default:0))
   in
   let check path : (string, string) result =
     match Obs_json.of_string (read_file path) with
     | Error e -> Error (Printf.sprintf "parse error: %s" e)
     | Ok doc ->
-      let str k = Option.bind (Obs_json.member k doc) Obs_json.to_str in
-      let num k = Option.bind (Obs_json.member k doc) Obs_json.to_float in
-      let counters =
-        Option.bind (Obs_json.member "metrics" doc) (Obs_json.member "counters")
-        |> fun o -> Option.bind o Obs_json.to_list
-      in
-      let counter_ok c =
-        Option.bind (Obs_json.member "name" c) Obs_json.to_str <> None
-        && Option.bind (Obs_json.member "value" c) Obs_json.to_int <> None
-      in
-      let crypto_ok =
-        match Obs_json.member "crypto_ops" doc with
-        | Some ops ->
-          List.for_all
-            (fun kind ->
-              Option.bind (Obs_json.member (Obs_crypto.name kind) ops)
-                Obs_json.to_int
-              <> None)
-            Obs_crypto.all_kinds
-        | None -> false
-      in
-      (match (str "experiment", str "schema", num "wall_time_s",
-              num "virtual_time_total", counters) with
-      | Some id, Some "sintra-bench/1", Some wall, Some vt, Some cs
-        when wall >= 0.0 && List.for_all counter_ok cs && crypto_ok ->
-        Ok
-          (Printf.sprintf "%s: OK (%s: %d counters, virtual time %.0f)" path
-             id (List.length cs) vt)
-      | _ -> Error "missing or ill-typed required fields")
+      (match Option.bind (Obs_json.member "schema" doc) Obs_json.to_str with
+      | Some "sintra-bench/1" -> check_bench path doc
+      | Some "sintra-faults/1" -> check_faults path doc
+      | Some s -> Error (Printf.sprintf "unknown schema %S" s)
+      | None -> Error "missing \"schema\" member")
   in
   let run files =
     let files =
       match files with
       | [] ->
-        Sys.readdir "." |> Array.to_list |> List.filter is_bench_file
+        Sys.readdir "." |> Array.to_list |> List.filter is_artifact
         |> List.sort compare
       | fs -> fs
     in
     if files = [] then begin
-      prerr_endline "bench-check: no BENCH_*.json files found";
+      prerr_endline "bench-check: no BENCH_*.json or FAULTS_*.json files found";
       exit 1
     end;
     let failed = ref false in
@@ -329,8 +372,111 @@ let bench_check_cmd =
   in
   Cmd.v
     (Cmd.info "bench-check"
-       ~doc:"Validate the schema of machine-readable benchmark output.")
+       ~doc:
+         "Validate the schema of machine-readable benchmark \
+          (sintra-bench/1) and fault-campaign (sintra-faults/1) output.")
     Term.(const run $ files_arg)
+
+(* ---------- faults: seed-sweep fault-injection campaigns ------------- *)
+
+let faults_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~docv:"K" ~doc:"Seeds per (protocol, policy, mix) cell.")
+  in
+  let protocols_arg =
+    Arg.(
+      value & opt string "abba,abc"
+      & info [ "protocols" ] ~docv:"LIST"
+          ~doc:"Comma-separated protocols to sweep (abba, abc).")
+  in
+  let policies_arg =
+    Arg.(
+      value & opt string "drop,dup-reorder,partition"
+      & info [ "policies" ] ~docv:"LIST"
+          ~doc:"Comma-separated chaos policies (drop, dup-reorder, \
+                partition).")
+  in
+  let mixes_arg =
+    Arg.(
+      value & opt string "silent,crash,byzantine"
+      & info [ "mixes" ] ~docv:"LIST"
+          ~doc:"Comma-separated corruption mixes (silent, crash, byzantine).")
+  in
+  let payloads_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "payloads" ] ~docv:"K"
+          ~doc:"Atomic-broadcast payloads per abc run.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Per-run simulator step bound.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "CAMPAIGN"
+      & info [ "out" ] ~docv:"ID"
+          ~doc:"Report id: the campaign writes FAULTS_<ID>.json.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Sweep only 5 seeds (CI smoke runs).")
+  in
+  let parse_list ~what parse s =
+    String.split_on_char ',' s
+    |> List.filter (fun x -> x <> "")
+    |> List.map (fun name ->
+           match parse name with
+           | Some v -> v
+           | None ->
+             Printf.eprintf "faults: unknown %s %S\n" what name;
+             exit 2)
+  in
+  let run n t seed seeds protocols policies mixes payloads max_steps out
+      quick =
+    let seeds = if quick then min seeds 5 else seeds in
+    let cfg =
+      Campaign.default_config ~seeds ~seed_base:seed ~n ~t
+        ~protocols:
+          (parse_list ~what:"protocol" Campaign.protocol_of_string protocols)
+        ~policies:(parse_list ~what:"policy" (Campaign.policy_of_name ~n) policies)
+        ~mixes:(parse_list ~what:"mix" Campaign.mix_of_name mixes)
+        ~payloads ~max_steps ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let rep =
+      Campaign.run
+        ~progress:(fun (k, total) ->
+          if k mod 25 = 0 || k = total then
+            Printf.eprintf "\r[faults] %d/%d runs%!" k total)
+        cfg
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.eprintf "\n%!";
+    Campaign.pp_summary Format.std_formatter rep;
+    let path = Campaign.write ~id:out ~wall rep in
+    Printf.printf "[faults] wrote %s (%.1fs)\n" path wall;
+    if not (Campaign.ok rep) then begin
+      prerr_endline
+        "faults: safety violation or liveness loss under a reliable policy";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Sweep seeds x chaos policies x corruption mixes per protocol, \
+          check the safety/liveness oracles, and write a sintra-faults/1 \
+          report.  Exits non-zero on any safety violation, or on liveness \
+          loss under a reliable (non-lossy) policy.")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ seeds_arg $ protocols_arg
+      $ policies_arg $ mixes_arg $ payloads_arg $ max_steps_arg $ out_arg
+      $ quick_arg)
 
 (* ---------- bench-num: modular-arithmetic micro-benchmarks ----------- *)
 
@@ -621,4 +767,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ structure_cmd; abc_cmd; trace_cmd; bench_check_cmd; bench_num_cmd;
-            perf_diff_cmd; coin_cmd; notary_cmd; ca_cmd ]))
+            perf_diff_cmd; faults_cmd; coin_cmd; notary_cmd; ca_cmd ]))

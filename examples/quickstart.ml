@@ -24,7 +24,7 @@ let () =
   let logs = Array.make 4 [] in
   let nodes =
     Stack.deploy_abc ~sim ~keyring ~tag:"quickstart"
-      ~deliver:(fun me payload -> logs.(me) <- payload :: logs.(me))
+      ~deliver:(fun me payload -> logs.(me) <- payload :: logs.(me)) ()
   in
 
   (* 4. Concurrent submissions at different servers. *)

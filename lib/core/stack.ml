@@ -2,13 +2,17 @@
    the network simulator.
 
    The returned array holds every party's instance; tests and
-   experiments corrupt a party by crashing it in the simulator or by
-   replacing its handler with a malicious one ([Sim.set_handler]), which
-   models full Byzantine corruption — the adversary even gets the
-   party's keyring secrets, since the keyring record is shared. *)
+   experiments corrupt a party by crashing it in the simulator, by
+   replacing its handler with a malicious one ([Sim.set_handler] /
+   [Sim.wrap_handler]), or — at deployment time — through the [?wrap]
+   hook below, which the Byzantine behaviour library (lib/faults) uses.
+   All of these model full Byzantine corruption: the adversary even gets
+   the party's keyring secrets, since the keyring record is shared. *)
 
-let deploy (type node) ?layer ?bytes ~(sim : 'msg Sim.t)
-    ~(keyring : Keyring.t) ~(make : int -> 'msg Proto_io.t -> node)
+let deploy (type node) ?layer ?bytes
+    ?(wrap : (int -> 'msg Sim.handler -> 'msg Sim.handler) option)
+    ~(sim : 'msg Sim.t) ~(keyring : Keyring.t)
+    ~(make : int -> 'msg Proto_io.t -> node)
     ~(handle : node -> src:int -> 'msg -> unit) () : node array =
   let n = Sim.n sim in
   let nodes =
@@ -22,7 +26,10 @@ let deploy (type node) ?layer ?bytes ~(sim : 'msg Sim.t)
         make me io)
   in
   Array.iteri
-    (fun me node -> Sim.set_handler sim me (fun ~src m -> handle node ~src m))
+    (fun me node ->
+      let honest ~src m = handle node ~src m in
+      let h = match wrap with None -> honest | Some w -> w me honest in
+      Sim.set_handler sim me h)
     nodes;
   nodes
 
@@ -30,32 +37,32 @@ let deploy (type node) ?layer ?bytes ~(sim : 'msg Sim.t)
    its layer label and wire-size estimate so the simulator's obs handle
    gets per-layer message/byte counters. *)
 
-let deploy_rbc ~sim ~keyring ~sender ~deliver =
-  deploy ~sim ~keyring ~layer:"rbc" ~bytes:Rbc.msg_size
+let deploy_rbc ?wrap ~sim ~keyring ~sender ~deliver () =
+  deploy ?wrap ~sim ~keyring ~layer:"rbc" ~bytes:Rbc.msg_size
     ~make:(fun me io -> Rbc.create ~io ~sender ~deliver:(deliver me))
     ~handle:Rbc.handle ()
 
-let deploy_cbc ~sim ~keyring ~tag ~sender ?validate ~deliver () =
-  deploy ~sim ~keyring ~layer:"cbc" ~bytes:(Cbc.msg_size keyring)
+let deploy_cbc ?wrap ~sim ~keyring ~tag ~sender ?validate ~deliver () =
+  deploy ?wrap ~sim ~keyring ~layer:"cbc" ~bytes:(Cbc.msg_size keyring)
     ~make:(fun me io -> Cbc.create ~io ~tag ~sender ?validate ~deliver:(deliver me) ())
     ~handle:Cbc.handle ()
 
-let deploy_abba ~sim ~keyring ~tag ~on_decide =
-  deploy ~sim ~keyring ~layer:"abba" ~bytes:(Abba.msg_size keyring)
+let deploy_abba ?wrap ~sim ~keyring ~tag ~on_decide () =
+  deploy ?wrap ~sim ~keyring ~layer:"abba" ~bytes:(Abba.msg_size keyring)
     ~make:(fun me io -> Abba.create ~io ~tag ~on_decide:(on_decide me))
     ~handle:Abba.handle ()
 
-let deploy_vba ~sim ~keyring ~tag ?validate ~on_decide () =
-  deploy ~sim ~keyring ~layer:"vba" ~bytes:(Vba.msg_size keyring)
+let deploy_vba ?wrap ~sim ~keyring ~tag ?validate ~on_decide () =
+  deploy ?wrap ~sim ~keyring ~layer:"vba" ~bytes:(Vba.msg_size keyring)
     ~make:(fun me io -> Vba.create ~io ~tag ?validate ~on_decide:(on_decide me) ())
     ~handle:Vba.handle ()
 
-let deploy_abc ~sim ~keyring ~tag ~deliver =
-  deploy ~sim ~keyring ~layer:"abc" ~bytes:(Abc.msg_size keyring)
+let deploy_abc ?wrap ~sim ~keyring ~tag ~deliver () =
+  deploy ?wrap ~sim ~keyring ~layer:"abc" ~bytes:(Abc.msg_size keyring)
     ~make:(fun me io -> Abc.create ~io ~tag ~deliver:(deliver me) ())
     ~handle:Abc.handle ()
 
-let deploy_scabc ~sim ~keyring ~tag ~deliver =
-  deploy ~sim ~keyring ~layer:"scabc" ~bytes:(Scabc.msg_size keyring)
+let deploy_scabc ?wrap ~sim ~keyring ~tag ~deliver () =
+  deploy ?wrap ~sim ~keyring ~layer:"scabc" ~bytes:(Scabc.msg_size keyring)
     ~make:(fun me io -> Scabc.create ~io ~tag ~deliver:(deliver me) ())
     ~handle:Scabc.handle ()

@@ -1,13 +1,17 @@
 (** Deployment glue: one protocol node per server on the simulator.
 
-    Corrupt a party by crashing it ([Sim.crash]) or replacing its handler
-    with a malicious one ([Sim.set_handler]) — the keyring record is
-    shared, so a replaced handler models full corruption including key
-    exposure. *)
+    Corrupt a party by crashing it ([Sim.crash]), replacing its handler
+    with a malicious one ([Sim.set_handler] / [Sim.wrap_handler]), or by
+    passing [?wrap] at deployment time — the injection point the
+    Byzantine behaviour library (lib/faults) uses, which avoids any
+    window where the honest handler could run first.  The keyring record
+    is shared, so a corrupted handler models full corruption including
+    key exposure. *)
 
 val deploy :
   ?layer:string ->
   ?bytes:('msg -> int) ->
+  ?wrap:(int -> 'msg Sim.handler -> 'msg Sim.handler) ->
   sim:'msg Sim.t ->
   keyring:Keyring.t ->
   make:(int -> 'msg Proto_io.t -> 'node) ->
@@ -16,18 +20,23 @@ val deploy :
   'node array
 (** Each node's [Proto_io.t] carries the simulator's observability
     handle ([Sim.obs]); [layer]/[bytes] feed its per-layer counters.
-    The [deploy_*] conveniences below set both (layers ["rbc"], ["cbc"],
-    ["abba"], ["vba"], ["abc"], ["scabc"], with the matching
-    [msg_size]). *)
+    [wrap me honest] is applied to every party's handler before it is
+    installed (identity by default).  The [deploy_*] conveniences below
+    set layer and size (layers ["rbc"], ["cbc"], ["abba"], ["vba"],
+    ["abc"], ["scabc"], with the matching [msg_size]) and pass [?wrap]
+    through. *)
 
 val deploy_rbc :
+  ?wrap:(int -> Rbc.msg Sim.handler -> Rbc.msg Sim.handler) ->
   sim:Rbc.msg Sim.t ->
   keyring:Keyring.t ->
   sender:int ->
   deliver:(int -> string -> unit) ->
+  unit ->
   Rbc.t array
 
 val deploy_cbc :
+  ?wrap:(int -> Cbc.msg Sim.handler -> Cbc.msg Sim.handler) ->
   sim:Cbc.msg Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
@@ -38,13 +47,16 @@ val deploy_cbc :
   Cbc.t array
 
 val deploy_abba :
+  ?wrap:(int -> Abba.msg Sim.handler -> Abba.msg Sim.handler) ->
   sim:Abba.msg Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
   on_decide:(int -> bool -> unit) ->
+  unit ->
   Abba.t array
 
 val deploy_vba :
+  ?wrap:(int -> Vba.msg Sim.handler -> Vba.msg Sim.handler) ->
   sim:Vba.msg Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
@@ -54,15 +66,19 @@ val deploy_vba :
   Vba.t array
 
 val deploy_abc :
+  ?wrap:(int -> Abc.msg Sim.handler -> Abc.msg Sim.handler) ->
   sim:Abc.msg Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
   deliver:(int -> string -> unit) ->
+  unit ->
   Abc.t array
 
 val deploy_scabc :
+  ?wrap:(int -> Scabc.msg Sim.handler -> Scabc.msg Sim.handler) ->
   sim:Scabc.msg Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
   deliver:(int -> label:string -> string -> unit) ->
+  unit ->
   Scabc.t array

@@ -1,0 +1,192 @@
+(* Reusable Byzantine behaviours, installed over a deployed party's
+   honest handler.
+
+   The simulator models full corruption by handler replacement: a
+   corrupted party's incoming messages are routed to arbitrary code that
+   holds the shared keyring (so it can sign, share and equivocate with
+   the party's real keys) and the simulator handle (so it can send
+   anything to anyone).  Before this module, every test hand-rolled that
+   code inline; here the recurring shapes are named, parameterized and
+   composable, and a whole corruptible set from the adversary structure
+   can be corrupted at once — which is exactly the quantification the
+   paper's Section 2 model asks for ("for every set in the structure"). *)
+
+type 'msg ctx = {
+  sim : 'msg Sim.t;
+  keyring : Keyring.t;
+  party : int;
+  rng : Prng.t;
+}
+
+type 'msg t = 'msg ctx -> 'msg Sim.handler -> 'msg Sim.handler
+
+(* ---------- generic behaviours -------------------------------------- *)
+
+let honest : 'msg t = fun _ctx h -> h
+
+let silent : 'msg t = fun _ctx _honest ~src:_ _msg -> ()
+
+let crash_at time : 'msg t =
+ fun ctx honest ->
+  let delay = Float.max 0.0 (time -. Sim.clock ctx.sim) in
+  Sim.set_timer ctx.sim ctx.party ~delay (fun () ->
+      Sim.crash ctx.sim ctx.party);
+  honest
+
+let replayer ?(copies = 1) ?(budget = 64) () : 'msg t =
+ fun ctx honest ->
+  let used = ref 0 in
+  fun ~src msg ->
+    honest ~src msg;
+    if !used < budget then begin
+      incr used;
+      for _ = 1 to copies do
+        Sim.broadcast ctx.sim ~src:ctx.party msg
+      done
+    end
+
+let injector ?(budget = 64) forge : 'msg t =
+ fun ctx honest ->
+  let used = ref 0 in
+  fun ~src msg ->
+    honest ~src msg;
+    if !used < budget then begin
+      incr used;
+      List.iter
+        (fun (dst, m) -> Sim.send ctx.sim ~src:ctx.party ~dst m)
+        (forge ctx ~src msg)
+    end
+
+let equivocator ?(budget = 64) forge : 'msg t =
+ fun ctx _honest ->
+  let used = ref 0 in
+  fun ~src msg ->
+    if !used < budget then
+      match forge ctx ~src msg with
+      | None -> ()
+      | Some (ma, mb) ->
+        incr used;
+        let n = Sim.n ctx.sim in
+        for dst = 0 to n - 1 do
+          Sim.send ctx.sim ~src:ctx.party ~dst
+            (if 2 * dst < n then ma else mb)
+        done
+
+let mutator mutate : 'msg t =
+ fun ctx honest ~src msg ->
+  match mutate ctx ~src msg with
+  | None -> honest ~src msg
+  | Some msg' -> honest ~src msg'
+
+let compose a b : 'msg t = fun ctx honest -> a ctx (b ctx honest)
+
+(* ---------- installation -------------------------------------------- *)
+
+let context ~sim ~keyring ~rng party =
+  { sim; keyring; party; rng = Prng.split rng }
+
+let corrupt ~sim ~keyring ~seed ~set behavior =
+  let rng = Prng.create ~seed in
+  Pset.iter
+    (fun party ->
+      Sim.wrap_handler sim party (behavior (context ~sim ~keyring ~rng party)))
+    set
+
+let wrap_of ~sim ~keyring ~seed ~set behavior =
+  let rng = Prng.create ~seed in
+  fun party h ->
+    if Pset.mem party set then behavior (context ~sim ~keyring ~rng party) h
+    else h
+
+(* ---------- protocol-specific forgeries ------------------------------ *)
+
+(* Behaviours against the binary-agreement layer.  The forged objects go
+   through the real signing paths of the shared keyring, so they pass
+   every check that does not bind them to a statement — precisely the
+   attacks the justification machinery must (and does) reject. *)
+module For_abba = struct
+  let round_of = function
+    | Abba.Support _ -> Some 1
+    | Abba.Prevote pv -> Some pv.Abba.pv_round
+    | Abba.Mainvote mv -> Some mv.Abba.mv_round
+    | Abba.Coin_share (r, _) -> Some r
+    | Abba.Decide _ -> None
+
+  (* Structurally valid coin shares whose group elements are garbled, so
+     the DLEQ proofs fail: honest parties must filter them out and still
+     assemble the coin from the honest shares. *)
+  let coin_forger ?(budget = 32) ~tag () : Abba.msg t =
+    injector ~budget (fun ctx ~src:_ msg ->
+        match round_of msg with
+        | None -> []
+        | Some r ->
+          let g = ctx.keyring.Keyring.group in
+          let name =
+            Ro.encode [ "abba-coin"; tag; string_of_int r ]
+          in
+          let shares =
+            Coin.generate_share ctx.keyring.Keyring.coin ~party:ctx.party
+              ~name
+            |> List.map (fun (s : Coin.share) ->
+                   { s with
+                     Coin.value =
+                       Schnorr_group.mul g s.Coin.value g.Schnorr_group.g })
+          in
+          List.init (Sim.n ctx.sim) (fun dst ->
+              (dst, Abba.Coin_share (r, shares))))
+
+  (* Genuinely signed, conflicting SUPPORT endorsements: true to one half
+     of the parties, false to the other.  Quorum intersection must keep
+     at most one value certifiable. *)
+  let support_equivocator ?(budget = 4) ~tag () : Abba.msg t =
+    equivocator ~budget (fun ctx ~src:_ _msg ->
+        let share b =
+          Keyring.cert_share ctx.keyring ~party:ctx.party
+            (Ro.encode [ "abba-sup"; tag; string_of_bool b ])
+        in
+        Some (Abba.Support (true, share true), Abba.Support (false, share false)))
+
+  (* coin_forger is the outer layer: its injector calls through to the
+     support equivocator (which never runs honest logic) and then floods
+     its forged shares — so both attacks are live. *)
+  let byzantine ~tag () : Abba.msg t =
+    compose (coin_forger ~tag ()) (support_equivocator ~tag ())
+end
+
+(* Behaviours against the atomic-broadcast layer. *)
+module For_abc = struct
+  (* Validly signed, conflicting proposals for the current round: payload
+     A to one half, payload B to the other.  Both pass the signature
+     check, so honest parties may hold different views of the corrupted
+     party's proposal — agreement must come from the VBA layer alone. *)
+  let proposal_equivocator ?(budget = 8) ~tag () : Abc.msg t =
+    equivocator ~budget (fun ctx ~src:_ msg ->
+        match msg with
+        | Abc.Proposal (r, _, _) ->
+          let sign payload =
+            Schnorr_sig.to_bytes ctx.keyring.Keyring.group
+              (Keyring.sign ctx.keyring ~party:ctx.party
+                 (Ro.encode [ "abc-prop"; tag; string_of_int r; payload ]))
+          in
+          let pa = Printf.sprintf "equiv-a-%d" ctx.party
+          and pb = Printf.sprintf "equiv-b-%d" ctx.party in
+          Some
+            (Abc.Proposal (r, pa, sign pa), Abc.Proposal (r, pb, sign pb))
+        | Abc.Request _ | Abc.Vba_msg _ -> None)
+
+  (* Replays captured proposals into later rounds under the original
+     (now round-mismatched) signature; the round-bound statement must
+     make every replay invalid. *)
+  let proposal_replayer ?(budget = 32) () : Abc.msg t =
+    injector ~budget (fun ctx ~src:_ msg ->
+        match msg with
+        | Abc.Proposal (r, payload, sg) ->
+          List.init (Sim.n ctx.sim) (fun dst ->
+              (dst, Abc.Proposal (r + 1, payload, sg)))
+        | Abc.Request _ | Abc.Vba_msg _ -> [])
+
+  (* replayer outer, equivocator inner, for the same reason as
+     [For_abba.byzantine]. *)
+  let byzantine ~tag () : Abc.msg t =
+    compose (proposal_replayer ()) (proposal_equivocator ~tag ())
+end

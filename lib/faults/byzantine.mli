@@ -1,0 +1,111 @@
+(** Reusable Byzantine behaviours.
+
+    A behaviour is a handler transformer: given the corrupted party's
+    context (simulator handle, shared keyring, party index, private PRNG)
+    and its honest handler, it returns the handler actually installed.
+    Behaviours compose, and {!corrupt} applies one to every party of a
+    [Pset.t], so any set of the adversary structure can be corrupted
+    wholesale — the quantification the paper's fault model requires.
+
+    Corrupted parties hold the full keyring record, so forged objects go
+    through the genuine signing paths: they pass every check that does
+    not bind them to a statement, which is exactly what the protocols'
+    justification machinery must reject. *)
+
+type 'msg ctx = {
+  sim : 'msg Sim.t;
+  keyring : Keyring.t;
+  party : int;
+  rng : Prng.t;  (** private per-party stream, split off the install seed *)
+}
+
+type 'msg t = 'msg ctx -> 'msg Sim.handler -> 'msg Sim.handler
+
+(** {2 Generic behaviours} *)
+
+val honest : 'msg t
+(** Identity — the honest handler unchanged. *)
+
+val silent : 'msg t
+(** Receives everything, sends nothing, runs no protocol logic (a
+    fail-silent party that never formally crashes). *)
+
+val crash_at : float -> 'msg t
+(** Behave honestly until the given virtual time, then [Sim.crash]. *)
+
+val replayer : ?copies:int -> ?budget:int -> unit -> 'msg t
+(** Behave honestly, but also rebroadcast each received message verbatim
+    [copies] times (default 1), for the first [budget] messages
+    (default 64) — stale/duplicate traffic from a correct-looking
+    party. *)
+
+val injector :
+  ?budget:int -> ('msg ctx -> src:int -> 'msg -> (Sim.party * 'msg) list) -> 'msg t
+(** Behave honestly, but on each of the first [budget] receipts also send
+    every forged [(dst, msg)] the callback produces. *)
+
+val equivocator :
+  ?budget:int -> ('msg ctx -> src:int -> 'msg -> ('msg * 'msg) option) -> 'msg t
+(** Run {e no} honest logic; when the callback produces [(a, b)], send
+    [a] to the lower half of the servers and [b] to the upper half. *)
+
+val mutator : ('msg ctx -> src:int -> 'msg -> 'msg option) -> 'msg t
+(** Transform inbound messages before the honest logic sees them
+    ([None] = pass through unchanged). *)
+
+val compose : 'msg t -> 'msg t -> 'msg t
+(** [compose outer inner] wraps [inner]'s result with [outer]. *)
+
+(** {2 Installation} *)
+
+val corrupt :
+  sim:'msg Sim.t ->
+  keyring:Keyring.t ->
+  seed:int ->
+  set:Pset.t ->
+  'msg t ->
+  unit
+(** Apply a behaviour to every party of [set] via [Sim.wrap_handler],
+    after deployment.  Each party gets an independent PRNG split off
+    [seed]. *)
+
+val wrap_of :
+  sim:'msg Sim.t ->
+  keyring:Keyring.t ->
+  seed:int ->
+  set:Pset.t ->
+  'msg t ->
+  int ->
+  'msg Sim.handler ->
+  'msg Sim.handler
+(** The same corruption as a [Stack.deploy ?wrap] argument, applied at
+    handler-installation time (no window where the honest handler could
+    run). *)
+
+(** {2 Protocol-specific forgeries} *)
+
+module For_abba : sig
+  val coin_forger : ?budget:int -> tag:string -> unit -> Abba.msg t
+  (** Floods structurally valid coin shares whose group elements are
+      garbled, so every DLEQ proof fails verification. *)
+
+  val support_equivocator : ?budget:int -> tag:string -> unit -> Abba.msg t
+  (** Sends genuinely signed, conflicting SUPPORT endorsements — [true]
+      to one half of the parties, [false] to the other. *)
+
+  val byzantine : tag:string -> unit -> Abba.msg t
+  (** The composition of both attacks. *)
+end
+
+module For_abc : sig
+  val proposal_equivocator : ?budget:int -> tag:string -> unit -> Abc.msg t
+  (** Sends validly signed, conflicting round proposals to the two
+      halves of the parties. *)
+
+  val proposal_replayer : ?budget:int -> unit -> Abc.msg t
+  (** Replays captured proposals into the next round under their
+      original (now round-mismatched) signature. *)
+
+  val byzantine : tag:string -> unit -> Abc.msg t
+  (** The composition of both attacks. *)
+end

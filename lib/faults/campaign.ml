@@ -1,0 +1,528 @@
+(* Seed-sweep fault campaigns: seeds × chaos policies × corruption mixes
+   per protocol, with oracle checking and a machine-readable report.
+
+   Every run is fully determined by (protocol, policy, mix, seed): the
+   simulator schedule, the chaos draws and the Byzantine behaviours all
+   derive from the seed, so any violation the sweep finds is replayable
+   in isolation.  The corrupted set rotates through the maximal sets of
+   the adversary structure, so over a sweep every worst-case corruption
+   is exercised.
+
+   Reporting distinguishes safety from liveness violations: lossy chaos
+   specs ([p_reliable = false]) break the paper's reliable-channel
+   assumption, so their liveness violations are recorded but do not gate
+   ({!ok}); safety violations always gate. *)
+
+type policy_spec = {
+  p_name : string;
+  p_chaos : Sim.chaos;
+  p_reliable : bool;
+      (* channels still deliver eventually (duplication, reordering,
+         healing partitions) — liveness oracles remain meaningful *)
+}
+
+type mix_kind = Silent | Crash_at of float | Byz
+
+type mix = { m_name : string; m_kind : mix_kind }
+
+type protocol = P_abba | P_abc
+
+let protocol_label = function P_abba -> "abba" | P_abc -> "abc"
+
+let protocol_of_string = function
+  | "abba" -> Some P_abba
+  | "abc" -> Some P_abc
+  | _ -> None
+
+type config = {
+  seeds : int;
+  seed_base : int;
+  n : int;
+  t : int;
+  rsa_bits : int;
+  group_bits : int;
+  protocols : protocol list;
+  policies : policy_spec list;
+  mixes : mix list;
+  payloads : int;  (* atomic-broadcast payloads per run *)
+  max_steps : int;
+}
+
+(* ---------- defaults -------------------------------------------------- *)
+
+let drop_policy ?(rate = 0.02) () =
+  {
+    p_name = "drop";
+    p_reliable = false;
+    p_chaos =
+      { Sim.benign_chaos with default_link = { Sim.no_fault with drop = rate } };
+  }
+
+let dup_reorder_policy ?(rate = 0.1) () =
+  {
+    p_name = "dup-reorder";
+    p_reliable = true;
+    p_chaos =
+      {
+        Sim.benign_chaos with
+        default_link = { Sim.no_fault with duplicate = rate; reorder = rate };
+      };
+  }
+
+let partition_policy ~n () =
+  (* Split the servers into halves for a virtual-time window long enough
+     to stall several protocol rounds, then heal. *)
+  let lower = Pset.of_list (List.init (n / 2) Fun.id)
+  and upper = Pset.of_list (List.init (n - (n / 2)) (fun i -> (n / 2) + i)) in
+  {
+    p_name = "partition";
+    p_reliable = true;
+    p_chaos =
+      {
+        Sim.benign_chaos with
+        partitions = [ { Sim.from_t = 50.0; until_t = 400.0; cells = [ lower; upper ] } ];
+      };
+  }
+
+let default_policies ~n = [ drop_policy (); dup_reorder_policy (); partition_policy ~n () ]
+
+let default_mixes =
+  [
+    { m_name = "silent"; m_kind = Silent };
+    { m_name = "crash"; m_kind = Crash_at 150.0 };
+    { m_name = "byzantine"; m_kind = Byz };
+  ]
+
+let policy_of_name ~n = function
+  | "drop" -> Some (drop_policy ())
+  | "dup-reorder" -> Some (dup_reorder_policy ())
+  | "partition" -> Some (partition_policy ~n ())
+  | _ -> None
+
+let mix_of_name name =
+  List.find_opt (fun m -> m.m_name = name) default_mixes
+
+let default_config ?(seeds = 50) ?(seed_base = 1) ?(n = 4) ?(t = 1)
+    ?(rsa_bits = 192) ?(group_bits = 128) ?protocols ?policies ?mixes
+    ?(payloads = 2) ?(max_steps = 200_000) () =
+  {
+    seeds;
+    seed_base;
+    n;
+    t;
+    rsa_bits;
+    group_bits;
+    protocols = Option.value protocols ~default:[ P_abba; P_abc ];
+    policies = Option.value policies ~default:(default_policies ~n);
+    mixes = Option.value mixes ~default:default_mixes;
+    payloads;
+    max_steps;
+  }
+
+(* ---------- single runs ----------------------------------------------- *)
+
+type run_result = {
+  r_protocol : string;
+  r_policy : string;
+  r_mix : string;
+  r_seed : int;
+  r_corrupted : Pset.t;
+  r_reliable : bool;
+  r_violations : Oracle.violation list;
+  r_decide_clock : float option;  (* virtual time of the last honest decision *)
+  r_chaos_drops : int;
+  r_chaos_dups : int;
+  r_chaos_reorders : int;
+}
+
+(* The corrupted set for a given seed: rotate through A* so a sweep
+   covers every maximal corruption of the structure. *)
+let corrupted_set keyring seed =
+  let sets = Adversary_structure.maximal_adversary_sets keyring.Keyring.structure in
+  match sets with
+  | [] -> Pset.empty
+  | _ -> List.nth sets (abs seed mod List.length sets)
+
+let abba_behavior ~tag = function
+  | Silent -> Byzantine.silent
+  | Crash_at at -> Byzantine.crash_at at
+  | Byz -> Byzantine.For_abba.byzantine ~tag ()
+
+let abc_behavior ~tag = function
+  | Silent -> Byzantine.silent
+  | Crash_at at -> Byzantine.crash_at at
+  | Byz -> Byzantine.For_abc.byzantine ~tag ()
+
+(* Corrupted parties still run the protocol's sending side (propose /
+   broadcast) only when the behaviour starts from honest logic. *)
+let mix_sends_honestly = function
+  | Silent | Byz -> false
+  | Crash_at _ -> true
+
+let finish ~protocol ~policy ~mix ~seed ~corrupted ~sim ~violations
+    ~decide_clock =
+  let m = Sim.metrics sim in
+  {
+    r_protocol = protocol;
+    r_policy = policy.p_name;
+    r_mix = mix.m_name;
+    r_seed = seed;
+    r_corrupted = corrupted;
+    r_reliable = policy.p_reliable;
+    r_violations = violations;
+    r_decide_clock = decide_clock;
+    r_chaos_drops = m.Metrics.chaos_drops;
+    r_chaos_dups = m.Metrics.chaos_dups;
+    r_chaos_reorders = m.Metrics.chaos_reorders;
+  }
+
+let run_abba cfg ~obs ~keyring ~policy ~mix ~seed =
+  let n = cfg.n in
+  let corrupted = corrupted_set keyring seed in
+  let honest = Pset.diff (Pset.full n) corrupted in
+  let sim = Sim.create ~n ~seed ~obs () in
+  Sim.set_chaos sim (Some policy.p_chaos);
+  let tag = Printf.sprintf "flt-abba-%d" seed in
+  let decisions = Array.make n None in
+  let last_decide = ref None in
+  let wrap =
+    Byzantine.wrap_of ~sim ~keyring ~seed:(seed lxor 0x5eed) ~set:corrupted
+      (abba_behavior ~tag mix.m_kind)
+  in
+  let nodes =
+    Stack.deploy_abba ~wrap ~sim ~keyring ~tag
+      ~on_decide:(fun p b ->
+        if decisions.(p) = None then begin
+          decisions.(p) <- Some b;
+          if Pset.mem p honest then last_decide := Some (Sim.clock sim)
+        end)
+      ()
+  in
+  let rng = Prng.create ~seed:(seed * 7919 + 11) in
+  let proposals = Array.init n (fun _ -> Prng.bool rng) in
+  Array.iteri
+    (fun p node ->
+      if Pset.mem p honest || mix_sends_honestly mix.m_kind then
+        Abba.propose node proposals.(p))
+    nodes;
+  let done_ () = Pset.for_all (fun p -> decisions.(p) <> None) honest in
+  let stall =
+    try
+      Sim.run ~max_steps:cfg.max_steps ~until:done_ sim;
+      []
+    with Sim.Out_of_steps { at_clock; pending; timers } ->
+      [ Oracle.out_of_steps ~at_clock ~pending ~timers ]
+  in
+  let violations = Oracle.check_abba ~honest ~proposals decisions @ stall in
+  let decide_clock = if done_ () then !last_decide else None in
+  finish ~protocol:"abba" ~policy ~mix ~seed ~corrupted ~sim ~violations
+    ~decide_clock
+
+let run_abc cfg ~obs ~keyring ~policy ~mix ~seed =
+  let n = cfg.n in
+  let corrupted = corrupted_set keyring seed in
+  let honest = Pset.diff (Pset.full n) corrupted in
+  let sim = Sim.create ~n ~seed ~obs () in
+  Sim.set_chaos sim (Some policy.p_chaos);
+  let tag = Printf.sprintf "flt-abc-%d" seed in
+  let logs_rev = Array.make n [] in
+  let last_decide = ref None in
+  let expected = cfg.payloads in
+  let wrap =
+    Byzantine.wrap_of ~sim ~keyring ~seed:(seed lxor 0x5eed) ~set:corrupted
+      (abc_behavior ~tag mix.m_kind)
+  in
+  let nodes =
+    Stack.deploy_abc ~wrap ~sim ~keyring ~tag
+      ~deliver:(fun p payload ->
+        logs_rev.(p) <- payload :: logs_rev.(p);
+        if Pset.mem p honest && List.length logs_rev.(p) >= expected then
+          last_decide := Some (Sim.clock sim))
+      ()
+  in
+  (* Submit the payloads round-robin from the honest parties, so total
+     order must reconcile genuinely concurrent senders. *)
+  let submitters = Pset.to_list honest in
+  List.iteri
+    (fun k payload ->
+      let s = List.nth submitters (k mod List.length submitters) in
+      Abc.broadcast nodes.(s) payload)
+    (List.init expected (fun k -> Printf.sprintf "tx-%d-%d" seed k));
+  let done_ () =
+    Pset.for_all (fun p -> List.length logs_rev.(p) >= expected) honest
+  in
+  let stall =
+    try
+      Sim.run ~max_steps:cfg.max_steps ~until:done_ sim;
+      []
+    with Sim.Out_of_steps { at_clock; pending; timers } ->
+      [ Oracle.out_of_steps ~at_clock ~pending ~timers ]
+  in
+  let logs = Array.map List.rev logs_rev in
+  let violations = Oracle.check_abc ~honest ~expected logs @ stall in
+  let decide_clock = if done_ () then !last_decide else None in
+  finish ~protocol:"abc" ~policy ~mix ~seed ~corrupted ~sim ~violations
+    ~decide_clock
+
+(* ---------- the sweep ------------------------------------------------- *)
+
+type report = {
+  config : config;
+  results : run_result list;  (* in execution order *)
+  obs : Obs.t;  (* accumulated sim metrics + decide-time histograms *)
+}
+
+let safety_count rep =
+  List.fold_left
+    (fun acc r -> acc + Oracle.count_safety r.r_violations)
+    0 rep.results
+
+let liveness_count rep =
+  List.fold_left
+    (fun acc r -> acc + Oracle.count_liveness r.r_violations)
+    0 rep.results
+
+(* Liveness violations under reliable chaos specs — the only ones that
+   falsify the paper's claims, hence the only ones that gate. *)
+let gating_liveness_count rep =
+  List.fold_left
+    (fun acc r ->
+      if r.r_reliable then acc + Oracle.count_liveness r.r_violations else acc)
+    0 rep.results
+
+let ok rep = safety_count rep = 0 && gating_liveness_count rep = 0
+
+let run ?(progress = fun _ -> ()) cfg =
+  let structure = Adversary_structure.threshold ~n:cfg.n ~t:cfg.t in
+  let keyring =
+    Keyring.deal ~group_bits:cfg.group_bits ~rsa_bits:cfg.rsa_bits
+      ~seed:(cfg.seed_base + 7770) structure
+  in
+  let obs = Obs.create () in
+  let results = ref [] in
+  let total =
+    List.length cfg.protocols * List.length cfg.policies
+    * List.length cfg.mixes * cfg.seeds
+  in
+  let done_runs = ref 0 in
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun mix ->
+              for i = 0 to cfg.seeds - 1 do
+                let seed = cfg.seed_base + i in
+                let r =
+                  match proto with
+                  | P_abba -> run_abba cfg ~obs ~keyring ~policy ~mix ~seed
+                  | P_abc -> run_abc cfg ~obs ~keyring ~policy ~mix ~seed
+                in
+                (match r.r_decide_clock with
+                | Some c ->
+                  Obs.observe obs
+                    ~labels:
+                      [ ("layer", "faults"); ("protocol", r.r_protocol) ]
+                    "decide_time" c
+                | None -> ());
+                results := r :: !results;
+                incr done_runs;
+                progress (!done_runs, total)
+              done)
+            cfg.mixes)
+        cfg.policies)
+    cfg.protocols;
+  { config = cfg; results = List.rev !results; obs }
+
+(* ---------- report output --------------------------------------------- *)
+
+let schema = "sintra-faults/1"
+
+let out_path id = Printf.sprintf "FAULTS_%s.json" id
+
+let violation_json r (v : Oracle.violation) =
+  Obs_json.Obj
+    [
+      ("protocol", Obs_json.Str r.r_protocol);
+      ("policy", Obs_json.Str r.r_policy);
+      ("mix", Obs_json.Str r.r_mix);
+      ("seed", Obs_json.Int r.r_seed);
+      ("oracle", Obs_json.Str v.Oracle.oracle);
+      ("severity", Obs_json.Str (Oracle.severity_label v.Oracle.severity));
+      ( "party",
+        match v.Oracle.party with
+        | None -> Obs_json.Null
+        | Some p -> Obs_json.Int p );
+      ("detail", Obs_json.Str v.Oracle.detail);
+    ]
+
+let to_json ~id ~wall rep =
+  let cfg = rep.config in
+  let chaos_total f = List.fold_left (fun a r -> a + f r) 0 rep.results in
+  let details =
+    List.concat_map
+      (fun r -> List.map (violation_json r) r.r_violations)
+      rep.results
+  in
+  let details_capped =
+    if List.length details > 50 then List.filteri (fun i _ -> i < 50) details
+    else details
+  in
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.Str id);
+      ("schema", Obs_json.Str schema);
+      ("wall_time_s", Obs_json.Float wall);
+      ( "config",
+        Obs_json.Obj
+          [
+            ("seeds", Obs_json.Int cfg.seeds);
+            ("seed_base", Obs_json.Int cfg.seed_base);
+            ("n", Obs_json.Int cfg.n);
+            ("t", Obs_json.Int cfg.t);
+            ("payloads", Obs_json.Int cfg.payloads);
+            ("max_steps", Obs_json.Int cfg.max_steps);
+            ( "protocols",
+              Obs_json.Arr
+                (List.map
+                   (fun p -> Obs_json.Str (protocol_label p))
+                   cfg.protocols) );
+            ( "policies",
+              Obs_json.Arr
+                (List.map
+                   (fun p ->
+                     Obs_json.Obj
+                       [
+                         ("name", Obs_json.Str p.p_name);
+                         ("reliable", Obs_json.Bool p.p_reliable);
+                       ])
+                   cfg.policies) );
+            ( "mixes",
+              Obs_json.Arr
+                (List.map (fun m -> Obs_json.Str m.m_name) cfg.mixes) );
+          ] );
+      ("runs", Obs_json.Int (List.length rep.results));
+      ( "violations",
+        Obs_json.Obj
+          [
+            ("safety", Obs_json.Int (safety_count rep));
+            ("liveness", Obs_json.Int (liveness_count rep));
+            ("liveness_gating", Obs_json.Int (gating_liveness_count rep));
+          ] );
+      ( "chaos",
+        Obs_json.Obj
+          [
+            ("drops", Obs_json.Int (chaos_total (fun r -> r.r_chaos_drops)));
+            ("dups", Obs_json.Int (chaos_total (fun r -> r.r_chaos_dups)));
+            ( "reorders",
+              Obs_json.Int (chaos_total (fun r -> r.r_chaos_reorders)) );
+          ] );
+      ("metrics", Obs_registry.snapshot_to_json (Obs.snapshot rep.obs));
+      ("violation_details", Obs_json.Arr details_capped);
+    ]
+
+let write ~id ~wall rep =
+  let path = out_path id in
+  let oc = open_out path in
+  output_string oc (Obs_json.to_string (to_json ~id ~wall rep));
+  output_char oc '\n';
+  close_out oc;
+  path
+
+(* Shape validator for sintra-faults/1 documents, shared with the CLI's
+   bench-check so campaign artifacts are checked like bench artifacts. *)
+let validate_json (doc : Obs_json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let need kind name conv =
+    match Option.bind (Obs_json.member name doc) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or non-%s member %S" kind name)
+  in
+  let* s = need "string" "schema" Obs_json.to_str in
+  let* () = if s = schema then Ok () else Error ("unexpected schema " ^ s) in
+  let* _ = need "string" "experiment" Obs_json.to_str in
+  let* _ = need "float" "wall_time_s" Obs_json.to_float in
+  let* runs = need "int" "runs" Obs_json.to_int in
+  let* () = if runs >= 0 then Ok () else Error "negative \"runs\"" in
+  let obj_int parent name =
+    match
+      Option.bind (Obs_json.member parent doc) (fun o ->
+          Option.bind (Obs_json.member name o) Obs_json.to_int)
+    with
+    | Some v -> Ok v
+    | None ->
+      Error (Printf.sprintf "missing or non-int member %S.%S" parent name)
+  in
+  let* _ = obj_int "config" "seeds" in
+  let* _ = obj_int "config" "n" in
+  let* _ = obj_int "config" "t" in
+  let* safety = obj_int "violations" "safety" in
+  let* liveness = obj_int "violations" "liveness" in
+  let* () =
+    if safety >= 0 && liveness >= 0 then Ok ()
+    else Error "negative violation count"
+  in
+  let* _ = obj_int "chaos" "drops" in
+  let* _ = obj_int "chaos" "dups" in
+  let* _ = obj_int "chaos" "reorders" in
+  let* _ =
+    match
+      Option.bind (Obs_json.member "metrics" doc) (Obs_json.member "counters")
+    with
+    | Some _ -> Ok ()
+    | None -> Error "missing \"metrics\".\"counters\""
+  in
+  Ok ()
+
+(* ---------- summary --------------------------------------------------- *)
+
+let pp_summary fmt rep =
+  (* One line per (protocol, policy, mix) cell of the sweep. *)
+  let cells = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let key = (r.r_protocol, r.r_policy, r.r_mix) in
+      let cell =
+        match Hashtbl.find_opt cells key with
+        | Some c -> c
+        | None ->
+          let c = ref [] in
+          Hashtbl.add cells key c;
+          order := key :: !order;
+          c
+      in
+      cell := r :: !cell)
+    rep.results;
+  List.iter
+    (fun ((proto, pol, mix) as key) ->
+      let rs = !(Hashtbl.find cells key) in
+      let total = List.length rs in
+      let decided = List.filter (fun r -> r.r_decide_clock <> None) rs in
+      let safety =
+        List.fold_left
+          (fun a r -> a + Oracle.count_safety r.r_violations)
+          0 rs
+      and liveness =
+        List.fold_left
+          (fun a r -> a + Oracle.count_liveness r.r_violations)
+          0 rs
+      in
+      let mean_clock =
+        match decided with
+        | [] -> nan
+        | _ ->
+          List.fold_left
+            (fun a r -> a +. Option.value r.r_decide_clock ~default:0.0)
+            0.0 decided
+          /. float_of_int (List.length decided)
+      in
+      Format.fprintf fmt
+        "%-5s %-11s %-10s %3d/%-3d decided  mean clock %7.0f  safety %d  liveness %d%s@."
+        proto pol mix (List.length decided) total mean_clock safety liveness
+        (if safety > 0 then "  << SAFETY VIOLATION" else ""))
+    (List.rev !order);
+  Format.fprintf fmt
+    "total: %d runs, %d safety violations, %d liveness (%d gating)@."
+    (List.length rep.results) (safety_count rep) (liveness_count rep)
+    (gating_liveness_count rep)

@@ -1,0 +1,140 @@
+(** Seed-sweep fault campaigns: seeds × chaos policies × corruption
+    mixes per protocol, oracle-checked, with a machine-readable
+    ["sintra-faults/1"] report.
+
+    Every run is fully determined by (protocol, policy, mix, seed), so
+    any violation found by a sweep is replayable in isolation.  The
+    corrupted set rotates through the maximal sets of the adversary
+    structure across seeds. *)
+
+type policy_spec = {
+  p_name : string;
+  p_chaos : Sim.chaos;
+  p_reliable : bool;
+      (** channels still deliver eventually (duplication, reordering,
+          healing partitions): liveness oracles remain meaningful.
+          Lossy specs record liveness violations without gating. *)
+}
+
+type mix_kind =
+  | Silent  (** receive everything, send nothing *)
+  | Crash_at of float  (** honest until the given virtual time *)
+  | Byz  (** the protocol-specific {!Byzantine} attack composition *)
+
+type mix = { m_name : string; m_kind : mix_kind }
+
+type protocol = P_abba | P_abc
+
+val protocol_label : protocol -> string
+val protocol_of_string : string -> protocol option
+
+type config = {
+  seeds : int;  (** seeds [seed_base .. seed_base + seeds - 1] *)
+  seed_base : int;
+  n : int;
+  t : int;
+  rsa_bits : int;
+  group_bits : int;
+  protocols : protocol list;
+  policies : policy_spec list;
+  mixes : mix list;
+  payloads : int;  (** atomic-broadcast payloads per run *)
+  max_steps : int;  (** per-run simulator step bound *)
+}
+
+(** {2 Built-in policies and mixes} *)
+
+val drop_policy : ?rate:float -> unit -> policy_spec
+(** Lossy links: every delivery attempt dropped with probability [rate]
+    (default 0.02).  Not reliable. *)
+
+val dup_reorder_policy : ?rate:float -> unit -> policy_spec
+(** Duplication and extra reordering at probability [rate] (default
+    0.1) each.  Reliable. *)
+
+val partition_policy : n:int -> unit -> policy_spec
+(** Halves the servers for virtual time [\[50, 400)], then heals.
+    Reliable. *)
+
+val default_policies : n:int -> policy_spec list
+val default_mixes : mix list
+
+val policy_of_name : n:int -> string -> policy_spec option
+val mix_of_name : string -> mix option
+
+val default_config :
+  ?seeds:int ->
+  ?seed_base:int ->
+  ?n:int ->
+  ?t:int ->
+  ?rsa_bits:int ->
+  ?group_bits:int ->
+  ?protocols:protocol list ->
+  ?policies:policy_spec list ->
+  ?mixes:mix list ->
+  ?payloads:int ->
+  ?max_steps:int ->
+  unit ->
+  config
+(** Defaults: 50 seeds from 1, n = 4 / t = 1, toy 192-bit RSA and
+    128-bit group, both protocols, all built-in policies and mixes,
+    2 payloads, 200k steps. *)
+
+(** {2 Runs and reports} *)
+
+type run_result = {
+  r_protocol : string;
+  r_policy : string;
+  r_mix : string;
+  r_seed : int;
+  r_corrupted : Pset.t;
+  r_reliable : bool;
+  r_violations : Oracle.violation list;
+  r_decide_clock : float option;
+      (** virtual time of the last honest decision; [None] when some
+          honest party never finished *)
+  r_chaos_drops : int;
+  r_chaos_dups : int;
+  r_chaos_reorders : int;
+}
+
+type report = {
+  config : config;
+  results : run_result list;  (** in execution order *)
+  obs : Obs.t;
+      (** accumulated sim metrics plus per-protocol ["decide_time"]
+          histograms under layer ["faults"] *)
+}
+
+val run : ?progress:(int * int -> unit) -> config -> report
+(** Execute the sweep; [progress (done, total)] after every run. *)
+
+val safety_count : report -> int
+val liveness_count : report -> int
+
+val gating_liveness_count : report -> int
+(** Liveness violations under reliable policies — the only liveness
+    violations that falsify the paper's claims. *)
+
+val ok : report -> bool
+(** No safety violations and no gating liveness violations. *)
+
+(** {2 Artifacts} *)
+
+val schema : string
+(** ["sintra-faults/1"]. *)
+
+val out_path : string -> string
+(** [out_path id] is ["FAULTS_<id>.json"]. *)
+
+val to_json : id:string -> wall:float -> report -> Obs_json.t
+
+val write : id:string -> wall:float -> report -> string
+(** Write the report next to the working directory; returns the path. *)
+
+val validate_json : Obs_json.t -> (unit, string) result
+(** Shape check for ["sintra-faults/1"] documents (shared with the
+    CLI's [bench-check]). *)
+
+val pp_summary : Format.formatter -> report -> unit
+(** One line per (protocol, policy, mix) cell, plus totals. *)

@@ -14,6 +14,9 @@ type sink = {
   s_bytes : Obs_registry.counter;
   s_deliveries : Obs_registry.counter;
   s_drops : Obs_registry.counter;
+  s_chaos_drops : Obs_registry.counter;
+  s_chaos_dups : Obs_registry.counter;
+  s_chaos_reorders : Obs_registry.counter;
   s_size : Obs_histogram.t;
 }
 
@@ -21,7 +24,10 @@ type t = {
   mutable messages_sent : int;
   mutable bytes_sent : int;
   mutable deliveries : int;
-  mutable drops : int;  (* messages to crashed parties *)
+  mutable drops : int;  (* all undelivered: crashed dst, no handler, chaos *)
+  mutable chaos_drops : int;  (* the chaos-policy share of [drops] *)
+  mutable chaos_dups : int;
+  mutable chaos_reorders : int;
   sink : sink option;
 }
 
@@ -31,6 +37,9 @@ let make_sink obs =
     s_bytes = Obs.counter obs ~labels "bytes_sent";
     s_deliveries = Obs.counter obs ~labels "deliveries";
     s_drops = Obs.counter obs ~labels "drops";
+    s_chaos_drops = Obs.counter obs ~labels "chaos_drops";
+    s_chaos_dups = Obs.counter obs ~labels "chaos_dups";
+    s_chaos_reorders = Obs.counter obs ~labels "chaos_reorders";
     s_size = Obs.histogram obs ~labels "msg_bytes" }
 
 let create ?(obs = Obs.noop) () =
@@ -38,6 +47,9 @@ let create ?(obs = Obs.noop) () =
     bytes_sent = 0;
     deliveries = 0;
     drops = 0;
+    chaos_drops = 0;
+    chaos_dups = 0;
+    chaos_reorders = 0;
     sink = (if Obs.active obs then Some (make_sink obs) else None) }
 
 let incr_sent t ~bytes =
@@ -62,6 +74,24 @@ let incr_drops t =
   | None -> ()
   | Some s -> Obs_registry.incr s.s_drops
 
+let incr_chaos_drops t =
+  t.chaos_drops <- t.chaos_drops + 1;
+  match t.sink with
+  | None -> ()
+  | Some s -> Obs_registry.incr s.s_chaos_drops
+
+let incr_chaos_dups t =
+  t.chaos_dups <- t.chaos_dups + 1;
+  match t.sink with
+  | None -> ()
+  | Some s -> Obs_registry.incr s.s_chaos_dups
+
+let incr_chaos_reorders t =
+  t.chaos_reorders <- t.chaos_reorders + 1;
+  match t.sink with
+  | None -> ()
+  | Some s -> Obs_registry.incr s.s_chaos_reorders
+
 (* Registered counters are shared handles owned by the registry, so
    "reset" means driving them back to zero, not replacing them. *)
 let reset t =
@@ -69,25 +99,38 @@ let reset t =
   t.bytes_sent <- 0;
   t.deliveries <- 0;
   t.drops <- 0;
+  t.chaos_drops <- 0;
+  t.chaos_dups <- 0;
+  t.chaos_reorders <- 0;
   match t.sink with
   | None -> ()
   | Some s ->
     List.iter
       (fun c -> Obs_registry.incr ~by:(-Obs_registry.value c) c)
-      [ s.s_messages; s.s_bytes; s.s_deliveries; s.s_drops ];
+      [ s.s_messages; s.s_bytes; s.s_deliveries; s.s_drops;
+        s.s_chaos_drops; s.s_chaos_dups; s.s_chaos_reorders ];
     Obs_histogram.reset s.s_size
 
 let pp fmt t =
   (* Through the registry mirror when attached: pp then reports what a
      snapshot would, guarding against the two views drifting. *)
-  let sent, bytes, delivered, dropped =
+  let sent, bytes, delivered, dropped, chaos =
     match t.sink with
-    | None -> (t.messages_sent, t.bytes_sent, t.deliveries, t.drops)
+    | None ->
+      ( t.messages_sent, t.bytes_sent, t.deliveries, t.drops,
+        (t.chaos_drops, t.chaos_dups, t.chaos_reorders) )
     | Some s ->
       ( Obs_registry.value s.s_messages,
         Obs_registry.value s.s_bytes,
         Obs_registry.value s.s_deliveries,
-        Obs_registry.value s.s_drops )
+        Obs_registry.value s.s_drops,
+        ( Obs_registry.value s.s_chaos_drops,
+          Obs_registry.value s.s_chaos_dups,
+          Obs_registry.value s.s_chaos_reorders ) )
   in
   Format.fprintf fmt "sent=%d bytes=%d delivered=%d dropped=%d" sent bytes
-    delivered dropped
+    delivered dropped;
+  match chaos with
+  | 0, 0, 0 -> ()
+  | cd, cu, cr ->
+    Format.fprintf fmt " chaos(drop=%d dup=%d reorder=%d)" cd cu cr

@@ -15,7 +15,12 @@ type t = private {
   mutable messages_sent : int;  (** point-to-point sends *)
   mutable bytes_sent : int;  (** estimated wire bytes ([Sim]'s [size]) *)
   mutable deliveries : int;  (** messages handed to a live handler *)
-  mutable drops : int;  (** messages addressed to crashed parties *)
+  mutable drops : int;
+      (** every undelivered message: crashed destination, missing
+          handler, or chaos-policy loss *)
+  mutable chaos_drops : int;  (** the chaos-policy share of [drops] *)
+  mutable chaos_dups : int;  (** chaos-made duplicate deliveries *)
+  mutable chaos_reorders : int;  (** chaos-deferred delivery attempts *)
   sink : sink option;
 }
 
@@ -30,6 +35,12 @@ val incr_sent : t -> bytes:int -> unit
 
 val incr_deliveries : t -> unit
 val incr_drops : t -> unit
+
+val incr_chaos_drops : t -> unit
+(** A chaos-policy loss; the caller also counts it in {!incr_drops}. *)
+
+val incr_chaos_dups : t -> unit
+val incr_chaos_reorders : t -> unit
 
 val reset : t -> unit
 (** Zeros the fields and drives the registry mirror (when attached)

@@ -9,6 +9,15 @@
    strategy, so safety/liveness claims become testable by quantifying
    over seeds and policies.
 
+   Beyond the scheduling policy, a [chaos] specification injects link-
+   level faults — probabilistic drop / duplication / deferral with
+   per-link rates, and timed partition schedules — all drawn from a
+   dedicated seeded PRNG so every run stays exactly reproducible.
+   Message loss steps outside the paper's reliable-channel model, so
+   under a lossy chaos spec only safety (never liveness) claims are
+   meaningful; the fault campaign runner (lib/faults) tracks that
+   distinction.
+
    Virtual time exists only to (a) drive the latency model of the benign
    scheduler and (b) let timeout-based baselines (the CL99-style
    deterministic protocol) express their failure detectors; the
@@ -22,6 +31,7 @@ type 'msg envelope = {
   dst : party;
   msg : 'msg;
   ready_at : float;  (* earliest "benign" delivery time *)
+  dup : bool;  (* a chaos-made duplicate (never re-duplicated) *)
 }
 
 type policy =
@@ -32,12 +42,84 @@ type policy =
       (** adversarial: messages from/to the victim set are delivered only
           when nothing else is pending *)
 
+(* ---------- chaos: link faults and partition schedules -------------- *)
+
+type link_fault = {
+  drop : float;  (* P(delivery attempt silently loses the message) *)
+  duplicate : float;  (* P(a second, re-latencied copy is enqueued) *)
+  reorder : float;  (* P(the chosen message is pushed back instead) *)
+}
+
+let no_fault = { drop = 0.0; duplicate = 0.0; reorder = 0.0 }
+
+type partition = {
+  from_t : float;
+  until_t : float;  (* the cut heals at [until_t] (exclusive window) *)
+  cells : Pset.t list;  (* parties in no cell form one implicit cell *)
+}
+
+type chaos = {
+  default_link : link_fault;
+  links : ((party * party) * link_fault) list;  (* per-link overrides *)
+  partitions : partition list;
+}
+
+let benign_chaos =
+  { default_link = no_fault; links = []; partitions = [] }
+
+type chaos_state = { spec : chaos; crng : Prng.t }
+
+let check_rate what r =
+  if not (r >= 0.0 && r <= 1.0) then
+    invalid_arg (Printf.sprintf "Sim.set_chaos: %s rate %g not in [0,1]" what r)
+
+let check_fault lf =
+  check_rate "drop" lf.drop;
+  check_rate "duplicate" lf.duplicate;
+  check_rate "reorder" lf.reorder
+
+let link_fault_for spec ~src ~dst =
+  match List.assoc_opt (src, dst) spec.links with
+  | Some lf -> lf
+  | None -> spec.default_link
+
+(* Cell index of a party; every party outside all listed cells shares
+   the implicit cell -1, so two unlisted parties are never separated. *)
+let cell_of cells p =
+  let rec go i = function
+    | [] -> -1
+    | c :: rest -> if Pset.mem p c then i else go (i + 1) rest
+  in
+  go 0 cells
+
+let separated_by pa ~src ~dst tau =
+  pa.from_t <= tau && tau < pa.until_t
+  && cell_of pa.cells src <> cell_of pa.cells dst
+
+(* Earliest time >= [tau] at which no partition separates src and dst.
+   Each hop jumps to a strict-future heal time, so this terminates. *)
+let rec release_at spec ~src ~dst tau =
+  match
+    List.find_opt (fun pa -> separated_by pa ~src ~dst tau) spec.partitions
+  with
+  | Some pa -> release_at spec ~src ~dst pa.until_t
+  | None -> tau
+
+(* ---------- events and state ---------------------------------------- *)
+
 type 'msg handler = src:party -> 'msg -> unit
+
+type drop_reason = Crashed | No_handler | Chaos
+
+let drop_reason_label = function
+  | Crashed -> "crashed"
+  | No_handler -> "no-handler"
+  | Chaos -> "chaos"
 
 (* Optional event trace, for debugging and the CLI's --trace output. *)
 type trace_event =
   | Delivered of { at : float; src : party; dst : party; summary : string }
-  | Dropped of { at : float; src : party; dst : party }
+  | Dropped of { at : float; src : party; dst : party; reason : drop_reason }
   | Timer_fired of { at : float; party : party }
 
 type 'msg t = {
@@ -45,6 +127,7 @@ type 'msg t = {
   slots : int;
   rng : Prng.t;
   mutable policy : policy;
+  mutable chaos : chaos_state option;
   mutable clock : float;
   mutable seq : int;
   mutable pending : 'msg envelope list;  (* newest first *)
@@ -64,6 +147,7 @@ let create ?(policy = Random_order) ?(extra = 8) ?(size = fun _ -> 1)
     slots = n + extra;
     rng = Prng.create ~seed;
     policy;
+    chaos = None;
     clock = 0.0;
     seq = 0;
     pending = [];
@@ -82,9 +166,32 @@ let metrics t = t.metrics
 let obs t = t.obs
 let set_policy t p = t.policy <- p
 
+let set_chaos t = function
+  | None -> t.chaos <- None
+  | Some spec ->
+    check_fault spec.default_link;
+    List.iter (fun (_, lf) -> check_fault lf) spec.links;
+    List.iter
+      (fun pa ->
+        if not (pa.until_t > pa.from_t) then
+          invalid_arg "Sim.set_chaos: empty partition window")
+      spec.partitions;
+    (* The chaos PRNG is split off the scheduler's at installation time,
+       so fault draws never perturb the delivery schedule itself. *)
+    t.chaos <- Some { spec; crng = Prng.split t.rng }
+
 let set_handler t party (h : 'msg handler) =
   if party < 0 || party >= t.slots then invalid_arg "Sim.set_handler";
   t.handlers.(party) <- Some h
+
+let wrap_handler t party f =
+  if party < 0 || party >= t.slots then invalid_arg "Sim.wrap_handler";
+  let prev =
+    match t.handlers.(party) with
+    | Some h -> h
+    | None -> fun ~src:_ _ -> ()
+  in
+  t.handlers.(party) <- Some (f prev)
 
 let enable_trace t ~summarize = t.tracer <- Some summarize
 let trace t = List.rev t.trace
@@ -99,7 +206,7 @@ let send t ~src ~dst msg =
   if dst < 0 || dst >= t.slots then invalid_arg "Sim.send";
   Metrics.incr_sent t.metrics ~bytes:(t.size msg);
   let env =
-    { seq = t.seq; src; dst; msg; ready_at = t.clock +. latency t }
+    { seq = t.seq; src; dst; msg; ready_at = t.clock +. latency t; dup = false }
   in
   t.seq <- t.seq + 1;
   t.pending <- env :: t.pending
@@ -126,34 +233,73 @@ let fire_due_timers t =
     (List.sort (fun (a, _, _) (b, _, _) -> compare a b) due)
 
 let pending_count t = List.length t.pending
+let timer_count t = List.length t.timers
 
-(* Pick the index (into [t.pending]) of the next envelope to deliver. *)
+(* Partition gating: an envelope is held back while an active window
+   separates its endpoints at its would-be delivery time. *)
+let env_release t (e : 'msg envelope) : float =
+  let tau = Float.max t.clock e.ready_at in
+  match t.chaos with
+  | None -> tau
+  | Some { spec; _ } -> release_at spec ~src:e.src ~dst:e.dst tau
+
+let env_blocked t e = env_release t e > Float.max t.clock e.ready_at
+
+(* Pick the index (into [t.pending]) of the next envelope to deliver.
+   The scheduling policy only ever chooses among envelopes not held back
+   by a partition; when nothing else is left, the earliest-healing
+   envelope goes through (jumping virtual time past the heal). *)
 let choose t : int option =
-  let len = List.length t.pending in
-  if len = 0 then None
-  else
-    match t.policy with
-    | Fifo ->
-      (* pending is newest-first; FIFO delivers the oldest *)
-      Some (len - 1)
-    | Random_order -> Some (Prng.int t.rng len)
-    | Latency_order ->
-      let best = ref 0 and best_t = ref infinity in
-      List.iteri
-        (fun i e -> if e.ready_at < !best_t then begin best := i; best_t := e.ready_at end)
-        t.pending;
+  match t.pending with
+  | [] -> None
+  | pending ->
+    let all = List.mapi (fun i e -> (i, e)) pending in
+    let eligible =
+      if t.chaos = None then all
+      else
+        match List.filter (fun (_, e) -> not (env_blocked t e)) all with
+        | [] -> []
+        | free -> free
+    in
+    (match eligible with
+    | [] ->
+      (* every pending message is behind a partition: release the one
+         whose cut heals first *)
+      let best = ref (-1) and best_t = ref infinity in
+      List.iter
+        (fun (i, e) ->
+          let r = env_release t e in
+          if r < !best_t then begin
+            best := i;
+            best_t := r
+          end)
+        all;
       Some !best
-    | Delay_victims victims ->
-      let touched e = Pset.mem e.src victims || Pset.mem e.dst victims in
-      let free =
-        List.mapi (fun i e -> (i, e)) t.pending
-        |> List.filter (fun (_, e) -> not (touched e))
-      in
-      (match free with
-      | [] -> Some (len - 1)  (* only victim traffic left: oldest first *)
-      | _ ->
-        let k = Prng.int t.rng (List.length free) in
-        Some (fst (List.nth free k)))
+    | cands ->
+      (match t.policy with
+      | Fifo ->
+        (* pending is newest-first; FIFO delivers the oldest eligible *)
+        Some (fst (List.nth cands (List.length cands - 1)))
+      | Random_order ->
+        Some (fst (List.nth cands (Prng.int t.rng (List.length cands))))
+      | Latency_order ->
+        let best = ref 0 and best_t = ref infinity in
+        List.iter
+          (fun (i, e) ->
+            if e.ready_at < !best_t then begin
+              best := i;
+              best_t := e.ready_at
+            end)
+          cands;
+        Some !best
+      | Delay_victims victims ->
+        let touched e = Pset.mem e.src victims || Pset.mem e.dst victims in
+        let free = List.filter (fun (_, e) -> not (touched e)) cands in
+        (match free with
+        | [] -> Some (fst (List.nth cands (List.length cands - 1)))
+        | _ ->
+          let k = Prng.int t.rng (List.length free) in
+          Some (fst (List.nth free k)))))
 
 (* Under [Delay_victims], the adversary also out-waits timeouts: when
    only victim traffic remains and a timer is pending, virtual time jumps
@@ -179,6 +325,34 @@ let remove_nth l k =
   in
   go 0 [] l
 
+(* The single choke point for every kind of non-delivery, so all drop
+   paths count, trace and observe identically (tagged with the reason). *)
+let drop_env t reason (env : 'msg envelope) =
+  Metrics.incr_drops t.metrics;
+  if reason = Chaos then Metrics.incr_chaos_drops t.metrics;
+  if t.tracer <> None then
+    t.trace <-
+      Dropped { at = t.clock; src = env.src; dst = env.dst; reason } :: t.trace;
+  Obs.point t.obs ~party:env.dst ~src:env.src ~layer:"sim"
+    ~tag:(drop_reason_label reason) "drop"
+
+let deliver_env t (env : 'msg envelope) =
+  if t.crashed.(env.dst) then drop_env t Crashed env
+  else
+    match t.handlers.(env.dst) with
+    | None -> drop_env t No_handler env
+    | Some h ->
+      Metrics.incr_deliveries t.metrics;
+      (match t.tracer with
+      | Some summarize ->
+        t.trace <-
+          Delivered
+            { at = t.clock; src = env.src; dst = env.dst;
+              summary = summarize env.msg }
+          :: t.trace
+      | None -> ());
+      h ~src:env.src env.msg
+
 (* Deliver one message.  Returns false when the network is quiescent. *)
 let step t : bool =
   if adversary_outwaits_timer t then begin
@@ -202,40 +376,58 @@ let step t : bool =
   | Some k ->
     let env, rest = remove_nth t.pending k in
     t.pending <- rest;
-    t.clock <- max t.clock env.ready_at;
+    t.clock <- max t.clock (env_release t env);
     fire_due_timers t;
-    if t.crashed.(env.dst) then begin
-      Metrics.incr_drops t.metrics;
-      if t.tracer <> None then
-        t.trace <- Dropped { at = t.clock; src = env.src; dst = env.dst } :: t.trace;
-      Obs.point t.obs ~party:env.dst ~src:env.src ~layer:"sim" "drop"
-    end
-    else begin
-      match t.handlers.(env.dst) with
-      | None -> Metrics.incr_drops t.metrics
-      | Some h ->
-        Metrics.incr_deliveries t.metrics;
-        (match t.tracer with
-        | Some summarize ->
-          t.trace <-
-            Delivered
-              { at = t.clock; src = env.src; dst = env.dst;
-                summary = summarize env.msg }
-            :: t.trace
-        | None -> ());
-        h ~src:env.src env.msg
-    end;
+    (match t.chaos with
+    | None -> deliver_env t env
+    | Some { spec; crng } ->
+      let lf = link_fault_for spec ~src:env.src ~dst:env.dst in
+      (* Defer: push the chosen message back with a fresh latency — an
+         extra reordering knob on top of the scheduling policy.  Only
+         when other traffic is pending, so a lone message cannot be
+         deferred forever. *)
+      if lf.reorder > 0.0 && t.pending <> [] && Prng.float crng < lf.reorder then begin
+        Metrics.incr_chaos_reorders t.metrics;
+        t.pending <-
+          { env with ready_at = t.clock +. latency t } :: t.pending
+      end
+      else if lf.drop > 0.0 && Prng.float crng < lf.drop then
+        drop_env t Chaos env
+      else begin
+        if
+          lf.duplicate > 0.0 && (not env.dup)
+          && Prng.float crng < lf.duplicate
+        then begin
+          Metrics.incr_chaos_dups t.metrics;
+          Metrics.incr_sent t.metrics ~bytes:(t.size env.msg);
+          t.pending <-
+            { env with
+              seq = t.seq;
+              ready_at = t.clock +. latency t;
+              dup = true }
+            :: t.pending;
+          t.seq <- t.seq + 1
+        end;
+        deliver_env t env
+      end);
     true
 
-exception Out_of_steps
+exception
+  Out_of_steps of { at_clock : float; pending : int; timers : int }
 
 (* Run until [until ()] holds or the network is quiescent; raises
-   [Out_of_steps] if the bound is exceeded while traffic remains. *)
+   [Out_of_steps] — carrying the clock, pending-message count and live
+   timer count at the stall — if the bound is exceeded first. *)
 let run ?(max_steps = 2_000_000) ?(until = fun () -> false) t : unit =
   let steps = ref 0 in
   let rec go () =
     if until () then ()
-    else if !steps >= max_steps then raise Out_of_steps
+    else if !steps >= max_steps then
+      raise
+        (Out_of_steps
+           { at_clock = t.clock;
+             pending = List.length t.pending;
+             timers = List.length t.timers })
     else begin
       incr steps;
       if step t then go () else ()

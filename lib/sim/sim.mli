@@ -4,6 +4,14 @@
     makes liveness and safety claims testable by quantifying over seeds
     and policies.
 
+    On top of the scheduling policy, an optional {!chaos} specification
+    injects link-level faults (probabilistic drop / duplication /
+    deferral with per-link rates) and timed partition schedules, all
+    drawn from a PRNG split off the simulator's seed, so faulty runs are
+    exactly as reproducible as benign ones.  Probabilistic drops step
+    outside the paper's reliable-channel model: under a lossy spec only
+    safety claims remain meaningful (see lib/faults).
+
     Virtual time exists only to drive the benign latency model and the
     timers of timeout-based baselines; the randomized protocols never
     read the clock. *)
@@ -20,12 +28,55 @@ type policy =
           first — the Section 2.2 "delay longer than the timeout"
           attack *)
 
+(** {2 Chaos: link faults and partition schedules} *)
+
+type link_fault = {
+  drop : float;  (** P(a delivery attempt silently loses the message) *)
+  duplicate : float;
+      (** P(a second copy is enqueued with fresh latency); duplicates are
+          never duplicated again, so amplification is bounded *)
+  reorder : float;
+      (** P(the chosen message is pushed back with fresh latency instead
+          of being delivered) — extra reordering beyond the policy; a
+          lone pending message is never deferred *)
+}
+
+val no_fault : link_fault
+(** All rates zero. *)
+
+type partition = {
+  from_t : float;  (** virtual-time start of the cut *)
+  until_t : float;  (** heal time (window is [\[from_t, until_t)]) *)
+  cells : Pset.t list;
+      (** parties in different cells cannot exchange messages while the
+          window is active; parties listed in no cell share one implicit
+          cell *)
+}
+
+type chaos = {
+  default_link : link_fault;  (** applied to every (src, dst) pair *)
+  links : ((party * party) * link_fault) list;  (** per-link overrides *)
+  partitions : partition list;
+}
+
+val benign_chaos : chaos
+(** No faults, no partitions — the identity spec to extend. *)
+
 type 'msg handler = src:party -> 'msg -> unit
+
+type drop_reason =
+  | Crashed  (** destination crashed *)
+  | No_handler  (** destination slot has no handler installed *)
+  | Chaos  (** probabilistic chaos drop *)
+
+val drop_reason_label : drop_reason -> string
+(** ["crashed"], ["no-handler"], ["chaos"] — also the [tag] of the
+    ["drop"] observability point every drop path emits. *)
 
 (** Optional event trace, for debugging and CLI inspection. *)
 type trace_event =
   | Delivered of { at : float; src : party; dst : party; summary : string }
-  | Dropped of { at : float; src : party; dst : party }
+  | Dropped of { at : float; src : party; dst : party; reason : drop_reason }
   | Timer_fired of { at : float; party : party }
 
 type 'msg t
@@ -54,9 +105,22 @@ val obs : 'msg t -> Obs.t
 
 val set_policy : 'msg t -> policy -> unit
 
+val set_chaos : 'msg t -> chaos option -> unit
+(** Install (or clear) the chaos specification.  The fault PRNG is split
+    off the scheduler's PRNG at installation time, so fault draws do not
+    perturb the delivery schedule.  Raises [Invalid_argument] on rates
+    outside [0, 1] or empty partition windows. *)
+
 val set_handler : 'msg t -> party -> 'msg handler -> unit
 (** Attach (or replace — e.g. with a Byzantine behaviour) the message
     handler of a slot. *)
+
+val wrap_handler :
+  'msg t -> party -> ('msg handler -> 'msg handler) -> unit
+(** Replace a slot's handler with a wrapper of the currently installed
+    one (a no-op handler when none is installed) — the hook the
+    Byzantine behaviour library uses to corrupt a deployed party while
+    keeping its honest logic callable. *)
 
 val enable_trace : 'msg t -> summarize:('msg -> string) -> unit
 (** Start recording {!trace_event}s; [summarize] renders each message. *)
@@ -78,10 +142,17 @@ val set_timer : 'msg t -> party -> delay:float -> (unit -> unit) -> unit
 
 val pending_count : 'msg t -> int
 
+val timer_count : 'msg t -> int
+(** Timers set but not yet fired. *)
+
 val step : 'msg t -> bool
 (** Deliver one message / fire due timers; [false] when quiescent. *)
 
-exception Out_of_steps
+exception
+  Out_of_steps of { at_clock : float; pending : int; timers : int }
+(** The step bound was exceeded while traffic remained: carries the
+    virtual clock, pending-message count and live timer count at the
+    stall, so stuck runs are debuggable. *)
 
 val run : ?max_steps:int -> ?until:(unit -> bool) -> 'msg t -> unit
 (** Step until [until ()] holds or the network is quiescent; raises

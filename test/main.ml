@@ -21,4 +21,5 @@ let () =
       Test_optimistic.suite;
       Test_misc.suite;
       Test_adversarial.suite;
+      Test_faults.suite;
       Test_fuzz.suite ]

@@ -60,7 +60,7 @@ let forged_share_tests =
         let decisions = Array.make 4 None in
         let nodes =
           Stack.deploy_abba ~sim ~keyring:kr ~tag:"forged-coin"
-            ~on_decide:(fun me b -> decisions.(me) <- Some b)
+            ~on_decide:(fun me b -> decisions.(me) <- Some b) ()
         in
         let forged_share r =
           (* a structurally valid share list with garbage values *)
@@ -99,7 +99,7 @@ let forged_share_tests =
         let decisions = Array.make 4 None in
         let nodes =
           Stack.deploy_abba ~sim ~keyring:kr ~tag:"unjust"
-            ~on_decide:(fun me b -> decisions.(me) <- Some b)
+            ~on_decide:(fun me b -> decisions.(me) <- Some b) ()
         in
         Sim.set_handler sim 3 (fun ~src:_ (_ : Abba.msg) -> ());
         (* forge: a mainvote Value true with a vector cert signed over the
@@ -134,7 +134,7 @@ let forged_share_tests =
         let logs = Array.make 4 [] in
         let nodes =
           Stack.deploy_scabc ~sim ~keyring:kr ~tag:"forged-dec"
-            ~deliver:(fun me ~label:_ p -> logs.(me) <- p :: logs.(me))
+            ~deliver:(fun me ~label:_ p -> logs.(me) <- p :: logs.(me)) ()
         in
         (* party 3 behaves honestly except it garbles its decryption
            shares (flips the group element) *)
@@ -209,7 +209,7 @@ let equivocation_tests =
         let logs = Array.make 4 [] in
         let nodes =
           Stack.deploy_abc ~sim ~keyring:kr ~tag:"replay"
-            ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+            ~deliver:(fun me p -> logs.(me) <- p :: logs.(me)) ()
         in
         (* capture party 3's honest handler and add replay behaviour *)
         let honest = fun ~src m -> Abc.handle nodes.(3) ~src m in

@@ -27,7 +27,7 @@ let run_pbft ~seed ~policy ~crashed ~submissions ?(n = 4) ?(f = 1)
      Sim.run sim ~max_steps
        ~until:(fun () ->
          List.for_all (fun i -> List.length logs.(i) >= expected) honest)
-   with Sim.Out_of_steps -> ());
+   with Sim.Out_of_steps _ -> ());
   (Array.map List.rev logs, honest, nodes)
 
 let check_prefix_consistent logs honest =
@@ -121,7 +121,7 @@ let tests =
                in
                Sim.set_policy sim (Sim.Delay_victims victims);
                Array.exists (fun l -> l <> []) logs)
-         with Sim.Out_of_steps -> ());
+         with Sim.Out_of_steps _ -> ());
         (* Liveness lost: nothing delivered within the budget, the
            request still pending... *)
         Array.iter
@@ -147,7 +147,7 @@ let tests =
         let logs = Array.make 4 [] in
         let nodes =
           Stack.deploy_abc ~sim ~keyring:kr ~tag:"abc-adv"
-            ~deliver:(fun me payload -> logs.(me) <- payload :: logs.(me))
+            ~deliver:(fun me payload -> logs.(me) <- payload :: logs.(me)) ()
         in
         Abc.broadcast nodes.(1) "must-go-through";
         Sim.run sim ~until:(fun () -> Array.for_all (fun l -> l <> []) logs);

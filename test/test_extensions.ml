@@ -174,7 +174,7 @@ let hybrid_tests =
             let nodes =
               Stack.deploy_abc ~sim ~keyring:kr
                 ~tag:(Printf.sprintf "hyb-%d" seed)
-                ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+                ~deliver:(fun me p -> logs.(me) <- p :: logs.(me)) ()
             in
             Sim.crash sim 5;
             (* server 4 is Byzantine: it spams junk round proposals *)

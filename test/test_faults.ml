@@ -1,0 +1,462 @@
+(* Fault-injection subsystem: chaos policies (drop / duplication /
+   reorder / partition schedules), the unified drop paths, the
+   diagnostic Out_of_steps payload, the Byzantine behaviour library, the
+   safety/liveness oracles, and the seed-sweep campaign regression
+   (50 seeds per chaos policy with a maximal corrupted set, for both
+   ABBA and ABC). *)
+
+module AS = Adversary_structure
+
+let drop_only rate = { Sim.no_fault with Sim.drop = rate }
+
+let with_chaos ?(policy = Sim.Fifo) ~n ~seed chaos =
+  let sim = Sim.create ~policy ~n ~seed () in
+  Sim.set_chaos sim (Some chaos);
+  sim
+
+(* Install counting sinks on every server slot. *)
+let sinks sim n =
+  let received = Array.make n [] in
+  for p = 0 to n - 1 do
+    Sim.set_handler sim p (fun ~src m -> received.(p) <- (src, m) :: received.(p))
+  done;
+  received
+
+(* ---------------- chaos: link faults --------------------------------- *)
+
+let chaos_tests =
+  [ Alcotest.test_case "set_chaos validates rates and windows" `Quick
+      (fun () ->
+        let sim : unit Sim.t = Sim.create ~n:2 ~seed:1 () in
+        let bad rate =
+          Alcotest.check_raises "rate"
+            (Invalid_argument
+               (Printf.sprintf "Sim.set_chaos: drop rate %g not in [0,1]" rate))
+            (fun () ->
+              Sim.set_chaos sim
+                (Some
+                   { Sim.benign_chaos with
+                     Sim.default_link = drop_only rate }))
+        in
+        bad 1.5;
+        bad (-0.25);
+        Alcotest.check_raises "empty window"
+          (Invalid_argument "Sim.set_chaos: empty partition window")
+          (fun () ->
+            Sim.set_chaos sim
+              (Some
+                 { Sim.benign_chaos with
+                   Sim.partitions =
+                     [ { Sim.from_t = 10.0; until_t = 10.0; cells = [] } ] }));
+        (* benign spec installs and clears fine *)
+        Sim.set_chaos sim (Some Sim.benign_chaos);
+        Sim.set_chaos sim None);
+    Alcotest.test_case "per-link drop=1 loses exactly that link" `Quick
+      (fun () ->
+        let sim =
+          with_chaos ~n:2 ~seed:7
+            { Sim.benign_chaos with
+              Sim.links = [ ((0, 1), drop_only 1.0) ] }
+        in
+        let received = sinks sim 2 in
+        for k = 0 to 4 do
+          Sim.send sim ~src:0 ~dst:1 k;
+          Sim.send sim ~src:1 ~dst:0 (100 + k)
+        done;
+        Sim.run sim;
+        let m = Sim.metrics sim in
+        Alcotest.(check int) "0->1 all lost" 0 (List.length received.(1));
+        Alcotest.(check int) "1->0 all delivered" 5 (List.length received.(0));
+        Alcotest.(check int) "chaos drops" 5 m.Metrics.chaos_drops;
+        Alcotest.(check int) "total drops" 5 m.Metrics.drops);
+    Alcotest.test_case "duplicate=1 delivers every message exactly twice"
+      `Quick (fun () ->
+        let sim =
+          with_chaos ~n:2 ~seed:11
+            { Sim.benign_chaos with
+              Sim.default_link = { Sim.no_fault with Sim.duplicate = 1.0 } }
+        in
+        let received = sinks sim 2 in
+        for k = 0 to 3 do
+          Sim.send sim ~src:0 ~dst:1 k
+        done;
+        Sim.run sim;
+        let m = Sim.metrics sim in
+        Alcotest.(check int) "twice each" 8 (List.length received.(1));
+        Alcotest.(check int) "chaos dups" 4 m.Metrics.chaos_dups;
+        List.iter
+          (fun k ->
+            Alcotest.(check int)
+              (Printf.sprintf "copies of %d" k)
+              2
+              (List.length
+                 (List.filter (fun (_, m) -> m = k) received.(1))))
+          [ 0; 1; 2; 3 ]);
+    Alcotest.test_case "reorder defers but still delivers everything" `Quick
+      (fun () ->
+        let sim =
+          with_chaos ~n:2 ~seed:13
+            { Sim.benign_chaos with
+              Sim.default_link = { Sim.no_fault with Sim.reorder = 0.5 } }
+        in
+        let received = sinks sim 2 in
+        for k = 0 to 19 do
+          Sim.send sim ~src:0 ~dst:1 k
+        done;
+        Sim.run sim;
+        let m = Sim.metrics sim in
+        Alcotest.(check int) "all delivered" 20 (List.length received.(1));
+        Alcotest.(check bool) "some reorders happened" true
+          (m.Metrics.chaos_reorders > 0);
+        Alcotest.(check int) "no drops" 0 m.Metrics.drops);
+    Alcotest.test_case "chaos runs are seed-deterministic" `Quick (fun () ->
+        let run () =
+          let sim =
+            with_chaos ~policy:Sim.Random_order ~n:4 ~seed:23
+              { Sim.benign_chaos with
+                Sim.default_link =
+                  { Sim.drop = 0.2; duplicate = 0.3; reorder = 0.3 } }
+          in
+          Sim.enable_trace sim ~summarize:string_of_int;
+          let received = sinks sim 4 in
+          for src = 0 to 3 do
+            for k = 0 to 9 do
+              Sim.broadcast sim ~src ((10 * src) + k)
+            done
+          done;
+          Sim.run sim;
+          let m = Sim.metrics sim in
+          ( Array.map (fun l -> List.rev l) received,
+            Sim.clock sim,
+            ( m.Metrics.deliveries,
+              m.Metrics.chaos_drops,
+              m.Metrics.chaos_dups,
+              m.Metrics.chaos_reorders ),
+            List.length (Sim.trace sim) )
+        in
+        let r1 = run () and r2 = run () in
+        Alcotest.(check bool) "identical outcomes" true (r1 = r2)) ]
+
+(* ---------------- chaos: partitions ---------------------------------- *)
+
+let partition_tests =
+  [ Alcotest.test_case "cross-cell traffic waits for the heal" `Quick
+      (fun () ->
+        let sim =
+          with_chaos ~n:4 ~seed:3
+            { Sim.benign_chaos with
+              Sim.partitions =
+                [ { Sim.from_t = 0.0;
+                    until_t = 500.0;
+                    cells = [ Pset.of_list [ 0; 1 ]; Pset.of_list [ 2; 3 ] ]
+                  } ] }
+        in
+        Sim.enable_trace sim ~summarize:string_of_int;
+        let received = sinks sim 4 in
+        Sim.send sim ~src:0 ~dst:1 1;
+        Sim.send sim ~src:0 ~dst:2 2;
+        Sim.send sim ~src:3 ~dst:2 3;
+        Sim.run sim;
+        Alcotest.(check int) "everything delivered" 3
+          (Array.fold_left (fun a l -> a + List.length l) 0 received);
+        List.iter
+          (fun ev ->
+            match ev with
+            | Sim.Delivered { at; src; dst; _ } ->
+              let cell p = if p < 2 then 0 else 1 in
+              if cell src <> cell dst then
+                Alcotest.(check bool)
+                  (Printf.sprintf "%d->%d delivered after heal" src dst)
+                  true (at >= 500.0)
+              else
+                Alcotest.(check bool)
+                  (Printf.sprintf "%d->%d delivered during window" src dst)
+                  true (at < 500.0)
+            | _ -> ())
+          (Sim.trace sim));
+    Alcotest.test_case "expired and pending windows do not block" `Quick
+      (fun () ->
+        let sim =
+          with_chaos ~n:2 ~seed:5
+            { Sim.benign_chaos with
+              Sim.partitions =
+                [ { Sim.from_t = 1.0e6;
+                    until_t = 2.0e6;
+                    cells = [ Pset.singleton 0; Pset.singleton 1 ] } ] }
+        in
+        let received = sinks sim 2 in
+        Sim.send sim ~src:0 ~dst:1 42;
+        Sim.run sim;
+        Alcotest.(check int) "delivered before the window opens" 1
+          (List.length received.(1));
+        Alcotest.(check bool) "well before" true (Sim.clock sim < 1.0e6)) ]
+
+(* ---------------- drop-path unification & diagnostics ---------------- *)
+
+let drop_path_tests =
+  [ Alcotest.test_case "all three drop reasons reach trace and metrics"
+      `Quick (fun () ->
+        let sim =
+          with_chaos ~n:3 ~seed:17
+            { Sim.benign_chaos with
+              Sim.links = [ ((0, 1), drop_only 1.0) ] }
+        in
+        Sim.enable_trace sim ~summarize:string_of_int;
+        (* party 2 gets no handler; party 1 handled but crashed later *)
+        Sim.set_handler sim 0 (fun ~src:_ _ -> ());
+        Sim.set_handler sim 1 (fun ~src:_ _ -> ());
+        Sim.send sim ~src:0 ~dst:1 1 (* chaos *);
+        Sim.send sim ~src:0 ~dst:2 2 (* no handler *);
+        Sim.crash sim 1;
+        Sim.send sim ~src:2 ~dst:1 3 (* crashed *);
+        Sim.run sim;
+        let reasons =
+          List.filter_map
+            (function
+              | Sim.Dropped { reason; _ } -> Some (Sim.drop_reason_label reason)
+              | _ -> None)
+            (Sim.trace sim)
+          |> List.sort compare
+        in
+        Alcotest.(check (list string)) "reasons"
+          [ "chaos"; "crashed"; "no-handler" ]
+          reasons;
+        let m = Sim.metrics sim in
+        Alcotest.(check int) "drops" 3 m.Metrics.drops;
+        Alcotest.(check int) "chaos share" 1 m.Metrics.chaos_drops);
+    Alcotest.test_case "Out_of_steps carries stall diagnostics" `Quick
+      (fun () ->
+        let sim : int Sim.t = Sim.create ~n:2 ~seed:19 () in
+        (* ping-pong forever so the step bound must trip *)
+        Sim.set_handler sim 0 (fun ~src:_ m -> Sim.send sim ~src:0 ~dst:1 m);
+        Sim.set_handler sim 1 (fun ~src:_ m -> Sim.send sim ~src:1 ~dst:0 m);
+        Sim.set_timer sim 0 ~delay:1.0e12 (fun () -> ());
+        Sim.send sim ~src:0 ~dst:1 0;
+        (try
+           Sim.run ~max_steps:50 sim;
+           Alcotest.fail "expected Out_of_steps"
+         with Sim.Out_of_steps { at_clock; pending; timers } ->
+           Alcotest.(check bool) "clock advanced" true (at_clock > 0.0);
+           Alcotest.(check int) "one message in flight" 1 pending;
+           Alcotest.(check int) "unfired timer counted" 1 timers)) ]
+
+(* ---------------- oracles -------------------------------------------- *)
+
+let oracle_tests =
+  let honest = Pset.of_list [ 0; 1; 2 ] in
+  [ Alcotest.test_case "agreement flags honest divergence only" `Quick
+      (fun () ->
+        let ok =
+          Oracle.agreement ~honest ~show:string_of_int
+            [| Some 1; Some 1; None; Some 9 |]
+        in
+        Alcotest.(check int) "corrupted slot ignored" 0 (List.length ok);
+        let bad =
+          Oracle.agreement ~honest ~show:string_of_int
+            [| Some 1; Some 2; Some 1; None |]
+        in
+        Alcotest.(check int) "one divergence" 1 (Oracle.count_safety bad);
+        match bad with
+        | [ v ] ->
+          Alcotest.(check bool) "safety" true (v.Oracle.severity = Oracle.Safety);
+          Alcotest.(check (option int)) "offender" (Some 1) v.Oracle.party
+        | _ -> Alcotest.fail "expected exactly one violation");
+    Alcotest.test_case "abba validity binds unanimous honest proposals"
+      `Quick (fun () ->
+        let proposals = [| true; true; true; false |] in
+        Alcotest.(check int) "clean" 0
+          (List.length
+             (Oracle.abba_validity ~honest ~proposals
+                [| Some true; Some true; Some true; Some false |]));
+        Alcotest.(check int) "invalid decision" 1
+          (List.length
+             (Oracle.abba_validity ~honest ~proposals
+                [| Some true; Some false; Some true; None |]));
+        (* mixed honest proposals: nothing to enforce *)
+        Alcotest.(check int) "mixed proposals" 0
+          (List.length
+             (Oracle.abba_validity ~honest ~proposals:[| true; false; true; true |]
+                [| Some false; Some false; Some false; None |])));
+    Alcotest.test_case "total order: prefixes fine, divergence flagged"
+      `Quick (fun () ->
+        Alcotest.(check int) "prefix ok" 0
+          (List.length
+             (Oracle.total_order ~honest
+                [| [ "a"; "b" ]; [ "a" ]; [ "a"; "b"; "c" ]; [ "z" ] |]));
+        let bad =
+          Oracle.total_order ~honest
+            [| [ "a"; "b" ]; [ "b"; "a" ]; [ "a"; "b" ]; [] |]
+        in
+        Alcotest.(check bool) "divergence is safety" true
+          (Oracle.count_safety bad > 0);
+        let dup = Oracle.total_order ~honest [| [ "a"; "a" ]; []; []; [] |] in
+        Alcotest.(check int) "duplicate delivery" 1 (Oracle.count_safety dup));
+    Alcotest.test_case "liveness class is separate from safety" `Quick
+      (fun () ->
+        let vs =
+          Oracle.all_decided ~honest [| Some 1; None; Some 1; None |]
+          @ Oracle.totality ~honest ~expected:2 [| 2; 1; 2; 0 |]
+        in
+        Alcotest.(check int) "liveness" 2 (Oracle.count_liveness vs);
+        Alcotest.(check int) "no safety" 0 (Oracle.count_safety vs)) ]
+
+(* ---------------- byzantine behaviours ------------------------------- *)
+
+let byzantine_tests =
+  let structure = AS.threshold ~n:4 ~t:1 in
+  let keyring = Keyring.deal ~rsa_bits:192 ~seed:42 structure in
+  let abba_run ~seed behavior =
+    let sim = Sim.create ~policy:Sim.Random_order ~n:4 ~seed () in
+    let decisions = Array.make 4 None in
+    let wrap =
+      Byzantine.wrap_of ~sim ~keyring ~seed ~set:(Pset.singleton 3) behavior
+    in
+    let nodes =
+      Stack.deploy_abba ~wrap ~sim ~keyring ~tag:"byz-test"
+        ~on_decide:(fun p b -> decisions.(p) <- Some b)
+        ()
+    in
+    for p = 0 to 2 do
+      Abba.propose nodes.(p) true
+    done;
+    Sim.run sim
+      ~until:(fun () ->
+        Array.for_all Option.is_some (Array.sub decisions 0 3));
+    decisions
+  in
+  [ Alcotest.test_case "silent party cannot block or corrupt ABBA" `Quick
+      (fun () ->
+        let d = abba_run ~seed:1 Byzantine.silent in
+        for p = 0 to 2 do
+          Alcotest.(check (option bool))
+            (Printf.sprintf "party %d" p)
+            (Some true) d.(p)
+        done);
+    Alcotest.test_case "crash_at fires and the rest still decide" `Quick
+      (fun () ->
+        let d = abba_run ~seed:2 (Byzantine.crash_at 120.0) in
+        Alcotest.(check int) "honest all decide true" 3
+          (Array.length
+             (Array.sub d 0 3 |> Array.to_seq
+             |> Seq.filter (( = ) (Some true))
+             |> Array.of_seq)));
+    Alcotest.test_case
+      "equivocating supports + forged coin shares are survived" `Quick
+      (fun () ->
+        let d =
+          abba_run ~seed:3 (Byzantine.For_abba.byzantine ~tag:"byz-test" ())
+        in
+        let honest = Pset.of_list [ 0; 1; 2 ] in
+        let proposals = [| true; true; true; true |] in
+        Alcotest.(check int) "oracles clean" 0
+          (List.length (Oracle.check_abba ~honest ~proposals d)));
+    Alcotest.test_case "abc equivocator/replayer cannot fork the order"
+      `Quick (fun () ->
+        let sim = Sim.create ~policy:Sim.Random_order ~n:4 ~seed:4 () in
+        let logs = Array.make 4 [] in
+        let wrap =
+          Byzantine.wrap_of ~sim ~keyring ~seed:4 ~set:(Pset.singleton 3)
+            (Byzantine.For_abc.byzantine ~tag:"byz-abc" ())
+        in
+        let nodes =
+          Stack.deploy_abc ~wrap ~sim ~keyring ~tag:"byz-abc"
+            ~deliver:(fun p payload -> logs.(p) <- payload :: logs.(p))
+            ()
+        in
+        Abc.broadcast nodes.(0) "one";
+        Abc.broadcast nodes.(1) "two";
+        let honest = Pset.of_list [ 0; 1; 2 ] in
+        Sim.run sim
+          ~until:(fun () ->
+            Pset.for_all (fun p -> List.length logs.(p) >= 2) honest);
+        let ordered = Array.map List.rev logs in
+        (* A corrupted party may legitimately inject its own (validly
+           signed) payloads; what must survive is the total order and
+           delivery of the honest payloads — exactly what the oracles
+           check. *)
+        Alcotest.(check int) "oracles clean" 0
+          (List.length (Oracle.check_abc ~honest ~expected:2 ordered));
+        Pset.iter
+          (fun p ->
+            List.iter
+              (fun payload ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "honest payload %s ordered at %d" payload p)
+                  true
+                  (List.mem payload ordered.(p)))
+              [ "one"; "two" ])
+          honest) ]
+
+(* ---------------- campaign regression sweep -------------------------- *)
+
+let campaign_tests =
+  [ Alcotest.test_case
+      "50-seed sweep: drop/dup-reorder/partition, maximal corrupted set"
+      `Slow (fun () ->
+        (* Acceptance regression: both protocols, all three chaos
+           policies, a maximal corrupted set per run (rotating through
+           the structure's maximal sets), 50 seeds.  Safety must hold
+           everywhere; liveness wherever channels are reliable. *)
+        let cfg =
+          Campaign.default_config ~seeds:50
+            ~mixes:[ { Campaign.m_name = "silent"; m_kind = Campaign.Silent } ]
+            ()
+        in
+        let rep = Campaign.run cfg in
+        Alcotest.(check int) "runs" 300 (List.length rep.Campaign.results);
+        List.iter
+          (fun (r : Campaign.run_result) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "corrupted set is maximal (seed %d)" r.Campaign.r_seed)
+              true
+              (Pset.card r.Campaign.r_corrupted = 1))
+          rep.Campaign.results;
+        Alcotest.(check int) "zero safety violations" 0
+          (Campaign.safety_count rep);
+        Alcotest.(check int) "zero liveness violations under reliable policies"
+          0
+          (Campaign.gating_liveness_count rep));
+    Alcotest.test_case "report round-trips and validates" `Quick (fun () ->
+        let cfg =
+          Campaign.default_config ~seeds:2
+            ~protocols:[ Campaign.P_abba ]
+            ~mixes:[ { Campaign.m_name = "silent"; m_kind = Campaign.Silent } ]
+            ()
+        in
+        let rep = Campaign.run cfg in
+        let doc = Campaign.to_json ~id:"test" ~wall:0.1 rep in
+        (match Obs_json.of_string (Obs_json.to_string doc) with
+        | Error e -> Alcotest.failf "round-trip parse: %s" e
+        | Ok doc' ->
+          (match Campaign.validate_json doc' with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "validate: %s" e));
+        (* decide-time histogram accumulated under layer "faults" *)
+        let snap = Obs.snapshot rep.Campaign.obs in
+        match
+          Obs_registry.find snap
+            ~labels:[ ("layer", "faults"); ("protocol", "abba") ]
+            "decide_time"
+        with
+        | Some (Obs_registry.Vhistogram h) ->
+          Alcotest.(check bool) "observed once per decided run" true
+            (Obs_histogram.count h > 0)
+        | _ -> Alcotest.fail "missing decide_time histogram");
+    Alcotest.test_case "validator rejects wrong shapes" `Quick (fun () ->
+        let check_bad doc =
+          Alcotest.(check bool) "rejected" true
+            (Result.is_error (Campaign.validate_json doc))
+        in
+        check_bad (Obs_json.Obj []);
+        check_bad (Obs_json.Obj [ ("schema", Obs_json.Str "sintra-bench/1") ]);
+        check_bad
+          (Obs_json.Obj
+             [ ("schema", Obs_json.Str "sintra-faults/1");
+               ("experiment", Obs_json.Str "x");
+               ("wall_time_s", Obs_json.Float 0.0);
+               ("runs", Obs_json.Int (-3)) ])) ]
+
+let suite =
+  ( "faults",
+    chaos_tests @ partition_tests @ drop_path_tests @ oracle_tests
+    @ byzantine_tests @ campaign_tests )

@@ -35,7 +35,7 @@ let fuzz_tests =
         let outputs = Array.make 4 None in
         let nodes =
           Stack.deploy_rbc ~sim ~keyring:kr ~sender:0 ~deliver:(fun me p ->
-              outputs.(me) <- Some p)
+              outputs.(me) <- Some p) ()
         in
         (* party 3 is corrupted: on every delivery it injects 1-3 random
            messages to random destinations *)
@@ -45,7 +45,7 @@ let fuzz_tests =
               Sim.send sim ~src:3 ~dst:(Prng.int rng 4) (fuzz_rbc_msg rng)
             done);
         Rbc.broadcast nodes.(0) "hello world";
-        (try Sim.run sim ~max_steps:200_000 with Sim.Out_of_steps -> ());
+        (try Sim.run sim ~max_steps:200_000 with Sim.Out_of_steps _ -> ());
         (* consistency: honest deliveries agree (validity may fail only if
            the fuzzer got lucky against a *corrupted* sender — here the
            sender is honest, so everyone must deliver its payload) *)
@@ -79,7 +79,7 @@ let fuzz_tests =
         Sim.send sim ~src:0 ~dst:1 (Cbc.Send "x");
         Sim.send sim ~src:0 ~dst:2 (Cbc.Send "x");
         Sim.send sim ~src:0 ~dst:3 (Cbc.Send "y");
-        (try Sim.run sim ~max_steps:200_000 with Sim.Out_of_steps -> ());
+        (try Sim.run sim ~max_steps:200_000 with Sim.Out_of_steps _ -> ());
         (* uniqueness: all honest deliveries (if any) agree *)
         let delivered = List.filter_map (fun i -> outputs.(i)) [ 1; 2; 3 ] in
         (match delivered with
@@ -94,7 +94,7 @@ let fuzz_tests =
         let tag = Printf.sprintf "fuzz-%d" seed in
         let nodes =
           Stack.deploy_abba ~sim ~keyring:kr ~tag
-            ~on_decide:(fun me b -> decisions.(me) <- Some b)
+            ~on_decide:(fun me b -> decisions.(me) <- Some b) ()
         in
         let rng = Prng.create ~seed:(seed lxor 0x3C3C) in
         (* corrupted party 3 plays honest-but-also-noisy: it runs the
@@ -119,7 +119,7 @@ let fuzz_tests =
             end;
             honest ~src m);
         Array.iteri (fun i node -> Abba.propose node (i mod 2 = 0)) nodes;
-        (try Sim.run sim ~max_steps:400_000 with Sim.Out_of_steps -> ());
+        (try Sim.run sim ~max_steps:400_000 with Sim.Out_of_steps _ -> ());
         (* agreement among honest deciders; and all honest decide *)
         let ds = List.filter_map (fun i -> decisions.(i)) [ 0; 1; 2 ] in
         List.length ds = 3

@@ -134,7 +134,7 @@ let compressed_tests =
         let logs = Array.make 4 [] in
         let nodes =
           Stack.deploy_abc ~sim ~keyring:kr ~tag:"compressed"
-            ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+            ~deliver:(fun me p -> logs.(me) <- p :: logs.(me)) ()
         in
         Abc.broadcast nodes.(0) "compact-1";
         Abc.broadcast nodes.(2) "compact-2";
@@ -191,7 +191,7 @@ let property_tests =
         let logs = Array.make 4 [] in
         let nodes =
           Stack.deploy_abc ~sim ~keyring:kr ~tag:(Printf.sprintf "prop-%d" seed)
-            ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+            ~deliver:(fun me p -> logs.(me) <- p :: logs.(me)) ()
         in
         let crashed = if crash_choice < 4 then Some crash_choice else None in
         (match crashed with Some c -> Sim.crash sim c | None -> ());
@@ -205,7 +205,7 @@ let property_tests =
            Sim.run sim ~max_steps:600_000
              ~until:(fun () ->
                List.for_all (fun i -> List.length logs.(i) >= 3) honest)
-         with Sim.Out_of_steps -> ());
+         with Sim.Out_of_steps _ -> ());
         let ok_delivery =
           List.for_all (fun i -> List.length logs.(i) = 3) honest
         in
@@ -232,7 +232,7 @@ let property_tests =
         let nodes =
           Stack.deploy_abba ~sim ~keyring:kr
             ~tag:(Printf.sprintf "mx-%d" seed)
-            ~on_decide:(fun me b -> decisions.(me) <- Some b)
+            ~on_decide:(fun me b -> decisions.(me) <- Some b) ()
         in
         (* crash one whole class (a corruptible set) at random *)
         let classes = Canonical_structures.example1_classes in
@@ -242,7 +242,7 @@ let property_tests =
           (fun i node ->
             if not (List.mem i victim) then Abba.propose node (i mod 2 = 0))
           nodes;
-        (try Sim.run sim ~max_steps:600_000 with Sim.Out_of_steps -> ());
+        (try Sim.run sim ~max_steps:600_000 with Sim.Out_of_steps _ -> ());
         let honest = List.filter (fun i -> not (List.mem i victim)) (List.init 9 Fun.id) in
         let ds = List.filter_map (fun i -> decisions.(i)) honest in
         List.length ds = List.length honest

@@ -190,7 +190,7 @@ let trace_tests =
         let delivered = ref 0 in
         let nodes =
           Stack.deploy_rbc ~sim ~keyring:kr ~sender:0
-            ~deliver:(fun _ _ -> incr delivered)
+            ~deliver:(fun _ _ -> incr delivered) ()
         in
         Rbc.broadcast nodes.(0) "hello";
         Sim.run sim;
@@ -218,7 +218,7 @@ let attribution_tests =
         let logs = Array.make 4 [] in
         let nodes =
           Stack.deploy_abc ~sim ~keyring:kr ~tag:"obs-test"
-            ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+            ~deliver:(fun me p -> logs.(me) <- p :: logs.(me)) ()
         in
         Abc.broadcast nodes.(0) "payload";
         Sim.run sim ~until:(fun () -> Array.for_all (fun l -> l <> []) logs);

@@ -73,7 +73,7 @@ let tests =
           let logs = Array.make 4 [] in
           let nodes =
             Stack.deploy_abc ~sim ~keyring ~tag:"cmp"
-              ~deliver:(fun me p -> logs.(me) <- p :: logs.(me))
+              ~deliver:(fun me p -> logs.(me) <- p :: logs.(me)) ()
           in
           Abc.broadcast nodes.(1) "payload";
           Sim.run sim

@@ -33,7 +33,7 @@ let run_rbc ~seed ~policy ~crashed () =
   let outputs = Array.make 4 None in
   let nodes =
     Stack.deploy_rbc ~sim ~keyring:kr ~sender:0 ~deliver:(fun me payload ->
-        outputs.(me) <- Some payload)
+        outputs.(me) <- Some payload) ()
   in
   List.iter (Sim.crash sim) crashed;
   Rbc.broadcast nodes.(0) "hello world";
@@ -63,7 +63,7 @@ let rbc_tests =
         let outputs = Array.make 4 None in
         let _nodes =
           Stack.deploy_rbc ~sim ~keyring:kr ~sender:0 ~deliver:(fun me payload ->
-              outputs.(me) <- Some payload)
+              outputs.(me) <- Some payload) ()
         in
         Sim.crash sim 0;
         Sim.run sim;
@@ -82,7 +82,7 @@ let rbc_tests =
             let outputs = Array.make 4 None in
             let nodes =
               Stack.deploy_rbc ~sim ~keyring:kr ~sender:0
-                ~deliver:(fun me payload -> outputs.(me) <- Some payload)
+                ~deliver:(fun me payload -> outputs.(me) <- Some payload) ()
             in
             ignore nodes;
             (* replace sender with raw injections *)
@@ -109,7 +109,7 @@ let rbc_tests =
         let outputs = Array.make 9 None in
         let nodes =
           Stack.deploy_rbc ~sim ~keyring:kr ~sender:4 ~deliver:(fun me payload ->
-              outputs.(me) <- Some payload)
+              outputs.(me) <- Some payload) ()
         in
         (* crash the whole of class a (a corruptible set) *)
         List.iter (Sim.crash sim) [ 0; 1; 2; 3 ];
@@ -216,7 +216,7 @@ let run_abba ~structure ~variant ~seed ~policy ~inputs ~crashed ?byzantine ()
   let decisions = Array.make n None in
   let nodes =
     Stack.deploy_abba ~sim ~keyring:kr ~tag:(Printf.sprintf "abba-%d" seed)
-      ~on_decide:(fun me b -> decisions.(me) <- Some b)
+      ~on_decide:(fun me b -> decisions.(me) <- Some b) ()
   in
   List.iter (Sim.crash sim) crashed;
   (match byzantine with
@@ -305,7 +305,7 @@ let abba_tests =
             let nodes =
               Stack.deploy_abba ~sim ~keyring:kr
                 ~tag:(Printf.sprintf "abba-%d" seed)
-                ~on_decide:(fun me b -> decisions.(me) <- Some b)
+                ~on_decide:(fun me b -> decisions.(me) <- Some b) ()
             in
             Sim.set_handler sim 3 (spam sim);
             Array.iteri
@@ -429,7 +429,7 @@ let run_abc ~seed ~policy ~crashed ~submissions ?(n = 4)
   let logs = Array.make n [] in
   let nodes =
     Stack.deploy_abc ~sim ~keyring:kr ~tag:(Printf.sprintf "abc-%d" seed)
-      ~deliver:(fun me payload -> logs.(me) <- payload :: logs.(me))
+      ~deliver:(fun me payload -> logs.(me) <- payload :: logs.(me)) ()
   in
   List.iter (Sim.crash sim) crashed;
   List.iter
@@ -442,7 +442,7 @@ let run_abc ~seed ~policy ~crashed ~submissions ?(n = 4)
      Sim.run sim
        ~until:(fun () ->
          List.for_all (fun i -> List.length logs.(i) >= expected) honest)
-   with Sim.Out_of_steps -> ());
+   with Sim.Out_of_steps _ -> ());
   (Array.map List.rev logs, honest)
 
 let check_total_order logs honest =
@@ -520,7 +520,7 @@ let scabc_tests =
         let nodes =
           Stack.deploy_scabc ~sim ~keyring:kr ~tag:"scabc-1"
             ~deliver:(fun me ~label payload ->
-              logs.(me) <- (label, payload) :: logs.(me))
+              logs.(me) <- (label, payload) :: logs.(me)) ()
         in
         let rng = Prng.create ~seed:77 in
         let ct1 = Scabc.encrypt_request kr rng ~label:"alice" "patent: flying car" in
@@ -546,7 +546,7 @@ let scabc_tests =
         let logs = Array.make 4 [] in
         let nodes =
           Stack.deploy_scabc ~sim ~keyring:kr ~tag:"scabc-2"
-            ~deliver:(fun me ~label:_ payload -> logs.(me) <- payload :: logs.(me))
+            ~deliver:(fun me ~label:_ payload -> logs.(me) <- payload :: logs.(me)) ()
         in
         let rng = Prng.create ~seed:78 in
         let good = Scabc.encrypt_request kr rng ~label:"c" "legit" in
