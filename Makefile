@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test fmt fmt-check bench bench-num bench-check bench-smoke perf-diff faults faults-smoke clean
+.PHONY: all build test fmt fmt-check bench bench-num bench-check bench-smoke perf-diff faults faults-smoke tput tput-smoke check clean
 
 all: build
 
@@ -57,6 +57,23 @@ faults:
 faults-smoke:
 	$(DUNE) exec bin/sintra_cli.exe -- faults --quick --out SMOKE
 	$(DUNE) exec bin/sintra_cli.exe -- bench-check FAULTS_SMOKE.json
+
+# Throughput sweep: batching x pipelining on the R2 config (n=4, t=1);
+# writes BENCH_TPUT.json (payloads/round, bytes/round, decided payloads
+# per 1k sim steps, per-policy progress curves), then validates the
+# tput-specific invariants (non-zero rounds, monotone delivered counts).
+tput:
+	$(DUNE) exec bench/main.exe -- TPUT
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_TPUT.json
+
+# CI-sized throughput sweep (24 payloads instead of 64) plus the same
+# schema and invariant checks.
+tput-smoke:
+	$(DUNE) exec bench/main.exe -- --small TPUT
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_TPUT.json
+
+# Aggregate CI gate: build, unit/property tests, and every smoke sweep.
+check: build test bench-smoke faults-smoke tput-smoke
 
 clean:
 	$(DUNE) clean

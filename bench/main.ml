@@ -953,10 +953,147 @@ let c2 () =
     \ bit length, which is why tests and benches default to 128-bit toy\n\
     \ groups -- all algorithms are size-agnostic)"
 
+
+(* ------------------------------------------------------------------ *)
+(* TPUT: payload batching x pipelined agreement throughput sweep       *)
+(* ------------------------------------------------------------------ *)
+
+type tput_run = {
+  tp_delivered : int;
+  tp_rounds : int;
+  tp_steps : int;
+  tp_messages : int;
+  tp_bytes : int;
+  tp_progress : (int * int) list;
+      (* (sim steps so far, cumulative payloads delivered at party 0) *)
+  tp_ok : bool;
+}
+
+let run_tput ~structure ~seed ~payloads ~(abc_policy : Abc.policy) () :
+    tput_run =
+  let kr = keyring structure in
+  let n = AS.n structure in
+  let sim =
+    Sim.create ~policy:Sim.Random_order ~size:(Abc.msg_size kr)
+      ~obs:(Bench_out.obs ()) ~n ~seed ()
+  in
+  let logs = Array.make n [] in
+  let progress = ref [] in
+  let sim_ref = ref None in
+  let nodes =
+    Stack.deploy_abc ~policy:abc_policy ~sim ~keyring:kr
+      ~tag:(Printf.sprintf "tput-%d" seed)
+      ~deliver:(fun me p ->
+        logs.(me) <- p :: logs.(me);
+        if me = 0 then
+          match !sim_ref with
+          | Some s -> progress := (Sim.steps s, List.length logs.(0)) :: !progress
+          | None -> ())
+      ()
+  in
+  sim_ref := Some sim;
+  List.iteri (fun i p -> Abc.broadcast nodes.(i mod n) p) payloads;
+  let want = List.length (List.sort_uniq compare payloads) in
+  let all = List.init n Fun.id in
+  let tp_ok =
+    try
+      Sim.run sim ~max_steps:2_000_000
+        ~until:(fun () ->
+          List.for_all (fun i -> List.length logs.(i) >= want) all);
+      List.for_all (fun i -> List.length logs.(i) >= want) all
+    with Sim.Out_of_steps _ -> false
+  in
+  let m = Sim.metrics sim in
+  { tp_delivered = List.length logs.(0);
+    tp_rounds =
+      List.fold_left (fun acc i -> max acc (Abc.current_round nodes.(i))) 0 all;
+    tp_steps = Sim.steps sim;
+    tp_messages = m.Metrics.messages_sent;
+    tp_bytes = m.Metrics.bytes_sent;
+    tp_progress = List.rev !progress;
+    tp_ok }
+
+let tput () =
+  header "TPUT"
+    "Throughput: batching x pipelining on the R2 config (n=4, t=1)";
+  let structure = AS.threshold ~n:4 ~t:1 in
+  let payloads_n = if !small then 24 else 64 in
+  let payloads =
+    List.init payloads_n (fun i -> Printf.sprintf "tput-payload-%03d" i)
+  in
+  (* (max_batch_msgs, window); (1,1) is the seed-equivalent baseline
+     and (8,4) the headline configuration of the acceptance criterion. *)
+  let grid = [ (1, 1); (4, 1); (1, 4); (4, 2); (8, 4) ] in
+  Printf.printf "%-6s %-7s %-10s %-7s %-9s %-11s %-10s %-9s\n" "batch"
+    "window" "delivered" "rounds" "steps" "payl/round" "kB/round"
+    "dec/1k-st";
+  let results =
+    List.map
+      (fun (b, w) ->
+        let abc_policy =
+          { Abc.default_policy with max_batch_msgs = b; window = w }
+        in
+        let r = run_tput ~structure ~seed:4242 ~payloads ~abc_policy () in
+        let rounds = max 1 r.tp_rounds in
+        let payloads_per_round =
+          float_of_int r.tp_delivered /. float_of_int rounds
+        in
+        let bytes_per_round =
+          float_of_int r.tp_bytes /. float_of_int rounds
+        in
+        let decided_per_1k_steps =
+          1000.0 *. float_of_int r.tp_delivered
+          /. float_of_int (max 1 r.tp_steps)
+        in
+        Printf.printf "%-6d %-7d %-10d %-7d %-9d %-11.2f %-10.1f %-9.2f%s\n"
+          b w r.tp_delivered r.tp_rounds r.tp_steps payloads_per_round
+          (bytes_per_round /. 1024.0) decided_per_1k_steps
+          (if r.tp_ok then "" else "  [FAILED]");
+        let row =
+          Obs_json.Obj
+            [ ("batch", Obs_json.Int b);
+              ("window", Obs_json.Int w);
+              ("payloads", Obs_json.Int payloads_n);
+              ("delivered", Obs_json.Int r.tp_delivered);
+              ("rounds", Obs_json.Int r.tp_rounds);
+              ("steps", Obs_json.Int r.tp_steps);
+              ("messages", Obs_json.Int r.tp_messages);
+              ("bytes", Obs_json.Int r.tp_bytes);
+              ("payloads_per_round", Obs_json.Float payloads_per_round);
+              ("bytes_per_round", Obs_json.Float bytes_per_round);
+              ("decided_per_1k_steps", Obs_json.Float decided_per_1k_steps);
+              ("all_delivered", Obs_json.Bool r.tp_ok);
+              ( "progress",
+                Obs_json.Arr
+                  (List.map
+                     (fun (s, d) ->
+                       Obs_json.Arr [ Obs_json.Int s; Obs_json.Int d ])
+                     r.tp_progress) )
+            ]
+        in
+        ((b, w), decided_per_1k_steps, row))
+      grid
+  in
+  Bench_out.put "tput"
+    (Obs_json.Arr (List.map (fun (_, _, row) -> row) results));
+  let rate bw =
+    List.find_map
+      (fun (bw', rate, _) -> if bw' = bw then Some rate else None)
+      results
+  in
+  (match (rate (1, 1), rate (8, 4)) with
+  | Some base, Some best when base > 0.0 ->
+    let speedup = best /. base in
+    Printf.printf
+      "speedup (8,4) vs (1,1), decided payloads per 1k sim steps: %.2fx\n"
+      speedup;
+    Bench_out.put "speedup_decided_per_1k_steps" (Obs_json.Float speedup)
+  | _ -> ())
+
 let experiments =
   [ ("F1", f1); ("F2", f2); ("E1", e1); ("E2", e2); ("G1", g1); ("R1", r1); ("R2", r2); ("M1", m1);
     ("M2", m2); ("O1", o1); ("O2", o2); ("S1", s1); ("S2", s2); ("C1", c1);
-    ("C2", c2) ]
+    ("C2", c2); ("TPUT", tput) ]
 
 let () =
   let args =

@@ -160,11 +160,12 @@ let abc_cmd =
     (try
        Sim.run sim ~until:(fun () ->
            List.for_all (fun i -> List.length logs.(i) >= payloads) honest)
-     with Sim.Out_of_steps { at_clock; pending; timers } ->
+     with Sim.Out_of_steps { at_clock; pending; timers; detail } ->
        Printf.printf
          "!! out of steps at clock %.0f (%d pending, %d timers) — liveness \
           lost?\n"
-         at_clock pending timers);
+         at_clock pending timers;
+       if detail <> "" then Printf.printf "!! %s\n" detail);
     let m = Sim.metrics sim in
     (if trace then begin
        print_endline "trace (first 40 events):";
@@ -244,11 +245,12 @@ let trace_cmd =
     (try
        Sim.run sim ~until:(fun () ->
            Array.for_all (fun l -> List.length l >= payloads) logs)
-     with Sim.Out_of_steps { at_clock; pending; timers } ->
+     with Sim.Out_of_steps { at_clock; pending; timers; detail } ->
        Printf.eprintf
          "!! out of steps at clock %.0f (%d pending, %d timers) — liveness \
           lost?\n"
-         at_clock pending timers);
+         at_clock pending timers;
+       if detail <> "" then Printf.eprintf "!! %s\n" detail);
     if jsonl then print_string (Obs_trace.to_jsonl tr)
     else print_span_timeline ~limit tr
   in
@@ -307,14 +309,89 @@ let bench_check_cmd =
           Obs_crypto.all_kinds
       | None -> false
     in
-    match (str "experiment", num "wall_time_s", num "virtual_time_total",
-           counters) with
-    | Some id, Some wall, Some vt, Some cs
-      when wall >= 0.0 && List.for_all counter_ok cs && crypto_ok ->
-      Ok
-        (Printf.sprintf "%s: OK (%s: %d counters, virtual time %.0f)" path
-           id (List.length cs) vt)
-    | _ -> Error "missing or ill-typed required fields"
+    (* Throughput documents (BENCH_TPUT.json) additionally carry a
+       "tput" array of sweep rows; enforce the throughput-specific
+       invariants: non-zero rounds, delivered within bounds, and
+       monotone cumulative-delivery progress samples. *)
+    let tput_ok =
+      match Obs_json.member "tput" doc with
+      | None -> Ok 0
+      | Some rows ->
+        (match Obs_json.to_list rows with
+        | None -> Error "\"tput\" is not an array"
+        | Some [] -> Error "\"tput\" array is empty"
+        | Some rs ->
+          let row_err i row =
+            let int k = Option.bind (Obs_json.member k row) Obs_json.to_int in
+            match (int "rounds", int "delivered", int "payloads") with
+            | Some rounds, _, _ when rounds < 1 ->
+              Some
+                (Printf.sprintf "tput row %d: rounds = %d (must be >= 1)" i
+                   rounds)
+            | Some _, Some delivered, Some payloads
+              when delivered < 0 || delivered > payloads ->
+              Some
+                (Printf.sprintf "tput row %d: delivered %d outside [0, %d]" i
+                   delivered payloads)
+            | Some _, Some _, Some _ ->
+              (match
+                 Option.bind (Obs_json.member "progress" row) Obs_json.to_list
+               with
+              | None ->
+                Some (Printf.sprintf "tput row %d: missing \"progress\"" i)
+              | Some samples ->
+                let rec monotone last = function
+                  | [] -> None
+                  | s :: rest ->
+                    (match Option.bind (Obs_json.to_list s) (fun l ->
+                         match l with
+                         | [ steps; d ] ->
+                           (match
+                              (Obs_json.to_int steps, Obs_json.to_int d)
+                            with
+                           | Some _, Some d -> Some d
+                           | _ -> None)
+                         | _ -> None)
+                     with
+                    | Some d when d >= last -> monotone d rest
+                    | Some d ->
+                      Some
+                        (Printf.sprintf
+                           "tput row %d: delivered count drops %d -> %d" i
+                           last d)
+                    | None ->
+                      Some
+                        (Printf.sprintf
+                           "tput row %d: ill-typed progress sample" i))
+                in
+                monotone 0 samples)
+            | _ ->
+              Some
+                (Printf.sprintf
+                   "tput row %d: missing rounds/delivered/payloads" i)
+          in
+          let rec scan i = function
+            | [] -> Ok (List.length rs)
+            | r :: rest ->
+              (match row_err i r with
+              | None -> scan (i + 1) rest
+              | Some e -> Error e)
+          in
+          scan 0 rs)
+    in
+    match tput_ok with
+    | Error e -> Error e
+    | Ok tput_rows ->
+      (match (str "experiment", num "wall_time_s", num "virtual_time_total",
+              counters) with
+      | Some id, Some wall, Some vt, Some cs
+        when wall >= 0.0 && List.for_all counter_ok cs && crypto_ok ->
+        Ok
+          (Printf.sprintf "%s: OK (%s: %d counters, virtual time %.0f%s)" path
+             id (List.length cs) vt
+             (if tput_rows = 0 then ""
+              else Printf.sprintf ", %d tput rows" tput_rows))
+      | _ -> Error "missing or ill-typed required fields")
   in
   let check_faults path doc : (string, string) result =
     match Campaign.validate_json doc with

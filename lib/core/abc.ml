@@ -20,7 +20,44 @@
    honest party proposes the *globally smallest* (by digest) undelivered
    payload it knows.  Once a payload is known to the honest parties, it
    appears in every honest proposal, hence in at least one member of any
-   valid decided list, and is delivered within the next round. *)
+   valid decided list, and is delivered within the next round.
+
+   Batching and pipelining (the throughput layer): per-payload cost is
+   dominated by the per-round threshold-crypto agreement, so a {!policy}
+   amortizes it two ways.  With [max_batch_msgs > 1] each proposal
+   carries a {!Codec.encode_batch} frame of up to that many undelivered
+   payloads (oldest first in digest order, capped at [max_batch_bytes]),
+   and external validity additionally requires every non-placeholder
+   entry of a decided list to be a well-formed frame within the caps —
+   the policy is deployment-wide, so all honest parties agree on the
+   framing and a malformed Byzantine frame is rejected whole, never
+   mis-split.  With [window > 1] a party opens up to [window] rounds at
+   once, packing *disjoint* batches (a payload sits in at most one
+   in-flight proposal), so dissemination and signing for round r+1 run
+   under round r's agreement; rounds still decide and deliver strictly
+   in order, and a full window back-pressures (no new round is opened)
+   instead of growing unbounded in-flight state.  Fairness is preserved
+   inside a batch: payloads are packed oldest-undelivered-first, and the
+   globally smallest undelivered payload still heads every honest
+   proposal of the earliest unproposed round. *)
+
+type policy = {
+  max_batch_msgs : int;  (* payloads per proposal frame; 1 = no framing *)
+  max_batch_bytes : int;  (* cap on summed payload bytes per frame *)
+  window : int;  (* rounds a party may have in flight at once *)
+  linger : float;
+      (* sim-clock ticks to wait for a fuller batch before proposing;
+         needs the io timer hook, ignored without one *)
+}
+
+let default_policy =
+  { max_batch_msgs = 1; max_batch_bytes = 1 lsl 20; window = 1; linger = 0.0 }
+
+let check_policy p =
+  if p.max_batch_msgs < 1 then invalid_arg "Abc.create: max_batch_msgs < 1";
+  if p.max_batch_bytes < 1 then invalid_arg "Abc.create: max_batch_bytes < 1";
+  if p.window < 1 then invalid_arg "Abc.create: window < 1";
+  if not (p.linger >= 0.0) then invalid_arg "Abc.create: negative linger"
 
 type msg =
   | Request of string  (* payload relay ("send to all servers") *)
@@ -30,12 +67,17 @@ type msg =
 type t = {
   io : msg Proto_io.t;
   tag : string;
+  policy : policy;
   deliver : string -> unit;  (* called in the agreed total order *)
   mutable queue : string list;  (* undelivered known payloads, digest-sorted *)
   delivered : (string, unit) Hashtbl.t;  (* digests of delivered payloads *)
   mutable delivered_log : string list;  (* newest first, for inspection *)
   mutable round : int;
   mutable participated : int list;  (* rounds where our proposal is out *)
+  my_batches : (int, string list) Hashtbl.t;
+      (* in-flight round -> payloads we packed into its proposal *)
+  mutable linger_fired : bool;  (* linger elapsed: flush partial batches *)
+  mutable linger_armed : bool;
   proposals : (int, (int * string) list ref) Hashtbl.t;
       (* round -> (sender, payload); only validly signed entries *)
   raw_sigs : (int, (int * string) list ref) Hashtbl.t;
@@ -43,6 +85,7 @@ type t = {
   vbas : (int, Vba.t) Hashtbl.t;
   mutable vba_proposed : int list;
   decisions : (int, string) Hashtbl.t;  (* round -> decided list, encoded *)
+  digests : (string, string) Hashtbl.t;  (* payload -> digest, memoized *)
   mutable sp_epoch : int;  (* open trace span of the current round *)
 }
 
@@ -51,7 +94,83 @@ let placeholder = ""
 let prop_stmt t r payload =
   Ro.encode [ "abc-prop"; t.tag; string_of_int r; payload ]
 
-let digest p = Sha256.digest p
+(* Digests drive the queue order, dedup and batch bookkeeping, so they
+   are recomputed on hot paths; memoize per payload. *)
+let digest t p =
+  match Hashtbl.find_opt t.digests p with
+  | Some d -> d
+  | None ->
+    let d = Sha256.digest p in
+    Hashtbl.add t.digests p d;
+    d
+
+(* ---------- batch frames ------------------------------------------- *)
+
+let batching t = t.policy.max_batch_msgs > 1
+let batch_bytes ps = List.fold_left (fun a p -> a + String.length p) 0 ps
+
+(* A proposal's frame is acceptable iff an honest party under the same
+   (deployment-wide) policy could have produced it.  A single payload
+   larger than [max_batch_bytes] still travels alone — otherwise it
+   could never be ordered — hence the singleton escape. *)
+let valid_frame t (frame : string) : bool =
+  match Codec.decode_batch frame with
+  | None -> false
+  | Some ps ->
+    ps <> []
+    && List.length ps <= t.policy.max_batch_msgs
+    && List.for_all (fun p -> p <> placeholder) ps
+    && (batch_bytes ps <= t.policy.max_batch_bytes || List.length ps = 1)
+
+(* The payloads a (validated) proposal contributes to ordering. *)
+let payloads_of_proposal t (p : string) : string list =
+  if p = placeholder then []
+  else if batching t then
+    match Codec.decode_batch p with
+    | Some ps -> List.filter (fun x -> x <> placeholder) ps
+    | None -> []
+  else [ p ]
+
+(* Queue payloads not packed into any in-flight proposal of ours,
+   oldest (smallest digest) first. *)
+let unproposed t : string list =
+  let in_flight =
+    Hashtbl.fold
+      (fun _ ps acc -> List.fold_left (fun acc p -> digest t p :: acc) acc ps)
+      t.my_batches []
+  in
+  List.filter
+    (fun p -> p <> placeholder && not (List.mem (digest t p) in_flight))
+    t.queue
+
+(* Greedy oldest-first packing under both caps. *)
+let take_batch t avail : string list * string list =
+  let rec go k bytes acc rest =
+    match rest with
+    | [] -> (List.rev acc, [])
+    | p :: tl ->
+      if k >= t.policy.max_batch_msgs then (List.rev acc, rest)
+      else
+        let lp = String.length p in
+        if acc <> [] && bytes + lp > t.policy.max_batch_bytes then
+          (List.rev acc, rest)
+        else go (k + 1) (bytes + lp) (p :: acc) tl
+  in
+  go 0 0 [] avail
+
+let in_flight t =
+  List.length (List.filter (fun r -> r >= t.round) t.participated)
+
+let in_flight_rounds t : (int * int) list =
+  List.filter (fun r -> r >= t.round) t.participated
+  |> List.sort compare
+  |> List.map (fun r ->
+         let props =
+           match Hashtbl.find_opt t.proposals r with
+           | Some l -> List.length !l
+           | None -> 0
+         in
+         (r, props))
 
 (* ---------- proposal-list encoding --------------------------------- *)
 
@@ -78,7 +197,9 @@ let decode_list (s : string) : (int * string * string) list option =
     go [] parts
 
 (* External validity for round r: a big-quorum of distinct senders, each
-   with a valid signature on its own (round-bound) payload. *)
+   with a valid signature on its own (round-bound) payload; under a
+   batching policy every payload must additionally be a well-formed
+   batch frame within the policy caps. *)
 let valid_list t r (value : string) : bool =
   match decode_list value with
   | None -> false
@@ -92,6 +213,10 @@ let valid_list t r (value : string) : bool =
     in
     List.length entries = Pset.card senders  (* distinct senders *)
     && Proto_io.big_quorum t.io senders
+    && ((not (batching t))
+       || List.for_all
+            (fun (_, p, _) -> p = placeholder || valid_frame t p)
+            entries)
     && List.for_all
          (fun (sender, payload, sg) ->
            match Schnorr_sig.of_bytes t.io.Proto_io.keyring.Keyring.group sg with
@@ -103,21 +228,35 @@ let valid_list t r (value : string) : bool =
 
 (* ---------- construction ------------------------------------------- *)
 
-let rec create ~(io : msg Proto_io.t) ~tag ~deliver () : t =
+let rec create ?(policy = default_policy) ~(io : msg Proto_io.t) ~tag ~deliver
+    () : t =
+  check_policy policy;
+  (* Linger needs a clock; without a timer hook it degrades to eager
+     proposing rather than deferring forever. *)
+  let policy =
+    match io.Proto_io.timer with
+    | None -> { policy with linger = 0.0 }
+    | Some _ -> policy
+  in
   let t =
     { io;
       tag;
+      policy;
       deliver;
       queue = [];
       delivered = Hashtbl.create 32;
       delivered_log = [];
       round = 0;
       participated = [];
+      my_batches = Hashtbl.create 8;
+      linger_fired = false;
+      linger_armed = false;
       proposals = Hashtbl.create 8;
       raw_sigs = Hashtbl.create 8;
       vbas = Hashtbl.create 8;
       vba_proposed = [];
       decisions = Hashtbl.create 8;
+      digests = Hashtbl.create 64;
       sp_epoch = 0 }
   in
   t
@@ -164,7 +303,7 @@ and on_decision t r value =
 
 (* ---------- round progression -------------------------------------- *)
 
-and participate t r =
+and participate t r payload =
   if not (List.mem r t.participated) then begin
     t.participated <- r :: t.participated;
     if t.sp_epoch = 0 then
@@ -173,7 +312,6 @@ and participate t r =
           ~layer:"abc"
           ~detail:(Printf.sprintf "r%d" r)
           "epoch";
-    let payload = match t.queue with [] -> placeholder | p :: _ -> p in
     let sg =
       Schnorr_sig.to_bytes t.io.Proto_io.keyring.Keyring.group
         (Keyring.sign t.io.Proto_io.keyring ~party:t.io.Proto_io.me
@@ -182,32 +320,106 @@ and participate t r =
     t.io.Proto_io.broadcast (Proposal (r, payload, sg))
   end
 
-and step t =
-  let r = t.round in
-  (* Join the current round as soon as we have something to order or
-     somebody else demonstrably started it. *)
-  let others_active =
-    match Hashtbl.find_opt t.proposals r with
-    | Some l -> !l <> []
-    | None -> false
-  in
-  if t.queue <> [] || others_active then participate t r;
-  (* Feed VBA once a big-quorum of signed proposals is collected. *)
-  if List.mem r t.participated && not (List.mem r t.vba_proposed) then begin
-    let props = !(proposals_of t r) in
-    let senders =
-      List.fold_left (fun acc (s, _) -> Pset.add s acc) Pset.empty props
-    in
-    if Proto_io.big_quorum t.io senders then begin
-      t.vba_proposed <- r :: t.vba_proposed;
-      let sigs = !(sigs_of t r) in
-      let entries =
-        List.map (fun (s, p) -> (s, p, List.assoc s sigs)) props
-      in
-      Vba.propose (vba_of t r) (encode_list entries)
+(* Defer proposing a partial batch until [linger] sim-clock ticks have
+   passed, in the hope of packing a fuller one; the timer re-enters
+   [step], which then flushes whatever is available. *)
+and arm_linger t =
+  if t.policy.linger > 0.0 && (not t.linger_armed) && not t.linger_fired then
+    match t.io.Proto_io.timer with
+    | None -> ()  (* normalized away in [create] *)
+    | Some set_timer ->
+      t.linger_armed <- true;
+      set_timer ~delay:t.policy.linger (fun () ->
+          t.linger_armed <- false;
+          t.linger_fired <- true;
+          step t)
+
+(* Open rounds [t.round .. t.round + window - 1] in order, packing
+   disjoint batches of undelivered payloads — the pipelining half: round
+   r+1's dissemination and signing start while round r's agreement is
+   still running.  A round is opened when someone else demonstrably
+   started it (we must join with at least a placeholder for liveness) or
+   when we have a batch worth proposing; a full window opens nothing
+   more — that is the back-pressure bound on in-flight state. *)
+and open_rounds t =
+  let limit = t.round + t.policy.window in
+  let opened_payloads = ref false in
+  let rec go r avail =
+    if r < limit then begin
+      if List.mem r t.participated then go (r + 1) avail
+      else begin
+        let others_active =
+          match Hashtbl.find_opt t.proposals r with
+          | Some l -> !l <> []
+          | None -> false
+        in
+        let batch_ready =
+          avail <> []
+          && (t.policy.linger <= 0.0 || t.linger_fired
+             || List.length avail >= t.policy.max_batch_msgs
+             || batch_bytes avail >= t.policy.max_batch_bytes)
+        in
+        if others_active || batch_ready then begin
+          let batch, rest = take_batch t avail in
+          let payload =
+            match batch with
+            | [] -> placeholder
+            | [ p ] when not (batching t) -> p
+            | ps -> Codec.encode_batch ps
+          in
+          if batch <> [] then begin
+            Hashtbl.replace t.my_batches r batch;
+            opened_payloads := true
+          end;
+          participate t r payload;
+          if Obs.active t.io.Proto_io.obs then begin
+            let labels = [ ("layer", "abc") ] in
+            Obs.observe t.io.Proto_io.obs ~labels "abc_batch_size"
+              (float_of_int (List.length batch));
+            Obs.observe t.io.Proto_io.obs ~labels "abc_pipeline_depth"
+              (float_of_int (in_flight t))
+          end;
+          go (r + 1) rest
+        end
+        else if avail <> [] then arm_linger t
+        (* not opening r: later rounds stay closed too (contiguity) *)
+      end
     end
-  end;
-  (* Consume the decision of the current round, in order. *)
+  in
+  go t.round (unproposed t);
+  if !opened_payloads then t.linger_fired <- false
+
+(* Feed each in-flight round's VBA once a big-quorum of signed proposals
+   for it is collected. *)
+and feed_vbas t =
+  let limit = t.round + t.policy.window in
+  let rec go r =
+    if r < limit then begin
+      if List.mem r t.participated && not (List.mem r t.vba_proposed) then begin
+        let props = !(proposals_of t r) in
+        let senders =
+          List.fold_left (fun acc (s, _) -> Pset.add s acc) Pset.empty props
+        in
+        if Proto_io.big_quorum t.io senders then begin
+          t.vba_proposed <- r :: t.vba_proposed;
+          let sigs = !(sigs_of t r) in
+          let entries =
+            List.map (fun (s, p) -> (s, p, List.assoc s sigs)) props
+          in
+          Vba.propose (vba_of t r) (encode_list entries)
+        end
+      end;
+      go (r + 1)
+    end
+  in
+  go t.round
+
+and step t =
+  open_rounds t;
+  feed_vbas t;
+  (* Consume the decision of the current round, in order: later rounds
+     may already have decided, but delivery stays strictly sequential. *)
+  let r = t.round in
   match Hashtbl.find_opt t.decisions r with
   | None -> ()
   | Some value ->
@@ -215,18 +427,16 @@ and step t =
     | None -> assert false  (* external validity guarantees decodability *)
     | Some entries ->
       let payloads =
-        List.filter_map
-          (fun (_, p, _) -> if p = placeholder then None else Some p)
-          entries
+        List.concat_map (fun (_, p, _) -> payloads_of_proposal t p) entries
         |> List.sort_uniq compare
       in
       List.iter
         (fun p ->
-          let d = digest p in
+          let d = digest t p in
           if not (Hashtbl.mem t.delivered d) then begin
             Hashtbl.replace t.delivered d ();
             t.delivered_log <- p :: t.delivered_log;
-            t.queue <- List.filter (fun q -> digest q <> d) t.queue;
+            t.queue <- List.filter (fun q -> digest t q <> d) t.queue;
             Obs.point t.io.Proto_io.obs ~party:t.io.Proto_io.me ~tag:t.tag
               ~layer:"abc" "deliver";
             t.deliver p
@@ -236,21 +446,44 @@ and step t =
         ~detail:(Printf.sprintf "r%d done" r)
         t.sp_epoch;
       t.sp_epoch <- 0;
+      (* Payloads we packed for round r but the decided list missed stay
+         in the queue and become packable again for a later round. *)
+      Hashtbl.remove t.my_batches r;
       t.round <- r + 1;
       step t)
 
 (* ---------- API ----------------------------------------------------- *)
 
 let enqueue t payload =
-  let d = digest payload in
+  let d = digest t payload in
   if
     (not (Hashtbl.mem t.delivered d))
-    && not (List.exists (fun q -> digest q = d) t.queue)
+    && not (List.exists (fun q -> digest t q = d) t.queue)
   then begin
     (* Digest order makes "oldest undelivered" a global notion, which is
        what the fairness argument needs. *)
-    t.queue <- List.sort (fun a b -> compare (digest a) (digest b)) (payload :: t.queue);
-    step t
+    t.queue <- List.sort (fun a b -> compare (digest t a) (digest t b)) (payload :: t.queue);
+    step t;
+    (* Back-pressure diagnostics: the payload could not be packed
+       because every round of the pipeline window is already in flight. *)
+    if Obs.active t.io.Proto_io.obs then begin
+      let window_full =
+        let rec full r =
+          r >= t.round + t.policy.window
+          || (List.mem r t.participated && full (r + 1))
+        in
+        full t.round
+      in
+      let packed =
+        Hashtbl.fold
+          (fun _ ps acc -> acc || List.exists (fun p -> digest t p = d) ps)
+          t.my_batches false
+      in
+      if window_full && (not (Hashtbl.mem t.delivered d)) && not packed then
+        Obs.incr t.io.Proto_io.obs
+          ~labels:[ ("layer", "abc") ]
+          "abc_backpressure"
+    end
   end
 
 (* Atomic broadcast entry point: relay to every server, then enqueue. *)
@@ -263,22 +496,31 @@ let handle t ~src msg =
   | Request payload -> enqueue t payload
   | Proposal (r, payload, sg) ->
     if r >= t.round && r < t.round + 64 then begin
-      let props = proposals_of t r in
-      if not (List.mem_assoc src !props) then begin
-        match Schnorr_sig.of_bytes t.io.Proto_io.keyring.Keyring.group sg with
-        | None -> ()
-        | Some parsed ->
-          if
-            Keyring.verify_party_signature t.io.Proto_io.keyring ~party:src
-              (prop_stmt t r payload) parsed
-          then begin
-            props := (src, payload) :: !props;
-            let sigs = sigs_of t r in
-            sigs := (src, sg) :: !sigs;
-            (* A payload proposed by someone else is also worth ordering. *)
-            if payload <> placeholder then enqueue t payload;
-            step t
-          end
+      (* Under a batching policy a non-placeholder proposal must be a
+         well-formed frame; reject it whole otherwise (a malformed frame
+         is never mis-split, and never counts toward the quorum). *)
+      let frame_ok =
+        payload = placeholder || (not (batching t)) || valid_frame t payload
+      in
+      if frame_ok then begin
+        let props = proposals_of t r in
+        if not (List.mem_assoc src !props) then begin
+          match Schnorr_sig.of_bytes t.io.Proto_io.keyring.Keyring.group sg with
+          | None -> ()
+          | Some parsed ->
+            if
+              Keyring.verify_party_signature t.io.Proto_io.keyring ~party:src
+                (prop_stmt t r payload) parsed
+            then begin
+              props := (src, payload) :: !props;
+              let sigs = sigs_of t r in
+              sigs := (src, sg) :: !sigs;
+              (* A payload proposed by someone else is also worth
+                 ordering. *)
+              List.iter (fun p -> enqueue t p) (payloads_of_proposal t payload);
+              step t
+            end
+        end
       end
     end
   | Vba_msg (r, m) ->
@@ -291,6 +533,7 @@ let handle t ~src msg =
 let delivered_log t = List.rev t.delivered_log
 let current_round t = t.round
 let pending t = t.queue
+let backlog t = List.length (unproposed t)
 
 let msg_size kr = function
   | Request p -> 8 + String.length p

@@ -7,7 +7,29 @@
     and agrees (VBA with the signature check as external validity) on one
     such list, delivered in deterministic order.  Liveness and fairness:
     a payload known to the honest parties appears in every honest
-    proposal and is delivered within a round. *)
+    proposal and is delivered within a round.
+
+    A {!policy} amortizes the per-round agreement cost: proposals carry
+    {!Codec.encode_batch} frames of up to [max_batch_msgs] payloads
+    (oldest-undelivered first, capped at [max_batch_bytes]), and up to
+    [window] rounds run in flight at once with disjoint batches — a full
+    window back-pressures instead of growing unbounded state.  The
+    policy must be deployment-wide (all honest parties configured
+    alike); {!default_policy} reproduces the unbatched, one-round
+    behaviour exactly. *)
+
+type policy = {
+  max_batch_msgs : int;  (** payloads per proposal frame; 1 = no framing *)
+  max_batch_bytes : int;  (** cap on summed payload bytes per frame *)
+  window : int;  (** rounds a party may have in flight at once *)
+  linger : float;
+      (** sim-clock ticks to wait for a fuller batch before proposing a
+          partial one; needs the io timer hook, ignored without one *)
+}
+
+val default_policy : policy
+(** [{ max_batch_msgs = 1; max_batch_bytes = 1 MiB; window = 1;
+    linger = 0. }] — no framing, no pipelining. *)
 
 type msg =
   | Request of string  (** payload relay ("send to all servers") *)
@@ -17,9 +39,15 @@ type msg =
 type t
 
 val create :
-  io:msg Proto_io.t -> tag:string -> deliver:(string -> unit) -> unit -> t
+  ?policy:policy ->
+  io:msg Proto_io.t ->
+  tag:string ->
+  deliver:(string -> unit) ->
+  unit ->
+  t
 (** [deliver] is invoked in the agreed total order (identical at every
-    honest party); duplicates are suppressed. *)
+    honest party); duplicates are suppressed.  Raises [Invalid_argument]
+    on a non-positive policy field. *)
 
 val broadcast : t -> string -> unit
 (** Atomically broadcast a payload (relay to all, then order). *)
@@ -31,6 +59,19 @@ val handle : t -> src:int -> msg -> unit
 val delivered_log : t -> string list
 val current_round : t -> int
 val pending : t -> string list
+
+val in_flight : t -> int
+(** Rounds this party has proposed in but not yet completed (bounded by
+    the policy window). *)
+
+val in_flight_rounds : t -> (int * int) list
+(** [(round, proposals collected)] for each in-flight round, ascending —
+    the per-round diagnostics the deployment's stall probe reports. *)
+
+val backlog : t -> int
+(** Undelivered payloads not packed into any in-flight proposal —
+    non-zero under back-pressure when the window is full. *)
+
 val msg_size : Keyring.t -> msg -> int
 
 val msg_summary : msg -> string

@@ -28,3 +28,58 @@ let decode (s : string) : string list option =
 let encode_int (i : int) : string = string_of_int i
 
 let decode_int (s : string) : int option = int_of_string_opt s
+
+(* ---------- batch frames -------------------------------------------- *)
+
+(* A batch frame carries many payloads inside one atomically broadcast
+   proposal: magic, a payload count, then count length-prefixed
+   payloads.  Unlike {!decode}, the explicit count makes every proper
+   prefix of a frame invalid (a truncated frame can never be mistaken
+   for a shorter batch), and the magic keeps random bytes from decoding
+   at all.  The frame must be consumed exactly: trailing bytes are
+   rejected, so two distinct frames never decode to the same batch. *)
+
+let batch_magic = "SBF1"
+
+let encode_batch (payloads : string list) : string =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf batch_magic;
+  let add_u64 v =
+    for i = 7 downto 0 do
+      Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+  in
+  add_u64 (List.length payloads);
+  List.iter
+    (fun p ->
+      add_u64 (String.length p);
+      Buffer.add_string buf p)
+    payloads;
+  Buffer.contents buf
+
+let decode_batch (s : string) : string list option =
+  let len = String.length s in
+  let mlen = String.length batch_magic in
+  if len < mlen + 8 || String.sub s 0 mlen <> batch_magic then None
+  else begin
+    let read_u64 off =
+      let v = ref 0 in
+      for i = 0 to 7 do
+        v := (!v lsl 8) lor Char.code s.[off + i]
+      done;
+      !v
+    in
+    let count = read_u64 mlen in
+    if count < 0 then None
+    else
+      let rec go k off acc =
+        if k = 0 then if off = len then Some (List.rev acc) else None
+        else if off + 8 > len then None
+        else begin
+          let l = read_u64 off in
+          if l < 0 || off + 8 + l > len then None
+          else go (k - 1) (off + 8 + l) (String.sub s (off + 8) l :: acc)
+        end
+      in
+      go count (mlen + 8) []
+  end

@@ -9,3 +9,14 @@ val decode : string -> string list option
 
 val encode_int : int -> string
 val decode_int : string -> int option
+
+val encode_batch : string list -> string
+(** Batch frame for the atomic-broadcast batching layer: magic + payload
+    count + [count] length-prefixed payloads.  Deterministic: equal
+    batches encode to equal frames. *)
+
+val decode_batch : string -> string list option
+(** Strict total inverse of {!encode_batch}: [None] on a missing or
+    wrong magic, on truncation anywhere (the explicit count makes every
+    proper prefix invalid), and on trailing bytes — a malformed frame is
+    rejected whole, never mis-split into payloads. *)

@@ -58,6 +58,7 @@ type t = {
   patience : int;
   set_timer : (delay:float -> (unit -> unit) -> unit) option;
   timeout : float;
+  abc_policy : Abc.policy option;  (* batching policy of the fallback *)
   deliver : string -> unit;
   (* fast path *)
   cbcs : (int, Cbc.t) Hashtbl.t;  (* seq -> instance *)
@@ -99,13 +100,14 @@ let fast_delivered_count t = t.fast_delivered
 (* ---------- construction -------------------------------------------- *)
 
 let rec create ~(io : msg Proto_io.t) ~tag ?(sequencer = 0) ?(patience = 200)
-    ?set_timer ?(timeout = 1500.0) ~deliver () : t =
+    ?set_timer ?(timeout = 1500.0) ?abc_policy ~deliver () : t =
   { io;
     tag;
     sequencer;
     patience;
     set_timer;
     timeout;
+    abc_policy;
     deliver;
     cbcs = Hashtbl.create 8;
     cdelivered = Hashtbl.create 8;
@@ -388,7 +390,7 @@ and fallback_abc t : Abc.t =
   | Some a -> a
   | None ->
     let a =
-      Abc.create
+      Abc.create ?policy:t.abc_policy
         ~io:
           (Proto_io.embed ~layer:"abc"
              ~bytes:(Abc.msg_size t.io.Proto_io.keyring) t.io

@@ -41,6 +41,7 @@ val create :
   ?patience:int ->
   ?set_timer:(delay:float -> (unit -> unit) -> unit) ->
   ?timeout:float ->
+  ?abc_policy:Abc.policy ->
   deliver:(string -> unit) ->
   unit ->
   t
@@ -48,7 +49,10 @@ val create :
     without progress while work is pending, via the [set_timer] hook
     (wire it to [Sim.set_timer]); without a hook, [patience] (default
     200) handled messages serve as a crude substitute.  Both are
-    liveness heuristics only — safety is independent of timing. *)
+    liveness heuristics only — safety is independent of timing.
+    [abc_policy] is the batching / pipelining policy of the randomized
+    fallback atomic broadcast (the fast path is already O(n) per payload
+    and is not batched). *)
 
 val broadcast : t -> string -> unit
 val handle : t -> src:int -> msg -> unit

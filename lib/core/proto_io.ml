@@ -26,6 +26,10 @@ type 'm t = {
   layer : string;
   raw_send : int -> 'm -> unit;  (* transport, bypassing the counters *)
   raw_broadcast : 'm -> unit;
+  timer : (delay:float -> (unit -> unit) -> unit) option;
+      (* one-shot virtual-time timer for this party, when the transport
+         has a clock (the simulator does); protocols must treat it as a
+         liveness aid only *)
 }
 
 (* Counting wrappers around a raw transport.  Counter handles are
@@ -48,8 +52,8 @@ let counted ~obs ~layer ~bytes ~fanout ~raw_send ~raw_broadcast =
     (send, broadcast)
   end
 
-let make ?(obs = Obs.noop) ?(layer = "app") ?(bytes = fun _ -> 0) ~me ~keyring
-    ~send ~broadcast () =
+let make ?(obs = Obs.noop) ?(layer = "app") ?(bytes = fun _ -> 0) ?timer ~me
+    ~keyring ~send ~broadcast () =
   let fanout = AS.n keyring.Keyring.structure in
   let counted_send, counted_broadcast =
     counted ~obs ~layer ~bytes ~fanout ~raw_send:send ~raw_broadcast:broadcast
@@ -59,7 +63,8 @@ let make ?(obs = Obs.noop) ?(layer = "app") ?(bytes = fun _ -> 0) ~me ~keyring
     broadcast = counted_broadcast;
     obs; layer;
     raw_send = send;
-    raw_broadcast = broadcast }
+    raw_broadcast = broadcast;
+    timer }
 
 let structure io = io.keyring.Keyring.structure
 let n io = AS.n (structure io)
@@ -77,7 +82,8 @@ let embed ?layer ?bytes (io : 'p t) ~(wrap : 'c -> 'p) : 'c t =
       obs = io.obs;
       layer = io.layer;
       raw_send = (fun dst m -> io.raw_send dst (wrap m));
-      raw_broadcast = (fun m -> io.raw_broadcast (wrap m)) }
+      raw_broadcast = (fun m -> io.raw_broadcast (wrap m));
+      timer = io.timer }
   | Some layer ->
     (* Own layer: wrap into the parent's *raw* transport so the child's
        traffic is attributed here and nowhere else. *)
@@ -89,7 +95,7 @@ let embed ?layer ?bytes (io : 'p t) ~(wrap : 'c -> 'p) : 'c t =
         ~raw_broadcast
     in
     { me = io.me; keyring = io.keyring; send; broadcast; obs = io.obs;
-      layer; raw_send; raw_broadcast }
+      layer; raw_send; raw_broadcast; timer = io.timer }
 
 (* Predicate shorthands on the deployment's adversary structure. *)
 let big_quorum io s = AS.big_quorum (structure io) s

@@ -25,12 +25,18 @@ type 'm t = {
   layer : string;  (** label the counting wrappers attribute to *)
   raw_send : int -> 'm -> unit;  (** transport, bypassing the counters *)
   raw_broadcast : 'm -> unit;
+  timer : (delay:float -> (unit -> unit) -> unit) option;
+      (** one-shot virtual-time timer for this party when the transport
+          has a clock ({!Stack.deploy} wires [Sim.set_timer]); a
+          liveness aid only — protocol safety must never depend on it.
+          [embed] passes it through unchanged. *)
 }
 
 val make :
   ?obs:Obs.t ->
   ?layer:string ->
   ?bytes:('m -> int) ->
+  ?timer:(delay:float -> (unit -> unit) -> unit) ->
   me:int ->
   keyring:Keyring.t ->
   send:(int -> 'm -> unit) ->
@@ -38,7 +44,8 @@ val make :
   unit ->
   'm t
 (** [layer] defaults to ["app"], [bytes] (the per-message wire-size
-    estimate used by the byte counters) to [fun _ -> 0]. *)
+    estimate used by the byte counters) to [fun _ -> 0]; [timer] is
+    absent by default. *)
 
 val structure : 'm t -> Adversary_structure.t
 val n : 'm t -> int

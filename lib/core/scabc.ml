@@ -37,10 +37,10 @@ type t = {
 
 let enc_sharing t = t.io.Proto_io.keyring.Keyring.enc
 
-let rec create ~(io : msg Proto_io.t) ~tag ~deliver () : t =
+let rec create ?policy ~(io : msg Proto_io.t) ~tag ~deliver () : t =
   let t_ref = ref None in
   let abc =
-    Abc.create
+    Abc.create ?policy
       ~io:
         (Proto_io.embed ~layer:"abc"
            ~bytes:(Abc.msg_size io.Proto_io.keyring) io

@@ -13,13 +13,16 @@ type msg =
 type t
 
 val create :
+  ?policy:Abc.policy ->
   io:msg Proto_io.t ->
   tag:string ->
   deliver:(label:string -> string -> unit) ->
   unit ->
   t
 (** [deliver] receives decrypted requests strictly in the agreed order,
-    with the authenticated TDH2 label. *)
+    with the authenticated TDH2 label.  [policy] is the batching /
+    pipelining policy of the underlying atomic broadcast (ciphertexts
+    are what gets batched; decryption still runs per ciphertext). *)
 
 val encrypt_request : Keyring.t -> Prng.t -> label:string -> string -> string
 (** Client-side: encrypt a request under the service's public key. *)

@@ -18,7 +18,9 @@ let deploy (type node) ?layer ?bytes
   let nodes =
     Array.init n (fun me ->
         let io =
-          Proto_io.make ~obs:(Sim.obs sim) ?layer ?bytes ~me ~keyring
+          Proto_io.make ~obs:(Sim.obs sim) ?layer ?bytes
+            ~timer:(fun ~delay cb -> Sim.set_timer sim me ~delay cb)
+            ~me ~keyring
             ~send:(fun dst m -> Sim.send sim ~src:me ~dst m)
             ~broadcast:(fun m -> Sim.broadcast sim ~src:me m)
             ()
@@ -57,12 +59,37 @@ let deploy_vba ?wrap ~sim ~keyring ~tag ?validate ~on_decide () =
     ~make:(fun me io -> Vba.create ~io ~tag ?validate ~on_decide:(on_decide me) ())
     ~handle:Vba.handle ()
 
-let deploy_abc ?wrap ~sim ~keyring ~tag ~deliver () =
-  deploy ?wrap ~sim ~keyring ~layer:"abc" ~bytes:(Abc.msg_size keyring)
-    ~make:(fun me io -> Abc.create ~io ~tag ~deliver:(deliver me) ())
-    ~handle:Abc.handle ()
+(* Per-round in-flight diagnostics for the simulator's stall probe:
+   which rounds each party has proposed in but not completed, and how
+   many round proposals it has collected for each — the first thing to
+   look at when a pipelined run exhausts its step budget. *)
+let abc_stall_summary (nodes : Abc.t array) : string =
+  let parts = ref [] in
+  Array.iteri
+    (fun i node ->
+      match Abc.in_flight_rounds node with
+      | [] -> ()
+      | rs ->
+        let s =
+          String.concat ","
+            (List.map (fun (r, props) -> Printf.sprintf "r%d:%d" r props) rs)
+        in
+        parts := Printf.sprintf "p%d[%s]" i s :: !parts)
+    nodes;
+  match List.rev !parts with
+  | [] -> "abc: no rounds in flight"
+  | ps -> "abc in-flight rounds (round:proposals) " ^ String.concat " " ps
 
-let deploy_scabc ?wrap ~sim ~keyring ~tag ~deliver () =
+let deploy_abc ?wrap ?policy ~sim ~keyring ~tag ~deliver () =
+  let nodes =
+    deploy ?wrap ~sim ~keyring ~layer:"abc" ~bytes:(Abc.msg_size keyring)
+      ~make:(fun me io -> Abc.create ?policy ~io ~tag ~deliver:(deliver me) ())
+      ~handle:Abc.handle ()
+  in
+  Sim.set_stall_probe sim (fun () -> abc_stall_summary nodes);
+  nodes
+
+let deploy_scabc ?wrap ?policy ~sim ~keyring ~tag ~deliver () =
   deploy ?wrap ~sim ~keyring ~layer:"scabc" ~bytes:(Scabc.msg_size keyring)
-    ~make:(fun me io -> Scabc.create ~io ~tag ~deliver:(deliver me) ())
+    ~make:(fun me io -> Scabc.create ?policy ~io ~tag ~deliver:(deliver me) ())
     ~handle:Scabc.handle ()

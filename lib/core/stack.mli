@@ -65,17 +65,28 @@ val deploy_vba :
   unit ->
   Vba.t array
 
+val abc_stall_summary : Abc.t array -> string
+(** Per-party, per-round in-flight diagnostics ("p0[r3:2,r4:1] ..." —
+    round:proposals-collected); [deploy_abc] installs it as the
+    simulator's stall probe so [Sim.Out_of_steps] reports where a
+    pipelined run was stuck. *)
+
 val deploy_abc :
   ?wrap:(int -> Abc.msg Sim.handler -> Abc.msg Sim.handler) ->
+  ?policy:Abc.policy ->
   sim:Abc.msg Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
   deliver:(int -> string -> unit) ->
   unit ->
   Abc.t array
+(** Also installs {!abc_stall_summary} over the deployed nodes as the
+    simulator's stall probe.  [policy] (default {!Abc.default_policy})
+    is applied identically to every party, as batching requires. *)
 
 val deploy_scabc :
   ?wrap:(int -> Scabc.msg Sim.handler -> Scabc.msg Sim.handler) ->
+  ?policy:Abc.policy ->
   sim:Scabc.msg Sim.t ->
   keyring:Keyring.t ->
   tag:string ->

@@ -45,6 +45,7 @@ type config = {
   policies : policy_spec list;
   mixes : mix list;
   payloads : int;  (* atomic-broadcast payloads per run *)
+  abc_policy : Abc.policy;  (* batching / pipelining policy of ABC runs *)
   max_steps : int;
 }
 
@@ -104,7 +105,8 @@ let mix_of_name name =
 
 let default_config ?(seeds = 50) ?(seed_base = 1) ?(n = 4) ?(t = 1)
     ?(rsa_bits = 192) ?(group_bits = 128) ?protocols ?policies ?mixes
-    ?(payloads = 2) ?(max_steps = 200_000) () =
+    ?(payloads = 2) ?(abc_policy = Abc.default_policy)
+    ?(max_steps = 200_000) () =
   {
     seeds;
     seed_base;
@@ -116,6 +118,7 @@ let default_config ?(seeds = 50) ?(seed_base = 1) ?(n = 4) ?(t = 1)
     policies = Option.value policies ~default:(default_policies ~n);
     mixes = Option.value mixes ~default:default_mixes;
     payloads;
+    abc_policy;
     max_steps;
   }
 
@@ -210,8 +213,8 @@ let run_abba cfg ~obs ~keyring ~policy ~mix ~seed =
     try
       Sim.run ~max_steps:cfg.max_steps ~until:done_ sim;
       []
-    with Sim.Out_of_steps { at_clock; pending; timers } ->
-      [ Oracle.out_of_steps ~at_clock ~pending ~timers ]
+    with Sim.Out_of_steps { at_clock; pending; timers; detail } ->
+      [ Oracle.out_of_steps ~detail ~at_clock ~pending ~timers () ]
   in
   let violations = Oracle.check_abba ~honest ~proposals decisions @ stall in
   let decide_clock = if done_ () then !last_decide else None in
@@ -233,7 +236,7 @@ let run_abc cfg ~obs ~keyring ~policy ~mix ~seed =
       (abc_behavior ~tag mix.m_kind)
   in
   let nodes =
-    Stack.deploy_abc ~wrap ~sim ~keyring ~tag
+    Stack.deploy_abc ~wrap ~policy:cfg.abc_policy ~sim ~keyring ~tag
       ~deliver:(fun p payload ->
         logs_rev.(p) <- payload :: logs_rev.(p);
         if Pset.mem p honest && List.length logs_rev.(p) >= expected then
@@ -255,8 +258,8 @@ let run_abc cfg ~obs ~keyring ~policy ~mix ~seed =
     try
       Sim.run ~max_steps:cfg.max_steps ~until:done_ sim;
       []
-    with Sim.Out_of_steps { at_clock; pending; timers } ->
-      [ Oracle.out_of_steps ~at_clock ~pending ~timers ]
+    with Sim.Out_of_steps { at_clock; pending; timers; detail } ->
+      [ Oracle.out_of_steps ~detail ~at_clock ~pending ~timers () ]
   in
   let logs = Array.map List.rev logs_rev in
   let violations = Oracle.check_abc ~honest ~expected logs @ stall in
@@ -381,6 +384,14 @@ let to_json ~id ~wall rep =
             ("n", Obs_json.Int cfg.n);
             ("t", Obs_json.Int cfg.t);
             ("payloads", Obs_json.Int cfg.payloads);
+            ( "abc_policy",
+              Obs_json.Obj
+                [
+                  ("max_batch_msgs", Obs_json.Int cfg.abc_policy.Abc.max_batch_msgs);
+                  ("max_batch_bytes", Obs_json.Int cfg.abc_policy.Abc.max_batch_bytes);
+                  ("window", Obs_json.Int cfg.abc_policy.Abc.window);
+                  ("linger", Obs_json.Float cfg.abc_policy.Abc.linger);
+                ] );
             ("max_steps", Obs_json.Int cfg.max_steps);
             ( "protocols",
               Obs_json.Arr

@@ -39,6 +39,9 @@ type config = {
   policies : policy_spec list;
   mixes : mix list;
   payloads : int;  (** atomic-broadcast payloads per run *)
+  abc_policy : Abc.policy;
+      (** batching / pipelining policy applied to every ABC run (the
+          same policy at every party, as batching requires) *)
   max_steps : int;  (** per-run simulator step bound *)
 }
 
@@ -73,12 +76,14 @@ val default_config :
   ?policies:policy_spec list ->
   ?mixes:mix list ->
   ?payloads:int ->
+  ?abc_policy:Abc.policy ->
   ?max_steps:int ->
   unit ->
   config
 (** Defaults: 50 seeds from 1, n = 4 / t = 1, toy 192-bit RSA and
     128-bit group, both protocols, all built-in policies and mixes,
-    2 payloads, 200k steps. *)
+    2 payloads, [Abc.default_policy] (unbatched, window 1), 200k
+    steps. *)
 
 (** {2 Runs and reports} *)
 

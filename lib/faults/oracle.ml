@@ -149,11 +149,12 @@ let totality ?(name = "totality") ~honest ~expected counts =
                 expected)))
     (honest_slots honest counts)
 
-let out_of_steps ~at_clock ~pending ~timers =
+let out_of_steps ?(detail = "") ~at_clock ~pending ~timers () =
   make ~oracle:"progress" ~severity:Liveness
     (Printf.sprintf
-       "ran out of steps at clock %.0f with %d pending messages, %d timers"
-       at_clock pending timers)
+       "ran out of steps at clock %.0f with %d pending messages, %d timers%s"
+       at_clock pending timers
+       (if detail = "" then "" else "; " ^ detail))
 
 (* ---------- protocol bundles ------------------------------------------ *)
 

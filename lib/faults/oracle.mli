@@ -53,8 +53,12 @@ val totality :
   ?name:string -> honest:Pset.t -> expected:int -> int array -> violation list
 (** Every honest party delivered at least [expected] payloads. *)
 
-val out_of_steps : at_clock:float -> pending:int -> timers:int -> violation
-(** The liveness violation recording a [Sim.Out_of_steps] stall. *)
+val out_of_steps :
+  ?detail:string -> at_clock:float -> pending:int -> timers:int -> unit ->
+  violation
+(** The liveness violation recording a [Sim.Out_of_steps] stall;
+    [detail] carries the stall probe's protocol-level diagnostics
+    (per-round in-flight counts under pipelining). *)
 
 (** {2 Protocol bundles} *)
 

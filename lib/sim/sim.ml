@@ -139,6 +139,9 @@ type 'msg t = {
   obs : Obs.t;
   mutable tracer : ('msg -> string) option;
   mutable trace : trace_event list;  (* newest first *)
+  mutable steps_total : int;  (* completed steps over the sim's lifetime *)
+  mutable stall_probe : (unit -> string) option;
+      (* protocol-level diagnostics rendered into Out_of_steps *)
 }
 
 let create ?(policy = Random_order) ?(extra = 8) ?(size = fun _ -> 1)
@@ -158,13 +161,17 @@ let create ?(policy = Random_order) ?(extra = 8) ?(size = fun _ -> 1)
     size;
     obs;
     tracer = None;
-    trace = [] }
+    trace = [];
+    steps_total = 0;
+    stall_probe = None }
 
 let n t = t.n
 let clock t = t.clock
 let metrics t = t.metrics
 let obs t = t.obs
+let steps t = t.steps_total
 let set_policy t p = t.policy <- p
+let set_stall_probe t probe = t.stall_probe <- Some probe
 
 let set_chaos t = function
   | None -> t.chaos <- None
@@ -354,7 +361,7 @@ let deliver_env t (env : 'msg envelope) =
       h ~src:env.src env.msg
 
 (* Deliver one message.  Returns false when the network is quiescent. *)
-let step t : bool =
+let do_step t : bool =
   if adversary_outwaits_timer t then begin
     match List.sort (fun (a, _, _) (b, _, _) -> compare a b) t.timers with
     | [] -> assert false
@@ -412,12 +419,24 @@ let step t : bool =
       end);
     true
 
+let step t : bool =
+  let progressed = do_step t in
+  if progressed then t.steps_total <- t.steps_total + 1;
+  progressed
+
 exception
-  Out_of_steps of { at_clock : float; pending : int; timers : int }
+  Out_of_steps of {
+    at_clock : float;
+    pending : int;
+    timers : int;
+    detail : string;
+  }
 
 (* Run until [until ()] holds or the network is quiescent; raises
-   [Out_of_steps] — carrying the clock, pending-message count and live
-   timer count at the stall — if the bound is exceeded first. *)
+   [Out_of_steps] — carrying the clock, pending-message count, live
+   timer count and the stall probe's protocol-level diagnostics (e.g.
+   per-round in-flight counts of a pipelined atomic broadcast) — if the
+   bound is exceeded first. *)
 let run ?(max_steps = 2_000_000) ?(until = fun () -> false) t : unit =
   let steps = ref 0 in
   let rec go () =
@@ -427,7 +446,11 @@ let run ?(max_steps = 2_000_000) ?(until = fun () -> false) t : unit =
         (Out_of_steps
            { at_clock = t.clock;
              pending = List.length t.pending;
-             timers = List.length t.timers })
+             timers = List.length t.timers;
+             detail =
+               (match t.stall_probe with
+               | None -> ""
+               | Some probe -> ( try probe () with _ -> "")) })
     else begin
       incr steps;
       if step t then go () else ()

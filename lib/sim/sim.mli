@@ -103,7 +103,18 @@ val metrics : 'msg t -> Metrics.t
 val obs : 'msg t -> Obs.t
 (** The observability handle passed at creation ([Obs.noop] when none). *)
 
+val steps : 'msg t -> int
+(** Completed steps (deliveries / timer advances) over the simulator's
+    lifetime — the denominator of throughput-per-step measurements. *)
+
 val set_policy : 'msg t -> policy -> unit
+
+val set_stall_probe : 'msg t -> (unit -> string) -> unit
+(** Install a protocol-level diagnostics probe: its output becomes the
+    [detail] of {!Out_of_steps} when a run exceeds its step bound (e.g.
+    per-round in-flight counts of a pipelined atomic broadcast —
+    {!Stack.deploy_abc} installs one).  Exceptions in the probe are
+    swallowed; the last installed probe wins. *)
 
 val set_chaos : 'msg t -> chaos option -> unit
 (** Install (or clear) the chaos specification.  The fault PRNG is split
@@ -149,9 +160,15 @@ val step : 'msg t -> bool
 (** Deliver one message / fire due timers; [false] when quiescent. *)
 
 exception
-  Out_of_steps of { at_clock : float; pending : int; timers : int }
+  Out_of_steps of {
+    at_clock : float;
+    pending : int;
+    timers : int;
+    detail : string;
+  }
 (** The step bound was exceeded while traffic remained: carries the
-    virtual clock, pending-message count and live timer count at the
+    virtual clock, pending-message count, live timer count and the
+    stall probe's diagnostics ([""] when no probe is installed) at the
     stall, so stuck runs are debuggable. *)
 
 val run : ?max_steps:int -> ?until:(unit -> bool) -> 'msg t -> unit

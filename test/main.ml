@@ -22,4 +22,5 @@ let () =
       Test_misc.suite;
       Test_adversarial.suite;
       Test_faults.suite;
+      Test_throughput.suite;
       Test_fuzz.suite ]

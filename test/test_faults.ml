@@ -235,10 +235,24 @@ let drop_path_tests =
         (try
            Sim.run ~max_steps:50 sim;
            Alcotest.fail "expected Out_of_steps"
-         with Sim.Out_of_steps { at_clock; pending; timers } ->
+         with Sim.Out_of_steps { at_clock; pending; timers; detail } ->
            Alcotest.(check bool) "clock advanced" true (at_clock > 0.0);
            Alcotest.(check int) "one message in flight" 1 pending;
-           Alcotest.(check int) "unfired timer counted" 1 timers)) ]
+           Alcotest.(check int) "unfired timer counted" 1 timers;
+           Alcotest.(check string) "no probe, empty detail" "" detail));
+    Alcotest.test_case "Out_of_steps detail comes from the stall probe"
+      `Quick (fun () ->
+        let sim : int Sim.t = Sim.create ~n:2 ~seed:23 () in
+        Sim.set_handler sim 0 (fun ~src:_ m -> Sim.send sim ~src:0 ~dst:1 m);
+        Sim.set_handler sim 1 (fun ~src:_ m -> Sim.send sim ~src:1 ~dst:0 m);
+        Sim.set_stall_probe sim (fun () ->
+            Printf.sprintf "probe: %d pending" (Sim.pending_count sim));
+        Sim.send sim ~src:0 ~dst:1 0;
+        try
+          Sim.run ~max_steps:25 sim;
+          Alcotest.fail "expected Out_of_steps"
+        with Sim.Out_of_steps { detail; _ } ->
+          Alcotest.(check string) "probe rendered" "probe: 1 pending" detail) ]
 
 (* ---------------- oracles -------------------------------------------- *)
 
@@ -416,6 +430,42 @@ let campaign_tests =
         Alcotest.(check int) "zero liveness violations under reliable policies"
           0
           (Campaign.gating_liveness_count rep));
+    Alcotest.test_case
+      "50-seed batched sweep: batch=8/window=4 keeps safety and liveness"
+      `Slow (fun () ->
+        (* PR-4 acceptance regression: rerun the chaos sweep (reliable
+           policies only) with the throughput policy enabled and with
+           the seed-equivalent default, same seeds; the safety oracles
+           (total order included) must stay silent under batching and
+           pipelining exactly as they do unbatched. *)
+        let run_with abc_policy =
+          Campaign.run
+            (Campaign.default_config ~seeds:50
+               ~protocols:[ Campaign.P_abc ]
+               ~policies:
+                 [ Campaign.dup_reorder_policy ();
+                   Campaign.partition_policy ~n:4 () ]
+               ~mixes:
+                 [ { Campaign.m_name = "silent"; m_kind = Campaign.Silent } ]
+               ~payloads:6 ~abc_policy ())
+        in
+        List.iter
+          (fun (name, rep) ->
+            Alcotest.(check int)
+              (name ^ ": runs") 100
+              (List.length rep.Campaign.results);
+            Alcotest.(check int)
+              (name ^ ": zero safety violations")
+              0 (Campaign.safety_count rep);
+            Alcotest.(check int)
+              (name ^ ": zero gating liveness violations")
+              0
+              (Campaign.gating_liveness_count rep))
+          [ ("unbatched", run_with Abc.default_policy);
+            ( "batched",
+              run_with
+                { Abc.default_policy with max_batch_msgs = 8; window = 4 } )
+          ]);
     Alcotest.test_case "report round-trips and validates" `Quick (fun () ->
         let cfg =
           Campaign.default_config ~seeds:2

@@ -126,4 +126,60 @@ let fuzz_tests =
         && match ds with d :: rest -> List.for_all (( = ) d) rest | [] -> false)
   ]
 
-let suite = ("fuzz", fuzz_tests)
+(* ---- batch-frame codec (Codec.encode_batch / decode_batch) ----------
+   The batching layer's safety rests on the codec never mis-splitting a
+   frame: a decoded frame is exactly the encoded payload list, and every
+   malformed byte string (truncation, garbage, trailing bytes) is
+   rejected outright rather than decoded to a partial or shifted list. *)
+
+let gen_payload =
+  (* arbitrary bytes, including NULs, the frame magic, and length-prefix
+     look-alikes *)
+  QCheck2.Gen.(
+    oneof
+      [ string_size ~gen:(char_range '\000' '\255') (0 -- 64);
+        map (fun s -> "SBF1" ^ s) (string_size (0 -- 8));
+        return "" ])
+
+let gen_payloads = QCheck2.Gen.(list_size (0 -- 12) gen_payload)
+
+let codec_tests =
+  [ qtest ~count:200 "batch codec: decode o encode = identity" gen_payloads
+      (fun ps -> Codec.decode_batch (Codec.encode_batch ps) = Some ps);
+    qtest ~count:200 "batch codec: every proper prefix is rejected"
+      gen_payloads
+      (fun ps ->
+        let frame = Codec.encode_batch ps in
+        let ok = ref true in
+        for len = 0 to String.length frame - 1 do
+          match Codec.decode_batch (String.sub frame 0 len) with
+          | None -> ()
+          | Some _ -> ok := false
+        done;
+        !ok);
+    qtest ~count:200 "batch codec: trailing garbage is rejected"
+      QCheck2.Gen.(pair gen_payloads (string_size (1 -- 16)))
+      (fun (ps, junk) ->
+        Codec.decode_batch (Codec.encode_batch ps ^ junk) = None);
+    qtest ~count:200 "batch codec: random byte strings never mis-split"
+      QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 96))
+      (fun s ->
+        (* decoding arbitrary bytes either fails or round-trips to the
+           very same bytes — no third outcome where payloads appear out
+           of thin air *)
+        match Codec.decode_batch s with
+        | None -> true
+        | Some ps -> Codec.encode_batch ps = s);
+    qtest ~count:200 "batch codec: corrupting one byte never mis-splits"
+      QCheck2.Gen.(triple gen_payloads small_nat (char_range '\000' '\255'))
+      (fun (ps, pos, c) ->
+        let frame = Bytes.of_string (Codec.encode_batch ps) in
+        let pos = pos mod Bytes.length frame in
+        Bytes.set frame pos c;
+        let frame = Bytes.to_string frame in
+        match Codec.decode_batch frame with
+        | None -> true
+        | Some ps' -> Codec.encode_batch ps' = frame)
+  ]
+
+let suite = ("fuzz", fuzz_tests @ codec_tests)
