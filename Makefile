@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test fmt fmt-check bench bench-num bench-check bench-smoke perf-diff faults faults-smoke tput tput-smoke check clean
+.PHONY: all build test fmt fmt-check bench bench-num bench-check bench-smoke perf-diff faults faults-smoke link-smoke tput tput-smoke check clean
 
 all: build
 
@@ -58,6 +58,15 @@ faults-smoke:
 	$(DUNE) exec bin/sintra_cli.exe -- faults --quick --out SMOKE
 	$(DUNE) exec bin/sintra_cli.exe -- bench-check FAULTS_SMOKE.json
 
+# Fast lossy-gating sweep: 10 seeds per cell at 30% probabilistic drop
+# with the reliable link layer on.  Under --link the drop policy is
+# liveness-gating, so any honest party left undecided fails the
+# campaign, and bench-check re-verifies the same invariant from the
+# emitted report.
+link-smoke:
+	$(DUNE) exec bin/sintra_cli.exe -- faults --seeds 10 --policies drop --drop-rate 0.3 --link --out LINK_SMOKE
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check FAULTS_LINK_SMOKE.json
+
 # Throughput sweep: batching x pipelining on the R2 config (n=4, t=1);
 # writes BENCH_TPUT.json (payloads/round, bytes/round, decided payloads
 # per 1k sim steps, per-policy progress curves), then validates the
@@ -73,7 +82,7 @@ tput-smoke:
 	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_TPUT.json
 
 # Aggregate CI gate: build, unit/property tests, and every smoke sweep.
-check: build test bench-smoke faults-smoke tput-smoke
+check: build test bench-smoke faults-smoke link-smoke tput-smoke
 
 clean:
 	$(DUNE) clean

@@ -75,7 +75,7 @@ let run_abc_once ?(policy = Sim.Random_order) ?(crashed = Pset.empty)
   let kr = keyring ?cert_mode structure in
   let n = AS.n structure in
   let sim =
-    Sim.create ~policy ~size:(Abc.msg_size kr) ~obs:(Bench_out.obs ()) ~n
+    Sim.create ~policy ~size:(Link.frame_size (Abc.msg_size kr)) ~obs:(Bench_out.obs ()) ~n
       ~seed ()
   in
   ignore adaptive;
@@ -470,7 +470,7 @@ let r1 () =
       let rounds = ref [] and msgs = ref [] and agree = ref true in
       for seed = 1 to n_seeds do
         let sim =
-          Sim.create ~policy:Sim.Random_order ~size:(Abba.msg_size kr)
+          Sim.create ~policy:Sim.Random_order ~size:(Link.frame_size (Abba.msg_size kr))
             ~obs:(Bench_out.obs ()) ~n ~seed:(seed * 31) ()
         in
         let decisions = Array.make n None in
@@ -535,7 +535,7 @@ let m1 () =
       (* RBC *)
       let rbc_m =
         let sim =
-          Sim.create ~size:Rbc.msg_size ~obs:(Bench_out.obs ()) ~n ~seed:1 ()
+          Sim.create ~size:(Link.frame_size Rbc.msg_size) ~obs:(Bench_out.obs ()) ~n ~seed:1 ()
         in
         let cnt = ref 0 in
         let nodes =
@@ -547,7 +547,7 @@ let m1 () =
       in
       let cbc_m =
         let sim =
-          Sim.create ~size:(Cbc.msg_size kr) ~obs:(Bench_out.obs ()) ~n
+          Sim.create ~size:(Link.frame_size (Cbc.msg_size kr)) ~obs:(Bench_out.obs ()) ~n
             ~seed:2 ()
         in
         let nodes =
@@ -560,7 +560,7 @@ let m1 () =
       in
       let abba_m =
         let sim =
-          Sim.create ~size:(Abba.msg_size kr) ~obs:(Bench_out.obs ()) ~n
+          Sim.create ~size:(Link.frame_size (Abba.msg_size kr)) ~obs:(Bench_out.obs ()) ~n
             ~seed:3 ()
         in
         let nodes =
@@ -572,7 +572,7 @@ let m1 () =
       in
       let vba_m =
         let sim =
-          Sim.create ~size:(Vba.msg_size kr) ~obs:(Bench_out.obs ()) ~n
+          Sim.create ~size:(Link.frame_size (Vba.msg_size kr)) ~obs:(Bench_out.obs ()) ~n
             ~seed:4 ()
         in
         let nodes =
@@ -640,7 +640,7 @@ let o2 () =
       let kr = keyring structure in
       let run_opt ~crash_sequencer seed =
         let sim =
-          Sim.create ~size:(Optimistic_abc.msg_size kr)
+          Sim.create ~size:(Link.frame_size (Optimistic_abc.msg_size kr))
             ~obs:(Bench_out.obs ()) ~n ~seed ()
         in
         let logs = Array.make n [] in
@@ -974,7 +974,7 @@ let run_tput ~structure ~seed ~payloads ~(abc_policy : Abc.policy) () :
   let kr = keyring structure in
   let n = AS.n structure in
   let sim =
-    Sim.create ~policy:Sim.Random_order ~size:(Abc.msg_size kr)
+    Sim.create ~policy:Sim.Random_order ~size:(Link.frame_size (Abc.msg_size kr))
       ~obs:(Bench_out.obs ()) ~n ~seed ()
   in
   let logs = Array.make n [] in

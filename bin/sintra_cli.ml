@@ -133,20 +133,46 @@ let abc_cmd =
           ~doc:"Print the first 40 simulator events (message-level trace) \
                 and the protocol span timeline.")
   in
-  let run n t example seed payloads crash trace =
+  let link_arg =
+    Arg.(
+      value & flag
+      & info [ "link" ]
+          ~doc:"Run over the reliable link layer (per-peer ack/retransmit \
+                channels with the default policy).")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Drop each delivery attempt with probability P (lossy \
+                chaos; combine with --link to see retransmission restore \
+                liveness).")
+  in
+  let run n t example seed payloads crash trace link drop =
     let s = structure_of ~n ~t example in
     let n = AS.n s in
     let kr = Keyring.deal ~rsa_bits:192 ~seed:99 s in
-    let obs = if trace then Obs.create () else Obs.noop in
+    (* the link layer's counters live in the obs registry, so reporting
+       them needs an active handle *)
+    let obs = if trace || link then Obs.create () else Obs.noop in
     let sim =
-      Sim.create ~policy:Sim.Random_order ~size:(Abc.msg_size kr) ~obs ~n
-        ~seed ()
+      Sim.create ~policy:Sim.Random_order
+        ~size:(Link.frame_size (Abc.msg_size kr)) ~obs ~n ~seed ()
     in
+    if drop > 0.0 then
+      Sim.set_chaos sim
+        (Some
+           {
+             Sim.benign_chaos with
+             default_link = { Sim.no_fault with drop };
+           });
     let span_tracer = if trace then Some (attach_tracer obs sim) else None in
-    if trace then Sim.enable_trace sim ~summarize:Abc.msg_summary;
+    if trace then
+      Sim.enable_trace sim ~summarize:(Link.frame_summary Abc.msg_summary);
     let logs = Array.make n [] in
     let nodes =
       Stack.deploy_abc ~sim ~keyring:kr ~tag:"cli"
+        ?link:(if link then Some Link.default_policy else None)
         ~deliver:(fun me p -> logs.(me) <- p :: logs.(me)) ()
     in
     let crashed = parse_crash crash in
@@ -187,6 +213,21 @@ let abc_cmd =
       (if crashed = [] then "none" else String.concat "," (List.map string_of_int crashed));
     Printf.printf "network: %d messages, %d kB, virtual time %.0f\n"
       m.Metrics.messages_sent (m.Metrics.bytes_sent / 1024) (Sim.clock sim);
+    if drop > 0.0 then
+      Printf.printf "chaos: %d deliveries dropped (rate %.2f)\n"
+        m.Metrics.chaos_drops drop;
+    if link then begin
+      let snap = Obs.snapshot obs in
+      let v name =
+        Option.value ~default:0
+          (Obs_registry.counter_value snap ~labels:[ ("layer", "link") ] name)
+      in
+      Printf.printf
+        "link: %d retransmissions, %d duplicates suppressed, %d ack bytes\n"
+        (v "link_retransmit")
+        (v "link_dup_suppressed")
+        (v "link_ack_bytes")
+    end;
     (match honest with
     | h :: _ ->
       Printf.printf "total order at server %d:\n" h;
@@ -201,7 +242,7 @@ let abc_cmd =
     (Cmd.info "abc" ~doc:"Run atomic broadcast on the simulated network.")
     Term.(
       const run $ n_arg $ t_arg $ example_arg $ seed_arg $ payloads_arg
-      $ crash_arg $ trace_arg)
+      $ crash_arg $ trace_arg $ link_arg $ drop_arg)
 
 (* ---------- trace: span-level protocol trace ------------------------- *)
 
@@ -230,8 +271,8 @@ let trace_cmd =
     let kr = Keyring.deal ~rsa_bits:192 ~seed:99 s in
     let obs = Obs.create () in
     let sim =
-      Sim.create ~policy:Sim.Random_order ~size:(Abc.msg_size kr) ~obs ~n
-        ~seed ()
+      Sim.create ~policy:Sim.Random_order
+        ~size:(Link.frame_size (Abc.msg_size kr)) ~obs ~n ~seed ()
     in
     let tr = attach_tracer obs sim in
     let logs = Array.make n [] in
@@ -264,7 +305,7 @@ let trace_cmd =
 (* ---------- bench-check: validate machine-readable artifacts --------- *)
 
 (* Dispatches on the document's "schema" member: "sintra-bench/1"
-   (BENCH_<id>.json, written by bench/main.ml) and "sintra-faults/1"
+   (BENCH_<id>.json, written by bench/main.ml) and "sintra-faults/2"
    (FAULTS_<id>.json, written by the fault-campaign runner). *)
 let bench_check_cmd =
   let files_arg =
@@ -406,13 +447,29 @@ let bench_check_cmd =
         Option.value ~default:0
           (Option.bind (Obs_json.member "runs" doc) Obs_json.to_int)
       in
+      let link_enabled =
+        Option.bind (Obs_json.member "link" doc) (fun l ->
+            Option.bind (Obs_json.member "enabled" l) Obs_json.to_bool)
+        = Some true
+      in
+      let link_retx =
+        Option.value ~default:0
+          (Option.bind (Obs_json.member "link" doc) (fun l ->
+               Option.bind
+                 (Obs_json.member "retransmits_total" l)
+                 Obs_json.to_int))
+      in
       Ok
-        (Printf.sprintf "%s: OK (%s: %d runs, %d safety / %d liveness violations)"
+        (Printf.sprintf
+           "%s: OK (%s: %d runs, %d safety / %d liveness violations, link %s)"
            path
            (Option.value (str "experiment") ~default:"?")
            runs
            (Option.value (obj_int "violations" "safety") ~default:0)
-           (Option.value (obj_int "violations" "liveness") ~default:0))
+           (Option.value (obj_int "violations" "liveness") ~default:0)
+           (if link_enabled then
+              Printf.sprintf "on, %d retransmissions" link_retx
+            else "off"))
   in
   let check path : (string, string) result =
     match Obs_json.of_string (read_file path) with
@@ -420,7 +477,7 @@ let bench_check_cmd =
     | Ok doc ->
       (match Option.bind (Obs_json.member "schema" doc) Obs_json.to_str with
       | Some "sintra-bench/1" -> check_bench path doc
-      | Some "sintra-faults/1" -> check_faults path doc
+      | Some "sintra-faults/2" -> check_faults path doc
       | Some s -> Error (Printf.sprintf "unknown schema %S" s)
       | None -> Error "missing \"schema\" member")
   in
@@ -451,7 +508,9 @@ let bench_check_cmd =
     (Cmd.info "bench-check"
        ~doc:
          "Validate the schema of machine-readable benchmark \
-          (sintra-bench/1) and fault-campaign (sintra-faults/1) output.")
+          (sintra-bench/1) and fault-campaign (sintra-faults/2) output, \
+          including the link section's gating invariant (no undecided \
+          liveness-gating runs).")
     Term.(const run $ files_arg)
 
 (* ---------- faults: seed-sweep fault-injection campaigns ------------- *)
@@ -503,6 +562,22 @@ let faults_cmd =
       value & flag
       & info [ "quick" ] ~doc:"Sweep only 5 seeds (CI smoke runs).")
   in
+  let link_arg =
+    Arg.(
+      value & flag
+      & info [ "link" ]
+          ~doc:"Run every deployment over the reliable link layer \
+                (default policy).  Flips lossy drop policies to \
+                liveness-gating: an undecided drop run then fails the \
+                campaign.")
+  in
+  let drop_rate_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Override the drop policy's per-delivery loss probability \
+                (default 0.02).")
+  in
   let parse_list ~what parse s =
     String.split_on_char ',' s
     |> List.filter (fun x -> x <> "")
@@ -514,15 +589,22 @@ let faults_cmd =
              exit 2)
   in
   let run n t seed seeds protocols policies mixes payloads max_steps out
-      quick =
+      quick link drop_rate =
     let seeds = if quick then min seeds 5 else seeds in
+    let policy_of_name name =
+      match (name, drop_rate) with
+      | "drop", Some rate -> Some (Campaign.drop_policy ~rate ())
+      | _ -> Campaign.policy_of_name ~n name
+    in
     let cfg =
       Campaign.default_config ~seeds ~seed_base:seed ~n ~t
         ~protocols:
           (parse_list ~what:"protocol" Campaign.protocol_of_string protocols)
-        ~policies:(parse_list ~what:"policy" (Campaign.policy_of_name ~n) policies)
+        ~policies:(parse_list ~what:"policy" policy_of_name policies)
         ~mixes:(parse_list ~what:"mix" Campaign.mix_of_name mixes)
-        ~payloads ~max_steps ()
+        ~payloads
+        ?link:(if link then Some Link.default_policy else None)
+        ~max_steps ()
     in
     let t0 = Unix.gettimeofday () in
     let rep =
@@ -539,7 +621,7 @@ let faults_cmd =
     Printf.printf "[faults] wrote %s (%.1fs)\n" path wall;
     if not (Campaign.ok rep) then begin
       prerr_endline
-        "faults: safety violation or liveness loss under a reliable policy";
+        "faults: safety violation or liveness loss under a gating policy";
       exit 1
     end
   in
@@ -547,13 +629,14 @@ let faults_cmd =
     (Cmd.info "faults"
        ~doc:
          "Sweep seeds x chaos policies x corruption mixes per protocol, \
-          check the safety/liveness oracles, and write a sintra-faults/1 \
+          check the safety/liveness oracles, and write a sintra-faults/2 \
           report.  Exits non-zero on any safety violation, or on liveness \
-          loss under a reliable (non-lossy) policy.")
+          loss under a gating policy (reliable chaos, or lossy chaos \
+          repaired by --link).")
     Term.(
       const run $ n_arg $ t_arg $ seed_arg $ seeds_arg $ protocols_arg
       $ policies_arg $ mixes_arg $ payloads_arg $ max_steps_arg $ out_arg
-      $ quick_arg)
+      $ quick_arg $ link_arg $ drop_rate_arg)
 
 (* ---------- bench-num: modular-arithmetic micro-benchmarks ----------- *)
 

@@ -11,7 +11,7 @@ let () =
   let structure = Adversary_structure.threshold ~n:4 ~t:1 in
   let keyring = Keyring.deal ~rsa_bits:192 ~seed:5 structure in
   let sim =
-    Sim.create ~size:(Optimistic_abc.msg_size keyring) ~n:4 ~seed:17 ()
+    Sim.create ~size:(Link.frame_size (Optimistic_abc.msg_size keyring)) ~n:4 ~seed:17 ()
   in
   let logs = Array.make 4 [] in
   let nodes =

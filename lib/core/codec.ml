@@ -83,3 +83,93 @@ let decode_batch (s : string) : string list option =
       in
       go count (mlen + 8) []
   end
+
+(* ---------- link frames --------------------------------------------- *)
+
+(* The byte-transport instantiation of {!Link.frame}: magic, a kind
+   byte, then kind-specific fields.  Validation follows the batch-frame
+   discipline: the magic keeps random bytes from decoding, explicit
+   lengths/counts make every truncation invalid, and the frame must be
+   consumed exactly, so two distinct frames never decode alike.
+
+     RAW  (kind 0): u64 length + payload bytes
+     DATA (kind 1): u64 seq (>= 1) + u64 length + payload bytes
+     ACK  (kind 2): u64 cum + u64 count + count u64s, strictly ascending
+                    and every entry > cum (the canonical selective set) *)
+
+let link_magic = "SLF1"
+
+let encode_link_frame (frame : string Link.frame) : string =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf link_magic;
+  let add_u64 v =
+    for i = 7 downto 0 do
+      Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+  in
+  (match frame with
+  | Link.Raw m ->
+    Buffer.add_char buf '\000';
+    add_u64 (String.length m);
+    Buffer.add_string buf m
+  | Link.Data { seq; payload } ->
+    Buffer.add_char buf '\001';
+    add_u64 seq;
+    add_u64 (String.length payload);
+    Buffer.add_string buf payload
+  | Link.Ack { cum; sel } ->
+    Buffer.add_char buf '\002';
+    add_u64 cum;
+    add_u64 (List.length sel);
+    List.iter add_u64 sel);
+  Buffer.contents buf
+
+let decode_link_frame (s : string) : string Link.frame option =
+  let len = String.length s in
+  let mlen = String.length link_magic in
+  if len < mlen + 1 || String.sub s 0 mlen <> link_magic then None
+  else begin
+    let read_u64 off =
+      let v = ref 0 in
+      for i = 0 to 7 do
+        v := (!v lsl 8) lor Char.code s.[off + i]
+      done;
+      !v
+    in
+    let body = mlen + 1 in
+    match s.[mlen] with
+    | '\000' ->
+      if body + 8 > len then None
+      else begin
+        let l = read_u64 body in
+        if l < 0 || body + 8 + l <> len then None
+        else Some (Link.Raw (String.sub s (body + 8) l))
+      end
+    | '\001' ->
+      if body + 16 > len then None
+      else begin
+        let seq = read_u64 body in
+        let l = read_u64 (body + 8) in
+        if seq < 1 || l < 0 || body + 16 + l <> len then None
+        else Some (Link.Data { seq; payload = String.sub s (body + 16) l })
+      end
+    | '\002' ->
+      if body + 16 > len then None
+      else begin
+        let cum = read_u64 body in
+        let count = read_u64 (body + 8) in
+        if cum < 0 || count < 0 || body + 16 + (8 * count) <> len then None
+        else begin
+          let rec go k off prev acc =
+            if k = 0 then Some (Link.Ack { cum; sel = List.rev acc })
+            else
+              let seq = read_u64 off in
+              (* Canonical selective set: strictly ascending, all > cum. *)
+              if seq <= prev then None
+              else go (k - 1) (off + 8) seq (seq :: acc)
+          in
+          go count (body + 16) cum []
+        end
+      end
+    | _ -> None
+  end

@@ -20,3 +20,15 @@ val decode_batch : string -> string list option
     wrong magic, on truncation anywhere (the explicit count makes every
     proper prefix invalid), and on trailing bytes — a malformed frame is
     rejected whole, never mis-split into payloads. *)
+
+val encode_link_frame : string Link.frame -> string
+(** Byte-transport encoding of a reliable-link frame: magic ["SLF1"], a
+    kind byte (RAW / DATA / ACK), then kind-specific u64 fields and
+    payload bytes.  Deterministic: equal frames encode equally. *)
+
+val decode_link_frame : string -> string Link.frame option
+(** Strict total inverse of {!encode_link_frame}: [None] on a missing
+    or wrong magic, an unknown kind, truncation or trailing bytes, a
+    DATA sequence number below 1, or a non-canonical ACK selective set
+    (entries must be strictly ascending and above the cumulative
+    watermark). *)

@@ -1,61 +1,115 @@
 (* Deployment glue: instantiate one protocol node per server on top of
    the network simulator.
 
+   The simulator's wire type is ['msg Link.frame] — every deployment
+   frames its traffic, but with the link layer off (the default) each
+   message travels as [Link.Raw], an unsequenced passthrough that the
+   receiving side unwraps directly.  That keeps the message count, the
+   delivery order and hence every PRNG draw identical to an unframed
+   transport: link-off deployments behave bit-for-bit like the seed.
+   Passing [?link] interposes a {!Link} endpoint per party, which
+   sequences, acks and retransmits so that lossy chaos no longer costs
+   liveness.
+
    The returned array holds every party's instance; tests and
    experiments corrupt a party by crashing it in the simulator, by
    replacing its handler with a malicious one ([Sim.set_handler] /
    [Sim.wrap_handler]), or — at deployment time — through the [?wrap]
    hook below, which the Byzantine behaviour library (lib/faults) uses.
-   All of these model full Byzantine corruption: the adversary even gets
+   [wrap] operates at the payload level, below any link endpoint: a
+   corrupted party still runs the link machinery (acks, dedup), because
+   the link is transport infrastructure, not protocol logic — withheld
+   acks are modelled separately, as chaos loss towards the victim.  All
+   of these model full Byzantine corruption: the adversary even gets
    the party's keyring secrets, since the keyring record is shared. *)
 
-let deploy (type node) ?layer ?bytes
+let deploy (type node) ?layer ?bytes ?link ?on_link
     ?(wrap : (int -> 'msg Sim.handler -> 'msg Sim.handler) option)
-    ~(sim : 'msg Sim.t) ~(keyring : Keyring.t)
+    ~(sim : 'msg Link.frame Sim.t) ~(keyring : Keyring.t)
     ~(make : int -> 'msg Proto_io.t -> node)
     ~(handle : node -> src:int -> 'msg -> unit) () : node array =
   let n = Sim.n sim in
-  let nodes =
-    Array.init n (fun me ->
-        let io =
-          Proto_io.make ~obs:(Sim.obs sim) ?layer ?bytes
-            ~timer:(fun ~delay cb -> Sim.set_timer sim me ~delay cb)
-            ~me ~keyring
-            ~send:(fun dst m -> Sim.send sim ~src:me ~dst m)
-            ~broadcast:(fun m -> Sim.broadcast sim ~src:me m)
-            ()
-        in
-        make me io)
-  in
-  Array.iteri
-    (fun me node ->
-      let honest ~src m = handle node ~src m in
-      let h = match wrap with None -> honest | Some w -> w me honest in
-      Sim.set_handler sim me h)
-    nodes;
-  nodes
+  match link with
+  | None ->
+    let nodes =
+      Array.init n (fun me ->
+          let io =
+            Proto_io.make ~obs:(Sim.obs sim) ?layer ?bytes
+              ~timer:(fun ~delay cb -> Sim.set_timer sim me ~delay cb)
+              ~me ~keyring
+              ~send:(fun dst m -> Sim.send sim ~src:me ~dst (Link.Raw m))
+              ~broadcast:(fun m -> Sim.broadcast sim ~src:me (Link.Raw m))
+              ()
+          in
+          make me io)
+    in
+    Array.iteri
+      (fun me node ->
+        let honest ~src m = handle node ~src m in
+        let h = match wrap with None -> honest | Some w -> w me honest in
+        Sim.set_handler sim me (fun ~src frame ->
+            match frame with
+            | Link.Raw m | Link.Data { payload = m; _ } -> h ~src m
+            | Link.Ack _ -> ()))
+      nodes;
+    nodes
+  | Some policy ->
+    let endpoints =
+      Array.init n (fun me ->
+          let ep =
+            Link.create ~obs:(Sim.obs sim) ~policy ~me ~n
+              ~raw_send:(fun dst frame -> Sim.send sim ~src:me ~dst frame)
+              ~timer:(fun ~delay cb -> Sim.set_timer sim me ~delay cb)
+              ~deliver:(fun ~src:_ _ -> ())
+              ()
+          in
+          (match on_link with None -> () | Some f -> f me ep);
+          ep)
+    in
+    let nodes =
+      Array.init n (fun me ->
+          let ep = endpoints.(me) in
+          let io =
+            Proto_io.make ~obs:(Sim.obs sim) ?layer ?bytes
+              ~timer:(fun ~delay cb -> Sim.set_timer sim me ~delay cb)
+              ~me ~keyring
+              ~send:(fun dst m -> Link.send ep dst m)
+              ~broadcast:(fun m -> Link.broadcast ep m)
+              ()
+          in
+          make me io)
+    in
+    Array.iteri
+      (fun me node ->
+        let honest ~src m = handle node ~src m in
+        let h = match wrap with None -> honest | Some w -> w me honest in
+        let ep = endpoints.(me) in
+        Link.set_deliver ep (fun ~src m -> h ~src m);
+        Sim.set_handler sim me (fun ~src frame -> Link.handle ep ~src frame))
+      nodes;
+    nodes
 
 (* Convenience deployments for each layer of the stack; each declares
    its layer label and wire-size estimate so the simulator's obs handle
    gets per-layer message/byte counters. *)
 
-let deploy_rbc ?wrap ~sim ~keyring ~sender ~deliver () =
-  deploy ?wrap ~sim ~keyring ~layer:"rbc" ~bytes:Rbc.msg_size
+let deploy_rbc ?wrap ?link ~sim ~keyring ~sender ~deliver () =
+  deploy ?wrap ?link ~sim ~keyring ~layer:"rbc" ~bytes:Rbc.msg_size
     ~make:(fun me io -> Rbc.create ~io ~sender ~deliver:(deliver me))
     ~handle:Rbc.handle ()
 
-let deploy_cbc ?wrap ~sim ~keyring ~tag ~sender ?validate ~deliver () =
-  deploy ?wrap ~sim ~keyring ~layer:"cbc" ~bytes:(Cbc.msg_size keyring)
+let deploy_cbc ?wrap ?link ~sim ~keyring ~tag ~sender ?validate ~deliver () =
+  deploy ?wrap ?link ~sim ~keyring ~layer:"cbc" ~bytes:(Cbc.msg_size keyring)
     ~make:(fun me io -> Cbc.create ~io ~tag ~sender ?validate ~deliver:(deliver me) ())
     ~handle:Cbc.handle ()
 
-let deploy_abba ?wrap ~sim ~keyring ~tag ~on_decide () =
-  deploy ?wrap ~sim ~keyring ~layer:"abba" ~bytes:(Abba.msg_size keyring)
+let deploy_abba ?wrap ?link ~sim ~keyring ~tag ~on_decide () =
+  deploy ?wrap ?link ~sim ~keyring ~layer:"abba" ~bytes:(Abba.msg_size keyring)
     ~make:(fun me io -> Abba.create ~io ~tag ~on_decide:(on_decide me))
     ~handle:Abba.handle ()
 
-let deploy_vba ?wrap ~sim ~keyring ~tag ?validate ~on_decide () =
-  deploy ?wrap ~sim ~keyring ~layer:"vba" ~bytes:(Vba.msg_size keyring)
+let deploy_vba ?wrap ?link ~sim ~keyring ~tag ?validate ~on_decide () =
+  deploy ?wrap ?link ~sim ~keyring ~layer:"vba" ~bytes:(Vba.msg_size keyring)
     ~make:(fun me io -> Vba.create ~io ~tag ?validate ~on_decide:(on_decide me) ())
     ~handle:Vba.handle ()
 
@@ -80,16 +134,16 @@ let abc_stall_summary (nodes : Abc.t array) : string =
   | [] -> "abc: no rounds in flight"
   | ps -> "abc in-flight rounds (round:proposals) " ^ String.concat " " ps
 
-let deploy_abc ?wrap ?policy ~sim ~keyring ~tag ~deliver () =
+let deploy_abc ?wrap ?policy ?link ~sim ~keyring ~tag ~deliver () =
   let nodes =
-    deploy ?wrap ~sim ~keyring ~layer:"abc" ~bytes:(Abc.msg_size keyring)
+    deploy ?wrap ?link ~sim ~keyring ~layer:"abc" ~bytes:(Abc.msg_size keyring)
       ~make:(fun me io -> Abc.create ?policy ~io ~tag ~deliver:(deliver me) ())
       ~handle:Abc.handle ()
   in
   Sim.set_stall_probe sim (fun () -> abc_stall_summary nodes);
   nodes
 
-let deploy_scabc ?wrap ?policy ~sim ~keyring ~tag ~deliver () =
-  deploy ?wrap ~sim ~keyring ~layer:"scabc" ~bytes:(Scabc.msg_size keyring)
+let deploy_scabc ?wrap ?policy ?link ~sim ~keyring ~tag ~deliver () =
+  deploy ?wrap ?link ~sim ~keyring ~layer:"scabc" ~bytes:(Scabc.msg_size keyring)
     ~make:(fun me io -> Scabc.create ?policy ~io ~tag ~deliver:(deliver me) ())
     ~handle:Scabc.handle ()

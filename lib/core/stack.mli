@@ -1,18 +1,31 @@
 (** Deployment glue: one protocol node per server on the simulator.
 
+    The simulator's wire type is ['msg Link.frame].  With the link
+    layer off (the default) every message travels as [Link.Raw] — an
+    unsequenced passthrough with identical message count and delivery
+    order to an unframed transport, so link-off deployments behave
+    bit-for-bit like the pre-link stack.  Passing [?link] interposes a
+    reliable {!Link} endpoint per party (sequencing, acks, timer-driven
+    retransmission), which restores liveness under lossy chaos.
+
     Corrupt a party by crashing it ([Sim.crash]), replacing its handler
     with a malicious one ([Sim.set_handler] / [Sim.wrap_handler]), or by
     passing [?wrap] at deployment time — the injection point the
     Byzantine behaviour library (lib/faults) uses, which avoids any
-    window where the honest handler could run first.  The keyring record
-    is shared, so a corrupted handler models full corruption including
-    key exposure. *)
+    window where the honest handler could run first.  [wrap] operates at
+    the payload level, below any link endpoint: a corrupted party still
+    acks and deduplicates, because the link is transport infrastructure
+    rather than protocol logic (ack withholding is modelled as chaos
+    loss towards the victim).  The keyring record is shared, so a
+    corrupted handler models full corruption including key exposure. *)
 
 val deploy :
   ?layer:string ->
   ?bytes:('msg -> int) ->
+  ?link:Link.policy ->
+  ?on_link:(int -> 'msg Link.t -> unit) ->
   ?wrap:(int -> 'msg Sim.handler -> 'msg Sim.handler) ->
-  sim:'msg Sim.t ->
+  sim:'msg Link.frame Sim.t ->
   keyring:Keyring.t ->
   make:(int -> 'msg Proto_io.t -> 'node) ->
   handle:('node -> src:int -> 'msg -> unit) ->
@@ -21,14 +34,17 @@ val deploy :
 (** Each node's [Proto_io.t] carries the simulator's observability
     handle ([Sim.obs]); [layer]/[bytes] feed its per-layer counters.
     [wrap me honest] is applied to every party's handler before it is
-    installed (identity by default).  The [deploy_*] conveniences below
-    set layer and size (layers ["rbc"], ["cbc"], ["abba"], ["vba"],
-    ["abc"], ["scabc"], with the matching [msg_size]) and pass [?wrap]
-    through. *)
+    installed (identity by default).  With [?link], [on_link me ep]
+    exposes each party's link endpoint as it is created (introspection
+    for tests: in-flight depth, backlog, retransmit counts).  The
+    [deploy_*] conveniences below set layer and size (layers ["rbc"],
+    ["cbc"], ["abba"], ["vba"], ["abc"], ["scabc"], with the matching
+    [msg_size]) and pass [?wrap] / [?link] through. *)
 
 val deploy_rbc :
   ?wrap:(int -> Rbc.msg Sim.handler -> Rbc.msg Sim.handler) ->
-  sim:Rbc.msg Sim.t ->
+  ?link:Link.policy ->
+  sim:Rbc.msg Link.frame Sim.t ->
   keyring:Keyring.t ->
   sender:int ->
   deliver:(int -> string -> unit) ->
@@ -37,7 +53,8 @@ val deploy_rbc :
 
 val deploy_cbc :
   ?wrap:(int -> Cbc.msg Sim.handler -> Cbc.msg Sim.handler) ->
-  sim:Cbc.msg Sim.t ->
+  ?link:Link.policy ->
+  sim:Cbc.msg Link.frame Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
   sender:int ->
@@ -48,7 +65,8 @@ val deploy_cbc :
 
 val deploy_abba :
   ?wrap:(int -> Abba.msg Sim.handler -> Abba.msg Sim.handler) ->
-  sim:Abba.msg Sim.t ->
+  ?link:Link.policy ->
+  sim:Abba.msg Link.frame Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
   on_decide:(int -> bool -> unit) ->
@@ -57,7 +75,8 @@ val deploy_abba :
 
 val deploy_vba :
   ?wrap:(int -> Vba.msg Sim.handler -> Vba.msg Sim.handler) ->
-  sim:Vba.msg Sim.t ->
+  ?link:Link.policy ->
+  sim:Vba.msg Link.frame Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
   ?validate:(string -> bool) ->
@@ -74,7 +93,8 @@ val abc_stall_summary : Abc.t array -> string
 val deploy_abc :
   ?wrap:(int -> Abc.msg Sim.handler -> Abc.msg Sim.handler) ->
   ?policy:Abc.policy ->
-  sim:Abc.msg Sim.t ->
+  ?link:Link.policy ->
+  sim:Abc.msg Link.frame Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
   deliver:(int -> string -> unit) ->
@@ -87,7 +107,8 @@ val deploy_abc :
 val deploy_scabc :
   ?wrap:(int -> Scabc.msg Sim.handler -> Scabc.msg Sim.handler) ->
   ?policy:Abc.policy ->
-  sim:Scabc.msg Sim.t ->
+  ?link:Link.policy ->
+  sim:Scabc.msg Link.frame Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
   deliver:(int -> label:string -> string -> unit) ->

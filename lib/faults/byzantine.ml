@@ -11,8 +11,14 @@
    can be corrupted at once — which is exactly the quantification the
    paper's Section 2 model asks for ("for every set in the structure"). *)
 
+(* Behaviours operate at the payload level, below any link endpoint:
+   the simulator's wire carries ['msg Link.frame], and a behaviour's
+   own sends travel as [Link.Raw] — the adversary controls its local
+   transport and is free to bypass its own link sequencing, while its
+   forged payloads still reach every honest handler (link-off unwraps
+   [Raw] directly; link-on delivers it as an unsequenced frame). *)
 type 'msg ctx = {
-  sim : 'msg Sim.t;
+  sim : 'msg Link.frame Sim.t;
   keyring : Keyring.t;
   party : int;
   rng : Prng.t;
@@ -41,7 +47,7 @@ let replayer ?(copies = 1) ?(budget = 64) () : 'msg t =
     if !used < budget then begin
       incr used;
       for _ = 1 to copies do
-        Sim.broadcast ctx.sim ~src:ctx.party msg
+        Sim.broadcast ctx.sim ~src:ctx.party (Link.Raw msg)
       done
     end
 
@@ -53,7 +59,7 @@ let injector ?(budget = 64) forge : 'msg t =
     if !used < budget then begin
       incr used;
       List.iter
-        (fun (dst, m) -> Sim.send ctx.sim ~src:ctx.party ~dst m)
+        (fun (dst, m) -> Sim.send ctx.sim ~src:ctx.party ~dst (Link.Raw m))
         (forge ctx ~src msg)
     end
 
@@ -69,7 +75,7 @@ let equivocator ?(budget = 64) forge : 'msg t =
         let n = Sim.n ctx.sim in
         for dst = 0 to n - 1 do
           Sim.send ctx.sim ~src:ctx.party ~dst
-            (if 2 * dst < n then ma else mb)
+            (Link.Raw (if 2 * dst < n then ma else mb))
         done
 
 let mutator mutate : 'msg t =
@@ -85,11 +91,25 @@ let compose a b : 'msg t = fun ctx honest -> a ctx (b ctx honest)
 let context ~sim ~keyring ~rng party =
   { sim; keyring; party; rng = Prng.split rng }
 
+(* Post-deployment corruption intercepts at the frame level, so under a
+   link-on deployment it also swallows the party's ack machinery (the
+   behaviour sees payloads, never acks): peers keep retransmitting to it
+   until their windows fill and back-pressure engages — i.e. [corrupt]
+   models ack withholding as a side effect.  Campaigns use {!wrap_of}
+   instead, which corrupts below the link at install time. *)
 let corrupt ~sim ~keyring ~seed ~set behavior =
   let rng = Prng.create ~seed in
   Pset.iter
     (fun party ->
-      Sim.wrap_handler sim party (behavior (context ~sim ~keyring ~rng party)))
+      Sim.wrap_handler sim party (fun installed ->
+          let honest ~src m = installed ~src (Link.Raw m) in
+          let wrapped =
+            behavior (context ~sim ~keyring ~rng party) honest
+          in
+          fun ~src frame ->
+            match frame with
+            | Link.Raw m | Link.Data { payload = m; _ } -> wrapped ~src m
+            | Link.Ack _ -> ()))
     set
 
 let wrap_of ~sim ~keyring ~seed ~set behavior =

@@ -13,7 +13,10 @@
     justification machinery must reject. *)
 
 type 'msg ctx = {
-  sim : 'msg Sim.t;
+  sim : 'msg Link.frame Sim.t;
+      (** the framed wire — a behaviour's own sends travel as [Link.Raw],
+          bypassing the party's link sequencing (the adversary controls
+          its local transport) while still reaching every handler *)
   keyring : Keyring.t;
   party : int;
   rng : Prng.t;  (** private per-party stream, split off the install seed *)
@@ -59,7 +62,7 @@ val compose : 'msg t -> 'msg t -> 'msg t
 (** {2 Installation} *)
 
 val corrupt :
-  sim:'msg Sim.t ->
+  sim:'msg Link.frame Sim.t ->
   keyring:Keyring.t ->
   seed:int ->
   set:Pset.t ->
@@ -67,10 +70,13 @@ val corrupt :
   unit
 (** Apply a behaviour to every party of [set] via [Sim.wrap_handler],
     after deployment.  Each party gets an independent PRNG split off
-    [seed]. *)
+    [seed].  Intercepts at the frame level: under a link-on deployment
+    the corrupted party's ack machinery is swallowed too (it withholds
+    acks), so peers retransmit to it until back-pressure engages —
+    campaigns prefer {!wrap_of}, which corrupts below the link. *)
 
 val wrap_of :
-  sim:'msg Sim.t ->
+  sim:'msg Link.frame Sim.t ->
   keyring:Keyring.t ->
   seed:int ->
   set:Pset.t ->
@@ -80,7 +86,8 @@ val wrap_of :
   'msg Sim.handler
 (** The same corruption as a [Stack.deploy ?wrap] argument, applied at
     handler-installation time (no window where the honest handler could
-    run). *)
+    run), at the payload level below any link endpoint — a corrupted
+    party still acks and deduplicates. *)
 
 (** {2 Protocol-specific forgeries} *)
 

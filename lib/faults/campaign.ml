@@ -11,7 +11,11 @@
    Reporting distinguishes safety from liveness violations: lossy chaos
    specs ([p_reliable = false]) break the paper's reliable-channel
    assumption, so their liveness violations are recorded but do not gate
-   ({!ok}); safety violations always gate. *)
+   ({!ok}); safety violations always gate.  Enabling the reliable link
+   layer ([config.link]) flips that for the specs it can repair
+   ([p_link_restores]): retransmission restores eventual delivery, the
+   reliable-channel assumption holds again, and those runs gate on
+   liveness like any reliable spec. *)
 
 type policy_spec = {
   p_name : string;
@@ -19,6 +23,10 @@ type policy_spec = {
   p_reliable : bool;
       (* channels still deliver eventually (duplication, reordering,
          healing partitions) — liveness oracles remain meaningful *)
+  p_link_restores : bool;
+      (* the link layer's retransmission repairs this spec's losses
+         (probabilistic drops, no permanent partition), so with
+         [config.link] set the run becomes liveness-gating *)
 }
 
 type mix_kind = Silent | Crash_at of float | Byz
@@ -46,6 +54,7 @@ type config = {
   mixes : mix list;
   payloads : int;  (* atomic-broadcast payloads per run *)
   abc_policy : Abc.policy;  (* batching / pipelining policy of ABC runs *)
+  link : Link.policy option;  (* reliable link layer (None = off) *)
   max_steps : int;
 }
 
@@ -55,6 +64,8 @@ let drop_policy ?(rate = 0.02) () =
   {
     p_name = "drop";
     p_reliable = false;
+    (* no permanent partition: retransmission eventually gets through *)
+    p_link_restores = true;
     p_chaos =
       { Sim.benign_chaos with default_link = { Sim.no_fault with drop = rate } };
   }
@@ -63,6 +74,7 @@ let dup_reorder_policy ?(rate = 0.1) () =
   {
     p_name = "dup-reorder";
     p_reliable = true;
+    p_link_restores = false;
     p_chaos =
       {
         Sim.benign_chaos with
@@ -78,6 +90,7 @@ let partition_policy ~n () =
   {
     p_name = "partition";
     p_reliable = true;
+    p_link_restores = false;
     p_chaos =
       {
         Sim.benign_chaos with
@@ -105,7 +118,7 @@ let mix_of_name name =
 
 let default_config ?(seeds = 50) ?(seed_base = 1) ?(n = 4) ?(t = 1)
     ?(rsa_bits = 192) ?(group_bits = 128) ?protocols ?policies ?mixes
-    ?(payloads = 2) ?(abc_policy = Abc.default_policy)
+    ?(payloads = 2) ?(abc_policy = Abc.default_policy) ?link
     ?(max_steps = 200_000) () =
   {
     seeds;
@@ -119,6 +132,7 @@ let default_config ?(seeds = 50) ?(seed_base = 1) ?(n = 4) ?(t = 1)
     mixes = Option.value mixes ~default:default_mixes;
     payloads;
     abc_policy;
+    link;
     max_steps;
   }
 
@@ -131,11 +145,16 @@ type run_result = {
   r_seed : int;
   r_corrupted : Pset.t;
   r_reliable : bool;
+      (* effective: the spec delivers eventually, or the link layer
+         restores delivery ([p_link_restores] with [config.link] set) —
+         exactly the runs whose liveness violations gate *)
   r_violations : Oracle.violation list;
   r_decide_clock : float option;  (* virtual time of the last honest decision *)
+  r_decided : bool;  (* every honest party finished within max_steps *)
   r_chaos_drops : int;
   r_chaos_dups : int;
   r_chaos_reorders : int;
+  r_link_retransmits : int;  (* link-layer retransmissions in this run *)
 }
 
 (* The corrupted set for a given seed: rotate through A* so a sweep
@@ -162,8 +181,19 @@ let mix_sends_honestly = function
   | Silent | Byz -> false
   | Crash_at _ -> true
 
-let finish ~protocol ~policy ~mix ~seed ~corrupted ~sim ~violations
-    ~decide_clock =
+(* Effective reliability: the chaos spec delivers eventually on its own,
+   or the link layer is on and repairs it. *)
+let effective_reliable cfg policy =
+  policy.p_reliable || (cfg.link <> None && policy.p_link_restores)
+
+(* Per-run link retransmission counts come from the shared registry
+   counter (the link endpoints of every run increment the same handle),
+   metered as a before/after delta around the run. *)
+let link_retransmit_counter obs =
+  Obs.counter obs ~labels:[ ("layer", "link") ] "link_retransmit"
+
+let finish cfg ~protocol ~policy ~mix ~seed ~corrupted ~sim ~violations
+    ~decide_clock ~decided ~link_retransmits =
   let m = Sim.metrics sim in
   {
     r_protocol = protocol;
@@ -171,12 +201,14 @@ let finish ~protocol ~policy ~mix ~seed ~corrupted ~sim ~violations
     r_mix = mix.m_name;
     r_seed = seed;
     r_corrupted = corrupted;
-    r_reliable = policy.p_reliable;
+    r_reliable = effective_reliable cfg policy;
     r_violations = violations;
     r_decide_clock = decide_clock;
+    r_decided = decided;
     r_chaos_drops = m.Metrics.chaos_drops;
     r_chaos_dups = m.Metrics.chaos_dups;
     r_chaos_reorders = m.Metrics.chaos_reorders;
+    r_link_retransmits = link_retransmits;
   }
 
 let run_abba cfg ~obs ~keyring ~policy ~mix ~seed =
@@ -192,8 +224,10 @@ let run_abba cfg ~obs ~keyring ~policy ~mix ~seed =
     Byzantine.wrap_of ~sim ~keyring ~seed:(seed lxor 0x5eed) ~set:corrupted
       (abba_behavior ~tag mix.m_kind)
   in
+  let retx = link_retransmit_counter obs in
+  let retx0 = Obs_registry.value retx in
   let nodes =
-    Stack.deploy_abba ~wrap ~sim ~keyring ~tag
+    Stack.deploy_abba ~wrap ?link:cfg.link ~sim ~keyring ~tag
       ~on_decide:(fun p b ->
         if decisions.(p) = None then begin
           decisions.(p) <- Some b;
@@ -217,9 +251,11 @@ let run_abba cfg ~obs ~keyring ~policy ~mix ~seed =
       [ Oracle.out_of_steps ~detail ~at_clock ~pending ~timers () ]
   in
   let violations = Oracle.check_abba ~honest ~proposals decisions @ stall in
-  let decide_clock = if done_ () then !last_decide else None in
-  finish ~protocol:"abba" ~policy ~mix ~seed ~corrupted ~sim ~violations
-    ~decide_clock
+  let decided = done_ () in
+  let decide_clock = if decided then !last_decide else None in
+  finish cfg ~protocol:"abba" ~policy ~mix ~seed ~corrupted ~sim ~violations
+    ~decide_clock ~decided
+    ~link_retransmits:(Obs_registry.value retx - retx0)
 
 let run_abc cfg ~obs ~keyring ~policy ~mix ~seed =
   let n = cfg.n in
@@ -235,8 +271,11 @@ let run_abc cfg ~obs ~keyring ~policy ~mix ~seed =
     Byzantine.wrap_of ~sim ~keyring ~seed:(seed lxor 0x5eed) ~set:corrupted
       (abc_behavior ~tag mix.m_kind)
   in
+  let retx = link_retransmit_counter obs in
+  let retx0 = Obs_registry.value retx in
   let nodes =
-    Stack.deploy_abc ~wrap ~policy:cfg.abc_policy ~sim ~keyring ~tag
+    Stack.deploy_abc ~wrap ~policy:cfg.abc_policy ?link:cfg.link ~sim ~keyring
+      ~tag
       ~deliver:(fun p payload ->
         logs_rev.(p) <- payload :: logs_rev.(p);
         if Pset.mem p honest && List.length logs_rev.(p) >= expected then
@@ -263,9 +302,11 @@ let run_abc cfg ~obs ~keyring ~policy ~mix ~seed =
   in
   let logs = Array.map List.rev logs_rev in
   let violations = Oracle.check_abc ~honest ~expected logs @ stall in
-  let decide_clock = if done_ () then !last_decide else None in
-  finish ~protocol:"abc" ~policy ~mix ~seed ~corrupted ~sim ~violations
-    ~decide_clock
+  let decided = done_ () in
+  let decide_clock = if decided then !last_decide else None in
+  finish cfg ~protocol:"abc" ~policy ~mix ~seed ~corrupted ~sim ~violations
+    ~decide_clock ~decided
+    ~link_retransmits:(Obs_registry.value retx - retx0)
 
 (* ---------- the sweep ------------------------------------------------- *)
 
@@ -339,7 +380,9 @@ let run ?(progress = fun _ -> ()) cfg =
 
 (* ---------- report output --------------------------------------------- *)
 
-let schema = "sintra-faults/1"
+(* /2 added the "link" section (policy + per-run retransmit rows) and
+   the per-run gating/decided flags the validator checks. *)
+let schema = "sintra-faults/2"
 
 let out_path id = Printf.sprintf "FAULTS_%s.json" id
 
@@ -357,6 +400,33 @@ let violation_json r (v : Oracle.violation) =
         | None -> Obs_json.Null
         | Some p -> Obs_json.Int p );
       ("detail", Obs_json.Str v.Oracle.detail);
+    ]
+
+let link_policy_json (p : Link.policy) =
+  Obs_json.Obj
+    [
+      ("rto", Obs_json.Float p.Link.rto);
+      ("backoff", Obs_json.Float p.Link.backoff);
+      ("max_rto", Obs_json.Float p.Link.max_rto);
+      ("jitter", Obs_json.Float p.Link.jitter);
+      ("window", Obs_json.Int p.Link.window);
+      ("ack_delay", Obs_json.Float p.Link.ack_delay);
+      ("seed", Obs_json.Int p.Link.seed);
+    ]
+
+(* One row per run: enough to audit the gating flip (which runs became
+   liveness-gating, whether they decided) and to attribute the link
+   layer's repair work (retransmissions) to individual runs. *)
+let link_run_json r =
+  Obs_json.Obj
+    [
+      ("protocol", Obs_json.Str r.r_protocol);
+      ("policy", Obs_json.Str r.r_policy);
+      ("mix", Obs_json.Str r.r_mix);
+      ("seed", Obs_json.Int r.r_seed);
+      ("gating", Obs_json.Bool r.r_reliable);
+      ("decided", Obs_json.Bool r.r_decided);
+      ("retransmits", Obs_json.Int r.r_link_retransmits);
     ]
 
 let to_json ~id ~wall rep =
@@ -428,6 +498,18 @@ let to_json ~id ~wall rep =
             ( "reorders",
               Obs_json.Int (chaos_total (fun r -> r.r_chaos_reorders)) );
           ] );
+      ( "link",
+        Obs_json.Obj
+          [
+            ("enabled", Obs_json.Bool (cfg.link <> None));
+            ( "policy",
+              match cfg.link with
+              | None -> Obs_json.Null
+              | Some p -> link_policy_json p );
+            ( "retransmits_total",
+              Obs_json.Int (chaos_total (fun r -> r.r_link_retransmits)) );
+            ("per_run", Obs_json.Arr (List.map link_run_json rep.results));
+          ] );
       ("metrics", Obs_registry.snapshot_to_json (Obs.snapshot rep.obs));
       ("violation_details", Obs_json.Arr details_capped);
     ]
@@ -483,6 +565,81 @@ let validate_json (doc : Obs_json.t) : (unit, string) result =
     | Some _ -> Ok ()
     | None -> Error "missing \"metrics\".\"counters\""
   in
+  (* The link section, including the gating invariant: a run whose
+     channels are (effectively) reliable — natively, or because the link
+     layer restores delivery — must have decided.  An undecided gating
+     row is a liveness violation dressed up as a report, so the document
+     is rejected whole. *)
+  let* link =
+    match Obs_json.member "link" doc with
+    | Some l -> Ok l
+    | None -> Error "missing \"link\" section"
+  in
+  let* enabled =
+    match Option.bind (Obs_json.member "enabled" link) Obs_json.to_bool with
+    | Some b -> Ok b
+    | None -> Error "missing or non-bool \"link\".\"enabled\""
+  in
+  let* () =
+    match (enabled, Obs_json.member "policy" link) with
+    | _, None -> Error "missing \"link\".\"policy\""
+    | true, Some p ->
+      if Obs_json.member "window" p <> None then Ok ()
+      else Error "link enabled but \"link\".\"policy\" has no \"window\""
+    | false, Some _ -> Ok ()
+  in
+  let* retx =
+    match
+      Option.bind (Obs_json.member "retransmits_total" link) Obs_json.to_int
+    with
+    | Some v -> Ok v
+    | None -> Error "missing or non-int \"link\".\"retransmits_total\""
+  in
+  let* () =
+    if retx >= 0 then Ok () else Error "negative \"link\".\"retransmits_total\""
+  in
+  let* rows =
+    match Option.bind (Obs_json.member "per_run" link) Obs_json.to_list with
+    | Some rows -> Ok rows
+    | None -> Error "missing or non-array \"link\".\"per_run\""
+  in
+  let* () =
+    if List.length rows = runs then Ok ()
+    else
+      Error
+        (Printf.sprintf "\"link\".\"per_run\" has %d rows for %d runs"
+           (List.length rows) runs)
+  in
+  let check_row i row =
+    let field name conv =
+      match Option.bind (Obs_json.member name row) conv with
+      | Some v -> Ok v
+      | None ->
+        Error
+          (Printf.sprintf "link per_run row %d: missing or ill-typed %S" i name)
+    in
+    let* gating = field "gating" Obs_json.to_bool in
+    let* decided = field "decided" Obs_json.to_bool in
+    let* row_retx = field "retransmits" Obs_json.to_int in
+    let* seed = field "seed" Obs_json.to_int in
+    let* () =
+      if row_retx >= 0 then Ok ()
+      else Error (Printf.sprintf "link per_run row %d: negative retransmits" i)
+    in
+    if gating && not decided then
+      Error
+        (Printf.sprintf
+           "link per_run row %d (seed %d): gating run left undecided parties"
+           i seed)
+    else Ok ()
+  in
+  let rec check_rows i = function
+    | [] -> Ok ()
+    | row :: rest ->
+      let* () = check_row i row in
+      check_rows (i + 1) rest
+  in
+  let* () = check_rows 0 rows in
   Ok ()
 
 (* ---------- summary --------------------------------------------------- *)
@@ -536,4 +693,11 @@ let pp_summary fmt rep =
   Format.fprintf fmt
     "total: %d runs, %d safety violations, %d liveness (%d gating)@."
     (List.length rep.results) (safety_count rep) (liveness_count rep)
-    (gating_liveness_count rep)
+    (gating_liveness_count rep);
+  match rep.config.link with
+  | None -> ()
+  | Some p ->
+    Format.fprintf fmt
+      "link: on (rto %g, backoff %g, window %d), %d retransmissions@." p.Link.rto
+      p.Link.backoff p.Link.window
+      (List.fold_left (fun a r -> a + r.r_link_retransmits) 0 rep.results)

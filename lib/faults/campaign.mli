@@ -14,6 +14,10 @@ type policy_spec = {
       (** channels still deliver eventually (duplication, reordering,
           healing partitions): liveness oracles remain meaningful.
           Lossy specs record liveness violations without gating. *)
+  p_link_restores : bool;
+      (** the reliable link layer repairs this spec's losses
+          (probabilistic drops without a permanent partition): with
+          [config.link] set, runs under it become liveness-gating *)
 }
 
 type mix_kind =
@@ -42,6 +46,10 @@ type config = {
   abc_policy : Abc.policy;
       (** batching / pipelining policy applied to every ABC run (the
           same policy at every party, as batching requires) *)
+  link : Link.policy option;
+      (** reliable link layer under every deployment ([None] = off, the
+          seed behaviour); flips [p_link_restores] policies to
+          liveness-gating *)
   max_steps : int;  (** per-run simulator step bound *)
 }
 
@@ -49,7 +57,8 @@ type config = {
 
 val drop_policy : ?rate:float -> unit -> policy_spec
 (** Lossy links: every delivery attempt dropped with probability [rate]
-    (default 0.02).  Not reliable. *)
+    (default 0.02).  Not reliable on its own; the link layer restores
+    it ([p_link_restores = true]). *)
 
 val dup_reorder_policy : ?rate:float -> unit -> policy_spec
 (** Duplication and extra reordering at probability [rate] (default
@@ -77,13 +86,14 @@ val default_config :
   ?mixes:mix list ->
   ?payloads:int ->
   ?abc_policy:Abc.policy ->
+  ?link:Link.policy ->
   ?max_steps:int ->
   unit ->
   config
 (** Defaults: 50 seeds from 1, n = 4 / t = 1, toy 192-bit RSA and
     128-bit group, both protocols, all built-in policies and mixes,
-    2 payloads, [Abc.default_policy] (unbatched, window 1), 200k
-    steps. *)
+    2 payloads, [Abc.default_policy] (unbatched, window 1), link off,
+    200k steps. *)
 
 (** {2 Runs and reports} *)
 
@@ -94,13 +104,20 @@ type run_result = {
   r_seed : int;
   r_corrupted : Pset.t;
   r_reliable : bool;
+      (** effective reliability: the spec delivers eventually, or the
+          link layer restores delivery — exactly the runs whose
+          liveness violations gate *)
   r_violations : Oracle.violation list;
   r_decide_clock : float option;
       (** virtual time of the last honest decision; [None] when some
           honest party never finished *)
+  r_decided : bool;  (** every honest party finished within [max_steps] *)
   r_chaos_drops : int;
   r_chaos_dups : int;
   r_chaos_reorders : int;
+  r_link_retransmits : int;
+      (** link-layer retransmissions attributed to this run (registry
+          counter delta; 0 with the link off) *)
 }
 
 type report = {
@@ -118,7 +135,8 @@ val safety_count : report -> int
 val liveness_count : report -> int
 
 val gating_liveness_count : report -> int
-(** Liveness violations under reliable policies — the only liveness
+(** Liveness violations under effectively reliable policies (natively
+    reliable, or lossy-but-link-restored) — the only liveness
     violations that falsify the paper's claims. *)
 
 val ok : report -> bool
@@ -127,7 +145,8 @@ val ok : report -> bool
 (** {2 Artifacts} *)
 
 val schema : string
-(** ["sintra-faults/1"]. *)
+(** ["sintra-faults/2"] — /2 added the ["link"] section (policy and
+    per-run retransmit/gating/decided rows). *)
 
 val out_path : string -> string
 (** [out_path id] is ["FAULTS_<id>.json"]. *)
@@ -138,8 +157,11 @@ val write : id:string -> wall:float -> report -> string
 (** Write the report next to the working directory; returns the path. *)
 
 val validate_json : Obs_json.t -> (unit, string) result
-(** Shape check for ["sintra-faults/1"] documents (shared with the
-    CLI's [bench-check]). *)
+(** Shape check for ["sintra-faults/2"] documents (shared with the
+    CLI's [bench-check]), including the link section and the gating
+    invariant: a per-run row marked [gating] (reliable, natively or by
+    link repair) with [decided = false] rejects the whole document —
+    an undecided gating run is a liveness violation. *)
 
 val pp_summary : Format.formatter -> report -> unit
 (** One line per (protocol, policy, mix) cell, plus totals. *)

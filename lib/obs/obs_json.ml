@@ -253,6 +253,7 @@ let member key = function
   | Null | Bool _ | Int _ | Float _ | Str _ | Arr _ -> None
 
 let to_int = function Int i -> Some i | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
 let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
 let to_str = function Str s -> Some s | _ -> None
 let to_list = function Arr l -> Some l | _ -> None

@@ -23,6 +23,7 @@ val of_string : string -> (t, string) result
 
 val member : string -> t -> t option
 val to_int : t -> int option
+val to_bool : t -> bool option
 val to_float : t -> float option
 (** [to_float] also accepts [Int]. *)
 

@@ -27,6 +27,11 @@ val histogram : t -> ?labels:labels -> string -> Obs_histogram.t
 val incr : ?by:int -> counter -> unit
 val value : counter -> int
 val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Raise the gauge to [v] if below it (high-water marks, e.g. the link
+    layer's peak retransmit-buffer depth). *)
+
 val gauge_value : gauge -> float
 
 val observe : t -> ?labels:labels -> string -> float -> unit

@@ -203,7 +203,13 @@ let wrap_handler t party f =
 let enable_trace t ~summarize = t.tracer <- Some summarize
 let trace t = List.rev t.trace
 
-let crash t party = t.crashed.(party) <- true
+let crash t party =
+  t.crashed.(party) <- true;
+  (* A dead node's timers are inert: purge its pending callbacks so the
+     scheduler never has to consider them again (the fire-time guard in
+     [fire_due_timers] stays as a second line of defence). *)
+  t.timers <- List.filter (fun (_, p, _) -> p <> party) t.timers
+
 let is_crashed t party = t.crashed.(party)
 
 (* Random per-message WAN latency in [10, 100) virtual milliseconds. *)
@@ -224,7 +230,11 @@ let broadcast t ~src msg =
   done
 
 let set_timer t party ~delay callback =
-  t.timers <- (t.clock +. delay, party, callback) :: t.timers
+  (* A crashed party schedules nothing: without this guard, a callback
+     registered after the crash (e.g. by link-layer state the protocol
+     left behind) would keep the network non-quiescent forever. *)
+  if not t.crashed.(party) then
+    t.timers <- (t.clock +. delay, party, callback) :: t.timers
 
 let fire_due_timers t =
   let due, rest = List.partition (fun (d, _, _) -> d <= t.clock) t.timers in

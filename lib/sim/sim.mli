@@ -140,7 +140,8 @@ val trace : 'msg t -> trace_event list
 (** Recorded events, oldest first. *)
 
 val crash : 'msg t -> party -> unit
-(** All subsequent deliveries to the party are dropped. *)
+(** All subsequent deliveries to the party are dropped, its pending
+    timers are purged, and later {!set_timer} calls for it are inert. *)
 
 val is_crashed : 'msg t -> party -> bool
 
@@ -149,7 +150,8 @@ val broadcast : 'msg t -> src:party -> 'msg -> unit
 (** To every server slot (0..n-1), including [src]. *)
 
 val set_timer : 'msg t -> party -> delay:float -> (unit -> unit) -> unit
-(** One-shot virtual-time timer (not fired for crashed parties). *)
+(** One-shot virtual-time timer.  A no-op for crashed parties, and a
+    party's crash purges whatever timers it had pending. *)
 
 val pending_count : 'msg t -> int
 

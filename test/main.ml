@@ -23,4 +23,5 @@ let () =
       Test_adversarial.suite;
       Test_faults.suite;
       Test_throughput.suite;
-      Test_fuzz.suite ]
+      Test_fuzz.suite;
+      Test_link.suite ]

@@ -73,11 +73,12 @@ let forged_share_tests =
             honest
         in
         let spams = ref 0 in
-        Sim.set_handler sim 3 (fun ~src:_ (_ : Abba.msg) ->
+        Sim.set_handler sim 3 (fun ~src:_ (_ : Abba.msg Link.frame) ->
             if !spams < 25 then begin
               incr spams;
               for dst = 0 to 3 do
-                Sim.send sim ~src:3 ~dst (Abba.Coin_share (1, forged_share 1))
+                Sim.send sim ~src:3 ~dst
+                  (Link.Raw (Abba.Coin_share (1, forged_share 1)))
               done
             end);
         Array.iteri
@@ -101,7 +102,7 @@ let forged_share_tests =
           Stack.deploy_abba ~sim ~keyring:kr ~tag:"unjust"
             ~on_decide:(fun me b -> decisions.(me) <- Some b) ()
         in
-        Sim.set_handler sim 3 (fun ~src:_ (_ : Abba.msg) -> ());
+        Sim.set_handler sim 3 (fun ~src:_ (_ : Abba.msg Link.frame) -> ());
         (* forge: a mainvote Value true with a vector cert signed over the
            WRONG statement (the complaint statement) *)
         let bogus_cert =
@@ -114,11 +115,12 @@ let forged_share_tests =
         in
         for dst = 0 to 2 do
           Sim.send sim ~src:3 ~dst
-            (Abba.Mainvote
-               { Abba.mv_round = 1;
-                 mv_value = Abba.Value true;
-                 mv_just = Abba.J_quorum bogus_cert;
-                 mv_share = share })
+            (Link.Raw
+               (Abba.Mainvote
+                  { Abba.mv_round = 1;
+                    mv_value = Abba.Value true;
+                    mv_just = Abba.J_quorum bogus_cert;
+                    mv_share = share }))
         done;
         Array.iteri (fun i node -> if i < 3 then Abba.propose node false) nodes;
         Sim.run sim;
@@ -139,9 +141,9 @@ let forged_share_tests =
         (* party 3 behaves honestly except it garbles its decryption
            shares (flips the group element) *)
         let honest = fun ~src m -> Scabc.handle nodes.(3) ~src m in
-        Sim.set_handler sim 3 (fun ~src m ->
-            match m with
-            | Scabc.Dec_share (d, shares) when src = 3 ->
+        Sim.set_handler sim 3 (fun ~src frame ->
+            match Link.payload frame with
+            | Some (Scabc.Dec_share (d, shares)) when src = 3 ->
               let bad =
                 List.map
                   (fun (s : Tdh2.dec_share) ->
@@ -149,7 +151,8 @@ let forged_share_tests =
                   shares
               in
               honest ~src (Scabc.Dec_share (d, bad))
-            | _ -> honest ~src m);
+            | Some m -> honest ~src m
+            | None -> ());
         let rng = Prng.create ~seed:4 in
         let ct = Scabc.encrypt_request kr rng ~label:"x" "still-secret" in
         Scabc.broadcast nodes.(0) ct;
@@ -182,9 +185,12 @@ let equivocation_tests =
                 ~on_decide:(fun me ~winner v -> results.(me) <- Some (winner, v))
                 ()
             in
-            Sim.send sim ~src:0 ~dst:1 (Vba.Proposal_cbc (0, Cbc.Send "x"));
-            Sim.send sim ~src:0 ~dst:2 (Vba.Proposal_cbc (0, Cbc.Send "x"));
-            Sim.send sim ~src:0 ~dst:3 (Vba.Proposal_cbc (0, Cbc.Send "y"));
+            Sim.send sim ~src:0 ~dst:1
+              (Link.Raw (Vba.Proposal_cbc (0, Cbc.Send "x")));
+            Sim.send sim ~src:0 ~dst:2
+              (Link.Raw (Vba.Proposal_cbc (0, Cbc.Send "x")));
+            Sim.send sim ~src:0 ~dst:3
+              (Link.Raw (Vba.Proposal_cbc (0, Cbc.Send "y")));
             Vba.propose nodes.(1) "v1";
             Vba.propose nodes.(2) "v2";
             Vba.propose nodes.(3) "v3";
@@ -215,20 +221,24 @@ let equivocation_tests =
         let honest = fun ~src m -> Abc.handle nodes.(3) ~src m in
         let recorded = ref None in
         let replays = ref 0 in
-        Sim.set_handler sim 3 (fun ~src m ->
-            (match m with
-            | Abc.Proposal (0, payload, sg) when !recorded = None ->
-              recorded := Some (payload, sg)
-            | _ -> ());
-            (match !recorded with
-            | Some (payload, sg) when !replays < 20 ->
-              (* replay into round 1 under the original signature *)
-              incr replays;
-              for dst = 0 to 3 do
-                Sim.send sim ~src:3 ~dst (Abc.Proposal (1, payload, sg))
-              done
-            | Some _ | None -> ());
-            honest ~src m);
+        Sim.set_handler sim 3 (fun ~src frame ->
+            match Link.payload frame with
+            | None -> ()
+            | Some m ->
+              (match m with
+              | Abc.Proposal (0, payload, sg) when !recorded = None ->
+                recorded := Some (payload, sg)
+              | _ -> ());
+              (match !recorded with
+              | Some (payload, sg) when !replays < 20 ->
+                (* replay into round 1 under the original signature *)
+                incr replays;
+                for dst = 0 to 3 do
+                  Sim.send sim ~src:3 ~dst
+                    (Link.Raw (Abc.Proposal (1, payload, sg)))
+                done
+              | Some _ | None -> ());
+              honest ~src m);
         Abc.broadcast nodes.(0) "r0-payload";
         Sim.run sim
           ~until:(fun () ->

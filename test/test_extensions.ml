@@ -178,9 +178,10 @@ let hybrid_tests =
             in
             Sim.crash sim 5;
             (* server 4 is Byzantine: it spams junk round proposals *)
-            Sim.set_handler sim 4 (fun ~src:_ (_ : Abc.msg) ->
+            Sim.set_handler sim 4 (fun ~src:_ (_ : Abc.msg Link.frame) ->
                 for dst = 0 to 5 do
-                  Sim.send sim ~src:4 ~dst (Abc.Proposal (0, "junk", "junk-sig"))
+                  Sim.send sim ~src:4 ~dst
+                    (Link.Raw (Abc.Proposal (0, "junk", "junk-sig")))
                 done);
             Abc.broadcast nodes.(0) "hybrid-payload-1";
             Abc.broadcast nodes.(2) "hybrid-payload-2";

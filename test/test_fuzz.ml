@@ -40,9 +40,10 @@ let fuzz_tests =
         (* party 3 is corrupted: on every delivery it injects 1-3 random
            messages to random destinations *)
         let rng = Prng.create ~seed:(seed lxor 0x5A5A) in
-        Sim.set_handler sim 3 (fun ~src:_ (_ : Rbc.msg) ->
+        Sim.set_handler sim 3 (fun ~src:_ (_ : Rbc.msg Link.frame) ->
             for _ = 0 to Prng.int rng 3 do
-              Sim.send sim ~src:3 ~dst:(Prng.int rng 4) (fuzz_rbc_msg rng)
+              Sim.send sim ~src:3 ~dst:(Prng.int rng 4)
+                (Link.Raw (fuzz_rbc_msg rng))
             done);
         Rbc.broadcast nodes.(0) "hello world";
         (try Sim.run sim ~max_steps:200_000 with Sim.Out_of_steps _ -> ());
@@ -65,20 +66,21 @@ let fuzz_tests =
         in
         (* corrupted SENDER: equivocates and injects junk finals *)
         let rng = Prng.create ~seed:(seed lxor 0xA5A5) in
-        Sim.set_handler sim 0 (fun ~src:_ (m : Cbc.msg) ->
-            (match m with
-            | Cbc.Echo share ->
+        Sim.set_handler sim 0 (fun ~src:_ (frame : Cbc.msg Link.frame) ->
+            (match Link.payload frame with
+            | Some (Cbc.Echo share) ->
               (* try to abuse the echo as a certificate by itself *)
               ignore share;
               Sim.send sim ~src:0 ~dst:(Prng.int rng 4)
-                (Cbc.Final
-                   ( payloads.(Prng.int rng (Array.length payloads)),
-                     Keyring.Vector_cert [] ))
-            | Cbc.Send _ | Cbc.Final _ -> ());
+                (Link.Raw
+                   (Cbc.Final
+                      ( payloads.(Prng.int rng (Array.length payloads)),
+                        Keyring.Vector_cert [] )))
+            | Some (Cbc.Send _ | Cbc.Final _) | None -> ());
             ());
-        Sim.send sim ~src:0 ~dst:1 (Cbc.Send "x");
-        Sim.send sim ~src:0 ~dst:2 (Cbc.Send "x");
-        Sim.send sim ~src:0 ~dst:3 (Cbc.Send "y");
+        Sim.send sim ~src:0 ~dst:1 (Link.Raw (Cbc.Send "x"));
+        Sim.send sim ~src:0 ~dst:2 (Link.Raw (Cbc.Send "x"));
+        Sim.send sim ~src:0 ~dst:3 (Link.Raw (Cbc.Send "y"));
         (try Sim.run sim ~max_steps:200_000 with Sim.Out_of_steps _ -> ());
         (* uniqueness: all honest deliveries (if any) agree *)
         let delivered = List.filter_map (fun i -> outputs.(i)) [ 1; 2; 3 ] in
@@ -101,23 +103,27 @@ let fuzz_tests =
            protocol (so quorums exist even when the honest trio is split)
            and additionally injects well-formed-but-unjustified votes *)
         let honest = fun ~src m -> Abba.handle nodes.(3) ~src m in
-        Sim.set_handler sim 3 (fun ~src m ->
-            if Prng.int rng 4 = 0 then begin
-              let b = Prng.bool rng in
-              let r = 1 + Prng.int rng 2 in
-              let share =
-                Keyring.cert_share kr ~party:3
-                  (Ro.encode
-                     [ "abba-pre"; tag; string_of_int r; string_of_bool b ])
-              in
-              Sim.send sim ~src:3 ~dst:(Prng.int rng 4)
-                (Abba.Prevote
-                   { Abba.pv_round = r;
-                     pv_vote = b;
-                     pv_just = Abba.J_support [];
-                     pv_share = share })
-            end;
-            honest ~src m);
+        Sim.set_handler sim 3 (fun ~src frame ->
+            match Link.payload frame with
+            | None -> ()
+            | Some m ->
+              if Prng.int rng 4 = 0 then begin
+                let b = Prng.bool rng in
+                let r = 1 + Prng.int rng 2 in
+                let share =
+                  Keyring.cert_share kr ~party:3
+                    (Ro.encode
+                       [ "abba-pre"; tag; string_of_int r; string_of_bool b ])
+                in
+                Sim.send sim ~src:3 ~dst:(Prng.int rng 4)
+                  (Link.Raw
+                     (Abba.Prevote
+                        { Abba.pv_round = r;
+                          pv_vote = b;
+                          pv_just = Abba.J_support [];
+                          pv_share = share }))
+              end;
+              honest ~src m);
         Array.iteri (fun i node -> Abba.propose node (i mod 2 = 0)) nodes;
         (try Sim.run sim ~max_steps:400_000 with Sim.Out_of_steps _ -> ());
         (* agreement among honest deciders; and all honest decide *)
@@ -182,4 +188,115 @@ let codec_tests =
         | Some ps' -> Codec.encode_batch ps' = frame)
   ]
 
-let suite = ("fuzz", fuzz_tests @ codec_tests)
+(* ---- reliable link layer (PR 5) -------------------------------------
+   Two properties the liveness claim rests on: the retransmit schedule
+   is a pure function of the policy seed (so lossy sweeps are exactly
+   replayable), and delivery is exactly-once no matter how the chaos
+   layer duplicates, reorders or drops DATA frames.  Plus strict-codec
+   fuzz for the link-frame wire format. *)
+
+(* Record the retransmit delays of an endpoint whose peer never acks:
+   send one payload, fire the timer [rounds] times, collect each armed
+   delay. *)
+let backoff_schedule ~seed ~rounds =
+  let policy =
+    { Link.default_policy with jitter = 0.5; rto = 100.0; seed }
+  in
+  let timers = Queue.create () in
+  let delays = ref [] in
+  let ep =
+    Link.create ~policy ~me:0 ~n:2
+      ~raw_send:(fun _ _ -> ())
+      ~timer:(fun ~delay cb ->
+        delays := delay :: !delays;
+        Queue.push cb timers)
+      ~deliver:(fun ~src:_ _ -> ())
+      ()
+  in
+  Link.send ep 1 "probe";
+  for _ = 1 to rounds do
+    let pending = Queue.length timers in
+    for _ = 1 to pending do
+      (Queue.pop timers) ()
+    done
+  done;
+  List.rev !delays
+
+let link_fuzz_tests =
+  [ qtest ~count:100 "link: retransmit schedule is a function of the seed"
+      QCheck2.Gen.int
+      (fun seed ->
+        let a = backoff_schedule ~seed ~rounds:6 in
+        let b = backoff_schedule ~seed ~rounds:6 in
+        List.length a = 7 && a = b);
+    qtest ~count:100
+      "link: exactly-once delivery under duplicate/reorder/drop chaos"
+      QCheck2.Gen.int
+      (fun seed ->
+        let n = 4 in
+        let payloads = List.init 5 (fun i -> Printf.sprintf "m-%d" i) in
+        let sim = Sim.create ~n ~seed () in
+        Sim.set_chaos sim
+          (Some
+             { Sim.benign_chaos with
+               default_link =
+                 { Sim.drop = 0.25; duplicate = 0.25; reorder = 0.25 } });
+        let got = Array.make n [] in
+        let eps =
+          Array.init n (fun me ->
+              Link.create
+                ~policy:{ Link.default_policy with seed = seed land 0xffff }
+                ~me ~n
+                ~raw_send:(fun dst f -> Sim.send sim ~src:me ~dst f)
+                ~timer:(fun ~delay cb -> Sim.set_timer sim me ~delay cb)
+                ~deliver:(fun ~src m -> got.(me) <- (src, m) :: got.(me))
+                ())
+        in
+        Array.iteri (fun me ep -> Sim.set_handler sim me (Link.handle ep)) eps;
+        List.iter (fun p -> Link.broadcast eps.(0) p) payloads;
+        (try Sim.run sim ~max_steps:400_000 with Sim.Out_of_steps _ -> ());
+        (* every party got every payload exactly once, from party 0 *)
+        Array.for_all
+          (fun l ->
+            List.sort compare l
+            = List.sort compare (List.map (fun p -> (0, p)) payloads))
+          got);
+    qtest ~count:200 "link codec: decode o encode = identity"
+      QCheck2.Gen.(
+        oneof
+          [ map (fun p -> Link.Raw p) gen_payload;
+            map2
+              (fun s p -> Link.Data { seq = 1 + abs s; payload = p })
+              small_int gen_payload;
+            map2
+              (fun c sel ->
+                let c = abs c in
+                let sel =
+                  List.sort_uniq compare (List.map (fun s -> c + 1 + abs s) sel)
+                in
+                Link.Ack { cum = c; sel })
+              small_int
+              (list_size (0 -- 6) small_int) ])
+      (fun frame ->
+        Codec.decode_link_frame (Codec.encode_link_frame frame) = Some frame);
+    qtest ~count:200 "link codec: random bytes never mis-decode"
+      QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 96))
+      (fun s ->
+        match Codec.decode_link_frame s with
+        | None -> true
+        | Some frame -> Codec.encode_link_frame frame = s);
+    qtest ~count:200 "link codec: every proper prefix is rejected"
+      QCheck2.Gen.(pair gen_payload small_nat)
+      (fun (p, seq) ->
+        let frame =
+          Codec.encode_link_frame (Link.Data { seq = seq + 1; payload = p })
+        in
+        let ok = ref true in
+        for len = 0 to String.length frame - 1 do
+          if Codec.decode_link_frame (String.sub frame 0 len) <> None then
+            ok := false
+        done;
+        !ok)
+  ]
+
+let suite = ("fuzz", fuzz_tests @ codec_tests @ link_fuzz_tests)

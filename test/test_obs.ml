@@ -184,7 +184,9 @@ let trace_tests =
         let structure = AS.threshold ~n:4 ~t:1 in
         let kr = Keyring.deal ~rsa_bits:192 ~seed:21 structure in
         let obs = Obs.create () in
-        let sim = Sim.create ~size:Rbc.msg_size ~obs ~n:4 ~seed:5 () in
+        let sim =
+          Sim.create ~size:(Link.frame_size Rbc.msg_size) ~obs ~n:4 ~seed:5 ()
+        in
         let tr = Obs_trace.create ~now:(fun () -> Sim.clock sim) () in
         Obs.set_tracer obs tr;
         let delivered = ref 0 in
@@ -214,7 +216,11 @@ let attribution_tests =
         let structure = AS.threshold ~n:4 ~t:1 in
         let kr = Keyring.deal ~rsa_bits:192 ~seed:23 structure in
         let obs = Obs.create () in
-        let sim = Sim.create ~size:(Abc.msg_size kr) ~obs ~n:4 ~seed:7 () in
+        let sim =
+          Sim.create
+            ~size:(Link.frame_size (Abc.msg_size kr))
+            ~obs ~n:4 ~seed:7 ()
+        in
         let logs = Array.make 4 [] in
         let nodes =
           Stack.deploy_abc ~sim ~keyring:kr ~tag:"obs-test"

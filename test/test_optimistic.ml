@@ -60,7 +60,9 @@ let tests =
         let keyring = Lazy.force kr in
         let opt_msgs =
           let sim =
-            Sim.create ~size:(Optimistic_abc.msg_size keyring) ~n:4 ~seed:21 ()
+            Sim.create
+              ~size:(Link.frame_size (Optimistic_abc.msg_size keyring))
+              ~n:4 ~seed:21 ()
           in
           let nodes, logs = deploy ~sim () in
           Optimistic_abc.broadcast nodes.(1) "payload";
@@ -69,7 +71,10 @@ let tests =
           (Sim.metrics sim).Metrics.bytes_sent
         in
         let abc_msgs =
-          let sim = Sim.create ~size:(Abc.msg_size keyring) ~n:4 ~seed:21 () in
+          let sim =
+            Sim.create ~size:(Link.frame_size (Abc.msg_size keyring)) ~n:4
+              ~seed:21 ()
+          in
           let logs = Array.make 4 [] in
           let nodes =
             Stack.deploy_abc ~sim ~keyring ~tag:"cmp"

@@ -87,9 +87,9 @@ let rbc_tests =
             ignore nodes;
             (* replace sender with raw injections *)
             Sim.set_handler sim 0 (fun ~src:_ _ -> ());
-            Sim.send sim ~src:0 ~dst:1 (Rbc.Send "a");
-            Sim.send sim ~src:0 ~dst:2 (Rbc.Send "a");
-            Sim.send sim ~src:0 ~dst:3 (Rbc.Send "b");
+            Sim.send sim ~src:0 ~dst:1 (Link.Raw (Rbc.Send "a"));
+            Sim.send sim ~src:0 ~dst:2 (Link.Raw (Rbc.Send "a"));
+            Sim.send sim ~src:0 ~dst:3 (Link.Raw (Rbc.Send "b"));
             Sim.run sim;
             let delivered =
               List.filter_map (fun i -> outputs.(i)) [ 1; 2; 3 ]
@@ -192,9 +192,9 @@ let cbc_tests =
             (* Byzantine sender: SEND "x" to 1,2 and "y" to 3; it cannot
                assemble certificates for both, so honest deliveries agree. *)
             Sim.set_handler sim 0 (fun ~src:_ _ -> ());
-            Sim.send sim ~src:0 ~dst:1 (Cbc.Send "x");
-            Sim.send sim ~src:0 ~dst:2 (Cbc.Send "x");
-            Sim.send sim ~src:0 ~dst:3 (Cbc.Send "y");
+            Sim.send sim ~src:0 ~dst:1 (Link.Raw (Cbc.Send "x"));
+            Sim.send sim ~src:0 ~dst:2 (Link.Raw (Cbc.Send "x"));
+            Sim.send sim ~src:0 ~dst:3 (Link.Raw (Cbc.Send "y"));
             Sim.run sim;
             let delivered =
               List.filter_map (fun i -> outputs.(i)) [ 1; 2; 3 ]
@@ -290,14 +290,16 @@ let abba_tests =
             (* the corrupted party floods everyone with junk votes and
                equivocating supports *)
             let spam sim =
-             fun ~src:_ (_ : Abba.msg) ->
+             fun ~src:_ (_ : Abba.msg Link.frame) ->
               let share b =
                 Keyring.cert_share kr ~party:3
                   (Ro.encode [ "abba-sup"; Printf.sprintf "abba-%d" seed;
                                string_of_bool b ])
               in
-              Sim.send sim ~src:3 ~dst:0 (Abba.Support (true, share true));
-              Sim.send sim ~src:3 ~dst:1 (Abba.Support (false, share false))
+              Sim.send sim ~src:3 ~dst:0
+                (Link.Raw (Abba.Support (true, share true)));
+              Sim.send sim ~src:3 ~dst:1
+                (Link.Raw (Abba.Support (false, share false)))
             in
             let n = 4 in
             let sim = Sim.create ~n ~seed () in
@@ -391,7 +393,8 @@ let vba_tests =
             (* the corrupted proposer injects an odd-length (invalid)
                payload; honest parties refuse to endorse it *)
             for dst = 0 to 3 do
-              Sim.send sim ~src:0 ~dst (Vba.Proposal_cbc (0, Cbc.Send "bad"))
+              Sim.send sim ~src:0 ~dst
+                (Link.Raw (Vba.Proposal_cbc (0, Cbc.Send "bad")))
             done;
             Vba.propose nodes.(1) "ok";
             Vba.propose nodes.(2) "fine";

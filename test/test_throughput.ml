@@ -18,7 +18,7 @@ let kr41 = lazy (Keyring.deal ~rsa_bits:192 ~seed:1000 th41)
    per-party logs in delivery order plus the nodes and sim. *)
 let run_abc ?policy ?obs ~seed ~payloads () =
   let keyring = Lazy.force kr41 in
-  let sim = Sim.create ?obs ~size:(Abc.msg_size keyring) ~n:4 ~seed () in
+  let sim = Sim.create ?obs ~size:(Link.frame_size (Abc.msg_size keyring)) ~n:4 ~seed () in
   let logs = Array.make 4 [] in
   let nodes =
     Stack.deploy_abc ?policy ~sim ~keyring ~tag:"tput"
@@ -37,7 +37,7 @@ let tests =
   [ Alcotest.test_case "policy validation rejects non-positive fields"
       `Quick (fun () ->
         let keyring = Lazy.force kr41 in
-        let sim = Sim.create ~size:(Abc.msg_size keyring) ~n:4 ~seed:1 () in
+        let sim = Sim.create ~size:(Link.frame_size (Abc.msg_size keyring)) ~n:4 ~seed:1 () in
         let bad policy =
           match
             Stack.deploy_abc ~policy ~sim ~keyring ~tag:"bad"
@@ -118,7 +118,7 @@ let tests =
            [Sim.Out_of_steps]. *)
         let keyring = Lazy.force kr41 in
         let obs = Obs.create () in
-        let sim = Sim.create ~obs ~size:(Abc.msg_size keyring) ~n:4 ~seed:5 () in
+        let sim = Sim.create ~obs ~size:(Link.frame_size (Abc.msg_size keyring)) ~n:4 ~seed:5 () in
         let nodes =
           Stack.deploy_abc
             ~policy:{ Abc.default_policy with max_batch_msgs = 1; window = 2 }
@@ -148,7 +148,7 @@ let tests =
     Alcotest.test_case "stall probe feeds Out_of_steps diagnostics" `Quick
       (fun () ->
         let keyring = Lazy.force kr41 in
-        let sim = Sim.create ~size:(Abc.msg_size keyring) ~n:4 ~seed:6 () in
+        let sim = Sim.create ~size:(Link.frame_size (Abc.msg_size keyring)) ~n:4 ~seed:6 () in
         let nodes =
           Stack.deploy_abc
             ~policy:{ Abc.default_policy with max_batch_msgs = 4; window = 2 }
@@ -168,7 +168,7 @@ let tests =
       `Quick (fun () ->
         let keyring = Lazy.force kr41 in
         let sim =
-          Sim.create ~size:(Scabc.msg_size keyring) ~n:4 ~seed:11 ()
+          Sim.create ~size:(Link.frame_size (Scabc.msg_size keyring)) ~n:4 ~seed:11 ()
         in
         let logs = Array.make 4 [] in
         let nodes =
