@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test fmt fmt-check bench bench-num bench-check bench-smoke perf-diff faults faults-smoke link-smoke tput tput-smoke check clean
+.PHONY: all build test fmt fmt-check bench bench-num bench-check bench-smoke perf-diff faults faults-smoke link-smoke tput tput-smoke flight flight-smoke flight-bless schedule-search check clean
 
 all: build
 
@@ -81,9 +81,44 @@ tput-smoke:
 	$(DUNE) exec bench/main.exe -- --small TPUT
 	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_TPUT.json
 
-# Aggregate CI gate: build, unit/property tests, and every smoke sweep.
-check: build test bench-smoke faults-smoke link-smoke tput-smoke
+# Full flight recording: the default campaign under the flight
+# recorder; writes FLIGHT_CAMPAIGN.json (per-cell histograms, layer
+# rollups, worst-run pointers, anomaly windows) and schema-checks it.
+flight:
+	$(DUNE) exec bin/sintra_cli.exe -- record --seeds 10 --out CAMPAIGN
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check FLIGHT_CAMPAIGN.json
+
+# CI-sized recording plus the regression gate: record 3 seeds per cell,
+# schema-check the FLIGHT file, then diff it against the blessed
+# baseline.  FLIGHT files are derived from seeded virtual-time runs
+# only, so an unchanged tree reproduces the baseline byte-for-byte and
+# any strict regression (safety, gating liveness, decided counts) or
+# >10% thresholded drift exits non-zero.
+flight-smoke:
+	$(DUNE) exec bin/sintra_cli.exe -- record --seeds 3 --quiet --out SMOKE
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check FLIGHT_SMOKE.json
+	$(DUNE) exec bin/sintra_cli.exe -- compare baselines/FLIGHT_BASELINE.json FLIGHT_SMOKE.json
+
+# Re-bless the checked-in baseline after an intentional behaviour
+# change (same config as flight-smoke; commit the result).
+flight-bless:
+	$(DUNE) exec bin/sintra_cli.exe -- record --seeds 3 --quiet --out BASELINE
+	mv FLIGHT_BASELINE.json baselines/FLIGHT_BASELINE.json
+
+# Adversarial schedule search over chaos genomes (hill-climb, seeded):
+# maximises steps-to-decide and the link back-pressure peak, archiving
+# the worst schedules found as replayable fixtures under
+# test/fixtures/.  Exits non-zero if any evaluated schedule ever cost
+# safety.
+schedule-search:
+	$(DUNE) exec bin/sintra_cli.exe -- search --objective decide-time --iters 12 --top 2 --out-dir test/fixtures
+	$(DUNE) exec bin/sintra_cli.exe -- search --objective buffer-peak --iters 12 --top 2 --link --out-dir test/fixtures
+
+# Aggregate CI gate: build, unit/property tests, and every smoke sweep,
+# including the flight-recorder regression diff against the blessed
+# baseline.
+check: build test bench-smoke faults-smoke link-smoke tput-smoke flight-smoke
 
 clean:
 	$(DUNE) clean
-	rm -f BENCH_*.json FAULTS_*.json
+	rm -f BENCH_*.json FAULTS_*.json FLIGHT_*.json

@@ -53,7 +53,7 @@ let write ~id ~wall (o : Obs.t) : unit =
   in
   let path = out_path id in
   let oc = open_out path in
-  output_string oc (Obs_json.to_string doc);
+  output_string oc (Obs_json.to_canonical_string doc);
   output_char oc '\n';
   close_out oc;
   Printf.printf "[bench] wrote %s\n%!" path

@@ -312,9 +312,10 @@ let bench_check_cmd =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"FILE"
-          ~doc:"BENCH_<id>.json / FAULTS_<id>.json files to validate \
-                (default: every BENCH_*.json and FAULTS_*.json in the \
-                current directory).")
+          ~doc:"BENCH_<id>.json / FAULTS_<id>.json / FLIGHT_<id>.json \
+                files to validate (default: every BENCH_*.json, \
+                FAULTS_*.json and FLIGHT_*.json in the current \
+                directory).")
   in
   let read_file path =
     let ic = open_in_bin path in
@@ -327,7 +328,9 @@ let bench_check_cmd =
     && String.sub f 0 (String.length p) = p
     && Filename.check_suffix f ".json"
   in
-  let is_artifact f = has_prefix "BENCH_" f || has_prefix "FAULTS_" f in
+  let is_artifact f =
+    has_prefix "BENCH_" f || has_prefix "FAULTS_" f || has_prefix "FLIGHT_" f
+  in
   let check_bench path doc : (string, string) result =
     let str k = Option.bind (Obs_json.member k doc) Obs_json.to_str in
     let num k = Option.bind (Obs_json.member k doc) Obs_json.to_float in
@@ -471,6 +474,25 @@ let bench_check_cmd =
               Printf.sprintf "on, %d retransmissions" link_retx
             else "off"))
   in
+  let check_flight path doc : (string, string) result =
+    match Flight.validate_json doc with
+    | Error e -> Error e
+    | Ok () ->
+      let str k = Option.bind (Obs_json.member k doc) Obs_json.to_str in
+      let int k = Option.bind (Obs_json.member k doc) Obs_json.to_int in
+      let dropped =
+        Option.value ~default:0
+          (Option.bind (Obs_json.member "trace" doc) (fun t ->
+               Option.bind (Obs_json.member "dropped_events" t) Obs_json.to_int))
+      in
+      Ok
+        (Printf.sprintf
+           "%s: OK (%s: %d runs, %d decided, %d hot-ring events dropped)" path
+           (Option.value (str "experiment") ~default:"?")
+           (Option.value (int "runs") ~default:0)
+           (Option.value (int "decided") ~default:0)
+           dropped)
+  in
   let check path : (string, string) result =
     match Obs_json.of_string (read_file path) with
     | Error e -> Error (Printf.sprintf "parse error: %s" e)
@@ -478,6 +500,7 @@ let bench_check_cmd =
       (match Option.bind (Obs_json.member "schema" doc) Obs_json.to_str with
       | Some "sintra-bench/1" -> check_bench path doc
       | Some "sintra-faults/2" -> check_faults path doc
+      | Some "sintra-flight/1" -> check_flight path doc
       | Some s -> Error (Printf.sprintf "unknown schema %S" s)
       | None -> Error "missing \"schema\" member")
   in
@@ -508,9 +531,10 @@ let bench_check_cmd =
     (Cmd.info "bench-check"
        ~doc:
          "Validate the schema of machine-readable benchmark \
-          (sintra-bench/1) and fault-campaign (sintra-faults/2) output, \
-          including the link section's gating invariant (no undecided \
-          liveness-gating runs).")
+          (sintra-bench/1), fault-campaign (sintra-faults/2) and \
+          flight-record (sintra-flight/1) output, including the link \
+          section's gating invariant (no undecided liveness-gating \
+          runs).")
     Term.(const run $ files_arg)
 
 (* ---------- faults: seed-sweep fault-injection campaigns ------------- *)
@@ -637,6 +661,333 @@ let faults_cmd =
       const run $ n_arg $ t_arg $ seed_arg $ seeds_arg $ protocols_arg
       $ policies_arg $ mixes_arg $ payloads_arg $ max_steps_arg $ out_arg
       $ quick_arg $ link_arg $ drop_rate_arg)
+
+(* ---------- record: fault campaign with the flight recorder ---------- *)
+
+let record_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"K" ~doc:"Seeds per (protocol, policy, mix) cell.")
+  in
+  let protocols_arg =
+    Arg.(
+      value & opt string "abba,abc"
+      & info [ "protocols" ] ~docv:"LIST"
+          ~doc:"Comma-separated protocols to sweep (abba, abc).")
+  in
+  let policies_arg =
+    Arg.(
+      value & opt string "drop,dup-reorder,partition"
+      & info [ "policies" ] ~docv:"LIST"
+          ~doc:"Comma-separated chaos policies (drop, dup-reorder, \
+                partition).")
+  in
+  let mixes_arg =
+    Arg.(
+      value & opt string "silent,crash,byzantine"
+      & info [ "mixes" ] ~docv:"LIST"
+          ~doc:"Comma-separated corruption mixes (silent, crash, byzantine).")
+  in
+  let payloads_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "payloads" ] ~docv:"K"
+          ~doc:"Atomic-broadcast payloads per abc run.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Per-run simulator step bound.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "CAMPAIGN"
+      & info [ "out" ] ~docv:"ID"
+          ~doc:"Record id: the campaign writes FLIGHT_<ID>.json.")
+  in
+  let link_arg =
+    Arg.(
+      value & flag
+      & info [ "link" ]
+          ~doc:"Run every deployment over the reliable link layer (default \
+                policy).")
+  in
+  let drop_rate_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Override the drop policy's per-delivery loss probability \
+                (default 0.02).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No progress on stderr.")
+  in
+  let parse_list ~what parse s =
+    String.split_on_char ',' s
+    |> List.filter (fun x -> x <> "")
+    |> List.map (fun name ->
+           match parse name with
+           | Some v -> v
+           | None ->
+             Printf.eprintf "record: unknown %s %S\n" what name;
+             exit 2)
+  in
+  let run n t seed seeds protocols policies mixes payloads max_steps out link
+      drop_rate quiet =
+    let policy_of_name name =
+      match (name, drop_rate) with
+      | "drop", Some rate -> Some (Campaign.drop_policy ~rate ())
+      | _ -> Campaign.policy_of_name ~n name
+    in
+    let cfg =
+      Campaign.default_config ~seeds ~seed_base:seed ~n ~t
+        ~protocols:
+          (parse_list ~what:"protocol" Campaign.protocol_of_string protocols)
+        ~policies:(parse_list ~what:"policy" policy_of_name policies)
+        ~mixes:(parse_list ~what:"mix" Campaign.mix_of_name mixes)
+        ~payloads
+        ?link:(if link then Some Link.default_policy else None)
+        ~max_steps ()
+    in
+    let env = Campaign.prepare cfg in
+    let flight = Flight.create ~obs:(Campaign.env_obs env) () in
+    let rep =
+      Campaign.run_prepared
+        ~progress:(fun (k, total) ->
+          if (not quiet) && (k mod 25 = 0 || k = total) then
+            Printf.eprintf "\r[record] %d/%d runs%!" k total)
+        ~flight env cfg
+    in
+    if not quiet then Printf.eprintf "\n%!";
+    let summary =
+      Flight.summarize ~id:out
+        ~config:(Campaign.config_json cfg)
+        (Flight.runs flight)
+    in
+    Flight.pp_summary Format.std_formatter summary;
+    let path = Flight.write ~id:out summary in
+    Printf.printf "[record] wrote %s\n" path;
+    if not (Campaign.ok rep) then begin
+      prerr_endline
+        "record: safety violation or liveness loss under a gating policy";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run a fault campaign under the flight recorder and write a \
+          sintra-flight/1 summary (FLIGHT_<ID>.json): per-cell decide-time \
+          / steps / retransmit / buffer-peak histograms, per-layer counter \
+          rollups, worst-run pointers, and bounded hot-trace windows \
+          around anomalies.  The file is derived from seeded virtual-time \
+          runs only, so identical configurations produce identical bytes.")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ seeds_arg $ protocols_arg
+      $ policies_arg $ mixes_arg $ payloads_arg $ max_steps_arg $ out_arg
+      $ link_arg $ drop_rate_arg $ quiet_arg)
+
+(* ---------- compare: regression gate over two artifacts -------------- *)
+
+let compare_cmd =
+  let a_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"BASELINE"
+          ~doc:"Baseline FLIGHT/FAULTS/BENCH json file.")
+  in
+  let b_arg =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"CANDIDATE"
+          ~doc:"Candidate file of the same schema.")
+  in
+  let rel_arg =
+    Arg.(
+      value & opt float 0.10
+      & info [ "rel" ] ~docv:"R"
+          ~doc:"Relative worsening tolerated by thresholded metrics \
+                (default 0.10).")
+  in
+  let abs_arg =
+    Arg.(
+      value & opt float 1e-9
+      & info [ "abs" ] ~docv:"E"
+          ~doc:"Absolute tolerance floor (default 1e-9: byte-stable reruns \
+                compare equal).")
+  in
+  let run a b rel abs_eps =
+    match
+      Compare.compare_files ~thresholds:{ Compare.rel; abs_eps } a b
+    with
+    | Error e ->
+      Printf.eprintf "compare: %s\n" e;
+      exit 2
+    | Ok report ->
+      Compare.pp_report Format.std_formatter report;
+      if not (Compare.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Diff two machine-readable artifacts of the same schema \
+          (sintra-flight/1, sintra-faults/2 or sintra-bench/1) and \
+          classify every metric delta as improved, regressed or neutral. \
+          Safety violations, gating-liveness violations and decided \
+          counts regress on any worsening; other metrics tolerate \
+          --rel/--abs.  Exits 1 on regression, 2 on structural mismatch \
+          — wiring this against a checked-in baseline turns it into a CI \
+          regression gate.")
+    Term.(const run $ a_arg $ b_arg $ rel_arg $ abs_arg)
+
+(* ---------- search: adversarial schedule search ---------------------- *)
+
+let search_cmd =
+  let objective_arg =
+    Arg.(
+      value & opt string "decide-time"
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:"What to maximise: decide-time (mean steps to completion, \
+                stalls dominate) or buffer-peak (worst link send-buffer \
+                depth; forces --link).")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "iters" ] ~docv:"N" ~doc:"Hill-climb iterations.")
+  in
+  let eval_seeds_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "eval-seeds" ] ~docv:"K"
+          ~doc:"Runs per candidate schedule evaluation.")
+  in
+  let protocol_arg =
+    Arg.(
+      value & opt string "abc"
+      & info [ "protocol" ] ~docv:"P" ~doc:"Protocol to attack (abba, abc).")
+  in
+  let payloads_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "payloads" ] ~docv:"K"
+          ~doc:"Atomic-broadcast payloads per abc run.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 60_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Per-run simulator step bound.")
+  in
+  let link_arg =
+    Arg.(
+      value & flag
+      & info [ "link" ] ~doc:"Evaluate over the reliable link layer.")
+  in
+  let out_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Archive the worst schedules as replayable \
+                worst_<objective>_<rank>.json fixtures in DIR.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "top" ] ~docv:"M"
+          ~doc:"How many worst schedules to archive (default 3).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No progress on stderr.")
+  in
+  let run n t seed objective iters eval_seeds protocol payloads max_steps link
+      out_dir top quiet =
+    let objective =
+      match Schedule_search.objective_of_label objective with
+      | Some o -> o
+      | None ->
+        Printf.eprintf "search: unknown objective %S\n" objective;
+        exit 2
+    in
+    let protocol =
+      match Campaign.protocol_of_string protocol with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "search: unknown protocol %S\n" protocol;
+        exit 2
+    in
+    let params =
+      {
+        Schedule_search.default_params with
+        Schedule_search.search_seed = seed;
+        iters;
+        eval_seeds;
+        n;
+        t;
+        protocol;
+        payloads;
+        link;
+        max_steps;
+      }
+    in
+    let outcome =
+      Schedule_search.search
+        ~progress:(fun (k, budget, score) ->
+          if not quiet then
+            Printf.eprintf "\r[search] eval %d/%d  score %.0f    %!" k budget
+              score)
+        ~params ~objective ()
+    in
+    if not quiet then Printf.eprintf "\n%!";
+    let best = outcome.Schedule_search.o_best in
+    Printf.printf
+      "search(%s): %d evaluations, best score %.0f (%d/%d decided, %d safety \
+       violations)\n"
+      (Schedule_search.objective_label objective)
+      outcome.Schedule_search.o_evaluations best.Schedule_search.e_score
+      best.Schedule_search.e_decided best.Schedule_search.e_runs
+      best.Schedule_search.e_safety;
+    let g = best.Schedule_search.e_genome in
+    Printf.printf
+      "  genome: drop %.3f  delay %.2f  dup %.3f  reorder %.3f  partition \
+       [%.0f, +%.0f) frac %.2f\n"
+      g.Schedule_search.g_drop g.Schedule_search.g_delay
+      g.Schedule_search.g_dup g.Schedule_search.g_reorder
+      g.Schedule_search.g_part_start g.Schedule_search.g_part_len
+      g.Schedule_search.g_part_frac;
+    (match out_dir with
+    | None -> ()
+    | Some dir ->
+      let paths =
+        Schedule_search.write_fixtures ~dir ~params ~objective outcome ~top
+      in
+      List.iter (fun p -> Printf.printf "[search] wrote %s\n" p) paths);
+    (* an adversarial *schedule* must never cost safety; if the search
+       found one that does, that is a protocol bug worth failing loudly *)
+    let total_safety =
+      List.fold_left
+        (fun a e -> a + e.Schedule_search.e_safety)
+        0 outcome.Schedule_search.o_archive
+    in
+    if total_safety > 0 then begin
+      Printf.eprintf "search: %d safety violations during search\n"
+        total_safety;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Adversarial schedule search: hill-climb over chaos genomes \
+          (drop/delay/duplication/reordering rates plus a healing \
+          partition window), maximising steps-to-decide or link buffer \
+          peaks.  Deterministic in --seed.  With --out-dir, archives the \
+          worst schedules as replayable sintra-schedule/1 fixtures; exits \
+          non-zero if any evaluated schedule cost safety.")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ objective_arg $ iters_arg
+      $ eval_seeds_arg $ protocol_arg $ payloads_arg $ max_steps_arg
+      $ link_arg $ out_dir_arg $ top_arg $ quiet_arg)
 
 (* ---------- bench-num: modular-arithmetic micro-benchmarks ----------- *)
 
@@ -927,4 +1278,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ structure_cmd; abc_cmd; trace_cmd; bench_check_cmd; bench_num_cmd;
-            perf_diff_cmd; faults_cmd; coin_cmd; notary_cmd; ca_cmd ]))
+            perf_diff_cmd; faults_cmd; record_cmd; compare_cmd; search_cmd;
+            coin_cmd; notary_cmd; ca_cmd ]))

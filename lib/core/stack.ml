@@ -103,8 +103,9 @@ let deploy_cbc ?wrap ?link ~sim ~keyring ~tag ~sender ?validate ~deliver () =
     ~make:(fun me io -> Cbc.create ~io ~tag ~sender ?validate ~deliver:(deliver me) ())
     ~handle:Cbc.handle ()
 
-let deploy_abba ?wrap ?link ~sim ~keyring ~tag ~on_decide () =
-  deploy ?wrap ?link ~sim ~keyring ~layer:"abba" ~bytes:(Abba.msg_size keyring)
+let deploy_abba ?wrap ?link ?on_link ~sim ~keyring ~tag ~on_decide () =
+  deploy ?wrap ?link ?on_link ~sim ~keyring ~layer:"abba"
+    ~bytes:(Abba.msg_size keyring)
     ~make:(fun me io -> Abba.create ~io ~tag ~on_decide:(on_decide me))
     ~handle:Abba.handle ()
 
@@ -134,9 +135,10 @@ let abc_stall_summary (nodes : Abc.t array) : string =
   | [] -> "abc: no rounds in flight"
   | ps -> "abc in-flight rounds (round:proposals) " ^ String.concat " " ps
 
-let deploy_abc ?wrap ?policy ?link ~sim ~keyring ~tag ~deliver () =
+let deploy_abc ?wrap ?policy ?link ?on_link ~sim ~keyring ~tag ~deliver () =
   let nodes =
-    deploy ?wrap ?link ~sim ~keyring ~layer:"abc" ~bytes:(Abc.msg_size keyring)
+    deploy ?wrap ?link ?on_link ~sim ~keyring ~layer:"abc"
+      ~bytes:(Abc.msg_size keyring)
       ~make:(fun me io -> Abc.create ?policy ~io ~tag ~deliver:(deliver me) ())
       ~handle:Abc.handle ()
   in

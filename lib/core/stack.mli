@@ -66,6 +66,7 @@ val deploy_cbc :
 val deploy_abba :
   ?wrap:(int -> Abba.msg Sim.handler -> Abba.msg Sim.handler) ->
   ?link:Link.policy ->
+  ?on_link:(int -> Abba.msg Link.t -> unit) ->
   sim:Abba.msg Link.frame Sim.t ->
   keyring:Keyring.t ->
   tag:string ->
@@ -94,6 +95,7 @@ val deploy_abc :
   ?wrap:(int -> Abc.msg Sim.handler -> Abc.msg Sim.handler) ->
   ?policy:Abc.policy ->
   ?link:Link.policy ->
+  ?on_link:(int -> Abc.msg Link.t -> unit) ->
   sim:Abc.msg Link.frame Sim.t ->
   keyring:Keyring.t ->
   tag:string ->

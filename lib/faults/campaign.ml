@@ -155,6 +155,11 @@ type run_result = {
   r_chaos_dups : int;
   r_chaos_reorders : int;
   r_link_retransmits : int;  (* link-layer retransmissions in this run *)
+  r_steps : int;  (* simulator steps this run consumed *)
+  r_buffer_peak : int;
+      (* max link send-buffer depth across this run's endpoints (0 with
+         the link off) — the back-pressure signal the schedule search
+         maximises *)
 }
 
 (* The corrupted set for a given seed: rotate through A* so a sweep
@@ -193,7 +198,7 @@ let link_retransmit_counter obs =
   Obs.counter obs ~labels:[ ("layer", "link") ] "link_retransmit"
 
 let finish cfg ~protocol ~policy ~mix ~seed ~corrupted ~sim ~violations
-    ~decide_clock ~decided ~link_retransmits =
+    ~decide_clock ~decided ~link_retransmits ~steps ~buffer_peak =
   let m = Sim.metrics sim in
   {
     r_protocol = protocol;
@@ -209,14 +214,67 @@ let finish cfg ~protocol ~policy ~mix ~seed ~corrupted ~sim ~violations
     r_chaos_dups = m.Metrics.chaos_dups;
     r_chaos_reorders = m.Metrics.chaos_reorders;
     r_link_retransmits = link_retransmits;
+    r_steps = steps;
+    r_buffer_peak = buffer_peak;
   }
 
-let run_abba cfg ~obs ~keyring ~policy ~mix ~seed =
+(* Flight-recorder glue: the campaign feeds the recorder plain scalars;
+   the recorder depends only on sintra_obs, so the dependency arrow runs
+   faults -> recorder -> obs with no cycle. *)
+
+let flight_begin flight sim =
+  Option.iter
+    (fun fl -> Flight.run_begin fl ~now:(fun () -> Sim.clock sim))
+    flight
+
+let flight_stall flight ~at_clock ~detail =
+  Option.iter
+    (fun fl ->
+      Flight.note_anomaly fl Flight.Stall ~at:at_clock
+        ~detail:(if detail = "" then "out of steps" else detail))
+    flight
+
+let flight_end flight cfg ~protocol ~policy ~mix ~seed ~violations ~decided
+    ~decide_clock ~steps ~buffer_peak =
+  Option.iter
+    (fun fl ->
+      List.iter
+        (fun (v : Oracle.violation) ->
+          if v.Oracle.severity = Oracle.Safety then
+            Flight.note_anomaly fl Flight.Safety_trip
+              ~detail:(Oracle.violation_to_string v))
+        violations;
+      Flight.run_end fl
+        ~key:
+          { Flight.protocol;
+            policy = policy.p_name;
+            mix = mix.m_name;
+            seed }
+        ~decided
+        ~gating:(effective_reliable cfg policy)
+        ~decide_clock ~steps
+        ~safety:(Oracle.count_safety violations)
+        ~liveness:(Oracle.count_liveness violations)
+        ~buffer_peak)
+    flight
+
+(* Max link send-buffer depth across a run's endpoints, via the
+   [?on_link] deployment hook (0 with the link off).  Probes are stored
+   as thunks so one helper serves every protocol's endpoint type. *)
+let peak_probe () =
+  let probes : (unit -> int) list ref = ref [] in
+  let on_link _me ep = probes := (fun () -> Link.buffer_peak ep) :: !probes in
+  let peak () = List.fold_left (fun acc f -> max acc (f ())) 0 !probes in
+  (on_link, peak)
+
+let run_abba ?flight cfg ~obs ~keyring ~policy ~mix ~seed =
   let n = cfg.n in
   let corrupted = corrupted_set keyring seed in
   let honest = Pset.diff (Pset.full n) corrupted in
   let sim = Sim.create ~n ~seed ~obs () in
   Sim.set_chaos sim (Some policy.p_chaos);
+  flight_begin flight sim;
+  let on_link, peak = peak_probe () in
   let tag = Printf.sprintf "flt-abba-%d" seed in
   let decisions = Array.make n None in
   let last_decide = ref None in
@@ -227,7 +285,7 @@ let run_abba cfg ~obs ~keyring ~policy ~mix ~seed =
   let retx = link_retransmit_counter obs in
   let retx0 = Obs_registry.value retx in
   let nodes =
-    Stack.deploy_abba ~wrap ?link:cfg.link ~sim ~keyring ~tag
+    Stack.deploy_abba ~wrap ?link:cfg.link ~on_link ~sim ~keyring ~tag
       ~on_decide:(fun p b ->
         if decisions.(p) = None then begin
           decisions.(p) <- Some b;
@@ -248,21 +306,28 @@ let run_abba cfg ~obs ~keyring ~policy ~mix ~seed =
       Sim.run ~max_steps:cfg.max_steps ~until:done_ sim;
       []
     with Sim.Out_of_steps { at_clock; pending; timers; detail } ->
+      flight_stall flight ~at_clock ~detail;
       [ Oracle.out_of_steps ~detail ~at_clock ~pending ~timers () ]
   in
   let violations = Oracle.check_abba ~honest ~proposals decisions @ stall in
   let decided = done_ () in
   let decide_clock = if decided then !last_decide else None in
+  let steps = Sim.steps sim and buffer_peak = peak () in
+  flight_end flight cfg ~protocol:"abba" ~policy ~mix ~seed ~violations
+    ~decided ~decide_clock ~steps ~buffer_peak;
   finish cfg ~protocol:"abba" ~policy ~mix ~seed ~corrupted ~sim ~violations
     ~decide_clock ~decided
     ~link_retransmits:(Obs_registry.value retx - retx0)
+    ~steps ~buffer_peak
 
-let run_abc cfg ~obs ~keyring ~policy ~mix ~seed =
+let run_abc ?flight cfg ~obs ~keyring ~policy ~mix ~seed =
   let n = cfg.n in
   let corrupted = corrupted_set keyring seed in
   let honest = Pset.diff (Pset.full n) corrupted in
   let sim = Sim.create ~n ~seed ~obs () in
   Sim.set_chaos sim (Some policy.p_chaos);
+  flight_begin flight sim;
+  let on_link, peak = peak_probe () in
   let tag = Printf.sprintf "flt-abc-%d" seed in
   let logs_rev = Array.make n [] in
   let last_decide = ref None in
@@ -274,8 +339,8 @@ let run_abc cfg ~obs ~keyring ~policy ~mix ~seed =
   let retx = link_retransmit_counter obs in
   let retx0 = Obs_registry.value retx in
   let nodes =
-    Stack.deploy_abc ~wrap ~policy:cfg.abc_policy ?link:cfg.link ~sim ~keyring
-      ~tag
+    Stack.deploy_abc ~wrap ~policy:cfg.abc_policy ?link:cfg.link ~on_link ~sim
+      ~keyring ~tag
       ~deliver:(fun p payload ->
         logs_rev.(p) <- payload :: logs_rev.(p);
         if Pset.mem p honest && List.length logs_rev.(p) >= expected then
@@ -298,15 +363,20 @@ let run_abc cfg ~obs ~keyring ~policy ~mix ~seed =
       Sim.run ~max_steps:cfg.max_steps ~until:done_ sim;
       []
     with Sim.Out_of_steps { at_clock; pending; timers; detail } ->
+      flight_stall flight ~at_clock ~detail;
       [ Oracle.out_of_steps ~detail ~at_clock ~pending ~timers () ]
   in
   let logs = Array.map List.rev logs_rev in
   let violations = Oracle.check_abc ~honest ~expected logs @ stall in
   let decided = done_ () in
   let decide_clock = if decided then !last_decide else None in
+  let steps = Sim.steps sim and buffer_peak = peak () in
+  flight_end flight cfg ~protocol:"abc" ~policy ~mix ~seed ~violations
+    ~decided ~decide_clock ~steps ~buffer_peak;
   finish cfg ~protocol:"abc" ~policy ~mix ~seed ~corrupted ~sim ~violations
     ~decide_clock ~decided
     ~link_retransmits:(Obs_registry.value retx - retx0)
+    ~steps ~buffer_peak
 
 (* ---------- the sweep ------------------------------------------------- *)
 
@@ -336,13 +406,30 @@ let gating_liveness_count rep =
 
 let ok rep = safety_count rep = 0 && gating_liveness_count rep = 0
 
-let run ?(progress = fun _ -> ()) cfg =
+(* Dealing the toy keyring dominates campaign start-up; [prepare] does
+   it once so repeated sweeps over the same (n, t, bits) — the
+   adversarial schedule search evaluates hundreds of candidate chaos
+   specs — share the environment. *)
+type env = { e_keyring : Keyring.t; e_obs : Obs.t }
+
+let prepare cfg =
   let structure = Adversary_structure.threshold ~n:cfg.n ~t:cfg.t in
   let keyring =
     Keyring.deal ~group_bits:cfg.group_bits ~rsa_bits:cfg.rsa_bits
       ~seed:(cfg.seed_base + 7770) structure
   in
-  let obs = Obs.create () in
+  { e_keyring = keyring; e_obs = Obs.create () }
+
+let env_obs env = env.e_obs
+
+let run_one ?flight env cfg ~protocol ~policy ~mix ~seed =
+  let obs = env.e_obs and keyring = env.e_keyring in
+  match protocol with
+  | P_abba -> run_abba ?flight cfg ~obs ~keyring ~policy ~mix ~seed
+  | P_abc -> run_abc ?flight cfg ~obs ~keyring ~policy ~mix ~seed
+
+let run_prepared ?(progress = fun _ -> ()) ?flight env cfg =
+  let obs = env.e_obs in
   let results = ref [] in
   let total =
     List.length cfg.protocols * List.length cfg.policies
@@ -350,18 +437,14 @@ let run ?(progress = fun _ -> ()) cfg =
   in
   let done_runs = ref 0 in
   List.iter
-    (fun proto ->
+    (fun protocol ->
       List.iter
         (fun policy ->
           List.iter
             (fun mix ->
               for i = 0 to cfg.seeds - 1 do
                 let seed = cfg.seed_base + i in
-                let r =
-                  match proto with
-                  | P_abba -> run_abba cfg ~obs ~keyring ~policy ~mix ~seed
-                  | P_abc -> run_abc cfg ~obs ~keyring ~policy ~mix ~seed
-                in
+                let r = run_one ?flight env cfg ~protocol ~policy ~mix ~seed in
                 (match r.r_decide_clock with
                 | Some c ->
                   Obs.observe obs
@@ -377,6 +460,8 @@ let run ?(progress = fun _ -> ()) cfg =
         cfg.policies)
     cfg.protocols;
   { config = cfg; results = List.rev !results; obs }
+
+let run ?progress ?flight cfg = run_prepared ?progress ?flight (prepare cfg) cfg
 
 (* ---------- report output --------------------------------------------- *)
 
@@ -429,6 +514,44 @@ let link_run_json r =
       ("retransmits", Obs_json.Int r.r_link_retransmits);
     ]
 
+(* The configuration echo, shared between the FAULTS report and the
+   flight recorder's FLIGHT summary (the compare engine shows it to the
+   user when two files disagree structurally). *)
+let config_json cfg =
+  Obs_json.Obj
+    [
+      ("seeds", Obs_json.Int cfg.seeds);
+      ("seed_base", Obs_json.Int cfg.seed_base);
+      ("n", Obs_json.Int cfg.n);
+      ("t", Obs_json.Int cfg.t);
+      ("payloads", Obs_json.Int cfg.payloads);
+      ( "abc_policy",
+        Obs_json.Obj
+          [
+            ("max_batch_msgs", Obs_json.Int cfg.abc_policy.Abc.max_batch_msgs);
+            ("max_batch_bytes", Obs_json.Int cfg.abc_policy.Abc.max_batch_bytes);
+            ("window", Obs_json.Int cfg.abc_policy.Abc.window);
+            ("linger", Obs_json.Float cfg.abc_policy.Abc.linger);
+          ] );
+      ("max_steps", Obs_json.Int cfg.max_steps);
+      ("link_enabled", Obs_json.Bool (cfg.link <> None));
+      ( "protocols",
+        Obs_json.Arr
+          (List.map (fun p -> Obs_json.Str (protocol_label p)) cfg.protocols)
+      );
+      ( "policies",
+        Obs_json.Arr
+          (List.map
+             (fun p ->
+               Obs_json.Obj
+                 [
+                   ("name", Obs_json.Str p.p_name);
+                   ("reliable", Obs_json.Bool p.p_reliable);
+                 ])
+             cfg.policies) );
+      ("mixes", Obs_json.Arr (List.map (fun m -> Obs_json.Str m.m_name) cfg.mixes));
+    ]
+
 let to_json ~id ~wall rep =
   let cfg = rep.config in
   let chaos_total f = List.fold_left (fun a r -> a + f r) 0 rep.results in
@@ -446,42 +569,7 @@ let to_json ~id ~wall rep =
       ("experiment", Obs_json.Str id);
       ("schema", Obs_json.Str schema);
       ("wall_time_s", Obs_json.Float wall);
-      ( "config",
-        Obs_json.Obj
-          [
-            ("seeds", Obs_json.Int cfg.seeds);
-            ("seed_base", Obs_json.Int cfg.seed_base);
-            ("n", Obs_json.Int cfg.n);
-            ("t", Obs_json.Int cfg.t);
-            ("payloads", Obs_json.Int cfg.payloads);
-            ( "abc_policy",
-              Obs_json.Obj
-                [
-                  ("max_batch_msgs", Obs_json.Int cfg.abc_policy.Abc.max_batch_msgs);
-                  ("max_batch_bytes", Obs_json.Int cfg.abc_policy.Abc.max_batch_bytes);
-                  ("window", Obs_json.Int cfg.abc_policy.Abc.window);
-                  ("linger", Obs_json.Float cfg.abc_policy.Abc.linger);
-                ] );
-            ("max_steps", Obs_json.Int cfg.max_steps);
-            ( "protocols",
-              Obs_json.Arr
-                (List.map
-                   (fun p -> Obs_json.Str (protocol_label p))
-                   cfg.protocols) );
-            ( "policies",
-              Obs_json.Arr
-                (List.map
-                   (fun p ->
-                     Obs_json.Obj
-                       [
-                         ("name", Obs_json.Str p.p_name);
-                         ("reliable", Obs_json.Bool p.p_reliable);
-                       ])
-                   cfg.policies) );
-            ( "mixes",
-              Obs_json.Arr
-                (List.map (fun m -> Obs_json.Str m.m_name) cfg.mixes) );
-          ] );
+      ("config", config_json cfg);
       ("runs", Obs_json.Int (List.length rep.results));
       ( "violations",
         Obs_json.Obj
@@ -517,7 +605,7 @@ let to_json ~id ~wall rep =
 let write ~id ~wall rep =
   let path = out_path id in
   let oc = open_out path in
-  output_string oc (Obs_json.to_string (to_json ~id ~wall rep));
+  output_string oc (Obs_json.to_canonical_string (to_json ~id ~wall rep));
   output_char oc '\n';
   close_out oc;
   path

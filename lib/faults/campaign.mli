@@ -118,6 +118,11 @@ type run_result = {
   r_link_retransmits : int;
       (** link-layer retransmissions attributed to this run (registry
           counter delta; 0 with the link off) *)
+  r_steps : int;  (** simulator steps this run consumed *)
+  r_buffer_peak : int;
+      (** max link send-buffer depth across this run's endpoints (0 with
+          the link off) — the back-pressure signal {!Schedule_search}
+          maximises *)
 }
 
 type report = {
@@ -128,8 +133,46 @@ type report = {
           histograms under layer ["faults"] *)
 }
 
-val run : ?progress:(int * int -> unit) -> config -> report
-(** Execute the sweep; [progress (done, total)] after every run. *)
+type env
+(** Prepared campaign environment: the dealt keyring (start-up
+    dominant) plus the shared observability instance every run's
+    simulator reports into. *)
+
+val prepare : config -> env
+(** Deal the keyring for [(n, t, rsa_bits, group_bits)] once; repeated
+    sweeps over the same parameters — the adversarial schedule search
+    evaluates hundreds of candidate chaos specs — share the result. *)
+
+val env_obs : env -> Obs.t
+(** The environment's observability instance — what a {!Flight.recorder}
+    should be created over so it taps the campaign's registry. *)
+
+val run_one :
+  ?flight:Flight.recorder ->
+  env ->
+  config ->
+  protocol:protocol ->
+  policy:policy_spec ->
+  mix:mix ->
+  seed:int ->
+  run_result
+(** One fully-determined run.  With [?flight], the run is bracketed by
+    {!Flight.run_begin} / {!Flight.run_end}: stalls and safety trips are
+    noted as anomalies with bounded hot windows, and per-run deltas
+    (steps, retransmits, buffer peak) feed the durable tier. *)
+
+val run_prepared :
+  ?progress:(int * int -> unit) ->
+  ?flight:Flight.recorder ->
+  env ->
+  config ->
+  report
+
+val run :
+  ?progress:(int * int -> unit) -> ?flight:Flight.recorder -> config -> report
+(** Execute the sweep; [progress (done, total)] after every run.
+    [?flight] must have been created over this campaign's obs — use
+    {!prepare} + {!env_obs} + {!run_prepared} in that case. *)
 
 val safety_count : report -> int
 val liveness_count : report -> int
@@ -150,6 +193,10 @@ val schema : string
 
 val out_path : string -> string
 (** [out_path id] is ["FAULTS_<id>.json"]. *)
+
+val config_json : config -> Obs_json.t
+(** The configuration echo embedded in FAULTS reports, also handed to
+    {!Flight.summarize} so FLIGHT files record what produced them. *)
 
 val to_json : id:string -> wall:float -> report -> Obs_json.t
 

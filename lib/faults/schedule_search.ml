@@ -1,0 +1,372 @@
+(* Adversarial schedule search: a seeded hill-climber over chaos
+   genomes — drop / delay / duplication / reordering rates plus a
+   healing-partition window — maximising how badly the stack behaves
+   under them.  Two objectives:
+
+   - [Decide_time]: mean simulator steps to completion across the
+     evaluation seeds, with a large penalty per undecided run, so the
+     climber is pushed first towards schedules that stall runs outright
+     and then towards the slowest ones that still decide;
+
+   - [Buffer_peak]: the worst per-run link send-buffer depth — the
+     back-pressure the retransmission machinery accumulates when the
+     schedule starves acks; meaningful only with the link layer on, so
+     that objective forces [link = true].
+
+   The climber mutates one gene per iteration (clamped to its bounds),
+   accepts on strict improvement, and archives every distinct evaluated
+   schedule; the top few become replayable fixtures
+   (test/fixtures/worst_*.json, schema sintra-schedule/1) that the test
+   suite re-runs, asserting that even the worst schedules the search
+   found never cost safety — the paper's claim under exactly the
+   adversary the search plays.
+
+   Everything is derived from [params.search_seed]: same seed, same
+   mutations, same evaluations, same fixtures, byte for byte. *)
+
+type genome = {
+  g_drop : float;  (* [0, 0.4] per-delivery loss *)
+  g_delay : float;  (* [0, 8] extra latency multiplier (Sim delay knob) *)
+  g_dup : float;  (* [0, 0.5] duplication *)
+  g_reorder : float;  (* [0, 0.5] extra reordering *)
+  g_part_start : float;  (* [0, 600] partition window start *)
+  g_part_len : float;  (* [0, 800] partition window length; < 1 = none *)
+  g_part_frac : float;  (* [0, 0.5] fraction of parties cut off *)
+}
+
+let bounds =
+  [ (0.0, 0.4); (0.0, 8.0); (0.0, 0.5); (0.0, 0.5); (0.0, 600.0);
+    (0.0, 800.0); (0.0, 0.5) ]
+
+let gene g = function
+  | 0 -> g.g_drop
+  | 1 -> g.g_delay
+  | 2 -> g.g_dup
+  | 3 -> g.g_reorder
+  | 4 -> g.g_part_start
+  | 5 -> g.g_part_len
+  | _ -> g.g_part_frac
+
+let with_gene g i v =
+  match i with
+  | 0 -> { g with g_drop = v }
+  | 1 -> { g with g_delay = v }
+  | 2 -> { g with g_dup = v }
+  | 3 -> { g with g_reorder = v }
+  | 4 -> { g with g_part_start = v }
+  | 5 -> { g with g_part_len = v }
+  | _ -> { g with g_part_frac = v }
+
+let n_genes = 7
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let benign_genome =
+  { g_drop = 0.0; g_delay = 0.0; g_dup = 0.0; g_reorder = 0.0;
+    g_part_start = 0.0; g_part_len = 0.0; g_part_frac = 0.0 }
+
+(* A mild starting point: every knob slightly on, so a single mutation
+   can already interact with the others. *)
+let seed_genome =
+  { g_drop = 0.02; g_delay = 0.5; g_dup = 0.05; g_reorder = 0.05;
+    g_part_start = 50.0; g_part_len = 100.0; g_part_frac = 0.25 }
+
+(* One gene per step: scale-free perturbation by up to ±30% of the
+   gene's range, clamped. *)
+let mutate rng g =
+  let i = Prng.int rng n_genes in
+  let lo, hi = List.nth bounds i in
+  let step = (Prng.float rng -. 0.5) *. 0.6 *. (hi -. lo) in
+  with_gene g i (clamp lo hi (gene g i +. step))
+
+(* ---------- genome -> campaign policy -------------------------------- *)
+
+let partition_of ~n g =
+  let k = int_of_float (Float.round (g.g_part_frac *. float_of_int n)) in
+  if g.g_part_len < 1.0 || k < 1 then []
+  else
+    let cut = Pset.of_list (List.init k Fun.id) in
+    let rest = Pset.of_list (List.init (n - k) (fun i -> k + i)) in
+    [ { Sim.from_t = g.g_part_start;
+        until_t = g.g_part_start +. g.g_part_len;
+        cells = [ cut; rest ] } ]
+
+let policy_of_genome ~n g =
+  {
+    Campaign.p_name = "searched";
+    (* probabilistic loss breaks eventual delivery on its own; every
+       partition the search emits heals, so the link layer restores
+       delivery whenever it is enabled *)
+    p_reliable = g.g_drop = 0.0;
+    p_link_restores = true;
+    p_chaos =
+      {
+        Sim.default_link =
+          { Sim.drop = g.g_drop; duplicate = g.g_dup; reorder = g.g_reorder;
+            delay = g.g_delay };
+        links = [];
+        partitions = partition_of ~n g;
+      };
+  }
+
+(* ---------- evaluation ------------------------------------------------ *)
+
+type objective = Decide_time | Buffer_peak
+
+let objective_label = function
+  | Decide_time -> "decide-time"
+  | Buffer_peak -> "buffer-peak"
+
+let objective_of_label = function
+  | "decide-time" -> Some Decide_time
+  | "buffer-peak" -> Some Buffer_peak
+  | _ -> None
+
+type params = {
+  search_seed : int;  (* drives mutations; evaluation seeds are fixed *)
+  iters : int;
+  eval_seeds : int;
+  seed_base : int;
+  n : int;
+  t : int;
+  protocol : Campaign.protocol;
+  payloads : int;
+  link : bool;  (* forced on under Buffer_peak *)
+  max_steps : int;
+}
+
+let default_params =
+  {
+    search_seed = 1;
+    iters = 40;
+    eval_seeds = 2;
+    seed_base = 1;
+    n = 4;
+    t = 1;
+    protocol = Campaign.P_abc;
+    payloads = 2;
+    link = false;
+    max_steps = 60_000;
+  }
+
+let config_of p ~link =
+  Campaign.default_config ~seeds:p.eval_seeds ~seed_base:p.seed_base ~n:p.n
+    ~t:p.t ~protocols:[ p.protocol ]
+    ~mixes:[ { Campaign.m_name = "silent"; m_kind = Campaign.Silent } ]
+    ~payloads:p.payloads ~max_steps:p.max_steps
+    ?link:(if link then Some Link.default_policy else None)
+    ()
+
+(* Undecided runs dominate any decided one; among schedules with the
+   same number of stalls, slower (more steps) wins. *)
+let undecided_penalty p = float_of_int (10 * p.max_steps)
+
+let score_of_results p objective results =
+  match objective with
+  | Decide_time ->
+    let total =
+      List.fold_left
+        (fun acc (r : Campaign.run_result) ->
+          acc
+          +. float_of_int r.Campaign.r_steps
+          +. (if r.Campaign.r_decided then 0.0 else undecided_penalty p))
+        0.0 results
+    in
+    total /. float_of_int (max 1 (List.length results))
+  | Buffer_peak ->
+    List.fold_left
+      (fun acc (r : Campaign.run_result) ->
+        Float.max acc (float_of_int r.Campaign.r_buffer_peak))
+      0.0 results
+
+type eval = {
+  e_genome : genome;
+  e_score : float;
+  e_safety : int;  (* safety violations seen while evaluating *)
+  e_decided : int;
+  e_runs : int;
+}
+
+let evaluate env p objective g =
+  let link = p.link || objective = Buffer_peak in
+  let cfg = config_of p ~link in
+  let policy = policy_of_genome ~n:p.n g in
+  let mix = List.hd cfg.Campaign.mixes in
+  let results =
+    List.init p.eval_seeds (fun i ->
+        Campaign.run_one env cfg ~protocol:p.protocol ~policy ~mix
+          ~seed:(p.seed_base + i))
+  in
+  {
+    e_genome = g;
+    e_score = score_of_results p objective results;
+    e_safety =
+      List.fold_left
+        (fun a (r : Campaign.run_result) ->
+          a + Oracle.count_safety r.Campaign.r_violations)
+        0 results;
+    e_decided =
+      List.length (List.filter (fun r -> r.Campaign.r_decided) results);
+    e_runs = List.length results;
+  }
+
+type outcome = {
+  o_best : eval;
+  o_archive : eval list;  (* distinct evaluated schedules, worst first *)
+  o_evaluations : int;
+}
+
+let genome_key g =
+  Printf.sprintf "%.4f/%.4f/%.4f/%.4f/%.1f/%.1f/%.2f" g.g_drop g.g_delay
+    g.g_dup g.g_reorder g.g_part_start g.g_part_len g.g_part_frac
+
+let search ?(progress = fun _ -> ()) ?(params = default_params) ~objective ()
+    =
+  let link = params.link || objective = Buffer_peak in
+  let env = Campaign.prepare (config_of params ~link) in
+  let rng = Prng.create ~seed:(params.search_seed * 2654435761 + 1) in
+  let seen = Hashtbl.create 64 in
+  let archive = ref [] in
+  let evals = ref 0 in
+  let eval g =
+    let e = evaluate env params objective g in
+    incr evals;
+    if not (Hashtbl.mem seen (genome_key g)) then begin
+      Hashtbl.add seen (genome_key g) ();
+      archive := e :: !archive
+    end;
+    progress (!evals, params.iters + 1, e.e_score);
+    e
+  in
+  let current = ref (eval seed_genome) in
+  for _ = 1 to params.iters do
+    let candidate = mutate rng !current.e_genome in
+    let e = eval candidate in
+    if e.e_score > !current.e_score then current := e
+  done;
+  let worst_first =
+    List.stable_sort (fun a b -> compare b.e_score a.e_score) (List.rev !archive)
+  in
+  { o_best = !current; o_archive = worst_first; o_evaluations = !evals }
+
+(* ---------- fixtures -------------------------------------------------- *)
+
+let schema = "sintra-schedule/1"
+
+let genome_json g =
+  Obs_json.Obj
+    [ ("drop", Obs_json.Float g.g_drop);
+      ("delay", Obs_json.Float g.g_delay);
+      ("duplicate", Obs_json.Float g.g_dup);
+      ("reorder", Obs_json.Float g.g_reorder);
+      ("part_start", Obs_json.Float g.g_part_start);
+      ("part_len", Obs_json.Float g.g_part_len);
+      ("part_frac", Obs_json.Float g.g_part_frac) ]
+
+let genome_of_json v =
+  let f k = Option.bind (Obs_json.member k v) Obs_json.to_float in
+  match (f "drop", f "delay", f "duplicate", f "reorder", f "part_start",
+         f "part_len", f "part_frac")
+  with
+  | ( Some g_drop, Some g_delay, Some g_dup, Some g_reorder,
+      Some g_part_start, Some g_part_len, Some g_part_frac ) ->
+    Some { g_drop; g_delay; g_dup; g_reorder; g_part_start; g_part_len;
+           g_part_frac }
+  | _ -> None
+
+let fixture_json ~params:p ~objective (e : eval) =
+  let link = p.link || objective = Buffer_peak in
+  Obs_json.Obj
+    [ ("schema", Obs_json.Str schema);
+      ("objective", Obs_json.Str (objective_label objective));
+      ("score", Obs_json.Float e.e_score);
+      ("genome", genome_json e.e_genome);
+      ("link", Obs_json.Bool link);
+      ( "eval",
+        Obs_json.Obj
+          [ ("n", Obs_json.Int p.n);
+            ("t", Obs_json.Int p.t);
+            ("protocol", Obs_json.Str (Campaign.protocol_label p.protocol));
+            ("seeds", Obs_json.Int p.eval_seeds);
+            ("seed_base", Obs_json.Int p.seed_base);
+            ("payloads", Obs_json.Int p.payloads);
+            ("max_steps", Obs_json.Int p.max_steps) ] );
+      ( "provenance",
+        Obs_json.Obj
+          [ ("search_seed", Obs_json.Int p.search_seed);
+            ("decided", Obs_json.Int e.e_decided);
+            ("runs", Obs_json.Int e.e_runs);
+            ("safety", Obs_json.Int e.e_safety) ] ) ]
+
+let write_fixtures ~dir ~params ~objective (o : outcome) ~top =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let picked = List.filteri (fun i _ -> i < top) o.o_archive in
+  List.mapi
+    (fun i e ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "worst_%s_%d.json" (objective_label objective) i)
+      in
+      let oc = open_out path in
+      output_string oc
+        (Obs_json.to_canonical_string (fixture_json ~params ~objective e));
+      output_char oc '\n';
+      close_out oc;
+      path)
+    picked
+
+(* Rebuild the campaign configuration a fixture describes and re-run it;
+   the test suite asserts [Campaign.safety_count = 0] over the result.
+   Structural problems are [Error]s. *)
+let replay (doc : Obs_json.t) : (Campaign.report, string) result =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (Obs_json.member "schema" doc) Obs_json.to_str with
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error ("unexpected schema " ^ s)
+    | None -> Error "missing \"schema\""
+  in
+  let* g =
+    match Option.bind (Obs_json.member "genome" doc) genome_of_json with
+    | Some g -> Ok g
+    | None -> Error "missing or malformed \"genome\""
+  in
+  let* link =
+    match Option.bind (Obs_json.member "link" doc) Obs_json.to_bool with
+    | Some b -> Ok b
+    | None -> Error "missing \"link\""
+  in
+  let* ev =
+    match Obs_json.member "eval" doc with
+    | Some e -> Ok e
+    | None -> Error "missing \"eval\""
+  in
+  let int k =
+    match Option.bind (Obs_json.member k ev) Obs_json.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or non-int \"eval\".%S" k)
+  in
+  let* n = int "n" in
+  let* t = int "t" in
+  let* seeds = int "seeds" in
+  let* seed_base = int "seed_base" in
+  let* payloads = int "payloads" in
+  let* max_steps = int "max_steps" in
+  let* protocol =
+    match
+      Option.bind
+        (Option.bind (Obs_json.member "protocol" ev) Obs_json.to_str)
+        Campaign.protocol_of_string
+    with
+    | Some p -> Ok p
+    | None -> Error "missing or unknown \"eval\".\"protocol\""
+  in
+  let cfg =
+    Campaign.default_config ~seeds ~seed_base ~n ~t ~protocols:[ protocol ]
+      ~policies:[ policy_of_genome ~n g ]
+      ~mixes:[ { Campaign.m_name = "silent"; m_kind = Campaign.Silent } ]
+      ~payloads ~max_steps
+      ?link:(if link then Some Link.default_policy else None)
+      ()
+  in
+  Ok (Campaign.run cfg)

@@ -72,6 +72,24 @@ let to_string v =
   emit b v;
   Buffer.contents b
 
+(* Canonical form: every object's fields sorted by key (stable, so a
+   duplicated key keeps its first occurrence ahead), applied
+   recursively.  Arrays keep their order — element order is data (bucket
+   lists, progress curves), field order is not.  Two documents built
+   from the same values render byte-identically regardless of the order
+   their fields were assembled in, which is what makes FLIGHT_* /
+   BENCH_* / FAULTS_* artifacts diffable across runs and revisions. *)
+let rec sort_fields = function
+  | (Null | Bool _ | Int _ | Float _ | Str _) as v -> v
+  | Arr items -> Arr (List.map sort_fields items)
+  | Obj fields ->
+    Obj
+      (List.stable_sort
+         (fun (a, _) (b, _) -> String.compare a b)
+         (List.map (fun (k, v) -> (k, sort_fields v)) fields))
+
+let to_canonical_string v = to_string (sort_fields v)
+
 (* ---------- parsing ------------------------------------------------- *)
 
 exception Parse_error of string

@@ -15,6 +15,16 @@ type t =
 
 val to_string : t -> string
 
+val sort_fields : t -> t
+(** Canonical form: object fields sorted by key, recursively (stable —
+    a duplicate key keeps its first occurrence ahead).  Array order is
+    preserved: element order is data, field order is not. *)
+
+val to_canonical_string : t -> string
+(** [to_string] of {!sort_fields} — the byte-stable rendering every
+    machine-readable artifact (FLIGHT/BENCH/FAULTS) is written with, so
+    files from identical configurations diff cleanly. *)
+
 val of_string : string -> (t, string) result
 (** Strict parse of a complete JSON document; [Error] carries a message
     with the failing offset. *)

@@ -28,8 +28,16 @@ type t = {
 
 let create () = { tbl = Hashtbl.create 32; keys = [] }
 
+(* Sorted by (key, value) before deduplicating by key, so when a caller
+   passes the same key twice the survivor is deterministic (smallest
+   value) instead of depending on the sort's internals. *)
 let canon_labels labels =
-  List.sort_uniq (fun (a, _) (b, _) -> compare a b) labels
+  let rec dedup = function
+    | ((k1, _) as a) :: (k2, _) :: rest when k1 = k2 -> dedup (a :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup (List.sort compare labels)
 
 let kind_name = function
   | Counter _ -> "counter"

@@ -122,6 +122,41 @@ let stats t =
     points_recorded = t.points;
     records_dropped = t.dropped }
 
+let truncated t = t.dropped > 0
+
+(* The drop count was tracked internally from the start but surfaced
+   nowhere machine-readable, so a consumer of an exported window could
+   not tell a quiet run from one whose history was overwritten.  Flight
+   records embed this object next to every captured window. *)
+let stats_to_json (s : stats) : Obs_json.t =
+  Obs_json.Obj
+    [ ("spans_started", Obs_json.Int s.spans_started);
+      ("spans_ended", Obs_json.Int s.spans_ended);
+      ("points", Obs_json.Int s.points_recorded);
+      ("dropped_events", Obs_json.Int s.records_dropped);
+      ("truncated", Obs_json.Bool (s.records_dropped > 0)) ]
+
+(* Bounded window around an anomaly: the records whose start lies within
+   [around - span, around + span], newest-biased — when more than
+   [max_events] qualify, the ones closest to (and after) the anomaly
+   survive and the count of elided earlier records is returned, so the
+   hot tier never dumps the whole ring yet always says what it cut. *)
+let window t ~around ~span ~max_events =
+  let lo = around -. span and hi = around +. span in
+  let in_window =
+    List.filter (fun r -> r.t_start >= lo && r.t_start <= hi) (records t)
+  in
+  let total = List.length in_window in
+  if total <= max_events then (in_window, 0)
+  else
+    let elide = total - max_events in
+    let rec drop k = function
+      | rest when k = 0 -> rest
+      | _ :: rest -> drop (k - 1) rest
+      | [] -> []
+    in
+    (drop elide in_window, elide)
+
 let open_count t = Hashtbl.length t.opened
 
 let clear t =

@@ -70,6 +70,22 @@ type stats = {
 val stats : t -> stats
 val clear : t -> unit
 
+val truncated : t -> bool
+(** True once the ring has overwritten at least one completed record —
+    i.e. any exported window may be missing its oldest history. *)
+
+val stats_to_json : stats -> Obs_json.t
+(** Machine-readable stats, including the ["dropped_events"] count and a
+    ["truncated"] flag, embedded by flight records so truncated hot
+    windows are explicit rather than silently short. *)
+
+val window :
+  t -> around:float -> span:float -> max_events:int -> record list * int
+(** Records whose start time lies within [around ± span], oldest first,
+    capped to the [max_events] closest to the anomaly (earlier records
+    are elided first); the second component counts the elided in-window
+    records. *)
+
 val record_to_json : record -> Obs_json.t
 val record_of_json : Obs_json.t -> record option
 

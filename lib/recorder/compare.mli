@@ -1,0 +1,62 @@
+(** Cross-run regression diffing over the machine-readable artifacts
+    (sintra-flight/1, sintra-faults/2, sintra-bench/1).
+
+    [compare OLD NEW] treats the first document as the baseline and the
+    second as the candidate, extracts a flat list of named metrics from
+    each, and classifies every delta.  Strict metrics (safety
+    violations, gating-liveness violations, decided counts) regress on
+    any worsening; thresholded metrics tolerate
+    [max(abs_eps, rel * |baseline|)]; wall time is reported but never
+    classified.  Structural mismatches — different schemas, flight
+    cells present on one side only, different run counts — are errors
+    ([Error _]), not regressions: the files do not describe the same
+    experiment. *)
+
+type direction = Lower_better | Higher_better | Info
+type strictness = Strict | Threshold
+type verdict = Improved | Regressed | Neutral | Informational
+
+type row = {
+  metric : string;
+  dir : direction;
+  strict : strictness;
+  baseline : float;
+  candidate : float;
+  verdict : verdict;
+}
+
+type thresholds = { rel : float; abs_eps : float }
+
+val default_thresholds : thresholds
+(** [rel = 0.10], [abs_eps = 1e-9] — byte-stable reruns compare equal. *)
+
+type report = {
+  schema : string;
+  rows : row list;
+  regressed : int;
+  improved : int;
+}
+
+val classify :
+  thresholds ->
+  dir:direction ->
+  strict:strictness ->
+  baseline:float ->
+  candidate:float ->
+  verdict
+
+val compare_docs :
+  ?thresholds:thresholds ->
+  baseline:Obs_json.t ->
+  candidate:Obs_json.t ->
+  unit ->
+  (report, string) result
+
+val compare_files :
+  ?thresholds:thresholds -> string -> string -> (report, string) result
+(** [compare_files baseline candidate]. *)
+
+val ok : report -> bool
+(** No regressed rows. *)
+
+val pp_report : Format.formatter -> report -> unit

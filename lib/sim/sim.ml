@@ -48,9 +48,14 @@ type link_fault = {
   drop : float;  (* P(delivery attempt silently loses the message) *)
   duplicate : float;  (* P(a second, re-latencied copy is enqueued) *)
   reorder : float;  (* P(the chosen message is pushed back instead) *)
+  delay : float;
+      (* extra latency as a multiplier on the benign draw: every latency
+         on this link becomes latency * (1 + delay).  Deterministic (no
+         extra PRNG draw), so delay = 0 reproduces prior schedules
+         bit-for-bit. *)
 }
 
-let no_fault = { drop = 0.0; duplicate = 0.0; reorder = 0.0 }
+let no_fault = { drop = 0.0; duplicate = 0.0; reorder = 0.0; delay = 0.0 }
 
 type partition = {
   from_t : float;
@@ -76,7 +81,10 @@ let check_rate what r =
 let check_fault lf =
   check_rate "drop" lf.drop;
   check_rate "duplicate" lf.duplicate;
-  check_rate "reorder" lf.reorder
+  check_rate "reorder" lf.reorder;
+  if not (lf.delay >= 0.0 && lf.delay <= 1_000.0) then
+    invalid_arg
+      (Printf.sprintf "Sim.set_chaos: delay factor %g not in [0,1000]" lf.delay)
 
 let link_fault_for spec ~src ~dst =
   match List.assoc_opt (src, dst) spec.links with
@@ -215,11 +223,21 @@ let is_crashed t party = t.crashed.(party)
 (* Random per-message WAN latency in [10, 100) virtual milliseconds. *)
 let latency t = 10.0 +. (90.0 *. Prng.float t.rng)
 
+(* The chaos delay factor of a link (0 without chaos): a deterministic
+   multiplier applied after the latency draw, so it stretches the benign
+   schedule without consuming randomness. *)
+let delay_factor t ~src ~dst =
+  match t.chaos with
+  | None -> 1.0
+  | Some { spec; _ } -> 1.0 +. (link_fault_for spec ~src ~dst).delay
+
 let send t ~src ~dst msg =
   if dst < 0 || dst >= t.slots then invalid_arg "Sim.send";
   Metrics.incr_sent t.metrics ~bytes:(t.size msg);
   let env =
-    { seq = t.seq; src; dst; msg; ready_at = t.clock +. latency t; dup = false }
+    { seq = t.seq; src; dst; msg;
+      ready_at = t.clock +. (latency t *. delay_factor t ~src ~dst);
+      dup = false }
   in
   t.seq <- t.seq + 1;
   t.pending <- env :: t.pending
@@ -406,7 +424,9 @@ let do_step t : bool =
       if lf.reorder > 0.0 && t.pending <> [] && Prng.float crng < lf.reorder then begin
         Metrics.incr_chaos_reorders t.metrics;
         t.pending <-
-          { env with ready_at = t.clock +. latency t } :: t.pending
+          { env with
+            ready_at = t.clock +. (latency t *. (1.0 +. lf.delay)) }
+          :: t.pending
       end
       else if lf.drop > 0.0 && Prng.float crng < lf.drop then
         drop_env t Chaos env
@@ -420,7 +440,7 @@ let do_step t : bool =
           t.pending <-
             { env with
               seq = t.seq;
-              ready_at = t.clock +. latency t;
+              ready_at = t.clock +. (latency t *. (1.0 +. lf.delay));
               dup = true }
             :: t.pending;
           t.seq <- t.seq + 1

@@ -39,6 +39,12 @@ type link_fault = {
       (** P(the chosen message is pushed back with fresh latency instead
           of being delivered) — extra reordering beyond the policy; a
           lone pending message is never deferred *)
+  delay : float;
+      (** extra latency as a multiplier: every latency drawn on this
+          link becomes [latency * (1 + delay)].  Deterministic (no PRNG
+          draw), in [0, 1000]; 0 reproduces prior schedules
+          bit-for-bit.  The adversarial schedule search climbs over this
+          knob together with the probabilistic rates. *)
 }
 
 val no_fault : link_fault

@@ -22,6 +22,7 @@ let () =
       Test_misc.suite;
       Test_adversarial.suite;
       Test_faults.suite;
+      Test_flight.suite;
       Test_throughput.suite;
       Test_fuzz.suite;
       Test_link.suite ]

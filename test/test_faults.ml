@@ -115,7 +115,7 @@ let chaos_tests =
             with_chaos ~policy:Sim.Random_order ~n:4 ~seed:23
               { Sim.benign_chaos with
                 Sim.default_link =
-                  { Sim.drop = 0.2; duplicate = 0.3; reorder = 0.3 } }
+                  { Sim.drop = 0.2; duplicate = 0.3; reorder = 0.3; delay = 0.0 } }
           in
           Sim.enable_trace sim ~summarize:string_of_int;
           let received = sinks sim 4 in

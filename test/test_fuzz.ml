@@ -240,7 +240,7 @@ let link_fuzz_tests =
           (Some
              { Sim.benign_chaos with
                default_link =
-                 { Sim.drop = 0.25; duplicate = 0.25; reorder = 0.25 } });
+                 { Sim.drop = 0.25; duplicate = 0.25; reorder = 0.25; delay = 0.0 } });
         let got = Array.make n [] in
         let eps =
           Array.init n (fun me ->

@@ -26,7 +26,43 @@ let json_tests =
         | Error e -> Alcotest.failf "parse error: %s" e));
     Alcotest.test_case "rejects trailing garbage" `Quick (fun () ->
         Alcotest.(check bool) "garbage" true
-          (Result.is_error (Obs_json.of_string "{\"a\":1} extra")))
+          (Result.is_error (Obs_json.of_string "{\"a\":1} extra")));
+    Alcotest.test_case "canonical ordering sorts fields recursively" `Quick
+      (fun () ->
+        let doc =
+          Obs_json.Obj
+            [ ("b", Obs_json.Int 1);
+              ( "a",
+                Obs_json.Obj
+                  [ ("d", Obs_json.Bool false); ("c", Obs_json.Null) ] );
+              ( "arr",
+                Obs_json.Arr
+                  [ Obs_json.Obj
+                      [ ("z", Obs_json.Int 2); ("y", Obs_json.Int 3) ] ] ) ]
+        in
+        Alcotest.(check string)
+          "sorted, array order preserved"
+          "{\"a\":{\"c\":null,\"d\":false},\"arr\":[{\"y\":3,\"z\":2}],\"b\":1}"
+          (Obs_json.to_canonical_string doc);
+        (* already-canonical input is a fixed point *)
+        let c = Obs_json.sort_fields doc in
+        Alcotest.(check string) "idempotent"
+          (Obs_json.to_canonical_string doc)
+          (Obs_json.to_canonical_string c));
+    Alcotest.test_case "canonical ordering is shuffle-invariant" `Quick
+      (fun () ->
+        let a =
+          Obs_json.Obj
+            [ ("x", Obs_json.Int 1); ("y", Obs_json.Str "s");
+              ("z", Obs_json.Float 2.5) ]
+        and b =
+          Obs_json.Obj
+            [ ("z", Obs_json.Float 2.5); ("x", Obs_json.Int 1);
+              ("y", Obs_json.Str "s") ]
+        in
+        Alcotest.(check string) "same bytes"
+          (Obs_json.to_canonical_string a)
+          (Obs_json.to_canonical_string b))
   ]
 
 (* ---------------- histogram ------------------------------------------ *)
@@ -75,7 +111,51 @@ let histogram_tests =
         H.observe b 4.0;
         let m = H.merge a b in
         Alcotest.(check int) "count" 2 (H.count m);
-        Alcotest.(check (float 1e-9)) "sum" 6.0 (H.sum m))
+        Alcotest.(check (float 1e-9)) "sum" 6.0 (H.sum m));
+    Alcotest.test_case "percentile of empty histogram is None" `Quick
+      (fun () ->
+        let h = H.create () in
+        Alcotest.(check (option (float 1e-9))) "p50" None (H.percentile h 50.0);
+        Alcotest.(check (option (float 1e-9))) "p100" None
+          (H.percentile h 100.0));
+    Alcotest.test_case "percentile of a single observation is exact" `Quick
+      (fun () ->
+        let h = H.create () in
+        H.observe h 7.0;
+        (* 7.0 lands in [4, 8); the bucket upper bound clamps to vmax *)
+        List.iter
+          (fun p ->
+            Alcotest.(check (option (float 1e-9)))
+              (Printf.sprintf "p%.0f" p)
+              (Some 7.0) (H.percentile h p))
+          [ 1.0; 50.0; 95.0; 100.0 ]);
+    Alcotest.test_case "percentile of all-equal observations is exact" `Quick
+      (fun () ->
+        let h = H.create () in
+        for _ = 1 to 5 do H.observe h 42.0 done;
+        List.iter
+          (fun p ->
+            Alcotest.(check (option (float 1e-9)))
+              (Printf.sprintf "p%.0f" p)
+              (Some 42.0) (H.percentile h p))
+          [ 1.0; 50.0; 99.0; 100.0 ]);
+    Alcotest.test_case "percentile clamps below-1.0 bucket to vmax" `Quick
+      (fun () ->
+        (* bucket 0 collects everything below 1.0 (including negatives);
+           its nominal upper bound 1.0 must clamp to the observed max *)
+        let h = H.create () in
+        List.iter (H.observe h) [ -3.0; -1.0; 0.25 ];
+        Alcotest.(check (option (float 1e-9))) "p50" (Some 0.25)
+          (H.percentile h 50.0);
+        Alcotest.(check (option (float 1e-9))) "p100" (Some 0.25)
+          (H.percentile h 100.0));
+    Alcotest.test_case "percentile hits the unbounded top bucket" `Quick
+      (fun () ->
+        let h = H.create () in
+        H.observe h 1.0;
+        H.observe h 1e300;  (* clamps into the last bucket *)
+        Alcotest.(check (option (float 1e-9))) "p100 = vmax" (Some 1e300)
+          (H.percentile h 100.0))
   ]
 
 (* ---------------- registry ------------------------------------------- *)
