@@ -47,7 +47,12 @@ let random_odd_modulus rng ~bits =
   let m = B.add m (B.shift_left B.one (bits - 1)) in
   if B.is_even m then B.succ m else m
 
-type sample = { kernel : string; bits : int; ns_per_op : float }
+type sample = {
+  kernel : string;
+  bits : int;
+  batch : int option;  (* DLEQ sweep rows carry their batch size *)
+  ns_per_op : float;
+}
 
 let run ?(out = "BENCH_NUM.json") ?(quick = false) () : unit =
   let min_time = if quick then 0.02 else 0.2 in
@@ -58,9 +63,9 @@ let run ?(out = "BENCH_NUM.json") ?(quick = false) () : unit =
   let t0 = Unix.gettimeofday () in
   let samples = ref [] in
   let speedups = ref [] in
-  let sample kernel bits f =
+  let sample ?batch kernel bits f =
     let ns = time_ns ~min_time f in
-    samples := { kernel; bits; ns_per_op = ns } :: !samples;
+    samples := { kernel; bits; batch; ns_per_op = ns } :: !samples;
     ns
   in
   List.iter
@@ -118,17 +123,90 @@ let run ?(out = "BENCH_NUM.json") ?(quick = false) () : unit =
         bits naive window (naive /. window) fixed exp2 two_pow
         (two_pow /. exp2))
     sizes;
+  (* DLEQ batch-verification sweep (the PR 7 crypto hot path): per-share
+     cost of checking k coin/TDH2-shaped share proofs at once, against
+     the k = 1 seed path (plain per-proof [Dleq.verify]).  Uses the real
+     deterministic Schnorr group shared with the protocol tests, so the
+     numbers match what the simulator pays. *)
+  let ps = G.default () in
+  let dleq_domain = "sintra/bench/dleq" in
+  let g2 = G.hash_to_elt ps ~domain:(dleq_domain ^ "/base") [ "sweep" ] in
+  G.prepare_base ps g2;
+  ignore (G.exp_g ps B.one) (* build the generator's table too *);
+  let proofs =
+    List.init 16 (fun i ->
+        let x =
+          Ro.hash_to_bignum_below ~domain:(dleq_domain ^ "/x")
+            [ string_of_int i ] ps.G.q
+        in
+        let h1 = G.exp_g ps x and h2 = G.exp ps g2 x in
+        let proof =
+          Dleq.prove ps ~domain:dleq_domain ~x ~g1:ps.G.g ~h1 ~g2 ~h2
+        in
+        ({ Dleq.g1 = ps.G.g; h1; g2; h2 }, proof))
+  in
+  let group_bits = B.numbits ps.G.p in
+  let batch_sizes = [ 1; 2; 4; 8; 16 ] in
+  let per_share = ref [] in
+  List.iter
+    (fun k ->
+      let batch = List.filteri (fun i _ -> i < k) proofs in
+      (* the bench guards itself: a valid batch must pass, a corrupted
+         one must fail *)
+      assert (Dleq.batch_verify ps ~domain:dleq_domain batch);
+      (match batch with
+      | (s, p) :: rest ->
+        assert (
+          not
+            (Dleq.batch_verify ps ~domain:dleq_domain
+               ((s, { p with Dleq.z = B.succ p.Dleq.z }) :: rest)))
+      | [] -> ());
+      let ns_total =
+        if k = 1 then
+          let s, p = List.hd batch in
+          time_ns ~min_time (fun () ->
+              assert (
+                Dleq.verify ps ~domain:dleq_domain ~g1:s.Dleq.g1 ~h1:s.Dleq.h1
+                  ~g2:s.Dleq.g2 ~h2:s.Dleq.h2 p))
+        else
+          time_ns ~min_time (fun () ->
+              assert (Dleq.batch_verify ps ~domain:dleq_domain batch))
+      in
+      let ns = ns_total /. float_of_int k in
+      samples :=
+        { kernel = "dleq_verify"; bits = group_bits; batch = Some k;
+          ns_per_op = ns }
+        :: !samples;
+      per_share := (k, ns) :: !per_share;
+      if k > 1 then
+        speedups :=
+          (Printf.sprintf "dleq_batch_%d_vs_1" k,
+           List.assoc 1 !per_share /. ns)
+          :: !speedups)
+    batch_sizes;
+  Printf.printf "[bench-num] dleq %d-bit per-share ns:%s (batch 8: %.2fx)\n%!"
+    group_bits
+    (String.concat ""
+       (List.rev_map
+          (fun (k, ns) -> Printf.sprintf " k=%d %.0f" k ns)
+          !per_share))
+    (List.assoc "dleq_batch_8_vs_1" !speedups);
   let wall = Unix.gettimeofday () -. t0 in
   Obs_crypto.disable ();
   let counters =
     List.rev_map
       (fun s ->
+        let labels =
+          [ ("kernel", Obs_json.Str s.kernel);
+            ("bits", Obs_json.Str (string_of_int s.bits)) ]
+          @
+          match s.batch with
+          | None -> []
+          | Some k -> [ ("batch", Obs_json.Str (string_of_int k)) ]
+        in
         Obs_json.Obj
           [ ("name", Obs_json.Str "ns_per_op");
-            ( "labels",
-              Obs_json.Obj
-                [ ("kernel", Obs_json.Str s.kernel);
-                  ("bits", Obs_json.Str (string_of_int s.bits)) ] );
+            ("labels", Obs_json.Obj labels);
             ("value", Obs_json.Int (int_of_float s.ns_per_op)) ])
       !samples
   in

@@ -89,6 +89,22 @@ let parse_crash s =
   if s = "" then []
   else List.map int_of_string (String.split_on_char ',' s)
 
+let crypto_arg =
+  Arg.(
+    value & opt string "eager"
+    & info [ "crypto" ] ~docv:"POLICY"
+        ~doc:"Share-verification policy: eager (per-share at receipt, the \
+              default), eager+batch (batched verify calls), or lazy \
+              (defer proof checks to combine time, batched, with \
+              bisection fallback).")
+
+let set_crypto s =
+  match Crypto_policy.of_string s with
+  | Some p -> Crypto_policy.set p
+  | None ->
+    Printf.eprintf "unknown crypto policy %S (eager, eager+batch, lazy)\n" s;
+    exit 2
+
 let structure_of ~n ~t = function
   | Some 1 -> Canonical_structures.example1 ()
   | Some 2 -> Canonical_structures.example2 ()
@@ -148,7 +164,8 @@ let abc_cmd =
                 chaos; combine with --link to see retransmission restore \
                 liveness).")
   in
-  let run n t example seed payloads crash trace link drop =
+  let run n t example seed payloads crash trace link drop crypto =
+    set_crypto crypto;
     let s = structure_of ~n ~t example in
     let n = AS.n s in
     let kr = Keyring.deal ~rsa_bits:192 ~seed:99 s in
@@ -242,7 +259,7 @@ let abc_cmd =
     (Cmd.info "abc" ~doc:"Run atomic broadcast on the simulated network.")
     Term.(
       const run $ n_arg $ t_arg $ example_arg $ seed_arg $ payloads_arg
-      $ crash_arg $ trace_arg $ link_arg $ drop_arg)
+      $ crash_arg $ trace_arg $ link_arg $ drop_arg $ crypto_arg)
 
 (* ---------- trace: span-level protocol trace ------------------------- *)
 
@@ -423,18 +440,85 @@ let bench_check_cmd =
           in
           scan 0 rs)
     in
-    match tput_ok with
-    | Error e -> Error e
-    | Ok tput_rows ->
+    (* BENCH_NUM batch-sweep rows (kernel "dleq_verify" with a "batch"
+       label): per-share cost must be non-increasing in the batch size
+       (25% slack for timer noise), and the headline batch-8 speedup
+       recorded by the bench must clear 3x.  Quick runs (the make-check
+       smoke) keep the schema checks but relax both thresholds: their
+       0.02 s timing windows are too noisy to hold to the real gate. *)
+    let is_quick =
+      match Option.bind (Obs_json.member "quick" doc) Obs_json.to_bool with
+      | Some b -> b
+      | None -> false
+    in
+    let slack = if is_quick then 2.0 else 1.25 in
+    let gate = if is_quick then 1.5 else 3.0 in
+    let batch_ok =
+      let rows =
+        List.filter_map
+          (fun c ->
+            let labels = Obs_json.member "labels" c in
+            let lab k =
+              Option.bind labels (fun l ->
+                  Option.bind (Obs_json.member k l) Obs_json.to_str)
+            in
+            match
+              ( lab "kernel", lab "batch",
+                Option.bind (Obs_json.member "value" c) Obs_json.to_int )
+            with
+            | Some "dleq_verify", Some b, Some v ->
+              Option.map (fun b -> (b, v)) (int_of_string_opt b)
+            | _ -> None)
+          (Option.value ~default:[] counters)
+      in
+      match List.sort compare rows with
+      | [] -> Ok 0
+      | sorted ->
+        let rec mono = function
+          | (b1, v1) :: ((b2, v2) :: _ as rest) ->
+            if float_of_int v2 > float_of_int v1 *. slack then
+              Error
+                (Printf.sprintf
+                   "dleq batch sweep: per-share cost increases %d ns \
+                    (batch %d) -> %d ns (batch %d)"
+                   v1 b1 v2 b2)
+            else mono rest
+          | _ -> Ok (List.length sorted)
+        in
+        (match mono sorted with
+        | Error e -> Error e
+        | Ok n_rows ->
+          if not (List.mem_assoc 1 sorted && List.mem_assoc 8 sorted) then
+            Ok n_rows
+          else (
+            match
+              Option.bind (Obs_json.member "speedups" doc) (fun sp ->
+                  Option.bind
+                    (Obs_json.member "dleq_batch_8_vs_1" sp)
+                    Obs_json.to_float)
+            with
+            | None -> Error "dleq batch sweep: missing dleq_batch_8_vs_1"
+            | Some s when s < gate ->
+              Error
+                (Printf.sprintf
+                   "dleq batch sweep: batch-8 speedup %.2fx below the \
+                    %.1fx gate" s gate)
+            | Some _ -> Ok n_rows))
+    in
+    match (tput_ok, batch_ok) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok tput_rows, Ok batch_rows ->
       (match (str "experiment", num "wall_time_s", num "virtual_time_total",
               counters) with
       | Some id, Some wall, Some vt, Some cs
         when wall >= 0.0 && List.for_all counter_ok cs && crypto_ok ->
         Ok
-          (Printf.sprintf "%s: OK (%s: %d counters, virtual time %.0f%s)" path
-             id (List.length cs) vt
+          (Printf.sprintf "%s: OK (%s: %d counters, virtual time %.0f%s%s)"
+             path id (List.length cs) vt
              (if tput_rows = 0 then ""
-              else Printf.sprintf ", %d tput rows" tput_rows))
+              else Printf.sprintf ", %d tput rows" tput_rows)
+             (if batch_rows = 0 then ""
+              else Printf.sprintf ", %d dleq batch rows" batch_rows))
       | _ -> Error "missing or ill-typed required fields")
   in
   let check_faults path doc : (string, string) result =
@@ -613,7 +697,8 @@ let faults_cmd =
              exit 2)
   in
   let run n t seed seeds protocols policies mixes payloads max_steps out
-      quick link drop_rate =
+      quick link drop_rate crypto =
+    set_crypto crypto;
     let seeds = if quick then min seeds 5 else seeds in
     let policy_of_name name =
       match (name, drop_rate) with
@@ -660,7 +745,7 @@ let faults_cmd =
     Term.(
       const run $ n_arg $ t_arg $ seed_arg $ seeds_arg $ protocols_arg
       $ policies_arg $ mixes_arg $ payloads_arg $ max_steps_arg $ out_arg
-      $ quick_arg $ link_arg $ drop_rate_arg)
+      $ quick_arg $ link_arg $ drop_rate_arg $ crypto_arg)
 
 (* ---------- record: fault campaign with the flight recorder ---------- *)
 

@@ -5,20 +5,30 @@
 
 let encode (parts : string list) : string = Ro.encode parts
 
-let decode (s : string) : string list option =
-  let len = String.length s in
-  let read_u64 off =
+(* Big-endian u64 field -> OCaml int.  A field >= 2^62 cannot fit in an
+   int and can never be a valid length, count or sequence number, so it
+   returns -1 and is rejected by the callers' sign checks.  Without the
+   top-byte guard the high bits would be shifted out of the 63-bit int,
+   and a non-canonical encoding (high garbage over a small value) would
+   decode as if the garbage were zero — a frame that decodes must
+   re-encode to the very same bytes. *)
+let read_u64 (s : string) (off : int) : int =
+  if Char.code s.[off] land 0xC0 <> 0 then -1
+  else begin
     let v = ref 0 in
     for i = 0 to 7 do
       v := (!v lsl 8) lor Char.code s.[off + i]
     done;
     !v
-  in
+  end
+
+let decode (s : string) : string list option =
+  let len = String.length s in
   let rec go off acc =
     if off = len then Some (List.rev acc)
     else if off + 8 > len then None
     else begin
-      let l = read_u64 off in
+      let l = read_u64 s off in
       if l < 0 || off + 8 + l > len then None
       else go (off + 8 + l) (String.sub s (off + 8) l :: acc)
     end
@@ -62,21 +72,14 @@ let decode_batch (s : string) : string list option =
   let mlen = String.length batch_magic in
   if len < mlen + 8 || String.sub s 0 mlen <> batch_magic then None
   else begin
-    let read_u64 off =
-      let v = ref 0 in
-      for i = 0 to 7 do
-        v := (!v lsl 8) lor Char.code s.[off + i]
-      done;
-      !v
-    in
-    let count = read_u64 mlen in
+    let count = read_u64 s mlen in
     if count < 0 then None
     else
       let rec go k off acc =
         if k = 0 then if off = len then Some (List.rev acc) else None
         else if off + 8 > len then None
         else begin
-          let l = read_u64 off in
+          let l = read_u64 s off in
           if l < 0 || off + 8 + l > len then None
           else go (k - 1) (off + 8 + l) (String.sub s (off + 8) l :: acc)
         end
@@ -129,41 +132,34 @@ let decode_link_frame (s : string) : string Link.frame option =
   let mlen = String.length link_magic in
   if len < mlen + 1 || String.sub s 0 mlen <> link_magic then None
   else begin
-    let read_u64 off =
-      let v = ref 0 in
-      for i = 0 to 7 do
-        v := (!v lsl 8) lor Char.code s.[off + i]
-      done;
-      !v
-    in
     let body = mlen + 1 in
     match s.[mlen] with
     | '\000' ->
       if body + 8 > len then None
       else begin
-        let l = read_u64 body in
+        let l = read_u64 s body in
         if l < 0 || body + 8 + l <> len then None
         else Some (Link.Raw (String.sub s (body + 8) l))
       end
     | '\001' ->
       if body + 16 > len then None
       else begin
-        let seq = read_u64 body in
-        let l = read_u64 (body + 8) in
+        let seq = read_u64 s body in
+        let l = read_u64 s (body + 8) in
         if seq < 1 || l < 0 || body + 16 + l <> len then None
         else Some (Link.Data { seq; payload = String.sub s (body + 16) l })
       end
     | '\002' ->
       if body + 16 > len then None
       else begin
-        let cum = read_u64 body in
-        let count = read_u64 (body + 8) in
+        let cum = read_u64 s body in
+        let count = read_u64 s (body + 8) in
         if cum < 0 || count < 0 || body + 16 + (8 * count) <> len then None
         else begin
           let rec go k off prev acc =
             if k = 0 then Some (Link.Ack { cum; sel = List.rev acc })
             else
-              let seq = read_u64 off in
+              let seq = read_u64 s off in
               (* Canonical selective set: strictly ascending, all > cum. *)
               if seq <= prev then None
               else go (k - 1) (off + 8) seq (seq :: acc)

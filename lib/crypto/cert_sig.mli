@@ -18,10 +18,21 @@ type certificate = {
 }
 
 val sign_share : Dl_sharing.t -> party:int -> string -> share list
+
+val check_shape : Dl_sharing.t -> party:int -> share list -> bool
+(** Structural validity only (share count, leaf bounds, ownership). *)
+
 val verify_share : Dl_sharing.t -> party:int -> string -> share list -> bool
+(** Per-proof as in the seed, or one batched check when
+    {!Crypto_policy.batchable} says so. *)
 
 val combine :
   Dl_sharing.t -> string -> (int * share list) list -> certificate option
-(** [None] unless the signers form a sharing-qualified set. *)
+(** [None] unless the signers form a sharing-qualified set.  Under the
+    lazy policy, shares are proof-checked here (one batch, with pruning
+    of attributed-bad parties) instead of at receipt. *)
 
 val verify : Dl_sharing.t -> string -> certificate -> bool
+(** Re-checks every share proof — as one batch over the whole
+    certificate when {!Crypto_policy.batchable} says so — plus the
+    signer set and the recombination. *)

@@ -15,9 +15,12 @@ module G = Schnorr_group
 type share = { leaf : int; value : G.elt; proof : Dleq.t }
 
 let domain = "sintra/coin"
+let base_domain = domain ^ "/base"
+let share_domain = domain ^ "/share"
+let value_domain = domain ^ "/value"
 
 let coin_base (t : Dl_sharing.t) ~(name : string) : G.elt =
-  G.hash_to_elt t.Dl_sharing.group ~domain:(domain ^ "/base") [ name ]
+  G.hash_to_elt t.Dl_sharing.group ~domain:base_domain [ name ]
 
 let generate_share (t : Dl_sharing.t) ~(party : int) ~(name : string) :
     share list =
@@ -33,14 +36,30 @@ let generate_share (t : Dl_sharing.t) ~(party : int) ~(name : string) :
     (fun (s : Lsss.subshare) ->
       let value = G.exp ps g_name s.value in
       let proof =
-        Dleq.prove ps ~domain:(domain ^ "/share") ~x:s.value ~g1:ps.G.g
+        Dleq.prove ps ~domain:share_domain ~x:s.value ~g1:ps.G.g
           ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:g_name ~h2:value
       in
       { leaf = s.leaf; value; proof })
     own
 
+(* Structural validity alone: the right number of shares, each for a
+   leaf that exists and belongs to [party].  This is what a lazy call
+   site checks at receipt; the proofs wait for combine time. *)
+let check_shape (t : Dl_sharing.t) ~(party : int) (shares : share list) :
+    bool =
+  let expected = Dl_sharing.shares_of t party in
+  List.length shares = List.length expected
+  && List.for_all
+       (fun (s : share) ->
+         s.leaf >= 0
+         && s.leaf < Array.length t.Dl_sharing.leaf_keys
+         && Lsss.leaf_owner t.Dl_sharing.scheme s.leaf = party)
+       shares
+
 (* A share from a (possibly corrupted) party is accepted only when every
-   claimed leaf belongs to that party and every DLEQ proof verifies. *)
+   claimed leaf belongs to that party and every DLEQ proof verifies —
+   per proof as in the seed, or with one batched check when the policy
+   allows it and the party owns enough leaves. *)
 let verify_share (t : Dl_sharing.t) ~(party : int) ~(name : string)
     (shares : share list) : bool =
   Obs_crypto.share_verify ();
@@ -48,41 +67,81 @@ let verify_share (t : Dl_sharing.t) ~(party : int) ~(name : string)
   let g_name = coin_base t ~name in
   let expected = Dl_sharing.shares_of t party in
   if List.length expected >= 3 then G.prepare_base ps g_name;
-  List.length shares = List.length expected
-  && List.for_all
-       (fun (s : share) ->
-         s.leaf >= 0
-         && s.leaf < Array.length t.Dl_sharing.leaf_keys
-         && Lsss.leaf_owner t.Dl_sharing.scheme s.leaf = party
-         && Dleq.verify ps ~domain:(domain ^ "/share") ~g1:ps.G.g
-              ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:g_name ~h2:s.value
-              s.proof)
-       shares
+  if Crypto_policy.batchable (List.length shares) then
+    check_shape t ~party shares
+    && Share_batch.verify_party_batch t ~domain:share_domain ~base:g_name
+         (List.map
+            (fun (s : share) ->
+              { Share_batch.party; leaf = s.leaf; value = s.value;
+                proof = s.proof })
+            shares)
+  else
+    List.length shares = List.length expected
+    && List.for_all
+         (fun (s : share) ->
+           s.leaf >= 0
+           && s.leaf < Array.length t.Dl_sharing.leaf_keys
+           && Lsss.leaf_owner t.Dl_sharing.scheme s.leaf = party
+           && Dleq.verify ps ~domain:share_domain ~g1:ps.G.g
+                ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:g_name ~h2:s.value
+                s.proof)
+         shares
 
-(* Combine verified shares from the parties in [avail] into the coin
-   value.  [bits] selects how many unpredictable bits to extract (the
-   ABBA protocol needs one; the validated-agreement permutation uses
-   30); at most 30. *)
+let value_of_sigma (t : Dl_sharing.t) ~(name : string) ~(bits : int)
+    (sigma : G.elt) : int =
+  let raw =
+    Ro.hash ~domain:value_domain
+      [ name; G.elt_to_bytes t.Dl_sharing.group sigma ]
+  in
+  let v =
+    (Char.code raw.[0] lsl 24)
+    lor (Char.code raw.[1] lsl 16)
+    lor (Char.code raw.[2] lsl 8)
+    lor Char.code raw.[3]
+  in
+  v land ((1 lsl bits) - 1)
+
+(* Combine shares from the parties in [avail] into the coin value.
+   [bits] selects how many unpredictable bits to extract (the ABBA
+   protocol needs one; the validated-agreement permutation uses 30); at
+   most 30.
+
+   Under the eager policy the shares were verified at receipt and
+   recombine directly, as in the seed.  Under the lazy policy they
+   arrive proof-unchecked (shape-checked only) and are validated here
+   with one batched check, pruning attributed-bad parties on failure. *)
 let combine (t : Dl_sharing.t) ~(name : string) ~(avail : Pset.t)
     (shares : (int * share list) list) ?(bits = 1) () : int option =
   if bits < 1 || bits > 30 then invalid_arg "Coin.combine: bits out of range";
   Obs_crypto.combine ();
-  let leaf_values =
-    List.concat_map
-      (fun (_, ss) -> List.map (fun (s : share) -> (s.leaf, s.value)) ss)
-      shares
+  let recombine avail shares =
+    let leaf_values =
+      List.concat_map
+        (fun (_, ss) -> List.map (fun (s : share) -> (s.leaf, s.value)) ss)
+        shares
+    in
+    match Dl_sharing.combine_in_exponent t ~avail ~leaf_values with
+    | None -> None
+    | Some sigma -> Some (value_of_sigma t ~name ~bits sigma)
   in
-  match Dl_sharing.combine_in_exponent t ~avail ~leaf_values with
-  | None -> None
-  | Some sigma ->
-    let raw =
-      Ro.hash ~domain:(domain ^ "/value")
-        [ name; G.elt_to_bytes t.Dl_sharing.group sigma ]
+  if not (Crypto_policy.is_lazy ()) then recombine avail shares
+  else begin
+    let flat =
+      List.concat_map
+        (fun (party, ss) ->
+          List.map
+            (fun (s : share) ->
+              { Share_batch.party; leaf = s.leaf; value = s.value;
+                proof = s.proof })
+            ss)
+        shares
     in
-    let v =
-      (Char.code raw.[0] lsl 24)
-      lor (Char.code raw.[1] lsl 16)
-      lor (Char.code raw.[2] lsl 8)
-      lor Char.code raw.[3]
-    in
-    Some (v land ((1 lsl bits) - 1))
+    match
+      Share_batch.validate_for_combine t ~domain:share_domain
+        ~base:(coin_base t ~name) ~avail flat
+    with
+    | None -> None
+    | Some (avail', good) ->
+      let keep p = List.exists (fun (f : Share_batch.flat) -> f.party = p) good in
+      recombine avail' (List.filter (fun (p, _) -> keep p) shares)
+  end

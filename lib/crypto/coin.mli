@@ -14,9 +14,16 @@ val coin_base : Dl_sharing.t -> name:string -> Schnorr_group.elt
 
 val generate_share : Dl_sharing.t -> party:int -> name:string -> share list
 
+val check_shape : Dl_sharing.t -> party:int -> share list -> bool
+(** Structural validity only (share count, leaf bounds, leaf ownership)
+    — what a lazy call site checks at receipt, deferring the DLEQ proofs
+    to {!combine}. *)
+
 val verify_share :
   Dl_sharing.t -> party:int -> name:string -> share list -> bool
-(** Rejects shares with wrong leaves, wrong owners or invalid proofs. *)
+(** Rejects shares with wrong leaves, wrong owners or invalid proofs.
+    Checks proofs individually, or as one batch when
+    {!Crypto_policy.batchable} says so. *)
 
 val combine :
   Dl_sharing.t ->
@@ -26,6 +33,9 @@ val combine :
   ?bits:int ->
   unit ->
   int option
-(** Coin value from the verified shares of the parties in [avail];
-    [None] if [avail] is not sharing-qualified.  [bits] (default 1, max
-    30) selects how many bits to extract. *)
+(** Coin value from the shares of the parties in [avail]; [None] if
+    [avail] is not sharing-qualified.  [bits] (default 1, max 30)
+    selects how many bits to extract.  Under the eager policy the
+    shares must have been verified at receipt (seed behaviour); under
+    the lazy policy they are validated here with one batched proof
+    check, pruning attributed-bad parties on failure. *)

@@ -1,0 +1,62 @@
+(* Verification policy for the threshold-crypto hot path.
+
+   PR 2 made a single exponentiation fast; this knob is about doing
+   *fewer* verifications.  Two independent levers:
+
+   - [batch]: a scheme-level verify call covering at least [batch_min]
+     DLEQ proofs is checked with one random-linear-combination
+     multi-exponentiation instead of per-proof verification (with
+     bisection fallback to attribute bad proofs when the batch fails).
+
+   - [mode = Lazy]: protocol call sites skip per-share proof
+     verification at message receipt (keeping the cheap structural
+     checks) and the scheme's [combine] validates the shares it
+     actually uses — batched for the DLEQ schemes, by the final
+     signature equation for threshold RSA — falling back to per-share
+     attribution only when that check fails.
+
+   The policy is an ambient global, mirroring [Obs_crypto]: the crypto
+   layer sits below anything a handle could be threaded through without
+   taxing the hot path.  The default ([eager]) reproduces the seed
+   behaviour bit for bit — same checks, same order, same counters. *)
+
+type mode = Eager | Lazy
+
+type t = {
+  mode : mode;
+  batch : bool;  (* batch multi-proof verify calls *)
+  batch_min : int;  (* smallest proof count worth one RLC multi-exp *)
+}
+
+let eager : t = { mode = Eager; batch = false; batch_min = 2 }
+let lazy_batched : t = { mode = Lazy; batch = true; batch_min = 2 }
+
+let current = ref eager
+
+let get () = !current
+let set p = current := p
+
+let with_policy p f =
+  let saved = !current in
+  current := p;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let is_lazy () = !current.mode = Lazy
+
+(* True when a verify call covering [k] proofs should take the batched
+   path under the current policy. *)
+let batchable k =
+  let p = !current in
+  (p.batch || p.mode = Lazy) && k >= p.batch_min
+
+let to_string p =
+  match (p.mode, p.batch) with
+  | Eager, false -> "eager"
+  | Eager, true -> "eager+batch"
+  | Lazy, _ -> "lazy"
+
+let of_string = function
+  | "eager" -> Some eager
+  | "eager+batch" -> Some { eager with batch = true }
+  | "lazy" -> Some lazy_batched
+  | _ -> None

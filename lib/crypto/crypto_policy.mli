@@ -1,0 +1,43 @@
+(** Verification policy for the threshold-crypto hot path: batched
+    (random-linear-combination) proof checking and lazy
+    verify-at-combine, behind one ambient knob.
+
+    The default, {!eager}, reproduces the seed behaviour bit for bit:
+    every share proof is verified individually at receipt, and no new
+    counter fires.  {!lazy_batched} defers proof checking to combine
+    time and batches it into one multi-exponentiation, with bisection
+    fallback when a batch fails.  The policy is process-global
+    (mirroring [Obs_crypto]): set it once per run, or scope it with
+    {!with_policy}. *)
+
+type mode = Eager | Lazy
+
+type t = {
+  mode : mode;
+  batch : bool;  (** batch multi-proof verify calls *)
+  batch_min : int;  (** smallest proof count worth one RLC multi-exp *)
+}
+
+val eager : t
+(** Seed-identical default: per-share verification at receipt. *)
+
+val lazy_batched : t
+(** Defer share verification to combine time and batch it. *)
+
+val get : unit -> t
+val set : t -> unit
+
+val with_policy : t -> (unit -> 'a) -> 'a
+(** Run a thunk under a policy, restoring the previous one (also on
+    exceptions). *)
+
+val is_lazy : unit -> bool
+
+val batchable : int -> bool
+(** [batchable k]: should a verify call covering [k] proofs take the
+    batched path under the current policy? *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Recognizes ["eager"], ["eager+batch"] and ["lazy"]. *)

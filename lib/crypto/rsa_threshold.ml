@@ -34,11 +34,22 @@ type share = { signer : int; x : B.t; c : B.t; z : B.t }
 type signature = B.t
 
 let domain = "sintra/tsig"
+let fdh_domain = domain ^ "/fdh"
+let chal_domain = domain ^ "/chal"
+let nonce_domain = domain ^ "/nonce"
 
-(* delta = n! *)
+(* delta = n! — memoized: the same server-set size recurs for every
+   share and combine of a key's lifetime. *)
+let delta_cache : (int * B.t) list ref = ref []
+
 let delta n =
-  let rec go acc i = if i > n then acc else go (B.mul_int acc i) (i + 1) in
-  go B.one 2
+  match List.assoc_opt n !delta_cache with
+  | Some d -> d
+  | None ->
+    let rec go acc i = if i > n then acc else go (B.mul_int acc i) (i + 1) in
+    let d = go B.one 2 in
+    delta_cache := (n, d) :: !delta_cache;
+    d
 
 let pow_signed ~base ~exp ~modulus =
   if B.sign exp >= 0 then B.pow_mod ~base ~exp ~modulus
@@ -92,7 +103,7 @@ let deal ?(bits = 256) ~n ~k (rng : Prng.t) : keys =
 let hash_to_zn (pk : public_key) (msg : string) : B.t =
   let rec go ctr =
     let h =
-      Ro.hash_to_bignum_below ~domain:(domain ^ "/fdh")
+      Ro.hash_to_bignum_below ~domain:fdh_domain
         [ msg; string_of_int ctr ] pk.n_modulus
     in
     if B.sign h > 0 && B.equal (B.gcd h pk.n_modulus) B.one then h else go (ctr + 1)
@@ -101,7 +112,7 @@ let hash_to_zn (pk : public_key) (msg : string) : B.t =
 
 let proof_challenge (pk : public_key) ~v ~xt ~vi ~xi2 ~v' ~x' : B.t =
   let h =
-    Ro.hash_expand ~domain:(domain ^ "/chal")
+    Ro.hash_expand ~domain:chal_domain
       (List.map B.to_bytes_be [ v; xt; vi; xi2; v'; x'; pk.n_modulus ])
       ~len:16
   in
@@ -120,7 +131,7 @@ let sign_share (keys : keys) ~(party : int) (msg : string) : share =
   let xt = B.pow_mod ~base:xhat ~exp:(B.shift_left dd 2) ~modulus:nn in
   let nonce_bound = B.shift_left B.one (B.numbits nn + 2 + 256) in
   let r =
-    Ro.hash_to_bignum_below ~domain:(domain ^ "/nonce")
+    Ro.hash_to_bignum_below ~domain:nonce_domain
       [ B.to_bytes_be s_i; msg ] nonce_bound
   in
   let v' = B.pow_mod ~base:keys.v ~exp:r ~modulus:nn in
@@ -129,6 +140,16 @@ let sign_share (keys : keys) ~(party : int) (msg : string) : share =
   let c = proof_challenge pk ~v:keys.v ~xt ~vi:keys.vks.(party) ~xi2 ~v' ~x' in
   let z = B.add (B.mul s_i c) r in
   { signer = party; x; c; z }
+
+(* Structural validity alone: the receipt-time check of a lazy call
+   site; the correctness proof is subsumed by the combine-time
+   signature check. *)
+let check_shape (keys : keys) (sh : share) : bool =
+  let pk = keys.pk in
+  let nn = pk.n_modulus in
+  sh.signer >= 0 && sh.signer < pk.n_parties
+  && B.sign sh.x > 0 && B.lt sh.x nn
+  && B.equal (B.gcd sh.x nn) B.one
 
 let verify_share (keys : keys) (msg : string) (sh : share) : bool =
   Obs_crypto.share_verify ();
@@ -149,7 +170,8 @@ let verify_share (keys : keys) (msg : string) (sh : share) : bool =
 
 (* Integer Lagrange coefficients lambda_j = Delta * prod_{j' != j} j'/(j'-j),
    over the 1-indexed point set [points]; Delta clears all denominators. *)
-let integer_lagrange ~n_parties (points : int list) : (int * B.t) list =
+let integer_lagrange_uncached ~n_parties (points : int list) :
+    (int * B.t) list =
   let dd = delta n_parties in
   List.map
     (fun j ->
@@ -165,41 +187,107 @@ let integer_lagrange ~n_parties (points : int list) : (int * B.t) list =
       (j, q))
     points
 
+(* Memoized per (n_parties, points) in a small move-to-front LRU: a
+   stable server set signs every message with the same k fastest
+   responders, so the coefficient vector recurs run-long.  Keyed by the
+   sorted point list (not a Pset) because RSA keys may span more parties
+   than a bit-mask set holds. *)
+let lagrange_cache_capacity = 64
+let lagrange_cache : ((int * int list) * (int * B.t) list) list ref = ref []
+
+let integer_lagrange ~n_parties (points : int list) : (int * B.t) list =
+  let key = (n_parties, points) in
+  let rec lookup acc = function
+    | [] -> None
+    | ((k, v) as hd) :: tl ->
+      if k = key then begin
+        lagrange_cache := hd :: List.rev_append acc tl;
+        Some v
+      end
+      else lookup (hd :: acc) tl
+  in
+  match lookup [] !lagrange_cache with
+  | Some v ->
+    Obs_crypto.recomb_cache_hit ();
+    v
+  | None ->
+    Obs_crypto.recomb_cache_miss ();
+    let v = integer_lagrange_uncached ~n_parties points in
+    lagrange_cache :=
+      List.filteri (fun i _ -> i < lagrange_cache_capacity)
+        ((key, v) :: !lagrange_cache);
+    v
+
+(* Combine exactly [k] shares into the candidate signature. *)
+let combine_raw (keys : keys) ~(xhat : B.t) (shares : share list) :
+    signature =
+  let pk = keys.pk in
+  let nn = pk.n_modulus in
+  let points = List.map (fun s -> s.signer + 1) shares in
+  let lambdas = integer_lagrange ~n_parties:pk.n_parties points in
+  let w =
+    List.fold_left
+      (fun acc s ->
+        let lambda = List.assoc (s.signer + 1) lambdas in
+        B.mul_mod acc
+          (pow_signed ~base:s.x ~exp:(B.shift_left lambda 1) ~modulus:nn)
+          nn)
+      B.one shares
+  in
+  (* w^e = H(M)^{4 Delta^2}; Bezout lifts it to an e-th root of H(M). *)
+  let dd = delta pk.n_parties in
+  let four_d2 = B.shift_left (B.mul dd dd) 2 in
+  let g, a, b = B.egcd four_d2 pk.e in
+  assert (B.equal g B.one);
+  B.mul_mod
+    (pow_signed ~base:w ~exp:a ~modulus:nn)
+    (pow_signed ~base:xhat ~exp:b ~modulus:nn)
+    nn
+
+(* The public signature equation, reused as the lazy-combine acceptance
+   check: one short-exponent pow_mod (e = 65537), far cheaper than the
+   per-share proof checks it replaces. *)
+let signature_ok (pk : public_key) ~(xhat : B.t) (y : signature) : bool =
+  B.sign y > 0 && B.lt y pk.n_modulus
+  && B.equal (B.pow_mod ~base:y ~exp:pk.e ~modulus:pk.n_modulus) xhat
+
+(* Eager policy (seed behaviour): the caller verified the shares; take
+   the k first signers and combine.  Lazy policy: combine optimistically
+   and accept iff y^e = H(M) — RSA, unlike the coin, has a public
+   predicate on the combined value, so the happy path checks no share
+   proof at all.  On failure, fall back to per-share verification,
+   drop the bad shares and retry, so an invalid signature is never
+   returned. *)
 let combine (keys : keys) (msg : string) (shares : share list) :
     signature option =
   Obs_crypto.combine ();
   let pk = keys.pk in
-  let nn = pk.n_modulus in
   let shares =
     List.sort_uniq (fun a b -> compare a.signer b.signer) shares
   in
   if List.length shares < pk.k then None
-  else begin
+  else if not (Crypto_policy.is_lazy ()) then begin
     let shares = List.filteri (fun i _ -> i < pk.k) shares in
-    let points = List.map (fun s -> s.signer + 1) shares in
-    let lambdas = integer_lagrange ~n_parties:pk.n_parties points in
-    let w =
-      List.fold_left
-        (fun acc s ->
-          let lambda = List.assoc (s.signer + 1) lambdas in
-          B.mul_mod acc
-            (pow_signed ~base:s.x ~exp:(B.shift_left lambda 1) ~modulus:nn)
-            nn)
-        B.one shares
-    in
-    (* w^e = H(M)^{4 Delta^2}; Bezout lifts it to an e-th root of H(M). *)
-    let dd = delta pk.n_parties in
-    let four_d2 = B.shift_left (B.mul dd dd) 2 in
-    let g, a, b = B.egcd four_d2 pk.e in
-    assert (B.equal g B.one);
+    Some (combine_raw keys ~xhat:(hash_to_zn pk msg) shares)
+  end
+  else begin
     let xhat = hash_to_zn pk msg in
-    let y =
-      B.mul_mod
-        (pow_signed ~base:w ~exp:a ~modulus:nn)
-        (pow_signed ~base:xhat ~exp:b ~modulus:nn)
-        nn
-    in
-    Some y
+    let chosen = List.filteri (fun i _ -> i < pk.k) shares in
+    let y = combine_raw keys ~xhat chosen in
+    if signature_ok pk ~xhat y then begin
+      Obs_crypto.lazy_verify_hit ();
+      Some y
+    end
+    else begin
+      Obs_crypto.batch_verify_fallback ();
+      let good = List.filter (verify_share keys msg) shares in
+      if List.length good < pk.k then None
+      else begin
+        let chosen = List.filteri (fun i _ -> i < pk.k) good in
+        let y = combine_raw keys ~xhat chosen in
+        if signature_ok pk ~xhat y then Some y else None
+      end
+    end
   end
 
 let verify (pk : public_key) (msg : string) (y : signature) : bool =

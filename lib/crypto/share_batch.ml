@@ -1,0 +1,81 @@
+(* Batched and lazy verification driver shared by the DLEQ-based share
+   schemes (threshold coin, TDH2 decryption, certificate signatures).
+
+   All three schemes hand out shares of the same shape: for a scheme
+   base b (H'(name), the ciphertext's u, or H'(M)), a share for leaf l
+   is b^{x_l} with a DLEQ proof of log_g leafkey_l = log_b value.  That
+   makes their statements batch together — same g1 = g and g2 = b across
+   a whole message, or across every share of a combine call — and makes
+   the lazy combine-time check identical for all of them. *)
+
+module B = Bignum
+module G = Schnorr_group
+
+(* A share flattened out of its scheme-specific record. *)
+type flat = { party : int; leaf : int; value : G.elt; proof : Dleq.t }
+
+let statements (t : Dl_sharing.t) ~(base : G.elt) (shares : flat list) :
+    (Dleq.statement * Dleq.t) list =
+  let ps = t.Dl_sharing.group in
+  List.map
+    (fun (f : flat) ->
+      ( { Dleq.g1 = ps.G.g;
+          h1 = t.Dl_sharing.leaf_keys.(f.leaf);
+          g2 = base;
+          h2 = f.value },
+        f.proof ))
+    shares
+
+(* One party's shares checked as a batch — the [verify_share] fast path
+   when the policy allows batching.  The caller has already validated
+   leaf bounds and ownership. *)
+let verify_party_batch (t : Dl_sharing.t) ~(domain : string) ~(base : G.elt)
+    (shares : flat list) : bool =
+  Dleq.batch_verify t.Dl_sharing.group ~domain (statements t ~base shares)
+
+(* Lazy combine-time validation: batch-check every proof behind the
+   qualified set at once; on failure, attribute the bad proofs by
+   bisection and drop the submitting parties, repeating until the batch
+   is clean or the surviving set is no longer qualified.  Returns the
+   availability set and shares that passed, or [None] when validation
+   cannot leave a qualified set.
+
+   An honest execution takes one batch check ([Obs_crypto.lazy_verify_hit]
+   counts these); each round of the pruning loop removes at least one
+   party, so the loop terminates. *)
+let validate_for_combine (t : Dl_sharing.t) ~(domain : string)
+    ~(base : G.elt) ~(avail : Pset.t) (shares : flat list) :
+    (Pset.t * flat list) option =
+  let scheme = t.Dl_sharing.scheme in
+  let rec attempt (avail : Pset.t) (shares : flat list) =
+    (* Qualification gate first: the recombination lookup is cached, and
+       an unqualified set should not pay for proof checks at all. *)
+    match Lsss.recombination scheme avail with
+    | None -> None
+    | Some _ ->
+      if Dleq.batch_verify t.Dl_sharing.group ~domain
+           (statements t ~base shares)
+      then begin
+        Obs_crypto.lazy_verify_hit ();
+        Some (avail, shares)
+      end
+      else begin
+        let arr = Array.of_list shares in
+        let bad =
+          Dleq.batch_find_bad t.Dl_sharing.group ~domain
+            (statements t ~base shares)
+        in
+        let bad_parties =
+          List.sort_uniq compare (List.map (fun i -> arr.(i).party) bad)
+        in
+        match bad_parties with
+        | [] -> None (* batch fails but nothing attributable: refuse *)
+        | _ ->
+          attempt
+            (List.fold_left (fun a p -> Pset.remove p a) avail bad_parties)
+            (List.filter
+               (fun (f : flat) -> not (List.mem f.party bad_parties))
+               shares)
+      end
+  in
+  attempt avail shares

@@ -1,0 +1,35 @@
+(** Batched and lazy verification driver shared by the DLEQ-based share
+    schemes (threshold coin, TDH2 decryption, certificate signatures),
+    whose shares all prove the same statement shape
+    [log_g leafkey_l = log_b value]. *)
+
+type flat = {
+  party : int;
+  leaf : int;
+  value : Schnorr_group.elt;
+  proof : Dleq.t;
+}
+(** A share flattened out of its scheme-specific record. *)
+
+val statements :
+  Dl_sharing.t ->
+  base:Schnorr_group.elt ->
+  flat list ->
+  (Dleq.statement * Dleq.t) list
+
+val verify_party_batch :
+  Dl_sharing.t -> domain:string -> base:Schnorr_group.elt -> flat list -> bool
+(** One party's shares checked with a single {!Dleq.batch_verify}; the
+    caller has already validated leaf bounds and ownership. *)
+
+val validate_for_combine :
+  Dl_sharing.t ->
+  domain:string ->
+  base:Schnorr_group.elt ->
+  avail:Pset.t ->
+  flat list ->
+  (Pset.t * flat list) option
+(** Lazy combine-time validation: batch-check every proof at once; on
+    failure attribute bad proofs by bisection, drop the submitting
+    parties and retry, until the batch is clean ([Some (avail', shares')])
+    or the survivors are no longer sharing-qualified ([None]). *)

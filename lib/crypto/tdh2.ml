@@ -33,14 +33,18 @@ type ciphertext = {
 type dec_share = { leaf : int; value : G.elt; proof : Dleq.t }
 
 let domain = "sintra/tdh2"
+let g'_domain = domain ^ "/g'"
+let e_domain = domain ^ "/e"
+let share_domain = domain ^ "/share"
+let kdf_domain = domain ^ "/kdf"
 
 (* Independent second generator, derived by hashing (nothing up the
    sleeve: its discrete log w.r.t. g is unknown). *)
 let g' (ps : G.params) : G.elt =
-  G.hash_to_elt ps ~domain:(domain ^ "/g'") [ G.elt_to_bytes ps ps.G.g ]
+  G.hash_to_elt ps ~domain:g'_domain [ G.elt_to_bytes ps ps.G.g ]
 
 let challenge ps ~c ~label ~u ~w ~u' ~w' : B.t =
-  G.hash_to_exponent ps ~domain:(domain ^ "/e")
+  G.hash_to_exponent ps ~domain:e_domain
     (c :: label :: List.map (G.elt_to_bytes ps) [ u; w; u'; w' ])
 
 let encrypt (t : Dl_sharing.t) (rng : Prng.t) ~(label : string)
@@ -49,7 +53,7 @@ let encrypt (t : Dl_sharing.t) (rng : Prng.t) ~(label : string)
   let k = G.random_exponent ps rng and r = G.random_exponent ps rng in
   let shared = G.exp ps t.Dl_sharing.public_key k in
   let c =
-    Ro.xor_pad ~domain:(domain ^ "/kdf") ~key:(G.elt_to_bytes ps shared)
+    Ro.xor_pad ~domain:kdf_domain ~key:(G.elt_to_bytes ps shared)
       plaintext
   in
   let gp = g' ps in
@@ -87,46 +91,93 @@ let decryption_share (t : Dl_sharing.t) ~(party : int) (ct : ciphertext) :
          (fun (s : Lsss.subshare) ->
            let value = G.exp ps ct.u s.value in
            let proof =
-             Dleq.prove ps ~domain:(domain ^ "/share") ~x:s.value ~g1:ps.G.g
+             Dleq.prove ps ~domain:share_domain ~x:s.value ~g1:ps.G.g
                ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:ct.u ~h2:value
            in
            { leaf = s.leaf; value; proof })
          (Dl_sharing.shares_of t party))
   end
 
-let verify_share (t : Dl_sharing.t) ~(party : int) (ct : ciphertext)
-    (shares : dec_share list) : bool =
-  Obs_crypto.share_verify ();
-  let ps = t.Dl_sharing.group in
+(* Structural validity alone (share count, leaf bounds, ownership): the
+   receipt-time check of a lazy call site; proofs wait for combine. *)
+let check_shape (t : Dl_sharing.t) ~(party : int) (shares : dec_share list) :
+    bool =
   let expected = Dl_sharing.shares_of t party in
   List.length shares = List.length expected
   && List.for_all
        (fun (s : dec_share) ->
          s.leaf >= 0
          && s.leaf < Array.length t.Dl_sharing.leaf_keys
-         && Lsss.leaf_owner t.Dl_sharing.scheme s.leaf = party
-         && Dleq.verify ps ~domain:(domain ^ "/share") ~g1:ps.G.g
-              ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:ct.u ~h2:s.value
-              s.proof)
+         && Lsss.leaf_owner t.Dl_sharing.scheme s.leaf = party)
        shares
 
+let flatten_shares party (shares : dec_share list) : Share_batch.flat list =
+  List.map
+    (fun (s : dec_share) ->
+      { Share_batch.party; leaf = s.leaf; value = s.value; proof = s.proof })
+    shares
+
+let verify_share (t : Dl_sharing.t) ~(party : int) (ct : ciphertext)
+    (shares : dec_share list) : bool =
+  Obs_crypto.share_verify ();
+  let ps = t.Dl_sharing.group in
+  let expected = Dl_sharing.shares_of t party in
+  if Crypto_policy.batchable (List.length shares) then
+    check_shape t ~party shares
+    && Share_batch.verify_party_batch t ~domain:share_domain ~base:ct.u
+         (flatten_shares party shares)
+  else
+    List.length shares = List.length expected
+    && List.for_all
+         (fun (s : dec_share) ->
+           s.leaf >= 0
+           && s.leaf < Array.length t.Dl_sharing.leaf_keys
+           && Lsss.leaf_owner t.Dl_sharing.scheme s.leaf = party
+           && Dleq.verify ps ~domain:share_domain ~g1:ps.G.g
+                ~h1:t.Dl_sharing.leaf_keys.(s.leaf) ~g2:ct.u ~h2:s.value
+                s.proof)
+         shares
+
+(* Under the eager policy the shares were verified at receipt and
+   recombine directly (seed behaviour); under the lazy policy they
+   arrive proof-unchecked and are validated here with one batched
+   check, pruning attributed-bad parties on failure. *)
 let combine (t : Dl_sharing.t) (ct : ciphertext) ~(avail : Pset.t)
     (shares : (int * dec_share list) list) : string option =
   Obs_crypto.combine ();
   if not (is_valid t ct) then None
   else begin
     let ps = t.Dl_sharing.group in
-    let leaf_values =
-      List.concat_map
-        (fun (_, ss) -> List.map (fun (s : dec_share) -> (s.leaf, s.value)) ss)
-        shares
+    let recombine avail shares =
+      let leaf_values =
+        List.concat_map
+          (fun (_, ss) ->
+            List.map (fun (s : dec_share) -> (s.leaf, s.value)) ss)
+          shares
+      in
+      match Dl_sharing.combine_in_exponent t ~avail ~leaf_values with
+      | None -> None
+      | Some shared ->
+        Some
+          (Ro.xor_pad ~domain:kdf_domain
+             ~key:(G.elt_to_bytes ps shared) ct.c)
     in
-    match Dl_sharing.combine_in_exponent t ~avail ~leaf_values with
-    | None -> None
-    | Some shared ->
-      Some
-        (Ro.xor_pad ~domain:(domain ^ "/kdf")
-           ~key:(G.elt_to_bytes ps shared) ct.c)
+    if not (Crypto_policy.is_lazy ()) then recombine avail shares
+    else begin
+      let flat =
+        List.concat_map (fun (party, ss) -> flatten_shares party ss) shares
+      in
+      match
+        Share_batch.validate_for_combine t ~domain:share_domain ~base:ct.u
+          ~avail flat
+      with
+      | None -> None
+      | Some (avail', good) ->
+        let keep p =
+          List.exists (fun (f : Share_batch.flat) -> f.party = p) good
+        in
+        recombine avail' (List.filter (fun (p, _) -> keep p) shares)
+    end
   end
 
 (* Wire encoding, so ciphertexts can be hashed / carried in messages. *)

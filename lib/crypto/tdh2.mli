@@ -28,8 +28,15 @@ val decryption_share :
   Dl_sharing.t -> party:int -> ciphertext -> dec_share list option
 (** [None] when the ciphertext is invalid. *)
 
+val check_shape : Dl_sharing.t -> party:int -> dec_share list -> bool
+(** Structural validity only (share count, leaf bounds, ownership) —
+    what a lazy call site checks at receipt, deferring the DLEQ proofs
+    to {!combine}. *)
+
 val verify_share :
   Dl_sharing.t -> party:int -> ciphertext -> dec_share list -> bool
+(** Per-proof as in the seed, or one batched check when
+    {!Crypto_policy.batchable} says so. *)
 
 val combine :
   Dl_sharing.t ->
@@ -37,8 +44,10 @@ val combine :
   avail:Pset.t ->
   (int * dec_share list) list ->
   string option
-(** Recover the plaintext from verified shares of a sharing-qualified
-    set. *)
+(** Recover the plaintext from shares of a sharing-qualified set.
+    Eager policy: shares must have been verified at receipt (seed
+    behaviour).  Lazy policy: shares are validated here with one
+    batched proof check, pruning attributed-bad parties on failure. *)
 
 val ciphertext_to_bytes : Dl_sharing.t -> ciphertext -> string
 val ciphertext_of_bytes : Dl_sharing.t -> string -> ciphertext option

@@ -71,7 +71,11 @@ let mul ps (a : elt) (b : elt) : elt = B.mul_mod a b ps.p
 (* ------------------------------------------------------------------ *)
 
 let window_bits = 4
-let max_tables = 16
+(* Enough slots for a deployment's long-lived bases: the generator, the
+   TDH2 g', and the leaf verification keys of a sharing (batch
+   verification exponentiates those directly), with headroom for the
+   churning per-round coin bases. *)
+let max_tables = 48
 
 let find_table (c : cache) (base : elt) : table option =
   let rec go acc = function

@@ -25,14 +25,19 @@ let hash ~domain (parts : string list) : string =
 (* Expand to arbitrary length by counter mode over the oracle. *)
 let hash_expand ~domain (parts : string list) ~(len : int) : string =
   let seed = hash ~domain parts in
-  let buf = Buffer.create len in
-  let ctr = ref 0 in
-  while Buffer.length buf < len do
-    Buffer.add_string buf
-      (Sha256.digest_list [ seed; string_of_int !ctr ]);
-    incr ctr
-  done;
-  String.sub (Buffer.contents buf) 0 len
+  if len <= 32 then
+    (* single counter block; same bytes as one loop iteration *)
+    String.sub (Sha256.digest_list [ seed; "0" ]) 0 len
+  else begin
+    let buf = Buffer.create len in
+    let ctr = ref 0 in
+    while Buffer.length buf < len do
+      Buffer.add_string buf
+        (Sha256.digest_list [ seed; string_of_int !ctr ]);
+      incr ctr
+    done;
+    String.sub (Buffer.contents buf) 0 len
+  end
 
 (* Hash into [0, bound).  Oversample by 64 bits so the modular reduction
    bias is negligible even for small bounds. *)

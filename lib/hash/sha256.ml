@@ -20,51 +20,81 @@ let k =
      0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
      0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land word_mask
-
-type ctx = { h : int array; buf : Buffer.t; mutable total : int }
+type ctx = { h : int array; block : Bytes.t; mutable fill : int; mutable total : int }
+(* [block] holds the sub-block tail between feeds; full blocks compress
+   straight out of the input string, uncopied. *)
 
 let init () =
   { h =
       [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
          0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
-    buf = Buffer.create 64;
+    block = Bytes.create 64;
+    fill = 0;
     total = 0 }
 
+(* One message schedule buffer, reused across blocks: [compress] is the
+   single hottest loop of the whole stack (every Fiat-Shamir challenge,
+   coin name and batch coefficient goes through it), so it avoids
+   per-block allocation and bounds checks, and spells the rotations out
+   inline.  Not re-entrant, which SHA-256 chaining never needs. *)
+let sched = Array.make 64 0
+
 let compress (h : int array) (block : string) (off : int) =
-  let w = Array.make 64 0 in
+  let w = sched in
   for i = 0 to 15 do
-    w.(i) <-
-      (Char.code block.[off + (4 * i)] lsl 24)
-      lor (Char.code block.[off + (4 * i) + 1] lsl 16)
-      lor (Char.code block.[off + (4 * i) + 2] lsl 8)
-      lor Char.code block.[off + (4 * i) + 3]
+    let o = off + (4 * i) in
+    Array.unsafe_set w i
+      ((Char.code (String.unsafe_get block o) lsl 24)
+      lor (Char.code (String.unsafe_get block (o + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get block (o + 2)) lsl 8)
+      lor Char.code (String.unsafe_get block (o + 3)))
   done;
   for i = 16 to 63 do
+    let x = Array.unsafe_get w (i - 15) in
     let s0 =
-      rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3)
+      (((x lsr 7) lor (x lsl 25)) lxor ((x lsr 18) lor (x lsl 14))
+      lxor (x lsr 3))
+      land word_mask
     in
+    let y = Array.unsafe_get w (i - 2) in
     let s1 =
-      rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10)
+      (((y lsr 17) lor (y lsl 15)) lxor ((y lsr 19) lor (y lsl 13))
+      lxor (y lsr 10))
+      land word_mask
     in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land word_mask
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land word_mask)
   done;
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for i = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = (!e land !f) lxor (lnot !e land !g) in
-    let t1 = (!hh + s1 + ch + k.(i) + w.(i)) land word_mask in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let ev = !e in
+    let s1 =
+      (((ev lsr 6) lor (ev lsl 26)) lxor ((ev lsr 11) lor (ev lsl 21))
+      lxor ((ev lsr 25) lor (ev lsl 7)))
+      land word_mask
+    in
+    let ch = (ev land !f) lxor (lnot ev land !g) in
+    let t1 =
+      (!hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i)
+      land word_mask
+    in
+    let av = !a in
+    let s0 =
+      (((av lsr 2) lor (av lsl 30)) lxor ((av lsr 13) lor (av lsl 19))
+      lxor ((av lsr 22) lor (av lsl 10)))
+      land word_mask
+    in
+    let maj = (av land !b) lxor (av land !c) lxor (!b land !c) in
     let t2 = (s0 + maj) land word_mask in
     hh := !g;
     g := !f;
-    f := !e;
+    f := ev;
     e := (!d + t1) land word_mask;
     d := !c;
     c := !b;
-    b := !a;
+    b := av;
     a := (t1 + t2) land word_mask
   done;
   h.(0) <- (h.(0) + !a) land word_mask;
@@ -77,32 +107,42 @@ let compress (h : int array) (block : string) (off : int) =
   h.(7) <- (h.(7) + !hh) land word_mask
 
 let feed ctx (s : string) =
-  ctx.total <- ctx.total + String.length s;
-  Buffer.add_string ctx.buf s;
-  let data = Buffer.contents ctx.buf in
-  let nblocks = String.length data / 64 in
-  for i = 0 to nblocks - 1 do
-    compress ctx.h data (64 * i)
+  let len = String.length s in
+  ctx.total <- ctx.total + len;
+  let pos = ref 0 in
+  (* top up a partial block first *)
+  if ctx.fill > 0 then begin
+    let take = min (64 - ctx.fill) len in
+    Bytes.blit_string s 0 ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    pos := take;
+    if ctx.fill = 64 then begin
+      compress ctx.h (Bytes.unsafe_to_string ctx.block) 0;
+      ctx.fill <- 0
+    end
+  end;
+  (* full blocks straight from the input *)
+  while len - !pos >= 64 do
+    compress ctx.h s !pos;
+    pos := !pos + 64
   done;
-  Buffer.clear ctx.buf;
-  Buffer.add_substring ctx.buf data (64 * nblocks)
-    (String.length data - (64 * nblocks))
+  if !pos < len then begin
+    Bytes.blit_string s !pos ctx.block 0 (len - !pos);
+    ctx.fill <- len - !pos
+  end
 
 let finalize ctx : string =
   let bitlen = 8 * ctx.total in
-  let pad_target = Buffer.length ctx.buf in
   (* Append 0x80, zeros to 56 mod 64, then the 64-bit big-endian length. *)
-  Buffer.add_char ctx.buf '\x80';
-  let zeros = (55 - pad_target + 64) mod 64 in
-  Buffer.add_string ctx.buf (String.make zeros '\000');
-  for i = 7 downto 0 do
-    Buffer.add_char ctx.buf (Char.chr ((bitlen lsr (8 * i)) land 0xff))
+  let pad = Bytes.make (if ctx.fill < 56 then 64 - ctx.fill else 128 - ctx.fill) '\000' in
+  Bytes.set pad 0 '\x80';
+  let plen = Bytes.length pad in
+  for i = 0 to 7 do
+    Bytes.set pad (plen - 8 + i)
+      (Char.chr ((bitlen lsr (8 * (7 - i))) land 0xff))
   done;
-  let data = Buffer.contents ctx.buf in
-  assert (String.length data mod 64 = 0);
-  for i = 0 to (String.length data / 64) - 1 do
-    compress ctx.h data (64 * i)
-  done;
+  feed ctx (Bytes.unsafe_to_string pad);
+  assert (ctx.fill = 0);
   String.init 32 (fun i ->
       Char.chr ((ctx.h.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xff))
 

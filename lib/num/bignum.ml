@@ -98,6 +98,63 @@ let egcd a b =
   in
   go a b one zero zero one
 
+(* Jacobi symbol (a/n) for odd positive n, by the binary reciprocity
+   algorithm: GCD-style reductions only, no exponentiation.  For a prime
+   n this decides quadratic residuosity, which is what makes it the
+   cheap subgroup-membership test for Schnorr groups (p = 2q + 1): an
+   element lies in the order-q subgroup iff its Jacobi symbol mod p is
+   1.  Cost is a handful of divisions — negligible next to the
+   [pow_mod] that [x^q = 1] membership testing would spend. *)
+let jacobi a n =
+  if n.sign <= 0 || is_even n then
+    invalid_arg "Bignum.jacobi: modulus must be odd and positive";
+  let low3 v = (* v mod 8, for the 2-adic reciprocity rule *)
+    (if testbit v 0 then 1 else 0)
+    lor (if testbit v 1 then 2 else 0)
+    lor (if testbit v 2 then 4 else 0)
+  in
+  (* Native-int tail: most of the Euclid chain runs on operands that fit
+     a machine word, where a division step costs nanoseconds instead of
+     a multi-limb divmod.  Same reciprocity rules, int arithmetic. *)
+  let rec go_int a n acc =
+    if a = 0 then if n = 1 then acc else 0
+    else begin
+      let tz =
+        let rec count a i = if a land 1 = 1 then i else count (a lsr 1) (i + 1) in
+        count a 0
+      in
+      let a = a lsr tz in
+      let n8 = n land 7 in
+      let acc = if tz land 1 = 1 && (n8 = 3 || n8 = 5) then -acc else acc in
+      let acc = if a land 2 = 2 && n land 2 = 2 then -acc else acc in
+      go_int (n mod a) a acc
+    end
+  in
+  let to_int v = match to_int_opt v with Some i -> i | None -> assert false in
+  let rec go a n acc =
+    (* invariant: n odd positive, 0 <= a < n *)
+    if is_zero a then if equal n one then acc else 0
+    else if numbits n <= 62 then go_int (to_int a) (to_int n) acc
+    else begin
+      (* strip factors of two: (2/n) = -1 iff n = ±3 mod 8 *)
+      let tz =
+        let rec count i = if testbit a i then i else count (i + 1) in
+        count 0
+      in
+      let a = if tz = 0 then a else shift_right a tz in
+      let n8 = low3 n in
+      let acc =
+        if tz land 1 = 1 && (n8 = 3 || n8 = 5) then -acc else acc
+      in
+      (* reciprocity: flip sign iff both a, n = 3 mod 4 *)
+      let acc =
+        if testbit a 1 && testbit n 1 then -acc else acc
+      in
+      go (erem n a) a acc
+    end
+  in
+  go (erem a n) n 1
+
 let add_mod a b m = erem (add a b) m
 let sub_mod a b m = erem (sub a b) m
 let mul_mod a b m = erem (mul a b) m
@@ -320,27 +377,47 @@ let of_hex s =
   if sgn < 0 then neg !acc else !acc
 
 (* Big-endian byte encoding of the magnitude, zero-padded to [len] when
-   given.  Raises if the value does not fit. *)
+   given.  Raises if the value does not fit.  Bytes are read straight
+   out of the 31-bit limbs (at most one limb-boundary straddle each):
+   serialization sits on the hash hot path, where a per-bit loop would
+   cost more than the hashing itself. *)
 let to_bytes_be ?len v =
   if v.sign < 0 then invalid_arg "Bignum.to_bytes_be: negative";
   let needed = (numbits v + 7) / 8 in
   let len = match len with Some l -> l | None -> max 1 needed in
   if needed > len then invalid_arg "Bignum.to_bytes_be: does not fit";
   let b = Bytes.make len '\000' in
+  let mag = v.mag in
+  let nlimbs = Array.length mag in
   for i = 0 to needed - 1 do
-    let byte = ref 0 in
-    for j = 7 downto 0 do
-      byte := (!byte lsl 1) lor (if testbit v ((i * 8) + j) then 1 else 0)
-    done;
-    Bytes.set b (len - 1 - i) (Char.chr !byte)
+    let lo = 8 * i in
+    let li = lo / Limbs.base_bits and off = lo mod Limbs.base_bits in
+    let x = Array.unsafe_get mag li lsr off in
+    let x =
+      if off + 8 > Limbs.base_bits && li + 1 < nlimbs then
+        x lor (Array.unsafe_get mag (li + 1) lsl (Limbs.base_bits - off))
+      else x
+    in
+    Bytes.unsafe_set b (len - 1 - i) (Char.unsafe_chr (x land 0xff))
   done;
-  Bytes.to_string b
+  Bytes.unsafe_to_string b
 
 let of_bytes_be s =
-  let acc = ref zero in
-  String.iter
-    (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c)))
-    s;
-  !acc
+  let len = String.length s in
+  let nlimbs = ((8 * len) + Limbs.base_bits - 1) / Limbs.base_bits in
+  if nlimbs = 0 then zero
+  else begin
+    let mag = Array.make nlimbs 0 in
+    let mask = (1 lsl Limbs.base_bits) - 1 in
+    for i = 0 to len - 1 do
+      let v = Char.code (String.unsafe_get s (len - 1 - i)) in
+      let lo = 8 * i in
+      let li = lo / Limbs.base_bits and off = lo mod Limbs.base_bits in
+      mag.(li) <- mag.(li) lor ((v lsl off) land mask);
+      if off + 8 > Limbs.base_bits then
+        mag.(li + 1) <- mag.(li + 1) lor (v lsr (Limbs.base_bits - off))
+    done;
+    make 1 (Limbs.normalize mag)
+  end
 
 let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -57,6 +57,13 @@ val gcd : t -> t -> t
 val egcd : t -> t -> t * t * t
 (** [egcd a b] is [(g, u, v)] with [u*a + v*b = g = gcd a b]. *)
 
+val jacobi : t -> t -> int
+(** [jacobi a n] is the Jacobi symbol (a/n) in [{-1; 0; 1}] for odd
+    positive [n] (raises [Invalid_argument] otherwise).  For prime [n]
+    this decides quadratic residuosity without an exponentiation, which
+    makes it the cheap subgroup-membership test for safe-prime Schnorr
+    groups. *)
+
 val add_mod : t -> t -> t -> t
 val sub_mod : t -> t -> t -> t
 val mul_mod : t -> t -> t -> t

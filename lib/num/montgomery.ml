@@ -200,29 +200,79 @@ let pow2 (ctx : ctx) ~(b1 : int array) ~(e1 : int array) ~(b2 : int array)
     from_mont ctx !acc
   end
 
+(* The w bits of magnitude [e] starting at bit [lo] (little-endian bit
+   order), read straight out of the limbs; w never exceeds a limb. *)
+let bits_at (e : int array) (lo : int) (w : int) : int =
+  let li = lo / Limbs.base_bits and off = lo mod Limbs.base_bits in
+  let len = Array.length e in
+  if li >= len then 0
+  else begin
+    let v = Array.unsafe_get e li lsr off in
+    let v =
+      if off + w > Limbs.base_bits && li + 1 < len then
+        v lor (Array.unsafe_get e (li + 1) lsl (Limbs.base_bits - off))
+      else v
+    in
+    v land ((1 lsl w) - 1)
+  end
+
 (* Interleaved (Straus) product of base^exp over any number of pairs:
-   one shared squaring chain for the whole product.  No subset-product
-   table, so memory stays O(pairs) and the win over separate
-   exponentiations is the (pairs - 1) * max_bits saved squarings. *)
+   one shared squaring chain for the whole product.  Each base picks a
+   window width by its exponent size — wide exponents amortize a
+   per-base digit table (w-bit windows cost one multiply per non-zero
+   digit instead of one per set bit), short ones stay narrow so the
+   table build is never wasted.  Digit schedules are extracted up front
+   and the pairs grouped by width, so the chain's inner loop touches a
+   base only at its own digit boundaries. *)
 let pow_multi (ctx : ctx) (pairs : (int array * int array) list) : int array =
-  let ps =
-    List.map (fun (b, e) -> (to_mont ctx b, e, Limbs.numbits e)) pairs
+  let nb =
+    List.fold_left (fun acc (_, e) -> max acc (Limbs.numbits e)) 0 pairs
   in
-  let nb = List.fold_left (fun acc (_, _, n) -> max acc n) 0 ps in
   if nb = 0 then from_mont ctx ctx.one
   else begin
+    (* A w-bit window trades a (2^w - 2)-multiply table build for one
+       multiply per non-zero w-digit: worthwhile once the exponent has
+       enough digits to repay the build. *)
+    let prep w =
+      List.filter_map
+        (fun (b, e) ->
+          let n = Limbs.numbits e in
+          let w' = if n >= 96 then 4 else if n >= 24 then 2 else 1 in
+          if w' <> w || n = 0 then None
+          else begin
+            let bm = to_mont ctx b in
+            let tbl = Array.make ((1 lsl w) - 1) bm in
+            for d = 1 to Array.length tbl - 1 do
+              tbl.(d) <- mul ctx tbl.(d - 1) bm
+            done;
+            let nwin = (nb + w - 1) / w in
+            let digits = Array.init nwin (fun j -> bits_at e (j * w) w) in
+            Some (tbl, digits)
+          end)
+        pairs
+      |> Array.of_list
+    in
+    let w4 = prep 4 and w2 = prep 2 and w1 = prep 1 in
     let acc = ref ctx.one and started = ref false in
+    let mul_acc f =
+      if !started then acc := mul ctx !acc f
+      else begin
+        acc := f;
+        started := true
+      end
+    in
+    let apply (group : (int array array * int array) array) (win : int) =
+      for j = 0 to Array.length group - 1 do
+        let tbl, digits = Array.unsafe_get group j in
+        let d = Array.unsafe_get digits win in
+        if d <> 0 then mul_acc (Array.unsafe_get tbl (d - 1))
+      done
+    in
     for i = nb - 1 downto 0 do
       if !started then acc := mul ctx !acc !acc;
-      List.iter
-        (fun (bm, e, n) ->
-          if i < n && Limbs.testbit e i then
-            if !started then acc := mul ctx !acc bm
-            else begin
-              acc := bm;
-              started := true
-            end)
-        ps
+      if i land 3 = 0 then apply w4 (i lsr 2);
+      if i land 1 = 0 then apply w2 (i lsr 1);
+      apply w1 i
     done;
     from_mont ctx !acc
   end

@@ -20,8 +20,14 @@ type kind =
   | Modexp_window  (* pow_mod calls served by the Montgomery window *)
   | Multi_exp  (* simultaneous multi-exponentiations (Shamir/Straus) *)
   | Fixed_base_exp  (* exponentiations served by a fixed-base table *)
+  | Batch_verify  (* random-linear-combination batched proof checks *)
+  | Batch_verify_size  (* total proofs covered by those batched checks *)
+  | Batch_verify_fallback  (* failed batches that triggered bisection *)
+  | Lazy_verify_hit  (* lazy combines whose optimistic check succeeded *)
+  | Recomb_cache_hit  (* recombination vectors served from the LRU *)
+  | Recomb_cache_miss  (* recombination vectors recomputed *)
 
-let n_kinds = 9
+let n_kinds = 15
 
 let index = function
   | Modexp -> 0
@@ -33,6 +39,12 @@ let index = function
   | Modexp_window -> 6
   | Multi_exp -> 7
   | Fixed_base_exp -> 8
+  | Batch_verify -> 9
+  | Batch_verify_size -> 10
+  | Batch_verify_fallback -> 11
+  | Lazy_verify_hit -> 12
+  | Recomb_cache_hit -> 13
+  | Recomb_cache_miss -> 14
 
 let name = function
   | Modexp -> "modexp"
@@ -44,10 +56,18 @@ let name = function
   | Modexp_window -> "modexp_window"
   | Multi_exp -> "multi_exp"
   | Fixed_base_exp -> "fixed_base_exp"
+  | Batch_verify -> "batch_verify"
+  | Batch_verify_size -> "batch_verify_size"
+  | Batch_verify_fallback -> "batch_verify_fallback"
+  | Lazy_verify_hit -> "lazy_verify_hits"
+  | Recomb_cache_hit -> "recomb_cache_hits"
+  | Recomb_cache_miss -> "recomb_cache_misses"
 
 let all_kinds =
   [ Modexp; Hash_to_group; Sign; Verify; Share_verify; Combine;
-    Modexp_window; Multi_exp; Fixed_base_exp ]
+    Modexp_window; Multi_exp; Fixed_base_exp; Batch_verify;
+    Batch_verify_size; Batch_verify_fallback; Lazy_verify_hit;
+    Recomb_cache_hit; Recomb_cache_miss ]
 
 let counts_arr = Array.make n_kinds 0
 
@@ -85,6 +105,26 @@ let multi_exp () = if !enabled_flag then counts_arr.(7) <- counts_arr.(7) + 1
 
 let fixed_base_exp () =
   if !enabled_flag then counts_arr.(8) <- counts_arr.(8) + 1
+
+(* [batch_verify k] records one batched check covering [k] proofs, so
+   average batch size = batch_verify_size / batch_verify. *)
+let batch_verify k =
+  if !enabled_flag then begin
+    counts_arr.(9) <- counts_arr.(9) + 1;
+    counts_arr.(10) <- counts_arr.(10) + k
+  end
+
+let batch_verify_fallback () =
+  if !enabled_flag then counts_arr.(11) <- counts_arr.(11) + 1
+
+let lazy_verify_hit () =
+  if !enabled_flag then counts_arr.(12) <- counts_arr.(12) + 1
+
+let recomb_cache_hit () =
+  if !enabled_flag then counts_arr.(13) <- counts_arr.(13) + 1
+
+let recomb_cache_miss () =
+  if !enabled_flag then counts_arr.(14) <- counts_arr.(14) + 1
 
 let to_json () : Obs_json.t =
   Obs_json.Obj (List.map (fun (n, c) -> (n, Obs_json.Int c)) (counts ()))

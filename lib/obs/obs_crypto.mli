@@ -17,6 +17,12 @@ type kind =
   | Modexp_window  (** [pow_mod] calls served by the Montgomery window *)
   | Multi_exp  (** simultaneous multi-exponentiations (Shamir/Straus) *)
   | Fixed_base_exp  (** exponentiations served by a fixed-base table *)
+  | Batch_verify  (** random-linear-combination batched proof checks *)
+  | Batch_verify_size  (** total proofs covered by batched checks *)
+  | Batch_verify_fallback  (** failed batches that triggered bisection *)
+  | Lazy_verify_hit  (** lazy combines whose optimistic check passed *)
+  | Recomb_cache_hit  (** recombination vectors served from the LRU *)
+  | Recomb_cache_miss  (** recombination vectors recomputed *)
 
 val all_kinds : kind list
 val name : kind -> string
@@ -43,6 +49,15 @@ val combine : unit -> unit
 val modexp_window : unit -> unit
 val multi_exp : unit -> unit
 val fixed_base_exp : unit -> unit
+
+val batch_verify : int -> unit
+(** [batch_verify k]: one batched check covering [k] proofs (increments
+    [Batch_verify] by one and [Batch_verify_size] by [k]). *)
+
+val batch_verify_fallback : unit -> unit
+val lazy_verify_hit : unit -> unit
+val recomb_cache_hit : unit -> unit
+val recomb_cache_miss : unit -> unit
 
 val to_json : unit -> Obs_json.t
 (** [{"modexp": n, ...}] — every kind, including zeros. *)

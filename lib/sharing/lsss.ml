@@ -17,7 +17,17 @@ type scheme = {
   modulus : B.t;
   formula : F.t;
   leaf_owner : int array;  (* leaf id (DFS order) -> party index *)
+  mutable recomb_cache : (Pset.t * (int * B.t) list option) list;
+      (* move-to-front LRU over availability sets; a [Pset.t] is a
+         native int, so the key comparison is one machine word.
+         Unqualified ([None]) results are cached too — they recur on
+         every share arrival while a combine waits for a quorum. *)
 }
+
+(* Protocols resolve the same handful of availability sets round after
+   round (the quorum that formed first, then supersets of it as late
+   shares trickle in), so a small bound loses nothing. *)
+let recomb_cache_capacity = 64
 
 type subshare = { leaf : int; party : int; value : B.t }
 
@@ -29,7 +39,10 @@ let build ~modulus formula =
     | F.Threshold (_, children) -> List.iter walk children
   in
   walk formula;
-  { modulus; formula; leaf_owner = Array.of_list (List.rev !owners) }
+  { modulus;
+    formula;
+    leaf_owner = Array.of_list (List.rev !owners);
+    recomb_cache = [] }
 
 let num_leaves scheme = Array.length scheme.leaf_owner
 let leaf_owner scheme leaf = scheme.leaf_owner.(leaf)
@@ -58,7 +71,7 @@ let shares_of_party (subshares : subshare list) (party : int) : subshare list =
 (* Recombination vector: coefficients c_l such that the secret equals
    sum_l c_l * value_l over the leaves owned by [avail].  [None] when
    [avail] is not qualified. *)
-let recombination scheme (avail : Pset.t) : (int * B.t) list option =
+let recombination_uncached scheme (avail : Pset.t) : (int * B.t) list option =
   let next_leaf = ref 0 in
   let rec solve f : (int * B.t) list option =
     match f with
@@ -91,6 +104,33 @@ let recombination scheme (avail : Pset.t) : (int * B.t) list option =
       end
   in
   solve scheme.formula
+
+(* Memoized front end: every scheme-level combine (coin flips, TDH2
+   decryptions, certificate checks, proactive refreshes) resolves its
+   availability set through this LRU, so the nested-Lagrange solve runs
+   once per distinct set instead of once per round. *)
+let recombination scheme (avail : Pset.t) : (int * B.t) list option =
+  let rec lookup acc = function
+    | [] -> None
+    | ((key, v) as hd) :: tl ->
+      if Pset.equal key avail then begin
+        scheme.recomb_cache <- hd :: List.rev_append acc tl;
+        Some v
+      end
+      else lookup (hd :: acc) tl
+  in
+  match lookup [] scheme.recomb_cache with
+  | Some v ->
+    Obs_crypto.recomb_cache_hit ();
+    v
+  | None ->
+    Obs_crypto.recomb_cache_miss ();
+    let v = recombination_uncached scheme avail in
+    scheme.recomb_cache <-
+      List.filteri
+        (fun i _ -> i < recomb_cache_capacity)
+        ((avail, v) :: scheme.recomb_cache);
+    v
 
 let reconstruct scheme (subshares : subshare list) (avail : Pset.t) :
     B.t option =

@@ -24,6 +24,9 @@ val recombination : scheme -> Pset.t -> (int * Bignum.t) list option
 (** [recombination scheme avail] is the coefficient vector [(leaf, c)]
     with [secret = Σ c · value_leaf] over leaves owned by [avail], or
     [None] when [avail] is unqualified.  The same vector recombines
-    exponent shares: [base^secret = Π (base^{value})^c]. *)
+    exponent shares: [base^secret = Π (base^{value})^c].  Results
+    (including [None]) are memoized per scheme in a small bounded LRU
+    keyed by the availability set, so repeated combines over the same
+    quorum skip the nested-Lagrange solve. *)
 
 val reconstruct : scheme -> subshare list -> Pset.t -> Bignum.t option

@@ -27,8 +27,26 @@ let eval p (x : B.t) : B.t =
 let eval_at_int p (x : int) : B.t = eval p (B.of_int x)
 
 (* Lagrange coefficients for interpolating f(0) from the points [xs]
-   (distinct non-zero ints): f(0) = sum_j lambda_j f(x_j) mod q. *)
+   (distinct non-zero ints): f(0) = sum_j lambda_j f(x_j) mod q.
+
+   The distinctness precondition is enforced: a repeated point would
+   otherwise be *silently* skipped by the [xm = xj] guard below for
+   every occurrence, yielding well-formed but wrong coefficients (and a
+   zero point makes every other numerator vanish).  Callers feeding
+   adversary-influenced index sets must get an exception, not a wrong
+   secret. *)
 let lagrange_at_zero ~modulus (xs : int list) : (int * B.t) list =
+  (match List.find_opt (fun x -> x = 0) xs with
+  | Some _ -> invalid_arg "Poly.lagrange_at_zero: zero evaluation point"
+  | None -> ());
+  let rec dup_check = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as tl) ->
+      if a = b then
+        invalid_arg "Poly.lagrange_at_zero: duplicate evaluation point"
+      else dup_check tl
+  in
+  dup_check (List.sort compare xs);
   let inv v =
     match B.inv_mod v modulus with
     | Some i -> i

@@ -13,4 +13,6 @@ val eval_at_int : t -> int -> Bignum.t
 
 val lagrange_at_zero : modulus:Bignum.t -> int list -> (int * Bignum.t) list
 (** Coefficients λ{_j} with [f 0 = Σ λ_j · f x_j] for any polynomial of
-    degree < |points|; points must be distinct, non-zero mod [modulus]. *)
+    degree < |points|; points must be distinct, non-zero mod [modulus].
+    Raises [Invalid_argument] on a duplicate or zero point (a duplicate
+    would otherwise yield silently wrong coefficients). *)

@@ -398,7 +398,225 @@ let keyring_tests =
             (Keyring.service_verify kr msg s))
   ]
 
+let batch_tests =
+  (* Synthetic DLEQ batches over a shared base pair, mirroring the shape
+     the share schemes produce (same g1 = g and g2 across the batch). *)
+  let mk_batch ?(k = 6) ~seed ~domain () =
+    let rng = Prng.create ~seed in
+    let g2 = G.hash_to_elt ps ~domain:"batch-base" [ "b" ] in
+    List.init k (fun _ ->
+        let x = G.random_exponent ps rng in
+        let h1 = G.exp_g ps x and h2 = G.exp ps g2 x in
+        let p = Dleq.prove ps ~domain ~x ~g1:ps.G.g ~h1 ~g2 ~h2 in
+        ({ Dleq.g1 = ps.G.g; h1; g2; h2 }, p))
+  in
+  let corrupt_at i f = List.mapi (fun j sp -> if j = i then f sp else sp) in
+  let bad_z (s, (p : Dleq.t)) =
+    (s, { p with Dleq.z = B.add_mod p.Dleq.z B.one ps.G.q })
+  in
+  let bad_h2 ((s : Dleq.statement), p) =
+    ({ s with Dleq.h2 = G.mul ps s.Dleq.h2 ps.G.g }, p)
+  in
+  let eb = Option.get (Crypto_policy.of_string "eager+batch") in
+  [ Alcotest.test_case "batch accepts honest proofs" `Quick (fun () ->
+        let batch = mk_batch ~seed:101 ~domain:"bt" () in
+        Alcotest.(check bool) "accepts" true
+          (Dleq.batch_verify ps ~domain:"bt" batch);
+        Alcotest.(check (list int)) "nothing to attribute" []
+          (Dleq.batch_find_bad ps ~domain:"bt" batch));
+    Alcotest.test_case "batch rejects corrupted response, bisection attributes"
+      `Quick (fun () ->
+        let batch = corrupt_at 3 bad_z (mk_batch ~seed:102 ~domain:"bt" ()) in
+        Alcotest.(check bool) "rejects" false
+          (Dleq.batch_verify ps ~domain:"bt" batch);
+        Alcotest.(check (list int)) "index 3" [ 3 ]
+          (Dleq.batch_find_bad ps ~domain:"bt" batch));
+    Alcotest.test_case "batch attributes tampered statement" `Quick (fun () ->
+        let batch = corrupt_at 1 bad_h2 (mk_batch ~seed:103 ~domain:"bt" ()) in
+        Alcotest.(check bool) "rejects" false
+          (Dleq.batch_verify ps ~domain:"bt" batch);
+        Alcotest.(check (list int)) "index 1" [ 1 ]
+          (Dleq.batch_find_bad ps ~domain:"bt" batch));
+    Alcotest.test_case "batch attributes multiple corruptions" `Quick (fun () ->
+        let batch =
+          corrupt_at 4 bad_h2
+            (corrupt_at 1 bad_z (mk_batch ~seed:104 ~domain:"bt" ()))
+        in
+        Alcotest.(check (list int)) "both indices" [ 1; 4 ]
+          (Dleq.batch_find_bad ps ~domain:"bt" batch));
+    Alcotest.test_case "batch-poisoning commitments are attributed" `Quick
+      (fun () ->
+        (* A proof whose (c, z) pair is valid but whose carried
+           commitments are garbage passes the classic per-proof check
+           (which ignores them) yet must never survive the batch path:
+           the hash re-check binds the commitments to the challenge. *)
+        let batch = mk_batch ~seed:105 ~domain:"bt" () in
+        let poison ((s : Dleq.statement), (p : Dleq.t)) =
+          (s, { p with Dleq.a1 = G.mul ps p.Dleq.a1 ps.G.g })
+        in
+        let batch' = corrupt_at 2 poison batch in
+        let s2, p2 = List.nth batch' 2 in
+        Alcotest.(check bool) "classic verify still passes" true
+          (Dleq.verify ps ~domain:"bt" ~g1:s2.Dleq.g1 ~h1:s2.Dleq.h1
+             ~g2:s2.Dleq.g2 ~h2:s2.Dleq.h2 p2);
+        Alcotest.(check bool) "verify_one rejects" false
+          (Dleq.verify_one ps ~domain:"bt" (s2, p2));
+        Alcotest.(check bool) "batch rejects" false
+          (Dleq.batch_verify ps ~domain:"bt" batch');
+        Alcotest.(check (list int)) "attributed" [ 2 ]
+          (Dleq.batch_find_bad ps ~domain:"bt" batch'));
+    Alcotest.test_case "lazy coin combine prunes corrupted party" `Quick
+      (fun () ->
+        let sharing = deal ~seed:91 th43 in
+        let name = "lazy-coin" in
+        let shares =
+          List.init 3 (fun i -> (i, Coin.generate_share sharing ~party:i ~name))
+        in
+        let corrupt =
+          List.map
+            (fun (i, ss) ->
+              if i = 1 then
+                ( i,
+                  List.map
+                    (fun (s : Coin.share) ->
+                      { s with Coin.value = G.mul ps s.Coin.value ps.G.g })
+                    ss )
+              else (i, ss))
+            shares
+        in
+        let expected =
+          Coin.combine sharing ~name ~avail:(Pset.of_list [ 0; 2 ])
+            (List.filter (fun (i, _) -> i <> 1) shares)
+            ()
+        in
+        Alcotest.(check bool) "honest pair combines" true (expected <> None);
+        let got =
+          Crypto_policy.with_policy Crypto_policy.lazy_batched (fun () ->
+              Coin.combine sharing ~name ~avail:(Pset.of_list [ 0; 1; 2 ])
+                corrupt ())
+        in
+        Alcotest.(check (option int)) "pruned combine agrees" expected got);
+    Alcotest.test_case "lazy tdh2 combine prunes corrupted party" `Quick
+      (fun () ->
+        let sharing = deal ~seed:93 th43 in
+        let msg = "lazy tdh2 plaintext" in
+        let ct = Tdh2.encrypt sharing (Prng.create ~seed:7) ~label:"l" msg in
+        let shares =
+          List.filter_map
+            (fun i ->
+              Option.map (fun s -> (i, s))
+                (Tdh2.decryption_share sharing ~party:i ct))
+            [ 0; 1; 2 ]
+        in
+        let corrupt =
+          List.map
+            (fun (i, ss) ->
+              if i = 2 then
+                ( i,
+                  List.map
+                    (fun (s : Tdh2.dec_share) ->
+                      { s with Tdh2.value = G.mul ps s.Tdh2.value ps.G.g })
+                    ss )
+              else (i, ss))
+            shares
+        in
+        Alcotest.(check (option string)) "decrypts despite corruption"
+          (Some msg)
+          (Crypto_policy.with_policy Crypto_policy.lazy_batched (fun () ->
+               Tdh2.combine sharing ct ~avail:(Pset.of_list [ 0; 1; 2 ]) corrupt)));
+    Alcotest.test_case "lazy rsa combine falls back past bad share" `Quick
+      (fun () ->
+        let keys = Rsa_threshold.deal ~bits:192 ~n:4 ~k:2 (Prng.create ~seed:37) in
+        let msg = "lazy-rsa" in
+        let shares =
+          List.map
+            (fun i -> Rsa_threshold.sign_share keys ~party:i msg)
+            [ 0; 1; 2 ]
+        in
+        (* party 0 sits inside the first k chosen shares, so the
+           optimistic combine fails and the fallback must re-select *)
+        let shares =
+          List.map
+            (fun (s : Rsa_threshold.share) ->
+              if s.Rsa_threshold.signer = 0 then
+                { s with Rsa_threshold.x = B.add s.Rsa_threshold.x B.one }
+              else s)
+            shares
+        in
+        match
+          Crypto_policy.with_policy Crypto_policy.lazy_batched (fun () ->
+              Rsa_threshold.combine keys msg shares)
+        with
+        | None -> Alcotest.fail "lazy combine failed"
+        | Some y ->
+          Alcotest.(check bool) "valid signature" true
+            (Rsa_threshold.verify keys.Rsa_threshold.pk msg y));
+    Alcotest.test_case "eager+batch verify_share matches eager" `Quick
+      (fun () ->
+        let s1 = Canonical_structures.example1 () in
+        let sharing = deal ~seed:94 s1 in
+        let name = "eb-coin" in
+        (* a party owning at least two leaves, so the batch path engages *)
+        let party, ss =
+          let rec find i =
+            if i >= 9 then Alcotest.fail "no multi-leaf party in example1"
+            else
+              let ss = Coin.generate_share sharing ~party:i ~name in
+              if List.length ss >= 2 then (i, ss) else find (i + 1)
+          in
+          find 0
+        in
+        Alcotest.(check bool) "honest accepted" true
+          (Crypto_policy.with_policy eb (fun () ->
+               Coin.verify_share sharing ~party ~name ss));
+        let bad =
+          match ss with
+          | s :: rest ->
+            { s with Coin.value = G.mul ps s.Coin.value ps.G.g } :: rest
+          | [] -> assert false
+        in
+        Alcotest.(check bool) "corrupted rejected (batched)" false
+          (Crypto_policy.with_policy eb (fun () ->
+               Coin.verify_share sharing ~party ~name bad));
+        Alcotest.(check bool) "corrupted rejected (eager)" false
+          (Coin.verify_share sharing ~party ~name bad));
+    Alcotest.test_case "lazy counters: batch size, hit, recomb cache" `Quick
+      (fun () ->
+        let sharing = deal ~seed:92 th43 in
+        let name = "obs-coin" in
+        let shares =
+          List.init 2 (fun i -> (i, Coin.generate_share sharing ~party:i ~name))
+        in
+        let avail = Pset.of_list [ 0; 1 ] in
+        Obs_crypto.enable ();
+        Fun.protect ~finally:Obs_crypto.disable (fun () ->
+            Obs_crypto.reset ();
+            let v =
+              Crypto_policy.with_policy Crypto_policy.lazy_batched (fun () ->
+                  Coin.combine sharing ~name ~avail shares ())
+            in
+            Alcotest.(check bool) "combined" true (v <> None);
+            Alcotest.(check int) "one batched check" 1
+              (Obs_crypto.count Obs_crypto.Batch_verify);
+            Alcotest.(check int) "covers both proofs" 2
+              (Obs_crypto.count Obs_crypto.Batch_verify_size);
+            Alcotest.(check int) "optimistic hit" 1
+              (Obs_crypto.count Obs_crypto.Lazy_verify_hit);
+            Alcotest.(check int) "no fallback" 0
+              (Obs_crypto.count Obs_crypto.Batch_verify_fallback);
+            Alcotest.(check bool) "recomb cache warmed" true
+              (Obs_crypto.count Obs_crypto.Recomb_cache_hit > 0);
+            let misses = Obs_crypto.count Obs_crypto.Recomb_cache_miss in
+            let v2 =
+              Crypto_policy.with_policy Crypto_policy.lazy_batched (fun () ->
+                  Coin.combine sharing ~name ~avail shares ())
+            in
+            Alcotest.(check (option int)) "same coin" v v2;
+            Alcotest.(check int) "vector served from cache" misses
+              (Obs_crypto.count Obs_crypto.Recomb_cache_miss)))
+  ]
+
 let suite =
   ( "crypto",
     dleq_tests @ coin_tests @ tdh2_tests @ rsa_tests @ certsig_tests
-    @ keyring_tests )
+    @ keyring_tests @ batch_tests )

@@ -466,6 +466,63 @@ let campaign_tests =
               run_with
                 { Abc.default_policy with max_batch_msgs = 8; window = 4 } )
           ]);
+    Alcotest.test_case
+      "50-seed sweep: lazy verification matches eager with fewer share checks"
+      `Slow (fun () ->
+        (* PR-7 acceptance regression: the same campaign under the
+           eager (seed) and lazy crypto policies must make identical
+           decisions at identical virtual times with identical oracle
+           verdicts — lazy verification may only change *how much* is
+           verified, never what the protocol does — while performing
+           strictly fewer per-share proof checks. *)
+        let cfg =
+          Campaign.default_config ~seeds:50
+            ~protocols:[ Campaign.P_abba ]
+            ~policies:[ Campaign.dup_reorder_policy () ]
+            ~mixes:
+              [ { Campaign.m_name = "silent"; m_kind = Campaign.Silent };
+                { Campaign.m_name = "byzantine"; m_kind = Campaign.Byz } ]
+            ()
+        in
+        let run_with policy =
+          Obs_crypto.enable ();
+          Obs_crypto.reset ();
+          let rep =
+            Crypto_policy.with_policy policy (fun () -> Campaign.run cfg)
+          in
+          let sv = Obs_crypto.count Obs_crypto.Share_verify in
+          Obs_crypto.disable ();
+          (rep, sv)
+        in
+        let eager_rep, eager_sv = run_with Crypto_policy.eager in
+        let lazy_rep, lazy_sv = run_with Crypto_policy.lazy_batched in
+        Alcotest.(check int) "runs" 100 (List.length eager_rep.Campaign.results);
+        Alcotest.(check int) "eager: zero safety violations" 0
+          (Campaign.safety_count eager_rep);
+        Alcotest.(check int) "lazy: zero safety violations" 0
+          (Campaign.safety_count lazy_rep);
+        Alcotest.(check int) "eager: zero gating liveness violations" 0
+          (Campaign.gating_liveness_count eager_rep);
+        Alcotest.(check int) "lazy: zero gating liveness violations" 0
+          (Campaign.gating_liveness_count lazy_rep);
+        List.iter2
+          (fun (e : Campaign.run_result) (l : Campaign.run_result) ->
+            let tag = Printf.sprintf "seed %d mix %s" e.Campaign.r_seed e.Campaign.r_mix in
+            Alcotest.(check bool) (tag ^ ": same decided") true
+              (e.Campaign.r_decided = l.Campaign.r_decided);
+            Alcotest.(check bool) (tag ^ ": same decide clock") true
+              (e.Campaign.r_decide_clock = l.Campaign.r_decide_clock);
+            Alcotest.(check int) (tag ^ ": same steps")
+              e.Campaign.r_steps l.Campaign.r_steps;
+            Alcotest.(check int) (tag ^ ": same violation count")
+              (List.length e.Campaign.r_violations)
+              (List.length l.Campaign.r_violations))
+          eager_rep.Campaign.results lazy_rep.Campaign.results;
+        Alcotest.(check bool)
+          (Printf.sprintf "strictly fewer share checks (lazy %d < eager %d)"
+             lazy_sv eager_sv)
+          true
+          (lazy_sv < eager_sv && eager_sv > 0));
     Alcotest.test_case "report round-trips and validates" `Quick (fun () ->
         let cfg =
           Campaign.default_config ~seeds:2

@@ -299,4 +299,183 @@ let link_fuzz_tests =
         !ok)
   ]
 
-let suite = ("fuzz", fuzz_tests @ codec_tests @ link_fuzz_tests)
+(* ---- batched and lazy crypto verification (PR 7) --------------------
+   Two properties the batched hot path rests on: a corrupted proof in a
+   k-batch is always detected and attributed by bisection (no matter
+   which component was corrupted), and the lazy combine path never
+   accepts a bad combined output — it either prunes down to the honest
+   value or refuses.  Corruptions are random field/group elements, not
+   hand-picked special cases. *)
+
+module B = Bignum
+module G = Schnorr_group
+
+let fps = G.default ~bits:96 ()
+let fsharing = lazy (Dl_sharing.deal fps th41 (Prng.create ~seed:2000))
+let frsa = lazy (Rsa_threshold.deal ~bits:192 ~n:4 ~k:2 (Prng.create ~seed:2001))
+
+let nonzero_exp rng =
+  let rec go () =
+    let r = G.random_exponent fps rng in
+    if B.sign r = 0 then go () else r
+  in
+  go ()
+
+(* k distinct parties out of [0, n). *)
+let pick_distinct rng ~n ~k =
+  let rec go acc =
+    if List.length acc = k then acc
+    else
+      let p = Prng.int rng n in
+      if List.mem p acc then go acc else go (p :: acc)
+  in
+  go []
+
+let crypto_fuzz_tests =
+  [ qtest ~count:200 "batch: one corrupted proof always attributed"
+      QCheck2.Gen.(pair int (int_range 2 9))
+      (fun (seed, k) ->
+        let rng = Prng.create ~seed in
+        let domain = "fuzz-batch" in
+        let g2 = G.hash_to_elt fps ~domain:"fuzz-base" [ "b" ] in
+        let batch =
+          List.init k (fun _ ->
+              let x = G.random_exponent fps rng in
+              let h1 = G.exp_g fps x and h2 = G.exp fps g2 x in
+              let p = Dleq.prove fps ~domain ~x ~g1:fps.G.g ~h1 ~g2 ~h2 in
+              ({ Dleq.g1 = fps.G.g; h1; g2; h2 }, p))
+        in
+        let bad = Prng.int rng k in
+        let delta = nonzero_exp rng in
+        let batch =
+          List.mapi
+            (fun i ((s : Dleq.statement), (p : Dleq.t)) ->
+              if i <> bad then (s, p)
+              else
+                match Prng.int rng 3 with
+                | 0 ->
+                  (* corrupted response *)
+                  (s, { p with Dleq.z = B.add_mod p.Dleq.z delta fps.G.q })
+                | 1 ->
+                  (* tampered statement: random subgroup multiplier *)
+                  ( { s with
+                      Dleq.h2 = G.mul fps s.Dleq.h2 (G.exp fps g2 delta) },
+                    p )
+                | _ ->
+                  (* batch poisoning: bogus commitment under honest (c, z) *)
+                  (s, { p with Dleq.a1 = G.exp_g fps delta }))
+            batch
+        in
+        (not (Dleq.batch_verify fps ~domain batch))
+        && Dleq.batch_find_bad fps ~domain batch = [ bad ]);
+    qtest ~count:70 "lazy coin combine never accepts a corrupted value"
+      QCheck2.Gen.(pair int (int_range 1 3))
+      (fun (seed, ncorrupt) ->
+        let sharing = Lazy.force fsharing in
+        let rng = Prng.create ~seed:(seed lxor 0x7777) in
+        let name = Printf.sprintf "fz-%d" seed in
+        let honest =
+          List.init 3 (fun i -> (i, Coin.generate_share sharing ~party:i ~name))
+        in
+        let corrupted = pick_distinct rng ~n:3 ~k:ncorrupt in
+        let shares =
+          List.map
+            (fun (i, ss) ->
+              if List.mem i corrupted then
+                ( i,
+                  List.map
+                    (fun (s : Coin.share) ->
+                      { s with
+                        Coin.value =
+                          G.mul fps s.Coin.value
+                            (G.exp_g fps (nonzero_exp rng)) })
+                    ss )
+              else (i, ss))
+            honest
+        in
+        let got =
+          Crypto_policy.with_policy Crypto_policy.lazy_batched (fun () ->
+              Coin.combine sharing ~name ~avail:(Pset.of_list [ 0; 1; 2 ])
+                shares ())
+        in
+        if 3 - ncorrupt >= 2 then
+          (* enough honest parties: prunes to exactly the honest coin *)
+          got <> None
+          && got
+             = Coin.combine sharing ~name ~avail:(Pset.of_list [ 0; 1 ])
+                 (List.filteri (fun i _ -> i < 2) honest)
+                 ()
+        else got = None);
+    qtest ~count:70 "lazy tdh2 combine never accepts a corrupted plaintext"
+      QCheck2.Gen.(pair int (int_range 1 3))
+      (fun (seed, ncorrupt) ->
+        let sharing = Lazy.force fsharing in
+        let rng = Prng.create ~seed:(seed lxor 0x1234) in
+        let msg = Printf.sprintf "payload-%d" seed in
+        let ct =
+          Tdh2.encrypt sharing (Prng.create ~seed:(seed lxor 0x9)) ~label:"fz"
+            msg
+        in
+        let honest =
+          List.filter_map
+            (fun i ->
+              Option.map
+                (fun s -> (i, s))
+                (Tdh2.decryption_share sharing ~party:i ct))
+            [ 0; 1; 2 ]
+        in
+        let corrupted = pick_distinct rng ~n:3 ~k:ncorrupt in
+        let shares =
+          List.map
+            (fun (i, ss) ->
+              if List.mem i corrupted then
+                ( i,
+                  List.map
+                    (fun (s : Tdh2.dec_share) ->
+                      { s with
+                        Tdh2.value =
+                          G.mul fps s.Tdh2.value
+                            (G.exp_g fps (nonzero_exp rng)) })
+                    ss )
+              else (i, ss))
+            honest
+        in
+        let got =
+          Crypto_policy.with_policy Crypto_policy.lazy_batched (fun () ->
+              Tdh2.combine sharing ct ~avail:(Pset.of_list [ 0; 1; 2 ]) shares)
+        in
+        if 3 - ncorrupt >= 2 then got = Some msg else got = None);
+    qtest ~count:70 "lazy rsa combine never emits an invalid signature"
+      QCheck2.Gen.(pair int (int_range 1 3))
+      (fun (seed, ncorrupt) ->
+        let keys = Lazy.force frsa in
+        let nn = keys.Rsa_threshold.pk.Rsa_threshold.n_modulus in
+        let rng = Prng.create ~seed:(seed lxor 0x4321) in
+        let msg = Printf.sprintf "doc-%d" seed in
+        let honest =
+          List.map (fun i -> Rsa_threshold.sign_share keys ~party:i msg) [ 0; 1; 2 ]
+        in
+        let corrupted = pick_distinct rng ~n:3 ~k:ncorrupt in
+        let shares =
+          List.map
+            (fun (s : Rsa_threshold.share) ->
+              if List.mem s.Rsa_threshold.signer corrupted then
+                { s with
+                  Rsa_threshold.x =
+                    B.add_mod s.Rsa_threshold.x
+                      (B.of_int (1 + Prng.int rng 0x3FFFFFFF))
+                      nn }
+              else s)
+            honest
+        in
+        match
+          Crypto_policy.with_policy Crypto_policy.lazy_batched (fun () ->
+              Rsa_threshold.combine keys msg shares)
+        with
+        | Some y ->
+          3 - ncorrupt >= 2 && Rsa_threshold.verify keys.Rsa_threshold.pk msg y
+        | None -> 3 - ncorrupt < 2)
+  ]
+
+let suite =
+  ("fuzz", fuzz_tests @ codec_tests @ link_fuzz_tests @ crypto_fuzz_tests)

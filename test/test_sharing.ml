@@ -57,7 +57,15 @@ let poly_tests =
         let xs = List.sort_uniq compare xs in
         let coeffs = Poly.lagrange_at_zero ~modulus:q17 xs in
         B.equal B.one
-          (List.fold_left (fun acc (_, l) -> B.add_mod acc l q17) B.zero coeffs))
+          (List.fold_left (fun acc (_, l) -> B.add_mod acc l q17) B.zero coeffs));
+    Alcotest.test_case "lagrange rejects duplicate points" `Quick (fun () ->
+        Alcotest.check_raises "duplicate"
+          (Invalid_argument "Poly.lagrange_at_zero: duplicate evaluation point")
+          (fun () -> ignore (Poly.lagrange_at_zero ~modulus:q17 [ 1; 2; 2 ])));
+    Alcotest.test_case "lagrange rejects zero point" `Quick (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Poly.lagrange_at_zero: zero evaluation point")
+          (fun () -> ignore (Poly.lagrange_at_zero ~modulus:q17 [ 0; 1 ])))
   ]
 
 let formula_tests =
