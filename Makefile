@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test fmt fmt-check bench bench-num bench-num-smoke bench-check bench-smoke perf-diff faults faults-smoke link-smoke tput tput-smoke flight flight-smoke flight-bless schedule-search check clean
+.PHONY: all build test fmt fmt-check bench bench-num bench-num-smoke bench-check bench-smoke perf-diff faults faults-smoke link-smoke tput tput-smoke flight flight-smoke flight-bless recov recov-smoke schedule-search check clean
 
 all: build
 
@@ -113,6 +113,23 @@ flight-bless:
 	$(DUNE) exec bin/sintra_cli.exe -- record --seeds 3 --quiet --out BASELINE
 	mv FLIGHT_BASELINE.json baselines/FLIGHT_BASELINE.json
 
+# Full crash-recovery campaign: 50 seeds x {crash-rejoin,
+# partition-heal} x {plain, forged-server}, one replica knocked out
+# mid-stream under 30% drop with the link on and required to rejoin the
+# whole order via certified state transfer, plus the bounded-memory
+# probe (checkpoint GC on vs off).  Writes RECOV_RECOVERY.json; exits
+# non-zero on any safety violation, unrecovered victim, unwitnessed
+# forgery, or unbounded delivered log.
+recov:
+	$(DUNE) exec bin/sintra_cli.exe -- recover --seeds 50
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check RECOV_RECOVERY.json
+
+# CI-sized recovery campaign (3 seeds per cell) plus the schema /
+# invariant check of the emitted sintra-recov/1 report.
+recov-smoke:
+	$(DUNE) exec bin/sintra_cli.exe -- recover --quick --payloads 12 --out SMOKE
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check RECOV_SMOKE.json
+
 # Adversarial schedule search over chaos genomes (hill-climb, seeded):
 # maximises steps-to-decide and the link back-pressure peak, archiving
 # the worst schedules found as replayable fixtures under
@@ -125,8 +142,8 @@ schedule-search:
 # Aggregate CI gate: build, unit/property tests, and every smoke sweep,
 # including the kernel micro-bench with its batch-verification gate and
 # the flight-recorder regression diff against the blessed baseline.
-check: build test bench-smoke bench-num-smoke faults-smoke link-smoke tput-smoke flight-smoke
+check: build test bench-smoke bench-num-smoke faults-smoke link-smoke tput-smoke flight-smoke recov-smoke
 
 clean:
 	$(DUNE) clean
-	rm -f BENCH_*.json FAULTS_*.json FLIGHT_*.json
+	rm -f BENCH_*.json FAULTS_*.json FLIGHT_*.json RECOV_*.json

@@ -329,10 +329,9 @@ let bench_check_cmd =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"FILE"
-          ~doc:"BENCH_<id>.json / FAULTS_<id>.json / FLIGHT_<id>.json \
-                files to validate (default: every BENCH_*.json, \
-                FAULTS_*.json and FLIGHT_*.json in the current \
-                directory).")
+          ~doc:"BENCH_<id>.json / FAULTS_<id>.json / FLIGHT_<id>.json / \
+                RECOV_<id>.json files to validate (default: every such \
+                artifact in the current directory).")
   in
   let read_file path =
     let ic = open_in_bin path in
@@ -347,6 +346,7 @@ let bench_check_cmd =
   in
   let is_artifact f =
     has_prefix "BENCH_" f || has_prefix "FAULTS_" f || has_prefix "FLIGHT_" f
+    || has_prefix "RECOV_" f
   in
   let check_bench path doc : (string, string) result =
     let str k = Option.bind (Obs_json.member k doc) Obs_json.to_str in
@@ -577,6 +577,39 @@ let bench_check_cmd =
            (Option.value (int "decided") ~default:0)
            dropped)
   in
+  let check_recov path doc : (string, string) result =
+    match Rejoin.validate_json doc with
+    | Error e -> Error e
+    | Ok () ->
+      let str k = Option.bind (Obs_json.member k doc) Obs_json.to_str in
+      let int k = Option.bind (Obs_json.member k doc) Obs_json.to_int in
+      let mem_peaks =
+        Option.bind (Obs_json.member "memory" doc) (fun m ->
+            match
+              ( Option.bind (Obs_json.member "gc_on" m) (fun o ->
+                    Option.bind (Obs_json.member "log_peak" o) Obs_json.to_int),
+                Option.bind (Obs_json.member "gc_off" m) (fun o ->
+                    Option.bind (Obs_json.member "log_peak" o) Obs_json.to_int)
+              )
+            with
+            | Some a, Some b -> Some (a, b)
+            | _ -> None)
+      in
+      Ok
+        (Printf.sprintf
+           "%s: OK (%s: %d runs, %d recovered, %d transferred, %d forged \
+            replies rejected%s)"
+           path
+           (Option.value (str "experiment") ~default:"?")
+           (Option.value (int "runs") ~default:0)
+           (Option.value (int "recovered") ~default:0)
+           (Option.value (int "transferred") ~default:0)
+           (Option.value (int "rejected_total") ~default:0)
+           (match mem_peaks with
+           | Some (on_, off) ->
+             Printf.sprintf ", log peak %d gc-on vs %d gc-off" on_ off
+           | None -> ""))
+  in
   let check path : (string, string) result =
     match Obs_json.of_string (read_file path) with
     | Error e -> Error (Printf.sprintf "parse error: %s" e)
@@ -585,6 +618,7 @@ let bench_check_cmd =
       | Some "sintra-bench/1" -> check_bench path doc
       | Some "sintra-faults/2" -> check_faults path doc
       | Some "sintra-flight/1" -> check_flight path doc
+      | Some "sintra-recov/1" -> check_recov path doc
       | Some s -> Error (Printf.sprintf "unknown schema %S" s)
       | None -> Error "missing \"schema\" member")
   in
@@ -597,7 +631,8 @@ let bench_check_cmd =
       | fs -> fs
     in
     if files = [] then begin
-      prerr_endline "bench-check: no BENCH_*.json or FAULTS_*.json files found";
+      prerr_endline
+        "bench-check: no BENCH_/FAULTS_/FLIGHT_/RECOV_*.json files found";
       exit 1
     end;
     let failed = ref false in
@@ -615,10 +650,11 @@ let bench_check_cmd =
     (Cmd.info "bench-check"
        ~doc:
          "Validate the schema of machine-readable benchmark \
-          (sintra-bench/1), fault-campaign (sintra-faults/2) and \
-          flight-record (sintra-flight/1) output, including the link \
-          section's gating invariant (no undecided liveness-gating \
-          runs).")
+          (sintra-bench/1), fault-campaign (sintra-faults/2), \
+          flight-record (sintra-flight/1) and recovery-campaign \
+          (sintra-recov/1) output, including the link section's gating \
+          invariant (no undecided liveness-gating runs) and the \
+          recovery campaign's bounded-memory invariant.")
     Term.(const run $ files_arg)
 
 (* ---------- faults: seed-sweep fault-injection campaigns ------------- *)
@@ -872,6 +908,121 @@ let record_cmd =
       const run $ n_arg $ t_arg $ seed_arg $ seeds_arg $ protocols_arg
       $ policies_arg $ mixes_arg $ payloads_arg $ max_steps_arg $ out_arg
       $ link_arg $ drop_rate_arg $ quiet_arg)
+
+(* ---------- recover: crash-and-rejoin recovery campaigns -------------- *)
+
+let recover_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~docv:"K" ~doc:"Seeds per (scenario, variant) cell.")
+  in
+  let scenarios_arg =
+    Arg.(
+      value & opt string "crash-rejoin,partition-heal"
+      & info [ "scenarios" ] ~docv:"LIST"
+          ~doc:"Comma-separated scenarios (crash-rejoin, partition-heal).")
+  in
+  let payloads_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "payloads" ] ~docv:"K" ~doc:"Payloads streamed per run.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "interval" ] ~docv:"R"
+          ~doc:"Checkpoint period in atomic-broadcast rounds.")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Chaos drop probability (the reliable link restores).")
+  in
+  let mem_payloads_arg =
+    Arg.(
+      value & opt int 192
+      & info [ "mem-payloads" ] ~docv:"K"
+          ~doc:"Stream length of the bounded-memory probe (gc on vs off).")
+  in
+  let no_forged_arg =
+    Arg.(
+      value & flag
+      & info [ "no-forged" ]
+          ~doc:"Skip the forged-snapshot variant (plain runs only).")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 600_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Per-run simulator step bound.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "RECOVERY"
+      & info [ "out" ] ~docv:"ID"
+          ~doc:"Report id: the campaign writes RECOV_<ID>.json.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Sweep only 3 seeds (CI smoke runs).")
+  in
+  let run n t seed seeds scenarios payloads interval drop mem_payloads
+      no_forged max_steps out quick crypto =
+    set_crypto crypto;
+    let seeds = if quick then min seeds 3 else seeds in
+    let scenarios =
+      String.split_on_char ',' scenarios
+      |> List.filter (fun x -> x <> "")
+      |> List.map (fun name ->
+             match Rejoin.scenario_of_string name with
+             | Some s -> s
+             | None ->
+               Printf.eprintf "recover: unknown scenario %S\n" name;
+               exit 2)
+    in
+    let cfg =
+      Rejoin.default_config ~seeds ~seed_base:seed ~n ~t ~payloads ~interval
+        ~drop ~mem_payloads ~scenarios
+        ~variants:(if no_forged then [ false ] else [ false; true ])
+        ~max_steps ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let rep =
+      Rejoin.run
+        ~progress:(fun (k, total) ->
+          if k mod 10 = 0 || k = total then
+            Printf.eprintf "\r[recover] %d/%d runs%!" k total)
+        cfg
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.eprintf "\n%!";
+    Rejoin.pp_summary Format.std_formatter rep;
+    let path = Rejoin.write ~id:out ~wall rep in
+    Printf.printf "[recover] wrote %s (%.1fs)\n" path wall;
+    if not (Rejoin.ok rep) then begin
+      prerr_endline
+        "recover: safety violation, unrecovered victim, unrejected forgery, \
+         or unbounded delivered log";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Sweep crash-and-rejoin / partition-heal scenarios: stream \
+          payloads through a checkpointing link-on deployment under lossy \
+          chaos, knock one replica out mid-stream, bring it back, and \
+          check with the recovery oracles that it rejoins the whole total \
+          order via certified state transfer (forged snapshots from a \
+          Byzantine peer must be rejected).  Also probes delivered-log \
+          boundedness with checkpoint GC on vs off, and writes a \
+          sintra-recov/1 report (RECOV_<ID>.json).")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ seeds_arg $ scenarios_arg
+      $ payloads_arg $ interval_arg $ drop_arg $ mem_payloads_arg
+      $ no_forged_arg $ max_steps_arg $ out_arg $ quick_arg $ crypto_arg)
 
 (* ---------- compare: regression gate over two artifacts -------------- *)
 
@@ -1363,5 +1514,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ structure_cmd; abc_cmd; trace_cmd; bench_check_cmd; bench_num_cmd;
-            perf_diff_cmd; faults_cmd; record_cmd; compare_cmd; search_cmd;
+            perf_diff_cmd; faults_cmd; record_cmd; recover_cmd; compare_cmd;
+            search_cmd;
             coin_cmd; notary_cmd; ca_cmd ]))

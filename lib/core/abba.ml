@@ -531,3 +531,13 @@ let msg_summary = function
       (match mv.mv_value with Value b -> string_of_bool b | Abstain -> "abstain")
   | Coin_share (r, _) -> Printf.sprintf "abba.COIN(r%d)" r
   | Decide (r, b, _) -> Printf.sprintf "abba.DECIDE(r%d,%b)" r b
+
+(* Release per-round voting state.  Called when an enclosing protocol
+   retires the whole instance (e.g. checkpoint GC of an old ABC round):
+   any reference still alive afterwards holds only the terminal result,
+   not the vote/justification tables that dominate its footprint. *)
+let retire t =
+  Hashtbl.reset t.rounds;
+  t.sup_shares <- [];
+  t.deferred <- [];
+  t.my_supports <- []

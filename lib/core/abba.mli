@@ -66,3 +66,8 @@ val msg_size : Keyring.t -> msg -> int
 
 val msg_summary : msg -> string
 (** Short rendering for simulator traces. *)
+
+val retire : t -> unit
+(** Release the per-round voting state (round tables, support shares,
+    deferred messages); the terminal {!decision} survives.  For
+    enclosing protocols that garbage-collect finished instances. *)

@@ -72,6 +72,19 @@ type t = {
   mutable queue : string list;  (* undelivered known payloads, digest-sorted *)
   delivered : (string, unit) Hashtbl.t;  (* digests of delivered payloads *)
   mutable delivered_log : string list;  (* newest first, for inspection *)
+  mutable digest_log : string list;
+      (* digests of the whole delivered history, newest first.  Unlike
+         [delivered_log] this is never truncated: 32 bytes per payload
+         buy permanent dedup and the digest history that checkpoint
+         snapshots carry (the PBFT-style substitution for keeping full
+         payloads forever). *)
+  mutable base_len : int;  (* deliveries certified away by checkpoints *)
+  mutable log_len : int;  (* length of [delivered_log] (kept O(1)) *)
+  mutable log_peak : int;  (* high-water of [log_len], for GC evidence *)
+  mutable retired : int;  (* rounds of protocol state retired so far *)
+  mutable on_boundary : (int -> unit) option;
+      (* called with the new round number each time a round completes;
+         the recovery layer snapshots at interval boundaries here *)
   mutable round : int;
   mutable participated : int list;  (* rounds where our proposal is out *)
   my_batches : (int, string list) Hashtbl.t;
@@ -246,6 +259,12 @@ let rec create ?(policy = default_policy) ~(io : msg Proto_io.t) ~tag ~deliver
       queue = [];
       delivered = Hashtbl.create 32;
       delivered_log = [];
+      digest_log = [];
+      base_len = 0;
+      log_len = 0;
+      log_peak = 0;
+      retired = 0;
+      on_boundary = None;
       round = 0;
       participated = [];
       my_batches = Hashtbl.create 8;
@@ -436,6 +455,9 @@ and step t =
           if not (Hashtbl.mem t.delivered d) then begin
             Hashtbl.replace t.delivered d ();
             t.delivered_log <- p :: t.delivered_log;
+            t.digest_log <- d :: t.digest_log;
+            t.log_len <- t.log_len + 1;
+            if t.log_len > t.log_peak then t.log_peak <- t.log_len;
             t.queue <- List.filter (fun q -> digest t q <> d) t.queue;
             Obs.point t.io.Proto_io.obs ~party:t.io.Proto_io.me ~tag:t.tag
               ~layer:"abc" "deliver";
@@ -450,6 +472,9 @@ and step t =
          in the queue and become packable again for a later round. *)
       Hashtbl.remove t.my_batches r;
       t.round <- r + 1;
+      (match t.on_boundary with
+      | Some f -> f (r + 1)
+      | None -> ());
       step t)
 
 (* ---------- API ----------------------------------------------------- *)
@@ -534,6 +559,105 @@ let delivered_log t = List.rev t.delivered_log
 let current_round t = t.round
 let pending t = t.queue
 let backlog t = List.length (unproposed t)
+
+(* ---------- checkpointing: truncation and state transfer ------------ *)
+
+let delivered_count t = t.base_len + t.log_len
+let delivered_digests t = List.rev t.digest_log
+let base_len t = t.base_len
+let log_len t = t.log_len
+let log_peak t = t.log_peak
+let retired_rounds t = t.retired
+let is_delivered t payload = Hashtbl.mem t.delivered (digest t payload)
+
+let set_boundary_hook t f = t.on_boundary <- Some f
+
+(* Retire every per-round structure below [r].  VBA instances are
+   emptied before removal so that even an aliased reference releases its
+   CBC/ABBA children.  Returns the number of VBA rounds retired (the
+   dominant per-round state). *)
+let retire_rounds_below t r =
+  let doomed tbl =
+    Hashtbl.fold (fun k _ acc -> if k < r then k :: acc else acc) tbl []
+  in
+  let vgone = doomed t.vbas in
+  List.iter
+    (fun k ->
+      (match Hashtbl.find_opt t.vbas k with
+      | Some v -> Vba.retire v
+      | None -> ());
+      Hashtbl.remove t.vbas k)
+    vgone;
+  List.iter (Hashtbl.remove t.proposals) (doomed t.proposals);
+  List.iter (Hashtbl.remove t.raw_sigs) (doomed t.raw_sigs);
+  List.iter (Hashtbl.remove t.decisions) (doomed t.decisions);
+  List.iter (Hashtbl.remove t.my_batches) (doomed t.my_batches);
+  t.participated <- List.filter (fun x -> x >= r) t.participated;
+  t.vba_proposed <- List.filter (fun x -> x >= r) t.vba_proposed;
+  List.length vgone
+
+let note_gc t gone =
+  t.retired <- t.retired + gone;
+  let obs = t.io.Proto_io.obs in
+  if Obs.active obs then begin
+    let labels = [ ("layer", "abc") ] in
+    if gone > 0 then Obs.incr obs ~by:gone ~labels "round_state_retired";
+    Obs_registry.set_max (Obs.gauge obs ~labels "abc_log_len")
+      (float_of_int t.log_peak)
+  end
+
+let truncate t ~upto_round ~upto_len =
+  if upto_len > delivered_count t then invalid_arg "Abc.truncate: future len";
+  if upto_len > t.base_len then begin
+    let keep = delivered_count t - upto_len in
+    (* [delivered_log] is newest-first: the first [keep] entries stay,
+       the remainder — the certified prefix — is dropped. *)
+    let rec split i acc rest =
+      if i = keep then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | x :: tl -> split (i + 1) (x :: acc) tl
+    in
+    let kept, dropped = split 0 [] t.delivered_log in
+    (* The digest memo of a dropped payload is recomputed on the (rare)
+       re-arrival of the payload; [delivered] keeps the digest itself,
+       so dedup is unaffected. *)
+    List.iter (Hashtbl.remove t.digests) dropped;
+    t.delivered_log <- kept;
+    t.log_len <- keep;
+    t.base_len <- upto_len
+  end;
+  note_gc t (retire_rounds_below t upto_round)
+
+(* Adopt a verified remote state: the certified digest history plus the
+   serving peers' uncertified log suffix.  Existing local deliveries are
+   merged (their digests stay in [delivered]), so a lagging-but-live
+   party keeps its dedup; suffix payloads not yet delivered locally are
+   replayed through the deliver callback, in order, before any newer
+   decision is consumed.  The caller is responsible for certificate and
+   quorum checks. *)
+let install_checkpoint t ~round ~digests ~suffix =
+  if round < 0 then invalid_arg "Abc.install_checkpoint";
+  let fresh = List.filter (fun p -> not (is_delivered t p)) suffix in
+  List.iter (fun d -> Hashtbl.replace t.delivered d ()) digests;
+  let sdigs = List.map (digest t) suffix in
+  List.iter (fun d -> Hashtbl.replace t.delivered d ()) sdigs;
+  t.digest_log <- List.rev_append sdigs (List.rev digests);
+  t.base_len <- List.length digests;
+  t.delivered_log <- List.rev suffix;
+  t.log_len <- List.length suffix;
+  if t.log_len > t.log_peak then t.log_peak <- t.log_len;
+  t.queue <- List.filter (fun q -> not (Hashtbl.mem t.delivered (digest t q))) t.queue;
+  if round > t.round then t.round <- round;
+  note_gc t (retire_rounds_below t t.round);
+  List.iter
+    (fun p ->
+      Obs.point t.io.Proto_io.obs ~party:t.io.Proto_io.me ~tag:t.tag
+        ~layer:"abc" "deliver";
+      t.deliver p)
+    fresh;
+  step t
 
 let msg_size kr = function
   | Request p -> 8 + String.length p

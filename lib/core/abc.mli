@@ -56,7 +56,13 @@ val enqueue : t -> string -> unit
 (** Order a payload without relaying (it is already known here). *)
 
 val handle : t -> src:int -> msg -> unit
+
 val delivered_log : t -> string list
+(** Delivered payloads still held locally, oldest first.  Before any
+    {!truncate} this is the whole history; after one it is the suffix
+    past the last certified checkpoint — exactly what a state-serving
+    peer ships alongside the certified snapshot. *)
+
 val current_round : t -> int
 val pending : t -> string list
 
@@ -71,6 +77,68 @@ val in_flight_rounds : t -> (int * int) list
 val backlog : t -> int
 (** Undelivered payloads not packed into any in-flight proposal —
     non-zero under back-pressure when the window is full. *)
+
+(** {2 Checkpointing: truncation and state transfer}
+
+    Hooks for the recovery layer.  None of them is invoked by the
+    protocol itself, so a deployment that never checkpoints behaves
+    bit-identically to one built before these existed. *)
+
+val delivered_count : t -> int
+(** Total deliveries over the instance's lifetime, including the
+    truncated prefix. *)
+
+val delivered_digests : t -> string list
+(** Digests of the whole delivered history, oldest first — never
+    truncated (32 bytes per payload buy permanent dedup and the
+    digest history a checkpoint snapshot carries). *)
+
+val base_len : t -> int
+(** Deliveries certified away by checkpoints (length of the truncated
+    prefix); [delivered_count t - base_len t] payloads remain in
+    {!delivered_log}. *)
+
+val log_len : t -> int
+(** Payloads currently held in {!delivered_log}. *)
+
+val log_peak : t -> int
+(** High-water mark of {!log_len} — the boundedness evidence the
+    recovery experiments report. *)
+
+val retired_rounds : t -> int
+(** Rounds of per-round protocol state retired by {!truncate} /
+    {!install_checkpoint} so far. *)
+
+val is_delivered : t -> string -> bool
+(** Whether a payload has ever been delivered here (survives
+    truncation via the digest set). *)
+
+val set_boundary_hook : t -> (int -> unit) -> unit
+(** Install a callback invoked with the new round number each time a
+    round completes and delivery for it is done — the recovery layer
+    snapshots at interval boundaries from here.  At the moment of the
+    call the delivered state is exactly the round boundary's, which is
+    identical at every honest party. *)
+
+val truncate : t -> upto_round:int -> upto_len:int -> unit
+(** Garbage-collect a certified prefix: drop the oldest
+    [upto_len - base_len] payloads from {!delivered_log} and retire
+    every per-round structure (proposals, signatures, VBA instances and
+    their children, decisions) below [upto_round].  Dedup is preserved
+    through the digest set.  Updates the [round_state_retired] counter
+    and [abc_log_len] gauge (layer ["abc"]).  Raises [Invalid_argument]
+    if [upto_len] exceeds {!delivered_count}. *)
+
+val install_checkpoint :
+  t -> round:int -> digests:string list -> suffix:string list -> unit
+(** Adopt a verified remote state: [digests] is the certified digest
+    history (oldest first), [suffix] the serving peers' uncertified
+    payload suffix, [round] their current round.  Local deliveries are
+    merged into the dedup set, per-round state below the adopted round
+    is retired, suffix payloads not previously delivered here are
+    replayed through the deliver callback in order, and ordering
+    resumes from [round].  The caller must have verified the
+    checkpoint certificate and reply quorum. *)
 
 val msg_size : Keyring.t -> msg -> int
 

@@ -87,6 +87,99 @@ let decode_batch (s : string) : string list option =
       go count (mlen + 8) []
   end
 
+(* ---------- checkpoint frames --------------------------------------- *)
+
+(* A snapshot frame fixes one replica's ordered state at a round
+   boundary: the boundary round, an opaque application-state blob, and
+   the full digest history of the delivered log (oldest first).  Its
+   SHA-256 hash is the statement the checkpoint certificate signs, so
+   the frame follows the batch-frame discipline exactly: magic, explicit
+   count, length prefixes, exact consumption — a frame that decodes
+   re-encodes to the very same bytes, hence to the very same hash. *)
+
+let snapshot_magic = "SCK1"
+
+let add_u64 buf v =
+  for i = 7 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let encode_snapshot ~round ~app ~digests : string =
+  if round < 0 then invalid_arg "Codec.encode_snapshot";
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf snapshot_magic;
+  add_u64 buf round;
+  add_u64 buf (String.length app);
+  Buffer.add_string buf app;
+  add_u64 buf (List.length digests);
+  List.iter
+    (fun d ->
+      add_u64 buf (String.length d);
+      Buffer.add_string buf d)
+    digests;
+  Buffer.contents buf
+
+let decode_snapshot (s : string) : (int * string * string list) option =
+  let len = String.length s in
+  let mlen = String.length snapshot_magic in
+  if len < mlen + 16 || String.sub s 0 mlen <> snapshot_magic then None
+  else begin
+    let round = read_u64 s mlen in
+    let alen = read_u64 s (mlen + 8) in
+    if round < 0 || alen < 0 || mlen + 16 + alen + 8 > len then None
+    else begin
+      let app = String.sub s (mlen + 16) alen in
+      let coff = mlen + 16 + alen in
+      let count = read_u64 s coff in
+      if count < 0 then None
+      else
+        let rec go k off acc =
+          if k = 0 then
+            if off = len then Some (round, app, List.rev acc) else None
+          else if off + 8 > len then None
+          else begin
+            let l = read_u64 s off in
+            if l < 0 || off + 8 + l > len then None
+            else go (k - 1) (off + 8 + l) (String.sub s (off + 8) l :: acc)
+          end
+        in
+        go count (coff + 8) []
+    end
+  end
+
+(* A checkpoint frame pairs a snapshot with its threshold certificate
+   (the serialized combined service signature over the snapshot hash).
+   Both fields are length-prefixed and the frame must be consumed
+   exactly, so a certificate can never be spliced onto a different
+   snapshot without changing the bytes a verifier hashes. *)
+
+let ckpt_magic = "SCP1"
+
+let encode_ckpt ~snapshot ~cert : string =
+  let buf = Buffer.create (String.length snapshot + String.length cert + 24) in
+  Buffer.add_string buf ckpt_magic;
+  add_u64 buf (String.length snapshot);
+  Buffer.add_string buf snapshot;
+  add_u64 buf (String.length cert);
+  Buffer.add_string buf cert;
+  Buffer.contents buf
+
+let decode_ckpt (s : string) : (string * string) option =
+  let len = String.length s in
+  let mlen = String.length ckpt_magic in
+  if len < mlen + 16 || String.sub s 0 mlen <> ckpt_magic then None
+  else begin
+    let slen = read_u64 s mlen in
+    if slen < 0 || mlen + 8 + slen + 8 > len then None
+    else begin
+      let snapshot = String.sub s (mlen + 8) slen in
+      let coff = mlen + 8 + slen in
+      let clen = read_u64 s coff in
+      if clen < 0 || coff + 8 + clen <> len then None
+      else Some (snapshot, String.sub s (coff + 8) clen)
+    end
+  end
+
 (* ---------- link frames --------------------------------------------- *)
 
 (* The byte-transport instantiation of {!Link.frame}: magic, a kind

@@ -21,6 +21,32 @@ val decode_batch : string -> string list option
     proper prefix invalid), and on trailing bytes — a malformed frame is
     rejected whole, never mis-split into payloads. *)
 
+val encode_snapshot :
+  round:int -> app:string -> digests:string list -> string
+(** Snapshot frame (magic ["SCK1"]): one replica's ordered state at a
+    round boundary — the boundary round, an opaque application-state
+    blob, and the delivered log's digest history (oldest first).  Its
+    SHA-256 hash is the statement a checkpoint certificate signs.
+    Deterministic: equal snapshots encode equally.  Raises
+    [Invalid_argument] on a negative round. *)
+
+val decode_snapshot : string -> (int * string * string list) option
+(** Strict total inverse of {!encode_snapshot}: [None] on a missing or
+    wrong magic, truncation anywhere (the explicit digest count makes
+    every proper prefix invalid), or trailing bytes.  A frame that
+    decodes re-encodes to the very same bytes, hence hashes to the very
+    same statement. *)
+
+val encode_ckpt : snapshot:string -> cert:string -> string
+(** Certified-checkpoint frame (magic ["SCP1"]): a snapshot frame paired
+    with its serialized threshold certificate.  Both fields are
+    length-prefixed, so a certificate cannot be spliced onto a different
+    snapshot without changing the hashed bytes. *)
+
+val decode_ckpt : string -> (string * string) option
+(** Strict total inverse of {!encode_ckpt} ([(snapshot, cert)]); [None]
+    on wrong magic, truncation or trailing bytes. *)
+
 val encode_link_frame : string Link.frame -> string
 (** Byte-transport encoding of a reliable-link frame: magic ["SLF1"], a
     kind byte (RAW / DATA / ACK), then kind-specific u64 fields and

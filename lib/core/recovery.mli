@@ -1,0 +1,129 @@
+(** Crash recovery for the atomic-broadcast stack: certified
+    checkpoints, log truncation, and a catch-up/state-transfer path for
+    rejoining or lagging replicas.
+
+    Every [interval] rounds each replica snapshots its ordered state at
+    the round boundary (identical at every honest party), hashes the
+    canonical snapshot frame and collects threshold-signature shares
+    over it; once a set of endorsers that surely contains an honest
+    party combines, the snapshot plus signature form a {e checkpoint
+    certificate} and the delivered-log prefix and per-round protocol
+    state below the boundary are garbage-collected ({!Abc.truncate}).
+
+    A replica revived after a crash — or one that notices checkpoint
+    shares for rounds far beyond its own — fetches the latest
+    certificate plus log suffix from its peers over raw (unsequenced)
+    transport, rejects any reply whose certificate fails verification,
+    resynchronizes the ARQ channel pair via {!Link.prepare_rejoin} /
+    {!Link.rejoin}, and installs the first state on which a
+    surely-honest-containing set of peers agrees exactly.
+
+    With [interval = 0] and no fetch traffic the wrapped {!Abc} behaves
+    bit-identically to a bare one: checkpointing never fires and no
+    extra messages exist. *)
+
+type msg =
+  | App of Abc.msg  (** the wrapped atomic-broadcast traffic *)
+  | Ckpt_share of { round : int; hash : string; share : Keyring.sig_share }
+      (** one replica's endorsement of the boundary snapshot it hashed *)
+  | Fetch of { epoch : int }  (** catch-up request (raw transport) *)
+  | State of {
+      epoch : int;
+      ck : string;  (** latest certified checkpoint frame, [""] if none *)
+      suffix : string list;  (** delivered log past the checkpoint *)
+      round : int;
+      expect : int;  (** link resume: expect my DATA from this seq *)
+      start : int;  (** link resume: emit your DATA from this seq *)
+    }  (** a peer's answer: certified prefix, live suffix, ARQ resume *)
+
+type t
+
+val create :
+  ?policy:Abc.policy ->
+  ?interval:int ->
+  ?retry:float ->
+  ?app_state:(unit -> string) ->
+  io:msg Proto_io.t ->
+  tag:string ->
+  deliver:(string -> unit) ->
+  unit ->
+  t
+(** Wrap an {!Abc} instance (created internally, [deliver] passed
+    through) with the recovery layer.  [interval] is the checkpoint
+    period in rounds ([0], the default, disables checkpointing
+    entirely); [retry] the catch-up re-fetch period in virtual time;
+    [app_state] an opaque service-state blob snapshotted alongside the
+    digest history.  Raises [Invalid_argument] on a negative interval
+    or non-positive retry. *)
+
+val handle : t -> src:int -> msg -> unit
+val submit : t -> string -> unit
+(** Atomically broadcast a payload through the wrapped {!Abc}. *)
+
+val abc : t -> Abc.t
+(** The wrapped instance — for log/round introspection in tests and
+    experiments. *)
+
+val start_catch_up : t -> unit
+(** Begin (or restart, under a fresh epoch) the fetch protocol: request
+    state from every peer and keep re-requesting on the [retry] timer
+    until a valid agreeing reply quorum installs. *)
+
+val fetching : t -> bool
+val certified_round : t -> int
+(** Boundary round of the latest certificate held ([0] if none). *)
+
+val transfers : t -> int
+(** Completed state-transfer installs at this replica. *)
+
+val transfer_bytes : t -> int
+(** Total bytes of certificate + suffix adopted via state transfer. *)
+
+val rejected_replies : t -> int
+(** Catch-up replies dropped for a forged or malformed certificate. *)
+
+val set_on_transfer : t -> (bytes:int -> round:int -> unit) -> unit
+(** Hook fired after each successful install — the flight recorder
+    notes its state-transfer anomaly window from here. *)
+
+val set_transport : t -> raw:(int -> msg -> unit) -> link:msg Link.t option -> unit
+(** Deployment wiring: an unsequenced transport for Fetch/State (the
+    fetcher's link state is gone, the server's is stale) and the
+    party's ARQ endpoint for resynchronization.  {!deploy} calls this;
+    standalone instances default to the io's raw send and no link. *)
+
+val msg_size : Keyring.t -> msg -> int
+val msg_summary : msg -> string
+
+(** {2 Deployment} *)
+
+type deployment
+
+val deploy :
+  ?wrap:(int -> msg Sim.handler -> msg Sim.handler) ->
+  ?policy:Abc.policy ->
+  ?link:Link.policy ->
+  ?interval:int ->
+  ?retry:float ->
+  ?app_state:(unit -> string) ->
+  sim:msg Link.frame Sim.t ->
+  keyring:Keyring.t ->
+  tag:string ->
+  deliver:(int -> string -> unit) ->
+  unit ->
+  deployment
+(** One recovery-wrapped node per server on the simulator, mirroring
+    {!Stack.deploy}'s two transport arms (link-off Raw passthrough /
+    link-on ARQ endpoints).  [interval] defaults to [8] here — a
+    deployment of this subsystem wants checkpoints; pass [0] to measure
+    the GC-off baseline.  [wrap] corrupts parties at the payload level
+    exactly as in {!Stack.deploy}.  Also installs the ABC stall
+    probe. *)
+
+val nodes : deployment -> t array
+
+val revive : deployment -> int -> t
+(** Un-crash a party ({!Sim.recover}), wire a fresh amnesiac node in
+    its slot — honest even if the dead incarnation was wrapped — and
+    start its catch-up.  Returns the new node (the [nodes] array is
+    updated in place). *)

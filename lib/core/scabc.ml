@@ -173,3 +173,27 @@ let delivered_count t = t.next_delivery
 let msg_size kr = function
   | Abc_msg m -> 8 + Abc.msg_size kr m
   | Dec_share (_, shares) -> 40 + (List.length shares * 150)
+
+(* Checkpoint GC hook: drop the decryption-share sets (n share lists
+   per ciphertext — the dominant per-slot state) of every slot already
+   delivered.  The slot entry itself stays, keeping ordered-ciphertext
+   dedup intact.  Returns the number of slots compacted. *)
+let compact t =
+  let freed = ref 0 in
+  Hashtbl.iter
+    (fun _ slot ->
+      if slot.position < t.next_delivery && slot.shares <> [] then begin
+        slot.shares <- [];
+        incr freed
+      end)
+    t.slots;
+  t.early_shares <-
+    List.filter
+      (fun (d, _, _) ->
+        match Hashtbl.find_opt t.slots d with
+        | Some slot -> slot.position >= t.next_delivery
+        | None -> true)
+      t.early_shares;
+  !freed
+
+let abc t = t.abc

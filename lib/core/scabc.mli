@@ -33,3 +33,12 @@ val broadcast : t -> string -> unit
 val handle : t -> src:int -> msg -> unit
 val delivered_count : t -> int
 val msg_size : Keyring.t -> msg -> int
+
+val compact : t -> int
+(** Checkpoint GC hook: drop the decryption-share sets of every slot
+    already delivered (ordered-ciphertext dedup is preserved through
+    the slot table).  Returns the number of slots compacted. *)
+
+val abc : t -> Abc.t
+(** The underlying atomic-broadcast instance, for checkpoint/GC
+    plumbing. *)

@@ -279,3 +279,15 @@ let msg_summary = function
   | Perm_share _ -> "vba.PERM-COIN"
   | Abba_msg (pos, m) -> Printf.sprintf "vba.cand[%d]/%s" pos (Abba.msg_summary m)
   | Final_fwd (c, p, _) -> Printf.sprintf "vba.FWD[%d](%d B)" c (String.length p)
+
+(* Release the instance's agreement state (proposals, permutation
+   shares, ABBA children and their vote tables).  The terminal result
+   survives; everything else is what checkpoint GC wants back. *)
+let retire t =
+  Hashtbl.iter (fun _ a -> Abba.retire a) t.abbas;
+  Hashtbl.reset t.abbas;
+  Hashtbl.reset t.decisions;
+  Hashtbl.reset t.forwarded;
+  t.proposals <- [];
+  t.perm_shares <- [];
+  t.perm <- None

@@ -33,3 +33,8 @@ val result : t -> (int * string) option
 val msg_size : Keyring.t -> msg -> int
 
 val msg_summary : msg -> string
+
+val retire : t -> unit
+(** Release the agreement state — proposals, permutation shares, ABBA
+    children (each {!Abba.retire}d) — keeping only the terminal
+    {!result}.  For checkpoint GC of decided rounds. *)

@@ -127,6 +127,124 @@ let service_verify t msg (s : service_signature) : bool =
   | Cert_keys dl, Cert_signature c -> Cert_sig.verify dl msg c
   | Rsa_keys _, Cert_signature _ | Cert_keys _, Rsa_signature _ -> false
 
+(* --- service signature serialization ------------------------------ *)
+
+(* Combined service signatures travel inside checkpoint certificates,
+   which cross the wire during state transfer, so both arms need a
+   byte form.  Fields are length-prefixed with [Ro.encode]; decoding
+   re-validates every group element against the keyring's group, and a
+   signature only decodes under a keyring whose service arm matches. *)
+
+(* Inverse of [Ro.encode] (the codec lives above this library). *)
+let decode_fields (s : string) : string list option =
+  let len = String.length s in
+  let read_u64 off =
+    if Char.code s.[off] land 0xC0 <> 0 then -1
+    else begin
+      let v = ref 0 in
+      for i = off to off + 7 do
+        v := (!v lsl 8) lor Char.code s.[i]
+      done;
+      !v
+    end
+  in
+  let rec go off acc =
+    if off = len then Some (List.rev acc)
+    else if off + 8 > len then None
+    else
+      let l = read_u64 off in
+      if l < 0 || off + 8 + l > len then None
+      else go (off + 8 + l) (String.sub s (off + 8) l :: acc)
+  in
+  go 0 []
+
+let encode_share t (sh : Cert_sig.share) : string =
+  let open Cert_sig in
+  Ro.encode
+    [ string_of_int sh.leaf;
+      G.elt_to_bytes t.group sh.value;
+      B.to_bytes_be sh.proof.Dleq.c;
+      B.to_bytes_be sh.proof.Dleq.z;
+      G.elt_to_bytes t.group sh.proof.Dleq.a1;
+      G.elt_to_bytes t.group sh.proof.Dleq.a2 ]
+
+let decode_share t (s : string) : Cert_sig.share option =
+  match decode_fields s with
+  | Some [ leaf; value; c; z; a1; a2 ] ->
+    let elt b = G.elt_of_bytes t.group b in
+    (match (int_of_string_opt leaf, elt value, elt a1, elt a2) with
+    | Some leaf, Some value, Some a1, Some a2 ->
+      Some
+        { Cert_sig.leaf;
+          value;
+          proof =
+            { Dleq.c = B.of_bytes_be c; z = B.of_bytes_be z; a1; a2 } }
+    | _ -> None)
+  | _ -> None
+
+let service_signature_to_bytes (t : t) (s : service_signature) : string =
+  match s with
+  | Rsa_signature y -> Ro.encode [ "rsa"; B.to_bytes_be y ]
+  | Cert_signature c ->
+    Ro.encode
+      [ "cert";
+        Ro.encode (List.map string_of_int (Pset.to_list c.Cert_sig.signers));
+        Ro.encode
+          (List.map
+             (fun (p, ss) ->
+               Ro.encode (string_of_int p :: List.map (encode_share t) ss))
+             c.Cert_sig.shares);
+        G.elt_to_bytes t.group c.Cert_sig.combined ]
+
+let service_signature_of_bytes t (b : string) : service_signature option =
+  match decode_fields b with
+  | Some [ "rsa"; y ] ->
+    (match t.service with
+    | Rsa_keys _ -> Some (Rsa_signature (B.of_bytes_be y))
+    | Cert_keys _ -> None)
+  | Some [ "cert"; signers; shares; combined ] ->
+    (match t.service with
+    | Rsa_keys _ -> None
+    | Cert_keys _ ->
+      let ( let* ) = Option.bind in
+      let* signer_fields = decode_fields signers in
+      let* signer_ids =
+        List.fold_left
+          (fun acc f ->
+            match (acc, int_of_string_opt f) with
+            | Some l, Some i when i >= 0 && i < n t -> Some (i :: l)
+            | _ -> None)
+          (Some []) signer_fields
+      in
+      let* share_fields = decode_fields shares in
+      let* shares =
+        List.fold_left
+          (fun acc f ->
+            let* l = acc in
+            let* parts = decode_fields f in
+            match parts with
+            | p :: ss ->
+              let* p = int_of_string_opt p in
+              let* ss =
+                List.fold_left
+                  (fun acc s ->
+                    let* l = acc in
+                    let* sh = decode_share t s in
+                    Some (sh :: l))
+                  (Some []) ss
+              in
+              Some ((p, List.rev ss) :: l)
+            | [] -> None)
+          (Some []) share_fields
+      in
+      let* combined = G.elt_of_bytes t.group combined in
+      Some
+        (Cert_signature
+           { Cert_sig.signers = Pset.of_list (List.rev signer_ids);
+             shares = List.rev shares;
+             combined }))
+  | _ -> None
+
 (* --- quorum certificates ------------------------------------------ *)
 
 (* Transferable evidence that a big-quorum of servers endorsed a

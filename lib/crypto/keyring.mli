@@ -63,6 +63,18 @@ val service_combine : t -> string -> sig_share list -> service_signature option
 
 val service_verify : t -> string -> service_signature -> bool
 
+val service_signature_to_bytes : t -> service_signature -> string
+(** Byte form of a combined service signature, for certificates that
+    cross the wire (e.g. checkpoint certificates during state
+    transfer).  Deterministic: equal signatures encode equally. *)
+
+val service_signature_of_bytes : t -> string -> service_signature option
+(** Inverse of {!service_signature_to_bytes} under the same keyring:
+    [None] on malformed bytes, on group elements outside the keyring's
+    group, or when the encoded arm does not match the keyring's service
+    scheme.  A decoded signature still carries no authority until
+    {!service_verify} accepts it. *)
+
 (** {2 Quorum certificates}
 
     Transferable evidence that a big-quorum of servers endorsed a

@@ -210,3 +210,43 @@ module For_abc = struct
   let byzantine ~tag () : Abc.msg t =
     compose (proposal_replayer ()) (proposal_equivocator ~tag ())
 end
+
+(* Behaviours against the recovery layer's state-transfer path. *)
+module For_recovery = struct
+  (* Answers every catch-up [Fetch] with a forged [State]: a fabricated
+     digest history, a garbage "certificate" and a forged suffix,
+     claiming a round ahead of everyone.  The fetcher must reject the
+     reply on certificate verification and install from the remaining
+     honest peers.  Everything else runs the honest logic — the forger
+     stays a live, otherwise-useful replica, which is the strongest
+     position for this attack (its reply races the honest ones).  The
+     zero resume points are ignored by [Link.rejoin] as malformed, so
+     the forgery cannot even desynchronize the victim's channel. *)
+  let forged_server ?(budget = 64) () : Recovery.msg t =
+   fun ctx honest ->
+    let used = ref 0 in
+    fun ~src msg ->
+      match msg with
+      | Recovery.Fetch { epoch } when !used < budget ->
+        incr used;
+        let digests =
+          List.init 4 (fun i ->
+              Sha256.digest (Printf.sprintf "forged-%d-%d" ctx.party i))
+        in
+        let snap = Codec.encode_snapshot ~round:8 ~app:"" ~digests in
+        let ck =
+          Codec.encode_ckpt ~snapshot:snap ~cert:(String.make 48 '\x2a')
+        in
+        Sim.send ctx.sim ~src:ctx.party ~dst:src
+          (Link.Raw
+             (Recovery.State
+                {
+                  epoch;
+                  ck;
+                  suffix = [ Printf.sprintf "forged-tx-%d" ctx.party ];
+                  round = 9;
+                  expect = 0;
+                  start = 0;
+                }))
+      | _ -> honest ~src msg
+end

@@ -116,3 +116,11 @@ module For_abc : sig
   val byzantine : tag:string -> unit -> Abc.msg t
   (** The composition of both attacks. *)
 end
+
+(** Behaviours against the recovery layer's state-transfer path. *)
+module For_recovery : sig
+  val forged_server : ?budget:int -> unit -> Recovery.msg t
+  (** Answers every catch-up [Fetch] with a forged snapshot under a
+      garbage certificate; otherwise honest.  The fetcher must reject
+      the reply on certificate verification. *)
+end

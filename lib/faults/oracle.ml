@@ -167,6 +167,19 @@ let check_abc ~honest ~expected logs =
   total_order ~honest logs
   @ totality ~honest ~expected (Array.map List.length logs)
 
+(* Recovery runs compare *digest histories* ([Abc.delivered_digests]):
+   these survive checkpoint truncation, so the check spans the whole
+   order — certified prefix included — across a crash-rejoin or
+   partition-heal.  Pairwise prefix agreement (with the recovered
+   party's transferred state in the comparison) is safety; reaching the
+   expected total is the liveness evidence that catch-up completed. *)
+let check_recovery ~honest ~expected histories =
+  total_order
+    ~show:(fun d -> "#" ^ String.sub (Sha256.hex d) 0 12)
+    ~honest histories
+  @ totality ~name:"catch-up-totality" ~honest ~expected
+      (Array.map List.length histories)
+
 let count_safety vs =
   List.length (List.filter (fun v -> v.severity = Safety) vs)
 

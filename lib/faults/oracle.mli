@@ -70,5 +70,12 @@ val check_abc :
   honest:Pset.t -> expected:int -> string list array -> violation list
 (** Total order + totality over ABC delivery logs. *)
 
+val check_recovery :
+  honest:Pset.t -> expected:int -> string list array -> violation list
+(** Total order + totality over {e digest histories}
+    ([Abc.delivered_digests]), which survive checkpoint truncation —
+    the whole-order agreement check for crash-rejoin and partition-heal
+    runs, recovered party included. *)
+
 val count_safety : violation list -> int
 val count_liveness : violation list -> int

@@ -1,0 +1,162 @@
+(** Crash-and-rejoin / partition-heal campaigns over the recovery layer.
+
+    Each run streams payloads through a checkpointing, link-on
+    {!Recovery.deploy}ment under lossy chaos, knocks one replica out
+    mid-stream (hard crash + {!Recovery.revive}, or a healing network
+    partition) and checks with {!Oracle.check_recovery} that the victim
+    rejoins the {e whole} total order — certified-and-truncated prefix
+    included — via state transfer.  The forged variant corrupts one
+    survivor with {!Byzantine.For_recovery.forged_server}, so every such
+    run also witnesses a forged snapshot being rejected on certificate
+    verification.
+
+    A bounded-memory probe runs one sustained stream with checkpoint GC
+    on and off and reports the delivered-log high-water marks; the
+    report validator gates on [gc_on < gc_off]. *)
+
+type scenario = Crash_rejoin | Partition_heal
+
+val scenario_label : scenario -> string
+(** ["crash-rejoin"] / ["partition-heal"]. *)
+
+val scenario_of_string : string -> scenario option
+
+type config = {
+  j_seeds : int;
+  j_seed_base : int;
+  j_n : int;
+  j_t : int;
+  j_rsa_bits : int;
+  j_group_bits : int;
+  j_payloads : int;
+  j_submit_gap : float;  (** virtual time between payload submissions *)
+  j_interval : int;  (** checkpoint period in rounds *)
+  j_drop : float;  (** chaos drop rate (the link layer restores) *)
+  j_abc_policy : Abc.policy;
+  j_link : Link.policy;
+  j_down_frac : float;
+      (** trigger the outage when honest progress crosses this fraction
+          of the stream — progress-driven because virtual round duration
+          varies by orders of magnitude with the drop rate *)
+  j_up_frac : float;  (** revive / heal at this progress fraction *)
+  j_poll : float;  (** monitor poll period, virtual time *)
+  j_scenarios : scenario list;
+  j_variants : bool list;  (** forged-server variants to sweep *)
+  j_max_steps : int;
+  j_mem_payloads : int;  (** bounded-memory probe stream length *)
+}
+
+val default_config :
+  ?seeds:int ->
+  ?seed_base:int ->
+  ?n:int ->
+  ?t:int ->
+  ?rsa_bits:int ->
+  ?group_bits:int ->
+  ?payloads:int ->
+  ?submit_gap:float ->
+  ?interval:int ->
+  ?drop:float ->
+  ?abc_policy:Abc.policy ->
+  ?link:Link.policy ->
+  ?down_frac:float ->
+  ?up_frac:float ->
+  ?poll:float ->
+  ?scenarios:scenario list ->
+  ?variants:bool list ->
+  ?max_steps:int ->
+  ?mem_payloads:int ->
+  unit ->
+  config
+
+type run_result = {
+  jr_scenario : scenario;
+  jr_seed : int;
+  jr_forged : bool;
+  jr_victim : int;
+  jr_recovered : bool;  (** full history present, no safety violation *)
+  jr_transferred : bool;  (** victim installed via certified transfer *)
+  jr_transfer_bytes : int;
+  jr_rejected : int;  (** forged/malformed replies the victim dropped *)
+  jr_log_peak : int;  (** max delivered-log high-water across honest *)
+  jr_retired : int;  (** max per-round structures retired across honest *)
+  jr_ckpt_round : int;  (** highest certified boundary across honest *)
+  jr_violations : Oracle.violation list;
+  jr_steps : int;
+}
+
+type env
+(** Keyring dealt once, shared across runs, as in {!Campaign.prepare}. *)
+
+val prepare : config -> env
+val env_obs : env -> Obs.t
+
+val run_one :
+  ?flight:Flight.recorder ->
+  env ->
+  config ->
+  scenario:scenario ->
+  forged:bool ->
+  seed:int ->
+  run_result
+
+type memory_probe = {
+  m_payloads : int;
+  m_gc_on_peak : int;  (** delivered-log high-water, checkpoint GC on *)
+  m_gc_on_retired : int;  (** per-round structures retired *)
+  m_gc_on_ckpt_round : int;  (** last certified boundary *)
+  m_gc_off_peak : int;  (** unbounded baseline: equals the stream *)
+}
+
+val memory_probe : env -> config -> seed:int -> memory_probe
+(** One sustained-load stream (no faults, link off), run twice —
+    checkpoint interval from the config, then interval 0. *)
+
+type report = {
+  config : config;
+  results : run_result list;  (** in execution order *)
+  memory : memory_probe option;
+  obs : Obs.t;
+}
+
+val run :
+  ?progress:(int * int -> unit) ->
+  ?flight:Flight.recorder ->
+  ?memory:bool ->
+  config ->
+  report
+(** The full sweep: scenarios × variants × seeds, then the memory probe
+    (unless [~memory:false]). *)
+
+val safety_count : report -> int
+val liveness_count : report -> int
+val recovered_count : report -> int
+
+val forged_witnessed : report -> bool
+(** The forged sweep rejected the forger explicitly at least once.
+    Per-run counts can be zero (the forged reply is a raw frame, so
+    lossy chaos can eat every copy before the honest quorum installs);
+    the per-run "never installed" guarantee is certificate verification
+    plus the digest-history oracles. *)
+
+val ok : report -> bool
+(** No safety violations, every victim recovered, every forged run
+    caught, and the memory probe (if present) shows a bounded log. *)
+
+val schema : string
+(** ["sintra-recov/1"]. *)
+
+val out_path : string -> string
+(** [out_path id = "RECOV_<id>.json"]. *)
+
+val to_json : id:string -> wall:float -> report -> Obs_json.t
+val write : id:string -> wall:float -> report -> string
+
+val validate_json : Obs_json.t -> (unit, string) result
+(** Shape + invariant check for a sintra-recov/1 document: schema, row
+    counts, zero safety violations, every run recovered, crash-rejoin
+    rows transferred, a forged sweep witnessing at least one explicit
+    rejection, and [gc_on.log_peak < gc_off.log_peak] when the memory
+    probe ran. *)
+
+val pp_summary : Format.formatter -> report -> unit

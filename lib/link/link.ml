@@ -310,6 +310,52 @@ let handle t ~src frame =
     else t.deliver ~src payload  (* sequenced frame from a non-peer slot *)
   | Ack { cum; sel } -> if src >= 0 && src < t.n then on_ack t ~src cum sel
 
+(* ---------- crash-rejoin resynchronization ---------------------------- *)
+
+(* A peer that crashed and came back has lost its endpoint: its fresh tx
+   restarts at seq 1, while our rx watermark (and any of its pre-crash
+   frames still in flight) remember the dead incarnation.  Naively
+   resetting both sides reuses sequence numbers, and a stale in-flight
+   DATA frame then occupies a seq the new incarnation will assign — its
+   fresh payload would be dup-suppressed and silently lost.  The resync
+   below keeps every sequence number monotone instead (TCP-style):
+
+   - Serving side ([prepare_rejoin]): drop all tx state toward the peer
+     (its dead incarnation can never ack the old frames, and the
+     protocols above re-derive anything that still matters), keep
+     [next_seq] so our own numbering never restarts, and fast-forward
+     the rx watermark past every seq the dead incarnation could have
+     emitted: at most [window] frames beyond the highest we have seen
+     were ever in flight, so [maxseen + window] bounds the stale world.
+   - Rejoining side ([rejoin]): adopt the resume points the peer
+     reported — expect the peer's frames from its [next_seq] (so its
+     stale in-flight frames land at or below our watermark and are
+     suppressed as the obsolete traffic they are), and start our own
+     numbering at the first seq the peer now accepts. *)
+
+let prepare_rejoin t ~peer =
+  if peer < 0 || peer >= t.n then invalid_arg "Link.prepare_rejoin";
+  let tx = t.txs.(peer) and rx = t.rxs.(peer) in
+  tx.unacked <- [];
+  Queue.clear tx.backlog;
+  tx.rto_cur <- t.policy.rto;
+  let maxseen = List.fold_left max rx.cum rx.ooo in
+  let restart = maxseen + t.policy.window + 1 in
+  rx.cum <- restart - 1;
+  rx.ooo <- [];
+  (tx.next_seq, restart)
+
+let rejoin t ~peer ~expect ~start =
+  if peer < 0 || peer >= t.n then invalid_arg "Link.rejoin";
+  if expect >= 1 && start >= 1 then begin
+    let rx = t.rxs.(peer) and tx = t.txs.(peer) in
+    rx.cum <- max rx.cum (expect - 1);
+    rx.ooo <- List.filter (fun s -> s > rx.cum) rx.ooo;
+    (* max keeps repeated replies for the same episode idempotent: once
+       we have sent at or beyond [start], moving back would reuse seqs. *)
+    tx.next_seq <- max tx.next_seq start
+  end
+
 (* ---------- introspection --------------------------------------------- *)
 
 let in_flight t dst = List.length t.txs.(dst).unacked

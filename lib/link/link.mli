@@ -106,6 +106,33 @@ val handle : 'm t -> src:int -> 'm frame -> unit
     directly, [Data] deduplicates / delivers / acks, [Ack] clears the
     transmit window and drains the backlog. *)
 
+(** {2 Crash-rejoin resynchronization}
+
+    A peer that crashed and came back restarts its endpoint at seq 1
+    while the surviving side's watermarks — and any stale in-flight
+    frames — remember the dead incarnation; naive resets reuse sequence
+    numbers and silently lose the new incarnation's payloads to
+    dup-suppression.  These two calls resynchronize a channel pair the
+    TCP way: sequence numbers only ever move forward. *)
+
+val prepare_rejoin : 'm t -> peer:int -> int * int
+(** Serving side, on a rejoin request from [peer]: drop all transmit
+    state toward it (the dead incarnation can never ack the old frames),
+    keep our [next_seq] monotone, and fast-forward the receive watermark
+    past every seq the dead incarnation could still have in flight (at
+    most [window] beyond the highest seen).  Returns
+    [(expect, start)]: the peer should expect our frames from [expect]
+    (our next_seq) and emit its own from [start].  Call once per rejoin
+    episode; a second call invalidates the first episode's [start]. *)
+
+val rejoin : 'm t -> peer:int -> expect:int -> start:int -> unit
+(** Rejoining side: adopt a peer's {!prepare_rejoin} resume points —
+    expect its frames from [expect] (stale pre-reset traffic lands at or
+    below the watermark and is suppressed) and emit our own from
+    [start].  Monotone (uses max), so repeated replies for the same
+    episode are idempotent; resume points below 1 are ignored as
+    malformed. *)
+
 (** {2 Introspection} *)
 
 val in_flight : 'm t -> int -> int

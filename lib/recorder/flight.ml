@@ -40,22 +40,30 @@ let default_policy =
     retransmit_storm = 200;
     backpressure_peak = 48 }
 
-type anomaly_kind = Safety_trip | Stall | Retransmit_storm | Backpressure_peak
+type anomaly_kind =
+  | Safety_trip
+  | Stall
+  | Retransmit_storm
+  | Backpressure_peak
+  | State_transfer
 
 let kind_label = function
   | Safety_trip -> "safety-trip"
   | Stall -> "stall"
   | Retransmit_storm -> "retransmit-storm"
   | Backpressure_peak -> "backpressure-peak"
+  | State_transfer -> "state-transfer"
 
 let kind_of_label = function
   | "safety-trip" -> Some Safety_trip
   | "stall" -> Some Stall
   | "retransmit-storm" -> Some Retransmit_storm
   | "backpressure-peak" -> Some Backpressure_peak
+  | "state-transfer" -> Some State_transfer
   | _ -> None
 
-let all_kinds = [ Safety_trip; Stall; Retransmit_storm; Backpressure_peak ]
+let all_kinds =
+  [ Safety_trip; Stall; Retransmit_storm; Backpressure_peak; State_transfer ]
 
 (* Severity order for the capped anomaly archive: safety first. *)
 let kind_rank = function
@@ -63,6 +71,7 @@ let kind_rank = function
   | Stall -> 1
   | Retransmit_storm -> 2
   | Backpressure_peak -> 3
+  | State_transfer -> 4
 
 type run_key = { protocol : string; policy : string; mix : string; seed : int }
 

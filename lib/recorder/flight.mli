@@ -30,7 +30,15 @@ type window_policy = {
 
 val default_policy : window_policy
 
-type anomaly_kind = Safety_trip | Stall | Retransmit_storm | Backpressure_peak
+type anomaly_kind =
+  | Safety_trip
+  | Stall
+  | Retransmit_storm
+  | Backpressure_peak
+  | State_transfer
+      (** a replica adopted remote state via certified catch-up — rare
+          enough that the surrounding trace window is always worth
+          keeping *)
 
 val kind_label : anomaly_kind -> string
 (** ["safety-trip"], ["stall"], ["retransmit-storm"],

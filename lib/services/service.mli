@@ -26,14 +26,27 @@ type engine = Abc_e of Abc.t | Scabc_e of Scabc.t
 type t = {
   me : int;
   keyring : Keyring.t;
+  obs : Obs.t;
   sim_send : int -> msg -> unit;
   mutable engine : engine option;
   execute : string -> string;
   mutable executed : int;
+  seen : (int * string, string) Hashtbl.t;
+  mutable dup_suppressed : int;
 }
 
-val parse_request : string -> (int * string) option
-(** Decode an ordered request wrap "client | nonce | body". *)
+val parse_request : string -> (int * string * string) option
+(** Decode an ordered request wrap "client | nonce | body" into
+    [(client, nonce, body)]. *)
+
+val deliver_ordered : t -> string -> unit
+(** Execute one ordered request, exactly as the engine's deliver
+    callback does.  Requests are deduplicated by (client, nonce): a
+    replay — e.g. a captured confidential request re-encrypted under
+    fresh randomness, which defeats the broadcast's content dedup —
+    skips the state machine, bumps [dup_suppressed] (counter
+    [service_dup_suppressed], layer ["service"]) and re-answers from
+    the cached response. *)
 
 val response_statement : req_digest:string -> response:string -> string
 (** The statement the service signature covers. *)

@@ -197,6 +197,12 @@ let set_chaos t = function
 
 let set_handler t party (h : 'msg handler) =
   if party < 0 || party >= t.slots then invalid_arg "Sim.set_handler";
+  (* Installing a handler on a crashed slot would silently re-arm
+     delivery while the crash flag still suppresses timers — a zombie
+     that receives but never times out.  The lifecycle is explicit:
+     [recover] first, then install the fresh handler. *)
+  if t.crashed.(party) then
+    invalid_arg "Sim.set_handler: party is crashed (use Sim.recover first)";
   t.handlers.(party) <- Some h
 
 let wrap_handler t party f =
@@ -219,6 +225,18 @@ let crash t party =
   t.timers <- List.filter (fun (_, p, _) -> p <> party) t.timers
 
 let is_crashed t party = t.crashed.(party)
+
+(* Un-crash a party.  The slot comes back amnesiac: the crash purged its
+   timers and [recover] drops its handler, so the old incarnation can
+   never fire again; the caller must install a fresh handler (and any
+   catch-up logic) before the party participates.  Envelopes addressed
+   to the party while it was down were dropped at delivery time and stay
+   dropped — recovery does not resurrect lost messages. *)
+let recover t party =
+  if party < 0 || party >= t.slots then invalid_arg "Sim.recover";
+  if not t.crashed.(party) then invalid_arg "Sim.recover: party not crashed";
+  t.crashed.(party) <- false;
+  t.handlers.(party) <- None
 
 (* Random per-message WAN latency in [10, 100) virtual milliseconds. *)
 let latency t = 10.0 +. (90.0 *. Prng.float t.rng)

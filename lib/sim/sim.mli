@@ -130,7 +130,10 @@ val set_chaos : 'msg t -> chaos option -> unit
 
 val set_handler : 'msg t -> party -> 'msg handler -> unit
 (** Attach (or replace — e.g. with a Byzantine behaviour) the message
-    handler of a slot. *)
+    handler of a slot.  Raises [Invalid_argument] on a crashed slot:
+    re-arming delivery while the crash flag still suppresses timers
+    would create a zombie, so the lifecycle is explicit — {!recover}
+    first, then install the fresh handler. *)
 
 val wrap_handler :
   'msg t -> party -> ('msg handler -> 'msg handler) -> unit
@@ -150,6 +153,14 @@ val crash : 'msg t -> party -> unit
     timers are purged, and later {!set_timer} calls for it are inert. *)
 
 val is_crashed : 'msg t -> party -> bool
+
+val recover : 'msg t -> party -> unit
+(** Un-crash a party.  The slot comes back amnesiac: the crash purged
+    its timers and recovery drops its handler, so nothing of the old
+    incarnation can fire; install a fresh handler (and run whatever
+    catch-up protocol the stack provides) before the party participates
+    again.  Messages dropped while it was down stay dropped.  Raises
+    [Invalid_argument] if the party is not crashed. *)
 
 val send : 'msg t -> src:party -> dst:party -> 'msg -> unit
 val broadcast : 'msg t -> src:party -> 'msg -> unit

@@ -563,7 +563,141 @@ let campaign_tests =
                ("wall_time_s", Obs_json.Float 0.0);
                ("runs", Obs_json.Int (-3)) ])) ]
 
+(* ---------------- crash recovery ------------------------------------- *)
+
+let recovery_tests =
+  [ Alcotest.test_case "crashed party: set_handler raises, recover resets"
+      `Quick (fun () ->
+        let sim : int Sim.t = Sim.create ~n:2 ~seed:7 () in
+        let got = ref [] in
+        Sim.set_handler sim 1 (fun ~src:_ m -> got := m :: !got);
+        Sim.send sim ~src:0 ~dst:1 1;
+        Sim.run sim;
+        Sim.crash sim 1;
+        Alcotest.(check bool) "crashed" true (Sim.is_crashed sim 1);
+        (* Re-arming a crashed slot must be an explicit error, not a
+           silent resurrection. *)
+        (try
+           Sim.set_handler sim 1 (fun ~src:_ _ -> ());
+           Alcotest.fail "set_handler on a crashed party did not raise"
+         with Invalid_argument _ -> ());
+        Sim.send sim ~src:0 ~dst:1 2;
+        Sim.run sim;
+        (* Recovery clears the crash flag and drops the dead handler:
+           nothing of the old incarnation survives. *)
+        Sim.recover sim 1;
+        Alcotest.(check bool) "recovered" false (Sim.is_crashed sim 1);
+        Sim.send sim ~src:0 ~dst:1 3;
+        Sim.run sim;
+        Sim.set_handler sim 1 (fun ~src:_ m -> got := m :: !got);
+        Sim.send sim ~src:0 ~dst:1 4;
+        Sim.run sim;
+        Alcotest.(check (list int))
+          "only pre-crash and post-rearm messages delivered" [ 4; 1 ] !got);
+    Alcotest.test_case "crash-rejoin: victim rejoins via certified transfer"
+      `Quick (fun () ->
+        let cfg =
+          Rejoin.default_config ~seeds:1 ~payloads:12
+            ~scenarios:[ Rejoin.Crash_rejoin ] ~variants:[ false ] ()
+        in
+        let env = Rejoin.prepare cfg in
+        let r =
+          Rejoin.run_one env cfg ~scenario:Rejoin.Crash_rejoin ~forged:false
+            ~seed:1
+        in
+        Alcotest.(check bool) "recovered" true r.Rejoin.jr_recovered;
+        Alcotest.(check bool) "transferred" true r.Rejoin.jr_transferred;
+        Alcotest.(check bool) "transfer moved bytes" true
+          (r.Rejoin.jr_transfer_bytes > 0);
+        Alcotest.(check int) "no violations" 0
+          (List.length r.Rejoin.jr_violations));
+    Alcotest.test_case "partition heal: victim catches back up" `Quick
+      (fun () ->
+        let cfg =
+          Rejoin.default_config ~seeds:1 ~payloads:12
+            ~scenarios:[ Rejoin.Partition_heal ] ~variants:[ false ] ()
+        in
+        let env = Rejoin.prepare cfg in
+        let r =
+          Rejoin.run_one env cfg ~scenario:Rejoin.Partition_heal
+            ~forged:false ~seed:2
+        in
+        Alcotest.(check bool) "recovered" true r.Rejoin.jr_recovered;
+        Alcotest.(check int) "no violations" 0
+          (List.length r.Rejoin.jr_violations));
+    Alcotest.test_case "forged snapshot is rejected on certificate check"
+      `Quick (fun () ->
+        (* Reliable channels, so the forged server's reply always
+           reaches the fetching victim: the rejection is deterministic,
+           and recovery must come from the honest quorum. *)
+        let cfg =
+          Rejoin.default_config ~seeds:1 ~payloads:12 ~drop:0.0
+            ~scenarios:[ Rejoin.Crash_rejoin ] ~variants:[ true ] ()
+        in
+        let env = Rejoin.prepare cfg in
+        let r =
+          Rejoin.run_one env cfg ~scenario:Rejoin.Crash_rejoin ~forged:true
+            ~seed:3
+        in
+        Alcotest.(check bool) "recovered" true r.Rejoin.jr_recovered;
+        Alcotest.(check bool) "transferred" true r.Rejoin.jr_transferred;
+        Alcotest.(check bool) "forged reply rejected" true
+          (r.Rejoin.jr_rejected > 0);
+        Alcotest.(check int) "no violations" 0
+          (List.length r.Rejoin.jr_violations));
+    Alcotest.test_case "checkpoint GC bounds the delivered log" `Quick
+      (fun () ->
+        let cfg = Rejoin.default_config ~seeds:1 ~mem_payloads:96 () in
+        let env = Rejoin.prepare cfg in
+        let m = Rejoin.memory_probe env cfg ~seed:1 in
+        Alcotest.(check int) "gc-off log grows with the stream" 96
+          m.Rejoin.m_gc_off_peak;
+        Alcotest.(check bool)
+          (Printf.sprintf "gc-on log stays bounded (%d < 96)"
+             m.Rejoin.m_gc_on_peak)
+          true
+          (m.Rejoin.m_gc_on_peak < 96);
+        Alcotest.(check bool) "rounds were retired" true
+          (m.Rejoin.m_gc_on_retired > 0);
+        Alcotest.(check bool) "checkpoints certified" true
+          (m.Rejoin.m_gc_on_ckpt_round > 0));
+    Alcotest.test_case
+      "50-seed recovery sweep: crash-rejoin + partition-heal, forged server"
+      `Slow (fun () ->
+        (* Acceptance regression: one replica knocked out mid-stream
+           under 30% drop with the link on, brought back, and required
+           to agree on the whole digest history; the crash-rejoin victim
+           must get there via certified state transfer, and a sweep with
+           a forged server must witness an explicit rejection. *)
+        let cfg = Rejoin.default_config ~seeds:50 ~payloads:12 () in
+        let rep = Rejoin.run ~memory:false cfg in
+        Alcotest.(check int) "runs" 200 (List.length rep.Rejoin.results);
+        Alcotest.(check int) "zero safety violations" 0
+          (Rejoin.safety_count rep);
+        Alcotest.(check int) "every victim recovered" 200
+          (Rejoin.recovered_count rep);
+        List.iter
+          (fun (r : Rejoin.run_result) ->
+            if r.Rejoin.jr_scenario = Rejoin.Crash_rejoin then
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d rejoined via state transfer"
+                   r.Rejoin.jr_seed)
+                true r.Rejoin.jr_transferred)
+          rep.Rejoin.results;
+        Alcotest.(check bool) "forged sweep witnessed a rejection" true
+          (Rejoin.forged_witnessed rep);
+        (* Round-trip the report through the schema validator. *)
+        let doc = Rejoin.to_json ~id:"t" ~wall:0.0 rep in
+        (match
+           Obs_json.of_string (Obs_json.to_canonical_string doc)
+         with
+        | Error e -> Alcotest.failf "re-parse: %s" e
+        | Ok doc' ->
+          (match Rejoin.validate_json doc' with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "validate: %s" e))) ]
+
 let suite =
   ( "faults",
     chaos_tests @ partition_tests @ drop_path_tests @ oracle_tests
-    @ byzantine_tests @ campaign_tests )
+    @ byzantine_tests @ campaign_tests @ recovery_tests )

@@ -188,6 +188,89 @@ let codec_tests =
         | Some ps' -> Codec.encode_batch ps' = frame)
   ]
 
+(* ---- checkpoint codecs (Codec.encode_snapshot / encode_ckpt) --------
+   Catch-up installs remote state, so these frames cross a trust
+   boundary: the snapshot's bytes are the hashed statement a certificate
+   signs, and the certified frame pairs that snapshot with the
+   certificate.  Canonicity (decode o encode = identity, decode never
+   accepts bytes that re-encode differently) is what makes the hash
+   binding sound; strictness (truncation / bit flips / trailing bytes
+   rejected whole) keeps a Byzantine server from smuggling a frame that
+   parses two ways. *)
+
+let gen_snapshot =
+  QCheck2.Gen.(
+    map3
+      (fun round app digests -> Codec.encode_snapshot ~round ~app ~digests)
+      (0 -- 1_000_000)
+      (string_size ~gen:(char_range '\000' '\255') (0 -- 48))
+      (list_size (0 -- 10)
+         (string_size ~gen:(char_range '\000' '\255') (0 -- 40))))
+
+let gen_ckpt =
+  QCheck2.Gen.(
+    map2
+      (fun snapshot cert -> Codec.encode_ckpt ~snapshot ~cert)
+      gen_snapshot
+      (string_size ~gen:(char_range '\000' '\255') (0 -- 64)))
+
+let ckpt_codec_tests =
+  [ qtest ~count:200 "snapshot codec: decode o encode = identity"
+      QCheck2.Gen.(
+        triple (0 -- 1_000_000)
+          (string_size ~gen:(char_range '\000' '\255') (0 -- 48))
+          (list_size (0 -- 10)
+             (string_size ~gen:(char_range '\000' '\255') (0 -- 40))))
+      (fun (round, app, digests) ->
+        Codec.decode_snapshot (Codec.encode_snapshot ~round ~app ~digests)
+        = Some (round, app, digests));
+    qtest ~count:200 "snapshot codec: every proper prefix is rejected"
+      gen_snapshot
+      (fun frame ->
+        let ok = ref true in
+        for len = 0 to String.length frame - 1 do
+          if Codec.decode_snapshot (String.sub frame 0 len) <> None then
+            ok := false
+        done;
+        !ok);
+    qtest ~count:200 "snapshot codec: single bit flip never decodes canonically"
+      QCheck2.Gen.(triple gen_snapshot small_nat (1 -- 7))
+      (fun (frame, pos, bit) ->
+        let b = Bytes.of_string frame in
+        let pos = pos mod Bytes.length b in
+        Bytes.set b pos
+          (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl (bit mod 8))));
+        let flipped = Bytes.to_string b in
+        (* the flipped frame either fails outright or re-encodes to the
+           same flipped bytes — it can never alias the original's hash *)
+        match Codec.decode_snapshot flipped with
+        | None -> true
+        | Some (round, app, digests) ->
+          Codec.encode_snapshot ~round ~app ~digests = flipped);
+    qtest ~count:200 "ckpt codec: decode o encode = identity"
+      QCheck2.Gen.(
+        pair gen_snapshot
+          (string_size ~gen:(char_range '\000' '\255') (0 -- 64)))
+      (fun (snapshot, cert) ->
+        Codec.decode_ckpt (Codec.encode_ckpt ~snapshot ~cert)
+        = Some (snapshot, cert));
+    qtest ~count:200 "ckpt codec: truncation and trailing bytes rejected"
+      QCheck2.Gen.(pair gen_ckpt (string_size (1 -- 16)))
+      (fun (frame, junk) ->
+        let prefixes_fail = ref true in
+        for len = 0 to String.length frame - 1 do
+          if Codec.decode_ckpt (String.sub frame 0 len) <> None then
+            prefixes_fail := false
+        done;
+        !prefixes_fail && Codec.decode_ckpt (frame ^ junk) = None);
+    qtest ~count:200 "ckpt codec: random bytes never mis-split"
+      QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 120))
+      (fun s ->
+        match Codec.decode_ckpt s with
+        | None -> true
+        | Some (snapshot, cert) -> Codec.encode_ckpt ~snapshot ~cert = s)
+  ]
+
 (* ---- reliable link layer (PR 5) -------------------------------------
    Two properties the liveness claim rests on: the retransmit schedule
    is a pure function of the policy seed (so lossy sweeps are exactly
@@ -478,4 +561,6 @@ let crypto_fuzz_tests =
   ]
 
 let suite =
-  ("fuzz", fuzz_tests @ codec_tests @ link_fuzz_tests @ crypto_fuzz_tests)
+  ( "fuzz",
+    fuzz_tests @ codec_tests @ ckpt_codec_tests @ link_fuzz_tests
+    @ crypto_fuzz_tests )

@@ -10,7 +10,8 @@ let th41 = AS.threshold ~n:4 ~t:1
 
 let kr41 = lazy (Keyring.deal ~rsa_bits:192 ~seed:5001 th41)
 
-let deploy_service ~seed ~mode ~make_app ?(structure = th41) ?keyring () =
+let deploy_service ~seed ~mode ~make_app ?(structure = th41) ?keyring ?obs ()
+    =
   let kr =
     match keyring with
     | Some kr -> kr
@@ -18,7 +19,7 @@ let deploy_service ~seed ~mode ~make_app ?(structure = th41) ?keyring () =
       if structure == th41 then Lazy.force kr41
       else Keyring.deal ~rsa_bits:192 ~seed:(seed + 9000) structure
   in
-  let sim = Sim.create ~n:(AS.n structure) ~seed () in
+  let sim = Sim.create ?obs ~n:(AS.n structure) ~seed () in
   let nodes = Service.deploy ~sim ~keyring:kr ~mode ~make_app () in
   (sim, kr, nodes)
 
@@ -331,4 +332,56 @@ let notary_tests =
         Alcotest.(check bool) "plaintext visible with plain abc" true !leaked)
   ]
 
-let suite = ("services", ca_tests @ directory_tests @ notary_tests)
+(* The request path's replay guard: ordered duplicates of the same
+   (client, nonce) must not re-execute the state machine — under the
+   confidential engine a corrupted server can re-encrypt a captured
+   request under fresh TDH2 randomness, and the distinct ciphertext
+   passes the broadcast's content dedup. *)
+let dedup_tests =
+  [ Alcotest.test_case "execution dedups a replayed (client, nonce)" `Quick
+      (fun () ->
+        let sim, _, nodes =
+          deploy_service ~seed:6301 ~mode:Service.Plain ~make_app:Ca.make_app
+            ~obs:(Obs.create ()) ()
+        in
+        let request nonce body =
+          Codec.encode [ "0"; nonce; body ]
+        in
+        let server = nodes.(0) in
+        Service.deliver_ordered server (request "n1" (Ca.issue_request ~id:"a" ~pubkey:"pk-a" ~credentials:"cred-a"));
+        Service.deliver_ordered server (request "n1" (Ca.issue_request ~id:"a" ~pubkey:"pk-a" ~credentials:"cred-a"));
+        Service.deliver_ordered server (request "n2" (Ca.issue_request ~id:"b" ~pubkey:"pk-b" ~credentials:"cred-b"));
+        Sim.run sim;
+        Alcotest.(check int) "executed once per distinct nonce" 2
+          server.Service.executed;
+        Alcotest.(check int) "replay suppressed and counted" 1
+          server.Service.dup_suppressed;
+        (* The suppressed duplicate still re-answers from cache, so the
+           observability counter is the only way to tell it happened. *)
+        match
+          Obs_registry.find
+            (Obs.snapshot (Sim.obs sim))
+            ~labels:[ ("layer", "service") ]
+            "service_dup_suppressed"
+        with
+        | Some (Obs_registry.Vcounter c) ->
+          Alcotest.(check bool) "counter incremented" true (c >= 1)
+        | _ -> Alcotest.fail "missing service_dup_suppressed counter");
+    Alcotest.test_case "distinct clients with equal nonces both execute"
+      `Quick (fun () ->
+        let sim, _, nodes =
+          deploy_service ~seed:6302 ~mode:Service.Plain ~make_app:Ca.make_app
+            ()
+        in
+        let server = nodes.(0) in
+        Service.deliver_ordered server
+          (Codec.encode [ "0"; "n1"; Ca.issue_request ~id:"a" ~pubkey:"p" ~credentials:"c" ]);
+        Service.deliver_ordered server
+          (Codec.encode [ "1"; "n1"; Ca.issue_request ~id:"b" ~pubkey:"q" ~credentials:"c" ]);
+        Sim.run sim;
+        Alcotest.(check int) "both executed" 2 server.Service.executed;
+        Alcotest.(check int) "nothing suppressed" 0
+          server.Service.dup_suppressed) ]
+
+let suite =
+  ("services", ca_tests @ directory_tests @ notary_tests @ dedup_tests)
