@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test fmt fmt-check bench bench-num bench-num-smoke bench-check bench-smoke perf-diff faults faults-smoke link-smoke tput tput-smoke flight flight-smoke flight-bless recov recov-smoke schedule-search check clean
+.PHONY: all build test fmt fmt-check bench bench-num bench-num-smoke bench-check bench-smoke perf-diff faults faults-smoke link-smoke tput tput-smoke flight flight-smoke flight-bless recov recov-smoke svc svc-smoke svc-bless schedule-search check clean
 
 all: build
 
@@ -130,6 +130,38 @@ recov-smoke:
 	$(DUNE) exec bin/sintra_cli.exe -- recover --quick --payloads 12 --out SMOKE
 	$(DUNE) exec bin/sintra_cli.exe -- bench-check RECOV_SMOKE.json
 
+# Full sustained-load service campaign: >= 100k requests (8 cells x
+# 13k: {ca, directory, notary} x {benign, drop-arq, crash-rejoin},
+# notary skipping crash-rejoin) driven by closed-loop clients through
+# the whole request pipeline — ordered submissions, threshold reply
+# certificates, the read-only fast path, resend-based loss recovery —
+# with checkpoint GC keeping the delivered log bounded.  Writes
+# BENCH_SVC.json (sintra-svc/1); exits non-zero on any safety
+# violation, missed quota, certificate failure, cold fast path, or
+# unbounded delivered log.
+svc:
+	$(DUNE) exec bin/sintra_cli.exe -- svc
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_SVC.json
+
+# CI-sized service campaign (1 seed, 48 requests per cell, all kinds
+# and variants), schema/invariant check, then the regression gate
+# against the blessed baseline: sintra-svc/1 metrics are derived from
+# seeded virtual-time runs, so an unchanged tree reproduces the
+# baseline and any strict regression (safety, certificate failures,
+# missed requests) or >10% thresholded drift (requests per 1k steps,
+# fast-path rate, log peak, retries) exits non-zero.
+svc-smoke:
+	$(DUNE) exec bin/sintra_cli.exe -- svc --quick --out SMOKE
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_SVC_SMOKE.json
+	$(DUNE) exec bin/sintra_cli.exe -- compare baselines/BENCH_SVC_BASELINE.json BENCH_SVC_SMOKE.json
+
+# Re-bless the checked-in service-throughput baseline after an
+# intentional behaviour change (same config as svc-smoke; commit the
+# result).
+svc-bless:
+	$(DUNE) exec bin/sintra_cli.exe -- svc --quick --out BASELINE
+	mv BENCH_SVC_BASELINE.json baselines/BENCH_SVC_BASELINE.json
+
 # Adversarial schedule search over chaos genomes (hill-climb, seeded):
 # maximises steps-to-decide and the link back-pressure peak, archiving
 # the worst schedules found as replayable fixtures under
@@ -142,7 +174,7 @@ schedule-search:
 # Aggregate CI gate: build, unit/property tests, and every smoke sweep,
 # including the kernel micro-bench with its batch-verification gate and
 # the flight-recorder regression diff against the blessed baseline.
-check: build test bench-smoke bench-num-smoke faults-smoke link-smoke tput-smoke flight-smoke recov-smoke
+check: build test bench-smoke bench-num-smoke faults-smoke link-smoke tput-smoke flight-smoke recov-smoke svc-smoke
 
 clean:
 	$(DUNE) clean

@@ -732,15 +732,16 @@ let s1 () =
   let structure = AS.threshold ~n:7 ~t:2 in
   let kr = keyring structure in
   let sim =
-    Sim.create ~size:(Service.msg_size kr) ~obs:(Bench_out.obs ()) ~n:7
-      ~seed:81 ()
+    Sim.create ~size:(Link.frame_size (Service.msg_size kr))
+      ~obs:(Bench_out.obs ()) ~n:7 ~seed:81 ()
   in
   let _nodes =
     Service.deploy ~sim ~keyring:kr ~mode:Service.Plain ~make_app:Ca.make_app ()
   in
-  Sim.set_handler sim 6 (fun ~src:_ (m : Service.msg) ->
-      match m with
-      | Service.Request { client; body } ->
+  Sim.set_handler sim 6 (fun ~src:_ (frame : Service.msg Link.frame) ->
+      match frame with
+      | Link.Raw (Service.Request { client; body })
+      | Link.Data { payload = Service.Request { client; body }; _ } ->
         let req_digest = Sha256.digest body in
         let response = Codec.encode [ "denied"; "forged" ] in
         let share =
@@ -748,20 +749,23 @@ let s1 () =
             (Service.response_statement ~req_digest ~response)
         in
         Sim.send sim ~src:6 ~dst:client
-          (Service.Response { req_digest; server = 6; response; share })
-      | Service.Engine _ | Service.Response _ -> ());
+          (Link.Raw
+             (Service.Response
+                (Codec.encode_svc_reply ~fast:false ~req_digest ~server:6
+                   ~response ~share:(Keyring.sig_share_to_bytes kr share))))
+      | Link.Raw _ | Link.Data _ | Link.Ack _ -> ());
   Sim.crash sim 1;
-  let client = Service.Client.create ~sim ~keyring:kr ~slot:7 ~seed:5 in
+  let client = Service.Client.create ~sim ~keyring:kr ~slot:7 ~seed:5 () in
   let result = ref None in
   Service.Client.request client ~mode:Service.Plain
     (Ca.issue_request ~id:"alice" ~pubkey:"pk" ~credentials:"ok!ok")
-    (fun r s -> result := Some (r, s));
+    (fun rc -> result := Some rc);
   Sim.run sim ~until:(fun () -> !result <> None);
   (match !result with
-  | Some (response, _) ->
+  | Some rc ->
     Printf.printf
       "certificate issued despite 1 Byzantine + 1 crashed server: %b\n"
-      (Ca.parse_certificate response <> None)
+      (Ca.parse_certificate rc.Service.rc_response <> None)
   | None -> print_endline "FAILED: request did not complete");
   let m = Sim.metrics sim in
   Printf.printf "cost: %d messages, %d kB\n" m.Metrics.messages_sent
@@ -781,23 +785,30 @@ let s2 () =
     let structure = AS.threshold ~n:4 ~t:1 in
     let kr = keyring structure in
     let sim = Sim.create ~obs:(Bench_out.obs ()) ~n:4 ~seed () in
-    let nodes = Service.deploy ~sim ~keyring:kr ~mode ~make_app:Notary.make_app () in
+    let nodes =
+      Service.nodes
+        (Service.deploy ~sim ~keyring:kr ~mode ~make_app:Notary.make_app ())
+    in
     let leaked = ref false in
-    let honest = fun ~src m -> Service.handle nodes.(3) ~src m in
-    Sim.set_handler sim 3 (fun ~src m ->
+    Sim.wrap_handler sim 3 (fun honest ~src frame ->
         (if nodes.(3).Service.executed = 0 then
-           match m with
-           | Service.Request { body; _ } when contains ~needle:doc body ->
-             leaked := true
-           | Service.Engine (Service.Abc_m (Abc.Request p))
-             when contains ~needle:doc p ->
-             leaked := true
-           | Service.Request _ | Service.Engine _ | Service.Response _ -> ());
-        honest ~src m);
-    let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:9 in
+           match frame with
+           | Link.Raw m | Link.Data { payload = m; _ } -> (
+             match m with
+             | Service.Request { body; _ } when contains ~needle:doc body ->
+               leaked := true
+             | Service.Engine (Service.Abc_m (Abc.Request p))
+               when contains ~needle:doc p ->
+               leaked := true
+             | Service.Request _ | Service.Query _ | Service.Engine _
+             | Service.Response _ ->
+               ())
+           | Link.Ack _ -> ());
+        honest ~src frame);
+    let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:9 () in
     let result = ref None in
     Service.Client.request client ~mode (Notary.register_request ~document:doc)
-      (fun r s -> result := Some (r, s));
+      (fun rc -> result := Some rc);
     Sim.run sim ~until:(fun () -> !result <> None);
     (!result <> None, !leaked)
   in

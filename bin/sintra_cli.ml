@@ -610,6 +610,29 @@ let bench_check_cmd =
              Printf.sprintf ", log peak %d gc-on vs %d gc-off" on_ off
            | None -> ""))
   in
+  let check_svc path doc : (string, string) result =
+    match Svc.validate_json doc with
+    | Error e -> Error e
+    | Ok () ->
+      let str k = Option.bind (Obs_json.member k doc) Obs_json.to_str in
+      let int k = Option.bind (Obs_json.member k doc) Obs_json.to_int in
+      let nested a b =
+        Option.value ~default:0
+          (Option.bind (Obs_json.member a doc) (fun o ->
+               Option.bind (Obs_json.member b o) Obs_json.to_int))
+      in
+      Ok
+        (Printf.sprintf
+           "%s: OK (%s: %d runs, %d/%d requests, %d fast-path hits, log peak \
+            %d <= %d)"
+           path
+           (Option.value (str "experiment") ~default:"?")
+           (Option.value (int "runs") ~default:0)
+           (nested "requests" "completed") (nested "requests" "target")
+           (nested "fastpath" "hits")
+           (nested "memory" "plain_log_peak")
+           (nested "memory" "bound"))
+  in
   let check path : (string, string) result =
     match Obs_json.of_string (read_file path) with
     | Error e -> Error (Printf.sprintf "parse error: %s" e)
@@ -619,6 +642,7 @@ let bench_check_cmd =
       | Some "sintra-faults/2" -> check_faults path doc
       | Some "sintra-flight/1" -> check_flight path doc
       | Some "sintra-recov/1" -> check_recov path doc
+      | Some "sintra-svc/1" -> check_svc path doc
       | Some s -> Error (Printf.sprintf "unknown schema %S" s)
       | None -> Error "missing \"schema\" member")
   in
@@ -1024,6 +1048,146 @@ let recover_cmd =
       $ payloads_arg $ interval_arg $ drop_arg $ mem_payloads_arg
       $ no_forged_arg $ max_steps_arg $ out_arg $ quick_arg $ crypto_arg)
 
+(* ---------- svc: sustained-load client-pipeline campaigns ------------- *)
+
+let svc_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"K" ~doc:"Seeds per (kind, variant) cell.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 13_000
+      & info [ "requests" ] ~docv:"K"
+          ~doc:"Completed reply certificates per run (all clients).")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "clients" ] ~docv:"C" ~doc:"Closed-loop clients per run.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "window" ] ~docv:"W" ~doc:"Per-client in-flight bound.")
+  in
+  let read_frac_arg =
+    Arg.(
+      value & opt float 0.75
+      & info [ "read-frac" ] ~docv:"P"
+          ~doc:"Fraction of submissions routed through the read-only fast \
+                path.")
+  in
+  let kinds_arg =
+    Arg.(
+      value & opt string "ca,directory,notary"
+      & info [ "kinds" ] ~docv:"LIST"
+          ~doc:"Comma-separated service kinds (ca, directory, notary).")
+  in
+  let variants_arg =
+    Arg.(
+      value & opt string "benign,drop-arq,crash-rejoin"
+      & info [ "variants" ] ~docv:"LIST"
+          ~doc:"Comma-separated variants (benign, drop-arq, crash-rejoin).")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "interval" ] ~docv:"R"
+          ~doc:
+            "Checkpoint period for the Plain-mode kinds (GC on).  Short on \
+             purpose: under lossy links the delivered log grows by the \
+             certification lag on top of the interval, and the campaign's \
+             memory oracle holds the GC'd peak under mem-bound.")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Chaos drop probability for the drop-arq variant.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 200_000_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Per-run simulator step bound.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "svc"
+      & info [ "out" ] ~docv:"ID"
+          ~doc:
+            "Report id: the campaign writes BENCH_SVC_<ID>.json (plain \
+             BENCH_SVC.json for the default id).")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "CI smoke configuration: 1 seed, 48 requests per run (the full \
+             sweep still covers every kind and variant).")
+  in
+  let run n t seed seeds requests clients window read_frac kinds variants
+      interval drop max_steps out quick crypto =
+    set_crypto crypto;
+    let seeds = if quick then 1 else seeds in
+    let requests = if quick then 48 else requests in
+    let split conv what s =
+      String.split_on_char ',' s
+      |> List.filter (fun x -> x <> "")
+      |> List.map (fun name ->
+             match conv name with
+             | Some v -> v
+             | None ->
+               Printf.eprintf "svc: unknown %s %S\n" what name;
+               exit 2)
+    in
+    let cfg =
+      Svc.default_config ~seeds ~seed_base:seed ~n ~t ~requests ~clients
+        ~window ~read_frac ~interval ~drop
+        ~kinds:(split Svc.kind_of_string "kind" kinds)
+        ~variants:(split Svc.variant_of_string "variant" variants)
+        ~max_steps ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let rep =
+      Svc.run
+        ~progress:(fun (k, total) ->
+          Printf.eprintf "\r[svc] %d/%d runs%!" k total)
+        cfg
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.eprintf "\n%!";
+    Svc.pp_summary Format.std_formatter rep;
+    let path = Svc.write ~id:out ~wall rep in
+    Printf.printf "[svc] wrote %s (%.1fs, %.0f requests/s wall)\n" path wall
+      (float_of_int (Svc.completed_total rep) /. Float.max wall 1e-9);
+    if not (Svc.ok rep) then begin
+      prerr_endline
+        "svc: safety violation, missed quota, certificate failure, cold \
+         fast path, or unbounded delivered log";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "svc"
+       ~doc:
+         "Sustained-load campaigns over the replicated services: \
+          closed-loop clients drive the CA / directory / notary through \
+          the full request pipeline (ordered submissions, threshold reply \
+          certificates, the read-only fast path, resend-based loss \
+          recovery) under benign, lossy-with-ARQ and crash-rejoin \
+          schedules.  Every accepted certificate is re-verified, dedup \
+          and total-order oracles run per replica, checkpoint GC keeps \
+          the delivered log bounded, and the sweep writes a sintra-svc/1 \
+          report (BENCH_SVC.json).")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ seeds_arg $ requests_arg
+      $ clients_arg $ window_arg $ read_frac_arg $ kinds_arg $ variants_arg
+      $ interval_arg $ drop_arg $ max_steps_arg $ out_arg $ quick_arg
+      $ crypto_arg)
+
 (* ---------- compare: regression gate over two artifacts -------------- *)
 
 let compare_cmd =
@@ -1411,17 +1575,17 @@ let notary_cmd =
       Service.deploy ~sim ~keyring:kr ~mode:Service.Confidential
         ~make_app:Notary.make_app ()
     in
-    let client = Service.Client.create ~sim ~keyring:kr ~slot:n ~seed:3 in
+    let client = Service.Client.create ~sim ~keyring:kr ~slot:n ~seed:3 () in
     List.iter
       (fun doc ->
         let result = ref None in
         Service.Client.request client ~mode:Service.Confidential
-          (Notary.register_request ~document:doc) (fun r sg ->
-            result := Some (r, sg));
+          (Notary.register_request ~document:doc) (fun rc ->
+            result := Some rc);
         Sim.run sim ~until:(fun () -> !result <> None);
         match !result with
-        | Some (r, _) ->
-          (match Notary.parse_registration r with
+        | Some rc ->
+          (match Notary.parse_registration rc.Service.rc_response with
           | Some (seq, digest) ->
             Printf.printf "registered %-28S seq=%d digest=%s...\n" doc seq
               (String.sub (Sha256.to_hex digest) 0 12)
@@ -1463,9 +1627,10 @@ let ca_cmd =
     if byzantine then begin
       let evil = n - 1 in
       Printf.printf "server %d forges denials for every request\n" evil;
-      Sim.set_handler sim evil (fun ~src:_ (m : Service.msg) ->
-          match m with
-          | Service.Request { client; body } ->
+      Sim.set_handler sim evil (fun ~src:_ (frame : Service.msg Link.frame) ->
+          match frame with
+          | Link.Raw (Service.Request { client; body })
+          | Link.Data { payload = Service.Request { client; body }; _ } ->
             let req_digest = Sha256.digest body in
             let response = Codec.encode [ "denied"; "forged" ] in
             let share =
@@ -1473,18 +1638,22 @@ let ca_cmd =
                 (Service.response_statement ~req_digest ~response)
             in
             Sim.send sim ~src:evil ~dst:client
-              (Service.Response { req_digest; server = evil; response; share })
-          | Service.Engine _ | Service.Response _ -> ())
+              (Link.Raw
+                 (Service.Response
+                    (Codec.encode_svc_reply ~fast:false ~req_digest
+                       ~server:evil ~response
+                       ~share:(Keyring.sig_share_to_bytes kr share))))
+          | Link.Raw _ | Link.Data _ | Link.Ack _ -> ())
     end;
-    let client = Service.Client.create ~sim ~keyring:kr ~slot:n ~seed:3 in
+    let client = Service.Client.create ~sim ~keyring:kr ~slot:n ~seed:3 () in
     let call body =
       let result = ref None in
-      Service.Client.request client ~mode:Service.Plain body (fun r sg ->
-          result := Some (r, sg));
+      Service.Client.request client ~mode:Service.Plain body (fun rc ->
+          result := Some rc);
       Sim.run sim ~until:(fun () -> !result <> None);
-      Option.get !result
+      (Option.get !result).Service.rc_response
     in
-    let response, _ =
+    let response =
       call (Ca.issue_request ~id ~pubkey ~credentials:"cli!ok")
     in
     (match Ca.parse_certificate response with
@@ -1495,7 +1664,7 @@ let ca_cmd =
         "(threshold-signed under the CA's single public key; verify with the\n\
         \ service signature attached to the response)\n"
     | None -> print_endline "request denied");
-    let lookup, _ = call (Ca.lookup_request ~id) in
+    let lookup = call (Ca.lookup_request ~id) in
     match Ca.parse_certificate lookup with
     | Some (_, pk, serial) ->
       Printf.printf "lookup confirms: pubkey=%s serial=%d\n" pk serial
@@ -1514,6 +1683,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ structure_cmd; abc_cmd; trace_cmd; bench_check_cmd; bench_num_cmd;
-            perf_diff_cmd; faults_cmd; record_cmd; recover_cmd; compare_cmd;
+            perf_diff_cmd; faults_cmd; record_cmd; recover_cmd; svc_cmd;
+            compare_cmd;
             search_cmd;
             coin_cmd; notary_cmd; ca_cmd ]))

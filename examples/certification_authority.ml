@@ -20,15 +20,16 @@ let () =
   let structure = Adversary_structure.threshold ~n:7 ~t:2 in
   let keyring = Keyring.deal ~rsa_bits:256 ~seed:11 structure in
   let sim = Sim.create ~policy:Sim.Random_order ~n:7 ~seed:3 () in
-  let nodes =
+  let deployment =
     Service.deploy ~sim ~keyring ~mode:Service.Plain ~make_app:Ca.make_app ()
   in
-  ignore nodes;
+  ignore (Service.nodes deployment);
 
   banner "server 6 turns malicious: it forges denials for every request\n";
-  Sim.set_handler sim 6 (fun ~src:_ (m : Service.msg) ->
-      match m with
-      | Service.Request { client; body } ->
+  Sim.set_handler sim 6 (fun ~src:_ (frame : Service.msg Link.frame) ->
+      match frame with
+      | Link.Raw (Service.Request { client; body })
+      | Link.Data { payload = Service.Request { client; body }; _ } ->
         let req_digest = Sha256.digest body in
         let response = Codec.encode [ "denied"; "no such user" ] in
         let share =
@@ -36,20 +37,25 @@ let () =
             (Service.response_statement ~req_digest ~response)
         in
         Sim.send sim ~src:6 ~dst:client
-          (Service.Response { req_digest; server = 6; response; share })
-      | Service.Engine _ | Service.Response _ -> ());
+          (Link.Raw
+             (Service.Response
+                (Codec.encode_svc_reply ~fast:false ~req_digest ~server:6
+                   ~response
+                   ~share:(Keyring.sig_share_to_bytes keyring share))))
+      | Link.Raw _ | Link.Data _ | Link.Ack _ -> ());
 
-  let client = Service.Client.create ~sim ~keyring ~slot:7 ~seed:99 in
+  let client = Service.Client.create ~sim ~keyring ~slot:7 ~seed:99 () in
   let issue id pubkey =
     banner "client requests a certificate for %S\n" id;
     let result = ref None in
     Service.Client.request client ~mode:Service.Plain
       (Ca.issue_request ~id ~pubkey ~credentials:"notarized-papers!ok")
-      (fun response signature -> result := Some (response, signature));
+      (fun rc -> result := Some rc);
     Sim.run sim ~until:(fun () -> !result <> None);
     match !result with
     | None -> failwith "request did not complete"
-    | Some (response, _signature) ->
+    | Some rc ->
+      let response = rc.Service.rc_response in
       (match Ca.parse_certificate response with
       | Some (id', pk, serial) ->
         Printf.printf
@@ -71,12 +77,11 @@ let () =
   banner "client looks up alice's certificate\n";
   let result = ref None in
   Service.Client.request client ~mode:Service.Plain
-    (Ca.lookup_request ~id:"alice@example.com") (fun response s ->
-      result := Some (response, s));
+    (Ca.lookup_request ~id:"alice@example.com") (fun rc -> result := Some rc);
   Sim.run sim ~until:(fun () -> !result <> None);
   (match !result with
-  | Some (response, _) ->
-    (match Ca.parse_certificate response with
+  | Some rc ->
+    (match Ca.parse_certificate rc.Service.rc_response with
     | Some (id, pk, serial) ->
       Printf.printf "    lookup: id=%s pubkey=%s serial=%d\n" id pk serial
     | None -> print_endline "    lookup failed")

@@ -20,16 +20,16 @@ let () =
     Service.deploy ~sim ~keyring ~mode:Service.Confidential
       ~make_app:Fair_exchange.make_app ()
   in
-  let alice = Service.Client.create ~sim ~keyring ~slot:4 ~seed:1 in
-  let bob = Service.Client.create ~sim ~keyring ~slot:5 ~seed:2 in
+  let alice = Service.Client.create ~sim ~keyring ~slot:4 ~seed:1 () in
+  let bob = Service.Client.create ~sim ~keyring ~slot:5 ~seed:2 () in
   let call client label body =
     let result = ref None in
-    Service.Client.request client ~mode:Service.Confidential body (fun r s ->
-        result := Some (r, s));
+    Service.Client.request client ~mode:Service.Confidential body (fun rc ->
+        result := Some rc);
     Sim.run sim ~until:(fun () -> !result <> None);
     match !result with
     | None -> failwith (label ^ ": no answer")
-    | Some (r, _) -> r
+    | Some rc -> rc.Service.rc_response
   in
 
   let deed = "deed: one castle on the Rhine, signed Alice" in

@@ -28,11 +28,12 @@ let () =
 
   let keyring = Keyring.deal ~seed:1234 structure in
   let sim = Sim.create ~policy:Sim.Random_order ~n:16 ~seed:9 () in
-  let nodes =
+  let deployment =
     Service.deploy ~sim ~keyring ~mode:Service.Plain
+      ~read_only:Directory_service.read_only
       ~make_app:Directory_service.make_app ()
   in
-  ignore nodes;
+  ignore (Service.nodes deployment);
 
   (* The disaster: Tokyo goes dark AND a Linux worm takes out every
      Linux box — 7 servers lost at once. *)
@@ -46,15 +47,15 @@ let () =
   Pset.iter (Sim.crash sim) dead;
 
   (* The directory still works, with threshold-signed answers. *)
-  let client = Service.Client.create ~sim ~keyring ~slot:16 ~seed:77 in
+  let client = Service.Client.create ~sim ~keyring ~slot:16 ~seed:77 () in
   let call label body =
     let result = ref None in
-    Service.Client.request client ~mode:Service.Plain body (fun r s ->
-        result := Some (r, s));
+    Service.Client.request client ~mode:Service.Plain body (fun rc ->
+        result := Some rc);
     Sim.run sim ~until:(fun () -> !result <> None);
     match !result with
     | None -> failwith (label ^ ": no answer")
-    | Some (r, _) -> r
+    | Some rc -> rc.Service.rc_response
   in
   let _ =
     call "bind"

@@ -21,10 +21,12 @@ let run ~mode ~seed ~document =
   let structure = Adversary_structure.threshold ~n:4 ~t:1 in
   let keyring = Keyring.deal ~rsa_bits:192 ~seed:21 structure in
   let sim = Sim.create ~policy:Sim.Random_order ~n:4 ~seed () in
-  let nodes = Service.deploy ~sim ~keyring ~mode ~make_app:Notary.make_app () in
+  let nodes =
+    Service.nodes
+      (Service.deploy ~sim ~keyring ~mode ~make_app:Notary.make_app ())
+  in
   let observed = ref false in
-  let honest = fun ~src m -> Service.handle nodes.(3) ~src m in
-  Sim.set_handler sim 3 (fun ~src m ->
+  Sim.wrap_handler sim 3 (fun honest ~src frame ->
       let pre_ordering =
         match (mode, nodes.(3).Service.engine) with
         | Service.Confidential, Some (Service.Scabc_e sc) ->
@@ -33,23 +35,29 @@ let run ~mode ~seed ~document =
           nodes.(3).Service.executed = 0
       in
       (if pre_ordering then
-         match m with
-         | Service.Request { body; _ } when contains ~needle:document body ->
-           observed := true
-         | Service.Engine (Service.Abc_m (Abc.Request p))
-           when contains ~needle:document p ->
-           observed := true
-         | Service.Request _ | Service.Engine _ | Service.Response _ -> ());
-      honest ~src m);
-  let client = Service.Client.create ~sim ~keyring ~slot:4 ~seed:5 in
+         match frame with
+         | Link.Raw m | Link.Data { payload = m; _ } -> (
+           match m with
+           | Service.Request { body; _ } when contains ~needle:document body
+             ->
+             observed := true
+           | Service.Engine (Service.Abc_m (Abc.Request p))
+             when contains ~needle:document p ->
+             observed := true
+           | Service.Request _ | Service.Query _ | Service.Engine _
+           | Service.Response _ ->
+             ())
+         | Link.Ack _ -> ());
+      honest ~src frame);
+  let client = Service.Client.create ~sim ~keyring ~slot:4 ~seed:5 () in
   let result = ref None in
   Service.Client.request client ~mode (Notary.register_request ~document)
-    (fun r s -> result := Some (r, s));
+    (fun rc -> result := Some rc);
   Sim.run sim ~until:(fun () -> !result <> None);
   match !result with
   | None -> failwith "filing did not complete"
-  | Some (response, _) ->
-    (match Notary.parse_registration response with
+  | Some rc ->
+    (match Notary.parse_registration rc.Service.rc_response with
     | Some (seq, digest) -> (seq, String.sub (Sha256.to_hex digest) 0 16, !observed)
     | None -> failwith "registration failed")
 

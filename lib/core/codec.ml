@@ -180,6 +180,155 @@ let decode_ckpt (s : string) : (string * string) option =
     end
   end
 
+(* ---------- service frames ------------------------------------------ *)
+
+(* The client-facing half of the service stack speaks three strict
+   frames.  All follow the batch-frame discipline — magic, explicit
+   lengths, exact consumption — because each crosses a trust boundary:
+   the request frame is the ordered plaintext whose SHA-256 digest names
+   the request in every reply, the reply frame is what an (possibly
+   Byzantine) server hands a client, and the certificate frame is what a
+   client hands an arbitrary third party.
+
+     SVQ1: u64 client + nonce + body.  The nonce must be non-empty: it
+           is what makes retries distinct payloads for the broadcast and
+           what keys execution dedup, so an empty nonce would collapse
+           every request of a client onto one dedup slot.
+     SVR1: kind byte (0 ordered / 1 query) + req_digest + u64 server +
+           response + serialized signature share.
+     SVC1: kind byte + req_digest + response + serialized combined
+           service signature. *)
+
+let svc_request_magic = "SVQ1"
+
+let encode_svc_request ~client ~nonce ~body : string =
+  if client < 0 then invalid_arg "Codec.encode_svc_request: negative client";
+  if nonce = "" then invalid_arg "Codec.encode_svc_request: empty nonce";
+  let buf =
+    Buffer.create (String.length nonce + String.length body + 36)
+  in
+  Buffer.add_string buf svc_request_magic;
+  add_u64 buf client;
+  add_u64 buf (String.length nonce);
+  Buffer.add_string buf nonce;
+  add_u64 buf (String.length body);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let decode_svc_request (s : string) : (int * string * string) option =
+  let len = String.length s in
+  let mlen = String.length svc_request_magic in
+  if len < mlen + 24 || String.sub s 0 mlen <> svc_request_magic then None
+  else begin
+    let client = read_u64 s mlen in
+    let nlen = read_u64 s (mlen + 8) in
+    if client < 0 || nlen < 1 || mlen + 16 + nlen + 8 > len then None
+    else begin
+      let nonce = String.sub s (mlen + 16) nlen in
+      let boff = mlen + 16 + nlen in
+      let blen = read_u64 s boff in
+      if blen < 0 || boff + 8 + blen <> len then None
+      else Some (client, nonce, String.sub s (boff + 8) blen)
+    end
+  end
+
+let svc_reply_magic = "SVR1"
+
+let encode_svc_reply ~fast ~req_digest ~server ~response ~share : string =
+  if server < 0 then invalid_arg "Codec.encode_svc_reply: negative server";
+  let buf =
+    Buffer.create
+      (String.length req_digest + String.length response
+      + String.length share + 48)
+  in
+  Buffer.add_string buf svc_reply_magic;
+  Buffer.add_char buf (if fast then '\001' else '\000');
+  add_u64 buf (String.length req_digest);
+  Buffer.add_string buf req_digest;
+  add_u64 buf server;
+  add_u64 buf (String.length response);
+  Buffer.add_string buf response;
+  add_u64 buf (String.length share);
+  Buffer.add_string buf share;
+  Buffer.contents buf
+
+let decode_svc_reply (s : string) :
+    (bool * string * int * string * string) option =
+  let len = String.length s in
+  let mlen = String.length svc_reply_magic in
+  if len < mlen + 33 || String.sub s 0 mlen <> svc_reply_magic then None
+  else
+    match s.[mlen] with
+    | ('\000' | '\001') as k ->
+      let fast = k = '\001' in
+      let doff = mlen + 1 in
+      let dlen = read_u64 s doff in
+      if dlen < 0 || doff + 8 + dlen + 24 > len then None
+      else begin
+        let req_digest = String.sub s (doff + 8) dlen in
+        let soff = doff + 8 + dlen in
+        let server = read_u64 s soff in
+        let rlen = read_u64 s (soff + 8) in
+        if server < 0 || rlen < 0 || soff + 16 + rlen + 8 > len then None
+        else begin
+          let response = String.sub s (soff + 16) rlen in
+          let hoff = soff + 16 + rlen in
+          let hlen = read_u64 s hoff in
+          if hlen < 0 || hoff + 8 + hlen <> len then None
+          else
+            Some
+              (fast, req_digest, server, response,
+               String.sub s (hoff + 8) hlen)
+        end
+      end
+    | _ -> None
+
+let reply_cert_magic = "SVC1"
+
+let encode_reply_cert ~fast ~req_digest ~response ~cert : string =
+  let buf =
+    Buffer.create
+      (String.length req_digest + String.length response
+      + String.length cert + 40)
+  in
+  Buffer.add_string buf reply_cert_magic;
+  Buffer.add_char buf (if fast then '\001' else '\000');
+  add_u64 buf (String.length req_digest);
+  Buffer.add_string buf req_digest;
+  add_u64 buf (String.length response);
+  Buffer.add_string buf response;
+  add_u64 buf (String.length cert);
+  Buffer.add_string buf cert;
+  Buffer.contents buf
+
+let decode_reply_cert (s : string) :
+    (bool * string * string * string) option =
+  let len = String.length s in
+  let mlen = String.length reply_cert_magic in
+  if len < mlen + 25 || String.sub s 0 mlen <> reply_cert_magic then None
+  else
+    match s.[mlen] with
+    | ('\000' | '\001') as k ->
+      let fast = k = '\001' in
+      let doff = mlen + 1 in
+      let dlen = read_u64 s doff in
+      if dlen < 0 || doff + 8 + dlen + 16 > len then None
+      else begin
+        let req_digest = String.sub s (doff + 8) dlen in
+        let roff = doff + 8 + dlen in
+        let rlen = read_u64 s roff in
+        if rlen < 0 || roff + 8 + rlen + 8 > len then None
+        else begin
+          let response = String.sub s (roff + 8) rlen in
+          let coff = roff + 8 + rlen in
+          let clen = read_u64 s coff in
+          if clen < 0 || coff + 8 + clen <> len then None
+          else
+            Some (fast, req_digest, response, String.sub s (coff + 8) clen)
+        end
+      end
+    | _ -> None
+
 (* ---------- link frames --------------------------------------------- *)
 
 (* The byte-transport instantiation of {!Link.frame}: magic, a kind

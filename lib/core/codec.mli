@@ -47,6 +47,49 @@ val decode_ckpt : string -> (string * string) option
 (** Strict total inverse of {!encode_ckpt} ([(snapshot, cert)]); [None]
     on wrong magic, truncation or trailing bytes. *)
 
+val encode_svc_request : client:int -> nonce:string -> body:string -> string
+(** Service request frame (magic ["SVQ1"]): the ordered plaintext of a
+    client request — client slot, nonce, application body.  Its SHA-256
+    digest names the request in every reply and certificate.  Raises
+    [Invalid_argument] on a negative client or an empty nonce (the nonce
+    keys execution dedup, so emptiness would collapse a client's
+    requests onto one dedup slot). *)
+
+val decode_svc_request : string -> (int * string * string) option
+(** Strict total inverse of {!encode_svc_request}
+    ([(client, nonce, body)]); [None] on wrong magic, truncation,
+    trailing bytes, a negative client, or an empty nonce. *)
+
+val encode_svc_reply :
+  fast:bool ->
+  req_digest:string ->
+  server:int ->
+  response:string ->
+  share:string ->
+  string
+(** Service reply frame (magic ["SVR1"]): one server's partial answer —
+    a kind byte (ordered / fast-path query), the request digest, the
+    answering server, the response bytes, and its serialized
+    threshold-signature share.  Raises [Invalid_argument] on a negative
+    server. *)
+
+val decode_svc_reply : string -> (bool * string * int * string * string) option
+(** Strict total inverse of {!encode_svc_reply}
+    ([(fast, req_digest, server, response, share)]); [None] on wrong
+    magic, an unknown kind byte, truncation or trailing bytes. *)
+
+val encode_reply_cert :
+  fast:bool -> req_digest:string -> response:string -> cert:string -> string
+(** Reply-certificate frame (magic ["SVC1"]): the transferable form of
+    an assembled reply — kind byte, request digest, agreed response, and
+    the serialized combined service signature.  Length prefixes bind the
+    signature to exactly this (digest, response) pair. *)
+
+val decode_reply_cert : string -> (bool * string * string * string) option
+(** Strict total inverse of {!encode_reply_cert}
+    ([(fast, req_digest, response, cert)]); [None] on wrong magic, an
+    unknown kind byte, truncation or trailing bytes. *)
+
 val encode_link_frame : string Link.frame -> string
 (** Byte-transport encoding of a reliable-link frame: magic ["SLF1"], a
     kind byte (RAW / DATA / ACK), then kind-specific u64 fields and

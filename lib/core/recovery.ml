@@ -72,7 +72,11 @@ type t = {
   abc : Abc.t;
   app_state : unit -> string;
   mutable raw_to : int -> msg -> unit;  (* unsequenced transport *)
-  mutable link : msg Link.t option;
+  (* ARQ resynchronization hooks, stored as closures so the wrapping
+     deployment's link endpoint can carry any message type (e.g. the
+     service layer's, where recovery traffic is embedded). *)
+  mutable link_rejoin : (peer:int -> expect:int -> start:int -> unit) option;
+  mutable link_prepare : (peer:int -> int * int) option;
   (* checkpoint-in-progress state, all keyed by boundary round *)
   mutable created : int;  (* highest boundary snapshotted here *)
   snaps : (int, string * int) Hashtbl.t;  (* frame, digest count *)
@@ -107,7 +111,14 @@ let set_on_transfer t f = t.on_transfer <- Some f
 
 let set_transport t ~raw ~link =
   t.raw_to <- raw;
-  t.link <- link
+  match link with
+  | None ->
+    t.link_rejoin <- None;
+    t.link_prepare <- None
+  | Some ep ->
+    t.link_rejoin <-
+      Some (fun ~peer ~expect ~start -> Link.rejoin ep ~peer ~expect ~start);
+    t.link_prepare <- Some (fun ~peer -> Link.prepare_rejoin ep ~peer)
 
 (* ---------- checkpoint creation and certification ------------------- *)
 
@@ -197,7 +208,8 @@ let create ?policy ?(interval = 0) ?(retry = 350.)
       abc;
       app_state;
       raw_to = (fun dst m -> io.Proto_io.raw_send dst m);
-      link = None;
+      link_rejoin = None;
+      link_prepare = None;
       created = 0;
       snaps = Hashtbl.create 7;
       hashes = Hashtbl.create 7;
@@ -343,8 +355,8 @@ let on_state t ~src (epoch, ck, suffix, round, expect, start) =
   if src >= 0 && src < n && src <> t.io.Proto_io.me then begin
     (* Transport-level resync applies regardless of content: the resume
        points concern the channel pair, not the snapshot. *)
-    (match t.link with
-    | Some ep -> Link.rejoin ep ~peer:src ~expect ~start
+    (match t.link_rejoin with
+    | Some rejoin -> rejoin ~peer:src ~expect ~start
     | None -> ());
     (* Verify the certificate on every reply, even one arriving after an
        install closed the episode: a forged snapshot is refused (and
@@ -382,8 +394,8 @@ let serve t ~src epoch =
         in
         List.iter (Hashtbl.remove t.served) stale;
         let r =
-          match t.link with
-          | Some ep -> Link.prepare_rejoin ep ~peer:src
+          match t.link_prepare with
+          | Some prepare -> prepare ~peer:src
           | None -> (0, 0)
         in
         Hashtbl.replace t.served (src, epoch) r;

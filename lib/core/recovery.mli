@@ -86,11 +86,15 @@ val set_on_transfer : t -> (bytes:int -> round:int -> unit) -> unit
 (** Hook fired after each successful install — the flight recorder
     notes its state-transfer anomaly window from here. *)
 
-val set_transport : t -> raw:(int -> msg -> unit) -> link:msg Link.t option -> unit
+val set_transport : t -> raw:(int -> msg -> unit) -> link:'a Link.t option -> unit
 (** Deployment wiring: an unsequenced transport for Fetch/State (the
     fetcher's link state is gone, the server's is stale) and the
-    party's ARQ endpoint for resynchronization.  {!deploy} calls this;
-    standalone instances default to the io's raw send and no link. *)
+    party's ARQ endpoint for resynchronization.  The endpoint's message
+    type is free because only its sequencing state is touched
+    ({!Link.rejoin} / {!Link.prepare_rejoin}) — a deployment that embeds
+    recovery traffic inside a larger message type (the service layer)
+    passes its own endpoint.  {!deploy} calls this; standalone instances
+    default to the io's raw send and no link. *)
 
 val msg_size : Keyring.t -> msg -> int
 val msg_summary : msg -> string

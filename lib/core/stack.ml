@@ -89,6 +89,44 @@ let deploy (type node) ?layer ?bytes ?link ?on_link
       nodes;
     nodes
 
+(* Client endpoints: a slot >= n attached to the same framed simulator.
+   Clients are outside the replica group, so they never run link
+   machinery — their traffic travels as [Link.Raw] in both directions
+   and their loss recovery is protocol-level (request resend against
+   execution dedup), not transport-level ARQ.  The handler unwraps
+   whatever frame arrives; stray ACKs are ignored. *)
+
+type 'msg client_io = {
+  c_send : int -> 'msg -> unit;  (* to one server, Raw-framed *)
+  c_send_all : 'msg -> unit;  (* to every server *)
+  c_timer : delay:float -> (unit -> unit) -> unit;
+  c_clock : unit -> float;
+  c_obs : Obs.t;
+  c_n : int;  (* server count *)
+}
+
+let client_endpoint ~(sim : 'msg Link.frame Sim.t) ~slot
+    ~(handle : src:int -> 'msg -> unit) () : 'msg client_io =
+  let n = Sim.n sim in
+  if slot < n then
+    invalid_arg "Stack.client_endpoint: slot collides with a server";
+  Sim.set_handler sim slot (fun ~src frame ->
+      match frame with
+      | Link.Raw m | Link.Data { payload = m; _ } -> handle ~src m
+      | Link.Ack _ -> ());
+  {
+    c_send = (fun dst m -> Sim.send sim ~src:slot ~dst (Link.Raw m));
+    c_send_all =
+      (fun m ->
+        for dst = 0 to n - 1 do
+          Sim.send sim ~src:slot ~dst (Link.Raw m)
+        done);
+    c_timer = (fun ~delay cb -> Sim.set_timer sim slot ~delay cb);
+    c_clock = (fun () -> Sim.clock sim);
+    c_obs = Sim.obs sim;
+    c_n = n;
+  }
+
 (* Convenience deployments for each layer of the stack; each declares
    its layer label and wire-size estimate so the simulator's obs handle
    gets per-layer message/byte counters. *)

@@ -41,6 +41,31 @@ val deploy :
     ["cbc"], ["abba"], ["vba"], ["abc"], ["scabc"], with the matching
     [msg_size]) and pass [?wrap] / [?link] through. *)
 
+type 'msg client_io = {
+  c_send : int -> 'msg -> unit;  (** to one server, Raw-framed *)
+  c_send_all : 'msg -> unit;  (** to every server *)
+  c_timer : delay:float -> (unit -> unit) -> unit;
+  c_clock : unit -> float;  (** the simulator's virtual clock *)
+  c_obs : Obs.t;
+  c_n : int;  (** server count *)
+}
+(** What a client needs from the deployment: addressed/broadcast sends,
+    a virtual-time timer for resend schedules, the clock for latency
+    measurement, and the observability handle. *)
+
+val client_endpoint :
+  sim:'msg Link.frame Sim.t ->
+  slot:int ->
+  handle:(src:int -> 'msg -> unit) ->
+  unit ->
+  'msg client_io
+(** Attach a client to simulator slot [slot] (must be >= n: clients live
+    outside the replica group).  Client traffic travels as [Link.Raw] in
+    both directions — clients run no ARQ; their loss recovery is
+    protocol-level resend against server-side execution dedup.  The
+    installed handler unwraps Raw and Data frames and ignores ACKs.
+    Raises [Invalid_argument] if [slot] names a server. *)
+
 val deploy_rbc :
   ?wrap:(int -> Rbc.msg Sim.handler -> Rbc.msg Sim.handler) ->
   ?link:Link.policy ->

@@ -245,6 +245,57 @@ let service_signature_of_bytes t (b : string) : service_signature option =
              combined }))
   | _ -> None
 
+(* Individual shares travel inside service replies, so they need a byte
+   form too.  Same discipline as combined signatures: the arm is
+   explicit and only decodes under a keyring whose service scheme
+   matches, and every group element is re-validated on decode. *)
+
+let sig_share_to_bytes t (s : sig_share) : string =
+  match s with
+  | Rsa_share sh ->
+    Ro.encode
+      [ "rsa-share";
+        string_of_int sh.Rsa_threshold.signer;
+        B.to_bytes_be sh.Rsa_threshold.x;
+        B.to_bytes_be sh.Rsa_threshold.c;
+        B.to_bytes_be sh.Rsa_threshold.z ]
+  | Cert_share (p, ss) ->
+    Ro.encode ("cert-share" :: string_of_int p :: List.map (encode_share t) ss)
+
+let sig_share_of_bytes t (b : string) : sig_share option =
+  match decode_fields b with
+  | Some [ "rsa-share"; signer; x; c; z ] ->
+    (match t.service with
+    | Rsa_keys _ ->
+      (match int_of_string_opt signer with
+      | Some signer when signer >= 0 && signer < n t ->
+        Some
+          (Rsa_share
+             { Rsa_threshold.signer;
+               x = B.of_bytes_be x;
+               c = B.of_bytes_be c;
+               z = B.of_bytes_be z })
+      | Some _ | None -> None)
+    | Cert_keys _ -> None)
+  | Some ("cert-share" :: p :: ss) ->
+    (match t.service with
+    | Rsa_keys _ -> None
+    | Cert_keys _ ->
+      let ( let* ) = Option.bind in
+      let* p = int_of_string_opt p in
+      if p < 0 || p >= n t then None
+      else
+        let* ss =
+          List.fold_left
+            (fun acc s ->
+              let* l = acc in
+              let* sh = decode_share t s in
+              Some (sh :: l))
+            (Some []) ss
+        in
+        Some (Cert_share (p, List.rev ss)))
+  | _ -> None
+
 (* --- quorum certificates ------------------------------------------ *)
 
 (* Transferable evidence that a big-quorum of servers endorsed a

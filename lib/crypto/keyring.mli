@@ -75,6 +75,18 @@ val service_signature_of_bytes : t -> string -> service_signature option
     scheme.  A decoded signature still carries no authority until
     {!service_verify} accepts it. *)
 
+val sig_share_to_bytes : t -> sig_share -> string
+(** Byte form of an individual signature share, for partial answers that
+    cross the wire (service replies).  Deterministic: equal shares
+    encode equally. *)
+
+val sig_share_of_bytes : t -> string -> sig_share option
+(** Inverse of {!sig_share_to_bytes} under the same keyring: [None] on
+    malformed bytes, out-of-range parties, group elements outside the
+    keyring's group, or an arm mismatch with the keyring's service
+    scheme.  A decoded share carries no authority until
+    {!service_verify_share} accepts it. *)
+
 (** {2 Quorum certificates}
 
     Transferable evidence that a big-quorum of servers endorsed a

@@ -1,0 +1,827 @@
+(* Sustained-load service campaigns: closed-loop clients driving the
+   Section 5 services end to end — SVQ1 submission, threshold reply
+   certificates, the read-only fast path, resend-based loss recovery —
+   under benign, lossy and crash-rejoin schedules, with certificate /
+   dedup / total-order / bounded-memory oracles and a machine-readable
+   BENCH_SVC report ("sintra-svc/1").
+
+   The driver is a closed loop, not an open stream: each client keeps at
+   most a window of requests in flight and tops the window up from a
+   monitor poll timer until its quota of completed certificates is met.
+   Abandoned requests (the client's resend budget ran out) shrink the
+   in-flight count without completing, so the loop naturally re-submits
+   fresh requests until the quota closes — the campaign measures the
+   pipeline's goodput, not its luck. *)
+
+type service_kind = Ca_svc | Directory_svc | Notary_svc
+
+let kind_label = function
+  | Ca_svc -> "ca"
+  | Directory_svc -> "directory"
+  | Notary_svc -> "notary"
+
+let kind_of_string = function
+  | "ca" -> Some Ca_svc
+  | "directory" -> Some Directory_svc
+  | "notary" -> Some Notary_svc
+  | _ -> None
+
+type variant = Benign | Drop_arq | Crash_rejoin
+
+let variant_label = function
+  | Benign -> "benign"
+  | Drop_arq -> "drop-arq"
+  | Crash_rejoin -> "crash-rejoin"
+
+let variant_of_string = function
+  | "benign" -> Some Benign
+  | "drop-arq" -> Some Drop_arq
+  | "crash-rejoin" -> Some Crash_rejoin
+  | _ -> None
+
+(* The notary runs over secure causal broadcast, which has no recovery
+   wrapper (re-keying a revived replica's decryption share is future
+   work), so it cannot host the crash-rejoin variant. *)
+let variants_for kind variants =
+  match kind with
+  | Notary_svc -> List.filter (fun v -> v <> Crash_rejoin) variants
+  | Ca_svc | Directory_svc -> variants
+
+type config = {
+  v_seeds : int;
+  v_seed_base : int;
+  v_n : int;
+  v_t : int;
+  v_rsa_bits : int;
+  v_group_bits : int;
+  v_requests : int;
+  v_clients : int;
+  v_window : int;
+  v_read_frac : float;
+  v_keyspace : int;
+  v_interval : int;
+  v_drop : float;
+  v_abc_policy : Abc.policy;
+  v_link : Link.policy;
+  v_down_frac : float;
+  v_up_frac : float;
+  v_poll : float;
+  v_kinds : service_kind list;
+  v_variants : variant list;
+  v_max_steps : int;
+  v_mem_bound : int;
+}
+
+let default_config ?(seeds = 5) ?(seed_base = 1) ?(n = 4) ?(t = 1)
+    ?(rsa_bits = 192) ?(group_bits = 128) ?(requests = 60) ?(clients = 3)
+    ?(window = 4) ?(read_frac = 0.75) ?(keyspace = 16) ?(interval = 2)
+    ?(drop = 0.3) ?abc_policy ?link ?(down_frac = 0.3) ?(up_frac = 0.7)
+    ?(poll = 400.0) ?kinds ?variants ?(max_steps = 2_000_000)
+    ?(mem_bound = 40) () =
+  {
+    v_seeds = seeds;
+    v_seed_base = seed_base;
+    v_n = n;
+    v_t = t;
+    v_rsa_bits = rsa_bits;
+    v_group_bits = group_bits;
+    v_requests = requests;
+    v_clients = clients;
+    v_window = window;
+    v_read_frac = read_frac;
+    v_keyspace = keyspace;
+    v_interval = interval;
+    v_drop = drop;
+    v_abc_policy =
+      Option.value abc_policy
+        ~default:
+          { Abc.default_policy with Abc.max_batch_msgs = 8; window = 2 };
+    v_link = Option.value link ~default:Link.default_policy;
+    v_down_frac = down_frac;
+    v_up_frac = up_frac;
+    v_poll = poll;
+    v_kinds = Option.value kinds ~default:[ Ca_svc; Directory_svc; Notary_svc ];
+    v_variants =
+      Option.value variants ~default:[ Benign; Drop_arq; Crash_rejoin ];
+    v_max_steps = max_steps;
+    v_mem_bound = mem_bound;
+  }
+
+type run_result = {
+  vr_kind : service_kind;
+  vr_variant : variant;
+  vr_seed : int;
+  vr_target : int;
+  vr_completed : int;
+  vr_verified : int;
+  vr_cert_failures : int;
+  vr_reads : int;
+  vr_fast_hits : int;
+  vr_fallbacks : int;
+  vr_retries : int;
+  vr_timeouts : int;
+  vr_rejected : int;
+  vr_ordered : int;
+  vr_executed : int;
+  vr_dup_suppressed : int;
+  vr_log_peak : int;
+  vr_victim : int;
+  vr_violations : Oracle.violation list;
+  vr_steps : int;
+  vr_clock : float;
+}
+
+type env = { s_keyring : Keyring.t; s_obs : Obs.t }
+
+let prepare cfg =
+  let structure = Adversary_structure.threshold ~n:cfg.v_n ~t:cfg.v_t in
+  let keyring =
+    Keyring.deal ~group_bits:cfg.v_group_bits ~rsa_bits:cfg.v_rsa_bits
+      ~seed:(cfg.v_seed_base + 7770) structure
+  in
+  { s_keyring = keyring; s_obs = Obs.create () }
+
+let env_obs env = env.s_obs
+
+(* ---------- per-kind deployment + workload ----------------------------- *)
+
+let kind_mode = function
+  | Notary_svc -> Service.Confidential
+  | Ca_svc | Directory_svc -> Service.Plain
+
+let kind_make_app = function
+  | Ca_svc -> Ca.make_app
+  | Directory_svc -> Directory_service.make_app
+  | Notary_svc -> Notary.make_app
+
+let kind_read_only = function
+  | Ca_svc -> Ca.read_only
+  | Directory_svc -> Directory_service.read_only
+  | Notary_svc -> Notary.read_only
+
+(* Checkpoint GC applies to the Plain kinds; the confidential engine has
+   no recovery wrapper, so the notary runs un-truncated (its un-GC'd log
+   is reported but not gated). *)
+let kind_interval cfg = function
+  | Notary_svc -> 0
+  | Ca_svc | Directory_svc -> cfg.v_interval
+
+(* Writes land in a bounded entity space keyed by [idx mod keyspace], so
+   the read mix mostly hits state some earlier write created — the fast
+   path serves real lookups, not just "not found" certificates (which
+   are themselves valid, signed answers). *)
+let write_body kind ~seed ~keyspace ~idx =
+  let k = idx mod keyspace in
+  match kind with
+  | Ca_svc ->
+    Ca.issue_request
+      ~id:(Printf.sprintf "id-%d" k)
+      ~pubkey:(Printf.sprintf "pk-%d-%d" seed idx)
+      ~credentials:"svc!ok"
+  | Directory_svc ->
+    Directory_service.bind_request
+      ~key:(Printf.sprintf "k-%d" k)
+      ~value:(Printf.sprintf "v-%d-%d" seed idx)
+  | Notary_svc ->
+    Notary.register_request ~document:(Printf.sprintf "doc-%d-%d" seed k)
+
+let read_body kind ~seed ~keyspace ~idx =
+  let k = idx mod keyspace in
+  match kind with
+  | Ca_svc -> Ca.lookup_request ~id:(Printf.sprintf "id-%d" k)
+  | Directory_svc ->
+    if k land 7 = 0 then Directory_service.list_request ()
+    else Directory_service.lookup_request ~key:(Printf.sprintf "k-%d" k)
+  | Notary_svc ->
+    (* The registry is keyed by document digest. *)
+    Notary.query_request
+      ~digest:(Sha256.digest (Printf.sprintf "doc-%d-%d" seed k))
+
+(* ---------- one campaign run ------------------------------------------ *)
+
+let run_one env cfg ~kind ~variant ~seed =
+  let n = cfg.v_n in
+  let keyring = env.s_keyring and obs = env.s_obs in
+  let mode = kind_mode kind in
+  let interval = kind_interval cfg kind in
+  if variant = Crash_rejoin && interval = 0 then
+    invalid_arg "Svc.run_one: crash-rejoin needs a checkpointing kind";
+  let sim = Sim.create ~n ~extra:(cfg.v_clients + 2) ~seed ~obs () in
+  (match variant with
+  | Benign | Crash_rejoin -> ()
+  | Drop_arq ->
+    Sim.set_chaos sim
+      (Some
+         {
+           Sim.benign_chaos with
+           Sim.default_link = { Sim.no_fault with Sim.drop = cfg.v_drop };
+         }));
+  let link = match variant with Drop_arq -> Some cfg.v_link | _ -> None in
+  let dep =
+    Service.deploy ~policy:cfg.v_abc_policy ?link
+      ?ckpt_interval:(if interval > 0 then Some interval else None)
+      ~read_only:(kind_read_only kind) ~sim ~keyring ~mode
+      ~make_app:(kind_make_app kind) ()
+  in
+  let clients =
+    Array.init cfg.v_clients (fun i ->
+        Service.Client.create ~sim ~keyring ~slot:(n + i)
+          ~seed:((seed * 131) + i)
+          ())
+  in
+  (* Quotas: v_requests completions split across clients. *)
+  let quota =
+    Array.init cfg.v_clients (fun i ->
+        (cfg.v_requests / cfg.v_clients)
+        + if i < cfg.v_requests mod cfg.v_clients then 1 else 0)
+  in
+  let target = Array.fold_left ( + ) 0 quota in
+  let completed = Array.make cfg.v_clients 0 in
+  let verified = ref 0 and cert_bad = ref 0 in
+  let reads = ref 0 and issued = ref 0 in
+  let rng = Prng.create ~seed:(seed lxor 0x51c5) in
+  let submit ci =
+    let idx = !issued in
+    incr issued;
+    let read = Prng.float rng < cfg.v_read_frac in
+    let body =
+      if read then (
+        incr reads;
+        read_body kind ~seed ~keyspace:cfg.v_keyspace ~idx)
+      else write_body kind ~seed ~keyspace:cfg.v_keyspace ~idx
+    in
+    let fin rc =
+      (* Every accepted certificate is re-verified by the harness — the
+         "all accepted reply certificates verify" acceptance check. *)
+      if Service.verify_reply_cert keyring rc then incr verified
+      else incr cert_bad;
+      completed.(ci) <- completed.(ci) + 1
+    in
+    if read then Service.Client.query clients.(ci) ~mode body fin
+    else Service.Client.request clients.(ci) ~mode body fin
+  in
+  let top_up () =
+    Array.iteri
+      (fun ci c ->
+        while
+          completed.(ci) + Service.Client.inflight c < quota.(ci)
+          && Service.Client.inflight c < cfg.v_window
+        do
+          submit ci
+        done)
+      clients
+  in
+  let total_completed () = Array.fold_left ( + ) 0 completed in
+  (* The crash and the comeback are progress-driven (completed
+     certificates), exactly like the recovery campaigns' outages: virtual
+     round duration varies wildly across variants, so wall-clock triggers
+     would miss the stream. *)
+  let victim = if variant = Crash_rejoin then abs seed mod n else -1 in
+  let down_th =
+    max 1 (int_of_float (cfg.v_down_frac *. float_of_int target))
+  in
+  let up_th =
+    min (target - 1) (int_of_float (cfg.v_up_frac *. float_of_int target))
+  in
+  let phase = ref (if variant = Crash_rejoin then `Wait_down else `Done) in
+  let monitor = n + cfg.v_clients in
+  let rec poll () =
+    (match !phase with
+    | `Wait_down when total_completed () >= down_th ->
+      Sim.crash sim victim;
+      phase := `Wait_up
+    | `Wait_up when total_completed () >= up_th ->
+      ignore (Service.revive dep victim);
+      phase := `Done
+    | _ -> ());
+    top_up ();
+    if total_completed () < target then
+      Sim.set_timer sim monitor ~delay:cfg.v_poll poll
+  in
+  top_up ();
+  Sim.set_timer sim monitor ~delay:cfg.v_poll poll;
+  let done_ () = total_completed () >= target in
+  let stall = ref [] in
+  (try Sim.run ~max_steps:cfg.v_max_steps ~until:done_ sim with
+  | Sim.Out_of_steps { at_clock; pending; timers; detail } ->
+    stall := [ Oracle.out_of_steps ~detail ~at_clock ~pending ~timers () ]);
+  let nodes = Service.nodes dep in
+  let never_crashed p = p <> victim in
+  (* Oracles.  Certificate re-checks and the client's own internal
+     failure counters must both be zero: with no corrupted servers in
+     the sweep, any combine-but-not-verify event is a pipeline bug. *)
+  let client_cert_failures =
+    Array.fold_left
+      (fun a c -> a + Service.Client.cert_failures c)
+      0 clients
+  in
+  let cert_violations =
+    if !cert_bad > 0 || client_cert_failures > 0 then
+      [
+        {
+          Oracle.oracle = "svc-cert";
+          severity = Oracle.Safety;
+          party = None;
+          detail =
+            Printf.sprintf
+              "%d accepted certificates failed re-verification, %d client-side"
+              !cert_bad client_cert_failures;
+        };
+      ]
+    else []
+  in
+  (* Dedup bookkeeping: every ordered delivery is either executed or
+     suppressed as a replay — a mismatch means a request was silently
+     dropped or double-executed.  Replicas that crashed restart their
+     counters at revive, so the check covers never-crashed replicas. *)
+  let dedup_violations =
+    List.concat_map
+      (fun p ->
+        if not (never_crashed p) then []
+        else
+          let nd = nodes.(p) in
+          let drift =
+            nd.Service.ordered
+            - (nd.Service.executed + nd.Service.dup_suppressed)
+          in
+          if drift = 0 && nd.Service.malformed = 0 then []
+          else
+            [
+              {
+                Oracle.oracle = "svc-dedup";
+                severity = Oracle.Safety;
+                party = Some p;
+                detail =
+                  Printf.sprintf
+                    "ordered %d <> executed %d + dup_suppressed %d (malformed %d)"
+                    nd.Service.ordered nd.Service.executed
+                    nd.Service.dup_suppressed nd.Service.malformed;
+              };
+            ])
+      (List.init n Fun.id)
+  in
+  let histories =
+    Array.map
+      (fun nd ->
+        match Service.abc_of nd with
+        | Some abc -> Abc.delivered_digests abc
+        | None -> [])
+      nodes
+  in
+  let order_violations =
+    Oracle.total_order ~honest:(Pset.full n) histories
+  in
+  let fold_engines f =
+    Array.fold_left
+      (fun acc nd ->
+        match Service.abc_of nd with
+        | Some abc -> max acc (f abc)
+        | None -> acc)
+      0 nodes
+  in
+  let log_peak = fold_engines Abc.log_peak in
+  let memory_violations =
+    if interval > 0 && log_peak > cfg.v_mem_bound then
+      [
+        {
+          Oracle.oracle = "svc-memory";
+          severity = Oracle.Safety;
+          party = None;
+          detail =
+            Printf.sprintf "GC'd delivered-log peak %d exceeds bound %d"
+              log_peak cfg.v_mem_bound;
+        };
+      ]
+    else []
+  in
+  let quota_violations =
+    if done_ () then []
+    else
+      [
+        {
+          Oracle.oracle = "svc-quota";
+          severity = Oracle.Liveness;
+          party = None;
+          detail =
+            Printf.sprintf "completed %d of %d before quiescence"
+              (total_completed ()) target;
+        };
+      ]
+  in
+  let sum_clients f = Array.fold_left (fun a c -> a + f c) 0 clients in
+  let sum_replicas f =
+    Array.to_list nodes
+    |> List.mapi (fun p nd -> if never_crashed p then f nd else 0)
+    |> List.fold_left ( + ) 0
+  in
+  {
+    vr_kind = kind;
+    vr_variant = variant;
+    vr_seed = seed;
+    vr_target = target;
+    vr_completed = total_completed ();
+    vr_verified = !verified;
+    vr_cert_failures = !cert_bad + client_cert_failures;
+    vr_reads = !reads;
+    vr_fast_hits = sum_clients Service.Client.fastpath_hits;
+    vr_fallbacks = sum_clients Service.Client.fallbacks;
+    vr_retries = sum_clients Service.Client.retries;
+    vr_timeouts = sum_clients Service.Client.timeouts;
+    vr_rejected = sum_clients Service.Client.rejected_replies;
+    vr_ordered = sum_replicas (fun nd -> nd.Service.ordered);
+    vr_executed = sum_replicas (fun nd -> nd.Service.executed);
+    vr_dup_suppressed = sum_replicas (fun nd -> nd.Service.dup_suppressed);
+    vr_log_peak = log_peak;
+    vr_victim = victim;
+    vr_violations =
+      !stall @ cert_violations @ dedup_violations @ order_violations
+      @ memory_violations @ quota_violations;
+    vr_steps = Sim.steps sim;
+    vr_clock = Sim.clock sim;
+  }
+
+(* ---------- the sweep -------------------------------------------------- *)
+
+type report = {
+  config : config;
+  results : run_result list;
+  obs : Obs.t;
+}
+
+let run ?(progress = fun _ -> ()) cfg =
+  let env = prepare cfg in
+  let cells =
+    List.concat_map
+      (fun kind ->
+        List.map (fun v -> (kind, v)) (variants_for kind cfg.v_variants))
+      cfg.v_kinds
+  in
+  let total = List.length cells * cfg.v_seeds in
+  let done_runs = ref 0 in
+  let results = ref [] in
+  List.iter
+    (fun (kind, variant) ->
+      for i = 0 to cfg.v_seeds - 1 do
+        let seed = cfg.v_seed_base + i in
+        let r = run_one env cfg ~kind ~variant ~seed in
+        results := r :: !results;
+        incr done_runs;
+        progress (!done_runs, total)
+      done)
+    cells;
+  { config = cfg; results = List.rev !results; obs = env.s_obs }
+
+let sum f rep = List.fold_left (fun a r -> a + f r) 0 rep.results
+
+let safety_count rep =
+  sum (fun r -> Oracle.count_safety r.vr_violations) rep
+
+let liveness_count rep =
+  sum (fun r -> Oracle.count_liveness r.vr_violations) rep
+
+let completed_total rep = sum (fun r -> r.vr_completed) rep
+let target_total rep = sum (fun r -> r.vr_target) rep
+let cert_failures_total rep = sum (fun r -> r.vr_cert_failures) rep
+let fast_hits_total rep = sum (fun r -> r.vr_fast_hits) rep
+let reads_total rep = sum (fun r -> r.vr_reads) rep
+
+let plain_log_peak rep =
+  List.fold_left
+    (fun acc r ->
+      if kind_mode r.vr_kind = Service.Plain then max acc r.vr_log_peak
+      else acc)
+    0 rep.results
+
+let ok rep =
+  safety_count rep = 0
+  && completed_total rep >= target_total rep
+  && cert_failures_total rep = 0
+  && (reads_total rep = 0 || fast_hits_total rep > 0)
+  && plain_log_peak rep <= rep.config.v_mem_bound
+
+(* ---------- report output ---------------------------------------------- *)
+
+let schema = "sintra-svc/1"
+
+let out_path id =
+  if id = "svc" then "BENCH_SVC.json"
+  else Printf.sprintf "BENCH_SVC_%s.json" id
+
+let config_json cfg =
+  Obs_json.Obj
+    [
+      ("seeds", Obs_json.Int cfg.v_seeds);
+      ("seed_base", Obs_json.Int cfg.v_seed_base);
+      ("n", Obs_json.Int cfg.v_n);
+      ("t", Obs_json.Int cfg.v_t);
+      ("requests", Obs_json.Int cfg.v_requests);
+      ("clients", Obs_json.Int cfg.v_clients);
+      ("window", Obs_json.Int cfg.v_window);
+      ("read_frac", Obs_json.Float cfg.v_read_frac);
+      ("keyspace", Obs_json.Int cfg.v_keyspace);
+      ("interval", Obs_json.Int cfg.v_interval);
+      ("drop", Obs_json.Float cfg.v_drop);
+      ("down_frac", Obs_json.Float cfg.v_down_frac);
+      ("up_frac", Obs_json.Float cfg.v_up_frac);
+      ( "kinds",
+        Obs_json.Arr
+          (List.map (fun k -> Obs_json.Str (kind_label k)) cfg.v_kinds) );
+      ( "variants",
+        Obs_json.Arr
+          (List.map (fun v -> Obs_json.Str (variant_label v)) cfg.v_variants)
+      );
+      ("max_steps", Obs_json.Int cfg.v_max_steps);
+      ("mem_bound", Obs_json.Int cfg.v_mem_bound);
+    ]
+
+let run_json r =
+  Obs_json.Obj
+    [
+      ("kind", Obs_json.Str (kind_label r.vr_kind));
+      ("variant", Obs_json.Str (variant_label r.vr_variant));
+      ("seed", Obs_json.Int r.vr_seed);
+      ("target", Obs_json.Int r.vr_target);
+      ("completed", Obs_json.Int r.vr_completed);
+      ("verified", Obs_json.Int r.vr_verified);
+      ("cert_failures", Obs_json.Int r.vr_cert_failures);
+      ("reads", Obs_json.Int r.vr_reads);
+      ("fast_hits", Obs_json.Int r.vr_fast_hits);
+      ("fallbacks", Obs_json.Int r.vr_fallbacks);
+      ("retries", Obs_json.Int r.vr_retries);
+      ("timeouts", Obs_json.Int r.vr_timeouts);
+      ("rejected", Obs_json.Int r.vr_rejected);
+      ("ordered", Obs_json.Int r.vr_ordered);
+      ("executed", Obs_json.Int r.vr_executed);
+      ("dup_suppressed", Obs_json.Int r.vr_dup_suppressed);
+      ("log_peak", Obs_json.Int r.vr_log_peak);
+      ("victim", Obs_json.Int r.vr_victim);
+      ("safety", Obs_json.Int (Oracle.count_safety r.vr_violations));
+      ("liveness", Obs_json.Int (Oracle.count_liveness r.vr_violations));
+      ("steps", Obs_json.Int r.vr_steps);
+      ("clock", Obs_json.Float r.vr_clock);
+    ]
+
+let steps_total rep = sum (fun r -> r.vr_steps) rep
+
+(* Deterministic throughput: completions per thousand simulator steps.
+   Wall-clock requests/sec depend on the host and are derived by readers
+   from [wall_time_s]; regression gating uses this one. *)
+let requests_per_kstep rep =
+  let steps = steps_total rep in
+  if steps = 0 then 0.0
+  else 1000.0 *. float_of_int (completed_total rep) /. float_of_int steps
+
+let fastpath_rate rep =
+  let reads = reads_total rep in
+  if reads = 0 then 0.0
+  else float_of_int (fast_hits_total rep) /. float_of_int reads
+
+let to_json ~id ~wall rep =
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.Str id);
+      ("schema", Obs_json.Str schema);
+      ("wall_time_s", Obs_json.Float wall);
+      ("config", config_json rep.config);
+      ("runs", Obs_json.Int (List.length rep.results));
+      ( "requests",
+        Obs_json.Obj
+          [
+            ("target", Obs_json.Int (target_total rep));
+            ("completed", Obs_json.Int (completed_total rep));
+            ("verified", Obs_json.Int (sum (fun r -> r.vr_verified) rep));
+            ("cert_failures", Obs_json.Int (cert_failures_total rep));
+          ] );
+      ( "fastpath",
+        Obs_json.Obj
+          [
+            ("reads", Obs_json.Int (reads_total rep));
+            ("hits", Obs_json.Int (fast_hits_total rep));
+            ("fallbacks", Obs_json.Int (sum (fun r -> r.vr_fallbacks) rep));
+            ("rate", Obs_json.Float (fastpath_rate rep));
+          ] );
+      ( "loss",
+        Obs_json.Obj
+          [
+            ("retries", Obs_json.Int (sum (fun r -> r.vr_retries) rep));
+            ("timeouts", Obs_json.Int (sum (fun r -> r.vr_timeouts) rep));
+            ("rejected", Obs_json.Int (sum (fun r -> r.vr_rejected) rep));
+          ] );
+      ( "dedup",
+        Obs_json.Obj
+          [
+            ("ordered", Obs_json.Int (sum (fun r -> r.vr_ordered) rep));
+            ("executed", Obs_json.Int (sum (fun r -> r.vr_executed) rep));
+            ( "dup_suppressed",
+              Obs_json.Int (sum (fun r -> r.vr_dup_suppressed) rep) );
+          ] );
+      ( "violations",
+        Obs_json.Obj
+          [
+            ("safety", Obs_json.Int (safety_count rep));
+            ("liveness", Obs_json.Int (liveness_count rep));
+          ] );
+      ( "memory",
+        Obs_json.Obj
+          [
+            ("bound", Obs_json.Int rep.config.v_mem_bound);
+            ("plain_log_peak", Obs_json.Int (plain_log_peak rep));
+            ( "overall_log_peak",
+              Obs_json.Int
+                (List.fold_left
+                   (fun a r -> max a r.vr_log_peak)
+                   0 rep.results) );
+          ] );
+      ( "throughput",
+        Obs_json.Obj
+          [
+            ("steps_total", Obs_json.Int (steps_total rep));
+            ("requests_per_kstep", Obs_json.Float (requests_per_kstep rep));
+          ] );
+      ("per_run", Obs_json.Arr (List.map run_json rep.results));
+      ("metrics", Obs_registry.snapshot_to_json (Obs.snapshot rep.obs));
+    ]
+
+let write ~id ~wall rep =
+  let path = out_path id in
+  let oc = open_out path in
+  output_string oc (Obs_json.to_canonical_string (to_json ~id ~wall rep));
+  output_char oc '\n';
+  close_out oc;
+  path
+
+(* Shape + invariant validator for sintra-svc/1 documents, dispatched
+   from the CLI's bench-check like the bench/faults/recov schemas. *)
+let validate_json (doc : Obs_json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let need kind name conv =
+    match Option.bind (Obs_json.member name doc) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or non-%s member %S" kind name)
+  in
+  let nested path conv =
+    match
+      List.fold_left
+        (fun acc name -> Option.bind acc (Obs_json.member name))
+        (Some doc) path
+    with
+    | Some v -> conv v
+    | None -> None
+  in
+  let need_nested path =
+    match nested path Obs_json.to_int with
+    | Some v -> Ok v
+    | None ->
+      Error
+        (Printf.sprintf "missing or non-int member %S"
+           (String.concat "." path))
+  in
+  let* s = need "string" "schema" Obs_json.to_str in
+  let* () = if s = schema then Ok () else Error ("unexpected schema " ^ s) in
+  let* _ = need "string" "experiment" Obs_json.to_str in
+  let* _ = need "float" "wall_time_s" Obs_json.to_float in
+  let* runs = need "int" "runs" Obs_json.to_int in
+  let* () = if runs > 0 then Ok () else Error "no runs" in
+  let* target = need_nested [ "requests"; "target" ] in
+  let* completed = need_nested [ "requests"; "completed" ] in
+  let* () =
+    if completed >= target then Ok ()
+    else
+      Error
+        (Printf.sprintf "only %d of %d requests completed" completed target)
+  in
+  let* cert_failures = need_nested [ "requests"; "cert_failures" ] in
+  let* () =
+    if cert_failures = 0 then Ok ()
+    else Error (Printf.sprintf "%d certificate failures" cert_failures)
+  in
+  let* safety = need_nested [ "violations"; "safety" ] in
+  let* () =
+    if safety = 0 then Ok ()
+    else Error (Printf.sprintf "%d safety violations" safety)
+  in
+  let* reads = need_nested [ "fastpath"; "reads" ] in
+  let* hits = need_nested [ "fastpath"; "hits" ] in
+  let* () =
+    if reads = 0 || hits > 0 then Ok ()
+    else Error "read mix present but the fast path never assembled"
+  in
+  let* bound = need_nested [ "memory"; "bound" ] in
+  let* peak = need_nested [ "memory"; "plain_log_peak" ] in
+  let* () =
+    if peak <= bound then Ok ()
+    else
+      Error
+        (Printf.sprintf "memory not bounded: GC'd log peak %d > bound %d"
+           peak bound)
+  in
+  let* rows =
+    match Option.bind (Obs_json.member "per_run" doc) Obs_json.to_list with
+    | Some rows -> Ok rows
+    | None -> Error "missing or non-array \"per_run\""
+  in
+  let* () =
+    if List.length rows = runs then Ok ()
+    else
+      Error
+        (Printf.sprintf "\"per_run\" has %d rows for %d runs"
+           (List.length rows) runs)
+  in
+  let check_row i row =
+    let field name conv =
+      match Option.bind (Obs_json.member name row) conv with
+      | Some v -> Ok v
+      | None ->
+        Error (Printf.sprintf "per_run row %d: missing or ill-typed %S" i name)
+    in
+    let* kind = field "kind" Obs_json.to_str in
+    let* () =
+      if kind_of_string kind <> None then Ok ()
+      else Error (Printf.sprintf "per_run row %d: unknown kind %S" i kind)
+    in
+    let* variant = field "variant" Obs_json.to_str in
+    let* () =
+      if variant_of_string variant <> None then Ok ()
+      else
+        Error (Printf.sprintf "per_run row %d: unknown variant %S" i variant)
+    in
+    let* seed = field "seed" Obs_json.to_int in
+    let* target = field "target" Obs_json.to_int in
+    let* completed = field "completed" Obs_json.to_int in
+    let* () =
+      if completed >= target then Ok ()
+      else
+        Error
+          (Printf.sprintf "per_run row %d (seed %d): %d of %d completed" i
+             seed completed target)
+    in
+    let* cf = field "cert_failures" Obs_json.to_int in
+    let* () =
+      if cf = 0 then Ok ()
+      else
+        Error
+          (Printf.sprintf "per_run row %d (seed %d): %d cert failures" i seed
+             cf)
+    in
+    let* row_safety = field "safety" Obs_json.to_int in
+    if row_safety = 0 then Ok ()
+    else
+      Error
+        (Printf.sprintf "per_run row %d (seed %d): %d safety violations" i
+           seed row_safety)
+  in
+  let rec check_rows i = function
+    | [] -> Ok ()
+    | row :: rest ->
+      let* () = check_row i row in
+      check_rows (i + 1) rest
+  in
+  check_rows 0 rows
+
+(* ---------- summary ---------------------------------------------------- *)
+
+let pp_summary fmt rep =
+  let cells = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let key = (kind_label r.vr_kind, variant_label r.vr_variant) in
+      let cell =
+        match Hashtbl.find_opt cells key with
+        | Some c -> c
+        | None ->
+          let c = ref [] in
+          Hashtbl.add cells key c;
+          order := key :: !order;
+          c
+      in
+      cell := r :: !cell)
+    rep.results;
+  List.iter
+    (fun ((kind, variant) as key) ->
+      let rs = !(Hashtbl.find cells key) in
+      let sum f = List.fold_left (fun a r -> a + f r) 0 rs in
+      let completed = sum (fun r -> r.vr_completed) in
+      let target = sum (fun r -> r.vr_target) in
+      let reads = sum (fun r -> r.vr_reads) in
+      let hits = sum (fun r -> r.vr_fast_hits) in
+      let safety =
+        List.fold_left
+          (fun a r -> a + Oracle.count_safety r.vr_violations)
+          0 rs
+      in
+      Format.fprintf fmt
+        "%-10s %-12s %5d/%-5d done  fast %4d/%-4d  retry %4d  timeout %3d  dup %3d  peak %3d  safety %d%s@."
+        kind variant completed target hits reads
+        (sum (fun r -> r.vr_retries))
+        (sum (fun r -> r.vr_timeouts))
+        (sum (fun r -> r.vr_dup_suppressed))
+        (List.fold_left (fun a r -> max a r.vr_log_peak) 0 rs)
+        safety
+        (if safety > 0 then "  << SAFETY VIOLATION" else ""))
+    (List.rev !order);
+  Format.fprintf fmt
+    "total: %d runs, %d/%d completed, fast-path rate %.2f, %.2f req/kstep, GC'd log peak %d (bound %d), %d safety violations@."
+    (List.length rep.results) (completed_total rep) (target_total rep)
+    (fastpath_rate rep) (requests_per_kstep rep) (plain_log_peak rep)
+    rep.config.v_mem_bound (safety_count rep)

@@ -2,7 +2,8 @@
 
    [sintra compare OLD NEW] loads two summaries of the same schema —
    sintra-flight/1 (campaign flight records), sintra-faults/2 (fault
-   campaign reports) or sintra-bench/1 (bench records) — extracts a flat
+   campaign reports), sintra-bench/1 (bench records) or sintra-svc/1
+   (sustained-load service campaigns) — extracts a flat
    list of named metrics from each, and classifies every delta as
    improved / regressed / neutral.  The first file is the baseline, the
    second the candidate; any regression makes the comparison fail, which
@@ -346,6 +347,51 @@ let extract_bench th a b =
           ("wall time (s)", Info, Threshold, wall_a, wall_b) ]
        @ crypto_rows @ tput_rows))
 
+let extract_svc th a b =
+  let* safety_a = need_num a [ "violations"; "safety" ]
+  and* safety_b = need_num b [ "violations"; "safety" ] in
+  let* cert_a = need_num a [ "requests"; "cert_failures" ]
+  and* cert_b = need_num b [ "requests"; "cert_failures" ] in
+  let* target_a = need_num a [ "requests"; "target" ]
+  and* target_b = need_num b [ "requests"; "target" ] in
+  let* compl_a = need_num a [ "requests"; "completed" ]
+  and* compl_b = need_num b [ "requests"; "completed" ] in
+  let* rate_a = need_num a [ "fastpath"; "rate" ]
+  and* rate_b = need_num b [ "fastpath"; "rate" ] in
+  let* tput_a = need_num a [ "throughput"; "requests_per_kstep" ]
+  and* tput_b = need_num b [ "throughput"; "requests_per_kstep" ] in
+  let* peak_a = need_num a [ "memory"; "plain_log_peak" ]
+  and* peak_b = need_num b [ "memory"; "plain_log_peak" ] in
+  let* retries_a = need_num a [ "loss"; "retries" ]
+  and* retries_b = need_num b [ "loss"; "retries" ] in
+  let* timeouts_a = need_num a [ "loss"; "timeouts" ]
+  and* timeouts_b = need_num b [ "loss"; "timeouts" ] in
+  let* wall_a = need_num a [ "wall_time_s" ]
+  and* wall_b = need_num b [ "wall_time_s" ] in
+  Ok
+    (make_report ~schema:"sintra-svc/1" th
+       [ ("safety violations", Lower_better, Strict, safety_a, safety_b);
+         ("certificate failures", Lower_better, Strict, cert_a, cert_b);
+         ( "missed requests",
+           Lower_better,
+           Strict,
+           target_a -. compl_a,
+           target_b -. compl_b );
+         ( "requests per 1k steps",
+           Higher_better,
+           Threshold,
+           tput_a,
+           tput_b );
+         ("fast-path rate", Higher_better, Threshold, rate_a, rate_b);
+         ("GC'd log peak", Lower_better, Threshold, peak_a, peak_b);
+         ("client retries", Lower_better, Threshold, retries_a, retries_b);
+         ( "client timeouts",
+           Lower_better,
+           Threshold,
+           timeouts_a,
+           timeouts_b );
+         ("wall time (s)", Info, Threshold, wall_a, wall_b) ])
+
 (* ---------- entry points --------------------------------------------- *)
 
 let schema_of doc =
@@ -364,6 +410,7 @@ let compare_docs ?(thresholds = default_thresholds) ~baseline ~candidate () =
   | "sintra-flight/1" -> extract_flight thresholds baseline candidate
   | "sintra-faults/2" -> extract_faults thresholds baseline candidate
   | "sintra-bench/1" -> extract_bench thresholds baseline candidate
+  | "sintra-svc/1" -> extract_svc thresholds baseline candidate
   | s -> Error (Printf.sprintf "cannot compare schema %s" s)
 
 let load_file path =

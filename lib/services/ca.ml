@@ -64,6 +64,14 @@ let execute (st : state) (request : string) : string =
     | None -> denial "unknown identity")
   | Some _ | None -> denial "malformed request"
 
+(* Fast-path admission: lookups read the table without touching it, so
+   replicas may answer them directly; issue and revoke mutate and must
+   be ordered. *)
+let read_only (request : string) : bool =
+  match Codec.decode request with
+  | Some [ "lookup"; _ ] -> true
+  | Some _ | None -> false
+
 (* Fresh per-replica state machine. *)
 let make_app () : string -> string =
   let st = { table = Hashtbl.create 16; next_serial = 0 } in

@@ -14,6 +14,10 @@ val certificate_body : id:string -> pubkey:string -> serial:int -> string
 val credentials_pass : string -> bool
 (** The toy vetting policy: non-empty credentials ending in ["!ok"]. *)
 
+val read_only : string -> bool
+(** Fast-path admission predicate: true for lookups (pure reads);
+    issue and revoke mutate state and must be ordered. *)
+
 val make_app : unit -> string -> string
 (** Fresh per-replica CA state machine. *)
 

@@ -37,6 +37,13 @@ let execute (st : state) (request : string) : string =
     Codec.encode ("keys" :: List.sort compare keys)
   | Some _ | None -> Codec.encode [ "error"; "malformed request" ]
 
+(* Fast-path admission: lookup and list read without mutating; bind and
+   unbind must be ordered. *)
+let read_only (request : string) : bool =
+  match Codec.decode request with
+  | Some [ "lookup"; _ ] | Some [ "list" ] -> true
+  | Some _ | None -> false
+
 let make_app () : string -> string =
   let st : state = Hashtbl.create 16 in
   execute st

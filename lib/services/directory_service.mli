@@ -8,6 +8,10 @@ val unbind_request : key:string -> string
 val lookup_request : key:string -> string
 val list_request : unit -> string
 
+val read_only : string -> bool
+(** Fast-path admission predicate: true for lookup and list (pure
+    reads); bind and unbind mutate state and must be ordered. *)
+
 val make_app : unit -> string -> string
 (** Fresh per-replica directory state machine. *)
 

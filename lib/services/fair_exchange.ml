@@ -133,6 +133,13 @@ let execute (st : state) (request : string) : string =
       end)
   | Some _ | None -> denial "malformed request"
 
+(* Fast-path admission: status reads the exchange without touching it;
+   everything else (open, deposit, collect, abort) mutates. *)
+let read_only (request : string) : bool =
+  match Codec.decode request with
+  | Some [ "status"; _ ] -> true
+  | Some _ | None -> false
+
 let make_app () : string -> string =
   let st : state = Hashtbl.create 8 in
   execute st

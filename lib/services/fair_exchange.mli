@@ -17,6 +17,9 @@ val abort_request : xid:string -> string
 val item_digest : string -> string
 (** The description format: hex digest of the item. *)
 
+val read_only : string -> bool
+(** Fast-path admission predicate: true for status (a pure read). *)
+
 val make_app : unit -> string -> string
 
 val parse_item : string -> (string * string) option

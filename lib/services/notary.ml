@@ -48,6 +48,15 @@ let execute (st : state) (request : string) : string =
     | None -> Codec.encode [ "unregistered"; digest ])
   | Some _ | None -> Codec.encode [ "error"; "malformed request" ]
 
+(* Fast-path admission: queries read the registry without touching it.
+   Registrations must be ordered — and confidentially so (a direct
+   plaintext registration would reopen the front-running window the
+   secure causal broadcast closes). *)
+let read_only (request : string) : bool =
+  match Codec.decode request with
+  | Some [ "query"; _ ] -> true
+  | Some _ | None -> false
+
 let make_app () : string -> string =
   let st = { by_digest = Hashtbl.create 16; next_seq = 0 } in
   execute st

@@ -8,6 +8,11 @@ val register_request : document:string -> string
 val query_request : digest:string -> string
 val registration_body : seq:int -> digest:string -> string
 
+val read_only : string -> bool
+(** Fast-path admission predicate: true for queries (pure reads);
+    registrations mutate state, must be ordered, and only queries are
+    safe to expose in plaintext anyway. *)
+
 val make_app : unit -> string -> string
 (** Fresh per-replica notary state machine. *)
 

@@ -205,15 +205,17 @@ let hybrid_tests =
             ~make_app:Directory_service.make_app ()
         in
         Sim.crash sim 3;
-        let client = Service.Client.create ~sim ~keyring:kr ~slot:6 ~seed:1 in
+        let client =
+          Service.Client.create ~sim ~keyring:kr ~slot:6 ~seed:1 ()
+        in
         let result = ref None in
         Service.Client.request client ~mode:Service.Plain
-          (Directory_service.bind_request ~key:"a" ~value:"1") (fun r s ->
-            result := Some (r, s));
+          (Directory_service.bind_request ~key:"a" ~value:"1") (fun rc ->
+            result := Some rc);
         Sim.run sim ~until:(fun () -> !result <> None);
         Alcotest.(check bool) "bound with a crash on hybrid structure" true
           (match !result with
-          | Some (r, _) -> Codec.decode r = Some [ "bound"; "a" ]
+          | Some rc -> Codec.decode rc.Service.rc_response = Some [ "bound"; "a" ]
           | None -> false))
   ]
 

@@ -697,7 +697,116 @@ let recovery_tests =
           | Ok () -> ()
           | Error e -> Alcotest.failf "validate: %s" e))) ]
 
+(* ---------------- sustained-load service campaigns ------------------- *)
+
+let svc_campaign_tests =
+  let small ?(variants = [ Svc.Drop_arq; Svc.Crash_rejoin ]) ?(seeds = 1) () =
+    Svc.default_config ~seeds ~requests:6 ~clients:2 ~window:2 ~keyspace:4
+      ~kinds:[ Svc.Directory_svc ] ~variants ()
+  in
+  [ Alcotest.test_case "client pipeline survives 30% drop with the ARQ link"
+      `Quick (fun () ->
+        let cfg = small () in
+        let env = Svc.prepare cfg in
+        let r =
+          Svc.run_one env cfg ~kind:Svc.Directory_svc ~variant:Svc.Drop_arq
+            ~seed:11
+        in
+        Alcotest.(check int) "quota met" r.Svc.vr_target r.Svc.vr_completed;
+        Alcotest.(check int) "every accepted certificate verified"
+          r.Svc.vr_completed r.Svc.vr_verified;
+        Alcotest.(check int) "no certificate failures" 0
+          r.Svc.vr_cert_failures;
+        Alcotest.(check int) "no violations" 0
+          (List.length r.Svc.vr_violations));
+    Alcotest.test_case "client pipeline survives a crash-rejoin mid-campaign"
+      `Quick (fun () ->
+        let cfg = small () in
+        let env = Svc.prepare cfg in
+        let r =
+          Svc.run_one env cfg ~kind:Svc.Directory_svc
+            ~variant:Svc.Crash_rejoin ~seed:12
+        in
+        Alcotest.(check bool) "a victim was crashed" true (r.Svc.vr_victim >= 0);
+        Alcotest.(check int) "quota met" r.Svc.vr_target r.Svc.vr_completed;
+        Alcotest.(check int) "every accepted certificate verified"
+          r.Svc.vr_completed r.Svc.vr_verified;
+        Alcotest.(check int) "no violations" 0
+          (List.length r.Svc.vr_violations));
+    Alcotest.test_case "notary sweep drops the crash-rejoin variant" `Quick
+      (fun () ->
+        Alcotest.(check bool) "crash-rejoin filtered" true
+          (Svc.variants_for Svc.Notary_svc
+             [ Svc.Benign; Svc.Crash_rejoin ]
+          = [ Svc.Benign ]);
+        Alcotest.(check bool) "plain kinds keep it" true
+          (Svc.variants_for Svc.Ca_svc [ Svc.Crash_rejoin ]
+          = [ Svc.Crash_rejoin ]));
+    Alcotest.test_case
+      "50-seed service sweep: drop-arq + crash-rejoin, certificates and dedup"
+      `Slow (fun () ->
+        (* Acceptance regression for the client pipeline: 50 seeds per
+           variant under 30% chaos drop with the ARQ engine link, and
+           with one replica crashed and revived mid-campaign.  Every run
+           must close its quota, every accepted reply certificate must
+           re-verify, suppressed duplicates must exactly account for the
+           replay volume that reached the order (and never exceed the
+           clients' resend volume), and the safety oracles — total order
+           over digest histories included — must stay silent. *)
+        let cfg = small ~seeds:50 () in
+        let rep = Svc.run cfg in
+        Alcotest.(check int) "runs" 100 (List.length rep.Svc.results);
+        Alcotest.(check int) "zero safety violations" 0
+          (Svc.safety_count rep);
+        Alcotest.(check int) "zero liveness violations" 0
+          (Svc.liveness_count rep);
+        Alcotest.(check int) "every quota closed" (Svc.target_total rep)
+          (Svc.completed_total rep);
+        Alcotest.(check int) "zero certificate failures" 0
+          (Svc.cert_failures_total rep);
+        List.iter
+          (fun (r : Svc.run_result) ->
+            let tag =
+              Printf.sprintf "%s seed %d"
+                (Svc.variant_label r.Svc.vr_variant)
+                r.Svc.vr_seed
+            in
+            Alcotest.(check int)
+              (tag ^ ": certificates all verified")
+              r.Svc.vr_completed r.Svc.vr_verified;
+            Alcotest.(check int)
+              (tag ^ ": dedup accounts for the replay volume")
+              (r.Svc.vr_ordered - r.Svc.vr_executed)
+              r.Svc.vr_dup_suppressed;
+            Alcotest.(check bool)
+              (tag ^ ": suppressed replays never exceed client resends")
+              true
+              (r.Svc.vr_dup_suppressed <= r.Svc.vr_retries))
+          rep.Svc.results;
+        (* Round-trip the report through the schema validator. *)
+        let doc = Svc.to_json ~id:"t" ~wall:0.0 rep in
+        match Obs_json.of_string (Obs_json.to_canonical_string doc) with
+        | Error e -> Alcotest.failf "re-parse: %s" e
+        | Ok doc' ->
+          (match Svc.validate_json doc' with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "validate: %s" e));
+    Alcotest.test_case "svc validator rejects wrong shapes" `Quick (fun () ->
+        let check_bad doc =
+          Alcotest.(check bool) "rejected" true
+            (Result.is_error (Svc.validate_json doc))
+        in
+        check_bad (Obs_json.Obj []);
+        check_bad (Obs_json.Obj [ ("schema", Obs_json.Str "sintra-recov/1") ]);
+        check_bad
+          (Obs_json.Obj
+             [ ("schema", Obs_json.Str "sintra-svc/1");
+               ("experiment", Obs_json.Str "x");
+               ("wall_time_s", Obs_json.Float 0.0);
+               ("runs", Obs_json.Int 0) ])) ]
+
 let suite =
   ( "faults",
     chaos_tests @ partition_tests @ drop_path_tests @ oracle_tests
-    @ byzantine_tests @ campaign_tests @ recovery_tests )
+    @ byzantine_tests @ campaign_tests @ recovery_tests
+    @ svc_campaign_tests )

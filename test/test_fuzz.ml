@@ -560,7 +560,168 @@ let crypto_fuzz_tests =
         | None -> 3 - ncorrupt < 2)
   ]
 
+(* ---- service frames (PR 9) ------------------------------------------
+   The client/server wire format: SVQ1 requests are what gets ordered
+   (their digest keys the whole reply protocol), SVR1 replies carry
+   signature shares from untrusted servers, and SVC1 certificates are
+   handed to third parties.  All three cross trust boundaries, so the
+   same canonicity/strictness properties as the checkpoint codecs. *)
+
+let gen_svc_bytes lo hi =
+  QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (lo -- hi))
+
+let gen_svc_request =
+  QCheck2.Gen.(
+    map3
+      (fun client nonce body -> Codec.encode_svc_request ~client ~nonce ~body)
+      (0 -- 1_000_000)
+      (gen_svc_bytes 1 16) (gen_svc_bytes 0 64))
+
+let gen_svc_reply =
+  QCheck2.Gen.(
+    map2
+      (fun (fast, req_digest, server) (response, share) ->
+        Codec.encode_svc_reply ~fast ~req_digest ~server ~response ~share)
+      (triple bool (gen_svc_bytes 0 40) (0 -- 999))
+      (pair (gen_svc_bytes 0 64) (gen_svc_bytes 0 64)))
+
+let gen_reply_cert =
+  QCheck2.Gen.(
+    map2
+      (fun (fast, req_digest) (response, cert) ->
+        Codec.encode_reply_cert ~fast ~req_digest ~response ~cert)
+      (pair bool (gen_svc_bytes 0 40))
+      (pair (gen_svc_bytes 0 64) (gen_svc_bytes 0 80)))
+
+(* Arbitrary bytes, weighted toward frames that start with the right
+   magic so the parser's interior checks get exercised too. *)
+let gen_svc_garbage magic =
+  QCheck2.Gen.(
+    oneof
+      [ string_size ~gen:(char_range '\000' '\255') (0 -- 96);
+        map (fun s -> magic ^ s)
+          (string_size ~gen:(char_range '\000' '\255') (0 -- 64));
+        return "" ])
+
+let svc_codec_tests =
+  [ qtest ~count:200 "svc request codec: decode o encode = identity"
+      QCheck2.Gen.(
+        triple (0 -- 1_000_000) (gen_svc_bytes 1 16) (gen_svc_bytes 0 64))
+      (fun (client, nonce, body) ->
+        Codec.decode_svc_request
+          (Codec.encode_svc_request ~client ~nonce ~body)
+        = Some (client, nonce, body));
+    qtest ~count:200 "svc request codec: every proper prefix is rejected"
+      gen_svc_request
+      (fun frame ->
+        let ok = ref true in
+        for len = 0 to String.length frame - 1 do
+          if Codec.decode_svc_request (String.sub frame 0 len) <> None then
+            ok := false
+        done;
+        !ok);
+    qtest ~count:200 "svc request codec: trailing garbage is rejected"
+      QCheck2.Gen.(pair gen_svc_request (gen_svc_bytes 1 16))
+      (fun (frame, junk) -> Codec.decode_svc_request (frame ^ junk) = None);
+    qtest ~count:200 "svc request codec: single bit flip stays canonical"
+      QCheck2.Gen.(triple gen_svc_request small_nat (1 -- 7))
+      (fun (frame, pos, bit) ->
+        let b = Bytes.of_string frame in
+        let pos = pos mod Bytes.length b in
+        Bytes.set b pos
+          (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl (bit mod 8))));
+        let flipped = Bytes.to_string b in
+        match Codec.decode_svc_request flipped with
+        | None -> true
+        | Some (client, nonce, body) ->
+          Codec.encode_svc_request ~client ~nonce ~body = flipped);
+    qtest ~count:200 "svc request codec: random bytes never mis-split"
+      (gen_svc_garbage "SVQ1")
+      (fun s ->
+        match Codec.decode_svc_request s with
+        | None -> true
+        | Some (client, nonce, body) ->
+          Codec.encode_svc_request ~client ~nonce ~body = s);
+    qtest ~count:200 "svc reply codec: decode o encode = identity"
+      QCheck2.Gen.(
+        pair
+          (triple bool (gen_svc_bytes 0 40) (0 -- 999))
+          (pair (gen_svc_bytes 0 64) (gen_svc_bytes 0 64)))
+      (fun ((fast, req_digest, server), (response, share)) ->
+        Codec.decode_svc_reply
+          (Codec.encode_svc_reply ~fast ~req_digest ~server ~response ~share)
+        = Some (fast, req_digest, server, response, share));
+    qtest ~count:200 "svc reply codec: every proper prefix is rejected"
+      gen_svc_reply
+      (fun frame ->
+        let ok = ref true in
+        for len = 0 to String.length frame - 1 do
+          if Codec.decode_svc_reply (String.sub frame 0 len) <> None then
+            ok := false
+        done;
+        !ok);
+    qtest ~count:200 "svc reply codec: single bit flip stays canonical"
+      QCheck2.Gen.(triple gen_svc_reply small_nat (1 -- 7))
+      (fun (frame, pos, bit) ->
+        let b = Bytes.of_string frame in
+        let pos = pos mod Bytes.length b in
+        Bytes.set b pos
+          (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl (bit mod 8))));
+        let flipped = Bytes.to_string b in
+        match Codec.decode_svc_reply flipped with
+        | None -> true
+        | Some (fast, req_digest, server, response, share) ->
+          Codec.encode_svc_reply ~fast ~req_digest ~server ~response ~share
+          = flipped);
+    qtest ~count:200 "svc reply codec: random bytes never mis-split"
+      (gen_svc_garbage "SVR1")
+      (fun s ->
+        match Codec.decode_svc_reply s with
+        | None -> true
+        | Some (fast, req_digest, server, response, share) ->
+          Codec.encode_svc_reply ~fast ~req_digest ~server ~response ~share
+          = s);
+    qtest ~count:200 "reply cert codec: decode o encode = identity"
+      QCheck2.Gen.(
+        pair
+          (pair bool (gen_svc_bytes 0 40))
+          (pair (gen_svc_bytes 0 64) (gen_svc_bytes 0 80)))
+      (fun ((fast, req_digest), (response, cert)) ->
+        Codec.decode_reply_cert
+          (Codec.encode_reply_cert ~fast ~req_digest ~response ~cert)
+        = Some (fast, req_digest, response, cert));
+    qtest ~count:200
+      "reply cert codec: truncation and trailing bytes rejected"
+      QCheck2.Gen.(pair gen_reply_cert (gen_svc_bytes 1 16))
+      (fun (frame, junk) ->
+        let prefixes_fail = ref true in
+        for len = 0 to String.length frame - 1 do
+          if Codec.decode_reply_cert (String.sub frame 0 len) <> None then
+            prefixes_fail := false
+        done;
+        !prefixes_fail && Codec.decode_reply_cert (frame ^ junk) = None);
+    qtest ~count:200 "reply cert codec: single bit flip stays canonical"
+      QCheck2.Gen.(triple gen_reply_cert small_nat (1 -- 7))
+      (fun (frame, pos, bit) ->
+        let b = Bytes.of_string frame in
+        let pos = pos mod Bytes.length b in
+        Bytes.set b pos
+          (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl (bit mod 8))));
+        let flipped = Bytes.to_string b in
+        match Codec.decode_reply_cert flipped with
+        | None -> true
+        | Some (fast, req_digest, response, cert) ->
+          Codec.encode_reply_cert ~fast ~req_digest ~response ~cert = flipped);
+    qtest ~count:200 "reply cert codec: random bytes never mis-split"
+      (gen_svc_garbage "SVC1")
+      (fun s ->
+        match Codec.decode_reply_cert s with
+        | None -> true
+        | Some (fast, req_digest, response, cert) ->
+          Codec.encode_reply_cert ~fast ~req_digest ~response ~cert = s)
+  ]
+
 let suite =
   ( "fuzz",
     fuzz_tests @ codec_tests @ ckpt_codec_tests @ link_fuzz_tests
-    @ crypto_fuzz_tests )
+    @ crypto_fuzz_tests @ svc_codec_tests )

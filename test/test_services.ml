@@ -10,8 +10,8 @@ let th41 = AS.threshold ~n:4 ~t:1
 
 let kr41 = lazy (Keyring.deal ~rsa_bits:192 ~seed:5001 th41)
 
-let deploy_service ~seed ~mode ~make_app ?(structure = th41) ?keyring ?obs ()
-    =
+let deploy_service ~seed ~mode ~make_app ?(structure = th41) ?keyring ?obs
+    ?read_only () =
   let kr =
     match keyring with
     | Some kr -> kr
@@ -20,20 +20,28 @@ let deploy_service ~seed ~mode ~make_app ?(structure = th41) ?keyring ?obs ()
       else Keyring.deal ~rsa_bits:192 ~seed:(seed + 9000) structure
   in
   let sim = Sim.create ?obs ~n:(AS.n structure) ~seed () in
-  let nodes = Service.deploy ~sim ~keyring:kr ~mode ~make_app () in
+  let nodes =
+    Service.nodes
+      (Service.deploy ~sim ~keyring:kr ~mode ?read_only ~make_app ())
+  in
   (sim, kr, nodes)
 
 (* Issue one request and run the simulator until the client callback
-   fires (or the network goes quiescent). *)
+   fires (or the network goes quiescent).  Every accepted certificate is
+   re-verified under the service public key. *)
 let roundtrip sim kr ~mode ~client_slot ~seed body =
-  let client = Service.Client.create ~sim ~keyring:kr ~slot:client_slot ~seed in
+  let client =
+    Service.Client.create ~sim ~keyring:kr ~slot:client_slot ~seed ()
+  in
   let result = ref None in
-  Service.Client.request client ~mode body (fun response s ->
-      result := Some (response, s));
+  Service.Client.request client ~mode body (fun rc -> result := Some rc);
   Sim.run sim ~until:(fun () -> !result <> None);
   match !result with
   | None -> Alcotest.fail "client request did not complete"
-  | Some r -> r
+  | Some rc ->
+    Alcotest.(check bool) "reply certificate verifies" true
+      (Service.verify_reply_cert kr rc);
+    (rc.Service.rc_response, rc)
 
 let ca_tests =
   [ Alcotest.test_case "ca: issue and verify a certificate" `Quick (fun () ->
@@ -108,9 +116,10 @@ let ca_tests =
           deploy_service ~seed:6005 ~mode:Service.Plain ~make_app:Ca.make_app ()
         in
         ignore nodes;
-        let evil ~src:_ (m : Service.msg) =
-          match m with
-          | Service.Request { client; body } ->
+        let evil ~src:_ (frame : Service.msg Link.frame) =
+          match frame with
+          | Link.Raw (Service.Request { client; body })
+          | Link.Data { payload = Service.Request { client; body }; _ } ->
             (* respond immediately with a forged denial *)
             let req_digest = Sha256.digest body in
             let response = Codec.encode [ "denied"; "forged by server 3" ] in
@@ -119,8 +128,11 @@ let ca_tests =
                 (Service.response_statement ~req_digest ~response)
             in
             Sim.send sim ~src:3 ~dst:client
-              (Service.Response { req_digest; server = 3; response; share })
-          | Service.Engine _ | Service.Response _ -> ()
+              (Link.Raw
+                 (Service.Response
+                    (Codec.encode_svc_reply ~fast:false ~req_digest ~server:3
+                       ~response ~share:(Keyring.sig_share_to_bytes kr share))))
+          | Link.Raw _ | Link.Data _ | Link.Ack _ -> ()
         in
         Sim.set_handler sim 3 evil;
         let response, _ =
@@ -251,8 +263,9 @@ let notary_tests =
         let sim = Sim.create ~n:4 ~seed:6203 () in
         let leaked = ref false in
         let nodes =
-          Service.deploy ~sim ~keyring:kr ~mode:Service.Confidential
-            ~make_app:Notary.make_app ()
+          Service.nodes
+            (Service.deploy ~sim ~keyring:kr ~mode:Service.Confidential
+               ~make_app:Notary.make_app ())
         in
         let spy_wraps (m : Service.msg) =
           (* search the raw broadcast payloads for the plaintext *)
@@ -264,7 +277,8 @@ let notary_tests =
             go 0
           in
           match m with
-          | Service.Request { body; _ } -> contains_secret body
+          | Service.Request { body; _ } | Service.Query { body; _ } ->
+            contains_secret body
           | Service.Engine (Service.Abc_m (Abc.Request p))
           | Service.Engine
               (Service.Scabc_m (Scabc.Abc_msg (Abc.Request p))) ->
@@ -273,22 +287,27 @@ let notary_tests =
         in
         (* server 3 is the spy: it behaves honestly but records whether
            any pre-decryption message reveals the document *)
-        let honest_handler = fun ~src m -> Service.handle nodes.(3) ~src m in
-        Sim.set_handler sim 3 (fun ~src m ->
+        Sim.wrap_handler sim 3 (fun honest ~src frame ->
             let before_decryption =
               Scabc.delivered_count
                 (match nodes.(3).Service.engine with
                 | Some (Service.Scabc_e sc) -> sc
-                | Some (Service.Abc_e _) | None -> assert false)
+                | Some _ | None -> assert false)
               = 0
             in
-            if before_decryption && spy_wraps m then leaked := true;
-            honest_handler ~src m);
-        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:25 in
+            (if before_decryption then
+               match frame with
+               | Link.Raw m | Link.Data { payload = m; _ } ->
+                 if spy_wraps m then leaked := true
+               | Link.Ack _ -> ());
+            honest ~src frame);
+        let client =
+          Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:25 ()
+        in
         let result = ref None in
         Service.Client.request client ~mode:Service.Confidential
-          (Notary.register_request ~document:secret_doc) (fun r s ->
-            result := Some (r, s));
+          (Notary.register_request ~document:secret_doc) (fun rc ->
+            result := Some rc);
         Sim.run sim ~until:(fun () -> !result <> None);
         Alcotest.(check bool) "registered" true (!result <> None);
         Alcotest.(check bool) "plaintext never visible before ordering" false
@@ -302,8 +321,9 @@ let notary_tests =
         let sim = Sim.create ~n:4 ~seed:6204 () in
         let leaked = ref false in
         let nodes =
-          Service.deploy ~sim ~keyring:kr ~mode:Service.Plain
-            ~make_app:Notary.make_app ()
+          Service.nodes
+            (Service.deploy ~sim ~keyring:kr ~mode:Service.Plain
+               ~make_app:Notary.make_app ())
         in
         let contains_secret s =
           let n = String.length s and m = String.length secret_doc in
@@ -312,21 +332,28 @@ let notary_tests =
           in
           go 0
         in
-        let honest_handler = fun ~src m -> Service.handle nodes.(3) ~src m in
-        Sim.set_handler sim 3 (fun ~src m ->
-            (match m with
-            | Service.Request { body; _ } when contains_secret body ->
-              leaked := true
-            | Service.Engine (Service.Abc_m (Abc.Request p))
-              when contains_secret p ->
-              leaked := true
-            | Service.Request _ | Service.Engine _ | Service.Response _ -> ());
-            honest_handler ~src m);
-        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:26 in
+        ignore nodes;
+        Sim.wrap_handler sim 3 (fun honest ~src frame ->
+            (match frame with
+            | Link.Raw m | Link.Data { payload = m; _ } -> (
+              match m with
+              | Service.Request { body; _ } when contains_secret body ->
+                leaked := true
+              | Service.Engine (Service.Abc_m (Abc.Request p))
+                when contains_secret p ->
+                leaked := true
+              | Service.Request _ | Service.Query _ | Service.Engine _
+              | Service.Response _ ->
+                ())
+            | Link.Ack _ -> ());
+            honest ~src frame);
+        let client =
+          Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:26 ()
+        in
         let result = ref None in
         Service.Client.request client ~mode:Service.Plain
-          (Notary.register_request ~document:secret_doc) (fun r s ->
-            result := Some (r, s));
+          (Notary.register_request ~document:secret_doc) (fun rc ->
+            result := Some rc);
         Sim.run sim ~until:(fun () -> !result <> None);
         Alcotest.(check bool) "registered" true (!result <> None);
         Alcotest.(check bool) "plaintext visible with plain abc" true !leaked)
@@ -345,7 +372,7 @@ let dedup_tests =
             ~obs:(Obs.create ()) ()
         in
         let request nonce body =
-          Codec.encode [ "0"; nonce; body ]
+          Codec.encode_svc_request ~client:0 ~nonce ~body
         in
         let server = nodes.(0) in
         Service.deliver_ordered server (request "n1" (Ca.issue_request ~id:"a" ~pubkey:"pk-a" ~credentials:"cred-a"));
@@ -375,13 +402,354 @@ let dedup_tests =
         in
         let server = nodes.(0) in
         Service.deliver_ordered server
-          (Codec.encode [ "0"; "n1"; Ca.issue_request ~id:"a" ~pubkey:"p" ~credentials:"c" ]);
+          (Codec.encode_svc_request ~client:0 ~nonce:"n1"
+             ~body:(Ca.issue_request ~id:"a" ~pubkey:"p" ~credentials:"c"));
         Service.deliver_ordered server
-          (Codec.encode [ "1"; "n1"; Ca.issue_request ~id:"b" ~pubkey:"q" ~credentials:"c" ]);
+          (Codec.encode_svc_request ~client:1 ~nonce:"n1"
+             ~body:(Ca.issue_request ~id:"b" ~pubkey:"q" ~credentials:"c"));
         Sim.run sim;
         Alcotest.(check int) "both executed" 2 server.Service.executed;
         Alcotest.(check int) "nothing suppressed" 0
           server.Service.dup_suppressed) ]
 
+(* ------------------------------------------------------------------ *)
+(* Read-only fast path                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_query sim kr ~slot ~seed ?fast_attempts ~mode body =
+  let client =
+    Service.Client.create ?fast_attempts ~sim ~keyring:kr ~slot ~seed ()
+  in
+  let result = ref None in
+  Service.Client.query client ~mode body (fun rc -> result := Some rc);
+  Sim.run sim ~until:(fun () -> !result <> None);
+  match !result with
+  | None -> Alcotest.fail "query did not complete"
+  | Some rc ->
+    Alcotest.(check bool) "query certificate verifies" true
+      (Service.verify_reply_cert kr rc);
+    (rc, client)
+
+let fastpath_tests =
+  [ Alcotest.test_case "query: read-only lookup assembles a fast cert" `Quick
+      (fun () ->
+        let sim, kr, nodes =
+          deploy_service ~seed:6401 ~mode:Service.Plain
+            ~make_app:Directory_service.make_app
+            ~read_only:Directory_service.read_only ()
+        in
+        let _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:31
+            (Directory_service.bind_request ~key:"k" ~value:"v")
+        in
+        let executed_before = nodes.(0).Service.executed in
+        let rc, client =
+          run_query sim kr ~slot:5 ~seed:32 ~mode:Service.Plain
+            (Directory_service.lookup_request ~key:"k")
+        in
+        Alcotest.(check bool) "fast domain" true rc.Service.rc_fast;
+        (match Directory_service.parse_value rc.Service.rc_response with
+        | Some (_, v) -> Alcotest.(check string) "value" "v" v
+        | None -> Alcotest.fail "lookup failed");
+        Alcotest.(check int) "client counted the fast hit" 1
+          (Service.Client.fastpath_hits client);
+        (* no broadcast round: the ordered log did not grow *)
+        Alcotest.(check int) "nothing newly ordered" executed_before
+          nodes.(0).Service.executed;
+        Alcotest.(check bool) "replicas served the query" true
+          (Array.exists (fun n -> n.Service.queries_served > 0) nodes));
+    Alcotest.test_case "query: mutating body refused, falls back to ordered"
+      `Quick (fun () ->
+        let sim, kr, nodes =
+          deploy_service ~seed:6402 ~mode:Service.Plain
+            ~make_app:Directory_service.make_app
+            ~read_only:Directory_service.read_only ()
+        in
+        let rc, client =
+          run_query sim kr ~slot:4 ~seed:33 ~fast_attempts:1
+            ~mode:Service.Plain
+            (Directory_service.bind_request ~key:"w" ~value:"x")
+        in
+        Alcotest.(check bool) "completed on the ordered path" false
+          rc.Service.rc_fast;
+        Alcotest.(check int) "one fallback" 1 (Service.Client.fallbacks client);
+        Alcotest.(check int) "no fast hit" 0
+          (Service.Client.fastpath_hits client);
+        Alcotest.(check bool) "replicas refused the write as a query" true
+          (Array.exists (fun n -> n.Service.queries_refused > 0) nodes);
+        Alcotest.(check bool) "the write executed" true
+          (nodes.(0).Service.executed > 0));
+    Alcotest.test_case "query: forged content cannot outvote honest answers"
+      `Quick (fun () ->
+        let sim, kr, _ =
+          deploy_service ~seed:6403 ~mode:Service.Plain
+            ~make_app:Directory_service.make_app
+            ~read_only:Directory_service.read_only ()
+        in
+        let _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:34
+            (Directory_service.bind_request ~key:"k" ~value:"honest")
+        in
+        (* server 3 answers every query with a forged value under a
+           perfectly valid share: one share is below every qualified
+           set, so the forgery never assembles *)
+        Sim.set_handler sim 3 (fun ~src:_ (frame : Service.msg Link.frame) ->
+            match frame with
+            | Link.Raw (Service.Query { client; body })
+            | Link.Data { payload = Service.Query { client; body }; _ } ->
+              let req_digest = Sha256.digest body in
+              let response = Codec.encode [ "value"; "k"; "forged" ] in
+              let share =
+                Keyring.service_sign_share kr ~party:3
+                  (Service.query_statement ~req_digest ~response)
+              in
+              Sim.send sim ~src:3 ~dst:client
+                (Link.Raw
+                   (Service.Response
+                      (Codec.encode_svc_reply ~fast:true ~req_digest
+                         ~server:3 ~response
+                         ~share:(Keyring.sig_share_to_bytes kr share))))
+            | Link.Raw _ | Link.Data _ | Link.Ack _ -> ());
+        let rc, _ =
+          run_query sim kr ~slot:5 ~seed:35 ~mode:Service.Plain
+            (Directory_service.lookup_request ~key:"k")
+        in
+        match Directory_service.parse_value rc.Service.rc_response with
+        | Some (_, v) -> Alcotest.(check string) "honest value wins" "honest" v
+        | None -> Alcotest.fail "lookup failed");
+    Alcotest.test_case "query: reply claiming another server's slot rejected"
+      `Quick (fun () ->
+        let sim, kr, _ =
+          deploy_service ~seed:6404 ~mode:Service.Plain
+            ~make_app:Directory_service.make_app
+            ~read_only:Directory_service.read_only ()
+        in
+        let _ =
+          roundtrip sim kr ~mode:Service.Plain ~client_slot:4 ~seed:36
+            (Directory_service.bind_request ~key:"k" ~value:"v")
+        in
+        (* honest servers drop queries entirely; server 3 impersonates
+           server 0 with a genuine share — so the ONLY fast replies the
+           client sees carry a transport source that contradicts the
+           claimed server slot *)
+        for i = 0 to 2 do
+          Sim.wrap_handler sim i (fun honest ~src frame ->
+              match frame with
+              | Link.Raw (Service.Query _)
+              | Link.Data { payload = Service.Query _; _ } ->
+                ()
+              | _ -> honest ~src frame)
+        done;
+        Sim.wrap_handler sim 3 (fun honest ~src frame ->
+            match frame with
+            | Link.Raw (Service.Query { client; body })
+            | Link.Data { payload = Service.Query { client; body }; _ } ->
+              let req_digest = Sha256.digest body in
+              let response = Codec.encode [ "value"; "k"; "v" ] in
+              let share =
+                Keyring.service_sign_share kr ~party:3
+                  (Service.query_statement ~req_digest ~response)
+              in
+              Sim.send sim ~src:3 ~dst:client
+                (Link.Raw
+                   (Service.Response
+                      (Codec.encode_svc_reply ~fast:true ~req_digest
+                         ~server:0 ~response
+                         ~share:(Keyring.sig_share_to_bytes kr share))))
+            | _ -> honest ~src frame);
+        let rc, client =
+          run_query sim kr ~slot:5 ~seed:37 ~mode:Service.Plain
+            (Directory_service.lookup_request ~key:"k")
+        in
+        Alcotest.(check bool) "impersonation counted as rejected" true
+          (Service.Client.rejected_replies client >= 1);
+        Alcotest.(check bool) "never assembles from forged sources" false
+          rc.Service.rc_fast;
+        match Directory_service.parse_value rc.Service.rc_response with
+        | Some (_, v) ->
+          Alcotest.(check string) "ordered fallback answers honestly" "v" v
+        | None -> Alcotest.fail "lookup failed");
+    Alcotest.test_case
+      "ordered request refuses fast-kind replies (no write downgrade)" `Quick
+      (fun () ->
+        let sim, kr, _ =
+          deploy_service ~seed:6405 ~mode:Service.Plain
+            ~make_app:Directory_service.make_app
+            ~read_only:Directory_service.read_only ()
+        in
+        (* server 3 tries to answer an ordered write with a fast-domain
+           reply — accepting it would mean the write never serialized *)
+        Sim.set_handler sim 3 (fun ~src:_ (frame : Service.msg Link.frame) ->
+            match frame with
+            | Link.Raw (Service.Request { client; body })
+            | Link.Data { payload = Service.Request { client; body }; _ } ->
+              let req_digest = Sha256.digest body in
+              let response = Codec.encode [ "bound"; "k" ] in
+              let share =
+                Keyring.service_sign_share kr ~party:3
+                  (Service.query_statement ~req_digest ~response)
+              in
+              Sim.send sim ~src:3 ~dst:client
+                (Link.Raw
+                   (Service.Response
+                      (Codec.encode_svc_reply ~fast:true ~req_digest
+                         ~server:3 ~response
+                         ~share:(Keyring.sig_share_to_bytes kr share))))
+            | Link.Raw _ | Link.Data _ | Link.Ack _ -> ());
+        let client =
+          Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:38 ()
+        in
+        let result = ref None in
+        Service.Client.request client ~mode:Service.Plain
+          (Directory_service.bind_request ~key:"k" ~value:"v") (fun rc ->
+            result := Some rc);
+        Sim.run sim ~until:(fun () -> !result <> None);
+        match !result with
+        | None -> Alcotest.fail "request did not complete"
+        | Some rc ->
+          Alcotest.(check bool) "ordered certificate" false rc.Service.rc_fast;
+          Alcotest.(check bool) "fast-kind reply rejected" true
+            (Service.Client.rejected_replies client >= 1))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Reply certificates: negative paths                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cert_tests =
+  let kr = Lazy.force kr41 in
+  let d = Sha256.digest "some request frame" in
+  let resp = "the answer" in
+  let stmt = Service.response_statement ~req_digest:d ~response:resp in
+  let assemble parties stmt =
+    Keyring.service_combine kr stmt
+      (List.map (fun p -> Keyring.service_sign_share kr ~party:p stmt) parties)
+  in
+  [ Alcotest.test_case "reply cert: t+1 shares assemble, bytes round-trip"
+      `Quick (fun () ->
+        match assemble [ 0; 1 ] stmt with
+        | None -> Alcotest.fail "combine failed on a qualified set"
+        | Some sg ->
+          let rc =
+            { Service.rc_fast = false; rc_req_digest = d; rc_response = resp;
+              rc_sig = sg }
+          in
+          Alcotest.(check bool) "verifies" true
+            (Service.verify_reply_cert kr rc);
+          let b = Service.reply_cert_to_bytes kr rc in
+          (match Service.reply_cert_of_bytes kr b with
+          | None -> Alcotest.fail "decode failed"
+          | Some rc' ->
+            Alcotest.(check bool) "round-tripped cert verifies" true
+              (Service.verify_reply_cert kr rc');
+            Alcotest.(check string) "response preserved" resp
+              rc'.Service.rc_response));
+    Alcotest.test_case "reply cert: sub-threshold share set fails" `Quick
+      (fun () ->
+        let ok =
+          match assemble [ 0 ] stmt with
+          | None -> true
+          | Some sg ->
+            not
+              (Service.verify_reply_cert kr
+                 { Service.rc_fast = false; rc_req_digest = d;
+                   rc_response = resp; rc_sig = sg })
+        in
+        Alcotest.(check bool) "one share below t+1 never certifies" true ok);
+    Alcotest.test_case "reply cert: wrong-statement share poisons assembly"
+      `Quick (fun () ->
+        let other =
+          Service.response_statement ~req_digest:d ~response:"something else"
+        in
+        let shares =
+          [ Keyring.service_sign_share kr ~party:0 stmt;
+            Keyring.service_sign_share kr ~party:1 other ]
+        in
+        let ok =
+          match Keyring.service_combine kr stmt shares with
+          | None -> true
+          | Some sg -> not (Keyring.service_verify kr stmt sg)
+        in
+        Alcotest.(check bool) "mixed statements never certify" true ok);
+    Alcotest.test_case "reply cert: mixed digest rejected" `Quick (fun () ->
+        match assemble [ 0; 1 ] stmt with
+        | None -> Alcotest.fail "combine failed"
+        | Some sg ->
+          let rc =
+            { Service.rc_fast = false;
+              rc_req_digest = Sha256.digest "a different request";
+              rc_response = resp; rc_sig = sg }
+          in
+          Alcotest.(check bool) "digest is bound by the signature" false
+            (Service.verify_reply_cert kr rc));
+    Alcotest.test_case "reply cert: fast cert cannot pose as ordered" `Quick
+      (fun () ->
+        let qstmt = Service.query_statement ~req_digest:d ~response:resp in
+        match assemble [ 0; 1 ] qstmt with
+        | None -> Alcotest.fail "combine failed"
+        | Some sg ->
+          let fast_rc =
+            { Service.rc_fast = true; rc_req_digest = d; rc_response = resp;
+              rc_sig = sg }
+          in
+          Alcotest.(check bool) "verifies in its own domain" true
+            (Service.verify_reply_cert kr fast_rc);
+          Alcotest.(check bool) "rejected in the ordered domain" false
+            (Service.verify_reply_cert kr
+               { fast_rc with Service.rc_fast = false }))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing: the empty-nonce regression                         *)
+(* ------------------------------------------------------------------ *)
+
+let u64_be v =
+  String.init 8 (fun i -> Char.chr ((v lsr (8 * (7 - i))) land 0xff))
+
+let nonce_tests =
+  [ Alcotest.test_case "parse_request rejects an empty nonce" `Quick
+      (fun () ->
+        (* hand-build the frame: the encoder refuses to produce it *)
+        let body = Ca.lookup_request ~id:"x" in
+        let frame =
+          "SVQ1" ^ u64_be 0 ^ u64_be 0 ^ u64_be (String.length body) ^ body
+        in
+        Alcotest.(check bool) "rejected" true
+          (Service.parse_request frame = None);
+        Alcotest.(check bool) "encoder refuses an empty nonce" true
+          (try
+             ignore (Codec.encode_svc_request ~client:0 ~nonce:"" ~body);
+             false
+           with Invalid_argument _ -> true);
+        (* a well-formed frame still parses *)
+        match
+          Service.parse_request
+            (Codec.encode_svc_request ~client:7 ~nonce:"n" ~body)
+        with
+        | Some (7, "n", b) -> Alcotest.(check string) "body" body b
+        | _ -> Alcotest.fail "well-formed frame rejected");
+    Alcotest.test_case "ordered empty-nonce frame counts as malformed" `Quick
+      (fun () ->
+        let sim, _, nodes =
+          deploy_service ~seed:6501 ~mode:Service.Plain ~make_app:Ca.make_app
+            ()
+        in
+        let server = nodes.(0) in
+        let body = Ca.issue_request ~id:"a" ~pubkey:"p" ~credentials:"c" in
+        let frame =
+          "SVQ1" ^ u64_be 0 ^ u64_be 0 ^ u64_be (String.length body) ^ body
+        in
+        Service.deliver_ordered server frame;
+        Service.deliver_ordered server frame;
+        Sim.run sim;
+        Alcotest.(check int) "nothing executed" 0 server.Service.executed;
+        Alcotest.(check int) "both counted malformed" 2
+          server.Service.malformed;
+        Alcotest.(check int) "no dedup slot consumed" 0
+          server.Service.dup_suppressed)
+  ]
+
 let suite =
-  ("services", ca_tests @ directory_tests @ notary_tests @ dedup_tests)
+  ( "services",
+    ca_tests @ directory_tests @ notary_tests @ dedup_tests @ fastpath_tests
+    @ cert_tests @ nonce_tests )

@@ -9,17 +9,19 @@ let kr41 = lazy (Keyring.deal ~rsa_bits:192 ~seed:5001 th41)
 let deploy ~seed ~mode ~make_app =
   let kr = Lazy.force kr41 in
   let sim = Sim.create ~n:4 ~seed () in
-  let nodes = Service.deploy ~sim ~keyring:kr ~mode ~make_app () in
+  let nodes = Service.nodes (Service.deploy ~sim ~keyring:kr ~mode ~make_app ()) in
   (sim, kr, nodes)
 
 let roundtrip sim kr ~mode ~client body =
   let result = ref None in
-  Service.Client.request client ~mode body (fun r s -> result := Some (r, s));
+  Service.Client.request client ~mode body (fun rc -> result := Some rc);
   Sim.run sim ~until:(fun () -> !result <> None);
-  ignore kr;
   match !result with
   | None -> Alcotest.fail "request did not complete"
-  | Some r -> r
+  | Some rc ->
+    Alcotest.(check bool) "reply certificate verifies" true
+      (Service.verify_reply_cert kr rc);
+    (rc.Service.rc_response, rc)
 
 let auth_tests =
   [ Alcotest.test_case "auth: register, login, ticket verifies" `Quick
@@ -28,7 +30,7 @@ let auth_tests =
           deploy ~seed:7001 ~mode:Service.Confidential
             ~make_app:Auth_service.make_app
         in
-        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:1 in
+        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:1 () in
         let r1, _ =
           roundtrip sim kr ~mode:Service.Confidential ~client
             (Auth_service.register_request ~user:"alice" ~password:"hunter2"
@@ -51,7 +53,7 @@ let auth_tests =
           deploy ~seed:7002 ~mode:Service.Confidential
             ~make_app:Auth_service.make_app
         in
-        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:2 in
+        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:2 () in
         let _ =
           roundtrip sim kr ~mode:Service.Confidential ~client
             (Auth_service.register_request ~user:"bob" ~password:"pw" ~salt:"s")
@@ -67,7 +69,7 @@ let auth_tests =
           deploy ~seed:7003 ~mode:Service.Confidential
             ~make_app:Auth_service.make_app
         in
-        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:3 in
+        let client = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:3 () in
         let _ =
           roundtrip sim kr ~mode:Service.Confidential ~client
             (Auth_service.register_request ~user:"c" ~password:"old" ~salt:"s")
@@ -98,8 +100,8 @@ let fx_tests =
           deploy ~seed:7101 ~mode:Service.Confidential
             ~make_app:Fair_exchange.make_app
         in
-        let alice = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:4 in
-        let bob = Service.Client.create ~sim ~keyring:kr ~slot:5 ~seed:5 in
+        let alice = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:4 () in
+        let bob = Service.Client.create ~sim ~keyring:kr ~slot:5 ~seed:5 () in
         let item_a = "deed: one castle" and item_b = "payment: 1000 gulden" in
         let _ =
           roundtrip sim kr ~mode:Service.Confidential ~client:alice
@@ -148,7 +150,7 @@ let fx_tests =
           deploy ~seed:7102 ~mode:Service.Confidential
             ~make_app:Fair_exchange.make_app
         in
-        let c = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:6 in
+        let c = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:6 () in
         let _ =
           roundtrip sim kr ~mode:Service.Confidential ~client:c
             (Fair_exchange.open_request ~xid:"x2"
@@ -170,7 +172,7 @@ let fx_tests =
           deploy ~seed:7103 ~mode:Service.Confidential
             ~make_app:Fair_exchange.make_app
         in
-        let c = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:7 in
+        let c = Service.Client.create ~sim ~keyring:kr ~slot:4 ~seed:7 () in
         let item = "lonely deposit" in
         let _ =
           roundtrip sim kr ~mode:Service.Confidential ~client:c
