@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test fmt fmt-check bench bench-num bench-num-smoke bench-check bench-smoke perf-diff faults faults-smoke link-smoke tput tput-smoke flight flight-smoke flight-bless recov recov-smoke svc svc-smoke svc-bless schedule-search check clean
+.PHONY: all build test fmt fmt-check bench bench-num bench-num-smoke bench-check bench-smoke perf-diff faults faults-smoke link-smoke link-bless tput tput-smoke tput-bless flight flight-smoke flight-bless recov recov-smoke refresh refresh-smoke svc svc-smoke svc-bless schedule-search check clean
 
 all: build
 
@@ -69,11 +69,20 @@ faults-smoke:
 # Fast lossy-gating sweep: 10 seeds per cell at 30% probabilistic drop
 # with the reliable link layer on.  Under --link the drop policy is
 # liveness-gating, so any honest party left undecided fails the
-# campaign, and bench-check re-verifies the same invariant from the
-# emitted report.
+# campaign, bench-check re-verifies the same invariant from the emitted
+# report, and the regression gate diffs retransmit/decide-time counters
+# against the blessed baseline (seeded virtual-time runs reproduce the
+# baseline on an unchanged tree).
 link-smoke:
 	$(DUNE) exec bin/sintra_cli.exe -- faults --seeds 10 --policies drop --drop-rate 0.3 --link --out LINK_SMOKE
 	$(DUNE) exec bin/sintra_cli.exe -- bench-check FAULTS_LINK_SMOKE.json
+	$(DUNE) exec bin/sintra_cli.exe -- compare baselines/FAULTS_LINK_BASELINE.json FAULTS_LINK_SMOKE.json
+
+# Re-bless the checked-in link-campaign baseline after an intentional
+# behaviour change (same config as link-smoke; commit the result).
+link-bless:
+	$(DUNE) exec bin/sintra_cli.exe -- faults --seeds 10 --policies drop --drop-rate 0.3 --link --out LINK_BASELINE
+	mv FAULTS_LINK_BASELINE.json baselines/FAULTS_LINK_BASELINE.json
 
 # Throughput sweep: batching x pipelining on the R2 config (n=4, t=1);
 # writes BENCH_TPUT.json (payloads/round, bytes/round, decided payloads
@@ -84,10 +93,19 @@ tput:
 	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_TPUT.json
 
 # CI-sized throughput sweep (24 payloads instead of 64) plus the same
-# schema and invariant checks.
+# schema and invariant checks, then the regression diff against the
+# blessed baseline (virtual-time metrics, byte-stable on an unchanged
+# tree).
 tput-smoke:
 	$(DUNE) exec bench/main.exe -- --small TPUT
 	$(DUNE) exec bin/sintra_cli.exe -- bench-check BENCH_TPUT.json
+	$(DUNE) exec bin/sintra_cli.exe -- compare baselines/BENCH_TPUT_BASELINE.json BENCH_TPUT.json
+
+# Re-bless the checked-in throughput baseline after an intentional
+# behaviour change (same config as tput-smoke; commit the result).
+tput-bless:
+	$(DUNE) exec bench/main.exe -- --small TPUT
+	mv BENCH_TPUT.json baselines/BENCH_TPUT_BASELINE.json
 
 # Full flight recording: the default campaign under the flight
 # recorder; writes FLIGHT_CAMPAIGN.json (per-cell histograms, layer
@@ -129,6 +147,24 @@ recov:
 recov-smoke:
 	$(DUNE) exec bin/sintra_cli.exe -- recover --quick --payloads 12 --out SMOKE
 	$(DUNE) exec bin/sintra_cli.exe -- bench-check RECOV_SMOKE.json
+
+# Full epoch-reconfiguration campaign: 50 seeds x {refresh-only,
+# add-replica, kill-and-replace} x {benign, lossy, byz-refresher} —
+# proactive share refresh and membership change agreed through the
+# service's own total order while a payload stream is in flight.
+# Writes EPOCH_EPOCH.json; exits non-zero on any safety violation,
+# incomplete reconfiguration, public-key drift, still-live old shares,
+# missing reply certificates, or an unexcluded equivocating refresher.
+refresh:
+	$(DUNE) exec bin/sintra_cli.exe -- refresh --seeds 50
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check EPOCH_EPOCH.json
+
+# CI-sized epoch campaign (2 seeds per cell, all scenarios and
+# variants) plus the schema / invariant check of the emitted
+# sintra-epoch/1 report.
+refresh-smoke:
+	$(DUNE) exec bin/sintra_cli.exe -- refresh --quick --payloads 12 --out SMOKE
+	$(DUNE) exec bin/sintra_cli.exe -- bench-check EPOCH_SMOKE.json
 
 # Full sustained-load service campaign: >= 100k requests (8 cells x
 # 13k: {ca, directory, notary} x {benign, drop-arq, crash-rejoin},
@@ -174,8 +210,8 @@ schedule-search:
 # Aggregate CI gate: build, unit/property tests, and every smoke sweep,
 # including the kernel micro-bench with its batch-verification gate and
 # the flight-recorder regression diff against the blessed baseline.
-check: build test bench-smoke bench-num-smoke faults-smoke link-smoke tput-smoke flight-smoke recov-smoke svc-smoke
+check: build test bench-smoke bench-num-smoke faults-smoke link-smoke tput-smoke flight-smoke recov-smoke refresh-smoke svc-smoke
 
 clean:
 	$(DUNE) clean
-	rm -f BENCH_*.json FAULTS_*.json FLIGHT_*.json RECOV_*.json
+	rm -f BENCH_*.json FAULTS_*.json FLIGHT_*.json RECOV_*.json EPOCH_*.json

@@ -330,8 +330,8 @@ let bench_check_cmd =
       value & pos_all string []
       & info [] ~docv:"FILE"
           ~doc:"BENCH_<id>.json / FAULTS_<id>.json / FLIGHT_<id>.json / \
-                RECOV_<id>.json files to validate (default: every such \
-                artifact in the current directory).")
+                RECOV_<id>.json / EPOCH_<id>.json files to validate \
+                (default: every such artifact in the current directory).")
   in
   let read_file path =
     let ic = open_in_bin path in
@@ -346,7 +346,7 @@ let bench_check_cmd =
   in
   let is_artifact f =
     has_prefix "BENCH_" f || has_prefix "FAULTS_" f || has_prefix "FLIGHT_" f
-    || has_prefix "RECOV_" f
+    || has_prefix "RECOV_" f || has_prefix "EPOCH_" f
   in
   let check_bench path doc : (string, string) result =
     let str k = Option.bind (Obs_json.member k doc) Obs_json.to_str in
@@ -633,6 +633,20 @@ let bench_check_cmd =
            (nested "memory" "plain_log_peak")
            (nested "memory" "bound"))
   in
+  let check_epoch path doc : (string, string) result =
+    match Refresh.validate_json doc with
+    | Error e -> Error e
+    | Ok () ->
+      let str k = Option.bind (Obs_json.member k doc) Obs_json.to_str in
+      let int k = Option.bind (Obs_json.member k doc) Obs_json.to_int in
+      Ok
+        (Printf.sprintf
+           "%s: OK (%s: %d runs, %d completed, %d dealer exclusions)" path
+           (Option.value (str "experiment") ~default:"?")
+           (Option.value (int "runs") ~default:0)
+           (Option.value (int "completed") ~default:0)
+           (Option.value (int "excluded_total") ~default:0))
+  in
   let check path : (string, string) result =
     match Obs_json.of_string (read_file path) with
     | Error e -> Error (Printf.sprintf "parse error: %s" e)
@@ -643,6 +657,7 @@ let bench_check_cmd =
       | Some "sintra-flight/1" -> check_flight path doc
       | Some "sintra-recov/1" -> check_recov path doc
       | Some "sintra-svc/1" -> check_svc path doc
+      | Some "sintra-epoch/1" -> check_epoch path doc
       | Some s -> Error (Printf.sprintf "unknown schema %S" s)
       | None -> Error "missing \"schema\" member")
   in
@@ -656,7 +671,8 @@ let bench_check_cmd =
     in
     if files = [] then begin
       prerr_endline
-        "bench-check: no BENCH_/FAULTS_/FLIGHT_/RECOV_*.json files found";
+        "bench-check: no BENCH_/FAULTS_/FLIGHT_/RECOV_/EPOCH_*.json files \
+         found";
       exit 1
     end;
     let failed = ref false in
@@ -675,10 +691,12 @@ let bench_check_cmd =
        ~doc:
          "Validate the schema of machine-readable benchmark \
           (sintra-bench/1), fault-campaign (sintra-faults/2), \
-          flight-record (sintra-flight/1) and recovery-campaign \
-          (sintra-recov/1) output, including the link section's gating \
-          invariant (no undecided liveness-gating runs) and the \
-          recovery campaign's bounded-memory invariant.")
+          flight-record (sintra-flight/1), recovery-campaign \
+          (sintra-recov/1) and epoch-campaign (sintra-epoch/1) output, \
+          including the link section's gating invariant (no undecided \
+          liveness-gating runs), the recovery campaign's bounded-memory \
+          invariant, and the epoch campaign's key-stability and \
+          old-share-uselessness invariants.")
     Term.(const run $ files_arg)
 
 (* ---------- faults: seed-sweep fault-injection campaigns ------------- *)
@@ -1047,6 +1065,119 @@ let recover_cmd =
       const run $ n_arg $ t_arg $ seed_arg $ seeds_arg $ scenarios_arg
       $ payloads_arg $ interval_arg $ drop_arg $ mem_payloads_arg
       $ no_forged_arg $ max_steps_arg $ out_arg $ quick_arg $ crypto_arg)
+
+(* ---------- refresh: online epoch-reconfiguration campaigns ----------- *)
+
+let refresh_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~docv:"K" ~doc:"Seeds per (scenario, variant) cell.")
+  in
+  let scenarios_arg =
+    Arg.(
+      value & opt string "refresh-only,add-replica,kill-and-replace"
+      & info [ "scenarios" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated scenarios (refresh-only, add-replica, \
+             kill-and-replace).")
+  in
+  let variants_arg =
+    Arg.(
+      value & opt string "benign,lossy,byz-refresher"
+      & info [ "variants" ] ~docv:"LIST"
+          ~doc:"Comma-separated variants (benign, lossy, byz-refresher).")
+  in
+  let payloads_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "payloads" ] ~docv:"K" ~doc:"Payloads streamed per run.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "interval" ] ~docv:"R"
+          ~doc:"Checkpoint period in atomic-broadcast rounds.")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Chaos drop probability for the lossy variant.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 800_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Per-run simulator step bound.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "EPOCH"
+      & info [ "out" ] ~docv:"ID"
+          ~doc:"Report id: the campaign writes EPOCH_<ID>.json.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Sweep only 2 seeds (CI smoke runs).")
+  in
+  let run n t seed seeds scenarios variants payloads interval drop max_steps
+      out quick crypto =
+    set_crypto crypto;
+    let seeds = if quick then min seeds 2 else seeds in
+    let parse_list what of_string s =
+      String.split_on_char ',' s
+      |> List.filter (fun x -> x <> "")
+      |> List.map (fun name ->
+             match of_string name with
+             | Some v -> v
+             | None ->
+               Printf.eprintf "refresh: unknown %s %S\n" what name;
+               exit 2)
+    in
+    let scenarios =
+      parse_list "scenario" Refresh.scenario_of_string scenarios
+    in
+    let variants = parse_list "variant" Refresh.variant_of_string variants in
+    let cfg =
+      Refresh.default_config ~seeds ~seed_base:seed ~n ~t ~payloads ~interval
+        ~drop ~scenarios ~variants ~max_steps ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let rep =
+      Refresh.run
+        ~progress:(fun (k, total) ->
+          if k mod 5 = 0 || k = total then
+            Printf.eprintf "\r[refresh] %d/%d runs%!" k total)
+        cfg
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.eprintf "\n%!";
+    Refresh.pp_summary Format.std_formatter rep;
+    let path = Refresh.write ~id:out ~wall rep in
+    Printf.printf "[refresh] wrote %s (%.1fs)\n" path wall;
+    if not (Refresh.ok rep) then begin
+      prerr_endline
+        "refresh: safety violation, incomplete reconfiguration, key drift, \
+         live old shares, or missing reply certificates";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "refresh"
+       ~doc:
+         "Sweep online epoch-reconfiguration scenarios: stream payloads \
+          through a checkpointing deployment while the replicas agree — \
+          through their own total order — on a proactive share refresh, a \
+          replica addition, or a kill-and-replace, then check that the \
+          service public key never changes, pre-epoch shares open garbage \
+          against the post-epoch sharing, every payload still earns a \
+          valid reply certificate, and equivocating refreshers are \
+          excluded.  Writes a sintra-epoch/1 report (EPOCH_<ID>.json).")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ seeds_arg $ scenarios_arg
+      $ variants_arg $ payloads_arg $ interval_arg $ drop_arg $ max_steps_arg
+      $ out_arg $ quick_arg $ crypto_arg)
 
 (* ---------- svc: sustained-load client-pipeline campaigns ------------- *)
 
@@ -1683,7 +1814,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ structure_cmd; abc_cmd; trace_cmd; bench_check_cmd; bench_num_cmd;
-            perf_diff_cmd; faults_cmd; record_cmd; recover_cmd; svc_cmd;
+            perf_diff_cmd; faults_cmd; record_cmd; recover_cmd; refresh_cmd;
+            svc_cmd;
             compare_cmd;
             search_cmd;
             coin_cmd; notary_cmd; ca_cmd ]))

@@ -411,3 +411,339 @@ let decode_link_frame (s : string) : string Link.frame option =
       end
     | _ -> None
   end
+
+(* ---------- epoch frames -------------------------------------------- *)
+
+(* The epoch-reconfiguration protocol moves cryptographic material over
+   the wire: zero-sharing refresh packages (SEP1), cross-structure
+   reshare packages (SER1), the epoch-advance statement body (SEA1) and
+   its certified form (SEC1).  All follow the checkpoint-frame
+   discipline — magic, explicit counts, length prefixes, exact
+   consumption — and the crypto-bearing frames additionally pin every
+   exponent to the canonical fixed-width big-endian form with value
+   below the group order and every group element to a validated member
+   of the subgroup, so a frame that decodes re-encodes to the very same
+   bytes and never smuggles an out-of-range value into the crypto
+   layer. *)
+
+let exp_len (g : Schnorr_group.params) =
+  (Bignum.numbits g.Schnorr_group.q + 7) / 8
+
+let elt_len (g : Schnorr_group.params) =
+  (Bignum.numbits g.Schnorr_group.p + 7) / 8
+
+let add_exp g buf v =
+  Buffer.add_string buf (Bignum.to_bytes_be ~len:(exp_len g) v)
+
+(* Fixed-width exponent field: exactly [exp_len] bytes, value < q.  A
+   value >= q (or a short read) rejects the frame, so the range check
+   callers would otherwise owe the crypto layer happens once, here. *)
+let read_exp g s off =
+  let l = exp_len g in
+  if off + l > String.length s then None
+  else
+    let v = Bignum.of_bytes_be (String.sub s off l) in
+    if Bignum.lt v g.Schnorr_group.q then Some v else None
+
+(* Fixed-width group element: exactly [elt_len] bytes, subgroup
+   membership checked by {!Schnorr_group.elt_of_bytes}. *)
+let read_elt g s off =
+  let l = elt_len g in
+  if off + l > String.length s then None
+  else Schnorr_group.elt_of_bytes g (String.sub s off l)
+
+let add_subshare g buf (ss : Lsss.subshare) =
+  if ss.Lsss.leaf < 0 || ss.Lsss.party < 0 then
+    invalid_arg "Codec: negative subshare index";
+  add_u64 buf ss.Lsss.leaf;
+  add_u64 buf ss.Lsss.party;
+  add_exp g buf ss.Lsss.value
+
+let read_subshare g s off : (Lsss.subshare * int) option =
+  if off + 16 > String.length s then None
+  else begin
+    let leaf = read_u64 s off in
+    let party = read_u64 s (off + 8) in
+    if leaf < 0 || party < 0 then None
+    else
+      match read_exp g s (off + 16) with
+      | None -> None
+      | Some value ->
+        Some ({ Lsss.leaf; party; value }, off + 16 + exp_len g)
+  end
+
+let refresh_magic = "SEP1"
+
+let encode_refresh_pkg g (pkg : Proactive.refresh_package) : string =
+  if pkg.Proactive.dealer < 0 then invalid_arg "Codec.encode_refresh_pkg";
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf refresh_magic;
+  add_u64 buf pkg.Proactive.dealer;
+  add_u64 buf (List.length pkg.Proactive.deltas);
+  List.iter (add_subshare g buf) pkg.Proactive.deltas;
+  add_u64 buf (Array.length pkg.Proactive.delta_keys);
+  Array.iter
+    (fun k -> Buffer.add_string buf (Schnorr_group.elt_to_bytes g k))
+    pkg.Proactive.delta_keys;
+  Buffer.contents buf
+
+let decode_refresh_pkg g (s : string) : Proactive.refresh_package option =
+  let len = String.length s in
+  let mlen = String.length refresh_magic in
+  if len < mlen + 16 || String.sub s 0 mlen <> refresh_magic then None
+  else begin
+    let dealer = read_u64 s mlen in
+    let nd = read_u64 s (mlen + 8) in
+    if dealer < 0 || nd < 0 then None
+    else
+      let rec deltas k off acc =
+        if k = 0 then Some (List.rev acc, off)
+        else
+          match read_subshare g s off with
+          | None -> None
+          | Some (ss, off') -> deltas (k - 1) off' (ss :: acc)
+      in
+      match deltas nd (mlen + 16) [] with
+      | None -> None
+      | Some (deltas, off) ->
+        if off + 8 > len then None
+        else begin
+          let nk = read_u64 s off in
+          let el = elt_len g in
+          if nk < 0 || off + 8 + (nk * el) <> len then None
+          else begin
+            let keys = Array.make nk (Schnorr_group.one g) in
+            let ok = ref true in
+            for i = 0 to nk - 1 do
+              match read_elt g s (off + 8 + (i * el)) with
+              | None -> ok := false
+              | Some e -> keys.(i) <- e
+            done;
+            if !ok then
+              Some { Proactive.dealer; deltas; delta_keys = keys }
+            else None
+          end
+        end
+  end
+
+let reshare_magic = "SER1"
+
+let encode_reshare_pkg g (pkg : Proactive.reshare_package) : string =
+  if pkg.Proactive.r_dealer < 0 then invalid_arg "Codec.encode_reshare_pkg";
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf reshare_magic;
+  add_u64 buf pkg.Proactive.r_dealer;
+  add_u64 buf (List.length pkg.Proactive.r_deals);
+  List.iter
+    (fun (old_leaf, subs, keys) ->
+      if old_leaf < 0 then invalid_arg "Codec.encode_reshare_pkg";
+      add_u64 buf old_leaf;
+      add_u64 buf (List.length subs);
+      List.iter (add_subshare g buf) subs;
+      add_u64 buf (Array.length keys);
+      Array.iter
+        (fun k -> Buffer.add_string buf (Schnorr_group.elt_to_bytes g k))
+        keys)
+    pkg.Proactive.r_deals;
+  Buffer.contents buf
+
+let decode_reshare_pkg g (s : string) : Proactive.reshare_package option =
+  let len = String.length s in
+  let mlen = String.length reshare_magic in
+  if len < mlen + 16 || String.sub s 0 mlen <> reshare_magic then None
+  else begin
+    let dealer = read_u64 s mlen in
+    let ndeals = read_u64 s (mlen + 8) in
+    if dealer < 0 || ndeals < 0 then None
+    else
+      let el = elt_len g in
+      let rec deals k off acc =
+        if k = 0 then
+          if off = len then Some (List.rev acc) else None
+        else if off + 16 > len then None
+        else begin
+          let old_leaf = read_u64 s off in
+          let nsub = read_u64 s (off + 8) in
+          if old_leaf < 0 || nsub < 0 then None
+          else
+            let rec subs j off acc =
+              if j = 0 then Some (List.rev acc, off)
+              else
+                match read_subshare g s off with
+                | None -> None
+                | Some (ss, off') -> subs (j - 1) off' (ss :: acc)
+            in
+            match subs nsub (off + 16) [] with
+            | None -> None
+            | Some (subs, off) ->
+              if off + 8 > len then None
+              else begin
+                let nk = read_u64 s off in
+                if nk < 0 || off + 8 + (nk * el) > len then None
+                else begin
+                  let keys = Array.make nk (Schnorr_group.one g) in
+                  let ok = ref true in
+                  for i = 0 to nk - 1 do
+                    match read_elt g s (off + 8 + (i * el)) with
+                    | None -> ok := false
+                    | Some e -> keys.(i) <- e
+                  done;
+                  if !ok then
+                    deals (k - 1)
+                      (off + 8 + (nk * el))
+                      ((old_leaf, subs, keys) :: acc)
+                  else None
+                end
+              end
+        end
+      in
+      match deals ndeals (mlen + 16) [] with
+      | None -> None
+      | Some r_deals -> Some { Proactive.r_dealer = dealer; r_deals }
+  end
+
+(* Monotone access formula, recursively: a leaf is tag 0 plus the party
+   index; a threshold gate is tag 1, the threshold k, the child count,
+   then the children.  Strict: k must satisfy 1 <= k <= count. *)
+
+let rec add_formula buf (f : Monotone_formula.t) =
+  match f with
+  | Monotone_formula.Leaf p ->
+    if p < 0 then invalid_arg "Codec: negative formula leaf";
+    Buffer.add_char buf '\000';
+    add_u64 buf p
+  | Monotone_formula.Threshold (k, children) ->
+    let c = List.length children in
+    if k < 1 || k > c then invalid_arg "Codec: malformed threshold gate";
+    Buffer.add_char buf '\001';
+    add_u64 buf k;
+    add_u64 buf c;
+    List.iter (add_formula buf) children
+
+let rec read_formula s off : (Monotone_formula.t * int) option =
+  let len = String.length s in
+  if off >= len then None
+  else
+    match s.[off] with
+    | '\000' ->
+      if off + 9 > len then None
+      else begin
+        let p = read_u64 s (off + 1) in
+        if p < 0 then None else Some (Monotone_formula.Leaf p, off + 9)
+      end
+    | '\001' ->
+      if off + 17 > len then None
+      else begin
+        let k = read_u64 s (off + 1) in
+        let c = read_u64 s (off + 9) in
+        if k < 1 || c < k then None
+        else
+          let rec children j off acc =
+            if j = 0 then
+              Some (Monotone_formula.Threshold (k, List.rev acc), off)
+            else
+              match read_formula s off with
+              | None -> None
+              | Some (f, off') -> children (j - 1) off' (f :: acc)
+          in
+          children c (off + 17) []
+      end
+    | _ -> None
+
+let adv_magic = "SEA1"
+
+let encode_epoch_adv ~epoch ~(target : (int * Monotone_formula.t) option)
+    ~(pkgs : string list) : string =
+  if epoch < 0 then invalid_arg "Codec.encode_epoch_adv";
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf adv_magic;
+  add_u64 buf epoch;
+  (match target with
+  | None -> Buffer.add_char buf '\000'
+  | Some (n, f) ->
+    if n < 1 then invalid_arg "Codec.encode_epoch_adv";
+    Buffer.add_char buf '\001';
+    add_u64 buf n;
+    add_formula buf f);
+  add_u64 buf (List.length pkgs);
+  List.iter
+    (fun p ->
+      add_u64 buf (String.length p);
+      Buffer.add_string buf p)
+    pkgs;
+  Buffer.contents buf
+
+let decode_epoch_adv (s : string) :
+    (int * (int * Monotone_formula.t) option * string list) option =
+  let len = String.length s in
+  let mlen = String.length adv_magic in
+  if len < mlen + 9 || String.sub s 0 mlen <> adv_magic then None
+  else begin
+    let epoch = read_u64 s mlen in
+    if epoch < 0 then None
+    else
+      let target =
+        match s.[mlen + 8] with
+        | '\000' -> Some (None, mlen + 9)
+        | '\001' ->
+          if mlen + 17 > len then None
+          else begin
+            let n = read_u64 s (mlen + 9) in
+            if n < 1 then None
+            else
+              match read_formula s (mlen + 17) with
+              | None -> None
+              | Some (f, off) -> Some (Some (n, f), off)
+          end
+        | _ -> None
+      in
+      match target with
+      | None -> None
+      | Some (target, off) ->
+        if off + 8 > len then None
+        else begin
+          let count = read_u64 s off in
+          if count < 0 then None
+          else
+            let rec go k off acc =
+              if k = 0 then
+                if off = len then Some (List.rev acc) else None
+              else if off + 8 > len then None
+              else begin
+                let l = read_u64 s off in
+                if l < 0 || off + 8 + l > len then None
+                else go (k - 1) (off + 8 + l) (String.sub s (off + 8) l :: acc)
+              end
+            in
+            match go count (off + 8) [] with
+            | None -> None
+            | Some pkgs -> Some (epoch, target, pkgs)
+        end
+  end
+
+let epoch_cert_magic = "SEC1"
+
+let encode_epoch_cert ~body ~cert : string =
+  let buf = Buffer.create (String.length body + String.length cert + 24) in
+  Buffer.add_string buf epoch_cert_magic;
+  add_u64 buf (String.length body);
+  Buffer.add_string buf body;
+  add_u64 buf (String.length cert);
+  Buffer.add_string buf cert;
+  Buffer.contents buf
+
+let decode_epoch_cert (s : string) : (string * string) option =
+  let len = String.length s in
+  let mlen = String.length epoch_cert_magic in
+  if len < mlen + 16 || String.sub s 0 mlen <> epoch_cert_magic then None
+  else begin
+    let blen = read_u64 s mlen in
+    if blen < 0 || mlen + 8 + blen + 8 > len then None
+    else begin
+      let body = String.sub s (mlen + 8) blen in
+      let coff = mlen + 8 + blen in
+      let clen = read_u64 s coff in
+      if clen < 0 || coff + 8 + clen <> len then None
+      else Some (body, String.sub s (coff + 8) clen)
+    end
+  end

@@ -101,3 +101,56 @@ val decode_link_frame : string -> string Link.frame option
     DATA sequence number below 1, or a non-canonical ACK selective set
     (entries must be strictly ascending and above the cumulative
     watermark). *)
+
+val encode_refresh_pkg :
+  Schnorr_group.params -> Proactive.refresh_package -> string
+(** Epoch refresh-package frame (magic ["SEP1"]): the dealer, its
+    zero-sharing subshares and the per-leaf commitment keys.  Exponents
+    are fixed-width canonical big-endian; elements are fixed-width group
+    members.  Raises [Invalid_argument] on negative indices. *)
+
+val decode_refresh_pkg :
+  Schnorr_group.params -> string -> Proactive.refresh_package option
+(** Strict total inverse of {!encode_refresh_pkg}: [None] on wrong
+    magic, truncation or trailing bytes, an exponent at or above the
+    group order, or a key outside the subgroup. *)
+
+val encode_reshare_pkg :
+  Schnorr_group.params -> Proactive.reshare_package -> string
+(** Membership-change reshare-package frame (magic ["SER1"]): the
+    dealer, then per owned old leaf a fresh target-scheme sharing with
+    its per-leaf keys, under the same field discipline as ["SEP1"]. *)
+
+val decode_reshare_pkg :
+  Schnorr_group.params -> string -> Proactive.reshare_package option
+(** Strict total inverse of {!encode_reshare_pkg}. *)
+
+val encode_epoch_adv :
+  epoch:int ->
+  target:(int * Monotone_formula.t) option ->
+  pkgs:string list ->
+  string
+(** Epoch-advance statement body (magic ["SEA1"]): the epoch being
+    opened, an optional target access structure ([n] and its monotone
+    formula) for membership changes, and the agreed package frames as
+    opaque length-prefixed blobs.  Its hash is what the advance
+    certificate signs, so the frame is canonical byte for byte.  Raises
+    [Invalid_argument] on a negative epoch, [n < 1] or a malformed
+    formula gate. *)
+
+val decode_epoch_adv :
+  string -> (int * (int * Monotone_formula.t) option * string list) option
+(** Strict total inverse of {!encode_epoch_adv}
+    ([(epoch, target, pkgs)]); [None] on wrong magic, an unknown kind
+    byte, a threshold gate with [k < 1] or [k] above its child count,
+    truncation or trailing bytes. *)
+
+val encode_epoch_cert : body:string -> cert:string -> string
+(** Certified epoch advance (magic ["SEC1"]): the ["SEA1"] body paired
+    with the serialized combined service signature over its hash — the
+    self-certifying form carried through the total order and replayed to
+    catching-up replicas. *)
+
+val decode_epoch_cert : string -> (string * string) option
+(** Strict total inverse of {!encode_epoch_cert} ([(body, cert)]);
+    [None] on wrong magic, truncation or trailing bytes. *)

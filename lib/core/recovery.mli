@@ -20,7 +20,19 @@
 
     With [interval = 0] and no fetch traffic the wrapped {!Abc} behaves
     bit-identically to a bare one: checkpointing never fires and no
-    extra messages exist. *)
+    extra messages exist.
+
+    {b Scope: this wrapper covers the plain atomic broadcast only.}
+    Secure causal broadcast ({!Scabc}) deliberately has no recovery
+    hook: a revived replica would need its threshold-decryption key
+    share re-issued before it could help open post-revival ciphertexts,
+    and handing it the old share from a snapshot would defeat the point
+    of proactive refresh (a mobile adversary could harvest shares from
+    crashed disks).  Until re-keying of decryption shares rides the
+    epoch-reconfiguration path ({!Epoch}), confidential deployments
+    refuse crash-rejoin rather than fake it — the service campaign
+    ({!Svc}) reports such cells as skipped with this reason instead of
+    silently shrinking its sweep matrix. *)
 
 type msg =
   | App of Abc.msg  (** the wrapped atomic-broadcast traffic *)

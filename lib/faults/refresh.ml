@@ -1,0 +1,892 @@
+(* Epoch-reconfiguration campaigns over the {!Epoch} subsystem: seeded
+   scenario runs with proactive-security oracles and a machine-readable
+   EPOCH report.
+
+   Each run streams client payloads through an epoch-wrapped deployment
+   while the sweep's scenario reconfigures the service sharing online —
+   a proactive refresh, a membership change that adds a replica, or a
+   kill-and-replace (crash the victim, reshare it out, revive it,
+   reshare it back in) — under a benign network, 30% loss restored by
+   the ARQ link, or an equivocating Byzantine refresher.
+
+   Every delivered payload is countersigned with the signer's *current*
+   epoch sharing ({!Cert_sig}), so the reply-certificate oracle checks
+   end to end that the service kept answering across every boundary:
+   for each payload some epoch's share group recombines into a
+   certificate valid under the never-changing public key.  The
+   proactive oracles check that the public key survived every advance
+   and that pre-epoch shares die at the boundary: a qualified-size mix
+   of old and new shares reconstructs garbage. *)
+
+module AS = Adversary_structure
+module G = Schnorr_group
+
+type scenario = Refresh_only | Add_replica | Kill_replace
+
+let scenario_label = function
+  | Refresh_only -> "refresh-only"
+  | Add_replica -> "add-replica"
+  | Kill_replace -> "kill-and-replace"
+
+let scenario_of_string = function
+  | "refresh-only" -> Some Refresh_only
+  | "add-replica" -> Some Add_replica
+  | "kill-and-replace" -> Some Kill_replace
+  | _ -> None
+
+type variant = Benign | Lossy | Byz_refresher
+
+let variant_label = function
+  | Benign -> "benign"
+  | Lossy -> "lossy"
+  | Byz_refresher -> "byz-refresher"
+
+let variant_of_string = function
+  | "benign" -> Some Benign
+  | "lossy" -> Some Lossy
+  | "byz-refresher" -> Some Byz_refresher
+  | _ -> None
+
+type config = {
+  e_seeds : int;
+  e_seed_base : int;
+  e_n : int;
+  e_t : int;
+  e_rsa_bits : int;
+  e_group_bits : int;
+  e_payloads : int;
+  e_submit_gap : float;
+  e_interval : int;  (* checkpoint period of the wrapped recovery *)
+  e_drop : float;  (* chaos drop rate for the lossy variant *)
+  e_abc_policy : Abc.policy;
+  e_link : Link.policy;
+  (* Progress-driven triggers, as in the recovery campaigns: virtual
+     round duration varies wildly with the drop rate, so the
+     reconfiguration is fired when the stream crosses these fractions
+     of the payload count, polled by a monitor party. *)
+  e_down_frac : float;
+  e_up_frac : float;
+  e_poll : float;
+  e_epoch_retry : float;
+  e_scenarios : scenario list;
+  e_variants : variant list;
+  e_max_steps : int;
+}
+
+let default_config ?(seeds = 50) ?(seed_base = 1) ?(n = 4) ?(t = 1)
+    ?(rsa_bits = 192) ?(group_bits = 128) ?(payloads = 24)
+    ?(submit_gap = 6.0) ?(interval = 4) ?(drop = 0.3) ?abc_policy ?link
+    ?(down_frac = 0.35) ?(up_frac = 0.7) ?(poll = 200.0)
+    ?(epoch_retry = 400.0) ?scenarios ?variants ?(max_steps = 800_000) () =
+  {
+    e_seeds = seeds;
+    e_seed_base = seed_base;
+    e_n = n;
+    e_t = t;
+    e_rsa_bits = rsa_bits;
+    e_group_bits = group_bits;
+    e_payloads = payloads;
+    e_submit_gap = submit_gap;
+    e_interval = interval;
+    e_drop = drop;
+    e_abc_policy =
+      Option.value abc_policy
+        ~default:
+          { Abc.default_policy with Abc.max_batch_msgs = 4; window = 2 };
+    e_link = Option.value link ~default:Link.default_policy;
+    e_down_frac = down_frac;
+    e_up_frac = up_frac;
+    e_poll = poll;
+    e_epoch_retry = epoch_retry;
+    e_scenarios =
+      Option.value scenarios
+        ~default:[ Refresh_only; Add_replica; Kill_replace ];
+    e_variants =
+      Option.value variants ~default:[ Benign; Lossy; Byz_refresher ];
+    e_max_steps = max_steps;
+  }
+
+type run_result = {
+  er_scenario : scenario;
+  er_seed : int;
+  er_variant : variant;
+  er_victim : int;
+  er_epochs : int;  (* epochs every live replica reached *)
+  er_completed : bool;  (* stream + reconfiguration done, no safety *)
+  er_pk_stable : bool;  (* public key identical across every epoch *)
+  er_old_shares_dead : bool;  (* qualified old/new mix opens garbage *)
+  er_certs_ok : int;  (* payloads with a valid reply certificate *)
+  er_excluded : int;  (* dealer exclusions witnessed across replicas *)
+  er_replaced_serving : bool;  (* victim signs from the final epoch *)
+  er_violations : Oracle.violation list;
+  er_steps : int;
+}
+
+(* Shared dealt keyring/group + obs across a sweep. *)
+type env = {
+  v_keyring : Keyring.t;
+  v_group : G.params;
+  v_obs : Obs.t;
+}
+
+let prepare cfg =
+  let structure = AS.threshold ~n:cfg.e_n ~t:cfg.e_t in
+  let keyring =
+    Keyring.deal ~group_bits:cfg.e_group_bits ~rsa_bits:cfg.e_rsa_bits
+      ~seed:(cfg.e_seed_base + 8810) structure
+  in
+  {
+    v_keyring = keyring;
+    v_group = G.default ~bits:cfg.e_group_bits ();
+    v_obs = Obs.create ();
+  }
+
+let env_obs env = env.v_obs
+
+(* A [t]-of-members access structure over the full party universe: the
+   removed replicas simply own no leaves.  Used as the reshare target
+   for membership changes. *)
+let member_structure ~n ~t members =
+  AS.of_access_formula ~n
+    (Monotone_formula.threshold (t + 1)
+       (List.map Monotone_formula.leaf members))
+
+(* ---------- one scenario run ------------------------------------------ *)
+
+let run_one env cfg ~scenario ~variant ~seed =
+  let n = cfg.e_n and t = cfg.e_t in
+  let keyring = env.v_keyring and obs = env.v_obs in
+  let victim = abs seed mod n in
+  let byz = (victim + 1) mod n in
+  let others = List.filter (fun p -> p <> victim) (List.init n Fun.id) in
+  (* Initial service sharing: the add-replica scenario starts with the
+     victim outside the access structure and reshares it in; the others
+     start on the full threshold structure. *)
+  let structure0 =
+    match scenario with
+    | Add_replica -> member_structure ~n ~t others
+    | Refresh_only | Kill_replace -> AS.threshold ~n ~t
+  in
+  let sharing0 =
+    Dl_sharing.deal env.v_group structure0
+      (Prng.create ~seed:(seed lxor 0x3a11))
+  in
+  let pk = sharing0.Dl_sharing.public_key in
+  let sim = Sim.create ~n ~seed ~obs () in
+  let chaos =
+    match variant with
+    | Lossy ->
+      Some
+        {
+          Sim.benign_chaos with
+          Sim.default_link = { Sim.no_fault with Sim.drop = cfg.e_drop };
+        }
+    | Benign | Byz_refresher -> Some Sim.benign_chaos
+  in
+  Sim.set_chaos sim chaos;
+  let link = match variant with Lossy -> Some cfg.e_link | _ -> None in
+  let tag =
+    Printf.sprintf "epoch-%s-%s-%d" (scenario_label scenario)
+      (variant_label variant) seed
+  in
+  (* Reply-certificate bookkeeping: payload -> epoch -> per-party share
+     lists, written by each node's deliver hook with its then-current
+     sharing.  [epoch_sharings] collects every installed sharing (they
+     are identical across replicas: deterministic install of identical
+     certified bodies). *)
+  let sigs : (string, (int, (int * Cert_sig.share list) list) Hashtbl.t)
+      Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let epoch_sharings : (int, Dl_sharing.t) Hashtbl.t = Hashtbl.create 4 in
+  Hashtbl.replace epoch_sharings 0 sharing0;
+  let depref = ref None in
+  (* Distinct application payloads each party has delivered: the raw
+     [Abc.delivered_count] also counts certified advances, and a revived
+     incarnation re-delivers its replayed prefix. *)
+  let seen_payloads = Array.init n (fun _ -> Hashtbl.create 64) in
+  let deliver me payload =
+    Hashtbl.replace seen_payloads.(me) payload ();
+    match !depref with
+    | None -> ()
+    | Some dep ->
+      let node = (Epoch.nodes dep).(me) in
+      let sh = Epoch.sharing node in
+      if Dl_sharing.shares_of sh me <> [] then begin
+        let per_epoch =
+          match Hashtbl.find_opt sigs payload with
+          | Some h -> h
+          | None ->
+            let h = Hashtbl.create 4 in
+            Hashtbl.replace sigs payload h;
+            h
+        in
+        let e = Epoch.epoch node in
+        let entries =
+          match Hashtbl.find_opt per_epoch e with Some l -> l | None -> []
+        in
+        if not (List.mem_assoc me entries) then
+          Hashtbl.replace per_epoch e
+            ((me, Cert_sig.sign_share sh ~party:me payload) :: entries)
+      end
+  in
+  let dep =
+    Epoch.deploy ~policy:cfg.e_abc_policy ?link ~interval:cfg.e_interval
+      ~epoch_retry:cfg.e_epoch_retry ~seed:(seed lxor 0xe90c) ~sim ~keyring
+      ~sharing:sharing0 ~tag ~deliver ()
+  in
+  depref := Some dep;
+  let nodes () = Epoch.nodes dep in
+  let watch_advances p node =
+    Epoch.set_on_advance node (fun ~epoch ~sharing ->
+        ignore p;
+        if not (Hashtbl.mem epoch_sharings epoch) then
+          Hashtbl.replace epoch_sharings epoch sharing)
+  in
+  Array.iteri watch_advances (nodes ());
+  (* Client stream: staggered submissions from non-victim replicas (a
+     crashed submitter would silently shrink the expected total). *)
+  let submitters = others in
+  List.iteri
+    (fun k payload ->
+      let s = List.nth submitters (k mod List.length submitters) in
+      Sim.set_timer sim s
+        ~delay:(float_of_int k *. cfg.e_submit_gap)
+        (fun () -> Epoch.submit (nodes ()).(s) payload))
+    (List.init cfg.e_payloads (fun k -> Printf.sprintf "etx-%d-%d" seed k));
+  let count p = Hashtbl.length seen_payloads.(p) in
+  let epoch_of p = Epoch.epoch (nodes ()).(p) in
+  let alive p = not (Sim.is_crashed sim p) in
+  let progress () =
+    List.fold_left (fun acc p -> max acc (count p)) 0 others
+  in
+  let down_th =
+    max 1 (int_of_float (cfg.e_down_frac *. float_of_int cfg.e_payloads))
+  in
+  let up_th =
+    min
+      (cfg.e_payloads - 1)
+      (int_of_float (cfg.e_up_frac *. float_of_int cfg.e_payloads))
+  in
+  (* The reconfiguration trigger: open the epoch on every live replica;
+     under the Byzantine variant the [byz] replica instead equivocates —
+     two different valid packages, one to each half of its peers — and
+     stays silent in the advance protocol. *)
+  let byz_active = variant = Byz_refresher in
+  let byz_frames = ref None in
+  let equivocate target =
+    let node = (nodes ()).(byz) in
+    let sh = Epoch.sharing node in
+    if Dl_sharing.shares_of sh byz <> [] then begin
+      let frames =
+        match !byz_frames with
+        | Some fs -> fs
+        | None ->
+          let mk k =
+            let rng = Prng.create ~seed:(seed lxor (0xb1 + k)) in
+            match target with
+            | None ->
+              Codec.encode_refresh_pkg sh.Dl_sharing.group
+                (Proactive.make_refresh sh ~dealer:byz rng)
+            | Some structure ->
+              Codec.encode_reshare_pkg sh.Dl_sharing.group
+                (Proactive.make_reshare sh
+                   (Proactive.target_of sh structure)
+                   ~dealer:byz rng)
+          in
+          let fs = (mk 0, mk 1) in
+          byz_frames := Some fs;
+          fs
+      in
+      let fa, fb = frames in
+      let epoch = Epoch.epoch node + 1 in
+      List.iteri
+        (fun i p ->
+          let frame = if i mod 2 = 0 then fa else fb in
+          Sim.send sim ~src:byz ~dst:p
+            (Link.Raw (Epoch.Refresh { epoch; frame })))
+        (List.filter (fun p -> p <> byz) (List.init n Fun.id))
+    end
+  in
+  let open_epoch target =
+    byz_frames := None;
+    Array.iteri
+      (fun p node ->
+        if alive p && not (byz_active && p = byz) then
+          match target with
+          | None -> Epoch.begin_refresh node
+          | Some structure -> Epoch.begin_reshare node structure)
+      (nodes ());
+    if byz_active && alive byz then equivocate target
+  in
+  let target_full = AS.threshold ~n ~t in
+  let target_without_victim = member_structure ~n ~t others in
+  (* Scenario phase machine, driven by the monitor's poll timer. *)
+  let monitor = (victim + 2) mod n in
+  let final_epoch =
+    match scenario with Kill_replace -> 2 | _ -> 1
+  in
+  let phase = ref `Wait_down in
+  let pending_target = ref None in
+  (* One extra payload submitted only after every replica has installed
+     the final epoch: its reply certificate proves the service is still
+     answering — with the victim countersigning — from the new sharing. *)
+  let tail_payload = Printf.sprintf "etx-%d-tail" seed in
+  let tail_submitted = ref false in
+  let rec poll () =
+    (match (!phase, scenario) with
+    | `Wait_down, Refresh_only when progress () >= down_th ->
+      pending_target := None;
+      open_epoch None;
+      phase := `Reconfiguring
+    | `Wait_down, Add_replica when progress () >= down_th ->
+      pending_target := Some target_full;
+      open_epoch (Some target_full);
+      phase := `Reconfiguring
+    | `Wait_down, Kill_replace when progress () >= down_th ->
+      Sim.crash sim victim;
+      pending_target := Some target_without_victim;
+      open_epoch (Some target_without_victim);
+      phase := `Wait_up
+    | `Wait_up, Kill_replace
+      when progress () >= up_th
+           && List.for_all (fun p -> epoch_of p >= 1) others ->
+      let node = Epoch.revive dep victim in
+      watch_advances victim node;
+      phase := `Wait_caught_up
+    | `Wait_caught_up, Kill_replace when epoch_of victim >= 1 ->
+      pending_target := Some target_full;
+      open_epoch (Some target_full);
+      phase := `Reconfiguring
+    | (`Reconfiguring | `Wait_up), _ ->
+      (* Re-send the equivocation while the epoch is open: the frames
+         are one-shot raw sends and the variant's network is benign,
+         but proposal races can outpace a single volley. *)
+      if
+        byz_active && alive byz
+        && Epoch.epoch (nodes ()).(byz) < final_epoch
+      then equivocate !pending_target
+    | _ -> ());
+    (match !phase with
+    | `Reconfiguring
+      when Array.for_all
+             (fun node -> Epoch.epoch node >= final_epoch)
+             (nodes ()) ->
+      if not !tail_submitted then begin
+        tail_submitted := true;
+        Epoch.submit (nodes ()).(victim) tail_payload
+      end;
+      phase := `Done
+    | `Reconfiguring ->
+      (* A replica that installed an epoch while its catch-up was
+         still replaying can have the next certified advance
+         fast-forwarded past it inside a newer checkpoint; the
+         self-certifying chain is its only remaining source, so keep
+         re-pulling stragglers while the reconfiguration is open. *)
+      Array.iteri
+        (fun p node ->
+          if alive p && Epoch.epoch node < final_epoch then
+            Epoch.start_pull node)
+        (nodes ())
+    | _ -> ());
+    if !phase <> `Done then Sim.set_timer sim monitor ~delay:cfg.e_poll poll
+  in
+  Sim.set_timer sim monitor ~delay:cfg.e_poll poll;
+  let stream_total () =
+    cfg.e_payloads + if !tail_submitted then 1 else 0
+  in
+  (* A revived replica fast-forwards over the checkpointed prefix, so
+     it never sees pre-checkpoint payloads one by one: its liveness
+     condition is delivering the post-reconfiguration tail live. *)
+  let caught_up p =
+    if scenario = Kill_replace && p = victim then
+      Hashtbl.mem seen_payloads.(p) tail_payload
+    else count p >= stream_total ()
+  in
+  let done_ () =
+    !tail_submitted
+    && Array.for_all (fun node -> Epoch.epoch node >= final_epoch) (nodes ())
+    && List.for_all caught_up (List.init n Fun.id)
+  in
+  let stall = ref [] in
+  (try Sim.run ~max_steps:cfg.e_max_steps ~until:done_ sim with
+  | Sim.Out_of_steps { at_clock; pending; timers; detail } ->
+    stall := [ Oracle.out_of_steps ~detail ~at_clock ~pending ~timers () ]);
+  (* Nudge stragglers the way an operator would, as in the recovery
+     campaign: a quiesced replica slightly behind re-fetches. *)
+  let nudges = ref 0 in
+  while (not (done_ ())) && !stall = [] && !nudges < 3 do
+    incr nudges;
+    Array.iteri
+      (fun p node ->
+        if alive p && ((not (caught_up p)) || epoch_of p < final_epoch)
+        then begin
+          Recovery.start_catch_up (Epoch.recovery node);
+          Epoch.start_pull node
+        end)
+      (nodes ());
+    (try Sim.run ~max_steps:cfg.e_max_steps ~until:done_ sim with
+    | Sim.Out_of_steps { at_clock; pending; timers; detail } ->
+      stall :=
+        [ Oracle.out_of_steps ~detail ~at_clock ~pending ~timers () ])
+  done;
+  (* ---- oracles ---- *)
+  let honest = Pset.full n in
+  let histories =
+    Array.map
+      (fun node -> Abc.delivered_digests (Recovery.abc (Epoch.recovery node)))
+      (nodes ())
+  in
+  let order_violations =
+    Oracle.check_recovery ~honest ~expected:cfg.e_payloads histories @ !stall
+  in
+  (* Public-key invariance across every installed epoch. *)
+  let pk_stable =
+    Hashtbl.fold
+      (fun _ sh acc -> acc && G.elt_equal sh.Dl_sharing.public_key pk)
+      epoch_sharings true
+  in
+  (* Old shares die at a refresh boundary: a qualified-size mix of
+     pre- and post-epoch subshares reconstructs a value whose exponent
+     misses the public key.  Checked on every same-structure advance
+     (membership changes swap schemes, making cross-epoch mixing
+     impossible outright). *)
+  let old_shares_dead =
+    Hashtbl.fold
+      (fun e sh_new acc ->
+        acc
+        &&
+        match Hashtbl.find_opt epoch_sharings (e - 1) with
+        | None -> true
+        | Some sh_old ->
+          if sh_old.Dl_sharing.scheme != sh_new.Dl_sharing.scheme
+             && AS.access_formula sh_old.Dl_sharing.structure
+                <> AS.access_formula sh_new.Dl_sharing.structure
+          then true
+          else begin
+            let holders =
+              List.filter
+                (fun p -> Dl_sharing.shares_of sh_new p <> [])
+                (List.init n Fun.id)
+            in
+            match holders with
+            | a :: b :: _ ->
+              let mix =
+                Lsss.shares_of_party sh_old.Dl_sharing.subshares a
+                @ Lsss.shares_of_party sh_new.Dl_sharing.subshares b
+              in
+              (match
+                 Lsss.reconstruct sh_new.Dl_sharing.scheme mix
+                   (Pset.of_list [ a; b ])
+               with
+              | None -> true
+              | Some v ->
+                not (G.elt_equal (G.exp_g sh_new.Dl_sharing.group v) pk))
+            | _ -> false
+          end)
+      epoch_sharings true
+  in
+  (* Reply certificates: every payload must recombine, in some epoch's
+     share group, into a certificate valid under the original public
+     key.  The final sharing record is the verifier's view — its public
+     key equals the original whenever pk_stable holds. *)
+  let certs_ok = ref 0 in
+  List.iter
+    (fun k ->
+      let payload = Printf.sprintf "etx-%d-%d" seed k in
+      match Hashtbl.find_opt sigs payload with
+      | None -> ()
+      | Some per_epoch ->
+        let ok =
+          Hashtbl.fold
+            (fun e entries acc ->
+              acc
+              ||
+              match Hashtbl.find_opt epoch_sharings e with
+              | None -> false
+              | Some sh -> (
+                match Cert_sig.combine sh payload entries with
+                | None -> false
+                | Some cert -> Cert_sig.verify sh payload cert))
+            per_epoch false
+        in
+        if ok then incr certs_ok)
+    (List.init cfg.e_payloads Fun.id);
+  let excluded_witnessed =
+    Array.fold_left
+      (fun acc node -> acc + Epoch.excluded_total node)
+      0 (nodes ())
+  in
+  let final_sharing =
+    match Hashtbl.find_opt epoch_sharings final_epoch with
+    | Some sh -> Some sh
+    | None -> None
+  in
+  (* The replaced replica answers from the new epoch: it holds final-
+     epoch shares and actually countersigned some payload with them. *)
+  let victim_signed_final =
+    Hashtbl.fold
+      (fun _ per_epoch acc ->
+        acc
+        ||
+        match Hashtbl.find_opt per_epoch final_epoch with
+        | Some entries -> List.mem_assoc victim entries
+        | None -> false)
+      sigs false
+  in
+  let replaced_serving =
+    match scenario with
+    | Kill_replace | Add_replica -> (
+      match final_sharing with
+      | None -> false
+      | Some sh -> Dl_sharing.shares_of sh victim <> [] && victim_signed_final)
+    | Refresh_only -> true
+  in
+  let proactive_violations =
+    (if pk_stable then []
+     else
+       [ {
+           Oracle.oracle = "epoch-pk-invariant";
+           severity = Oracle.Safety;
+           party = None;
+           detail = "public key changed across an epoch advance";
+         } ])
+    @ (if old_shares_dead then []
+       else
+         [ {
+             Oracle.oracle = "epoch-old-shares";
+             severity = Oracle.Safety;
+             party = None;
+             detail = "pre-epoch shares still recombine to the secret";
+           } ])
+    @
+    if byz_active && excluded_witnessed = 0 then
+      [ {
+          Oracle.oracle = "epoch-equivocation";
+          severity = Oracle.Liveness;
+          party = Some byz;
+          detail = "equivocating refresher never excluded";
+        } ]
+    else []
+  in
+  let violations = order_violations @ proactive_violations in
+  let safety = Oracle.count_safety violations in
+  let epochs_reached =
+    Array.fold_left (fun acc node -> min acc (Epoch.epoch node)) max_int
+      (nodes ())
+  in
+  {
+    er_scenario = scenario;
+    er_seed = seed;
+    er_variant = variant;
+    er_victim = victim;
+    er_epochs = (if epochs_reached = max_int then 0 else epochs_reached);
+    er_completed = done_ () && safety = 0;
+    er_pk_stable = pk_stable;
+    er_old_shares_dead = old_shares_dead;
+    er_certs_ok = !certs_ok;
+    er_excluded = excluded_witnessed;
+    er_replaced_serving = replaced_serving;
+    er_violations = violations;
+    er_steps = Sim.steps sim;
+  }
+
+(* ---------- the sweep -------------------------------------------------- *)
+
+type report = {
+  config : config;
+  results : run_result list;  (* in execution order *)
+  obs : Obs.t;
+}
+
+let run ?(progress = fun _ -> ()) cfg =
+  let env = prepare cfg in
+  let results = ref [] in
+  let total =
+    List.length cfg.e_scenarios * List.length cfg.e_variants * cfg.e_seeds
+  in
+  let done_runs = ref 0 in
+  List.iter
+    (fun scenario ->
+      List.iter
+        (fun variant ->
+          for i = 0 to cfg.e_seeds - 1 do
+            let seed = cfg.e_seed_base + i in
+            let r = run_one env cfg ~scenario ~variant ~seed in
+            results := r :: !results;
+            incr done_runs;
+            progress (!done_runs, total)
+          done)
+        cfg.e_variants)
+    cfg.e_scenarios;
+  { config = cfg; results = List.rev !results; obs = env.v_obs }
+
+let safety_count rep =
+  List.fold_left
+    (fun acc r -> acc + Oracle.count_safety r.er_violations)
+    0 rep.results
+
+let liveness_count rep =
+  List.fold_left
+    (fun acc r -> acc + Oracle.count_liveness r.er_violations)
+    0 rep.results
+
+let completed_count rep =
+  List.length (List.filter (fun r -> r.er_completed) rep.results)
+
+let ok rep =
+  safety_count rep = 0
+  && completed_count rep = List.length rep.results
+  && List.for_all
+       (fun r ->
+         r.er_pk_stable && r.er_old_shares_dead && r.er_replaced_serving
+         && r.er_certs_ok = rep.config.e_payloads)
+       rep.results
+
+(* ---------- report output ---------------------------------------------- *)
+
+let schema = "sintra-epoch/1"
+
+let out_path id = Printf.sprintf "EPOCH_%s.json" id
+
+let config_json cfg =
+  Obs_json.Obj
+    [
+      ("seeds", Obs_json.Int cfg.e_seeds);
+      ("seed_base", Obs_json.Int cfg.e_seed_base);
+      ("n", Obs_json.Int cfg.e_n);
+      ("t", Obs_json.Int cfg.e_t);
+      ("payloads", Obs_json.Int cfg.e_payloads);
+      ("interval", Obs_json.Int cfg.e_interval);
+      ("drop", Obs_json.Float cfg.e_drop);
+      ("down_frac", Obs_json.Float cfg.e_down_frac);
+      ("up_frac", Obs_json.Float cfg.e_up_frac);
+      ( "scenarios",
+        Obs_json.Arr
+          (List.map
+             (fun s -> Obs_json.Str (scenario_label s))
+             cfg.e_scenarios) );
+      ( "variants",
+        Obs_json.Arr
+          (List.map (fun v -> Obs_json.Str (variant_label v)) cfg.e_variants)
+      );
+      ("max_steps", Obs_json.Int cfg.e_max_steps);
+    ]
+
+let run_json r =
+  Obs_json.Obj
+    [
+      ("scenario", Obs_json.Str (scenario_label r.er_scenario));
+      ("seed", Obs_json.Int r.er_seed);
+      ("variant", Obs_json.Str (variant_label r.er_variant));
+      ("victim", Obs_json.Int r.er_victim);
+      ("epochs", Obs_json.Int r.er_epochs);
+      ("completed", Obs_json.Bool r.er_completed);
+      ("pk_stable", Obs_json.Bool r.er_pk_stable);
+      ("old_shares_dead", Obs_json.Bool r.er_old_shares_dead);
+      ("certs_ok", Obs_json.Int r.er_certs_ok);
+      ("excluded", Obs_json.Int r.er_excluded);
+      ("replaced_serving", Obs_json.Bool r.er_replaced_serving);
+      ("safety", Obs_json.Int (Oracle.count_safety r.er_violations));
+      ("liveness", Obs_json.Int (Oracle.count_liveness r.er_violations));
+      ("steps", Obs_json.Int r.er_steps);
+    ]
+
+let to_json ~id ~wall rep =
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.Str id);
+      ("schema", Obs_json.Str schema);
+      ("wall_time_s", Obs_json.Float wall);
+      ("config", config_json rep.config);
+      ("runs", Obs_json.Int (List.length rep.results));
+      ("completed", Obs_json.Int (completed_count rep));
+      ( "excluded_total",
+        Obs_json.Int
+          (List.fold_left (fun a r -> a + r.er_excluded) 0 rep.results) );
+      ( "violations",
+        Obs_json.Obj
+          [
+            ("safety", Obs_json.Int (safety_count rep));
+            ("liveness", Obs_json.Int (liveness_count rep));
+          ] );
+      ("per_run", Obs_json.Arr (List.map run_json rep.results));
+      ("metrics", Obs_registry.snapshot_to_json (Obs.snapshot rep.obs));
+    ]
+
+let write ~id ~wall rep =
+  let path = out_path id in
+  let oc = open_out path in
+  output_string oc (Obs_json.to_canonical_string (to_json ~id ~wall rep));
+  output_char oc '\n';
+  close_out oc;
+  path
+
+(* Shape + invariant validator for sintra-epoch/1 documents, dispatched
+   from the CLI's bench-check like the other schemas. *)
+let validate_json (doc : Obs_json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let need kind name conv =
+    match Option.bind (Obs_json.member name doc) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or non-%s member %S" kind name)
+  in
+  let* s = need "string" "schema" Obs_json.to_str in
+  let* () = if s = schema then Ok () else Error ("unexpected schema " ^ s) in
+  let* _ = need "string" "experiment" Obs_json.to_str in
+  let* _ = need "float" "wall_time_s" Obs_json.to_float in
+  let* runs = need "int" "runs" Obs_json.to_int in
+  let* () = if runs > 0 then Ok () else Error "no runs" in
+  let* completed = need "int" "completed" Obs_json.to_int in
+  let* () =
+    if completed = runs then Ok ()
+    else
+      Error
+        (Printf.sprintf "%d of %d runs failed to complete" (runs - completed)
+           runs)
+  in
+  let* safety =
+    match
+      Option.bind (Obs_json.member "violations" doc) (fun o ->
+          Option.bind (Obs_json.member "safety" o) Obs_json.to_int)
+    with
+    | Some v -> Ok v
+    | None -> Error "missing \"violations\".\"safety\""
+  in
+  let* () =
+    if safety = 0 then Ok ()
+    else Error (Printf.sprintf "%d safety violations" safety)
+  in
+  let* payloads =
+    match
+      Option.bind (Obs_json.member "config" doc) (fun o ->
+          Option.bind (Obs_json.member "payloads" o) Obs_json.to_int)
+    with
+    | Some v -> Ok v
+    | None -> Error "missing \"config\".\"payloads\""
+  in
+  let* rows =
+    match Option.bind (Obs_json.member "per_run" doc) Obs_json.to_list with
+    | Some rows -> Ok rows
+    | None -> Error "missing or non-array \"per_run\""
+  in
+  let* () =
+    if List.length rows = runs then Ok ()
+    else
+      Error
+        (Printf.sprintf "\"per_run\" has %d rows for %d runs"
+           (List.length rows) runs)
+  in
+  let check_row i row =
+    let field name conv =
+      match Option.bind (Obs_json.member name row) conv with
+      | Some v -> Ok v
+      | None ->
+        Error (Printf.sprintf "per_run row %d: missing or ill-typed %S" i name)
+    in
+    let* scenario = field "scenario" Obs_json.to_str in
+    let* () =
+      if scenario_of_string scenario <> None then Ok ()
+      else
+        Error (Printf.sprintf "per_run row %d: unknown scenario %S" i scenario)
+    in
+    let* variant = field "variant" Obs_json.to_str in
+    let* () =
+      if variant_of_string variant <> None then Ok ()
+      else Error (Printf.sprintf "per_run row %d: unknown variant %S" i variant)
+    in
+    let* seed = field "seed" Obs_json.to_int in
+    let* completed = field "completed" Obs_json.to_bool in
+    let* pk_stable = field "pk_stable" Obs_json.to_bool in
+    let* dead = field "old_shares_dead" Obs_json.to_bool in
+    let* serving = field "replaced_serving" Obs_json.to_bool in
+    let* certs = field "certs_ok" Obs_json.to_int in
+    let* excluded = field "excluded" Obs_json.to_int in
+    let* () =
+      if completed then Ok ()
+      else
+        Error (Printf.sprintf "per_run row %d (seed %d): not completed" i seed)
+    in
+    let* () =
+      if pk_stable then Ok ()
+      else
+        Error
+          (Printf.sprintf "per_run row %d (seed %d): public key changed" i seed)
+    in
+    let* () =
+      if dead then Ok ()
+      else
+        Error
+          (Printf.sprintf "per_run row %d (seed %d): old shares still live" i
+             seed)
+    in
+    let* () =
+      if serving then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "per_run row %d (seed %d): replaced replica not serving" i seed)
+    in
+    let* () =
+      if certs = payloads then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "per_run row %d (seed %d): %d of %d reply certificates" i seed
+             certs payloads)
+    in
+    Ok (variant = "byz-refresher" && excluded > 0)
+  in
+  let rec check_rows i any_byz caught = function
+    | [] ->
+      if any_byz && not caught then
+        Error "byzantine sweep never witnessed a dealer exclusion"
+      else Ok ()
+    | row :: rest ->
+      let* byz_caught = check_row i row in
+      let byz =
+        Option.bind (Obs_json.member "variant" row) Obs_json.to_str
+        = Some "byz-refresher"
+      in
+      check_rows (i + 1) (any_byz || byz) (caught || byz_caught) rest
+  in
+  check_rows 0 false false rows
+
+(* ---------- summary ---------------------------------------------------- *)
+
+let pp_summary fmt rep =
+  let cells = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let key = (scenario_label r.er_scenario, variant_label r.er_variant) in
+      let cell =
+        match Hashtbl.find_opt cells key with
+        | Some c -> c
+        | None ->
+          let c = ref [] in
+          Hashtbl.add cells key c;
+          order := key :: !order;
+          c
+      in
+      cell := r :: !cell)
+    rep.results;
+  List.iter
+    (fun ((scen, var) as key) ->
+      let rs = !(Hashtbl.find cells key) in
+      let total = List.length rs in
+      let comp = List.length (List.filter (fun r -> r.er_completed) rs) in
+      let certs = List.fold_left (fun a r -> a + r.er_certs_ok) 0 rs in
+      let excl = List.fold_left (fun a r -> a + r.er_excluded) 0 rs in
+      let safety =
+        List.fold_left
+          (fun a r -> a + Oracle.count_safety r.er_violations)
+          0 rs
+      in
+      Format.fprintf fmt
+        "%-17s %-13s %3d/%-3d completed  %4d certs  %3d excluded  safety %d%s@."
+        scen var comp total certs excl safety
+        (if safety > 0 then "  << SAFETY VIOLATION" else ""))
+    (List.rev !order);
+  Format.fprintf fmt "total: %d runs, %d completed, %d safety violations@."
+    (List.length rep.results) (completed_count rep) (safety_count rep)

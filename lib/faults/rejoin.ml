@@ -142,21 +142,20 @@ let run_one ?flight env cfg ~scenario ~forged ~seed =
     }
   in
   (* The partition-heal outage is applied by swapping this in and the
-     base spec back out, so its window is progress-driven too.  The cut
-     is per-link total loss rather than a [Sim.partition] window: those
-     windows are wall-clock-bound, and an open-ended window would let
-     the all-blocked scheduler fallback fast-forward the clock to the
-     heal time. *)
-  let cut_chaos =
-    let sever = { Sim.no_fault with Sim.drop = 1.0 } in
+     base spec back out, so its window is progress-driven: the cut is an
+     open-ended [Sim.partition] (the victim alone in one cell) starting
+     at the moment the monitor trips it, healed by restoring the base
+     spec.  Open-ended windows are safe since the scheduler treats an
+     all-blocked step as a clock advance to the next timer, so the
+     survivors' traffic and every retransmit timer keep running behind
+     the cut. *)
+  let cut_chaos () =
     {
       base_chaos with
-      Sim.links =
-        List.concat_map
-          (fun p ->
-            if p = victim then []
-            else [ ((victim, p), sever); ((p, victim), sever) ])
-          (List.init n Fun.id);
+      Sim.partitions =
+        [ { Sim.from_t = Sim.clock sim;
+            until_t = infinity;
+            cells = [ Pset.singleton victim ] } ];
     }
   in
   Sim.set_chaos sim (Some base_chaos);
@@ -227,7 +226,7 @@ let run_one ?flight env cfg ~scenario ~forged ~seed =
     | `Wait_down when progress () >= down_th ->
       (match scenario with
       | Crash_rejoin -> Sim.crash sim victim
-      | Partition_heal -> Sim.set_chaos sim (Some cut_chaos));
+      | Partition_heal -> Sim.set_chaos sim (Some (cut_chaos ())));
       phase := `Wait_up
     | `Wait_up when progress () >= up_th ->
       (match scenario with

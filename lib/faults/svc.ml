@@ -41,11 +41,23 @@ let variant_of_string = function
 
 (* The notary runs over secure causal broadcast, which has no recovery
    wrapper (re-keying a revived replica's decryption share is future
-   work), so it cannot host the crash-rejoin variant. *)
+   work; see the refusal note on {!Recovery.deploy}), so it cannot host
+   the crash-rejoin variant. *)
 let variants_for kind variants =
   match kind with
   | Notary_svc -> List.filter (fun v -> v <> Crash_rejoin) variants
   | Ca_svc | Directory_svc -> variants
+
+(* Why a (kind, variant) cell is absent from the sweep — reported in
+   the summary and the JSON artifact so a dropped cell reads as a
+   documented refusal, not silent shrinkage of the matrix. *)
+let skip_reason kind variant =
+  match (kind, variant) with
+  | Notary_svc, Crash_rejoin ->
+    Some
+      "secure causal broadcast has no recovery wrapper: re-keying a \
+       revived replica's decryption share is future work"
+  | _ -> None
 
 type config = {
   v_seeds : int;
@@ -445,6 +457,7 @@ let run_one env cfg ~kind ~variant ~seed =
 type report = {
   config : config;
   results : run_result list;
+  skipped : (service_kind * variant * string) list;
   obs : Obs.t;
 }
 
@@ -454,6 +467,22 @@ let run ?(progress = fun _ -> ()) cfg =
     List.concat_map
       (fun kind ->
         List.map (fun v -> (kind, v)) (variants_for kind cfg.v_variants))
+      cfg.v_kinds
+  in
+  let skipped =
+    List.concat_map
+      (fun kind ->
+        List.filter_map
+          (fun v ->
+            if List.mem v (variants_for kind cfg.v_variants) then None
+            else
+              Some
+                ( kind,
+                  v,
+                  Option.value
+                    (skip_reason kind v)
+                    ~default:"unsupported cell" ))
+          cfg.v_variants)
       cfg.v_kinds
   in
   let total = List.length cells * cfg.v_seeds in
@@ -469,7 +498,7 @@ let run ?(progress = fun _ -> ()) cfg =
         progress (!done_runs, total)
       done)
     cells;
-  { config = cfg; results = List.rev !results; obs = env.s_obs }
+  { config = cfg; results = List.rev !results; skipped; obs = env.s_obs }
 
 let sum f rep = List.fold_left (fun a r -> a + f r) 0 rep.results
 
@@ -638,6 +667,17 @@ let to_json ~id ~wall rep =
             ("steps_total", Obs_json.Int (steps_total rep));
             ("requests_per_kstep", Obs_json.Float (requests_per_kstep rep));
           ] );
+      ( "skipped",
+        Obs_json.Arr
+          (List.map
+             (fun (kind, variant, reason) ->
+               Obs_json.Obj
+                 [
+                   ("kind", Obs_json.Str (kind_label kind));
+                   ("variant", Obs_json.Str (variant_label variant));
+                   ("reason", Obs_json.Str reason);
+                 ])
+             rep.skipped) );
       ("per_run", Obs_json.Arr (List.map run_json rep.results));
       ("metrics", Obs_registry.snapshot_to_json (Obs.snapshot rep.obs));
     ]
@@ -776,7 +816,47 @@ let validate_json (doc : Obs_json.t) : (unit, string) result =
       let* () = check_row i row in
       check_rows (i + 1) rest
   in
-  check_rows 0 rows
+  let* () = check_rows 0 rows in
+  (* "skipped" is optional (older artifacts predate it), but a present
+     entry must name a known cell and carry a non-empty reason. *)
+  match Obs_json.member "skipped" doc with
+  | None -> Ok ()
+  | Some s -> (
+    match Obs_json.to_list s with
+    | None -> Error "non-array \"skipped\""
+    | Some entries ->
+      let check_skip i e =
+        let field name =
+          match Option.bind (Obs_json.member name e) Obs_json.to_str with
+          | Some v -> Ok v
+          | None ->
+            Error
+              (Printf.sprintf "skipped row %d: missing or ill-typed %S" i
+                 name)
+        in
+        let* kind = field "kind" in
+        let* () =
+          if kind_of_string kind <> None then Ok ()
+          else Error (Printf.sprintf "skipped row %d: unknown kind %S" i kind)
+        in
+        let* variant = field "variant" in
+        let* () =
+          if variant_of_string variant <> None then Ok ()
+          else
+            Error
+              (Printf.sprintf "skipped row %d: unknown variant %S" i variant)
+        in
+        let* reason = field "reason" in
+        if reason <> "" then Ok ()
+        else Error (Printf.sprintf "skipped row %d: empty reason" i)
+      in
+      let rec check_skips i = function
+        | [] -> Ok ()
+        | e :: rest ->
+          let* () = check_skip i e in
+          check_skips (i + 1) rest
+      in
+      check_skips 0 entries)
 
 (* ---------- summary ---------------------------------------------------- *)
 
@@ -820,6 +900,11 @@ let pp_summary fmt rep =
         safety
         (if safety > 0 then "  << SAFETY VIOLATION" else ""))
     (List.rev !order);
+  List.iter
+    (fun (kind, variant, reason) ->
+      Format.fprintf fmt "%-10s %-12s skipped: %s@." (kind_label kind)
+        (variant_label variant) reason)
+    rep.skipped;
   Format.fprintf fmt
     "total: %d runs, %d/%d completed, fast-path rate %.2f, %.2f req/kstep, GC'd log peak %d (bound %d), %d safety violations@."
     (List.length rep.results) (completed_total rep) (target_total rep)

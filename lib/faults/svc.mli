@@ -129,6 +129,11 @@ val run_one :
 type report = {
   config : config;
   results : run_result list;  (** in execution order *)
+  skipped : (service_kind * variant * string) list;
+      (** configured cells the sweep refused, with the reason (the
+          notary's secure causal broadcast has no recovery wrapper, so
+          it cannot host crash-rejoin); surfaced in the summary and the
+          JSON artifact rather than silently shrinking the matrix *)
   obs : Obs.t;
 }
 

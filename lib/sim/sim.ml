@@ -300,8 +300,11 @@ let env_blocked t e = env_release t e > Float.max t.clock e.ready_at
 
 (* Pick the index (into [t.pending]) of the next envelope to deliver.
    The scheduling policy only ever chooses among envelopes not held back
-   by a partition; when nothing else is left, the earliest-healing
-   envelope goes through (jumping virtual time past the heal). *)
+   by a partition; when every pending message is blocked, [None] is
+   returned and [do_step] advances the clock to the next unblock or
+   timer deadline instead of delivering (so open-ended windows are fine:
+   timers keep firing behind the cut, and a network that can never heal
+   and has no timers simply quiesces). *)
 let choose t : int option =
   match t.pending with
   | [] -> None
@@ -309,25 +312,10 @@ let choose t : int option =
     let all = List.mapi (fun i e -> (i, e)) pending in
     let eligible =
       if t.chaos = None then all
-      else
-        match List.filter (fun (_, e) -> not (env_blocked t e)) all with
-        | [] -> []
-        | free -> free
+      else List.filter (fun (_, e) -> not (env_blocked t e)) all
     in
     (match eligible with
-    | [] ->
-      (* every pending message is behind a partition: release the one
-         whose cut heals first *)
-      let best = ref (-1) and best_t = ref infinity in
-      List.iter
-        (fun (i, e) ->
-          let r = env_release t e in
-          if r < !best_t then begin
-            best := i;
-            best_t := r
-          end)
-        all;
-      Some !best
+    | [] -> None
     | cands ->
       (match t.policy with
       | Fifo ->
@@ -406,6 +394,49 @@ let deliver_env t (env : 'msg envelope) =
       | None -> ());
       h ~src:env.src env.msg
 
+(* Remove envelope [k] from the queue and put it through the chaos
+   pipeline (defer / drop / duplicate) and delivery, advancing the clock
+   to its release time first. *)
+let deliver_pending t k : unit =
+  let env, rest = remove_nth t.pending k in
+  t.pending <- rest;
+  t.clock <- max t.clock (env_release t env);
+  fire_due_timers t;
+  match t.chaos with
+  | None -> deliver_env t env
+  | Some { spec; crng } ->
+    let lf = link_fault_for spec ~src:env.src ~dst:env.dst in
+    (* Defer: push the chosen message back with a fresh latency — an
+       extra reordering knob on top of the scheduling policy.  Only
+       when other traffic is pending, so a lone message cannot be
+       deferred forever. *)
+    if lf.reorder > 0.0 && t.pending <> [] && Prng.float crng < lf.reorder then begin
+      Metrics.incr_chaos_reorders t.metrics;
+      t.pending <-
+        { env with
+          ready_at = t.clock +. (latency t *. (1.0 +. lf.delay)) }
+        :: t.pending
+    end
+    else if lf.drop > 0.0 && Prng.float crng < lf.drop then
+      drop_env t Chaos env
+    else begin
+      if
+        lf.duplicate > 0.0 && (not env.dup)
+        && Prng.float crng < lf.duplicate
+      then begin
+        Metrics.incr_chaos_dups t.metrics;
+        Metrics.incr_sent t.metrics ~bytes:(t.size env.msg);
+        t.pending <-
+          { env with
+            seq = t.seq;
+            ready_at = t.clock +. (latency t *. (1.0 +. lf.delay));
+            dup = true }
+          :: t.pending;
+        t.seq <- t.seq + 1
+      end;
+      deliver_env t env
+    end
+
 (* Deliver one message.  Returns false when the network is quiescent. *)
 let do_step t : bool =
   if adversary_outwaits_timer t then begin
@@ -418,7 +449,10 @@ let do_step t : bool =
   end
   else
   match choose t with
-  | None ->
+  | Some k ->
+    deliver_pending t k;
+    true
+  | None when t.pending = [] ->
     (* No traffic: advance time to the next timer, if any. *)
     (match List.sort (fun (a, _, _) (b, _, _) -> compare a b) t.timers with
     | [] -> false
@@ -426,46 +460,37 @@ let do_step t : bool =
       t.clock <- max t.clock d;
       fire_due_timers t;
       true)
-  | Some k ->
-    let env, rest = remove_nth t.pending k in
-    t.pending <- rest;
-    t.clock <- max t.clock (env_release t env);
-    fire_due_timers t;
-    (match t.chaos with
-    | None -> deliver_env t env
-    | Some { spec; crng } ->
-      let lf = link_fault_for spec ~src:env.src ~dst:env.dst in
-      (* Defer: push the chosen message back with a fresh latency — an
-         extra reordering knob on top of the scheduling policy.  Only
-         when other traffic is pending, so a lone message cannot be
-         deferred forever. *)
-      if lf.reorder > 0.0 && t.pending <> [] && Prng.float crng < lf.reorder then begin
-        Metrics.incr_chaos_reorders t.metrics;
-        t.pending <-
-          { env with
-            ready_at = t.clock +. (latency t *. (1.0 +. lf.delay)) }
-          :: t.pending
-      end
-      else if lf.drop > 0.0 && Prng.float crng < lf.drop then
-        drop_env t Chaos env
-      else begin
-        if
-          lf.duplicate > 0.0 && (not env.dup)
-          && Prng.float crng < lf.duplicate
-        then begin
-          Metrics.incr_chaos_dups t.metrics;
-          Metrics.incr_sent t.metrics ~bytes:(t.size env.msg);
-          t.pending <-
-            { env with
-              seq = t.seq;
-              ready_at = t.clock +. (latency t *. (1.0 +. lf.delay));
-              dup = true }
-            :: t.pending;
-          t.seq <- t.seq + 1
-        end;
-        deliver_env t env
-      end);
-    true
+  | None ->
+    (* Every pending message is behind a partition.  The step becomes a
+       clock advance to the next unblock or timer deadline: when a timer
+       fires strictly before the earliest cut heals, virtual time jumps
+       only to the deadline (protocols keep retransmitting and probing
+       behind the cut instead of sleeping until the heal); otherwise the
+       earliest-healing envelope goes through, jumping past the heal.
+       With every window open-ended and no timers left the network is
+       dead — quiesce rather than crash or spin. *)
+    let next_timer =
+      List.fold_left (fun acc (d, _, _) -> Float.min acc d) infinity t.timers
+    in
+    let best = ref (-1) and best_t = ref infinity in
+    List.iteri
+      (fun i e ->
+        let r = env_release t e in
+        if r < !best_t then begin
+          best := i;
+          best_t := r
+        end)
+      t.pending;
+    if next_timer < !best_t then begin
+      t.clock <- Float.max t.clock next_timer;
+      fire_due_timers t;
+      true
+    end
+    else if !best >= 0 then begin
+      deliver_pending t !best;
+      true
+    end
+    else false
 
 let step t : bool =
   let progressed = do_step t in

@@ -219,4 +219,223 @@ let hybrid_tests =
           | None -> false))
   ]
 
-let suite = ("extensions", proactive_tests @ hybrid_tests)
+(* ---- proactive edge cases and membership-change resharing ----------- *)
+
+let member_formula members =
+  (* t = 1 over the listed members, inside a fixed n = 4 universe *)
+  Monotone_formula.threshold 2 (List.map Monotone_formula.leaf members)
+
+let proactive_edge_tests =
+  [ Alcotest.test_case "apply_refreshes [] is the identity" `Quick (fun () ->
+        let sh = deal ~seed:48 th41 in
+        let sh' = Proactive.apply_refreshes sh [] in
+        Alcotest.(check bool) "subshares unchanged" true
+          (List.for_all2
+             (fun (a : Lsss.subshare) (b : Lsss.subshare) ->
+               a.leaf = b.leaf && a.party = b.party && B.equal a.value b.value)
+             sh.Dl_sharing.subshares sh'.Dl_sharing.subshares);
+        Alcotest.(check bool) "leaf keys unchanged" true
+          (Array.for_all2 G.elt_equal sh.Dl_sharing.leaf_keys
+             sh'.Dl_sharing.leaf_keys));
+    Alcotest.test_case "run_epoch with an unqualified refresher set" `Quick
+      (fun () ->
+        let sh = deal ~seed:49 th41 in
+        let rng = Prng.create ~seed:13 in
+        (match Proactive.run_epoch sh ~refreshers:Pset.empty rng with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "empty refresher set must be refused");
+        match Proactive.run_epoch sh ~refreshers:(Pset.singleton 1) rng with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "possibly-corrupted singleton must be refused");
+    Alcotest.test_case "duplicate-dealer refresh packages stay consistent"
+      `Quick (fun () ->
+        (* two zero-sharings from the same dealer are harmless: the sum
+           is still a sharing of zero, keys track values *)
+        let sh = deal ~seed:50 th41 in
+        let rng = Prng.create ~seed:14 in
+        let p1 = Proactive.make_refresh sh ~dealer:0 rng in
+        let p2 = Proactive.make_refresh sh ~dealer:0 rng in
+        let p3 = Proactive.make_refresh sh ~dealer:1 rng in
+        let sh' = Proactive.apply_refreshes sh [ p1; p2; p3 ] in
+        Alcotest.(check bool) "public key unchanged" true
+          (G.elt_equal sh.Dl_sharing.public_key sh'.Dl_sharing.public_key);
+        List.iter
+          (fun (s : Lsss.subshare) ->
+            Alcotest.(check bool) "leaf key consistent" true
+              (G.elt_equal sh'.Dl_sharing.leaf_keys.(s.leaf)
+                 (G.exp_g ps s.value)))
+          sh'.Dl_sharing.subshares);
+    Alcotest.test_case "reshare rejects duplicate dealers" `Quick (fun () ->
+        let sh = deal ~seed:51 th41 in
+        let rng = Prng.create ~seed:15 in
+        let target = Proactive.target_of sh th41 in
+        let p0 = Proactive.make_reshare sh target ~dealer:0 rng in
+        let p0' = Proactive.make_reshare sh target ~dealer:0 rng in
+        match Proactive.apply_reshares sh target [ p0; p0' ] with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "duplicate dealer must be refused") ]
+
+let reshare_tests =
+  [ Alcotest.test_case "reshare to the same structure re-randomizes" `Quick
+      (fun () ->
+        let sh = deal ~seed:52 th41 in
+        let rng = Prng.create ~seed:16 in
+        match
+          Proactive.run_reshare sh ~structure:th41
+            ~dealers:(Pset.of_list [ 0; 1; 2 ])
+            rng
+        with
+        | Error e -> Alcotest.fail e
+        | Ok sh' ->
+          Alcotest.(check bool) "public key unchanged" true
+            (G.elt_equal sh.Dl_sharing.public_key sh'.Dl_sharing.public_key);
+          Alcotest.(check bool) "shares changed" false
+            (List.for_all2
+               (fun (a : Lsss.subshare) (b : Lsss.subshare) ->
+                 B.equal a.value b.value)
+               sh.Dl_sharing.subshares sh'.Dl_sharing.subshares);
+          List.iter
+            (fun (s : Lsss.subshare) ->
+              Alcotest.(check bool) "leaf key consistent" true
+                (G.elt_equal sh'.Dl_sharing.leaf_keys.(s.leaf)
+                   (G.exp_g ps s.value)))
+            sh'.Dl_sharing.subshares);
+    Alcotest.test_case "remove then re-add a replica preserves the secret"
+      `Quick (fun () ->
+        (* 4 members -> drop party 3 -> re-admit party 3; the public key
+           never changes and the final sharing serves party 3 again *)
+        let sh = deal ~seed:53 th41 in
+        let rng = Prng.create ~seed:17 in
+        let without3 =
+          AS.of_access_formula ~n:4 (member_formula [ 0; 1; 2 ])
+        in
+        let removed =
+          match
+            Proactive.run_reshare sh ~structure:without3
+              ~dealers:(Pset.of_list [ 0; 1; 2 ])
+              rng
+          with
+          | Error e -> Alcotest.fail e
+          | Ok s -> s
+        in
+        Alcotest.(check bool) "pk invariant after removal" true
+          (G.elt_equal sh.Dl_sharing.public_key
+             removed.Dl_sharing.public_key);
+        Alcotest.(check int) "removed party owns nothing" 0
+          (List.length (Dl_sharing.shares_of removed 3));
+        let readded =
+          match
+            Proactive.run_reshare removed ~structure:th41
+              ~dealers:(Pset.of_list [ 0; 1; 2 ])
+              rng
+          with
+          | Error e -> Alcotest.fail e
+          | Ok s -> s
+        in
+        Alcotest.(check bool) "pk invariant after re-add" true
+          (G.elt_equal sh.Dl_sharing.public_key
+             readded.Dl_sharing.public_key);
+        Alcotest.(check bool) "re-admitted party holds shares" true
+          (Dl_sharing.shares_of readded 3 <> []);
+        (* the re-admitted replica's shares really open the secret *)
+        let leaf_vals =
+          List.concat_map
+            (fun p ->
+              List.map
+                (fun (s : Lsss.subshare) ->
+                  (s.Lsss.leaf, G.exp_g ps s.Lsss.value))
+                (Dl_sharing.shares_of readded p))
+            [ 2; 3 ]
+        in
+        match
+          Dl_sharing.combine_in_exponent readded
+            ~avail:(Pset.of_list [ 2; 3 ]) ~leaf_values:leaf_vals
+        with
+        | None -> Alcotest.fail "post-re-add combination refused"
+        | Some g_x ->
+          Alcotest.(check bool) "opens to the public key" true
+            (G.elt_equal g_x sh.Dl_sharing.public_key));
+    Alcotest.test_case "old shares are useless after a reshare" `Quick
+      (fun () ->
+        let sh = deal ~seed:54 th41 in
+        let rng = Prng.create ~seed:18 in
+        match
+          Proactive.run_reshare sh ~structure:th41
+            ~dealers:(Pset.of_list [ 0; 1; 2; 3 ])
+            rng
+        with
+        | Error e -> Alcotest.fail e
+        | Ok sh' ->
+          let leaf_of sharing party =
+            match Dl_sharing.shares_of sharing party with
+            | [ s ] -> (s.Lsss.leaf, G.exp_g ps s.Lsss.value)
+            | _ -> Alcotest.fail "expected one leaf per party"
+          in
+          (match
+             Dl_sharing.combine_in_exponent sh ~avail:(Pset.of_list [ 0; 1 ])
+               ~leaf_values:[ leaf_of sh 0; leaf_of sh' 1 ]
+           with
+          | None -> Alcotest.fail "combination unexpectedly refused"
+          | Some g_x ->
+            Alcotest.(check bool) "mixed epochs give garbage" false
+              (G.elt_equal g_x sh.Dl_sharing.public_key)));
+    Alcotest.test_case "reshare refused without a qualified dealer set"
+      `Quick (fun () ->
+        let sh = deal ~seed:55 th41 in
+        let rng = Prng.create ~seed:19 in
+        match
+          Proactive.run_reshare sh ~structure:th41 ~dealers:(Pset.singleton 0)
+            rng
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "singleton dealer set must be refused");
+    Alcotest.test_case "tampered reshare package rejected" `Quick (fun () ->
+        let sh = deal ~seed:56 th41 in
+        let rng = Prng.create ~seed:20 in
+        let target = Proactive.target_of sh th41 in
+        let pkg = Proactive.make_reshare sh target ~dealer:2 rng in
+        Alcotest.(check bool) "honest package ok" true
+          (Proactive.verify_reshare sh target pkg);
+        (* shifting one sub-dealing's value breaks the key binding *)
+        let bad =
+          { pkg with
+            Proactive.r_deals =
+              List.map
+                (fun (l, shares, keys) ->
+                  ( l,
+                    List.map
+                      (fun (w : Lsss.subshare) ->
+                        { w with
+                          Lsss.value = B.add_mod w.Lsss.value B.one ps.G.q })
+                      shares,
+                    keys ))
+                pkg.Proactive.r_deals }
+        in
+        Alcotest.(check bool) "shifted values rejected" false
+          (Proactive.verify_reshare sh target bad);
+        (* consistently shifted keys+values dodge the key binding but not
+           the old-leaf-key recombination check *)
+        let bad2 =
+          { pkg with
+            Proactive.r_deals =
+              List.map
+                (fun (l, shares, keys) ->
+                  ( l,
+                    List.map
+                      (fun (w : Lsss.subshare) ->
+                        { w with
+                          Lsss.value = B.add_mod w.Lsss.value B.one ps.G.q })
+                      shares,
+                    Array.map (fun k -> G.mul ps k ps.G.g) keys ))
+                pkg.Proactive.r_deals }
+        in
+        Alcotest.(check bool) "shifted sharing rejected" false
+          (Proactive.verify_reshare sh target bad2);
+        (* claiming someone else's leaves is rejected *)
+        let bad3 = { pkg with Proactive.r_dealer = 3 } in
+        Alcotest.(check bool) "wrong dealer rejected" false
+          (Proactive.verify_reshare sh target bad3)) ]
+
+let suite =
+  ( "extensions",
+    proactive_tests @ proactive_edge_tests @ reshare_tests @ hybrid_tests )

@@ -189,7 +189,86 @@ let partition_tests =
         Sim.run sim;
         Alcotest.(check int) "delivered before the window opens" 1
           (List.length received.(1));
-        Alcotest.(check bool) "well before" true (Sim.clock sim < 1.0e6)) ]
+        Alcotest.(check bool) "well before" true (Sim.clock sim < 1.0e6));
+    (* Regression: an open-ended window (until_t = infinity) used to
+       crash the all-blocked scheduler fallback with Invalid_argument
+       "Sim.remove_nth" — every env_release was infinite, so no
+       "earliest-healing" envelope existed.  The fallback is now a clock
+       advance: with no timers the network simply quiesces. *)
+    Alcotest.test_case "open-ended window with no timers quiesces" `Quick
+      (fun () ->
+        let sim =
+          with_chaos ~n:2 ~seed:29
+            { Sim.benign_chaos with
+              Sim.partitions =
+                [ { Sim.from_t = 0.0;
+                    until_t = infinity;
+                    cells = [ Pset.singleton 0; Pset.singleton 1 ] } ] }
+        in
+        let received = sinks sim 2 in
+        Sim.send sim ~src:0 ~dst:1 1;
+        Sim.send sim ~src:1 ~dst:0 2;
+        Sim.run sim;
+        Alcotest.(check int) "nothing delivered" 0
+          (Array.fold_left (fun a l -> a + List.length l) 0 received);
+        Alcotest.(check int) "envelopes still pending" 2
+          (Sim.pending_count sim));
+    Alcotest.test_case "timers keep firing behind an open-ended cut" `Quick
+      (fun () ->
+        let sim =
+          with_chaos ~n:2 ~seed:31
+            { Sim.benign_chaos with
+              Sim.partitions =
+                [ { Sim.from_t = 0.0;
+                    until_t = infinity;
+                    cells = [ Pset.singleton 0; Pset.singleton 1 ] } ] }
+        in
+        let received = sinks sim 2 in
+        let fired = ref [] in
+        let rec rearm k =
+          if k < 5 then
+            Sim.set_timer sim 0 ~delay:50.0 (fun () ->
+                fired := Sim.clock sim :: !fired;
+                (* a blocked retransmission attempt every period *)
+                Sim.send sim ~src:0 ~dst:1 k;
+                rearm (k + 1))
+        in
+        rearm 0;
+        Sim.send sim ~src:0 ~dst:1 99;
+        Sim.run sim;
+        Alcotest.(check int) "all five timers fired" 5 (List.length !fired);
+        (* each fired at its own deadline, not at some heal time *)
+        List.iteri
+          (fun i at ->
+            Alcotest.(check (float 1e-9))
+              (Printf.sprintf "deadline %d" i)
+              (float_of_int (5 - i) *. 50.0)
+              at)
+          !fired;
+        Alcotest.(check int) "blocked traffic never delivered" 0
+          (Array.fold_left (fun a l -> a + List.length l) 0 received));
+    Alcotest.test_case "timer before a finite heal fires at its deadline"
+      `Quick (fun () ->
+        let sim =
+          with_chaos ~n:2 ~seed:37
+            { Sim.benign_chaos with
+              Sim.partitions =
+                [ { Sim.from_t = 0.0;
+                    until_t = 10_000.0;
+                    cells = [ Pset.singleton 0; Pset.singleton 1 ] } ] }
+        in
+        let received = sinks sim 2 in
+        let timer_at = ref nan in
+        Sim.set_timer sim 0 ~delay:200.0 (fun () -> timer_at := Sim.clock sim);
+        Sim.send sim ~src:0 ~dst:1 7;
+        Sim.run sim;
+        (* the old fallback jumped straight to the heal and only then
+           fired the timer; now the timer fires first, at 200 *)
+        Alcotest.(check (float 1e-9)) "timer at its deadline" 200.0 !timer_at;
+        Alcotest.(check int) "message delivered after the heal" 1
+          (List.length received.(1));
+        Alcotest.(check bool) "clock past the heal" true
+          (Sim.clock sim >= 10_000.0)) ]
 
 (* ---------------- drop-path unification & diagnostics ---------------- *)
 

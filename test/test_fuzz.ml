@@ -721,7 +721,196 @@ let svc_codec_tests =
           Codec.encode_reply_cert ~fast ~req_digest ~response ~cert = s)
   ]
 
+(* ---- epoch frames and refresh-package integrity (PR 10) -------------
+   The reconfiguration frames carry field and group elements, so on top
+   of the usual codec properties (round trip, prefix rejection,
+   canonical bit flips) we check the semantic one the epoch protocol
+   rests on: a refresh package corrupted in transit — any single bit of
+   its wire frame, or any single field — never passes
+   [Proactive.verify_refresh]. *)
+
+let gen_refresh_pkg =
+  QCheck2.Gen.map
+    (fun seed ->
+      let sharing = Lazy.force fsharing in
+      let rng = Prng.create ~seed:(seed lxor 0x5e9) in
+      Proactive.make_refresh sharing ~dealer:(Prng.int rng 4) rng)
+    QCheck2.Gen.int
+
+let gen_refresh_frame =
+  QCheck2.Gen.map (Codec.encode_refresh_pkg fps) gen_refresh_pkg
+
+let gen_reshare_frame =
+  QCheck2.Gen.map
+    (fun seed ->
+      let sharing = Lazy.force fsharing in
+      let rng = Prng.create ~seed:(seed lxor 0xa11) in
+      let target = Proactive.target_of sharing th41 in
+      let pkg =
+        Proactive.make_reshare sharing target ~dealer:(Prng.int rng 4) rng
+      in
+      Codec.encode_reshare_pkg fps pkg)
+    QCheck2.Gen.int
+
+let rec gen_formula rng depth =
+  if depth = 0 || Prng.int rng 3 = 0 then
+    Monotone_formula.Leaf (Prng.int rng 7)
+  else begin
+    let c = 1 + Prng.int rng 3 in
+    let k = 1 + Prng.int rng c in
+    Monotone_formula.Threshold
+      (k, List.init c (fun _ -> gen_formula rng (depth - 1)))
+  end
+
+let gen_adv_frame =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rng = Prng.create ~seed:(seed lxor 0xbeef) in
+      let epoch = Prng.int rng 1000 in
+      let target =
+        if Prng.int rng 2 = 0 then None
+        else Some (1 + Prng.int rng 7, gen_formula rng 3)
+      in
+      let pkgs =
+        List.init (Prng.int rng 4) (fun i ->
+            String.init (Prng.int rng 40) (fun j ->
+                Char.chr ((i * 31 + j + Prng.int rng 256) land 0xff)))
+      in
+      Codec.encode_epoch_adv ~epoch ~target ~pkgs)
+    QCheck2.Gen.int
+
+let reencode_refresh s =
+  match Codec.decode_refresh_pkg fps s with
+  | None -> None
+  | Some p -> Some (Codec.encode_refresh_pkg fps p)
+
+let reencode_reshare s =
+  match Codec.decode_reshare_pkg fps s with
+  | None -> None
+  | Some p -> Some (Codec.encode_reshare_pkg fps p)
+
+let reencode_adv s =
+  match Codec.decode_epoch_adv s with
+  | None -> None
+  | Some (epoch, target, pkgs) ->
+    Some (Codec.encode_epoch_adv ~epoch ~target ~pkgs)
+
+let flip_bit s pos bit =
+  let b = Bytes.of_string s in
+  let pos = pos mod Bytes.length b in
+  Bytes.set b pos
+    (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl (bit mod 8))));
+  Bytes.to_string b
+
+let epoch_codec_tests =
+  [ qtest ~count:200 "refresh pkg codec: decode o encode = identity"
+      gen_refresh_frame
+      (fun frame -> reencode_refresh frame = Some frame);
+    qtest ~count:200 "refresh pkg codec: every proper prefix is rejected"
+      gen_refresh_frame
+      (fun frame ->
+        let ok = ref true in
+        for len = 0 to String.length frame - 1 do
+          if Codec.decode_refresh_pkg fps (String.sub frame 0 len) <> None
+          then ok := false
+        done;
+        !ok && Codec.decode_refresh_pkg fps (frame ^ "x") = None);
+    qtest ~count:200 "refresh pkg codec: single bit flip stays canonical"
+      QCheck2.Gen.(triple gen_refresh_frame small_nat (1 -- 7))
+      (fun (frame, pos, bit) ->
+        let flipped = flip_bit frame pos bit in
+        match reencode_refresh flipped with
+        | None -> true
+        | Some re -> re = flipped);
+    qtest ~count:100 "refresh pkg: a bit flipped in transit never verifies"
+      QCheck2.Gen.(triple QCheck2.Gen.int small_nat (0 -- 7))
+      (fun (seed, pos, bit) ->
+        let sharing = Lazy.force fsharing in
+        let rng = Prng.create ~seed:(seed lxor 0x5e9) in
+        let pkg = Proactive.make_refresh sharing ~dealer:(Prng.int rng 4) rng in
+        let frame = Codec.encode_refresh_pkg fps pkg in
+        let flipped = flip_bit frame pos bit in
+        (* Acceptance in the epoch protocol is [verify_refresh] plus the
+           channel binding dealer = sender; a flip must fail one. *)
+        match Codec.decode_refresh_pkg fps flipped with
+        | None -> true
+        | Some pkg' ->
+          Codec.encode_refresh_pkg fps pkg' = frame
+          || not
+               (Proactive.verify_refresh sharing pkg'
+               && pkg'.Proactive.dealer = pkg.Proactive.dealer));
+    qtest ~count:100 "refresh pkg: any single corrupted field never verifies"
+      QCheck2.Gen.int
+      (fun seed ->
+        let sharing = Lazy.force fsharing in
+        let rng = Prng.create ~seed:(seed lxor 0x0dd) in
+        let pkg = Proactive.make_refresh sharing ~dealer:(Prng.int rng 4) rng in
+        let delta = nonzero_exp rng in
+        let bad =
+          match Prng.int rng 4 with
+          | 0 -> { pkg with Proactive.dealer = (pkg.Proactive.dealer + 1) mod 4 }
+          | 1 ->
+            let k = Prng.int rng (List.length pkg.Proactive.deltas) in
+            { pkg with
+              Proactive.deltas =
+                List.mapi
+                  (fun i (ss : Lsss.subshare) ->
+                    if i <> k then ss
+                    else
+                      { ss with
+                        Lsss.value = B.add_mod ss.Lsss.value delta fps.G.q })
+                  pkg.Proactive.deltas }
+          | 2 ->
+            let keys = Array.copy pkg.Proactive.delta_keys in
+            let k = Prng.int rng (Array.length keys) in
+            keys.(k) <- G.mul fps keys.(k) (G.exp_g fps delta);
+            { pkg with Proactive.delta_keys = keys }
+          | _ ->
+            let k = Prng.int rng (List.length pkg.Proactive.deltas) in
+            { pkg with
+              Proactive.deltas =
+                List.mapi
+                  (fun i (ss : Lsss.subshare) ->
+                    if i <> k then ss
+                    else { ss with Lsss.party = (ss.Lsss.party + 1) mod 4 })
+                  pkg.Proactive.deltas }
+        in
+        not
+          (Proactive.verify_refresh sharing bad
+          && bad.Proactive.dealer = pkg.Proactive.dealer));
+    qtest ~count:100 "reshare pkg codec: decode o encode = identity"
+      gen_reshare_frame
+      (fun frame -> reencode_reshare frame = Some frame);
+    qtest ~count:150 "reshare pkg codec: single bit flip stays canonical"
+      QCheck2.Gen.(triple gen_reshare_frame small_nat (1 -- 7))
+      (fun (frame, pos, bit) ->
+        let flipped = flip_bit frame pos bit in
+        match reencode_reshare flipped with
+        | None -> true
+        | Some re -> re = flipped);
+    qtest ~count:200 "epoch adv codec: decode o encode = identity"
+      gen_adv_frame
+      (fun frame -> reencode_adv frame = Some frame);
+    qtest ~count:200 "epoch adv codec: single bit flip stays canonical"
+      QCheck2.Gen.(triple gen_adv_frame small_nat (1 -- 7))
+      (fun (frame, pos, bit) ->
+        let flipped = flip_bit frame pos bit in
+        match reencode_adv flipped with
+        | None -> true
+        | Some re -> re = flipped);
+    qtest ~count:200 "epoch cert codec: round trip and strict framing"
+      QCheck2.Gen.(pair string string)
+      (fun (body, cert) ->
+        let frame = Codec.encode_epoch_cert ~body ~cert in
+        Codec.decode_epoch_cert frame = Some (body, cert)
+        && Codec.decode_epoch_cert (frame ^ "y") = None
+        && (String.length frame = 0
+           || Codec.decode_epoch_cert
+                (String.sub frame 0 (String.length frame - 1))
+              = None))
+  ]
+
 let suite =
   ( "fuzz",
     fuzz_tests @ codec_tests @ ckpt_codec_tests @ link_fuzz_tests
-    @ crypto_fuzz_tests @ svc_codec_tests )
+    @ crypto_fuzz_tests @ svc_codec_tests @ epoch_codec_tests )
